@@ -1,0 +1,47 @@
+// Command mediaserver runs the media server of Figure 1: an HTTP server
+// owning the (synthetic) multimedia footage. It optionally registers with
+// the distributed data dictionary so the other parties can find it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"mirror/internal/corpus"
+	"mirror/internal/dict"
+	"mirror/internal/mediaserver"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8640", "listen address")
+		n        = flag.Int("n", 60, "collection size")
+		seed     = flag.Int64("seed", 1, "collection seed")
+		rate     = flag.Float64("annotate", 0.7, "annotated fraction")
+		dictAddr = flag.String("dict", "", "data dictionary address to register with (optional)")
+	)
+	flag.Parse()
+
+	items := corpus.Generate(corpus.Config{N: *n, W: 64, H: 64, Seed: *seed, AnnotateRate: *rate})
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("mediaserver: %v", err)
+	}
+	if *dictAddr != "" {
+		dc, err := dict.Dial(*dictAddr)
+		if err != nil {
+			log.Fatalf("mediaserver: %v", err)
+		}
+		if err := dc.Register(dict.DaemonInfo{
+			Name: "mediaserver", Kind: "mediaserver", Addr: l.Addr().String(),
+		}); err != nil {
+			log.Fatalf("mediaserver: register: %v", err)
+		}
+		dc.Close()
+	}
+	fmt.Printf("mediaserver: serving %d images at http://%s (index at /index)\n", len(items), l.Addr())
+	log.Fatal(http.Serve(l, mediaserver.NewServer(items)))
+}

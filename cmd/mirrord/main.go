@@ -1,0 +1,90 @@
+// Command mirrord is the Mirror DBMS server of Figure 1: it crawls the
+// media server (the web robot), runs the extraction pipeline against the
+// registered daemons, builds the meta-data database, and serves Moa and
+// ranked-retrieval queries over RPC, registering itself with the data
+// dictionary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"mirror/internal/core"
+	"mirror/internal/dict"
+	"mirror/internal/mediaserver"
+)
+
+func main() {
+	var (
+		dictAddr = flag.String("dict", "", "data dictionary address (required)")
+		mediaURL = flag.String("media", "", "media server base URL; discovered via the dictionary when empty")
+		addr     = flag.String("addr", "127.0.0.1:8641", "listen address")
+		saveDir  = flag.String("save", "", "persist the database to this directory after indexing")
+		local    = flag.Bool("local-pipeline", false, "run extraction in-process instead of via daemons")
+	)
+	flag.Parse()
+	if *dictAddr == "" {
+		log.Fatal("mirrord: -dict is required")
+	}
+
+	base := *mediaURL
+	if base == "" {
+		dc, err := dict.Dial(*dictAddr)
+		if err != nil {
+			log.Fatalf("mirrord: %v", err)
+		}
+		infos, err := dc.List("mediaserver")
+		dc.Close()
+		if err != nil || len(infos) == 0 {
+			log.Fatalf("mirrord: no media server registered (%v)", err)
+		}
+		base = "http://" + infos[0].Addr
+	}
+
+	fmt.Printf("mirrord: crawling %s\n", base)
+	crawled, err := mediaserver.Crawl(base)
+	if err != nil {
+		log.Fatalf("mirrord: crawl: %v", err)
+	}
+	m, err := core.New()
+	if err != nil {
+		log.Fatalf("mirrord: %v", err)
+	}
+	for _, it := range crawled {
+		img, err := mediaserver.DecodeItemImage(it)
+		if err != nil {
+			log.Fatalf("mirrord: decode %s: %v", it.URL, err)
+		}
+		if err := m.AddImage(it.URL, it.Annotation, img); err != nil {
+			log.Fatalf("mirrord: ingest %s: %v", it.URL, err)
+		}
+	}
+	fmt.Printf("mirrord: ingested %d items; running extraction pipeline...\n", m.Size())
+	opts := core.DefaultIndexOptions()
+	if *local {
+		err = m.BuildContentIndex(opts)
+	} else {
+		err = m.BuildContentIndexDistributed(opts, *dictAddr)
+	}
+	if err != nil {
+		log.Fatalf("mirrord: pipeline: %v", err)
+	}
+	if *saveDir != "" {
+		if err := m.Save(*saveDir); err != nil {
+			log.Fatalf("mirrord: save: %v", err)
+		}
+		fmt.Printf("mirrord: database saved to %s\n", *saveDir)
+	}
+	bound, stop, err := m.Serve(*addr, *dictAddr)
+	if err != nil {
+		log.Fatalf("mirrord: %v", err)
+	}
+	defer stop()
+	fmt.Printf("mirrord: Mirror DBMS serving at %s\n", bound)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+}

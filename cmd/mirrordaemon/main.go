@@ -1,0 +1,52 @@
+// Command mirrordaemon runs the extraction daemons of Figure 1 (segmenter,
+// the six feature daemons, AutoClass, thesaurus) and registers each with
+// the distributed data dictionary. With -serve-dict it also hosts the
+// dictionary itself.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"mirror/internal/daemon"
+	"mirror/internal/dict"
+)
+
+func main() {
+	var (
+		dictAddr  = flag.String("dict", "", "data dictionary address (required unless -serve-dict)")
+		serveDict = flag.String("serve-dict", "", "also host the dictionary on this address, e.g. 127.0.0.1:8639")
+	)
+	flag.Parse()
+
+	addr := *dictAddr
+	if *serveDict != "" {
+		bound, stop, err := dict.Start(*serveDict)
+		if err != nil {
+			log.Fatalf("mirrordaemon: %v", err)
+		}
+		defer stop()
+		addr = bound
+		fmt.Printf("mirrordaemon: data dictionary at %s\n", bound)
+	}
+	if addr == "" {
+		log.Fatal("mirrordaemon: provide -dict or -serve-dict")
+	}
+	handles, err := daemon.StartDemoDaemons(addr)
+	if err != nil {
+		log.Fatalf("mirrordaemon: %v", err)
+	}
+	for _, h := range handles {
+		fmt.Printf("mirrordaemon: %-14s %-10s %s\n", h.Info.Name, h.Info.Kind, h.Info.Addr)
+	}
+	fmt.Println("mirrordaemon: running; ^C to stop")
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	for _, h := range handles {
+		h.Stop()
+	}
+}

@@ -1,0 +1,60 @@
+// Command mkcorpus generates the synthetic demo collection (the web-robot
+// substitute) into a directory: one PPM per image, one .txt per available
+// annotation, and a truth.json with the ground-truth latent classes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"mirror/internal/corpus"
+)
+
+func main() {
+	var (
+		n    = flag.Int("n", 60, "number of images")
+		w    = flag.Int("w", 64, "image width")
+		h    = flag.Int("h", 64, "image height")
+		seed = flag.Int64("seed", 1, "generator seed")
+		rate = flag.Float64("annotate", 0.7, "fraction of annotated images")
+		out  = flag.String("out", "corpus", "output directory")
+	)
+	flag.Parse()
+
+	cfg := corpus.Config{N: *n, W: *w, H: *h, Seed: *seed, AnnotateRate: *rate}
+	items := corpus.Generate(cfg)
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatalf("mkcorpus: %v", err)
+	}
+	truth := map[string][]int{}
+	for i, it := range items {
+		name := fmt.Sprintf("%04d.ppm", i)
+		f, err := os.Create(filepath.Join(*out, name))
+		if err != nil {
+			log.Fatalf("mkcorpus: %v", err)
+		}
+		if err := it.Scene.Img.EncodePPM(f); err != nil {
+			log.Fatalf("mkcorpus: encode %s: %v", name, err)
+		}
+		f.Close()
+		if it.Annotation != "" {
+			ann := fmt.Sprintf("%04d.txt", i)
+			if err := os.WriteFile(filepath.Join(*out, ann), []byte(it.Annotation), 0o644); err != nil {
+				log.Fatalf("mkcorpus: %v", err)
+			}
+		}
+		truth[name] = it.Classes
+	}
+	tb, err := json.MarshalIndent(truth, "", "  ")
+	if err != nil {
+		log.Fatalf("mkcorpus: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(*out, "truth.json"), tb, 0o644); err != nil {
+		log.Fatalf("mkcorpus: %v", err)
+	}
+	fmt.Printf("mkcorpus: wrote %d images to %s (seed %d)\n", len(items), *out, *seed)
+}

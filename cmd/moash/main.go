@@ -1,0 +1,172 @@
+// Command moash is the interactive Moa shell of the Mirror DBMS. It builds
+// (or loads) a demo database and evaluates Moa statements; \mil shows the
+// flattened MIL program of the last query, like the original system's
+// debugging mode.
+//
+// Commands:
+//
+//	define ... ;                 schema definition
+//	map[...](...);               any Moa query (use $q to bind query terms)
+//	\rank <text>                 ranked annotation retrieval
+//	\dual <text>                 dual-coding retrieval via the thesaurus
+//	\terms <text>                thesaurus expansion of a text query
+//	\q <w1> <w2> ...             set the `query` parameter terms
+//	\mil                         toggle MIL display
+//	\sets                        list defined sets
+//	\help, \quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"mirror/internal/core"
+	"mirror/internal/corpus"
+	"mirror/internal/ir"
+	"mirror/internal/moa"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 40, "demo collection size")
+		seed   = flag.Int64("seed", 1, "demo collection seed")
+		load   = flag.String("load", "", "load a saved database directory instead of generating")
+		noPipe = flag.Bool("no-pipeline", false, "skip the content pipeline (text-only)")
+	)
+	flag.Parse()
+
+	var m *core.Mirror
+	var err error
+	if *load != "" {
+		m, err = core.Load(*load)
+		if err != nil {
+			log.Fatalf("moash: %v", err)
+		}
+		fmt.Printf("moash: loaded %d items from %s\n", m.Size(), *load)
+	} else {
+		fmt.Printf("moash: generating demo collection (n=%d, seed=%d)...\n", *n, *seed)
+		items := corpus.Generate(corpus.Config{N: *n, W: 64, H: 64, Seed: *seed, AnnotateRate: 0.7})
+		m, err = core.New()
+		if err != nil {
+			log.Fatalf("moash: %v", err)
+		}
+		for _, it := range items {
+			if err := m.AddImage(it.URL, it.Annotation, it.Scene.Img); err != nil {
+				log.Fatalf("moash: %v", err)
+			}
+		}
+		if !*noPipe {
+			fmt.Println("moash: running extraction pipeline (segmentation, features, AutoClass, thesaurus)...")
+			if err := m.BuildContentIndex(core.DefaultIndexOptions()); err != nil {
+				log.Fatalf("moash: %v", err)
+			}
+		}
+	}
+	repl(m)
+}
+
+func repl(m *core.Mirror) {
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	showMIL := false
+	var queryTerms []string
+	fmt.Println(`moash: the Mirror DBMS Moa shell — \help for commands`)
+	for {
+		fmt.Print("moa> ")
+		if !in.Scan() {
+			return
+		}
+		line := strings.TrimSpace(in.Text())
+		if line == "" {
+			continue
+		}
+		switch {
+		case line == `\quit` || line == `\q!`:
+			return
+		case line == `\help`:
+			fmt.Println("  <moa query>;        evaluate a Moa expression (query/stats params bound via \\q)")
+			fmt.Println("  define ... ;        define a set")
+			fmt.Println("  \\rank <text>        ranked annotation retrieval")
+			fmt.Println("  \\dual <text>        dual-coding retrieval")
+			fmt.Println("  \\terms <text>       thesaurus expansion")
+			fmt.Println("  \\q w1 w2 ...        set query terms")
+			fmt.Println("  \\mil                toggle MIL program display")
+			fmt.Println("  \\sets               list sets")
+			fmt.Println("  \\quit")
+		case line == `\mil`:
+			showMIL = !showMIL
+			fmt.Printf("MIL display %v\n", showMIL)
+		case line == `\sets`:
+			for _, def := range m.DB.Sets() {
+				fmt.Printf("  %s (card %d)\n", def.Name, def.Card)
+			}
+		case strings.HasPrefix(line, `\q `):
+			queryTerms = strings.Fields(strings.TrimPrefix(line, `\q `))
+			fmt.Printf("query terms: %v\n", queryTerms)
+		case strings.HasPrefix(line, `\rank `):
+			hits, err := m.QueryAnnotations(strings.TrimPrefix(line, `\rank `), 10)
+			printHits(hits, err)
+		case strings.HasPrefix(line, `\dual `):
+			hits, err := m.QueryDualCoding(strings.TrimPrefix(line, `\dual `), 10)
+			printHits(hits, err)
+		case strings.HasPrefix(line, `\terms `):
+			for _, c := range m.ExpandQuery(strings.TrimPrefix(line, `\terms `), 8) {
+				fmt.Printf("  %s\n", c)
+			}
+		case strings.HasPrefix(line, "define"):
+			if err := m.DB.DefineFromSource(line); err != nil {
+				fmt.Printf("error: %v\n", err)
+			}
+		default:
+			runQuery(m, line, queryTerms, showMIL)
+		}
+	}
+}
+
+func runQuery(m *core.Mirror, src string, queryTerms []string, showMIL bool) {
+	var params map[string]moa.Param
+	if queryTerms != nil {
+		params = ir.QueryParams(queryTerms)
+	}
+	c, err := m.Eng.Compile(src, params)
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	if showMIL {
+		fmt.Println("-- MIL --")
+		fmt.Print(c.MIL())
+		fmt.Println("---------")
+	}
+	res, err := c.Run()
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	if res.Rows == nil {
+		fmt.Printf("= %v\n", res.Scalar)
+		return
+	}
+	const maxShow = 20
+	for i, row := range res.Rows {
+		if i >= maxShow {
+			fmt.Printf("... (%d more)\n", len(res.Rows)-maxShow)
+			break
+		}
+		fmt.Printf("  %4d  %v\n", uint64(row.OID), row.Value)
+	}
+}
+
+func printHits(hits []core.Hit, err error) {
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	for i, h := range hits {
+		fmt.Printf("  %2d. %-40s %.4f\n", i+1, h.URL, h.Score)
+	}
+}

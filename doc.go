@@ -1,0 +1,30 @@
+// Package mirror is a from-scratch Go reproduction of "The Mirror MMDBMS
+// Architecture" (de Vries, van Doorn, Blanken, Apers; VLDB 1999): a
+// multimedia DBMS that implements an extensible object-oriented logical
+// data model (the Moa object algebra) on a binary relational physical data
+// model (a Monet-style BAT kernel), with the inference network retrieval
+// model integrated as the CONTREP structure, and the paper's open
+// distributed architecture (data dictionary, extraction daemons, media
+// server) built over TCP.
+//
+// The public surface lives in the internal packages (this repository is a
+// self-contained reproduction, consumed through its examples and
+// binaries):
+//
+//	internal/bat        the binary-relational physical layer (BATs)
+//	internal/mil        the MIL physical execution language
+//	internal/moa        the Moa object algebra: parser, checker, optimizer,
+//	                    flattening translator, tuple-at-a-time interpreter
+//	internal/ir         text analysis + inference network + CONTREP
+//	internal/media      images, PPM codec, synthetic scenes
+//	internal/feature    segmentation + 6 feature extraction daemons
+//	internal/cluster    AutoClass-style Bayesian classification
+//	internal/thesaurus  the association thesaurus (dual coding)
+//	internal/dict       the distributed data dictionary
+//	internal/daemon     the daemon framework (RPC, CORBA substitute)
+//	internal/mediaserver the HTTP media server and web robot
+//	internal/core       the Mirror DBMS facade and network server
+//
+// bench_test.go and experiments_test.go in this directory regenerate the
+// experiment suite documented in EXPERIMENTS.md (E1–E9).
+package mirror

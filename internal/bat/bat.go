@@ -1,0 +1,216 @@
+package bat
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// BAT is a Binary Association Table: an ordered collection of BUNs
+// (head, tail) pairs. BATs are the only bulk data structure of the physical
+// layer; all Moa values are decomposed into them.
+//
+// Property flags (HSorted, TSorted, HKey, TKey, HDense) mirror Monet's BAT
+// descriptors and are used by the operators to pick faster algorithms. The
+// flags are conservative: a false flag means "unknown", not "violated".
+type BAT struct {
+	Head *Column
+	Tail *Column
+
+	HSorted bool // head values are non-decreasing
+	TSorted bool // tail values are non-decreasing
+	HKey    bool // head values are unique
+	TKey    bool // tail values are unique
+
+	// hash is the lazily built head hash index. It is stored atomically so
+	// that concurrent readers may build and share it without a data race
+	// (the BAT contents themselves are immutable during reads; Append
+	// invalidates the index).
+	hash atomic.Pointer[hashIndex]
+}
+
+// New creates an empty BAT with the given head and tail kinds.
+func New(hk, tk Kind) *BAT {
+	b := &BAT{Head: NewColumn(hk), Tail: NewColumn(tk)}
+	if hk == KindVoid {
+		b.HSorted, b.HKey = true, true
+	}
+	if tk == KindVoid {
+		b.TSorted, b.TKey = true, true
+	}
+	return b
+}
+
+// NewDense creates a BAT with a void head [base, base+n) and an empty
+// materialised tail of kind tk; the caller appends n tail values.
+func NewDense(base OID, tk Kind) *BAT {
+	b := &BAT{Head: NewVoid(base, 0), Tail: NewColumn(tk)}
+	b.HSorted, b.HKey = true, true
+	return b
+}
+
+// Len reports the number of BUNs.
+func (b *BAT) Len() int { return b.Head.Len() }
+
+// HDense reports whether the head is a dense void sequence.
+func (b *BAT) HDense() bool { return b.Head.Kind() == KindVoid }
+
+// Append inserts a BUN. It invalidates the hash index and (conservatively)
+// the sortedness/key flags on materialised columns.
+func (b *BAT) Append(h, t any) error {
+	if err := b.Head.Append(h); err != nil {
+		return err
+	}
+	if err := b.Tail.Append(t); err != nil {
+		return err
+	}
+	b.hash.Store(nil)
+	if b.Head.Kind() != KindVoid {
+		b.HSorted, b.HKey = false, false
+	}
+	if b.Tail.Kind() != KindVoid {
+		b.TSorted, b.TKey = false, false
+	}
+	return nil
+}
+
+// MustAppend is Append that panics on a type mismatch; used by internal
+// builders whose types are known statically.
+func (b *BAT) MustAppend(h, t any) {
+	if err := b.Append(h, t); err != nil {
+		panic(err)
+	}
+}
+
+// AppendBUNs bulk-appends all BUNs of o (same column kinds required).
+func (b *BAT) AppendBUNs(o *BAT) error {
+	for i := 0; i < o.Len(); i++ {
+		if err := b.Append(o.Head.Get(i), o.Tail.Get(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reverse returns a view with head and tail swapped. O(1): columns are
+// shared, so the result must be treated as read-only (all operators do).
+func (b *BAT) Reverse() *BAT {
+	return &BAT{
+		Head: b.Tail, Tail: b.Head,
+		HSorted: b.TSorted, TSorted: b.HSorted,
+		HKey: b.TKey, TKey: b.HKey,
+	}
+}
+
+// Mirror returns [head, head]: both columns are the head column.
+func (b *BAT) Mirror() *BAT {
+	return &BAT{
+		Head: b.Head, Tail: b.Head,
+		HSorted: b.HSorted, TSorted: b.HSorted,
+		HKey: b.HKey, TKey: b.HKey,
+	}
+}
+
+// Mark returns [head, void(base..)]: it renumbers the BUNs with fresh dense
+// OIDs, the fundamental operator for introducing intermediate identities
+// when flattening nested structures.
+func (b *BAT) Mark(base OID) *BAT {
+	return &BAT{
+		Head: b.Head, Tail: NewVoid(base, b.Len()),
+		HSorted: b.HSorted, TSorted: true,
+		HKey: b.HKey, TKey: true,
+	}
+}
+
+// Clone returns a deep copy (hash index not copied).
+func (b *BAT) Clone() *BAT {
+	return &BAT{
+		Head: b.Head.clone(), Tail: b.Tail.clone(),
+		HSorted: b.HSorted, TSorted: b.TSorted,
+		HKey: b.HKey, TKey: b.TKey,
+	}
+}
+
+// Slice returns BUNs [lo, hi) as a new BAT.
+func (b *BAT) Slice(lo, hi int) (*BAT, error) {
+	if lo < 0 || hi > b.Len() || lo > hi {
+		return nil, fmt.Errorf("bat: slice [%d,%d) out of range 0..%d", lo, hi, b.Len())
+	}
+	return &BAT{
+		Head: b.Head.slice(lo, hi), Tail: b.Tail.slice(lo, hi),
+		HSorted: b.HSorted, TSorted: b.TSorted,
+		HKey: b.HKey, TKey: b.TKey,
+	}, nil
+}
+
+// Fetch returns the BUN at position i.
+func (b *BAT) Fetch(i int) (h, t any, err error) {
+	if i < 0 || i >= b.Len() {
+		return nil, nil, fmt.Errorf("bat: fetch position %d out of range 0..%d", i, b.Len()-1)
+	}
+	return b.Head.Get(i), b.Tail.Get(i), nil
+}
+
+// Find performs a point lookup: the tail value of the first BUN whose head
+// equals v. Uses the hash index (built on demand) for materialised heads and
+// arithmetic for void heads. Returns ok=false if absent.
+func (b *BAT) Find(v any) (any, bool) {
+	if b.HDense() {
+		o, okc := toOID(v)
+		if !okc {
+			return nil, false
+		}
+		i := int(int64(o) - int64(b.Head.Base()))
+		if i < 0 || i >= b.Len() {
+			return nil, false
+		}
+		return b.Tail.Get(i), true
+	}
+	h := b.ensureHash()
+	i, ok := h.first(b.Head, v)
+	if !ok {
+		return nil, false
+	}
+	return b.Tail.Get(i), true
+}
+
+// Exists reports whether any BUN has head v.
+func (b *BAT) Exists(v any) bool {
+	_, ok := b.Find(v)
+	return ok
+}
+
+// take builds a new BAT from the rows of b at idx, propagating no flags
+// except head density facts recomputed by the caller.
+func (b *BAT) take(idx []int) *BAT {
+	return &BAT{Head: b.Head.take(idx), Tail: b.Tail.take(idx)}
+}
+
+// String renders up to 20 BUNs, MIL-style.
+func (b *BAT) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "[%s,%s]#%d{", b.Head.Kind(), b.Tail.Kind(), b.Len())
+	n := b.Len()
+	const maxShow = 20
+	for i := 0; i < n && i < maxShow; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "<%s,%s>", FormatValue(b.Head.Get(i)), FormatValue(b.Tail.Get(i)))
+	}
+	if n > maxShow {
+		fmt.Fprintf(&sb, ", …+%d", n-maxShow)
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// Validate checks internal consistency (column lengths, void density) and
+// returns a descriptive error on violation. Used by tests and by storage
+// after load.
+func (b *BAT) Validate() error {
+	if b.Head.Len() != b.Tail.Len() {
+		return fmt.Errorf("bat: head length %d != tail length %d", b.Head.Len(), b.Tail.Len())
+	}
+	return nil
+}

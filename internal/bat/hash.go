@@ -1,0 +1,100 @@
+package bat
+
+// hashIndex maps head values to the positions at which they occur. One map
+// per atom kind keeps lookups unboxed. first() returns the first position;
+// all() returns every position (needed by joins on non-key heads).
+type hashIndex struct {
+	oids  map[OID][]int
+	ints  map[int64][]int
+	flts  map[float64][]int
+	strs  map[string][]int
+	bools map[bool][]int
+}
+
+// ensureHash builds the head hash index if absent and returns it. Void
+// heads never need one (lookups are arithmetic). Safe for concurrent use:
+// two racing builders produce equivalent indexes and one wins the store.
+func (b *BAT) ensureHash() *hashIndex {
+	if h := b.hash.Load(); h != nil || b.HDense() {
+		return h
+	}
+	h := &hashIndex{}
+	c := b.Head
+	n := c.Len()
+	switch c.Kind() {
+	case KindOID:
+		h.oids = make(map[OID][]int, n)
+		for i, v := range c.oids {
+			h.oids[v] = append(h.oids[v], i)
+		}
+	case KindInt:
+		h.ints = make(map[int64][]int, n)
+		for i, v := range c.ints {
+			h.ints[v] = append(h.ints[v], i)
+		}
+	case KindFloat:
+		h.flts = make(map[float64][]int, n)
+		for i, v := range c.flts {
+			h.flts[v] = append(h.flts[v], i)
+		}
+	case KindStr:
+		h.strs = make(map[string][]int, n)
+		for i, v := range c.strs {
+			h.strs[v] = append(h.strs[v], i)
+		}
+	case KindBool:
+		h.bools = make(map[bool][]int, 2)
+		for i, v := range c.bools {
+			h.bools[v] = append(h.bools[v], i)
+		}
+	}
+	b.hash.Store(h)
+	return h
+}
+
+// first returns the first position of value v in column c, per the index.
+func (h *hashIndex) first(c *Column, v any) (int, bool) {
+	ps := h.positions(c, v)
+	if len(ps) == 0 {
+		return 0, false
+	}
+	return ps[0], true
+}
+
+// positions returns all positions of value v. The column argument carries
+// the kind; v is coerced to it where sensible (int→oid etc.).
+func (h *hashIndex) positions(c *Column, v any) []int {
+	switch c.Kind() {
+	case KindOID:
+		o, ok := toOID(v)
+		if !ok {
+			return nil
+		}
+		return h.oids[o]
+	case KindInt:
+		x, ok := toInt(v)
+		if !ok {
+			return nil
+		}
+		return h.ints[x]
+	case KindFloat:
+		x, ok := toFloat(v)
+		if !ok {
+			return nil
+		}
+		return h.flts[x]
+	case KindStr:
+		s, ok := v.(string)
+		if !ok {
+			return nil
+		}
+		return h.strs[s]
+	case KindBool:
+		x, ok := v.(bool)
+		if !ok {
+			return nil
+		}
+		return h.bools[x]
+	}
+	return nil
+}

@@ -1,0 +1,277 @@
+package bat
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary serialisation of BATs. The format is little-endian:
+//
+//	magic "BAT1" | head column | tail column | flags byte
+//
+// column := kind byte | payload
+//
+//	void: base uint64, n uint64
+//	oid:  n uint64, n × uint64
+//	int:  n uint64, n × int64
+//	flt:  n uint64, n × float64(bits)
+//	str:  n uint64, n × (len uint32, bytes)
+//	bit:  n uint64, n × byte
+const batMagic = "BAT1"
+
+// WriteTo serialises the BAT. It implements io.WriterTo.
+func (b *BAT) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: bufio.NewWriter(w)}
+	if _, err := cw.Write([]byte(batMagic)); err != nil {
+		return cw.n, err
+	}
+	if err := writeColumn(cw, b.Head); err != nil {
+		return cw.n, err
+	}
+	if err := writeColumn(cw, b.Tail); err != nil {
+		return cw.n, err
+	}
+	var flags byte
+	if b.HSorted {
+		flags |= 1
+	}
+	if b.TSorted {
+		flags |= 2
+	}
+	if b.HKey {
+		flags |= 4
+	}
+	if b.TKey {
+		flags |= 8
+	}
+	if _, err := cw.Write([]byte{flags}); err != nil {
+		return cw.n, err
+	}
+	return cw.n, cw.w.(*bufio.Writer).Flush()
+}
+
+// ReadBAT deserialises a BAT written by WriteTo.
+func ReadBAT(r io.Reader) (*BAT, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("bat: read magic: %w", err)
+	}
+	if string(magic) != batMagic {
+		return nil, fmt.Errorf("bat: bad magic %q", magic)
+	}
+	head, err := readColumn(br)
+	if err != nil {
+		return nil, err
+	}
+	tail, err := readColumn(br)
+	if err != nil {
+		return nil, err
+	}
+	var flags [1]byte
+	if _, err := io.ReadFull(br, flags[:]); err != nil {
+		return nil, fmt.Errorf("bat: read flags: %w", err)
+	}
+	b := &BAT{
+		Head: head, Tail: tail,
+		HSorted: flags[0]&1 != 0, TSorted: flags[0]&2 != 0,
+		HKey: flags[0]&4 != 0, TKey: flags[0]&8 != 0,
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+func writeU64(w io.Writer, v uint64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+func writeColumn(w io.Writer, c *Column) error {
+	if _, err := w.Write([]byte{byte(c.kind)}); err != nil {
+		return err
+	}
+	switch c.kind {
+	case KindVoid:
+		if err := writeU64(w, uint64(c.base)); err != nil {
+			return err
+		}
+		return writeU64(w, uint64(c.n))
+	case KindOID:
+		if err := writeU64(w, uint64(len(c.oids))); err != nil {
+			return err
+		}
+		for _, v := range c.oids {
+			if err := writeU64(w, uint64(v)); err != nil {
+				return err
+			}
+		}
+	case KindInt:
+		if err := writeU64(w, uint64(len(c.ints))); err != nil {
+			return err
+		}
+		for _, v := range c.ints {
+			if err := writeU64(w, uint64(v)); err != nil {
+				return err
+			}
+		}
+	case KindFloat:
+		if err := writeU64(w, uint64(len(c.flts))); err != nil {
+			return err
+		}
+		for _, v := range c.flts {
+			if err := writeU64(w, math.Float64bits(v)); err != nil {
+				return err
+			}
+		}
+	case KindStr:
+		if err := writeU64(w, uint64(len(c.strs))); err != nil {
+			return err
+		}
+		var lbuf [4]byte
+		for _, s := range c.strs {
+			binary.LittleEndian.PutUint32(lbuf[:], uint32(len(s)))
+			if _, err := w.Write(lbuf[:]); err != nil {
+				return err
+			}
+			if _, err := io.WriteString(w, s); err != nil {
+				return err
+			}
+		}
+	case KindBool:
+		if err := writeU64(w, uint64(len(c.bools))); err != nil {
+			return err
+		}
+		for _, v := range c.bools {
+			bb := byte(0)
+			if v {
+				bb = 1
+			}
+			if _, err := w.Write([]byte{bb}); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("bat: write: bad kind %d", c.kind)
+	}
+	return nil
+}
+
+func readColumn(r io.Reader) (*Column, error) {
+	var kb [1]byte
+	if _, err := io.ReadFull(r, kb[:]); err != nil {
+		return nil, fmt.Errorf("bat: read kind: %w", err)
+	}
+	kind := Kind(kb[0])
+	c := &Column{kind: kind}
+	switch kind {
+	case KindVoid:
+		base, err := readU64(r)
+		if err != nil {
+			return nil, err
+		}
+		n, err := readU64(r)
+		if err != nil {
+			return nil, err
+		}
+		c.base, c.n = OID(base), int(n)
+	case KindOID:
+		n, err := readU64(r)
+		if err != nil {
+			return nil, err
+		}
+		c.oids = make([]OID, n)
+		for i := range c.oids {
+			v, err := readU64(r)
+			if err != nil {
+				return nil, err
+			}
+			c.oids[i] = OID(v)
+		}
+	case KindInt:
+		n, err := readU64(r)
+		if err != nil {
+			return nil, err
+		}
+		c.ints = make([]int64, n)
+		for i := range c.ints {
+			v, err := readU64(r)
+			if err != nil {
+				return nil, err
+			}
+			c.ints[i] = int64(v)
+		}
+	case KindFloat:
+		n, err := readU64(r)
+		if err != nil {
+			return nil, err
+		}
+		c.flts = make([]float64, n)
+		for i := range c.flts {
+			v, err := readU64(r)
+			if err != nil {
+				return nil, err
+			}
+			c.flts[i] = math.Float64frombits(v)
+		}
+	case KindStr:
+		n, err := readU64(r)
+		if err != nil {
+			return nil, err
+		}
+		c.strs = make([]string, n)
+		var lbuf [4]byte
+		for i := range c.strs {
+			if _, err := io.ReadFull(r, lbuf[:]); err != nil {
+				return nil, err
+			}
+			l := binary.LittleEndian.Uint32(lbuf[:])
+			sb := make([]byte, l)
+			if _, err := io.ReadFull(r, sb); err != nil {
+				return nil, err
+			}
+			c.strs[i] = string(sb)
+		}
+	case KindBool:
+		n, err := readU64(r)
+		if err != nil {
+			return nil, err
+		}
+		c.bools = make([]bool, n)
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		for i, bb := range buf {
+			c.bools[i] = bb != 0
+		}
+	default:
+		return nil, fmt.Errorf("bat: read: bad kind %d", kind)
+	}
+	return c, nil
+}

@@ -1,0 +1,93 @@
+package bat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TSort returns b with BUNs reordered so the tail is ascending (MIL tsort).
+// The sort is stable, so equal tails keep their head order.
+func TSort(b *BAT) (*BAT, error) { return sortBy(b, b.Tail, false) }
+
+// TSortRev sorts by tail descending, stably.
+func TSortRev(b *BAT) (*BAT, error) { return sortBy(b, b.Tail, true) }
+
+// HSort sorts by head ascending, stably (MIL hsort/sort).
+func HSort(b *BAT) (*BAT, error) { return sortBy(b, b.Head, false) }
+
+// sortBy reorders b's BUNs by column c.
+func sortBy(b *BAT, c *Column, desc bool) (*BAT, error) {
+	n := b.Len()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	var less func(i, j int) bool
+	switch c.Kind() {
+	case KindVoid:
+		// already sorted by construction
+		if !desc {
+			res := b.Clone()
+			return res, nil
+		}
+		less = func(i, j int) bool { return c.OIDAt(idx[i]) > c.OIDAt(idx[j]) }
+	case KindOID:
+		less = func(i, j int) bool {
+			return cmpOrder(desc, c.oids[idx[i]] < c.oids[idx[j]], c.oids[idx[i]] > c.oids[idx[j]])
+		}
+	case KindInt:
+		less = func(i, j int) bool {
+			return cmpOrder(desc, c.ints[idx[i]] < c.ints[idx[j]], c.ints[idx[i]] > c.ints[idx[j]])
+		}
+	case KindFloat:
+		less = func(i, j int) bool {
+			return cmpOrder(desc, c.flts[idx[i]] < c.flts[idx[j]], c.flts[idx[i]] > c.flts[idx[j]])
+		}
+	case KindStr:
+		less = func(i, j int) bool {
+			return cmpOrder(desc, c.strs[idx[i]] < c.strs[idx[j]], c.strs[idx[i]] > c.strs[idx[j]])
+		}
+	case KindBool:
+		less = func(i, j int) bool {
+			return cmpOrder(desc, !c.bools[idx[i]] && c.bools[idx[j]], c.bools[idx[i]] && !c.bools[idx[j]])
+		}
+	default:
+		return nil, fmt.Errorf("bat: sort unsupported on %s column", c.Kind())
+	}
+	sort.SliceStable(idx, less)
+	out := b.take(idx)
+	if c == b.Tail {
+		out.TSorted = !desc
+	} else {
+		out.HSorted = !desc
+	}
+	return out, nil
+}
+
+func cmpOrder(desc, lt, gt bool) bool {
+	if desc {
+		return gt
+	}
+	return lt
+}
+
+// TopN returns the first n BUNs of b after sorting by tail descending:
+// the ranked-retrieval cut used throughout the retrieval layer.
+func TopN(b *BAT, n int) (*BAT, error) {
+	s, err := TSortRev(b)
+	if err != nil {
+		return nil, err
+	}
+	if n > s.Len() {
+		n = s.Len()
+	}
+	return s.Slice(0, n)
+}
+
+// Number returns [void(0..), head-values]: positional enumeration of b's
+// head (MIL number/enumerate).
+func Number(b *BAT) *BAT {
+	out := &BAT{Head: NewVoid(0, b.Len()), Tail: b.Head.Materialize().clone()}
+	out.HSorted, out.HKey = true, true
+	return out
+}

@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// blobs generates n points from k well-separated Gaussians and returns the
+// data plus true labels.
+func blobs(n, k, d int, sep float64, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	centres := make([][]float64, k)
+	for j := range centres {
+		c := make([]float64, d)
+		for t := range c {
+			c[t] = sep * float64(j) * (1 + 0.1*float64(t%3))
+		}
+		centres[j] = c
+	}
+	data := make([][]float64, n)
+	labels := make([]int, n)
+	for i := range data {
+		j := i % k
+		labels[i] = j
+		x := make([]float64, d)
+		for t := range x {
+			x[t] = centres[j][t] + rng.NormFloat64()
+		}
+		data[i] = x
+	}
+	return data, labels
+}
+
+func TestFitRecoversBlobs(t *testing.T) {
+	data, labels := blobs(300, 3, 4, 8, 1)
+	m, err := Fit(data, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := make([]int, len(data))
+	for i, x := range data {
+		pred[i] = m.Assign(x)
+	}
+	ari := AdjustedRandIndex(labels, pred)
+	if ari < 0.95 {
+		t.Fatalf("ARI = %v, want >= 0.95", ari)
+	}
+}
+
+func TestSelectFindsK(t *testing.T) {
+	data, _ := blobs(240, 3, 4, 10, 2)
+	m, err := Select(data, 1, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K != 3 {
+		t.Fatalf("selected K = %d, want 3", m.K)
+	}
+}
+
+func TestSelectSingleCluster(t *testing.T) {
+	data, _ := blobs(100, 1, 3, 0, 3)
+	m, err := Select(data, 1, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K > 2 {
+		t.Fatalf("selected K = %d for single blob", m.K)
+	}
+}
+
+func TestFitDeterministic(t *testing.T) {
+	data, _ := blobs(150, 2, 3, 6, 4)
+	m1, err := Fit(data, 2, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Fit(data, 2, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		for d := 0; d < 3; d++ {
+			if m1.Means[j][d] != m2.Means[j][d] {
+				t.Fatal("same seed should give identical models")
+			}
+		}
+	}
+}
+
+func TestPosteriorSumsToOne(t *testing.T) {
+	data, _ := blobs(120, 3, 2, 7, 5)
+	m, err := Fit(data, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range data[:20] {
+		p := m.Posterior(x)
+		var sum float64
+		for _, v := range p {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("posterior sums to %v", sum)
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, 1, 0); err == nil {
+		t.Fatal("empty data should fail")
+	}
+	if _, err := Fit([][]float64{{1}, {2}}, 5, 0); err == nil {
+		t.Fatal("k > n should fail")
+	}
+	if _, err := Fit([][]float64{{1, 2}, {3}}, 1, 0); err == nil {
+		t.Fatal("ragged data should fail")
+	}
+	if _, err := Select([][]float64{{1}}, 3, 2, 0); err == nil {
+		t.Fatal("bad k range should fail")
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	data := [][]float64{{1, 100}, {2, 200}, {3, 300}}
+	out, means, stds := Standardize(data)
+	if means[0] != 2 || means[1] != 200 {
+		t.Fatalf("means = %v", means)
+	}
+	// standardized columns have mean 0
+	for t2 := 0; t2 < 2; t2++ {
+		var s float64
+		for _, x := range out {
+			s += x[t2]
+		}
+		if math.Abs(s) > 1e-9 {
+			t.Fatalf("standardized mean = %v", s)
+		}
+	}
+	x := ApplyStandardize([]float64{2, 200}, means, stds)
+	if x[0] != 0 || x[1] != 0 {
+		t.Fatalf("apply = %v", x)
+	}
+	// constant dimension must not divide by zero
+	_, _, stds2 := Standardize([][]float64{{5, 1}, {5, 2}})
+	if stds2[0] != 1 {
+		t.Fatalf("constant dim std = %v", stds2[0])
+	}
+}
+
+func TestAdjustedRandIndex(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	if ari := AdjustedRandIndex(a, a); math.Abs(ari-1) > 1e-12 {
+		t.Fatalf("ARI(self) = %v", ari)
+	}
+	// permuted labels are still perfect agreement
+	b := []int{2, 2, 0, 0, 1, 1}
+	if ari := AdjustedRandIndex(a, b); math.Abs(ari-1) > 1e-12 {
+		t.Fatalf("ARI(perm) = %v", ari)
+	}
+	if ari := AdjustedRandIndex(a, []int{0, 1, 0, 1, 0, 1}); ari > 0.5 {
+		t.Fatalf("ARI(disagree) = %v", ari)
+	}
+	if AdjustedRandIndex(a, []int{0}) != 0 {
+		t.Fatal("mismatched lengths should give 0")
+	}
+}
+
+func TestEMImprovesLikelihood(t *testing.T) {
+	data, _ := blobs(200, 2, 3, 5, 8)
+	m1, err := Fit(data, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Fit(data, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.LogLik <= m1.LogLik {
+		t.Fatalf("loglik k=2 (%v) should beat k=1 (%v) on 2 blobs", m2.LogLik, m1.LogLik)
+	}
+}

@@ -1,0 +1,183 @@
+// Package core is the Mirror DBMS: the integrated multimedia database of
+// the paper. It wires the Moa logical algebra (over the BAT physical
+// layer), the CONTREP inference-network retrieval structure, the feature /
+// clustering / thesaurus daemons and the storage layer into the system the
+// demo presents: insert images and annotations, run the extraction
+// pipeline, and query by text, by content, or by both (dual coding), with
+// relevance feedback.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mirror/internal/bat"
+	"mirror/internal/ir"
+	"mirror/internal/media"
+	"mirror/internal/moa"
+	"mirror/internal/thesaurus"
+)
+
+// Set names of the demo schema (Section 5.2 of the paper).
+const (
+	LibrarySet  = "ImageLibrary"
+	InternalSet = "ImageLibraryInternal"
+)
+
+// librarySchema is the application programmer's schema from the paper...
+const librarySchema = `
+define ImageLibrary as SET<TUPLE<
+	Atomic<URL>: source,
+	Atomic<Text>: annotation,
+	Atomic<Image>: image
+>>;`
+
+// internalSchema ...and the internal schema the daemons derive from it.
+const internalSchema = `
+define ImageLibraryInternal as SET<TUPLE<
+	Atomic<URL>: source,
+	CONTREP<Text>: annotation,
+	CONTREP<Image>: image
+>>;`
+
+// Mirror is one Mirror DBMS instance.
+type Mirror struct {
+	mu  sync.RWMutex
+	DB  *moa.Database
+	Eng *moa.Engine
+
+	// raster store: the demo keeps decoded images keyed by URL so the
+	// extraction daemons can reach them (the media server owns the
+	// authoritative copies).
+	rasters map[string]*media.Image
+	order   []string // ingestion order of URLs
+
+	// content metadata built by the pipeline
+	Thes         *thesaurus.Thesaurus
+	contentTerms map[bat.OID][]string // internal-set OID → cluster words
+	indexed      bool
+}
+
+// New creates an empty Mirror DBMS with the demo schema defined.
+func New() (*Mirror, error) {
+	db := moa.NewDatabase()
+	if err := db.DefineFromSource(librarySchema); err != nil {
+		return nil, err
+	}
+	if err := db.DefineFromSource(internalSchema); err != nil {
+		return nil, err
+	}
+	m := &Mirror{
+		DB:           db,
+		Eng:          moa.NewEngine(db),
+		rasters:      map[string]*media.Image{},
+		contentTerms: map[bat.OID][]string{},
+	}
+	return m, nil
+}
+
+// AddImage ingests one library item: its URL, its (possibly empty)
+// annotation, and the raster. Call BuildContentIndex afterwards to derive
+// the internal representation.
+func (m *Mirror) AddImage(url, annotation string, img *media.Image) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.rasters[url]; dup {
+		return fmt.Errorf("core: image %q already in library", url)
+	}
+	if _, err := m.DB.Insert(LibrarySet, map[string]any{
+		"source": url, "annotation": annotation, "image": url,
+	}); err != nil {
+		return err
+	}
+	m.rasters[url] = img
+	m.order = append(m.order, url)
+	m.indexed = false
+	return nil
+}
+
+// Size reports the number of library items.
+func (m *Mirror) Size() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.order)
+}
+
+// URLs returns the item URLs in ingestion order.
+func (m *Mirror) URLs() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]string(nil), m.order...)
+}
+
+// Raster returns the stored raster for a URL.
+func (m *Mirror) Raster(url string) (*media.Image, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	img, ok := m.rasters[url]
+	return img, ok
+}
+
+// ContentTerms returns the cluster words of an internal-set element.
+func (m *Mirror) ContentTerms(oid bat.OID) []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]string(nil), m.contentTerms[oid]...)
+}
+
+// Indexed reports whether BuildContentIndex has run since the last insert.
+func (m *Mirror) Indexed() bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.indexed
+}
+
+// Hit is one ranked retrieval result.
+type Hit struct {
+	OID   bat.OID
+	URL   string
+	Score float64
+}
+
+// urlOf resolves an internal-set OID to its source URL.
+func (m *Mirror) urlOf(oid bat.OID) string {
+	b, ok := m.DB.BAT(InternalSet + "_source")
+	if !ok {
+		return ""
+	}
+	v, ok := b.Find(oid)
+	if !ok {
+		return ""
+	}
+	s, _ := v.(string)
+	return s
+}
+
+// rankRows converts a set-typed score result into sorted hits.
+func (m *Mirror) rankRows(res *moa.Result, k int) []Hit {
+	res.SortByScoreDesc()
+	n := len(res.Rows)
+	if k > 0 && n > k {
+		n = k
+	}
+	hits := make([]Hit, 0, n)
+	for _, row := range res.Rows[:n] {
+		score, _ := row.Value.(float64)
+		hits = append(hits, Hit{OID: row.OID, URL: m.urlOf(row.OID), Score: score})
+	}
+	return hits
+}
+
+// sortHits orders hits by score descending, OID ascending.
+func sortHits(hits []Hit) {
+	sort.SliceStable(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].OID < hits[j].OID
+	})
+}
+
+// AnalyzeQuery exposes the text analysis pipeline used for queries.
+func AnalyzeQuery(text string) []string { return ir.Analyze(text) }

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mirror/internal/bat"
+	"mirror/internal/ir"
+)
+
+// Session is an interactive retrieval session with relevance feedback, the
+// loop of Section 5.2: "The user may provide relevance feedback for these
+// images; this relevance feedback is used to improve the current query."
+//
+// The session query has a text part (fixed) and a content part: weighted
+// cluster words, initialised from the thesaurus and updated from feedback
+// Rocchio-style (relevant items add their cluster words' weight,
+// non-relevant subtract).
+type Session struct {
+	m         *Mirror
+	Text      string
+	textTerms []string
+	weights   map[string]float64 // cluster word → weight
+	Round     int
+
+	// Rocchio-style update gains.
+	Alpha, Beta, Gamma float64
+}
+
+// NewSession starts a session from a free-text query.
+func (m *Mirror) NewSession(text string) (*Session, error) {
+	if err := m.requireIndex(); err != nil {
+		return nil, err
+	}
+	s := &Session{
+		m: m, Text: text,
+		textTerms: ir.Analyze(text),
+		weights:   map[string]float64{},
+		Alpha:     1, Beta: 0.75, Gamma: 0.25,
+	}
+	for _, a := range m.Thes.Associate(s.textTerms, 5) {
+		s.weights[a.Concept] = a.Belief
+	}
+	return s, nil
+}
+
+// ClusterWeights returns the current content query (sorted by weight).
+func (s *Session) ClusterWeights() ([]string, []float64) {
+	terms := make([]string, 0, len(s.weights))
+	for t := range s.weights {
+		terms = append(terms, t)
+	}
+	sort.Slice(terms, func(i, j int) bool {
+		if s.weights[terms[i]] != s.weights[terms[j]] {
+			return s.weights[terms[i]] > s.weights[terms[j]]
+		}
+		return terms[i] < terms[j]
+	})
+	ws := make([]float64, len(terms))
+	for i, t := range terms {
+		ws[i] = s.weights[t]
+	}
+	return terms, ws
+}
+
+// Run evaluates the current session query and returns the top k hits:
+// text evidence plus weighted content evidence combined with #sum.
+func (s *Session) Run(k int) ([]Hit, error) {
+	textHits, err := s.m.QueryAnnotations(s.Text, 0)
+	if err != nil {
+		return nil, err
+	}
+	ts := hitsToScores(textHits)
+	terms, ws := s.ClusterWeights()
+	var cs ir.Scores
+	var wtot float64
+	for _, w := range ws {
+		wtot += w
+	}
+	if len(terms) > 0 {
+		cs, err = s.m.WeightedContentScores(terms, ws)
+		if err != nil {
+			return nil, err
+		}
+	}
+	combined, err := ir.CombineSum(
+		[]ir.Scores{ts, cs},
+		[]float64{float64(len(s.textTerms)) * ir.DefaultBelief, wtot * ir.DefaultBelief},
+	)
+	if err != nil {
+		return nil, err
+	}
+	hits := make([]Hit, 0, len(combined))
+	for d, sc := range combined {
+		hits = append(hits, Hit{OID: bat.OID(d), URL: s.m.urlOf(bat.OID(d)), Score: sc})
+	}
+	sortHits(hits)
+	if k > 0 && len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits, nil
+}
+
+// Feedback applies one round of relevance judgments. Each relevant item's
+// cluster words gain Beta weight, each non-relevant item's lose Gamma; the
+// thesaurus is reinforced so the adaptation persists "across query
+// sessions".
+func (s *Session) Feedback(relevant, nonrelevant []bat.OID) error {
+	if len(relevant)+len(nonrelevant) == 0 {
+		return fmt.Errorf("core: feedback needs at least one judgment")
+	}
+	apply := func(oids []bat.OID, gain float64, rel bool) {
+		for _, oid := range oids {
+			words := s.m.ContentTerms(oid)
+			for _, w := range words {
+				s.weights[w] += gain
+				if s.weights[w] <= 0 {
+					delete(s.weights, w)
+				}
+			}
+			s.m.Thes.Reinforce(s.textTerms, words, rel)
+		}
+	}
+	apply(relevant, s.Beta, true)
+	apply(nonrelevant, -s.Gamma, false)
+	s.Round++
+	return nil
+}
+
+// PrecisionAtK is the evaluation helper used by E9: the fraction of the
+// top-k hits for which relevant() is true.
+func PrecisionAtK(hits []Hit, k int, relevant func(Hit) bool) float64 {
+	if k > len(hits) {
+		k = len(hits)
+	}
+	if k == 0 {
+		return 0
+	}
+	n := 0
+	for _, h := range hits[:k] {
+		if relevant(h) {
+			n++
+		}
+	}
+	return float64(n) / float64(k)
+}
+
+// MeanReciprocalRank is the evaluation helper used by E8.
+func MeanReciprocalRank(rankings [][]Hit, relevant func(Hit) bool) float64 {
+	if len(rankings) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, hits := range rankings {
+		for i, h := range hits {
+			if relevant(h) {
+				sum += 1 / float64(i+1)
+				break
+			}
+		}
+	}
+	return sum / float64(len(rankings))
+}

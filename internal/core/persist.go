@@ -1,0 +1,134 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"mirror/internal/bat"
+	"mirror/internal/media"
+	"mirror/internal/moa"
+	"mirror/internal/storage"
+	"mirror/internal/thesaurus"
+)
+
+// persistMeta is the JSON sidecar stored in the manifest's extra map.
+type persistMeta struct {
+	Order        []string            `json:"order"`
+	ContentTerms map[uint64][]string `json:"content_terms"`
+	Indexed      bool                `json:"indexed"`
+	ThesDocs     []thesaurus.Doc     `json:"thesaurus_docs,omitempty"`
+}
+
+// Save persists the database (all BATs), the schema, and the demo metadata
+// to dir. Rasters are NOT saved — the media server owns the footage; a
+// loaded instance answers queries immediately, while re-running the
+// extraction pipeline requires re-attaching rasters with AddRaster.
+func (m *Mirror) Save(dir string) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	meta := persistMeta{
+		Order:        m.order,
+		ContentTerms: map[uint64][]string{},
+		Indexed:      m.indexed,
+	}
+	for oid, terms := range m.contentTerms {
+		meta.ContentTerms[uint64(oid)] = terms
+	}
+	if m.Thes != nil {
+		meta.ThesDocs = m.thesaurusDocsLocked()
+	}
+	mb, err := json.Marshal(&meta)
+	if err != nil {
+		return fmt.Errorf("core: marshal metadata: %w", err)
+	}
+	extra := map[string]string{
+		"schema": m.DB.SchemaSource(),
+		"meta":   string(mb),
+	}
+	return storage.Save(dir, m.DB.Snapshot(), extra)
+}
+
+// thesaurusDocsLocked reconstructs the thesaurus training documents from
+// the stored annotations and content terms (the thesaurus itself is rebuilt
+// from them at load; feedback-learned adjustments reset, as in the
+// prototype, which kept them per session).
+func (m *Mirror) thesaurusDocsLocked() []thesaurus.Doc {
+	libAnn, ok := m.DB.BAT(LibrarySet + "_annotation")
+	if !ok {
+		return nil
+	}
+	var docs []thesaurus.Doc
+	for i := range m.order {
+		v, ok := libAnn.Find(bat.OID(i))
+		if !ok {
+			continue
+		}
+		ann, _ := v.(string)
+		if ann == "" {
+			continue
+		}
+		terms := m.contentTerms[bat.OID(i)]
+		if len(terms) == 0 {
+			continue
+		}
+		docs = append(docs, thesaurus.Doc{Words: AnalyzeQuery(ann), Concepts: terms})
+	}
+	return docs
+}
+
+// Load opens a saved Mirror database.
+func Load(dir string) (*Mirror, error) {
+	bats, extra, err := storage.Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	db := moa.NewDatabase()
+	if err := db.DefineFromSource(extra["schema"]); err != nil {
+		return nil, fmt.Errorf("core: load schema: %w", err)
+	}
+	for name, b := range bats {
+		db.PutBAT(name, b)
+	}
+	db.SyncAfterLoad()
+
+	m := &Mirror{
+		DB:           db,
+		Eng:          moa.NewEngine(db),
+		rasters:      map[string]*media.Image{},
+		contentTerms: map[bat.OID][]string{},
+	}
+	var meta persistMeta
+	if raw := extra["meta"]; raw != "" {
+		if err := json.Unmarshal([]byte(raw), &meta); err != nil {
+			return nil, fmt.Errorf("core: parse metadata: %w", err)
+		}
+	}
+	m.order = meta.Order
+	m.indexed = meta.Indexed
+	for oid, terms := range meta.ContentTerms {
+		m.contentTerms[bat.OID(oid)] = terms
+	}
+	if len(meta.ThesDocs) > 0 {
+		m.Thes = thesaurus.Build(meta.ThesDocs)
+	}
+	return m, nil
+}
+
+// AddRaster re-attaches footage to an already-ingested URL (after Load),
+// enabling the extraction pipeline to run again.
+func (m *Mirror) AddRaster(url string, img *media.Image) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	found := false
+	for _, u := range m.order {
+		if u == url {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("core: URL %q is not in the library", url)
+	}
+	m.rasters[url] = img
+	return nil
+}

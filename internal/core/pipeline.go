@@ -1,0 +1,353 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"mirror/internal/bat"
+	"mirror/internal/cluster"
+	"mirror/internal/daemon"
+	"mirror/internal/dict"
+	"mirror/internal/feature"
+	"mirror/internal/ir"
+	"mirror/internal/thesaurus"
+)
+
+// IndexOptions parameterise the extraction pipeline.
+type IndexOptions struct {
+	Seed       int64
+	KMin, KMax int      // AutoClass class search range per feature space
+	Features   []string // extractor names; nil = the full demo daemon set
+}
+
+// DefaultIndexOptions matches the demo configuration.
+func DefaultIndexOptions() IndexOptions {
+	return IndexOptions{Seed: 1, KMin: 2, KMax: 8}
+}
+
+// segmentExtractor abstracts "local function call" vs "remote daemon" so
+// the same pipeline drives both; the paper's point is exactly that these
+// are interchangeable behind the daemon abstraction.
+type segmentExtractor interface {
+	segment(url string) (tiles [][][4]int, err error)
+	extract(url string, featureName string, tiles [][4]int) ([]float64, error)
+	fit(data [][]float64, kmin, kmax int, seed int64) ([]int, int, error)
+	features() []string
+	close()
+}
+
+// BuildContentIndex runs the full Section 5.1 pipeline in-process:
+// segmentation, the six feature daemons, AutoClass clustering per feature
+// space, CONTREP indexing of the resulting cluster words, and thesaurus
+// construction.
+func (m *Mirror) BuildContentIndex(opts IndexOptions) error {
+	return m.buildIndex(opts, newLocalPipeline(m, opts))
+}
+
+// BuildContentIndexDistributed runs the same pipeline against daemons
+// discovered through the distributed data dictionary (Figure 1).
+func (m *Mirror) BuildContentIndexDistributed(opts IndexOptions, dictAddr string) error {
+	p, err := newRemotePipeline(m, dictAddr)
+	if err != nil {
+		return err
+	}
+	return m.buildIndex(opts, p)
+}
+
+// buildIndex drives the pipeline over the ingested items and populates the
+// internal schema.
+func (m *Mirror) buildIndex(opts IndexOptions, pipe segmentExtractor) error {
+	defer pipe.close()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	if opts.KMin <= 0 {
+		opts.KMin = 2
+	}
+	if opts.KMax < opts.KMin {
+		opts.KMax = opts.KMin + 6
+	}
+	featureNames := opts.Features
+	if featureNames == nil {
+		featureNames = pipe.features()
+	}
+
+	// 1. segmentation + feature extraction
+	type segRef struct {
+		url    string
+		imgIdx int // index into m.order
+	}
+	var segRefs []segRef
+	segTiles := make([][][4]int, 0)
+	perFeature := map[string][][]float64{}
+	for idx, url := range m.order {
+		tiles, err := pipe.segment(url)
+		if err != nil {
+			return fmt.Errorf("core: segmenting %s: %w", url, err)
+		}
+		for _, tl := range tiles {
+			segRefs = append(segRefs, segRef{url: url, imgIdx: idx})
+			segTiles = append(segTiles, tl)
+		}
+	}
+	for _, fname := range featureNames {
+		vecs := make([][]float64, len(segRefs))
+		for si, ref := range segRefs {
+			v, err := pipe.extract(ref.url, fname, segTiles[si])
+			if err != nil {
+				return fmt.Errorf("core: extracting %s from %s: %w", fname, ref.url, err)
+			}
+			vecs[si] = v
+		}
+		perFeature[fname] = vecs
+	}
+
+	// 2. AutoClass clustering per feature space; each (feature, cluster)
+	// pair becomes a content "word" such as gabor_3.
+	segWords := make([][]string, len(segRefs))
+	for _, fname := range featureNames {
+		assign, _, err := pipe.fit(perFeature[fname], opts.KMin, opts.KMax, opts.Seed)
+		if err != nil {
+			return fmt.Errorf("core: clustering %s: %w", fname, err)
+		}
+		for si, cl := range assign {
+			segWords[si] = append(segWords[si], fmt.Sprintf("%s_%d", fname, cl))
+		}
+	}
+
+	// 3. per-image content terms: the union of its segments' words.
+	imageWords := make(map[string][]string, len(m.order))
+	for si, ref := range segRefs {
+		imageWords[ref.url] = append(imageWords[ref.url], segWords[si]...)
+	}
+
+	// 4. populate the internal schema and train the thesaurus.
+	if err := m.DB.Reset(InternalSet); err != nil {
+		return err
+	}
+	m.contentTerms = map[bat.OID][]string{}
+	annB, _ := m.DB.BAT(LibrarySet + "_annotation")
+	var thDocs []thesaurus.Doc
+	for i, url := range m.order {
+		annV, _ := annB.Find(bat.OID(i))
+		ann, _ := annV.(string)
+		terms := dedupSorted(imageWords[url])
+		oid, err := m.DB.Insert(InternalSet, map[string]any{
+			"source":     url,
+			"annotation": ann,
+			"image":      terms,
+		})
+		if err != nil {
+			return err
+		}
+		m.contentTerms[oid] = terms
+		if ann != "" {
+			thDocs = append(thDocs, thesaurus.Doc{Words: ir.Analyze(ann), Concepts: terms})
+		}
+	}
+	if err := m.DB.Finalize(InternalSet); err != nil {
+		return err
+	}
+	m.Thes = thesaurus.Build(thDocs)
+	m.indexed = true
+	return nil
+}
+
+func dedupSorted(in []string) []string {
+	sort.Strings(in)
+	out := in[:0]
+	var prev string
+	for i, s := range in {
+		if i == 0 || s != prev {
+			out = append(out, s)
+		}
+		prev = s
+	}
+	return out
+}
+
+// ---- local pipeline ----
+
+type localPipeline struct {
+	m   *Mirror
+	seg *feature.Segmenter
+	exs map[string]feature.Extractor
+}
+
+func newLocalPipeline(m *Mirror, opts IndexOptions) *localPipeline {
+	p := &localPipeline{m: m, seg: feature.NewSegmenter(), exs: map[string]feature.Extractor{}}
+	for _, ex := range feature.All() {
+		p.exs[ex.Name()] = ex
+	}
+	return p
+}
+
+func (p *localPipeline) features() []string {
+	names := make([]string, 0, len(p.exs))
+	for n := range p.exs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (p *localPipeline) segment(url string) ([][][4]int, error) {
+	img, ok := p.m.rasters[url]
+	if !ok {
+		return nil, fmt.Errorf("core: no raster for %s", url)
+	}
+	segs := p.seg.Segment(img)
+	out := make([][][4]int, len(segs))
+	for i, s := range segs {
+		out[i] = s.Tiles
+	}
+	return out, nil
+}
+
+func (p *localPipeline) extract(url, fname string, tiles [][4]int) ([]float64, error) {
+	img, ok := p.m.rasters[url]
+	if !ok {
+		return nil, fmt.Errorf("core: no raster for %s", url)
+	}
+	ex, ok := p.exs[fname]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown feature %q", fname)
+	}
+	seg := &feature.Segment{Tiles: tiles}
+	return seg.ExtractAveraged(img, ex), nil
+}
+
+func (p *localPipeline) fit(data [][]float64, kmin, kmax int, seed int64) ([]int, int, error) {
+	std, means, stds := cluster.Standardize(data)
+	model, err := cluster.Select(std, kmin, kmax, seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	assign := make([]int, len(data))
+	for i, x := range data {
+		assign[i] = model.Assign(cluster.ApplyStandardize(x, means, stds))
+	}
+	return assign, model.K, nil
+}
+
+func (p *localPipeline) close() {}
+
+// ---- remote (Figure 1) pipeline ----
+
+type remotePipeline struct {
+	m            *Mirror
+	segClient    *daemon.Client
+	featClients  map[string]*daemon.Client
+	clustClient  *daemon.Client
+	ppmCache     map[string][]byte
+	featureNames []string
+}
+
+func newRemotePipeline(m *Mirror, dictAddr string) (*remotePipeline, error) {
+	dc, err := dict.Dial(dictAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer dc.Close()
+	p := &remotePipeline{m: m, featClients: map[string]*daemon.Client{}, ppmCache: map[string][]byte{}}
+
+	segs, err := dc.List("segmenter")
+	if err != nil || len(segs) == 0 {
+		return nil, fmt.Errorf("core: no segmenter daemon registered (%v)", err)
+	}
+	p.segClient, err = daemon.Dial(segs[0])
+	if err != nil {
+		return nil, err
+	}
+	feats, err := dc.List("feature")
+	if err != nil || len(feats) == 0 {
+		return nil, fmt.Errorf("core: no feature daemons registered (%v)", err)
+	}
+	for _, fi := range feats {
+		c, err := daemon.Dial(fi)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range fi.Provides {
+			p.featClients[name] = c
+			p.featureNames = append(p.featureNames, name)
+		}
+	}
+	sort.Strings(p.featureNames)
+	clusters, err := dc.List("cluster")
+	if err != nil || len(clusters) == 0 {
+		return nil, fmt.Errorf("core: no cluster daemon registered (%v)", err)
+	}
+	p.clustClient, err = daemon.Dial(clusters[0])
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *remotePipeline) features() []string { return p.featureNames }
+
+func (p *remotePipeline) ppm(url string) ([]byte, error) {
+	if b, ok := p.ppmCache[url]; ok {
+		return b, nil
+	}
+	img, ok := p.m.rasters[url]
+	if !ok {
+		return nil, fmt.Errorf("core: no raster for %s", url)
+	}
+	var buf bytes.Buffer
+	if err := img.EncodePPM(&buf); err != nil {
+		return nil, err
+	}
+	p.ppmCache[url] = buf.Bytes()
+	return buf.Bytes(), nil
+}
+
+func (p *remotePipeline) segment(url string) ([][][4]int, error) {
+	ppm, err := p.ppm(url)
+	if err != nil {
+		return nil, err
+	}
+	reply, err := p.segClient.Segment(ppm)
+	if err != nil {
+		return nil, err
+	}
+	return reply.Tiles, nil
+}
+
+func (p *remotePipeline) extract(url, fname string, tiles [][4]int) ([]float64, error) {
+	c, ok := p.featClients[fname]
+	if !ok {
+		return nil, fmt.Errorf("core: no daemon provides feature %q", fname)
+	}
+	ppm, err := p.ppm(url)
+	if err != nil {
+		return nil, err
+	}
+	return c.Extract(ppm, tiles)
+}
+
+func (p *remotePipeline) fit(data [][]float64, kmin, kmax int, seed int64) ([]int, int, error) {
+	reply, err := p.clustClient.Fit(data, kmin, kmax, seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	return reply.Assign, reply.ChoseK, nil
+}
+
+func (p *remotePipeline) close() {
+	if p.segClient != nil {
+		p.segClient.Close()
+	}
+	closed := map[*daemon.Client]bool{}
+	for _, c := range p.featClients {
+		if !closed[c] {
+			closed[c] = true
+			c.Close()
+		}
+	}
+	if p.clustClient != nil {
+		p.clustClient.Close()
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+
+	"mirror/internal/bat"
+	"mirror/internal/ir"
+	"mirror/internal/moa"
+)
+
+// annotationQuery is the paper's Section 3 ranking expression over the
+// internal schema's text CONTREP.
+const annotationQuery = `
+	map[sum(THIS)](
+		map[getBL(THIS.annotation, query, stats)]( ImageLibraryInternal ));`
+
+// contentQuery is the Section 5.2 expression: rank by image content, where
+// the query is a set of cluster words selected via the thesaurus.
+const contentQuery = `
+	map[sum(THIS)](
+		map[getBL(THIS.image, query, stats)]( ImageLibraryInternal ));`
+
+// QueryAnnotations ranks the library against a free-text query using the
+// textual annotations (the Section 3 scenario). The text passes through the
+// same analyzer as the indexed annotations.
+func (m *Mirror) QueryAnnotations(text string, k int) ([]Hit, error) {
+	if err := m.requireIndex(); err != nil {
+		return nil, err
+	}
+	terms := ir.Analyze(text)
+	res, err := m.Eng.Query(annotationQuery, ir.QueryParams(terms))
+	if err != nil {
+		return nil, err
+	}
+	return m.rankRows(res, k), nil
+}
+
+// QueryContent ranks the library by image content given cluster words
+// (normally chosen through the thesaurus).
+func (m *Mirror) QueryContent(clusterWords []string, k int) ([]Hit, error) {
+	if err := m.requireIndex(); err != nil {
+		return nil, err
+	}
+	res, err := m.Eng.Query(contentQuery, ir.QueryParams(clusterWords))
+	if err != nil {
+		return nil, err
+	}
+	return m.rankRows(res, k), nil
+}
+
+// ExpandQuery maps free text to the topK associated content clusters via
+// the thesaurus (the demo's query formulation step).
+func (m *Mirror) ExpandQuery(text string, topK int) []string {
+	if m.Thes == nil {
+		return nil
+	}
+	assocs := m.Thes.Associate(ir.Analyze(text), topK)
+	out := make([]string, len(assocs))
+	for i, a := range assocs {
+		out[i] = a.Concept
+	}
+	return out
+}
+
+// QueryDualCoding is the full Section 5.2 retrieval: the text query ranks
+// annotations directly AND, through the thesaurus, the image content
+// representation; the two belief sources are combined with the inference
+// network's #sum operator.
+func (m *Mirror) QueryDualCoding(text string, k int) ([]Hit, error) {
+	if err := m.requireIndex(); err != nil {
+		return nil, err
+	}
+	textHits, err := m.QueryAnnotations(text, 0)
+	if err != nil {
+		return nil, err
+	}
+	clusterWords := m.ExpandQuery(text, 5)
+	var contentHits []Hit
+	if len(clusterWords) > 0 {
+		contentHits, err = m.QueryContent(clusterWords, 0)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ts := hitsToScores(textHits)
+	cs := hitsToScores(contentHits)
+	nText := float64(len(ir.Analyze(text)))
+	nContent := float64(len(clusterWords))
+	combined, err := ir.CombineSum(
+		[]ir.Scores{ts, cs},
+		[]float64{nText * ir.DefaultBelief, nContent * ir.DefaultBelief},
+	)
+	if err != nil {
+		return nil, err
+	}
+	hits := make([]Hit, 0, len(combined))
+	for d, s := range combined {
+		hits = append(hits, Hit{OID: bat.OID(d), URL: m.urlOf(bat.OID(d)), Score: s})
+	}
+	sortHits(hits)
+	if k > 0 && len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits, nil
+}
+
+// WeightedContentScores scores the internal set's image CONTREP with
+// per-term weights via the wsum physical operator; this is the primitive
+// the relevance feedback loop uses.
+func (m *Mirror) WeightedContentScores(terms []string, weights []float64) (ir.Scores, error) {
+	if len(terms) != len(weights) {
+		return nil, fmt.Errorf("core: %d terms vs %d weights", len(terms), len(weights))
+	}
+	if err := m.requireIndex(); err != nil {
+		return nil, err
+	}
+	prefix := InternalSet + "_image"
+	dictIdx, err := m.termOIDs(prefix, terms)
+	if err != nil {
+		return nil, err
+	}
+	var qoids []bat.OID
+	var qw []float64
+	for i, t := range terms {
+		if oid, ok := dictIdx[t]; ok {
+			qoids = append(qoids, oid)
+			qw = append(qw, weights[i])
+		}
+	}
+	rev, ok1 := m.DB.BAT(prefix + "_termrev")
+	doc, ok2 := m.DB.BAT(prefix + "_doc")
+	bel, ok3 := m.DB.BAT(prefix + "_bel")
+	if !ok1 || !ok2 || !ok3 {
+		return nil, fmt.Errorf("core: content index incomplete")
+	}
+	scored, err := bat.WSumBeliefs(rev, doc, bel, qoids, qw, ir.DefaultBelief)
+	if err != nil {
+		return nil, err
+	}
+	out := make(ir.Scores, scored.Len())
+	for i := 0; i < scored.Len(); i++ {
+		out[uint64(scored.Head.OIDAt(i))] = scored.Tail.FloatAt(i)
+	}
+	return out, nil
+}
+
+// termOIDs resolves terms against a CONTREP dictionary.
+func (m *Mirror) termOIDs(prefix string, terms []string) (map[string]bat.OID, error) {
+	dict, ok := m.DB.BAT(prefix + "_dict")
+	if !ok {
+		return nil, fmt.Errorf("core: missing dictionary for %s", prefix)
+	}
+	rev := dict.Reverse()
+	out := make(map[string]bat.OID, len(terms))
+	for _, t := range terms {
+		if v, ok := rev.Find(t); ok {
+			out[t] = v.(bat.OID)
+		}
+	}
+	return out, nil
+}
+
+// requireIndex rejects queries before the pipeline has run.
+func (m *Mirror) requireIndex() error {
+	if !m.Indexed() {
+		return fmt.Errorf("core: content index not built (run BuildContentIndex)")
+	}
+	return nil
+}
+
+func hitsToScores(hits []Hit) ir.Scores {
+	out := make(ir.Scores, len(hits))
+	for _, h := range hits {
+		out[uint64(h.OID)] = h.Score
+	}
+	return out
+}
+
+// Query exposes raw Moa queries (used by moash and the network server).
+// Parameters: the optional query terms bind the `query`/`stats` parameters.
+func (m *Mirror) Query(src string, queryTerms []string) (*moa.Result, error) {
+	var params map[string]moa.Param
+	if queryTerms != nil {
+		params = ir.QueryParams(queryTerms)
+	}
+	return m.Eng.Query(src, params)
+}

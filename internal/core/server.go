@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+
+	"mirror/internal/dict"
+)
+
+// This file is the network face of the Mirror DBMS (cmd/mirrord): clients
+// of Figure 1 reach the meta-data database through the same RPC transport
+// the daemons use, and find it through the data dictionary.
+
+// Service exposes a Mirror instance over net/rpc under the name "Mirror".
+type Service struct{ m *Mirror }
+
+// WireHit mirrors Hit with wire-safe types.
+type WireHit struct {
+	OID   uint64
+	URL   string
+	Score float64
+}
+
+// TextQueryArgs asks for a ranked annotation/dual-coding query.
+type TextQueryArgs struct {
+	Text string
+	K    int
+	Dual bool // combine annotation and content evidence
+}
+
+// TextQueryReply returns the ranking.
+type TextQueryReply struct{ Hits []WireHit }
+
+// MoaQueryArgs carries a raw Moa query plus optional query-term bindings.
+type MoaQueryArgs struct {
+	Source     string
+	QueryTerms []string
+}
+
+// MoaQueryReply returns rows rendered as strings (OID plus value), enough
+// for the demo clients; richer clients use the Go API.
+type MoaQueryReply struct {
+	Scalar string
+	OIDs   []uint64
+	Values []string
+}
+
+// SchemaReply returns the DDL of the served database.
+type SchemaReply struct{ Source string }
+
+// TextQuery implements ranked retrieval over the wire.
+func (s *Service) TextQuery(args TextQueryArgs, reply *TextQueryReply) error {
+	var hits []Hit
+	var err error
+	if args.Dual {
+		hits, err = s.m.QueryDualCoding(args.Text, args.K)
+	} else {
+		hits, err = s.m.QueryAnnotations(args.Text, args.K)
+	}
+	if err != nil {
+		return err
+	}
+	for _, h := range hits {
+		reply.Hits = append(reply.Hits, WireHit{OID: uint64(h.OID), URL: h.URL, Score: h.Score})
+	}
+	return nil
+}
+
+// MoaQuery executes a raw Moa query.
+func (s *Service) MoaQuery(args MoaQueryArgs, reply *MoaQueryReply) error {
+	res, err := s.m.Query(args.Source, args.QueryTerms)
+	if err != nil {
+		return err
+	}
+	if res.Rows == nil {
+		reply.Scalar = fmt.Sprintf("%v", res.Scalar)
+		return nil
+	}
+	for _, row := range res.Rows {
+		reply.OIDs = append(reply.OIDs, uint64(row.OID))
+		reply.Values = append(reply.Values, fmt.Sprintf("%v", row.Value))
+	}
+	return nil
+}
+
+// Schema returns the database schema.
+func (s *Service) Schema(_ dict.Empty, reply *SchemaReply) error {
+	reply.Source = s.m.DB.SchemaSource()
+	return nil
+}
+
+// Serve runs the Mirror DBMS server on addr ("127.0.0.1:0" for ephemeral)
+// and registers it with the dictionary when dictAddr is non-empty. It
+// returns the bound address and a stop function.
+func (m *Mirror) Serve(addr, dictAddr string) (string, func(), error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("core: listen %s: %w", addr, err)
+	}
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Mirror", &Service{m: m}); err != nil {
+		l.Close()
+		return "", nil, err
+	}
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	if dictAddr != "" {
+		dc, err := dict.Dial(dictAddr)
+		if err != nil {
+			l.Close()
+			return "", nil, err
+		}
+		defer dc.Close()
+		if err := dc.Register(dict.DaemonInfo{
+			Name: "mirror-dbms", Kind: "dbms", Addr: l.Addr().String(),
+		}); err != nil {
+			l.Close()
+			return "", nil, err
+		}
+		if err := dc.SetSchema(m.DB.SchemaSource()); err != nil {
+			l.Close()
+			return "", nil, err
+		}
+	}
+	return l.Addr().String(), func() { l.Close() }, nil
+}
+
+// Client is a typed client for a remote Mirror DBMS.
+type Client struct{ c *rpc.Client }
+
+// DialMirror connects directly to a Mirror DBMS address.
+func DialMirror(addr string) (*Client, error) {
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("core: dial %s: %w", addr, err)
+	}
+	return &Client{c: c}, nil
+}
+
+// DiscoverMirror finds the DBMS through the data dictionary and connects.
+func DiscoverMirror(dictAddr string) (*Client, error) {
+	dc, err := dict.Dial(dictAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer dc.Close()
+	infos, err := dc.List("dbms")
+	if err != nil {
+		return nil, err
+	}
+	if len(infos) == 0 {
+		return nil, fmt.Errorf("core: no Mirror DBMS registered in the dictionary")
+	}
+	return DialMirror(infos[0].Addr)
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.c.Close() }
+
+// TextQuery runs a ranked text (or dual-coding) query.
+func (c *Client) TextQuery(text string, k int, dual bool) ([]WireHit, error) {
+	var reply TextQueryReply
+	err := c.c.Call("Mirror.TextQuery", TextQueryArgs{Text: text, K: k, Dual: dual}, &reply)
+	return reply.Hits, err
+}
+
+// MoaQuery runs a raw Moa query.
+func (c *Client) MoaQuery(src string, queryTerms []string) (*MoaQueryReply, error) {
+	var reply MoaQueryReply
+	err := c.c.Call("Mirror.MoaQuery", MoaQueryArgs{Source: src, QueryTerms: queryTerms}, &reply)
+	return &reply, err
+}
+
+// Schema fetches the remote schema.
+func (c *Client) Schema() (string, error) {
+	var reply SchemaReply
+	err := c.c.Call("Mirror.Schema", dict.Empty{}, &reply)
+	return reply.Source, err
+}

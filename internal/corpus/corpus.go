@@ -1,0 +1,142 @@
+// Package corpus generates the demo collection: the stand-in for the
+// paper's web-robot crawl. Every item is a synthetic scene composed of
+// latent visual classes (internal/media) plus — for a configurable fraction
+// of items, since in the paper only "some of the images in the library are
+// annotated" — a textual annotation whose vocabulary correlates with those
+// classes. Ground-truth class labels are kept, turning the original demo
+// into measurable experiments (E6, E8, E9).
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mirror/internal/media"
+)
+
+// classWords maps each visual class to its annotation vocabulary. The
+// first word is the class's "canonical" term, used by evaluation to form
+// queries with a known right answer.
+var classWords = map[string][]string{
+	"sky":    {"sky", "blue", "clouds", "daylight"},
+	"sunset": {"sunset", "orange", "evening", "dusk", "glow"},
+	"water":  {"ocean", "water", "sea", "waves"},
+	"forest": {"forest", "trees", "woods", "pines"},
+	"sand":   {"beach", "sand", "dunes", "shore"},
+	"brick":  {"brick", "wall", "masonry", "building"},
+	"grass":  {"grass", "meadow", "field", "lawn"},
+	"snow":   {"snow", "winter", "frost", "white"},
+	"night":  {"night", "stars", "dark", "skyline"},
+	"rock":   {"mountain", "rock", "stone", "cliff"},
+}
+
+// fillerWords pad annotations with class-neutral vocabulary.
+var fillerWords = []string{
+	"photo", "picture", "image", "view", "scene", "shot", "taken",
+	"beautiful", "lovely", "bright", "calm", "wide",
+}
+
+// ClassWords returns the annotation vocabulary of a class index.
+func ClassWords(classIdx int) []string {
+	return classWords[media.Classes[classIdx].Name]
+}
+
+// CanonicalTerm returns the query term whose ground-truth answer is the
+// set of images containing classIdx.
+func CanonicalTerm(classIdx int) string {
+	return classWords[media.Classes[classIdx].Name][0]
+}
+
+// Config parameterises collection generation.
+type Config struct {
+	N            int     // number of images
+	W, H         int     // image dimensions
+	Seed         int64   // RNG seed; equal seeds give equal collections
+	AnnotateRate float64 // fraction of images that carry an annotation
+}
+
+// DefaultConfig is the demo-scale collection.
+func DefaultConfig() Config {
+	return Config{N: 60, W: 64, H: 64, Seed: 1, AnnotateRate: 0.7}
+}
+
+// Item is one collection entry.
+type Item struct {
+	URL        string
+	Scene      *media.Scene
+	Annotation string // "" when the robot found no annotation
+	Classes    []int  // ground-truth latent classes, in region order
+}
+
+// HasClass reports whether the item contains the class.
+func (it *Item) HasClass(class int) bool {
+	for _, c := range it.Classes {
+		if c == class {
+			return true
+		}
+	}
+	return false
+}
+
+// Generate produces the collection deterministically from cfg.Seed.
+func Generate(cfg Config) []*Item {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	items := make([]*Item, 0, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		nRegions := 1 + rng.Intn(3)
+		classes := make([]int, 0, nRegions)
+		used := map[int]bool{}
+		for len(classes) < nRegions {
+			c := rng.Intn(len(media.Classes))
+			if used[c] {
+				continue
+			}
+			used[c] = true
+			classes = append(classes, c)
+		}
+		scene := media.GenerateScene(rng, cfg.W, cfg.H, classes)
+		it := &Item{
+			URL:     fmt.Sprintf("http://mediaserver/img/%04d.ppm", i),
+			Scene:   scene,
+			Classes: classes,
+		}
+		if rng.Float64() < cfg.AnnotateRate {
+			it.Annotation = annotate(rng, classes)
+		}
+		items = append(items, it)
+	}
+	return items
+}
+
+// annotate builds an annotation string: 2–3 words per present class plus
+// 1–3 filler words, shuffled.
+func annotate(rng *rand.Rand, classes []int) string {
+	var words []string
+	for _, c := range classes {
+		vocab := ClassWords(c)
+		k := 2 + rng.Intn(2)
+		if k > len(vocab) {
+			k = len(vocab)
+		}
+		perm := rng.Perm(len(vocab))
+		// always include the canonical term so queries have an answer
+		words = append(words, vocab[0])
+		for _, pi := range perm[:k] {
+			if pi != 0 {
+				words = append(words, vocab[pi])
+			}
+		}
+	}
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		words = append(words, fillerWords[rng.Intn(len(fillerWords))])
+	}
+	rng.Shuffle(len(words), func(i, j int) { words[i], words[j] = words[j], words[i] })
+	out := ""
+	for i, w := range words {
+		if i > 0 {
+			out += " "
+		}
+		out += w
+	}
+	return out
+}

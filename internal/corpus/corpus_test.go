@@ -1,0 +1,126 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"mirror/internal/ir"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if len(a) != cfg.N || len(b) != cfg.N {
+		t.Fatalf("sizes %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].URL != b[i].URL || a[i].Annotation != b[i].Annotation {
+			t.Fatal("same seed should reproduce the collection")
+		}
+		for j := range a[i].Classes {
+			if a[i].Classes[j] != b[i].Classes[j] {
+				t.Fatal("classes differ across equal seeds")
+			}
+		}
+	}
+}
+
+func TestAnnotationRate(t *testing.T) {
+	cfg := Config{N: 200, W: 16, H: 16, Seed: 3, AnnotateRate: 0.5}
+	items := Generate(cfg)
+	annotated := 0
+	for _, it := range items {
+		if it.Annotation != "" {
+			annotated++
+		}
+	}
+	if annotated < 70 || annotated > 130 {
+		t.Fatalf("annotated = %d of 200, want ≈100", annotated)
+	}
+	all := Generate(Config{N: 50, W: 16, H: 16, Seed: 3, AnnotateRate: 1})
+	for _, it := range all {
+		if it.Annotation == "" {
+			t.Fatal("rate 1 should annotate everything")
+		}
+	}
+}
+
+func TestAnnotationsContainCanonicalTerms(t *testing.T) {
+	items := Generate(Config{N: 60, W: 16, H: 16, Seed: 5, AnnotateRate: 1})
+	for _, it := range items {
+		for _, c := range it.Classes {
+			if !strings.Contains(it.Annotation, CanonicalTerm(c)) {
+				t.Fatalf("annotation %q missing canonical term %q", it.Annotation, CanonicalTerm(c))
+			}
+		}
+	}
+}
+
+func TestHasClass(t *testing.T) {
+	it := &Item{Classes: []int{2, 5}}
+	if !it.HasClass(5) || it.HasClass(3) {
+		t.Fatal("HasClass wrong")
+	}
+}
+
+func TestCanonicalTermsAnalyzeStable(t *testing.T) {
+	// canonical terms must survive the IR analyzer so queries match
+	// annotations after stemming on both sides
+	for ci := range classWordsIter() {
+		term := CanonicalTerm(ci)
+		qa := ir.Analyze(term)
+		if len(qa) != 1 {
+			t.Fatalf("canonical term %q analyzed to %v", term, qa)
+		}
+		da := ir.Analyze("some " + term + " here")
+		found := false
+		for _, w := range da {
+			if w == qa[0] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("analyzed doc %v does not contain analyzed query %v", da, qa)
+		}
+	}
+}
+
+func classWordsIter() []int {
+	out := make([]int, 0, len(classWords))
+	for i := 0; i < len(classWords); i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func TestTextCollection(t *testing.T) {
+	cfg := DefaultTextConfig(100)
+	docs := TextCollection(cfg)
+	if len(docs) != 100 {
+		t.Fatalf("docs = %d", len(docs))
+	}
+	docs2 := TextCollection(cfg)
+	for i := range docs {
+		if docs[i] != docs2[i] {
+			t.Fatal("text collection not deterministic")
+		}
+	}
+	// Zipf skew: term0 must occur in far more documents than term100
+	countDocs := func(term string) int {
+		n := 0
+		for _, d := range docs {
+			if strings.Contains(" "+d+" ", " "+term+" ") {
+				n++
+			}
+		}
+		return n
+	}
+	if countDocs("term0") <= countDocs("term400") {
+		t.Fatalf("no Zipf skew: df(term0)=%d df(term400)=%d", countDocs("term0"), countDocs("term400"))
+	}
+	qs := QueryTerms(3)
+	if len(qs) != 3 || qs[0] == qs[1] {
+		t.Fatalf("query terms = %v", qs)
+	}
+}

@@ -1,0 +1,60 @@
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// TextConfig parameterises the pure-text collection used by the
+// scalability experiments (E4/E5): synthetic documents over a Zipfian
+// vocabulary, which reproduces the posting-list skew real text has.
+type TextConfig struct {
+	N       int   // documents
+	Vocab   int   // vocabulary size
+	DocLen  int   // mean document length (tokens)
+	Seed    int64 // RNG seed
+	ZipfS   float64
+	ZipfFix bool // when true every doc has exactly DocLen tokens
+}
+
+// DefaultTextConfig matches the default scaling sweep point.
+func DefaultTextConfig(n int) TextConfig {
+	return TextConfig{N: n, Vocab: 5000, DocLen: 80, Seed: 7, ZipfS: 1.1}
+}
+
+// TextCollection generates n synthetic documents. Term i is the string
+// "term<i>"; term frequencies follow a Zipf distribution so that common
+// terms have long posting lists and rare terms short ones.
+func TextCollection(cfg TextConfig) []string {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, math.Max(cfg.ZipfS, 1.01), 1, uint64(cfg.Vocab-1))
+	docs := make([]string, cfg.N)
+	var sb strings.Builder
+	for i := 0; i < cfg.N; i++ {
+		dl := cfg.DocLen
+		if !cfg.ZipfFix {
+			dl = cfg.DocLen/2 + rng.Intn(cfg.DocLen+1)
+		}
+		sb.Reset()
+		for t := 0; t < dl; t++ {
+			if t > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "term%d", zipf.Uint64())
+		}
+		docs[i] = sb.String()
+	}
+	return docs
+}
+
+// QueryTerms picks k query terms of medium frequency ("term10".."term<k+10>"
+// band): frequent enough to have postings, rare enough to discriminate.
+func QueryTerms(k int) []string {
+	out := make([]string, k)
+	for i := range out {
+		out[i] = fmt.Sprintf("term%d", 10+i*3)
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package feature
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mirror/internal/media"
+)
+
+func swatch(t *testing.T, class string, seed int64) *media.Image {
+	t.Helper()
+	ci := media.ClassIndex(class)
+	if ci < 0 {
+		t.Fatalf("unknown class %q", class)
+	}
+	return media.GenerateScene(rand.New(rand.NewSource(seed)), 32, 32, []int{ci}).Img
+}
+
+func TestExtractorContracts(t *testing.T) {
+	img := swatch(t, "water", 1)
+	for _, ex := range All() {
+		v := ex.Extract(img)
+		if len(v) != ex.Dim() {
+			t.Errorf("%s: dim %d != declared %d", ex.Name(), len(v), ex.Dim())
+		}
+		for i, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Errorf("%s[%d] = %v", ex.Name(), i, x)
+			}
+		}
+		// determinism
+		v2 := ex.Extract(img)
+		for i := range v {
+			if v[i] != v2[i] {
+				t.Errorf("%s not deterministic at %d", ex.Name(), i)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, ex := range All() {
+		got, err := ByName(ex.Name())
+		if err != nil || got.Name() != ex.Name() {
+			t.Errorf("ByName(%q) failed: %v", ex.Name(), err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown extractor should error")
+	}
+}
+
+func TestHistogramSeparatesColours(t *testing.T) {
+	h := NewRGBHistogram("rgb_coarse", 2)
+	water := h.Extract(swatch(t, "water", 1))
+	forest := h.Extract(swatch(t, "forest", 1))
+	water2 := h.Extract(swatch(t, "water", 2))
+	if dist(water, forest) < dist(water, water2)*2 {
+		t.Fatalf("histogram should separate water/forest better than water/water: %v vs %v",
+			dist(water, forest), dist(water, water2))
+	}
+	sum := 0.0
+	for i := 0; i < 8; i++ {
+		sum += water[i]
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("histogram not normalised: %v", sum)
+	}
+}
+
+func TestGaborSeparatesTexture(t *testing.T) {
+	g := NewGabor()
+	flat := g.Extract(swatch(t, "sky", 1))      // flat texture
+	striped := g.Extract(swatch(t, "water", 1)) // strong stripes
+	var fe, se float64
+	for i := range flat {
+		fe += flat[i]
+		se += striped[i]
+	}
+	if se < fe*1.5 {
+		t.Fatalf("gabor energy on stripes (%v) should exceed flat (%v)", se, fe)
+	}
+}
+
+func TestGaborOrientationSelectivity(t *testing.T) {
+	// horizontal stripes (water, orient≈0.2) vs vertical-ish (grass, 1.3)
+	g := NewGabor()
+	hResp := g.Extract(swatch(t, "water", 3))
+	vResp := g.Extract(swatch(t, "grass", 3))
+	// responses must differ substantially in distribution across filters
+	if dist(hResp, vResp) < 1e-4 {
+		t.Fatalf("gabor cannot distinguish orientations: %v vs %v", hResp, vResp)
+	}
+}
+
+func TestGLCMContrast(t *testing.T) {
+	g := NewGLCM()
+	smooth := g.Extract(swatch(t, "snow", 1))
+	rough := g.Extract(swatch(t, "brick", 1))
+	// contrast (dims 0 and 5) higher for checkered brick
+	if rough[0] <= smooth[0] {
+		t.Fatalf("glcm contrast: brick %v <= snow %v", rough[0], smooth[0])
+	}
+	// energy is higher for near-uniform luma (sky) than for heavy noise
+	// (forest), which spreads mass across many co-occurrence cells
+	flat := g.Extract(swatch(t, "sky", 1))
+	noisy := g.Extract(swatch(t, "forest", 1))
+	if flat[1] <= noisy[1] {
+		t.Fatalf("glcm energy: sky %v <= forest %v", flat[1], noisy[1])
+	}
+}
+
+func TestAutocorrelationPeriodicity(t *testing.T) {
+	a := NewAutocorrelation()
+	noise := a.Extract(swatch(t, "forest", 1)) // white noise: lag-1 ≈ 0
+	stripe := a.Extract(swatch(t, "water", 1)) // periodic stripes: strong lag-1
+	if math.Abs(stripe[0]) <= math.Abs(noise[0]) {
+		t.Fatalf("striped |autocorr| %v <= noise %v", stripe[0], noise[0])
+	}
+}
+
+func TestFractalRoughness(t *testing.T) {
+	f := NewFractal()
+	smooth := f.Extract(swatch(t, "sky", 1))
+	rough := f.Extract(swatch(t, "forest", 1))
+	if rough[1] <= smooth[1] {
+		t.Fatalf("gradient roughness: forest %v <= sky %v", rough[1], smooth[1])
+	}
+}
+
+func TestTinyImagesDoNotPanic(t *testing.T) {
+	tiny := media.NewImage(2, 2)
+	for _, ex := range All() {
+		v := ex.Extract(tiny)
+		if len(v) != ex.Dim() {
+			t.Errorf("%s on tiny image: dim %d", ex.Name(), len(v))
+		}
+	}
+	empty := media.NewImage(0, 0)
+	for _, ex := range All() {
+		_ = ex.Extract(empty) // must not panic
+	}
+}
+
+func TestSegmenterBands(t *testing.T) {
+	// a two-band scene should produce at least two segments whose tiles do
+	// not mix classes
+	sky := media.ClassIndex("sky")
+	night := media.ClassIndex("night")
+	sc := media.GenerateScene(rand.New(rand.NewSource(9)), 64, 64, []int{sky, night})
+	segs := NewSegmenter().Segment(sc.Img)
+	if len(segs) < 2 {
+		t.Fatalf("segments = %d, want >= 2", len(segs))
+	}
+	var area int
+	for _, s := range segs {
+		area += s.Area()
+	}
+	if area != 64*64 {
+		t.Fatalf("segments cover %d px, want %d", area, 64*64)
+	}
+}
+
+func TestSegmentExtractAveraged(t *testing.T) {
+	img := swatch(t, "water", 4)
+	segs := NewSegmenter().Segment(img)
+	ex := NewRGBHistogram("rgb_coarse", 2)
+	for _, s := range segs {
+		v := s.ExtractAveraged(img, ex)
+		if len(v) != ex.Dim() {
+			t.Fatalf("averaged dim = %d", len(v))
+		}
+		sum := 0.0
+		for i := 0; i < 8; i++ {
+			sum += v[i]
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("averaged histogram not normalised: %v", sum)
+		}
+	}
+	crop := segs[0].Crop(img)
+	if crop.W == 0 || crop.H == 0 {
+		t.Fatal("empty crop")
+	}
+}
+
+func TestSegmenterSingleRegion(t *testing.T) {
+	img := swatch(t, "snow", 2)
+	segs := NewSegmenter().Segment(img)
+	if len(segs) != 1 {
+		t.Fatalf("uniform image should merge to one segment, got %d", len(segs))
+	}
+}
+
+func dist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,154 @@
+package feature
+
+import (
+	"math"
+
+	"mirror/internal/media"
+)
+
+// Segment is one image segment produced by the segmentation daemon: a set
+// of grid tiles merged by colour similarity, plus its bounding box.
+type Segment struct {
+	Tiles [][4]int // x0, y0, x1, y1 per tile
+	BBox  [4]int
+}
+
+// Area reports the pixel area of the segment.
+func (s *Segment) Area() int {
+	a := 0
+	for _, t := range s.Tiles {
+		a += (t[2] - t[0]) * (t[3] - t[1])
+	}
+	return a
+}
+
+// Crop returns the sub-image of the segment's bounding box — the region the
+// feature daemons run on when they need a rectangle.
+func (s *Segment) Crop(img *media.Image) *media.Image {
+	return img.SubImage(s.BBox[0], s.BBox[1], s.BBox[2], s.BBox[3])
+}
+
+// ExtractAveraged runs an extractor tile-by-tile and averages the vectors,
+// weighted by tile area; this keeps non-rectangular segments class-pure.
+func (s *Segment) ExtractAveraged(img *media.Image, ex Extractor) []float64 {
+	out := make([]float64, ex.Dim())
+	var wsum float64
+	for _, t := range s.Tiles {
+		sub := img.SubImage(t[0], t[1], t[2], t[3])
+		v := ex.Extract(sub)
+		w := float64((t[2] - t[0]) * (t[3] - t[1]))
+		for i := range out {
+			out[i] += w * v[i]
+		}
+		wsum += w
+	}
+	if wsum > 0 {
+		for i := range out {
+			out[i] /= wsum
+		}
+	}
+	return out
+}
+
+// Segmenter is the segmentation daemon: it tiles the image with a grid and
+// merges adjacent tiles whose mean colours are within Threshold (Euclidean
+// RGB distance, 0–441).
+type Segmenter struct {
+	Grid      int     // grid cells per axis
+	Threshold float64 // merge threshold
+}
+
+// NewSegmenter returns the daemon with the demo defaults (4×4 grid).
+func NewSegmenter() *Segmenter { return &Segmenter{Grid: 4, Threshold: 40} }
+
+// Segment partitions the image.
+func (sg *Segmenter) Segment(img *media.Image) []*Segment {
+	g := sg.Grid
+	if g < 1 {
+		g = 1
+	}
+	type tile struct {
+		rect    [4]int
+		r, g, b float64
+	}
+	tiles := make([]tile, 0, g*g)
+	for ty := 0; ty < g; ty++ {
+		for tx := 0; tx < g; tx++ {
+			x0, x1 := tx*img.W/g, (tx+1)*img.W/g
+			y0, y1 := ty*img.H/g, (ty+1)*img.H/g
+			var mr, mg, mb, n float64
+			for y := y0; y < y1; y++ {
+				for x := x0; x < x1; x++ {
+					c := img.At(x, y)
+					mr += float64(c.R)
+					mg += float64(c.G)
+					mb += float64(c.B)
+					n++
+				}
+			}
+			if n > 0 {
+				mr, mg, mb = mr/n, mg/n, mb/n
+			}
+			tiles = append(tiles, tile{rect: [4]int{x0, y0, x1, y1}, r: mr, g: mg, b: mb})
+		}
+	}
+
+	// union-find over the grid, merging 4-adjacent similar tiles
+	parent := make([]int, len(tiles))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		if parent[i] != i {
+			parent[i] = find(parent[i])
+		}
+		return parent[i]
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	dist := func(a, b tile) float64 {
+		dr, dg, db := a.r-b.r, a.g-b.g, a.b-b.b
+		return math.Sqrt(dr*dr + dg*dg + db*db)
+	}
+	for ty := 0; ty < g; ty++ {
+		for tx := 0; tx < g; tx++ {
+			i := ty*g + tx
+			if tx+1 < g && dist(tiles[i], tiles[i+1]) < sg.Threshold {
+				union(i, i+1)
+			}
+			if ty+1 < g && dist(tiles[i], tiles[i+g]) < sg.Threshold {
+				union(i, i+g)
+			}
+		}
+	}
+
+	groups := map[int]*Segment{}
+	var order []int
+	for i, t := range tiles {
+		root := find(i)
+		seg, ok := groups[root]
+		if !ok {
+			seg = &Segment{BBox: t.rect}
+			groups[root] = seg
+			order = append(order, root)
+		}
+		seg.Tiles = append(seg.Tiles, t.rect)
+		if t.rect[0] < seg.BBox[0] {
+			seg.BBox[0] = t.rect[0]
+		}
+		if t.rect[1] < seg.BBox[1] {
+			seg.BBox[1] = t.rect[1]
+		}
+		if t.rect[2] > seg.BBox[2] {
+			seg.BBox[2] = t.rect[2]
+		}
+		if t.rect[3] > seg.BBox[3] {
+			seg.BBox[3] = t.rect[3]
+		}
+	}
+	out := make([]*Segment, 0, len(order))
+	for _, root := range order {
+		out = append(out, groups[root])
+	}
+	return out
+}

@@ -1,0 +1,485 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mirror/internal/bat"
+	"mirror/internal/mil"
+	"mirror/internal/moa"
+)
+
+// Contrep is the CONTREP Moa structure of Section 3: a content
+// representation indexed under the inference network retrieval model. A
+// CONTREP<T> field decomposes into posting triples plus dictionary and
+// statistics columns:
+//
+//	prefix_term  [pair(void), termOID]   postings: term of pair
+//	prefix_doc   [pair(void), ownerOID]  postings: owning element
+//	prefix_tf    [pair(void), int]       postings: term frequency
+//	prefix_bel   [pair(void), flt]       postings: belief (derived)
+//	prefix_dict  [termOID(void), str]    dictionary
+//	prefix_df    [termOID(void), int]    document frequency (derived)
+//	prefix_dlen  [ownerOID, int]         document length
+//	prefix_stats [void, flt]             N, avgdl, defaultBelief, |dict|
+//	prefix_termrev                       reverse view of _term (derived),
+//	                                     carrying the persistent hash index
+//	                                     the physical getbl operator probes
+//
+// The structure registers the query functions getBL (per-term beliefs, the
+// paper's operator) and getBLScore (the sum∘getBL fusion target).
+type Contrep struct{}
+
+// ContrepValue is the materialised logical value of a CONTREP field: the
+// beliefs of the terms occurring in one element.
+type ContrepValue struct {
+	Prefix  string
+	Beliefs map[string]float64
+}
+
+func init() { moa.RegisterStructure(&Contrep{}) }
+
+// Name implements moa.Structure.
+func (*Contrep) Name() string { return "CONTREP" }
+
+// CheckParams accepts exactly one atomic type parameter with a string
+// physical kind (Text, Image, str, URL).
+func (*Contrep) CheckParams(params []moa.Type) error {
+	if len(params) != 1 {
+		return fmt.Errorf("moa: CONTREP takes one type parameter, got %d", len(params))
+	}
+	at, ok := params[0].(*moa.AtomType)
+	if !ok || at.Kind != bat.KindStr {
+		return fmt.Errorf("moa: CONTREP parameter must be a text-like atom, got %s", params[0])
+	}
+	return nil
+}
+
+// Columns implements moa.Structure.
+func (*Contrep) Columns(prefix string) []moa.ColumnSpec {
+	return []moa.ColumnSpec{
+		{Suffix: "_term", HeadKind: bat.KindVoid, TailKind: bat.KindOID},
+		{Suffix: "_doc", HeadKind: bat.KindVoid, TailKind: bat.KindOID},
+		{Suffix: "_tf", HeadKind: bat.KindVoid, TailKind: bat.KindInt},
+		{Suffix: "_bel", HeadKind: bat.KindVoid, TailKind: bat.KindFloat},
+		{Suffix: "_dict", HeadKind: bat.KindVoid, TailKind: bat.KindStr},
+		{Suffix: "_df", HeadKind: bat.KindVoid, TailKind: bat.KindInt},
+		{Suffix: "_dlen", HeadKind: bat.KindOID, TailKind: bat.KindInt},
+		{Suffix: "_stats", HeadKind: bat.KindVoid, TailKind: bat.KindFloat},
+	}
+}
+
+// ---- dictionary and posting caches ----
+
+type cacheKey struct {
+	db     *moa.Database
+	prefix string
+}
+
+var (
+	dictMu    sync.Mutex
+	dictCache = map[cacheKey]map[string]bat.OID{}
+	docMu     sync.Mutex
+	docCache  = map[cacheKey]*docIndex{}
+)
+
+type docIndex struct {
+	builtLen int
+	pairs    map[bat.OID][]int
+}
+
+// dictIndex returns (building or refreshing as needed) the in-memory
+// term→OID index for a CONTREP's dictionary. locked indicates the caller
+// runs inside a Structure hook and the database write lock is already held.
+func dictIndex(db *moa.Database, prefix string, locked bool) (map[string]bat.OID, error) {
+	dictMu.Lock()
+	defer dictMu.Unlock()
+	key := cacheKey{db, prefix}
+	get := db.BAT
+	if locked {
+		get = db.BATL
+	}
+	dict, ok := get(prefix + "_dict")
+	if !ok {
+		return nil, fmt.Errorf("ir: missing dictionary BAT %s_dict", prefix)
+	}
+	idx := dictCache[key]
+	if idx == nil || len(idx) != dict.Len() {
+		idx = make(map[string]bat.OID, dict.Len())
+		for i := 0; i < dict.Len(); i++ {
+			idx[dict.Tail.StrAt(i)] = dict.Head.OIDAt(i)
+		}
+		dictCache[key] = idx
+	}
+	return idx, nil
+}
+
+// postingsOf returns the posting positions for one document, building a
+// doc→positions index lazily.
+func postingsOf(db *moa.Database, prefix string, owner bat.OID) ([]int, error) {
+	docMu.Lock()
+	defer docMu.Unlock()
+	key := cacheKey{db, prefix}
+	doc, ok := db.BAT(prefix + "_doc")
+	if !ok {
+		return nil, fmt.Errorf("ir: missing BAT %s_doc", prefix)
+	}
+	idx := docCache[key]
+	if idx == nil || idx.builtLen != doc.Len() {
+		idx = &docIndex{builtLen: doc.Len(), pairs: make(map[bat.OID][]int)}
+		for i := 0; i < doc.Len(); i++ {
+			d := doc.Tail.OIDAt(i)
+			idx.pairs[d] = append(idx.pairs[d], i)
+		}
+		docCache[key] = idx
+	}
+	return idx.pairs[owner], nil
+}
+
+// Insert implements moa.Structure: v is the raw text (string) or a
+// pre-analysed term list ([]string, used for cluster "words" in the image
+// pipeline). Beliefs are recomputed by Finalize.
+func (c *Contrep) Insert(db *moa.Database, prefix string, owner bat.OID, v any) error {
+	var terms []string
+	switch x := v.(type) {
+	case string:
+		terms = Analyze(x)
+	case []string:
+		terms = x
+	case []any:
+		for _, item := range x {
+			s, ok := item.(string)
+			if !ok {
+				return fmt.Errorf("ir: CONTREP value list must contain strings, got %T", item)
+			}
+			terms = append(terms, s)
+		}
+	default:
+		return fmt.Errorf("ir: CONTREP value must be string or []string, got %T", v)
+	}
+	tf, dlen := TermFrequencies(terms)
+
+	idx, err := dictIndex(db, prefix, true)
+	if err != nil {
+		return err
+	}
+	dict := mustBATL(db, prefix+"_dict")
+	termB := mustBATL(db, prefix+"_term")
+	docB := mustBATL(db, prefix+"_doc")
+	tfB := mustBATL(db, prefix+"_tf")
+	belB := mustBATL(db, prefix+"_bel")
+	dlenB := mustBATL(db, prefix+"_dlen")
+
+	// deterministic term order
+	words := make([]string, 0, len(tf))
+	for w := range tf {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+
+	for _, w := range words {
+		toid, known := idx[w]
+		if !known {
+			toid = bat.OID(dict.Len())
+			if err := dict.Append(toid, w); err != nil {
+				return err
+			}
+			idx[w] = toid
+		}
+		pair := bat.OID(termB.Len())
+		if err := termB.Append(pair, toid); err != nil {
+			return err
+		}
+		if err := docB.Append(pair, owner); err != nil {
+			return err
+		}
+		if err := tfB.Append(pair, int64(tf[w])); err != nil {
+			return err
+		}
+		if err := belB.Append(pair, 0.0); err != nil {
+			return err
+		}
+	}
+	return dlenB.Append(owner, int64(dlen))
+}
+
+// Finalize implements moa.Structure: it recomputes document frequencies,
+// collection statistics, the belief column, and the persistent reversed
+// term view used by the physical getbl operator.
+func (c *Contrep) Finalize(db *moa.Database, prefix string) error {
+	termB := mustBATL(db, prefix+"_term")
+	docB := mustBATL(db, prefix+"_doc")
+	tfB := mustBATL(db, prefix+"_tf")
+	dlenB := mustBATL(db, prefix+"_dlen")
+	dict := mustBATL(db, prefix+"_dict")
+
+	n := dlenB.Len()
+	var totalLen int64
+	dlenOf := make(map[bat.OID]int64, n)
+	for i := 0; i < n; i++ {
+		l := dlenB.Tail.IntAt(i)
+		dlenOf[dlenB.Head.OIDAt(i)] = l
+		totalLen += l
+	}
+	avgdl := 0.0
+	if n > 0 {
+		avgdl = float64(totalLen) / float64(n)
+	}
+
+	// df: one posting per (doc, term), so df(t) = #postings with term t.
+	df := make([]int64, dict.Len())
+	for i := 0; i < termB.Len(); i++ {
+		df[termB.Tail.OIDAt(i)]++
+	}
+	dfB := bat.NewDense(0, bat.KindInt)
+	for t, c := range df {
+		dfB.MustAppend(bat.OID(t), c)
+	}
+
+	bel := bat.NewDense(0, bat.KindFloat)
+	for i := 0; i < termB.Len(); i++ {
+		t := termB.Tail.OIDAt(i)
+		d := docB.Tail.OIDAt(i)
+		tf := int(tfB.Tail.IntAt(i))
+		b := Belief(tf, int(dlenOf[d]), avgdl, int(df[t]), n)
+		bel.MustAppend(bat.OID(i), b)
+	}
+
+	stats := bat.NewDense(0, bat.KindFloat)
+	stats.MustAppend(bat.OID(0), float64(n))
+	stats.MustAppend(bat.OID(1), avgdl)
+	stats.MustAppend(bat.OID(2), DefaultBelief)
+	stats.MustAppend(bat.OID(3), float64(dict.Len()))
+
+	db.PutBATL(prefix+"_df", dfB)
+	db.PutBATL(prefix+"_bel", bel)
+	db.PutBATL(prefix+"_stats", stats)
+	db.PutBATL(prefix+"_termrev", termB.Reverse())
+	db.PutBATL(prefix+"_dictrev", dict.Reverse())
+	return nil
+}
+
+// Materialize implements moa.Structure.
+func (c *Contrep) Materialize(db *moa.Database, prefix string, owner bat.OID) (any, error) {
+	positions, err := postingsOf(db, prefix, owner)
+	if err != nil {
+		return nil, err
+	}
+	termB := mustBAT(db, prefix+"_term")
+	belB := mustBAT(db, prefix+"_bel")
+	dict := mustBAT(db, prefix+"_dict")
+	out := &ContrepValue{Prefix: prefix, Beliefs: make(map[string]float64, len(positions))}
+	for _, p := range positions {
+		t := termB.Tail.OIDAt(p)
+		w := dict.Tail.StrAt(int(t))
+		out.Beliefs[w] = belB.Tail.FloatAt(p)
+	}
+	return out, nil
+}
+
+// ReadStats decodes the statistics column of a CONTREP field.
+func ReadStats(db *moa.Database, prefix string) (*Stats, error) {
+	b, ok := db.BAT(prefix + "_stats")
+	if !ok || b.Len() < 4 {
+		return nil, fmt.Errorf("ir: %s has no statistics (run Finalize)", prefix)
+	}
+	return &Stats{
+		N:             int(b.Tail.FloatAt(0)),
+		AvgDocLen:     b.Tail.FloatAt(1),
+		DefaultBelief: b.Tail.FloatAt(2),
+		Terms:         int(b.Tail.FloatAt(3)),
+	}, nil
+}
+
+func mustBAT(db *moa.Database, name string) *bat.BAT {
+	b, ok := db.BAT(name)
+	if !ok {
+		panic("ir: missing CONTREP column " + name)
+	}
+	return b
+}
+
+// mustBATL is mustBAT for Structure hooks holding the database lock.
+func mustBATL(db *moa.Database, name string) *bat.BAT {
+	b, ok := db.BATL(name)
+	if !ok {
+		panic("ir: missing CONTREP column " + name)
+	}
+	return b
+}
+
+// ---- query functions ----
+
+// Functions implements moa.Structure: getBL and its aggregate fusions.
+func (c *Contrep) Functions() map[string]*moa.StructFunc {
+	return map[string]*moa.StructFunc{
+		"getBL": {
+			Check:     checkGetBL(&moa.SetType{Elem: moa.FloatType}),
+			EmitMap:   emitGetBLPairs,
+			EvalTuple: evalGetBL,
+			FuseAgg:   map[string]string{"sum": "getBLScore"},
+		},
+		"getBLScore": {
+			Check:     checkGetBL(moa.FloatType),
+			EmitMap:   emitGetBLScore,
+			EvalTuple: evalGetBLScore,
+		},
+	}
+}
+
+// checkGetBL validates getBL(contrep, query, stats).
+func checkGetBL(result moa.Type) func(args []moa.Type) (moa.Type, error) {
+	return func(args []moa.Type) (moa.Type, error) {
+		if len(args) != 3 {
+			return nil, fmt.Errorf("moa: getBL takes (contrep, query, stats), got %d args", len(args))
+		}
+		st, ok := args[1].(*moa.SetType)
+		if !ok {
+			return nil, fmt.Errorf("moa: getBL query must be a set of terms, got %s", args[1])
+		}
+		at, ok := st.Elem.(*moa.AtomType)
+		if !ok || at.Kind != bat.KindStr {
+			return nil, fmt.Errorf("moa: getBL query elements must be strings, got %s", st.Elem)
+		}
+		if !args[2].Equal(moa.StatsType) {
+			return nil, fmt.Errorf("moa: getBL third argument must be stats, got %s", args[2])
+		}
+		return result, nil
+	}
+}
+
+// queryTermsVar emits the translation of the query parameter into term
+// OIDs: join the query strings with the reversed dictionary.
+func queryTermsVar(tr *moa.Translator, prefix string, query moa.Rep) (string, error) {
+	ps, ok := query.(*moa.ParamSetRep)
+	if !ok {
+		return "", fmt.Errorf("moa: getBL query must be a bound set parameter, got %T", query)
+	}
+	return tr.Emit("q", mil.C("join", mil.R(ps.ValsVar), mil.R(prefix+"_dictrev"))), nil
+}
+
+// emitGetBLPairs is the unfused flattening: it materialises one belief per
+// (element, query term) — including defaults — as a nested SET<flt>.
+func emitGetBLPairs(tr *moa.Translator, ctx *moa.Ctx, recv moa.Rep, extra []moa.Rep) (moa.Rep, error) {
+	sr, ok := recv.(*moa.StructRep)
+	if !ok {
+		return nil, fmt.Errorf("moa: getBL receiver must be a CONTREP field, got %T", recv)
+	}
+	if len(extra) != 2 {
+		return nil, fmt.Errorf("moa: getBL needs query and stats arguments")
+	}
+	q, err := queryTermsVar(tr, sr.Prefix, extra[0])
+	if err != nil {
+		return nil, err
+	}
+	pairs := tr.Emit("blp", mil.C("getbl_pairs",
+		mil.R(sr.Prefix+"_termrev"), mil.R(sr.Prefix+"_doc"), mil.R(sr.Prefix+"_bel"),
+		mil.R(q), mil.L(DefaultBelief), mil.R(ctx.DomainVar)))
+	assoc := tr.Emit("bla", mil.C("mark", mil.R(pairs), mil.L(int64(0))))
+	vals := tr.Emit("blv", mil.C("reverse", mil.C("mark", mil.C("reverse", mil.R(pairs)), mil.L(int64(0)))))
+	return &moa.SetRep{AssocVar: assoc, ValsVar: vals, ElemT: moa.FloatType}, nil
+}
+
+// emitGetBLScore is the fused flattening (sum∘getBL): the physical getbl
+// operator scans only the matching postings, then default scores are filled
+// in for the remaining domain elements.
+func emitGetBLScore(tr *moa.Translator, ctx *moa.Ctx, recv moa.Rep, extra []moa.Rep) (moa.Rep, error) {
+	sr, ok := recv.(*moa.StructRep)
+	if !ok {
+		return nil, fmt.Errorf("moa: getBLScore receiver must be a CONTREP field, got %T", recv)
+	}
+	if len(extra) != 2 {
+		return nil, fmt.Errorf("moa: getBLScore needs query and stats arguments")
+	}
+	q, err := queryTermsVar(tr, sr.Prefix, extra[0])
+	if err != nil {
+		return nil, err
+	}
+	scores := tr.Emit("bls", mil.C("getbl",
+		mil.R(sr.Prefix+"_termrev"), mil.R(sr.Prefix+"_doc"), mil.R(sr.Prefix+"_bel"),
+		mil.R(q), mil.L(DefaultBelief)))
+	if !ctx.Full {
+		scores = tr.Emit("bls", mil.C("semijoin", mil.R(scores), mil.R(ctx.DomainVar)))
+	}
+	// default score for elements with no matching posting: |q| · default
+	defScore := tr.Emit("dfs", mil.C("calc", mil.L("*"), mil.C("count", mil.R(q)), mil.L(DefaultBelief)))
+	filled := tr.Emit("bls", mil.C("fill", mil.R(scores), mil.R(ctx.DomainVar), mil.R(defScore)))
+	return &moa.AtomRep{Var: filled, T: moa.FloatType}, nil
+}
+
+// evalGetBL is the tuple-at-a-time path: per element, produce the belief of
+// each query term present in the dictionary.
+func evalGetBL(ip *moa.Interp, recv any, extra []any) (any, error) {
+	cv, ok := recv.(*ContrepValue)
+	if !ok {
+		return nil, fmt.Errorf("moa: getBL receiver is %T", recv)
+	}
+	if len(extra) != 2 {
+		return nil, fmt.Errorf("moa: getBL needs query and stats")
+	}
+	idx, err := dictIndex(ip.DB, cv.Prefix, false)
+	if err != nil {
+		return nil, err
+	}
+	terms, err := queryTermList(extra[0])
+	if err != nil {
+		return nil, err
+	}
+	out := make([]any, 0, len(terms))
+	for _, t := range terms {
+		if _, inDict := idx[t]; !inDict {
+			continue // OOV terms drop out, as in the flattened join
+		}
+		if b, ok := cv.Beliefs[t]; ok {
+			out = append(out, b)
+		} else {
+			out = append(out, DefaultBelief)
+		}
+	}
+	return out, nil
+}
+
+func evalGetBLScore(ip *moa.Interp, recv any, extra []any) (any, error) {
+	beliefs, err := evalGetBL(ip, recv, extra)
+	if err != nil {
+		return nil, err
+	}
+	sum := 0.0
+	for _, b := range beliefs.([]any) {
+		sum += b.(float64)
+	}
+	return sum, nil
+}
+
+// queryTermList extracts the term strings from an interpreted query value.
+func queryTermList(v any) ([]string, error) {
+	switch items := v.(type) {
+	case []moa.Row:
+		out := make([]string, 0, len(items))
+		for _, r := range items {
+			s, ok := r.Value.(string)
+			if !ok {
+				return nil, fmt.Errorf("moa: query term is %T", r.Value)
+			}
+			out = append(out, s)
+		}
+		return out, nil
+	case []string:
+		return items, nil
+	}
+	return nil, fmt.Errorf("moa: unsupported query value %T", v)
+}
+
+// QueryParams builds the standard parameter bindings for the paper's
+// queries: `query` (a set of pre-analysed terms) and `stats`.
+func QueryParams(terms []string) map[string]moa.Param {
+	anyTerms := make([]any, len(terms))
+	for i, t := range terms {
+		anyTerms[i] = t
+	}
+	return map[string]moa.Param{
+		"query": {T: &moa.SetType{Elem: moa.StrType}, V: anyTerms},
+		"stats": {T: moa.StatsType, V: "stats"},
+	}
+}

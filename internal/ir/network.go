@@ -1,0 +1,223 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultBelief is the inference network's prior belief in a concept given a
+// document that contains no evidence for it (InQuery's default 0.4).
+const DefaultBelief = 0.4
+
+// Belief computes the InQuery belief bel(t|d): the probability that document
+// d supports concept t, combining a tf component (Robertson-style length
+// normalisation) and an idf component, scaled into [DefaultBelief, 1):
+//
+//	T = tf / (tf + 0.5 + 1.5·dl/avgdl)
+//	I = log((N + 0.5)/df) / log(N + 1)
+//	bel = DefaultBelief + (1 − DefaultBelief) · T · I
+func Belief(tf int, dl int, avgdl float64, df int, n int) float64 {
+	if tf <= 0 || df <= 0 || n <= 0 {
+		return DefaultBelief
+	}
+	if avgdl <= 0 {
+		avgdl = 1
+	}
+	t := float64(tf) / (float64(tf) + 0.5 + 1.5*float64(dl)/avgdl)
+	i := math.Log((float64(n)+0.5)/float64(df)) / math.Log(float64(n)+1)
+	if i < 0 {
+		i = 0
+	}
+	return DefaultBelief + (1-DefaultBelief)*t*i
+}
+
+// Stats holds the collection-level statistics CONTREP maintains (the
+// `stats` argument of the paper's getBL calls).
+type Stats struct {
+	N             int     // number of documents
+	AvgDocLen     float64 // average document length in tokens
+	Terms         int     // dictionary size
+	DefaultBelief float64
+}
+
+// ---- evidence combination (the inference network query operators) ----
+
+// Scores maps document OIDs (as uint64 for package independence) to
+// beliefs. The combination operators implement the query formulation model
+// of the inference network: #sum, #wsum, #and, #or, #not, #max.
+type Scores map[uint64]float64
+
+// CombineSum averages the beliefs of the children (#sum). Documents missing
+// from a child contribute that child's default.
+func CombineSum(children []Scores, defaults []float64) (Scores, error) {
+	if len(children) != len(defaults) {
+		return nil, fmt.Errorf("ir: #sum: %d children vs %d defaults", len(children), len(defaults))
+	}
+	out := Scores{}
+	for ci, ch := range children {
+		_ = ci
+		for d := range ch {
+			out[d] = 0
+		}
+	}
+	n := float64(len(children))
+	if n == 0 {
+		return out, nil
+	}
+	for d := range out {
+		s := 0.0
+		for ci, ch := range children {
+			if v, ok := ch[d]; ok {
+				s += v
+			} else {
+				s += defaults[ci]
+			}
+		}
+		out[d] = s / n
+	}
+	return out, nil
+}
+
+// CombineWSum is the weighted average (#wsum).
+func CombineWSum(children []Scores, weights, defaults []float64) (Scores, error) {
+	if len(children) != len(weights) || len(children) != len(defaults) {
+		return nil, fmt.Errorf("ir: #wsum: mismatched children/weights/defaults")
+	}
+	var wtot float64
+	for _, w := range weights {
+		wtot += w
+	}
+	if wtot == 0 {
+		return Scores{}, nil
+	}
+	out := Scores{}
+	for _, ch := range children {
+		for d := range ch {
+			out[d] = 0
+		}
+	}
+	for d := range out {
+		s := 0.0
+		for ci, ch := range children {
+			v, ok := ch[d]
+			if !ok {
+				v = defaults[ci]
+			}
+			s += weights[ci] * v
+		}
+		out[d] = s / wtot
+	}
+	return out, nil
+}
+
+// CombineAnd multiplies beliefs (#and).
+func CombineAnd(children []Scores, defaults []float64) (Scores, error) {
+	if len(children) != len(defaults) {
+		return nil, fmt.Errorf("ir: #and: mismatched children/defaults")
+	}
+	out := Scores{}
+	for _, ch := range children {
+		for d := range ch {
+			out[d] = 1
+		}
+	}
+	for d := range out {
+		p := 1.0
+		for ci, ch := range children {
+			v, ok := ch[d]
+			if !ok {
+				v = defaults[ci]
+			}
+			p *= v
+		}
+		out[d] = p
+	}
+	return out, nil
+}
+
+// CombineOr is the probabilistic or (#or): 1 − Π(1 − b).
+func CombineOr(children []Scores, defaults []float64) (Scores, error) {
+	if len(children) != len(defaults) {
+		return nil, fmt.Errorf("ir: #or: mismatched children/defaults")
+	}
+	out := Scores{}
+	for _, ch := range children {
+		for d := range ch {
+			out[d] = 0
+		}
+	}
+	for d := range out {
+		p := 1.0
+		for ci, ch := range children {
+			v, ok := ch[d]
+			if !ok {
+				v = defaults[ci]
+			}
+			p *= 1 - v
+		}
+		out[d] = 1 - p
+	}
+	return out, nil
+}
+
+// CombineNot negates belief (#not).
+func CombineNot(child Scores) Scores {
+	out := make(Scores, len(child))
+	for d, v := range child {
+		out[d] = 1 - v
+	}
+	return out
+}
+
+// CombineMax takes the maximum belief (#max).
+func CombineMax(children []Scores, defaults []float64) (Scores, error) {
+	if len(children) != len(defaults) {
+		return nil, fmt.Errorf("ir: #max: mismatched children/defaults")
+	}
+	out := Scores{}
+	for _, ch := range children {
+		for d := range ch {
+			out[d] = math.Inf(-1)
+		}
+	}
+	for d := range out {
+		m := math.Inf(-1)
+		for ci, ch := range children {
+			v, ok := ch[d]
+			if !ok {
+				v = defaults[ci]
+			}
+			if v > m {
+				m = v
+			}
+		}
+		out[d] = m
+	}
+	return out, nil
+}
+
+// Ranked is one entry of a ranking.
+type Ranked struct {
+	Doc   uint64
+	Score float64
+}
+
+// Rank orders scores descending (ties by document OID) and cuts at k
+// (k <= 0 keeps everything).
+func Rank(s Scores, k int) []Ranked {
+	out := make([]Ranked, 0, len(s))
+	for d, v := range s {
+		out = append(out, Ranked{Doc: d, Score: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Doc < out[j].Doc
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+// Package media provides the multimedia substrate of the demo system: an
+// RGB raster image type, PPM/PGM codecs (so the media server can serve real
+// files), and a seeded synthetic scene generator that substitutes for the
+// paper's web-robot-collected image collection. Scenes are composed of
+// regions drawn from known latent visual classes (colour + texture), which
+// preserves the property the demo depends on — that extracted features
+// cluster into units correlated with annotation vocabulary — while adding
+// ground truth the original demo lacked.
+package media
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Image is an 8-bit RGB raster.
+type Image struct {
+	W, H int
+	Pix  []RGB // row-major, len W*H
+}
+
+// RGB is one 8-bit pixel.
+type RGB struct{ R, G, B uint8 }
+
+// NewImage allocates a black image.
+func NewImage(w, h int) *Image {
+	return &Image{W: w, H: h, Pix: make([]RGB, w*h)}
+}
+
+// At returns the pixel at (x, y); out-of-bounds reads return black.
+func (im *Image) At(x, y int) RGB {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return RGB{}
+	}
+	return im.Pix[y*im.W+x]
+}
+
+// Set writes the pixel at (x, y); out-of-bounds writes are ignored.
+func (im *Image) Set(x, y int, c RGB) {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return
+	}
+	im.Pix[y*im.W+x] = c
+}
+
+// Gray returns the luma of the pixel at (x, y) in [0,255].
+func (im *Image) Gray(x, y int) float64 {
+	c := im.At(x, y)
+	return 0.299*float64(c.R) + 0.587*float64(c.G) + 0.114*float64(c.B)
+}
+
+// SubImage copies the rectangle [x0,x1)×[y0,y1) into a new image, clamped
+// to the source bounds.
+func (im *Image) SubImage(x0, y0, x1, y1 int) *Image {
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > im.W {
+		x1 = im.W
+	}
+	if y1 > im.H {
+		y1 = im.H
+	}
+	if x1 < x0 {
+		x1 = x0
+	}
+	if y1 < y0 {
+		y1 = y0
+	}
+	out := NewImage(x1-x0, y1-y0)
+	for y := y0; y < y1; y++ {
+		copy(out.Pix[(y-y0)*out.W:(y-y0+1)*out.W], im.Pix[y*im.W+x0:y*im.W+x1])
+	}
+	return out
+}
+
+// EncodePPM writes the image as binary PPM (P6).
+func (im *Image) EncodePPM(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", im.W, im.H); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, im.W*3)
+	for y := 0; y < im.H; y++ {
+		buf = buf[:0]
+		for x := 0; x < im.W; x++ {
+			c := im.Pix[y*im.W+x]
+			buf = append(buf, c.R, c.G, c.B)
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodePPM reads a binary PPM (P6) image.
+func DecodePPM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	var magic string
+	if _, err := fmt.Fscan(br, &magic); err != nil {
+		return nil, fmt.Errorf("media: ppm header: %w", err)
+	}
+	if magic != "P6" {
+		return nil, fmt.Errorf("media: not a P6 ppm: %q", magic)
+	}
+	w, h, maxv, err := readPNMHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	if maxv != 255 {
+		return nil, fmt.Errorf("media: unsupported maxval %d", maxv)
+	}
+	im := NewImage(w, h)
+	buf := make([]byte, w*h*3)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("media: ppm pixels: %w", err)
+	}
+	for i := range im.Pix {
+		im.Pix[i] = RGB{buf[3*i], buf[3*i+1], buf[3*i+2]}
+	}
+	return im, nil
+}
+
+// readPNMHeader reads width, height, maxval skipping comments, consuming the
+// single whitespace after maxval.
+func readPNMHeader(br *bufio.Reader) (w, h, maxv int, err error) {
+	vals := [3]int{}
+	for i := 0; i < 3; i++ {
+		v, err := readPNMInt(br)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		vals[i] = v
+	}
+	return vals[0], vals[1], vals[2], nil
+}
+
+func readPNMInt(br *bufio.Reader) (int, error) {
+	// skip whitespace and comments
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		switch {
+		case b == '#':
+			if _, err := br.ReadString('\n'); err != nil {
+				return 0, err
+			}
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			// skip
+		case b >= '0' && b <= '9':
+			n := int(b - '0')
+			for {
+				b, err := br.ReadByte()
+				if err != nil {
+					return n, nil
+				}
+				if b < '0' || b > '9' {
+					// the single separator after the number is consumed
+					return n, nil
+				}
+				n = n*10 + int(b-'0')
+			}
+		default:
+			return 0, fmt.Errorf("media: unexpected byte %q in pnm header", b)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package media
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestImageBasics(t *testing.T) {
+	im := NewImage(4, 3)
+	im.Set(1, 2, RGB{10, 20, 30})
+	if c := im.At(1, 2); c != (RGB{10, 20, 30}) {
+		t.Fatalf("At = %v", c)
+	}
+	if c := im.At(-1, 0); c != (RGB{}) {
+		t.Fatal("out of bounds read should be black")
+	}
+	im.Set(99, 99, RGB{1, 1, 1}) // must not panic
+	g := im.Gray(1, 2)
+	want := 0.299*10 + 0.587*20 + 0.114*30
+	if g < want-1e-9 || g > want+1e-9 {
+		t.Fatalf("gray = %v, want %v", g, want)
+	}
+}
+
+func TestSubImage(t *testing.T) {
+	im := NewImage(10, 10)
+	im.Set(5, 5, RGB{255, 0, 0})
+	sub := im.SubImage(4, 4, 8, 8)
+	if sub.W != 4 || sub.H != 4 {
+		t.Fatalf("sub dims = %dx%d", sub.W, sub.H)
+	}
+	if sub.At(1, 1) != (RGB{255, 0, 0}) {
+		t.Fatal("sub pixel wrong")
+	}
+	clamped := im.SubImage(-5, -5, 100, 100)
+	if clamped.W != 10 || clamped.H != 10 {
+		t.Fatalf("clamp dims = %dx%d", clamped.W, clamped.H)
+	}
+	empty := im.SubImage(8, 8, 2, 2)
+	if empty.W != 0 {
+		t.Fatal("inverted rect should clamp to empty")
+	}
+}
+
+func TestPPMRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	im := NewImage(13, 7)
+	for i := range im.Pix {
+		im.Pix[i] = RGB{uint8(rng.Intn(256)), uint8(rng.Intn(256)), uint8(rng.Intn(256))}
+	}
+	var buf bytes.Buffer
+	if err := im.EncodePPM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePPM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != im.W || got.H != im.H {
+		t.Fatalf("dims = %dx%d", got.W, got.H)
+	}
+	for i := range im.Pix {
+		if got.Pix[i] != im.Pix[i] {
+			t.Fatalf("pixel %d = %v, want %v", i, got.Pix[i], im.Pix[i])
+		}
+	}
+}
+
+func TestPPMWithComments(t *testing.T) {
+	data := []byte("P6\n# a comment\n2 1\n# another\n255\n\xff\x00\x00\x00\xff\x00")
+	im, err := DecodePPM(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.W != 2 || im.H != 1 || im.At(0, 0) != (RGB{255, 0, 0}) {
+		t.Fatalf("decoded = %+v", im)
+	}
+}
+
+func TestPPMErrors(t *testing.T) {
+	if _, err := DecodePPM(bytes.NewReader([]byte("P5\n1 1\n255\nx"))); err == nil {
+		t.Fatal("P5 should be rejected")
+	}
+	if _, err := DecodePPM(bytes.NewReader([]byte("P6\n2 2\n255\nxx"))); err == nil {
+		t.Fatal("truncated pixels should fail")
+	}
+	if _, err := DecodePPM(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input should fail")
+	}
+}
+
+func TestPropPPMRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, h := 1+rng.Intn(20), 1+rng.Intn(20)
+		im := NewImage(w, h)
+		for i := range im.Pix {
+			im.Pix[i] = RGB{uint8(rng.Intn(256)), uint8(rng.Intn(256)), uint8(rng.Intn(256))}
+		}
+		var buf bytes.Buffer
+		if err := im.EncodePPM(&buf); err != nil {
+			return false
+		}
+		got, err := DecodePPM(&buf)
+		if err != nil || got.W != w || got.H != h {
+			return false
+		}
+		for i := range im.Pix {
+			if got.Pix[i] != im.Pix[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateSceneDeterministic(t *testing.T) {
+	s1 := GenerateScene(rand.New(rand.NewSource(5)), 32, 32, []int{0, 2})
+	s2 := GenerateScene(rand.New(rand.NewSource(5)), 32, 32, []int{0, 2})
+	if len(s1.Regions) != 2 || len(s2.Regions) != 2 {
+		t.Fatalf("regions = %d/%d", len(s1.Regions), len(s2.Regions))
+	}
+	for i := range s1.Img.Pix {
+		if s1.Img.Pix[i] != s2.Img.Pix[i] {
+			t.Fatal("same seed should give identical scenes")
+		}
+	}
+	s3 := GenerateScene(rand.New(rand.NewSource(6)), 32, 32, []int{0, 2})
+	same := true
+	for i := range s1.Img.Pix {
+		if s1.Img.Pix[i] != s3.Img.Pix[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestSceneRegionsCoverClasses(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		classes := make([]int, n)
+		for i := range classes {
+			classes[i] = i
+		}
+		s := GenerateScene(rand.New(rand.NewSource(int64(n))), 40, 40, classes)
+		if len(s.Regions) != n {
+			t.Fatalf("n=%d: regions = %d", n, len(s.Regions))
+		}
+		area := 0
+		for _, r := range s.Regions {
+			area += (r.X1 - r.X0) * (r.Y1 - r.Y0)
+		}
+		if area != 40*40 {
+			t.Fatalf("n=%d: regions cover %d px, want %d", n, area, 1600)
+		}
+	}
+}
+
+func TestClassIndex(t *testing.T) {
+	if ClassIndex("sky") != 0 {
+		t.Fatal("sky should be class 0")
+	}
+	if ClassIndex("nope") != -1 {
+		t.Fatal("unknown class should be -1")
+	}
+	for i, c := range Classes {
+		if ClassIndex(c.Name) != i {
+			t.Fatalf("class %q index mismatch", c.Name)
+		}
+	}
+}
+
+func TestClassesVisuallyDistinct(t *testing.T) {
+	// mean colours of rendered swatches should differ pairwise for most
+	// class pairs (the premise of colour clustering)
+	means := make([][3]float64, len(Classes))
+	for i := range Classes {
+		s := GenerateScene(rand.New(rand.NewSource(1)), 24, 24, []int{i})
+		var r, g, b float64
+		for _, p := range s.Img.Pix {
+			r += float64(p.R)
+			g += float64(p.G)
+			b += float64(p.B)
+		}
+		n := float64(len(s.Img.Pix))
+		means[i] = [3]float64{r / n, g / n, b / n}
+	}
+	distinct := 0
+	total := 0
+	for i := 0; i < len(means); i++ {
+		for j := i + 1; j < len(means); j++ {
+			total++
+			dr := means[i][0] - means[j][0]
+			dg := means[i][1] - means[j][1]
+			db := means[i][2] - means[j][2]
+			if dr*dr+dg*dg+db*db > 30*30 {
+				distinct++
+			}
+		}
+	}
+	if distinct < total*8/10 {
+		t.Fatalf("only %d/%d class pairs are colour-distinct", distinct, total)
+	}
+}

@@ -1,0 +1,140 @@
+package media
+
+import (
+	"math"
+	"math/rand"
+)
+
+// VisualClass is a latent visual class of the synthetic collection: a base
+// colour plus a parametric texture. The feature extractors and the
+// clustering stage must (and, measurably, do) rediscover these classes —
+// that is experiment E6.
+type VisualClass struct {
+	Name    string
+	Base    RGB
+	Texture string  // "flat", "stripes", "checker", "noise"
+	Freq    float64 // spatial frequency of the texture
+	Orient  float64 // stripe orientation, radians
+	Amp     float64 // texture amplitude, 0..1
+	Jitter  float64 // per-scene colour jitter, 0..1
+}
+
+// Classes is the fixed palette of latent classes used by the corpus
+// generator. Names double as the seeds of the annotation vocabulary.
+var Classes = []VisualClass{
+	{Name: "sky", Base: RGB{110, 160, 230}, Texture: "flat", Amp: 0.05, Jitter: 0.08},
+	{Name: "sunset", Base: RGB{235, 120, 60}, Texture: "stripes", Freq: 0.05, Orient: 0, Amp: 0.25, Jitter: 0.10},
+	{Name: "water", Base: RGB{40, 90, 160}, Texture: "stripes", Freq: 0.30, Orient: 0.2, Amp: 0.30, Jitter: 0.08},
+	{Name: "forest", Base: RGB{30, 110, 40}, Texture: "noise", Freq: 0.8, Amp: 0.35, Jitter: 0.10},
+	{Name: "sand", Base: RGB{220, 195, 140}, Texture: "noise", Freq: 0.5, Amp: 0.12, Jitter: 0.06},
+	{Name: "brick", Base: RGB{170, 70, 50}, Texture: "checker", Freq: 0.18, Amp: 0.35, Jitter: 0.06},
+	{Name: "grass", Base: RGB{90, 170, 60}, Texture: "stripes", Freq: 0.55, Orient: 1.3, Amp: 0.30, Jitter: 0.10},
+	{Name: "snow", Base: RGB{235, 240, 248}, Texture: "noise", Freq: 0.3, Amp: 0.06, Jitter: 0.03},
+	{Name: "night", Base: RGB{20, 25, 60}, Texture: "noise", Freq: 0.9, Amp: 0.15, Jitter: 0.08},
+	{Name: "rock", Base: RGB{120, 115, 110}, Texture: "checker", Freq: 0.45, Amp: 0.25, Jitter: 0.08},
+}
+
+// ClassIndex resolves a class name.
+func ClassIndex(name string) int {
+	for i, c := range Classes {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// SceneRegion is one rectangular region of a generated scene with its
+// ground-truth class.
+type SceneRegion struct {
+	X0, Y0, X1, Y1 int
+	Class          int
+}
+
+// Scene is a generated image plus its ground truth.
+type Scene struct {
+	Img     *Image
+	Regions []SceneRegion
+}
+
+// GenerateScene renders an image composed of len(classIdx) regions (1–4)
+// arranged as horizontal bands, vertical bands or quadrants, chosen by rng.
+func GenerateScene(rng *rand.Rand, w, h int, classIdx []int) *Scene {
+	img := NewImage(w, h)
+	sc := &Scene{Img: img}
+	n := len(classIdx)
+	if n == 0 {
+		return sc
+	}
+	var rects [][4]int
+	switch {
+	case n == 1:
+		rects = [][4]int{{0, 0, w, h}}
+	case n == 2 && rng.Intn(2) == 0:
+		mid := h/3 + rng.Intn(h/3+1)
+		rects = [][4]int{{0, 0, w, mid}, {0, mid, w, h}}
+	case n == 2:
+		mid := w/3 + rng.Intn(w/3+1)
+		rects = [][4]int{{0, 0, mid, h}, {mid, 0, w, h}}
+	case n == 3:
+		m1, m2 := h/3, 2*h/3
+		rects = [][4]int{{0, 0, w, m1}, {0, m1, w, m2}, {0, m2, w, h}}
+	default:
+		mx, my := w/2, h/2
+		rects = [][4]int{{0, 0, mx, my}, {mx, 0, w, my}, {0, my, mx, h}, {mx, my, w, h}}
+	}
+	for i, r := range rects {
+		if i >= n {
+			break
+		}
+		cls := classIdx[i]
+		renderRegion(img, rng, r[0], r[1], r[2], r[3], &Classes[cls])
+		sc.Regions = append(sc.Regions, SceneRegion{X0: r[0], Y0: r[1], X1: r[2], Y1: r[3], Class: cls})
+	}
+	return sc
+}
+
+// renderRegion fills a rectangle with a class's colour and texture.
+func renderRegion(img *Image, rng *rand.Rand, x0, y0, x1, y1 int, c *VisualClass) {
+	jr := 1 + c.Jitter*(rng.Float64()*2-1)
+	jg := 1 + c.Jitter*(rng.Float64()*2-1)
+	jb := 1 + c.Jitter*(rng.Float64()*2-1)
+	phase := rng.Float64() * 2 * math.Pi
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			var m float64
+			switch c.Texture {
+			case "stripes":
+				u := float64(x)*math.Cos(c.Orient) + float64(y)*math.Sin(c.Orient)
+				m = c.Amp * math.Sin(2*math.Pi*c.Freq*u+phase)
+			case "checker":
+				p := int(float64(x)*c.Freq) + int(float64(y)*c.Freq)
+				if p%2 == 0 {
+					m = c.Amp
+				} else {
+					m = -c.Amp
+				}
+			case "noise":
+				m = c.Amp * (rng.Float64()*2 - 1)
+			default: // flat
+				m = c.Amp * (rng.Float64()*2 - 1) * 0.3
+			}
+			f := 1 + m
+			img.Set(x, y, RGB{
+				R: clamp8(float64(c.Base.R) * f * jr),
+				G: clamp8(float64(c.Base.G) * f * jg),
+				B: clamp8(float64(c.Base.B) * f * jb),
+			})
+		}
+	}
+}
+
+func clamp8(v float64) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v + 0.5)
+}

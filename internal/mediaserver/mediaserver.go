@@ -1,0 +1,154 @@
+// Package mediaserver implements the media server of Figure 1 ("the media
+// server is a web server"): an HTTP server that owns the multimedia
+// footage and serves it to the other parties, plus the web robot that
+// crawls it to populate the library.
+package mediaserver
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"mirror/internal/corpus"
+	"mirror/internal/media"
+)
+
+// Server serves a collection's images over HTTP. Paths:
+//
+//	GET /index          newline-separated image paths
+//	GET /img/NNNN.ppm   binary PPM
+//	GET /ann/NNNN.txt   the annotation (404 when the item has none)
+type Server struct {
+	mu    sync.RWMutex
+	items map[string]*corpus.Item // keyed by "NNNN.ppm"
+	order []string
+}
+
+// NewServer builds a server over generated corpus items.
+func NewServer(items []*corpus.Item) *Server {
+	s := &Server{items: map[string]*corpus.Item{}}
+	for _, it := range items {
+		key := it.URL[strings.LastIndex(it.URL, "/")+1:]
+		s.items[key] = it
+		s.order = append(s.order, key)
+	}
+	sort.Strings(s.order)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/index":
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		for _, key := range s.order {
+			fmt.Fprintf(w, "/img/%s\n", key)
+		}
+	case strings.HasPrefix(r.URL.Path, "/img/"):
+		key := strings.TrimPrefix(r.URL.Path, "/img/")
+		s.mu.RLock()
+		it, ok := s.items[key]
+		s.mu.RUnlock()
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "image/x-portable-pixmap")
+		var buf bytes.Buffer
+		if err := it.Scene.Img.EncodePPM(&buf); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(buf.Bytes())
+	case strings.HasPrefix(r.URL.Path, "/ann/"):
+		key := strings.TrimSuffix(strings.TrimPrefix(r.URL.Path, "/ann/"), ".txt") + ".ppm"
+		s.mu.RLock()
+		it, ok := s.items[key]
+		s.mu.RUnlock()
+		if !ok || it.Annotation == "" {
+			http.NotFound(w, r)
+			return
+		}
+		io.WriteString(w, it.Annotation)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// Start serves on an ephemeral localhost port; it returns the base URL
+// (http://host:port) and a stop function.
+func Start(items []*corpus.Item) (string, func(), error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, fmt.Errorf("mediaserver: listen: %w", err)
+	}
+	srv := &http.Server{Handler: NewServer(items)}
+	go srv.Serve(l)
+	return "http://" + l.Addr().String(), func() { srv.Close() }, nil
+}
+
+// RobotItem is one crawled library entry.
+type RobotItem struct {
+	URL        string // absolute image URL
+	PPM        []byte
+	Annotation string // "" when the page had none
+}
+
+// Crawl is the web robot: it fetches the index and downloads every image
+// and available annotation.
+func Crawl(baseURL string) ([]*RobotItem, error) {
+	resp, err := http.Get(baseURL + "/index")
+	if err != nil {
+		return nil, fmt.Errorf("mediaserver: crawl index: %w", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("mediaserver: index status %d", resp.StatusCode)
+	}
+	var out []*RobotItem
+	for _, line := range strings.Split(strings.TrimSpace(string(body)), "\n") {
+		if line == "" {
+			continue
+		}
+		imgURL := baseURL + line
+		ppm, err := fetch(imgURL)
+		if err != nil {
+			return nil, err
+		}
+		item := &RobotItem{URL: imgURL, PPM: ppm}
+		annPath := strings.Replace(strings.Replace(line, "/img/", "/ann/", 1), ".ppm", ".txt", 1)
+		if ann, err := fetch(baseURL + annPath); err == nil {
+			item.Annotation = string(ann)
+		}
+		out = append(out, item)
+	}
+	return out, nil
+}
+
+// fetch GETs a URL, failing on non-200.
+func fetch(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("mediaserver: GET %s: status %d", url, resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// DecodeItemImage decodes a crawled item's PPM payload.
+func DecodeItemImage(it *RobotItem) (*media.Image, error) {
+	return media.DecodePPM(bytes.NewReader(it.PPM))
+}

@@ -1,0 +1,102 @@
+package mediaserver
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"mirror/internal/corpus"
+)
+
+func startServer(t *testing.T, n int) (string, []*corpus.Item) {
+	t.Helper()
+	items := corpus.Generate(corpus.Config{N: n, W: 24, H: 24, Seed: 4, AnnotateRate: 0.8})
+	base, stop, err := Start(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(stop)
+	return base, items
+}
+
+func TestIndexAndImages(t *testing.T) {
+	base, items := startServer(t, 5)
+	resp, err := http.Get(base + "/index")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("index status %d", resp.StatusCode)
+	}
+	crawled, err := Crawl(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crawled) != 5 {
+		t.Fatalf("crawled %d, want 5", len(crawled))
+	}
+	for i, it := range crawled {
+		img, err := DecodeItemImage(it)
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+		if img.W != 24 || img.H != 24 {
+			t.Fatalf("item %d dims %dx%d", i, img.W, img.H)
+		}
+	}
+	// annotations round trip: crawled annotations equal corpus annotations
+	annotated := 0
+	for i, it := range crawled {
+		if it.Annotation != "" {
+			annotated++
+			if it.Annotation != items[i].Annotation {
+				t.Fatalf("annotation mismatch at %d", i)
+			}
+		}
+	}
+	if annotated == 0 {
+		t.Fatal("no annotations crawled")
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	base, _ := startServer(t, 2)
+	for _, path := range []string{"/img/zz.ppm", "/ann/zz.txt", "/bogus"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestCrawlBadServer(t *testing.T) {
+	if _, err := Crawl("http://127.0.0.1:1"); err == nil {
+		t.Fatal("crawl of dead server should fail")
+	}
+}
+
+func TestUnannotatedItemsHaveNoAnnEndpoint(t *testing.T) {
+	items := corpus.Generate(corpus.Config{N: 10, W: 16, H: 16, Seed: 2, AnnotateRate: 0})
+	base, stop, err := Start(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	crawled, err := Crawl(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range crawled {
+		if it.Annotation != "" {
+			t.Fatal("unannotated collection produced annotations")
+		}
+		if !strings.HasSuffix(it.URL, ".ppm") {
+			t.Fatalf("URL = %s", it.URL)
+		}
+	}
+}

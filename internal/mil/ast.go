@@ -1,0 +1,139 @@
+// Package mil implements a small interpreter for a MIL-like physical
+// execution language (MIL was the Monet Interpreter Language). The Moa
+// logical layer compiles query expressions to MIL programs, exactly as the
+// Mirror DBMS did; the interpreter here executes them against a set of named
+// BATs. The language is also exposed interactively through cmd/moash.
+//
+// Statements:
+//
+//	var x := join(a.reverse(), b);   # declaration
+//	x := [*](x, 2.0);                # assignment, multiplex op
+//	s := {sum}(vals, grp);           # pump aggregate
+//	print(x);                        # expression statement
+//
+// A method-style call a.f(b) is sugar for f(a, b).
+package mil
+
+import (
+	"fmt"
+	"strings"
+
+	"mirror/internal/bat"
+)
+
+// Program is a parsed (or programmatically built) sequence of statements.
+type Program struct {
+	Stmts []Stmt
+}
+
+// Stmt is one statement: an optional assignment target plus an expression.
+type Stmt struct {
+	Var  string // "" for a bare expression statement
+	Decl bool   // true when introduced with `var`
+	Expr Expr
+}
+
+// Expr is a MIL expression node.
+type Expr interface {
+	// render writes MIL concrete syntax.
+	render(sb *strings.Builder)
+}
+
+// Lit is a literal: int64, float64, string, bool, bat.OID, or nil.
+type Lit struct{ V any }
+
+// Ref names a variable.
+type Ref struct{ Name string }
+
+// Call invokes a builtin: Fn(Args...).
+type Call struct {
+	Fn   string
+	Args []Expr
+}
+
+// Pump is {agg}(args...): a grouped aggregate.
+type Pump struct {
+	Agg  string
+	Args []Expr
+}
+
+// Mux is [op](args...): a multiplexed scalar operator.
+type Mux struct {
+	Op   string
+	Args []Expr
+}
+
+func (l *Lit) render(sb *strings.Builder)  { sb.WriteString(bat.FormatValue(l.V)) }
+func (r *Ref) render(sb *strings.Builder)  { sb.WriteString(r.Name) }
+func (c *Call) render(sb *strings.Builder) { renderCall(sb, c.Fn, c.Args) }
+func (p *Pump) render(sb *strings.Builder) { renderCall(sb, "{"+p.Agg+"}", p.Args) }
+func (m *Mux) render(sb *strings.Builder)  { renderCall(sb, "["+m.Op+"]", m.Args) }
+
+func renderCall(sb *strings.Builder, fn string, args []Expr) {
+	sb.WriteString(fn)
+	sb.WriteByte('(')
+	for i, a := range args {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		a.render(sb)
+	}
+	sb.WriteByte(')')
+}
+
+// String renders the program as MIL source text; parsing it back yields an
+// equivalent program (used by tests as a round-trip property).
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, s := range p.Stmts {
+		if s.Decl {
+			sb.WriteString("var ")
+		}
+		if s.Var != "" {
+			sb.WriteString(s.Var)
+			sb.WriteString(" := ")
+		}
+		s.Expr.render(&sb)
+		sb.WriteString(";\n")
+	}
+	return sb.String()
+}
+
+// Assign appends `v := expr` to the program and returns the reference.
+func (p *Program) Assign(v string, e Expr) *Ref {
+	p.Stmts = append(p.Stmts, Stmt{Var: v, Expr: e})
+	return &Ref{Name: v}
+}
+
+// Do appends a bare expression statement.
+func (p *Program) Do(e Expr) {
+	p.Stmts = append(p.Stmts, Stmt{Expr: e})
+}
+
+// Render returns the MIL concrete syntax of a single expression.
+func Render(e Expr) string {
+	var sb strings.Builder
+	e.render(&sb)
+	return sb.String()
+}
+
+// C builds a Call node.
+func C(fn string, args ...Expr) *Call { return &Call{Fn: fn, Args: args} }
+
+// L builds a literal node.
+func L(v any) *Lit { return &Lit{V: v} }
+
+// R builds a variable reference.
+func R(name string) *Ref { return &Ref{Name: name} }
+
+// P builds a pump node.
+func P(agg string, args ...Expr) *Pump { return &Pump{Agg: agg, Args: args} }
+
+// M builds a multiplex node.
+func M(op string, args ...Expr) *Mux { return &Mux{Op: op, Args: args} }
+
+// Errorf formats errors with a mil: prefix; small helper shared by the
+// interpreter files.
+func errorf(format string, args ...any) error {
+	return fmt.Errorf("mil: "+format, args...)
+}

@@ -1,0 +1,592 @@
+package mil
+
+import (
+	"fmt"
+
+	"mirror/internal/bat"
+)
+
+// builtinFn is the signature of a MIL builtin. The environment is passed so
+// that print can reach Env.Out.
+type builtinFn func(env *Env, args []any) (any, error)
+
+// builtins is the registry of all MIL functions. It is populated in init so
+// helper closures can reference each other.
+var builtins map[string]builtinFn
+
+func init() {
+	builtins = map[string]builtinFn{
+		// construction and mutation
+		"new":    biNew,
+		"insert": biInsert,
+
+		// shape
+		"reverse": bat1(func(b *bat.BAT) (any, error) { return b.Reverse(), nil }),
+		"mirror":  bat1(func(b *bat.BAT) (any, error) { return b.Mirror(), nil }),
+		"mark":    biMark,
+		"clone":   bat1(func(b *bat.BAT) (any, error) { return b.Clone(), nil }),
+		"number":  bat1(func(b *bat.BAT) (any, error) { return bat.Number(b), nil }),
+
+		// selection
+		"select":      biSelect,
+		"uselect":     biUSelect,
+		"select_not":  biSelectNot,
+		"like_select": biLikeSelect,
+
+		// joins and set operations
+		"join":       bat2(bat.Join),
+		"leftjoin":   bat2(bat.LeftJoin),
+		"semijoin":   bat2(bat.SemiJoin),
+		"kdiff":      bat2(bat.Diff),
+		"kunion":     bat2(bat.Union),
+		"kintersect": bat2(bat.Intersect),
+		"cross":      bat2(bat.CrossProduct),
+
+		// grouping
+		"group":   bat1(func(b *bat.BAT) (any, error) { return bat.Group(b) }),
+		"refine":  bat2(bat.GroupRefine),
+		"kunique": bat1(func(b *bat.BAT) (any, error) { return bat.Unique(b) }),
+
+		// scalar aggregates
+		"sum":   scalarAgg(bat.AggSum),
+		"count": scalarAgg(bat.AggCount),
+		"min":   scalarAgg(bat.AggMin),
+		"max":   scalarAgg(bat.AggMax),
+		"avg":   scalarAgg(bat.AggAvg),
+		"prod":  scalarAgg(bat.AggProd),
+
+		// ordering
+		"tsort":     bat1(func(b *bat.BAT) (any, error) { return bat.TSort(b) }),
+		"tsort_rev": bat1(func(b *bat.BAT) (any, error) { return bat.TSortRev(b) }),
+		"hsort":     bat1(func(b *bat.BAT) (any, error) { return bat.HSort(b) }),
+		"topn":      biTopN,
+		"slice":     biSlice,
+		"fetch":     biFetch,
+		"hfetch":    biHFetch,
+		"histogram": bat1(func(b *bat.BAT) (any, error) { return bat.Histogram(b) }),
+
+		// lookup
+		"find":   biFind,
+		"exists": biExists,
+
+		// probabilistic retrieval operators (the paper's physical extension)
+		"getbl":    biGetBL,
+		"wsum_bel": biWSumBel,
+
+		// I/O
+		"print": biPrint,
+	}
+}
+
+// ---- argument helpers ----
+
+func argBAT(args []any, i int) (*bat.BAT, error) {
+	if i >= len(args) {
+		return nil, errorf("missing argument %d", i+1)
+	}
+	b, ok := args[i].(*bat.BAT)
+	if !ok {
+		return nil, errorf("argument %d must be a BAT, got %T", i+1, args[i])
+	}
+	return b, nil
+}
+
+func argInt(args []any, i int) (int64, error) {
+	if i >= len(args) {
+		return 0, errorf("missing argument %d", i+1)
+	}
+	switch v := args[i].(type) {
+	case int64:
+		return v, nil
+	case bat.OID:
+		return int64(v), nil
+	case float64:
+		return int64(v), nil
+	}
+	return 0, errorf("argument %d must be an int, got %T", i+1, args[i])
+}
+
+func argFloat(args []any, i int) (float64, error) {
+	if i >= len(args) {
+		return 0, errorf("missing argument %d", i+1)
+	}
+	switch v := args[i].(type) {
+	case float64:
+		return v, nil
+	case int64:
+		return float64(v), nil
+	}
+	return 0, errorf("argument %d must be a float, got %T", i+1, args[i])
+}
+
+func argStr(args []any, i int) (string, error) {
+	if i >= len(args) {
+		return "", errorf("missing argument %d", i+1)
+	}
+	s, ok := args[i].(string)
+	if !ok {
+		return "", errorf("argument %d must be a string, got %T", i+1, args[i])
+	}
+	return s, nil
+}
+
+func wantArgs(args []any, n int) error {
+	if len(args) != n {
+		return errorf("want %d arguments, got %d", n, len(args))
+	}
+	return nil
+}
+
+// bat1 adapts a unary BAT function.
+func bat1(f func(*bat.BAT) (any, error)) builtinFn {
+	return func(_ *Env, args []any) (any, error) {
+		if err := wantArgs(args, 1); err != nil {
+			return nil, err
+		}
+		b, err := argBAT(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		return f(b)
+	}
+}
+
+// bat2 adapts a binary BAT function.
+func bat2(f func(a, b *bat.BAT) (*bat.BAT, error)) builtinFn {
+	return func(_ *Env, args []any) (any, error) {
+		if err := wantArgs(args, 2); err != nil {
+			return nil, err
+		}
+		a, err := argBAT(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := argBAT(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		return f(a, b)
+	}
+}
+
+func scalarAgg(k bat.AggKind) builtinFn {
+	return bat1(func(b *bat.BAT) (any, error) { return bat.ScalarAggregate(k, b) })
+}
+
+// ---- individual builtins ----
+
+func biNew(_ *Env, args []any) (any, error) {
+	if err := wantArgs(args, 2); err != nil {
+		return nil, err
+	}
+	hs, err := argStr(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := argStr(args, 1)
+	if err != nil {
+		return nil, err
+	}
+	hk, err := bat.KindFromString(hs)
+	if err != nil {
+		return nil, err
+	}
+	tk, err := bat.KindFromString(ts)
+	if err != nil {
+		return nil, err
+	}
+	return bat.New(hk, tk), nil
+}
+
+func biInsert(_ *Env, args []any) (any, error) {
+	if err := wantArgs(args, 3); err != nil {
+		return nil, err
+	}
+	b, err := argBAT(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.Append(args[1], args[2]); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func biMark(_ *Env, args []any) (any, error) {
+	b, err := argBAT(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	base := int64(0)
+	if len(args) > 1 {
+		base, err = argInt(args, 1)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return b.Mark(bat.OID(base)), nil
+}
+
+func biSelect(_ *Env, args []any) (any, error) {
+	b, err := argBAT(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	switch len(args) {
+	case 2:
+		return bat.Select(b, args[1])
+	case 3:
+		return bat.SelectRange(b, args[1], args[2])
+	}
+	return nil, errorf("select: want 2 or 3 arguments, got %d", len(args))
+}
+
+func biUSelect(_ *Env, args []any) (any, error) {
+	b, err := argBAT(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	switch len(args) {
+	case 2:
+		return bat.USelect(b, args[1])
+	case 3:
+		return bat.USelectRange(b, args[1], args[2])
+	}
+	return nil, errorf("uselect: want 2 or 3 arguments, got %d", len(args))
+}
+
+func biSelectNot(_ *Env, args []any) (any, error) {
+	if err := wantArgs(args, 2); err != nil {
+		return nil, err
+	}
+	b, err := argBAT(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	return bat.SelectNot(b, args[1])
+}
+
+func biLikeSelect(_ *Env, args []any) (any, error) {
+	if err := wantArgs(args, 2); err != nil {
+		return nil, err
+	}
+	b, err := argBAT(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	pat, err := argStr(args, 1)
+	if err != nil {
+		return nil, err
+	}
+	return bat.LikeSelect(b, pat)
+}
+
+func biTopN(_ *Env, args []any) (any, error) {
+	if err := wantArgs(args, 2); err != nil {
+		return nil, err
+	}
+	b, err := argBAT(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	n, err := argInt(args, 1)
+	if err != nil {
+		return nil, err
+	}
+	return bat.TopN(b, int(n))
+}
+
+func biSlice(_ *Env, args []any) (any, error) {
+	if err := wantArgs(args, 3); err != nil {
+		return nil, err
+	}
+	b, err := argBAT(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	lo, err := argInt(args, 1)
+	if err != nil {
+		return nil, err
+	}
+	hi, err := argInt(args, 2)
+	if err != nil {
+		return nil, err
+	}
+	return b.Slice(int(lo), int(hi))
+}
+
+func biFetch(_ *Env, args []any) (any, error) {
+	if err := wantArgs(args, 2); err != nil {
+		return nil, err
+	}
+	b, err := argBAT(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	i, err := argInt(args, 1)
+	if err != nil {
+		return nil, err
+	}
+	_, t, err := b.Fetch(int(i))
+	return t, err
+}
+
+func biHFetch(_ *Env, args []any) (any, error) {
+	if err := wantArgs(args, 2); err != nil {
+		return nil, err
+	}
+	b, err := argBAT(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	i, err := argInt(args, 1)
+	if err != nil {
+		return nil, err
+	}
+	h, _, err := b.Fetch(int(i))
+	return h, err
+}
+
+func biFind(_ *Env, args []any) (any, error) {
+	if err := wantArgs(args, 2); err != nil {
+		return nil, err
+	}
+	b, err := argBAT(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	v, ok := b.Find(args[1])
+	if !ok {
+		return nil, errorf("find: head value %v not present", args[1])
+	}
+	return v, nil
+}
+
+func biExists(_ *Env, args []any) (any, error) {
+	if err := wantArgs(args, 2); err != nil {
+		return nil, err
+	}
+	b, err := argBAT(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	return b.Exists(args[1]), nil
+}
+
+// biGetBL is the MIL surface of the probabilistic physical operator:
+//
+//	getbl(revterm, doc, belief, query, default) → [docOID, score]
+//
+// query is a BAT whose tail holds the query-term OIDs; default is the
+// inference network's default belief for unmatched terms.
+func biGetBL(_ *Env, args []any) (any, error) {
+	if err := wantArgs(args, 5); err != nil {
+		return nil, err
+	}
+	rev, err := argBAT(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := argBAT(args, 1)
+	if err != nil {
+		return nil, err
+	}
+	bel, err := argBAT(args, 2)
+	if err != nil {
+		return nil, err
+	}
+	qb, err := argBAT(args, 3)
+	if err != nil {
+		return nil, err
+	}
+	def, err := argFloat(args, 4)
+	if err != nil {
+		return nil, err
+	}
+	query := make([]bat.OID, qb.Len())
+	for i := range query {
+		query[i] = qb.Tail.OIDAt(i)
+	}
+	beliefs, counts, err := bat.GetBL(rev, doc, bel, query)
+	if err != nil {
+		return nil, err
+	}
+	return bat.SumBeliefs(beliefs, counts, len(query), def)
+}
+
+// biWSumBel: wsum_bel(revterm, doc, belief, query, weights, default).
+func biWSumBel(_ *Env, args []any) (any, error) {
+	if err := wantArgs(args, 6); err != nil {
+		return nil, err
+	}
+	rev, err := argBAT(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := argBAT(args, 1)
+	if err != nil {
+		return nil, err
+	}
+	bel, err := argBAT(args, 2)
+	if err != nil {
+		return nil, err
+	}
+	qb, err := argBAT(args, 3)
+	if err != nil {
+		return nil, err
+	}
+	wb, err := argBAT(args, 4)
+	if err != nil {
+		return nil, err
+	}
+	def, err := argFloat(args, 5)
+	if err != nil {
+		return nil, err
+	}
+	query := make([]bat.OID, qb.Len())
+	for i := range query {
+		query[i] = qb.Tail.OIDAt(i)
+	}
+	weights := make([]float64, wb.Len())
+	for i := range weights {
+		weights[i] = wb.Tail.FloatAt(i)
+	}
+	return bat.WSumBeliefs(rev, doc, bel, query, weights, def)
+}
+
+func biPrint(env *Env, args []any) (any, error) {
+	for i, a := range args {
+		if i > 0 {
+			fmt.Fprint(env.Out, " ")
+		}
+		switch v := a.(type) {
+		case *bat.BAT:
+			fmt.Fprint(env.Out, v.String())
+		default:
+			fmt.Fprint(env.Out, bat.FormatValue(v))
+		}
+	}
+	fmt.Fprintln(env.Out)
+	if len(args) == 1 {
+		return args[0], nil
+	}
+	return nil, nil
+}
+
+func init() {
+	builtins["fill"] = biFill
+	builtins["calc"] = biCalc
+}
+
+// biFill: fill(b, domain, v) — see bat.Fill. v is coerced to b's tail kind
+// when numeric.
+func biFill(_ *Env, args []any) (any, error) {
+	if err := wantArgs(args, 3); err != nil {
+		return nil, err
+	}
+	b, err := argBAT(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	domain, err := argBAT(args, 1)
+	if err != nil {
+		return nil, err
+	}
+	v := args[2]
+	switch b.Tail.Kind() {
+	case bat.KindFloat:
+		if f, err2 := argFloat(args, 2); err2 == nil {
+			v = f
+		}
+	case bat.KindInt:
+		if n, err2 := argInt(args, 2); err2 == nil {
+			v = n
+		}
+	}
+	return bat.Fill(b, domain, v)
+}
+
+// biCalc: calc(op, a, b) — scalar arithmetic for the few places a MIL
+// program needs to combine scalar results (e.g. qlen · defaultBelief).
+func biCalc(_ *Env, args []any) (any, error) {
+	if err := wantArgs(args, 3); err != nil {
+		return nil, err
+	}
+	op, err := argStr(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	a, err := argFloat(args, 1)
+	if err != nil {
+		return nil, err
+	}
+	b, err := argFloat(args, 2)
+	if err != nil {
+		return nil, err
+	}
+	switch op {
+	case "+":
+		return a + b, nil
+	case "-":
+		return a - b, nil
+	case "*":
+		return a * b, nil
+	case "/":
+		if b == 0 {
+			return 0.0, nil
+		}
+		return a / b, nil
+	case "min":
+		if a < b {
+			return a, nil
+		}
+		return b, nil
+	case "max":
+		if a > b {
+			return a, nil
+		}
+		return b, nil
+	}
+	return nil, errorf("calc: unknown operator %q", op)
+}
+
+func init() {
+	builtins["getbl_pairs"] = biGetBLPairs
+}
+
+// biGetBLPairs: getbl_pairs(revterm, doc, belief, query, default, domain) —
+// the materialising per-term belief operator (see bat.GetBLPairs).
+func biGetBLPairs(_ *Env, args []any) (any, error) {
+	if err := wantArgs(args, 6); err != nil {
+		return nil, err
+	}
+	rev, err := argBAT(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := argBAT(args, 1)
+	if err != nil {
+		return nil, err
+	}
+	bel, err := argBAT(args, 2)
+	if err != nil {
+		return nil, err
+	}
+	qb, err := argBAT(args, 3)
+	if err != nil {
+		return nil, err
+	}
+	def, err := argFloat(args, 4)
+	if err != nil {
+		return nil, err
+	}
+	domain, err := argBAT(args, 5)
+	if err != nil {
+		return nil, err
+	}
+	query := make([]bat.OID, qb.Len())
+	for i := range query {
+		query[i] = qb.Tail.OIDAt(i)
+	}
+	return bat.GetBLPairs(rev, doc, bel, query, def, domain)
+}

@@ -1,0 +1,219 @@
+package mil
+
+import (
+	"math"
+	"testing"
+
+	"mirror/internal/bat"
+)
+
+// mk builds a dense-headed BAT for builtin tests.
+func mk(t *testing.T, tk bat.Kind, vals ...any) *bat.BAT {
+	t.Helper()
+	b := bat.NewDense(0, tk)
+	for i, v := range vals {
+		if err := b.Append(bat.OID(i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b
+}
+
+func TestSetOperationBuiltins(t *testing.T) {
+	l := bat.New(bat.KindOID, bat.KindStr)
+	l.MustAppend(bat.OID(1), "a")
+	l.MustAppend(bat.OID(2), "b")
+	r := bat.New(bat.KindOID, bat.KindStr)
+	r.MustAppend(bat.OID(2), "x")
+	r.MustAppend(bat.OID(3), "y")
+	bind := map[string]any{"l": l, "r": r}
+
+	if v := runSrc(t, "count(kunion(l, r));", bind); v.(int64) != 3 {
+		t.Fatalf("kunion = %v", v)
+	}
+	if v := runSrc(t, "count(kdiff(l, r));", bind); v.(int64) != 1 {
+		t.Fatalf("kdiff = %v", v)
+	}
+	if v := runSrc(t, "count(kintersect(l, r));", bind); v.(int64) != 1 {
+		t.Fatalf("kintersect = %v", v)
+	}
+	if v := runSrc(t, "count(cross(l, r));", bind); v.(int64) != 4 {
+		t.Fatalf("cross = %v", v)
+	}
+}
+
+func TestSelectionBuiltins(t *testing.T) {
+	b := mk(t, bat.KindStr, "apple", "pear", "APPLE")
+	bind := map[string]any{"b": b}
+	if v := runSrc(t, `count(like_select(b, "app"));`, bind); v.(int64) != 2 {
+		t.Fatalf("like_select = %v", v)
+	}
+	if v := runSrc(t, `count(select_not(b, "pear"));`, bind); v.(int64) != 2 {
+		t.Fatalf("select_not = %v", v)
+	}
+	if v := runSrc(t, `exists(reverse(b), "pear");`, bind); v.(bool) != true {
+		t.Fatalf("exists = %v", v)
+	}
+	if v := runSrc(t, `exists(reverse(b), "kiwi");`, bind); v.(bool) != false {
+		t.Fatalf("exists = %v", v)
+	}
+}
+
+func TestHistogramAndNumber(t *testing.T) {
+	b := mk(t, bat.KindStr, "x", "y", "x", "x")
+	bind := map[string]any{"b": b}
+	if v := runSrc(t, `find(histogram(b), "x");`, bind); v.(int64) != 3 {
+		t.Fatalf("histogram = %v", v)
+	}
+	if v := runSrc(t, `count(number(b));`, bind); v.(int64) != 4 {
+		t.Fatalf("number = %v", v)
+	}
+	dup := bat.New(bat.KindOID, bat.KindInt)
+	dup.MustAppend(bat.OID(5), int64(1))
+	dup.MustAppend(bat.OID(5), int64(2))
+	if v := runSrc(t, `count(kunique(d));`, map[string]any{"d": dup}); v.(int64) != 1 {
+		t.Fatalf("kunique = %v", v)
+	}
+}
+
+func TestScalarAggBuiltins(t *testing.T) {
+	b := mk(t, bat.KindFloat, 2.0, 4.0, 6.0)
+	bind := map[string]any{"b": b}
+	cases := map[string]float64{
+		"avg(b);": 4, "min(b);": 2, "max(b);": 6, "prod(b);": 48,
+	}
+	for src, want := range cases {
+		if v := runSrc(t, src, bind); math.Abs(v.(float64)-want) > 1e-12 {
+			t.Fatalf("%s = %v, want %v", src, v, want)
+		}
+	}
+}
+
+func TestCalcBuiltin(t *testing.T) {
+	cases := map[string]float64{
+		`calc("+", 2, 3);`:   5,
+		`calc("-", 2, 3);`:   -1,
+		`calc("*", 2.5, 4);`: 10,
+		`calc("/", 9, 3);`:   3,
+		`calc("/", 9, 0);`:   0,
+		`calc("min", 2, 3);`: 2,
+		`calc("max", 2, 3);`: 3,
+	}
+	for src, want := range cases {
+		if v := runSrc(t, src, nil); math.Abs(v.(float64)-want) > 1e-12 {
+			t.Fatalf("%s = %v, want %v", src, v, want)
+		}
+	}
+	env := NewEnv()
+	if _, err := RunSource(`calc("%", 1, 2);`, env); err == nil {
+		t.Fatal("unknown calc op should error")
+	}
+}
+
+func TestFillBuiltin(t *testing.T) {
+	scores := bat.New(bat.KindOID, bat.KindFloat)
+	scores.MustAppend(bat.OID(0), 0.9)
+	scores.MustAppend(bat.OID(2), 0.7)
+	domain := bat.New(bat.KindVoid, bat.KindVoid)
+	for i := 0; i < 4; i++ {
+		domain.MustAppend(bat.OID(i), bat.OID(i))
+	}
+	bind := map[string]any{"s": scores, "d": domain}
+	v := runSrc(t, `var f := fill(s, d, 0.5); count(f);`, bind)
+	if v.(int64) != 4 {
+		t.Fatalf("fill count = %v", v)
+	}
+	v = runSrc(t, `find(fill(s, d, 0.5), 3@0);`, bind)
+	if v.(float64) != 0.5 {
+		t.Fatalf("fill default = %v", v)
+	}
+	v = runSrc(t, `find(fill(s, d, 0.5), 0@0);`, bind)
+	if v.(float64) != 0.9 {
+		t.Fatalf("fill existing = %v", v)
+	}
+	// int tail coercion path
+	counts := bat.New(bat.KindOID, bat.KindInt)
+	counts.MustAppend(bat.OID(1), int64(7))
+	v = runSrc(t, `find(fill(c, d, 0), 2@0);`, map[string]any{"c": counts, "d": domain})
+	if v.(int64) != 0 {
+		t.Fatalf("fill int = %v", v)
+	}
+}
+
+func TestWSumBelBuiltin(t *testing.T) {
+	term := bat.NewDense(0, bat.KindOID)
+	doc := bat.NewDense(0, bat.KindOID)
+	bel := bat.NewDense(0, bat.KindFloat)
+	term.MustAppend(bat.OID(0), bat.OID(10))
+	doc.MustAppend(bat.OID(0), bat.OID(0))
+	bel.MustAppend(bat.OID(0), 0.9)
+	q := mk(t, bat.KindOID, bat.OID(10))
+	w := mk(t, bat.KindFloat, 2.0)
+	bind := map[string]any{
+		"rev": term.Reverse(), "doc": doc, "bel": bel, "q": q, "w": w,
+	}
+	v := runSrc(t, `find(wsum_bel(rev, doc, bel, q, w, 0.4), 0@0);`, bind)
+	// 2*(0.9-0.4) + 2*0.4 = 1.8
+	if math.Abs(v.(float64)-1.8) > 1e-12 {
+		t.Fatalf("wsum_bel = %v", v)
+	}
+}
+
+func TestRefineBuiltin(t *testing.T) {
+	a := mk(t, bat.KindStr, "x", "x", "y")
+	b := mk(t, bat.KindInt, int64(1), int64(2), int64(1))
+	v := runSrc(t, `
+		var g := group(a);
+		var g2 := refine(g, b);
+		count(g2);`, map[string]any{"a": a, "b": b})
+	if v.(int64) != 3 {
+		t.Fatalf("refine count = %v", v)
+	}
+}
+
+func TestBuiltinArgErrors(t *testing.T) {
+	b := mk(t, bat.KindInt, int64(1))
+	bad := []string{
+		`join(b);`,             // arity
+		`join(b, 3);`,          // type
+		`select(3, 1);`,        // not a BAT
+		`topn(b, "x");`,        // bad int
+		`new(oid);`,            // arity
+		`new(blob, int);`,      // unknown kind
+		`mark(3);`,             // not a BAT
+		`slice(b, 1);`,         // arity
+		`fetch(b, 99);`,        // out of range
+		`find(b, 99);`,         // missing head
+		`getbl(b, b, b, b);`,   // arity
+		`{bogus}(b);`,          // unknown aggregate
+		`[bogus](b);`,          // unknown unary mux
+		`[+](1, 2);`,           // no BAT operand
+		`{sum}(b, b, b);`,      // pump arity
+		`like_select(b, "x");`, // non-str tail
+		`histogram(b, b);`,     // arity
+	}
+	for _, src := range bad {
+		env := NewEnv()
+		env.Bind("b", b)
+		if _, err := RunSource(src, env); err == nil {
+			t.Errorf("RunSource(%q) should fail", src)
+		}
+	}
+}
+
+func TestMuxBoolOps(t *testing.T) {
+	a := mk(t, bat.KindBool, true, false)
+	b := mk(t, bat.KindBool, true, true)
+	v := runSrc(t, `fetch([and](a, b), 1);`, map[string]any{"a": a, "b": b})
+	if v.(bool) != false {
+		t.Fatalf("[and] = %v", v)
+	}
+	v = runSrc(t, `fetch([or](a, b), 1);`, map[string]any{"a": a, "b": b})
+	if v.(bool) != true {
+		t.Fatalf("[or] = %v", v)
+	}
+	v = runSrc(t, `fetch([not](a), 0);`, map[string]any{"a": a})
+	if v.(bool) != false {
+		t.Fatalf("[not] = %v", v)
+	}
+}

@@ -1,0 +1,185 @@
+package mil
+
+import (
+	"fmt"
+	"io"
+
+	"mirror/internal/bat"
+)
+
+// Env holds the variable bindings a program runs against. Base BATs (the
+// stored database) are usually bound before Run; the program adds
+// intermediates. Out receives print() output (defaults to io.Discard).
+type Env struct {
+	vars map[string]any
+	Out  io.Writer
+}
+
+// NewEnv returns an empty environment.
+func NewEnv() *Env {
+	return &Env{vars: make(map[string]any), Out: io.Discard}
+}
+
+// Bind sets a variable.
+func (e *Env) Bind(name string, v any) { e.vars[name] = v }
+
+// Lookup fetches a variable.
+func (e *Env) Lookup(name string) (any, bool) {
+	v, ok := e.vars[name]
+	return v, ok
+}
+
+// BAT fetches a variable and asserts it is a BAT.
+func (e *Env) BAT(name string) (*bat.BAT, error) {
+	v, ok := e.vars[name]
+	if !ok {
+		return nil, errorf("undefined variable %q", name)
+	}
+	b, ok := v.(*bat.BAT)
+	if !ok {
+		return nil, errorf("variable %q is not a BAT (%T)", name, v)
+	}
+	return b, nil
+}
+
+// Fork returns a child environment sharing the same bindings map is NOT what
+// we want for repeated runs; Fork copies the bindings so a program's
+// intermediates do not pollute the base environment.
+func (e *Env) Fork() *Env {
+	c := NewEnv()
+	c.Out = e.Out
+	for k, v := range e.vars {
+		c.vars[k] = v
+	}
+	return c
+}
+
+// Run executes the program in env. The value of the last statement is
+// returned (result of the final expression or assignment).
+func Run(p *Program, env *Env) (any, error) {
+	var last any
+	for i := range p.Stmts {
+		st := &p.Stmts[i]
+		v, err := evalExpr(st.Expr, env)
+		if err != nil {
+			return nil, err
+		}
+		if st.Var != "" {
+			env.vars[st.Var] = v
+		}
+		last = v
+	}
+	return last, nil
+}
+
+// RunSource parses and executes MIL source text.
+func RunSource(src string, env *Env) (any, error) {
+	p, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Run(p, env)
+}
+
+func evalExpr(e Expr, env *Env) (any, error) {
+	switch x := e.(type) {
+	case *Lit:
+		return x.V, nil
+	case *Ref:
+		v, ok := env.vars[x.Name]
+		if !ok {
+			return nil, errorf("undefined variable %q", x.Name)
+		}
+		return v, nil
+	case *Call:
+		fn, ok := builtins[x.Fn]
+		if !ok {
+			return nil, errorf("unknown function %q", x.Fn)
+		}
+		args, err := evalArgs(x.Args, env)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", x.Fn, err)
+		}
+		v, err := fn(env, args)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", x.Fn, err)
+		}
+		return v, nil
+	case *Pump:
+		args, err := evalArgs(x.Args, env)
+		if err != nil {
+			return nil, err
+		}
+		return evalPump(x.Agg, args)
+	case *Mux:
+		args, err := evalArgs(x.Args, env)
+		if err != nil {
+			return nil, err
+		}
+		return evalMux(x.Op, args)
+	}
+	return nil, errorf("bad expression node %T", e)
+}
+
+func evalArgs(exprs []Expr, env *Env) ([]any, error) {
+	out := make([]any, len(exprs))
+	for i, e := range exprs {
+		v, err := evalExpr(e, env)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// evalPump dispatches {agg}(b) → by-head pump and {agg}(vals, grp) → grouped
+// pump.
+func evalPump(agg string, args []any) (any, error) {
+	kind, err := bat.AggKindFromString(agg)
+	if err != nil {
+		return nil, err
+	}
+	switch len(args) {
+	case 1:
+		b, ok := args[0].(*bat.BAT)
+		if !ok {
+			return nil, errorf("{%s}: argument must be a BAT, got %T", agg, args[0])
+		}
+		return bat.PumpByHead(kind, b)
+	case 2:
+		vals, ok1 := args[0].(*bat.BAT)
+		grp, ok2 := args[1].(*bat.BAT)
+		if !ok1 || !ok2 {
+			return nil, errorf("{%s}: arguments must be BATs", agg)
+		}
+		return bat.PumpAggregate(kind, vals, grp)
+	}
+	return nil, errorf("{%s}: want 1 or 2 arguments, got %d", agg, len(args))
+}
+
+// evalMux dispatches [op](a), [op](a, b), and scalar/BAT mixes.
+func evalMux(op string, args []any) (any, error) {
+	switch len(args) {
+	case 1:
+		b, ok := args[0].(*bat.BAT)
+		if !ok {
+			return nil, errorf("[%s]: argument must be a BAT, got %T", op, args[0])
+		}
+		return bat.MultiplexUnary(op, b)
+	case 2:
+		a, aBAT := args[0].(*bat.BAT)
+		b, bBAT := args[1].(*bat.BAT)
+		switch {
+		case aBAT && bBAT:
+			return bat.Multiplex(op, a, b)
+		case aBAT:
+			return bat.MultiplexConst(op, a, args[1], true)
+		case bBAT:
+			return bat.MultiplexConst(op, b, args[0], false)
+		default:
+			return nil, errorf("[%s]: at least one argument must be a BAT", op)
+		}
+	}
+	return nil, errorf("[%s]: want 1 or 2 arguments, got %d", op, len(args))
+}

@@ -1,0 +1,200 @@
+package mil
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokStr
+	tokOID // 5@0
+	tokAssign
+	tokSemi
+	tokComma
+	tokDot
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokLBrace
+	tokRBrace
+	tokOp // operator symbol inside [...] contexts: + - * / < <= etc.
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset, for error messages
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (lx *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("mil: line %d: %s", lx.line, fmt.Sprintf(format, args...))
+}
+
+// next scans one token.
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '#':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, pos: lx.pos, line: lx.line}, nil
+
+scan:
+	start := lx.pos
+	c := lx.src[lx.pos]
+	mk := func(k tokenKind) token {
+		return token{kind: k, text: lx.src[start:lx.pos], pos: start, line: lx.line}
+	}
+	switch {
+	case c == ';':
+		lx.pos++
+		return mk(tokSemi), nil
+	case c == ',':
+		lx.pos++
+		return mk(tokComma), nil
+	case c == '.':
+		// distinguish float like .5? MIL literals always have a leading digit;
+		// a bare dot is method access.
+		lx.pos++
+		return mk(tokDot), nil
+	case c == '(':
+		lx.pos++
+		return mk(tokLParen), nil
+	case c == ')':
+		lx.pos++
+		return mk(tokRParen), nil
+	case c == '[':
+		lx.pos++
+		return mk(tokLBracket), nil
+	case c == ']':
+		lx.pos++
+		return mk(tokRBracket), nil
+	case c == '{':
+		lx.pos++
+		return mk(tokLBrace), nil
+	case c == '}':
+		lx.pos++
+		return mk(tokRBrace), nil
+	case c == ':':
+		if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '=' {
+			lx.pos += 2
+			return mk(tokAssign), nil
+		}
+		return token{}, lx.errf("unexpected ':'")
+	case strings.ContainsRune("+-*/<>=!", rune(c)):
+		lx.pos++
+		if lx.pos < len(lx.src) && lx.src[lx.pos] == '=' {
+			lx.pos++
+		}
+		return mk(tokOp), nil
+	case c == '"':
+		lx.pos++
+		var sb strings.Builder
+		for lx.pos < len(lx.src) && lx.src[lx.pos] != '"' {
+			ch := lx.src[lx.pos]
+			if ch == '\\' && lx.pos+1 < len(lx.src) {
+				lx.pos++
+				switch lx.src[lx.pos] {
+				case 'n':
+					ch = '\n'
+				case 't':
+					ch = '\t'
+				case '"':
+					ch = '"'
+				case '\\':
+					ch = '\\'
+				default:
+					return token{}, lx.errf("bad escape \\%c", lx.src[lx.pos])
+				}
+			}
+			if ch == '\n' {
+				lx.line++
+			}
+			sb.WriteByte(ch)
+			lx.pos++
+		}
+		if lx.pos >= len(lx.src) {
+			return token{}, lx.errf("unterminated string")
+		}
+		lx.pos++ // closing quote
+		return token{kind: tokStr, text: sb.String(), pos: start, line: lx.line}, nil
+	case c >= '0' && c <= '9':
+		for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+			lx.pos++
+		}
+		// OID literal: digits '@' digits
+		if lx.pos < len(lx.src) && lx.src[lx.pos] == '@' {
+			numEnd := lx.pos
+			lx.pos++
+			for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+				lx.pos++
+			}
+			return token{kind: tokOID, text: lx.src[start:numEnd], pos: start, line: lx.line}, nil
+		}
+		if lx.pos < len(lx.src) && lx.src[lx.pos] == '.' &&
+			lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] >= '0' && lx.src[lx.pos+1] <= '9' {
+			lx.pos++
+			for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+				lx.pos++
+			}
+			// exponent
+			if lx.pos < len(lx.src) && (lx.src[lx.pos] == 'e' || lx.src[lx.pos] == 'E') {
+				lx.pos++
+				if lx.pos < len(lx.src) && (lx.src[lx.pos] == '+' || lx.src[lx.pos] == '-') {
+					lx.pos++
+				}
+				for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+					lx.pos++
+				}
+			}
+			return mk(tokFloat), nil
+		}
+		return mk(tokInt), nil
+	case isIdentStart(rune(c)):
+		for lx.pos < len(lx.src) && isIdentPart(rune(lx.src[lx.pos])) {
+			lx.pos++
+		}
+		return mk(tokIdent), nil
+	}
+	return token{}, lx.errf("unexpected character %q", c)
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,300 @@
+package mil
+
+import (
+	"strconv"
+
+	"mirror/internal/bat"
+)
+
+// Parse turns MIL source text into a Program.
+func Parse(src string) (*Program, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	prog := &Program{}
+	for p.tok.kind != tokEOF {
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		prog.Stmts = append(prog.Stmts, st)
+	}
+	return prog, nil
+}
+
+type parser struct {
+	lx  *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(k tokenKind, what string) (token, error) {
+	if p.tok.kind != k {
+		return token{}, errorf("line %d: expected %s, got %q", p.tok.line, what, p.tok.text)
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	var st Stmt
+	if p.tok.kind == tokIdent && p.tok.text == "var" {
+		st.Decl = true
+		if err := p.advance(); err != nil {
+			return st, err
+		}
+		name, err := p.expect(tokIdent, "identifier after var")
+		if err != nil {
+			return st, err
+		}
+		st.Var = name.text
+		if _, err := p.expect(tokAssign, ":="); err != nil {
+			return st, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return st, err
+		}
+		st.Expr = e
+		_, err = p.expect(tokSemi, ";")
+		return st, err
+	}
+
+	// Could be `ident := expr;` or a bare expression.
+	if p.tok.kind == tokIdent {
+		name := p.tok.text
+		save := *p.lx
+		saveTok := p.tok
+		if err := p.advance(); err != nil {
+			return st, err
+		}
+		if p.tok.kind == tokAssign {
+			if err := p.advance(); err != nil {
+				return st, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return st, err
+			}
+			st.Var, st.Expr = name, e
+			_, err = p.expect(tokSemi, ";")
+			return st, err
+		}
+		// backtrack: it was an expression starting with an identifier
+		*p.lx = save
+		p.tok = saveTok
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return st, err
+	}
+	st.Expr = e
+	_, err = p.expect(tokSemi, ";")
+	return st, err
+}
+
+// parseExpr parses a primary followed by .method(...) chains.
+func (p *parser) parseExpr() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokDot {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(tokIdent, "method name")
+		if err != nil {
+			return nil, err
+		}
+		args := []Expr{e}
+		if p.tok.kind == tokLParen {
+			more, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, more...)
+		}
+		e = &Call{Fn: name.text, Args: args}
+	}
+	return e, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch p.tok.kind {
+	case tokInt:
+		v, err := strconv.ParseInt(p.tok.text, 10, 64)
+		if err != nil {
+			return nil, errorf("line %d: bad int %q", p.tok.line, p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Lit{V: v}, nil
+	case tokFloat:
+		v, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return nil, errorf("line %d: bad float %q", p.tok.line, p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Lit{V: v}, nil
+	case tokOID:
+		v, err := strconv.ParseUint(p.tok.text, 10, 64)
+		if err != nil {
+			return nil, errorf("line %d: bad oid %q", p.tok.line, p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Lit{V: bat.OID(v)}, nil
+	case tokStr:
+		s := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Lit{V: s}, nil
+	case tokOp:
+		// unary minus on a numeric literal
+		if p.tok.text == "-" {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			inner, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			l, ok := inner.(*Lit)
+			if !ok {
+				return nil, errorf("unary '-' only on literals")
+			}
+			switch x := l.V.(type) {
+			case int64:
+				return &Lit{V: -x}, nil
+			case float64:
+				return &Lit{V: -x}, nil
+			}
+			return nil, errorf("unary '-' on non-numeric literal")
+		}
+		return nil, errorf("line %d: unexpected operator %q", p.tok.line, p.tok.text)
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokLBracket:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		var op string
+		switch p.tok.kind {
+		case tokOp, tokIdent:
+			op = p.tok.text
+		default:
+			return nil, errorf("line %d: expected operator in [...], got %q", p.tok.line, p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBracket, "]"); err != nil {
+			return nil, err
+		}
+		args, err := p.parseArgs()
+		if err != nil {
+			return nil, err
+		}
+		return &Mux{Op: op, Args: args}, nil
+	case tokLBrace:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(tokIdent, "aggregate name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBrace, "}"); err != nil {
+			return nil, err
+		}
+		args, err := p.parseArgs()
+		if err != nil {
+			return nil, err
+		}
+		return &Pump{Agg: name.text, Args: args}, nil
+	case tokIdent:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch name {
+		case "true":
+			return &Lit{V: true}, nil
+		case "false":
+			return &Lit{V: false}, nil
+		case "nil":
+			return &Lit{V: nil}, nil
+		}
+		if p.tok.kind == tokLParen {
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			// `new(oid, flt)` takes type names: treat bare refs as strings.
+			if name == "new" {
+				for i, a := range args {
+					if r, ok := a.(*Ref); ok {
+						args[i] = &Lit{V: r.Name}
+					}
+				}
+			}
+			return &Call{Fn: name, Args: args}, nil
+		}
+		return &Ref{Name: name}, nil
+	}
+	return nil, errorf("line %d: unexpected token %q", p.tok.line, p.tok.text)
+}
+
+func (p *parser) parseArgs() ([]Expr, error) {
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	if p.tok.kind == tokRParen {
+		return args, p.advance()
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, e)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	_, err := p.expect(tokRParen, ")")
+	return args, err
+}

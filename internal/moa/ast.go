@@ -1,0 +1,181 @@
+package moa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a Moa query expression. The T field of each node is filled in by
+// the type checker.
+type Expr interface {
+	Type() Type
+	String() string
+}
+
+// This refers to the current element inside map[...] or select[...].
+type This struct{ T Type }
+
+func (e *This) Type() Type     { return e.T }
+func (e *This) String() string { return "THIS" }
+
+// Ident names a defined set or a bound query parameter.
+type Ident struct {
+	Name string
+	T    Type
+}
+
+func (e *Ident) Type() Type     { return e.T }
+func (e *Ident) String() string { return e.Name }
+
+// Field is attribute access: recv.name.
+type Field struct {
+	Recv Expr
+	Name string
+	T    Type
+}
+
+func (e *Field) Type() Type     { return e.T }
+func (e *Field) String() string { return e.Recv.String() + "." + e.Name }
+
+// MapExpr is map[body](src): apply body to every element of src.
+type MapExpr struct {
+	Body Expr
+	Src  Expr
+	T    Type
+}
+
+func (e *MapExpr) Type() Type { return e.T }
+func (e *MapExpr) String() string {
+	return fmt.Sprintf("map[%s](%s)", e.Body, e.Src)
+}
+
+// SelectExpr is select[pred](src): keep elements satisfying pred.
+type SelectExpr struct {
+	Pred Expr
+	Src  Expr
+	T    Type
+}
+
+func (e *SelectExpr) Type() Type { return e.T }
+func (e *SelectExpr) String() string {
+	return fmt.Sprintf("select[%s](%s)", e.Pred, e.Src)
+}
+
+// JoinExpr is join[THIS1.f = THIS2.g](left, right): an equi-join of two
+// sets of tuples, producing SET<TUPLE<left fields ++ right fields>>.
+type JoinExpr struct {
+	Pred  Expr // BinExpr "=" over Field(THIS1.*)/Field(THIS2.*)
+	Left  Expr
+	Right Expr
+	T     Type
+}
+
+func (e *JoinExpr) Type() Type { return e.T }
+func (e *JoinExpr) String() string {
+	return fmt.Sprintf("join[%s](%s, %s)", e.Pred, e.Left, e.Right)
+}
+
+// CallExpr is a function application: aggregates (sum, count, min, max,
+// avg), structure functions (getBL, ...), and scalar functions (log, exp).
+type CallExpr struct {
+	Fn   string
+	Args []Expr
+	T    Type
+}
+
+func (e *CallExpr) Type() Type { return e.T }
+func (e *CallExpr) String() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return e.Fn + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// BinExpr is a binary operator: arithmetic (+ - * /), comparison
+// (= != < <= > >=), boolean (and, or).
+type BinExpr struct {
+	Op   string
+	L, R Expr
+	T    Type
+}
+
+func (e *BinExpr) Type() Type     { return e.T }
+func (e *BinExpr) String() string { return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R) }
+
+// UnExpr is a unary operator: not, -.
+type UnExpr struct {
+	Op string
+	E  Expr
+	T  Type
+}
+
+func (e *UnExpr) Type() Type     { return e.T }
+func (e *UnExpr) String() string { return fmt.Sprintf("%s(%s)", e.Op, e.E) }
+
+// LitExpr is a literal: int64, float64, string, bool.
+type LitExpr struct {
+	V any
+	T Type
+}
+
+func (e *LitExpr) Type() Type { return e.T }
+func (e *LitExpr) String() string {
+	if s, ok := e.V.(string); ok {
+		return fmt.Sprintf("%q", s)
+	}
+	return fmt.Sprintf("%v", e.V)
+}
+
+// TupleExpr constructs a tuple value: TUPLE<name: expr, ...>.
+type TupleExpr struct {
+	Names []string
+	Elems []Expr
+	T     Type
+}
+
+func (e *TupleExpr) Type() Type { return e.T }
+func (e *TupleExpr) String() string {
+	var sb strings.Builder
+	sb.WriteString("TUPLE<")
+	for i := range e.Names {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s: %s", e.Names[i], e.Elems[i])
+	}
+	sb.WriteString(">")
+	return sb.String()
+}
+
+// walkRewrite applies f bottom-up over the expression tree, replacing each
+// node with f's result. Used by the optimizer.
+func walkRewrite(e Expr, f func(Expr) Expr) Expr {
+	switch x := e.(type) {
+	case *Field:
+		x.Recv = walkRewrite(x.Recv, f)
+	case *MapExpr:
+		x.Body = walkRewrite(x.Body, f)
+		x.Src = walkRewrite(x.Src, f)
+	case *SelectExpr:
+		x.Pred = walkRewrite(x.Pred, f)
+		x.Src = walkRewrite(x.Src, f)
+	case *JoinExpr:
+		x.Left = walkRewrite(x.Left, f)
+		x.Right = walkRewrite(x.Right, f)
+	case *CallExpr:
+		for i := range x.Args {
+			x.Args[i] = walkRewrite(x.Args[i], f)
+		}
+	case *BinExpr:
+		x.L = walkRewrite(x.L, f)
+		x.R = walkRewrite(x.R, f)
+	case *UnExpr:
+		x.E = walkRewrite(x.E, f)
+	case *TupleExpr:
+		for i := range x.Elems {
+			x.Elems[i] = walkRewrite(x.Elems[i], f)
+		}
+	}
+	return f(e)
+}

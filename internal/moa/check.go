@@ -1,0 +1,376 @@
+package moa
+
+import (
+	"fmt"
+
+	"mirror/internal/bat"
+)
+
+// CheckEnv supplies name resolution for type checking: the database schema
+// plus the types of bound query parameters (e.g. query: SET<Atomic<str>>,
+// stats: Atomic<stats>).
+type CheckEnv struct {
+	DB     *Database
+	Params map[string]Type
+}
+
+// Check type-checks a query expression, annotating every node with its
+// type. It returns the query's result type.
+func Check(e Expr, env *CheckEnv) (Type, error) {
+	c := &checker{env: env}
+	return c.check(e)
+}
+
+type checker struct {
+	env       *CheckEnv
+	thisStack []Type
+	joinElems [2]Type // types of THIS1/THIS2 while checking a join predicate
+	inJoin    bool
+}
+
+func (c *checker) check(e Expr) (Type, error) {
+	switch x := e.(type) {
+	case *This:
+		if len(c.thisStack) == 0 {
+			return nil, fmt.Errorf("moa: THIS outside map/select")
+		}
+		x.T = c.thisStack[len(c.thisStack)-1]
+		return x.T, nil
+
+	case *Ident:
+		if c.inJoin && (x.Name == "THIS1" || x.Name == "THIS2") {
+			i := 0
+			if x.Name == "THIS2" {
+				i = 1
+			}
+			x.T = c.joinElems[i]
+			return x.T, nil
+		}
+		if x.Name == "THIS1" || x.Name == "THIS2" {
+			return nil, fmt.Errorf("moa: %s outside join predicate", x.Name)
+		}
+		if t, ok := c.env.Params[x.Name]; ok {
+			x.T = t
+			return t, nil
+		}
+		if c.env.DB != nil {
+			if def, ok := c.env.DB.Set(x.Name); ok {
+				x.T = def.Type
+				return x.T, nil
+			}
+		}
+		return nil, fmt.Errorf("moa: unknown name %q", x.Name)
+
+	case *Field:
+		rt, err := c.check(x.Recv)
+		if err != nil {
+			return nil, err
+		}
+		tt, ok := rt.(*TupleType)
+		if !ok {
+			return nil, fmt.Errorf("moa: field access .%s on non-tuple type %s", x.Name, rt)
+		}
+		ft, ok := tt.Field(x.Name)
+		if !ok {
+			return nil, fmt.Errorf("moa: tuple %s has no field %q", tt, x.Name)
+		}
+		x.T = ft
+		return ft, nil
+
+	case *MapExpr:
+		st, err := c.check(x.Src)
+		if err != nil {
+			return nil, err
+		}
+		elem, ok := ElemType(st)
+		if !ok {
+			return nil, fmt.Errorf("moa: map over non-set type %s", st)
+		}
+		c.thisStack = append(c.thisStack, elem)
+		bt, err := c.check(x.Body)
+		c.thisStack = c.thisStack[:len(c.thisStack)-1]
+		if err != nil {
+			return nil, err
+		}
+		x.T = &SetType{Elem: bt}
+		return x.T, nil
+
+	case *SelectExpr:
+		st, err := c.check(x.Src)
+		if err != nil {
+			return nil, err
+		}
+		elem, ok := ElemType(st)
+		if !ok {
+			return nil, fmt.Errorf("moa: select over non-set type %s", st)
+		}
+		c.thisStack = append(c.thisStack, elem)
+		pt, err := c.check(x.Pred)
+		c.thisStack = c.thisStack[:len(c.thisStack)-1]
+		if err != nil {
+			return nil, err
+		}
+		if !pt.Equal(BoolType) {
+			return nil, fmt.Errorf("moa: select predicate must be bool, got %s", pt)
+		}
+		x.T = st
+		return st, nil
+
+	case *JoinExpr:
+		lt, err := c.check(x.Left)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := c.check(x.Right)
+		if err != nil {
+			return nil, err
+		}
+		le, lok := ElemType(lt)
+		re, rok := ElemType(rt)
+		if !lok || !rok {
+			return nil, fmt.Errorf("moa: join arguments must be sets, got %s and %s", lt, rt)
+		}
+		ltt, lok := le.(*TupleType)
+		rtt, rok := re.(*TupleType)
+		if !lok || !rok {
+			return nil, fmt.Errorf("moa: join arguments must be sets of tuples")
+		}
+		c.inJoin = true
+		c.joinElems = [2]Type{ltt, rtt}
+		pt, err := c.check(x.Pred)
+		c.inJoin = false
+		if err != nil {
+			return nil, err
+		}
+		if !pt.Equal(BoolType) {
+			return nil, fmt.Errorf("moa: join predicate must be bool, got %s", pt)
+		}
+		if err := validateJoinPred(x.Pred); err != nil {
+			return nil, err
+		}
+		merged := &TupleType{}
+		seen := map[string]bool{}
+		for i, n := range ltt.Names {
+			merged.Names = append(merged.Names, n)
+			merged.Types = append(merged.Types, ltt.Types[i])
+			seen[n] = true
+		}
+		for i, n := range rtt.Names {
+			if seen[n] {
+				return nil, fmt.Errorf("moa: join field name collision %q", n)
+			}
+			merged.Names = append(merged.Names, n)
+			merged.Types = append(merged.Types, rtt.Types[i])
+		}
+		x.T = &SetType{Elem: merged}
+		return x.T, nil
+
+	case *CallExpr:
+		return c.checkCall(x)
+
+	case *BinExpr:
+		lt, err := c.check(x.L)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := c.check(x.R)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "+", "-", "*", "/":
+			if !IsNumeric(lt) || !IsNumeric(rt) {
+				// allow string concatenation with +
+				if x.Op == "+" && atomKind(lt) == bat.KindStr && atomKind(rt) == bat.KindStr {
+					x.T = StrType
+					return x.T, nil
+				}
+				return nil, fmt.Errorf("moa: %s needs numeric operands, got %s and %s", x.Op, lt, rt)
+			}
+			if lt.Equal(IntType) && rt.Equal(IntType) && x.Op != "/" {
+				x.T = IntType
+			} else {
+				x.T = FloatType
+			}
+			return x.T, nil
+		case "=", "!=", "<", "<=", ">", ">=":
+			if atomKind(lt) == 0 || atomKind(rt) == 0 {
+				return nil, fmt.Errorf("moa: comparison %s on non-atomic types %s, %s", x.Op, lt, rt)
+			}
+			if !comparable(lt, rt) {
+				return nil, fmt.Errorf("moa: cannot compare %s with %s", lt, rt)
+			}
+			x.T = BoolType
+			return x.T, nil
+		case "and", "or":
+			if !lt.Equal(BoolType) || !rt.Equal(BoolType) {
+				return nil, fmt.Errorf("moa: %s needs bool operands, got %s and %s", x.Op, lt, rt)
+			}
+			x.T = BoolType
+			return x.T, nil
+		}
+		return nil, fmt.Errorf("moa: unknown operator %q", x.Op)
+
+	case *UnExpr:
+		et, err := c.check(x.E)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "not":
+			if !et.Equal(BoolType) {
+				return nil, fmt.Errorf("moa: not needs bool, got %s", et)
+			}
+			x.T = BoolType
+		case "-":
+			if !IsNumeric(et) {
+				return nil, fmt.Errorf("moa: unary - needs numeric, got %s", et)
+			}
+			x.T = et
+		default:
+			return nil, fmt.Errorf("moa: unknown unary %q", x.Op)
+		}
+		return x.T, nil
+
+	case *LitExpr:
+		return x.T, nil
+
+	case *TupleExpr:
+		tt := &TupleType{}
+		for i := range x.Names {
+			ft, err := c.check(x.Elems[i])
+			if err != nil {
+				return nil, err
+			}
+			tt.Names = append(tt.Names, x.Names[i])
+			tt.Types = append(tt.Types, ft)
+		}
+		x.T = tt
+		return tt, nil
+	}
+	return nil, fmt.Errorf("moa: cannot type node %T", e)
+}
+
+// aggregate names of the Moa kernel.
+var kernelAggs = map[string]bool{
+	"sum": true, "count": true, "min": true, "max": true, "avg": true,
+}
+
+// scalar math functions lifted over atoms.
+var kernelScalarFns = map[string]bool{
+	"log": true, "exp": true, "sqrt": true, "abs": true,
+}
+
+func (c *checker) checkCall(x *CallExpr) (Type, error) {
+	if len(x.Args) == 0 {
+		return nil, fmt.Errorf("moa: %s() needs arguments", x.Fn)
+	}
+	at, err := c.check(x.Args[0])
+	if err != nil {
+		return nil, err
+	}
+
+	// Structure-provided function (getBL, ...)?
+	if sf, ok := lookupStructFunc(x.Fn, at); ok {
+		types := make([]Type, len(x.Args))
+		types[0] = at
+		for i := 1; i < len(x.Args); i++ {
+			t, err := c.check(x.Args[i])
+			if err != nil {
+				return nil, err
+			}
+			types[i] = t
+		}
+		rt, err := sf.Check(types)
+		if err != nil {
+			return nil, err
+		}
+		x.T = rt
+		return rt, nil
+	}
+
+	if kernelAggs[x.Fn] {
+		if len(x.Args) != 1 {
+			return nil, fmt.Errorf("moa: %s takes one set argument", x.Fn)
+		}
+		elem, ok := ElemType(at)
+		if !ok {
+			return nil, fmt.Errorf("moa: %s over non-set type %s", x.Fn, at)
+		}
+		if x.Fn == "count" {
+			x.T = IntType
+			return x.T, nil
+		}
+		if !IsNumeric(elem) {
+			return nil, fmt.Errorf("moa: %s over non-numeric elements %s", x.Fn, elem)
+		}
+		if x.Fn == "avg" {
+			x.T = FloatType
+		} else {
+			x.T = elem
+		}
+		return x.T, nil
+	}
+
+	if kernelScalarFns[x.Fn] {
+		if len(x.Args) != 1 {
+			return nil, fmt.Errorf("moa: %s takes one argument", x.Fn)
+		}
+		if !IsNumeric(at) {
+			return nil, fmt.Errorf("moa: %s needs a numeric argument, got %s", x.Fn, at)
+		}
+		x.T = FloatType
+		return x.T, nil
+	}
+
+	return nil, fmt.Errorf("moa: unknown function %q", x.Fn)
+}
+
+// validateJoinPred restricts join predicates to conjunctions of equalities
+// between THIS1 fields and THIS2 fields (the flattenable fragment).
+func validateJoinPred(e Expr) error {
+	b, ok := e.(*BinExpr)
+	if !ok {
+		return fmt.Errorf("moa: join predicate must be an equality, got %s", e)
+	}
+	switch b.Op {
+	case "and":
+		if err := validateJoinPred(b.L); err != nil {
+			return err
+		}
+		return validateJoinPred(b.R)
+	case "=":
+		lf, lok := b.L.(*Field)
+		rf, rok := b.R.(*Field)
+		if !lok || !rok {
+			return fmt.Errorf("moa: join equality must compare tuple fields")
+		}
+		li, lok := lf.Recv.(*Ident)
+		ri, rok := rf.Recv.(*Ident)
+		if !lok || !rok || li.Name == ri.Name ||
+			(li.Name != "THIS1" && li.Name != "THIS2") ||
+			(ri.Name != "THIS1" && ri.Name != "THIS2") {
+			return fmt.Errorf("moa: join equality must compare THIS1.f with THIS2.g")
+		}
+		return nil
+	}
+	return fmt.Errorf("moa: join predicate operator %q not supported", b.Op)
+}
+
+// atomKind returns the physical kind of an atom type, or 0 for non-atoms.
+func atomKind(t Type) bat.Kind {
+	if a, ok := t.(*AtomType); ok {
+		return a.Kind
+	}
+	return 0
+}
+
+// comparable reports whether two atoms can be compared: same physical kind,
+// or both numeric.
+func comparable(a, b Type) bool {
+	ka, kb := atomKind(a), atomKind(b)
+	if ka == kb {
+		return true
+	}
+	return IsNumeric(a) && IsNumeric(b)
+}

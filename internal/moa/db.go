@@ -1,0 +1,475 @@
+package moa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"mirror/internal/bat"
+)
+
+// Database is the Mirror DBMS's logical database: a schema of defined sets
+// plus the BATs they decompose into. It is safe for concurrent use with a
+// single writer (RWMutex).
+//
+// Physical decomposition of `define S as SET<TUPLE<...>>`:
+//
+//	element identity   dense OIDs 0..card-1 in namespace "S"
+//	atomic field f     BAT "S_f"     [void elemOID, value]
+//	SET/LIST field f   BAT "S_f"     [elemOID, childOID] association,
+//	                   children decompose recursively under prefix "S_f";
+//	                   atomic children store values in "S_f_val";
+//	                   LIST adds "S_f_pos" [childOID, int]
+//	structure field f  columns declared by the structure (e.g. CONTREP's
+//	                   "_term", "_doc", "_tf", "_bel", "_dict", ...)
+type Database struct {
+	mu       sync.RWMutex
+	bats     map[string]*bat.BAT
+	sets     map[string]*SetDef
+	setOrder []string
+	counters map[string]uint64 // OID counters per namespace
+}
+
+// SetDef records a defined collection.
+type SetDef struct {
+	Name string
+	Type Type // as defined (usually SET<TUPLE<...>>)
+	Card int  // number of inserted elements
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{
+		bats:     make(map[string]*bat.BAT),
+		sets:     make(map[string]*SetDef),
+		counters: make(map[string]uint64),
+	}
+}
+
+// Define registers a new set with the given Moa type and creates its BATs.
+// It implements the DDL statement `define Name as TYPE;`.
+func (db *Database) Define(name string, t Type) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.sets[name]; dup {
+		return fmt.Errorf("moa: set %q already defined", name)
+	}
+	st, ok := t.(*SetType)
+	if !ok {
+		return fmt.Errorf("moa: top-level definitions must be SET<...>, got %s", t)
+	}
+	if err := db.createColumns(name, st.Elem); err != nil {
+		return err
+	}
+	db.sets[name] = &SetDef{Name: name, Type: t}
+	db.setOrder = append(db.setOrder, name)
+	return nil
+}
+
+// DefineFromSource parses and applies one or more `define` statements.
+func (db *Database) DefineFromSource(src string) error {
+	stmts, err := ParseProgram(src)
+	if err != nil {
+		return err
+	}
+	for _, st := range stmts {
+		if st.Define == nil {
+			return fmt.Errorf("moa: DefineFromSource: only define statements allowed")
+		}
+		if err := db.Define(st.Define.Name, st.Define.Type); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// createColumns makes the BATs for an element type under prefix. Every
+// element domain also gets an identity BAT "<prefix>__id" [oid, oid], which
+// serves as the full domain for query translation.
+func (db *Database) createColumns(prefix string, elem Type) error {
+	db.bats[prefix+"__id"] = bat.New(bat.KindVoid, bat.KindVoid)
+	switch t := elem.(type) {
+	case *AtomType:
+		db.bats[prefix+"_val"] = bat.NewDense(0, t.Kind)
+		return nil
+	case *TupleType:
+		for i, fn := range t.Names {
+			if err := db.createFieldColumns(prefix+"_"+fn, t.Types[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("moa: unsupported element type %s for set %q", elem, prefix)
+	}
+}
+
+// createFieldColumns makes the BATs for one tuple field.
+func (db *Database) createFieldColumns(prefix string, ft Type) error {
+	switch t := ft.(type) {
+	case *AtomType:
+		db.bats[prefix] = bat.NewDense(0, t.Kind)
+	case *SetType, *ListType:
+		db.bats[prefix] = bat.New(bat.KindOID, bat.KindOID) // association
+		db.bats[prefix+"__id"] = bat.New(bat.KindVoid, bat.KindVoid)
+		if _, isList := ft.(*ListType); isList {
+			db.bats[prefix+"_pos"] = bat.New(bat.KindOID, bat.KindInt)
+		}
+		et, _ := ElemType(ft)
+		switch e := et.(type) {
+		case *AtomType:
+			db.bats[prefix+"_val"] = bat.NewDense(0, e.Kind)
+		case *TupleType:
+			for i, fn := range e.Names {
+				if err := db.createFieldColumns(prefix+"_"+fn, e.Types[i]); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("moa: unsupported nested element type %s", et)
+		}
+	case *StructType:
+		for _, cs := range t.S.Columns(prefix) {
+			b := bat.New(cs.HeadKind, cs.TailKind)
+			if cs.HeadKind == bat.KindVoid {
+				b = bat.NewDense(0, cs.TailKind)
+			}
+			db.bats[prefix+cs.Suffix] = b
+		}
+	default:
+		return fmt.Errorf("moa: unsupported field type %s", ft)
+	}
+	return nil
+}
+
+// Set returns the definition of a named set.
+func (db *Database) Set(name string) (*SetDef, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s, ok := db.sets[name]
+	return s, ok
+}
+
+// Sets lists defined sets in definition order.
+func (db *Database) Sets() []*SetDef {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]*SetDef, 0, len(db.setOrder))
+	for _, n := range db.setOrder {
+		out = append(out, db.sets[n])
+	}
+	return out
+}
+
+// BAT returns a named physical BAT.
+func (db *Database) BAT(name string) (*bat.BAT, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	b, ok := db.bats[name]
+	return b, ok
+}
+
+// PutBAT installs (or replaces) a physical BAT; used by structures that
+// rebuild derived columns and by the storage layer.
+func (db *Database) PutBAT(name string, b *bat.BAT) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.bats[name] = b
+}
+
+// BATL fetches a BAT without taking the lock. It must only be called from
+// Structure hooks (Insert, Finalize), which the Database invokes while
+// already holding its write lock; calling BAT there would self-deadlock.
+func (db *Database) BATL(name string) (*bat.BAT, bool) {
+	b, ok := db.bats[name]
+	return b, ok
+}
+
+// PutBATL is PutBAT for Structure hooks running under the database lock.
+func (db *Database) PutBATL(name string, b *bat.BAT) { db.bats[name] = b }
+
+// BATNames lists all physical BATs, sorted.
+func (db *Database) BATNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.bats))
+	for n := range db.bats {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot returns the BAT map for read-only use (binding a MIL
+// environment). The map is copied; the BATs are shared.
+func (db *Database) Snapshot() map[string]*bat.BAT {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make(map[string]*bat.BAT, len(db.bats))
+	for k, v := range db.bats {
+		out[k] = v
+	}
+	return out
+}
+
+// NextOID allocates n OIDs in a namespace and returns the first.
+func (db *Database) NextOID(ns string, n int) bat.OID {
+	first := db.counters[ns]
+	db.counters[ns] += uint64(n)
+	return bat.OID(first)
+}
+
+// Insert adds one element to a defined set. Tuple values are
+// map[string]any; set values are []any; atomic values are Go scalars;
+// structure fields take whatever the structure's Insert accepts (CONTREP
+// takes the raw text, which it tokenises and indexes).
+func (db *Database) Insert(setName string, value any) (bat.OID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	def, ok := db.sets[setName]
+	if !ok {
+		return 0, fmt.Errorf("moa: unknown set %q", setName)
+	}
+	st := def.Type.(*SetType)
+	oid := db.NextOID(setName, 1)
+	if err := db.insertElem(setName, oid, st.Elem, value); err != nil {
+		return 0, err
+	}
+	def.Card++
+	return oid, nil
+}
+
+func (db *Database) insertElem(prefix string, oid bat.OID, elem Type, value any) error {
+	if err := db.bats[prefix+"__id"].Append(oid, oid); err != nil {
+		return err
+	}
+	switch t := elem.(type) {
+	case *AtomType:
+		b := db.bats[prefix+"_val"]
+		return b.Append(oid, coerceAtom(t, value))
+	case *TupleType:
+		tv, ok := value.(map[string]any)
+		if !ok {
+			return fmt.Errorf("moa: insert into %s: tuple value must be map[string]any, got %T", prefix, value)
+		}
+		for k := range tv {
+			if _, ok := t.Field(k); !ok {
+				return fmt.Errorf("moa: insert into %s: unknown field %q", prefix, k)
+			}
+		}
+		for i, fn := range t.Names {
+			fv, present := tv[fn]
+			if !present {
+				return fmt.Errorf("moa: insert into %s: missing field %q", prefix, fn)
+			}
+			if err := db.insertField(prefix+"_"+fn, oid, t.Types[i], fv); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("moa: insert: unsupported element type %s", elem)
+}
+
+func (db *Database) insertField(prefix string, owner bat.OID, ft Type, value any) error {
+	switch t := ft.(type) {
+	case *AtomType:
+		return db.bats[prefix].Append(owner, coerceAtom(t, value))
+	case *SetType, *ListType:
+		items, ok := value.([]any)
+		if !ok {
+			return fmt.Errorf("moa: insert into %s: set value must be []any, got %T", prefix, value)
+		}
+		et, _ := ElemType(ft)
+		assoc := db.bats[prefix]
+		_, isList := ft.(*ListType)
+		for pos, item := range items {
+			child := db.NextOID(prefix, 1)
+			if err := assoc.Append(owner, child); err != nil {
+				return err
+			}
+			if err := db.bats[prefix+"__id"].Append(child, child); err != nil {
+				return err
+			}
+			if isList {
+				if err := db.bats[prefix+"_pos"].Append(child, int64(pos)); err != nil {
+					return err
+				}
+			}
+			switch e := et.(type) {
+			case *AtomType:
+				if err := db.bats[prefix+"_val"].Append(child, coerceAtom(e, item)); err != nil {
+					return err
+				}
+			case *TupleType:
+				tv, ok := item.(map[string]any)
+				if !ok {
+					return fmt.Errorf("moa: insert into %s: tuple element must be map[string]any", prefix)
+				}
+				for i, fn := range e.Names {
+					fv, present := tv[fn]
+					if !present {
+						return fmt.Errorf("moa: insert into %s: missing field %q", prefix, fn)
+					}
+					if err := db.insertField(prefix+"_"+fn, child, e.Types[i], fv); err != nil {
+						return err
+					}
+				}
+			default:
+				return fmt.Errorf("moa: insert: unsupported nested element type %s", et)
+			}
+		}
+		return nil
+	case *StructType:
+		return t.S.Insert(db, prefix, owner, value)
+	}
+	return fmt.Errorf("moa: insert: unsupported field type %s", ft)
+}
+
+// Finalize runs every structure's Finalize hook for the named set; call it
+// after a batch of inserts (CONTREP uses this to recompute collection
+// statistics and beliefs).
+func (db *Database) Finalize(setName string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	def, ok := db.sets[setName]
+	if !ok {
+		return fmt.Errorf("moa: unknown set %q", setName)
+	}
+	tt, ok := def.Type.(*SetType).Elem.(*TupleType)
+	if !ok {
+		return nil
+	}
+	for i, fn := range tt.Names {
+		if st, ok := tt.Types[i].(*StructType); ok {
+			if err := st.S.Finalize(db, setName+"_"+fn); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SyncAfterLoad recomputes OID counters and set cardinalities from the
+// identity BATs after the storage layer has re-installed loaded BATs, so
+// that subsequent inserts allocate fresh OIDs.
+func (db *Database) SyncAfterLoad() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for name, b := range db.bats {
+		if strings.HasSuffix(name, "__id") {
+			ns := strings.TrimSuffix(name, "__id")
+			db.counters[ns] = uint64(b.Len())
+			if def, ok := db.sets[ns]; ok {
+				def.Card = b.Len()
+			}
+		}
+	}
+}
+
+// Reset drops every element of a defined set and recreates its physical
+// columns; the schema definition is kept. Derived collections (such as the
+// demo's internal schema) use this when their daemons re-run.
+func (db *Database) Reset(setName string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	def, ok := db.sets[setName]
+	if !ok {
+		return fmt.Errorf("moa: unknown set %q", setName)
+	}
+	for name := range db.bats {
+		if name == setName+"__id" || strings.HasPrefix(name, setName+"_") {
+			delete(db.bats, name)
+		}
+	}
+	for name := range db.counters {
+		if name == setName || strings.HasPrefix(name, setName+"_") {
+			delete(db.counters, name)
+		}
+	}
+	def.Card = 0
+	return db.createColumns(setName, def.Type.(*SetType).Elem)
+}
+
+// coerceAtom widens Go scalars to the column types (int→int64 etc.).
+func coerceAtom(t *AtomType, v any) any {
+	switch t.Kind {
+	case bat.KindInt:
+		switch x := v.(type) {
+		case int:
+			return int64(x)
+		case int32:
+			return int64(x)
+		}
+	case bat.KindFloat:
+		switch x := v.(type) {
+		case int:
+			return float64(x)
+		case int64:
+			return float64(x)
+		}
+	case bat.KindOID:
+		switch x := v.(type) {
+		case int:
+			return bat.OID(x)
+		case int64:
+			return bat.OID(x)
+		case uint64:
+			return bat.OID(x)
+		}
+	}
+	return v
+}
+
+// SchemaSource renders the schema back to DDL text (used by storage to
+// persist the schema alongside the BATs).
+func (db *Database) SchemaSource() string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var sb strings.Builder
+	for _, n := range db.setOrder {
+		fmt.Fprintf(&sb, "define %s as %s;\n", n, typeToDDL(db.sets[n].Type))
+	}
+	return sb.String()
+}
+
+// typeToDDL renders a type in the paper's DDL syntax (atoms wrapped in
+// Atomic<...> where they stand as field types).
+func typeToDDL(t Type) string {
+	switch x := t.(type) {
+	case *AtomType:
+		return "Atomic<" + x.Name + ">"
+	case *SetType:
+		return "SET<" + typeToDDL(x.Elem) + ">"
+	case *ListType:
+		return "LIST<" + typeToDDL(x.Elem) + ">"
+	case *TupleType:
+		var sb strings.Builder
+		sb.WriteString("TUPLE<")
+		for i := range x.Names {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(typeToDDL(x.Types[i]))
+			sb.WriteString(": ")
+			sb.WriteString(x.Names[i])
+		}
+		sb.WriteString(">")
+		return sb.String()
+	case *StructType:
+		return x.String()
+	}
+	return t.String()
+}
+
+// Cards reports each set's cardinality (diagnostics and tests).
+func (db *Database) Cards() map[string]int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make(map[string]int, len(db.sets))
+	for n, d := range db.sets {
+		out[n] = d.Card
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package moa
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type mTokKind int
+
+const (
+	mEOF mTokKind = iota
+	mIdent
+	mInt
+	mFloat
+	mStr
+	mLParen
+	mRParen
+	mLBracket
+	mRBracket
+	mLAngle
+	mRAngle
+	mComma
+	mColon
+	mSemi
+	mDot
+	mOp // = != < <= > >= + - * /  (note: < and > are emitted as mLAngle/mRAngle and re-interpreted by the parser)
+)
+
+type mToken struct {
+	kind mTokKind
+	text string
+	line int
+}
+
+type mLexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newMLexer(src string) *mLexer { return &mLexer{src: src, line: 1} }
+
+func (lx *mLexer) errf(format string, args ...any) error {
+	return fmt.Errorf("moa: line %d: %s", lx.line, fmt.Sprintf(format, args...))
+}
+
+func (lx *mLexer) next() (mToken, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '#':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return mToken{kind: mEOF, line: lx.line}, nil
+
+scan:
+	start := lx.pos
+	c := lx.src[lx.pos]
+	mk := func(k mTokKind) mToken {
+		return mToken{kind: k, text: lx.src[start:lx.pos], line: lx.line}
+	}
+	switch {
+	case c == '(':
+		lx.pos++
+		return mk(mLParen), nil
+	case c == ')':
+		lx.pos++
+		return mk(mRParen), nil
+	case c == '[':
+		lx.pos++
+		return mk(mLBracket), nil
+	case c == ']':
+		lx.pos++
+		return mk(mRBracket), nil
+	case c == '<':
+		lx.pos++
+		if lx.pos < len(lx.src) && lx.src[lx.pos] == '=' {
+			lx.pos++
+			return mk(mOp), nil // <=
+		}
+		return mk(mLAngle), nil
+	case c == '>':
+		lx.pos++
+		if lx.pos < len(lx.src) && lx.src[lx.pos] == '=' {
+			lx.pos++
+			return mk(mOp), nil // >=
+		}
+		return mk(mRAngle), nil
+	case c == ',':
+		lx.pos++
+		return mk(mComma), nil
+	case c == ':':
+		lx.pos++
+		return mk(mColon), nil
+	case c == ';':
+		lx.pos++
+		return mk(mSemi), nil
+	case c == '.':
+		lx.pos++
+		return mk(mDot), nil
+	case c == '=':
+		lx.pos++
+		return mk(mOp), nil
+	case c == '!':
+		lx.pos++
+		if lx.pos < len(lx.src) && lx.src[lx.pos] == '=' {
+			lx.pos++
+			return mk(mOp), nil
+		}
+		return mToken{}, lx.errf("unexpected '!'")
+	case strings.ContainsRune("+-*/", rune(c)):
+		lx.pos++
+		return mk(mOp), nil
+	case c == '"':
+		lx.pos++
+		var sb strings.Builder
+		for lx.pos < len(lx.src) && lx.src[lx.pos] != '"' {
+			ch := lx.src[lx.pos]
+			if ch == '\\' && lx.pos+1 < len(lx.src) {
+				lx.pos++
+				switch lx.src[lx.pos] {
+				case 'n':
+					ch = '\n'
+				case 't':
+					ch = '\t'
+				case '"':
+					ch = '"'
+				case '\\':
+					ch = '\\'
+				default:
+					return mToken{}, lx.errf("bad escape \\%c", lx.src[lx.pos])
+				}
+			}
+			if ch == '\n' {
+				lx.line++
+			}
+			sb.WriteByte(ch)
+			lx.pos++
+		}
+		if lx.pos >= len(lx.src) {
+			return mToken{}, lx.errf("unterminated string")
+		}
+		lx.pos++
+		return mToken{kind: mStr, text: sb.String(), line: lx.line}, nil
+	case c >= '0' && c <= '9':
+		for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+			lx.pos++
+		}
+		if lx.pos+1 < len(lx.src) && lx.src[lx.pos] == '.' &&
+			lx.src[lx.pos+1] >= '0' && lx.src[lx.pos+1] <= '9' {
+			lx.pos++
+			for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+				lx.pos++
+			}
+			return mk(mFloat), nil
+		}
+		return mk(mInt), nil
+	case c == '_' || unicode.IsLetter(rune(c)):
+		for lx.pos < len(lx.src) {
+			r := rune(lx.src[lx.pos])
+			if r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) {
+				lx.pos++
+				continue
+			}
+			break
+		}
+		return mk(mIdent), nil
+	}
+	return mToken{}, lx.errf("unexpected character %q", c)
+}

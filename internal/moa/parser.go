@@ -1,0 +1,574 @@
+package moa
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Stmt is a parsed top-level statement: a schema definition or a query.
+type Stmt struct {
+	Define *DefineStmt
+	Query  Expr
+}
+
+// DefineStmt is `define Name as TYPE;`.
+type DefineStmt struct {
+	Name string
+	Type Type
+}
+
+// ParseProgram parses a sequence of statements.
+func ParseProgram(src string) ([]Stmt, error) {
+	p := &mParser{lx: newMLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var out []Stmt
+	for p.tok.kind != mEOF {
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// ParseQuery parses a single query expression (trailing ';' optional).
+func ParseQuery(src string) (Expr, error) {
+	p := &mParser{lx: newMLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == mSemi {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.kind != mEOF {
+		return nil, p.errf("trailing input after query: %q", p.tok.text)
+	}
+	return e, nil
+}
+
+// ParseType parses a Moa type expression, e.g. "SET<TUPLE<Atomic<URL>: source>>".
+func ParseType(src string) (Type, error) {
+	p := &mParser{lx: newMLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	t, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != mEOF {
+		return nil, p.errf("trailing input after type: %q", p.tok.text)
+	}
+	return t, nil
+}
+
+type mParser struct {
+	lx  *mLexer
+	tok mToken
+	// noAngleCmp suppresses treating bare < and > as comparison operators
+	// while parsing tuple-constructor elements (TUPLE<name: expr, ...>),
+	// where > closes the constructor. Parenthesised subexpressions restore
+	// full comparison syntax.
+	noAngleCmp int
+}
+
+func (p *mParser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *mParser) errf(format string, args ...any) error {
+	return fmt.Errorf("moa: line %d: %s", p.tok.line, fmt.Sprintf(format, args...))
+}
+
+func (p *mParser) expect(k mTokKind, what string) (mToken, error) {
+	if p.tok.kind != k {
+		return mToken{}, p.errf("expected %s, got %q", what, p.tok.text)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+func (p *mParser) parseStmt() (Stmt, error) {
+	if p.tok.kind == mIdent && p.tok.text == "define" {
+		if err := p.advance(); err != nil {
+			return Stmt{}, err
+		}
+		name, err := p.expect(mIdent, "set name")
+		if err != nil {
+			return Stmt{}, err
+		}
+		asTok, err := p.expect(mIdent, "'as'")
+		if err != nil {
+			return Stmt{}, err
+		}
+		if asTok.text != "as" {
+			return Stmt{}, p.errf("expected 'as', got %q", asTok.text)
+		}
+		t, err := p.parseType()
+		if err != nil {
+			return Stmt{}, err
+		}
+		if _, err := p.expect(mSemi, ";"); err != nil {
+			return Stmt{}, err
+		}
+		return Stmt{Define: &DefineStmt{Name: name.text, Type: t}}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return Stmt{}, err
+	}
+	if _, err := p.expect(mSemi, ";"); err != nil {
+		return Stmt{}, err
+	}
+	return Stmt{Query: e}, nil
+}
+
+// ---- types ----
+
+func (p *mParser) parseType() (Type, error) {
+	name, err := p.expect(mIdent, "type name")
+	if err != nil {
+		return nil, err
+	}
+	switch name.text {
+	case "SET", "LIST":
+		if _, err := p.expect(mLAngle, "<"); err != nil {
+			return nil, err
+		}
+		elem, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(mRAngle, ">"); err != nil {
+			return nil, err
+		}
+		if name.text == "SET" {
+			return &SetType{Elem: elem}, nil
+		}
+		return &ListType{Elem: elem}, nil
+	case "TUPLE":
+		if _, err := p.expect(mLAngle, "<"); err != nil {
+			return nil, err
+		}
+		tt := &TupleType{}
+		for {
+			ft, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(mColon, ":"); err != nil {
+				return nil, err
+			}
+			fn, err := p.expect(mIdent, "field name")
+			if err != nil {
+				return nil, err
+			}
+			for _, existing := range tt.Names {
+				if existing == fn.text {
+					return nil, p.errf("duplicate tuple field %q", fn.text)
+				}
+			}
+			tt.Names = append(tt.Names, fn.text)
+			tt.Types = append(tt.Types, ft)
+			if p.tok.kind == mComma {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(mRAngle, ">"); err != nil {
+			return nil, err
+		}
+		return tt, nil
+	case "Atomic":
+		if _, err := p.expect(mLAngle, "<"); err != nil {
+			return nil, err
+		}
+		an, err := p.expect(mIdent, "atomic type name")
+		if err != nil {
+			return nil, err
+		}
+		at, ok := AtomTypeByName(an.text)
+		if !ok {
+			return nil, p.errf("unknown atomic type %q", an.text)
+		}
+		if _, err := p.expect(mRAngle, ">"); err != nil {
+			return nil, err
+		}
+		return at, nil
+	default:
+		// Registered extension structure, e.g. CONTREP<Text>.
+		s, ok := LookupStructure(name.text)
+		if !ok {
+			if at, ok := AtomTypeByName(name.text); ok {
+				return at, nil // bare atomic name
+			}
+			return nil, p.errf("unknown type or structure %q", name.text)
+		}
+		var params []Type
+		if p.tok.kind == mLAngle {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			for {
+				pt, err := p.parseType()
+				if err != nil {
+					return nil, err
+				}
+				params = append(params, pt)
+				if p.tok.kind == mComma {
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(mRAngle, ">"); err != nil {
+				return nil, err
+			}
+		}
+		if err := s.CheckParams(params); err != nil {
+			return nil, err
+		}
+		return &StructType{S: s, Params: params}, nil
+	}
+}
+
+// ---- expressions ----
+
+func (p *mParser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *mParser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == mIdent && p.tok.text == "or" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *mParser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == mIdent && p.tok.text == "and" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *mParser) parseNot() (Expr, error) {
+	if p.tok.kind == mIdent && p.tok.text == "not" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: "not", E: e}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *mParser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	var op string
+	switch {
+	case p.tok.kind == mOp && (p.tok.text == "=" || p.tok.text == "!=" ||
+		p.tok.text == "<=" || p.tok.text == ">="):
+		op = p.tok.text
+	case p.tok.kind == mLAngle && p.noAngleCmp == 0:
+		op = "<"
+	case p.tok.kind == mRAngle && p.noAngleCmp == 0:
+		op = ">"
+	default:
+		return l, nil
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	r, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	return &BinExpr{Op: op, L: l, R: r}, nil
+}
+
+func (p *mParser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == mOp && (p.tok.text == "+" || p.tok.text == "-") {
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *mParser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == mOp && (p.tok.text == "*" || p.tok.text == "/") {
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *mParser) parseUnary() (Expr, error) {
+	if p.tok.kind == mOp && p.tok.text == "-" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: "-", E: e}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *mParser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == mDot {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(mIdent, "field name")
+		if err != nil {
+			return nil, err
+		}
+		e = &Field{Recv: e, Name: name.text}
+	}
+	return e, nil
+}
+
+func (p *mParser) parsePrimary() (Expr, error) {
+	switch p.tok.kind {
+	case mInt:
+		v, err := strconv.ParseInt(p.tok.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad int %q", p.tok.text)
+		}
+		return &LitExpr{V: v, T: IntType}, p.advance()
+	case mFloat:
+		v, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return nil, p.errf("bad float %q", p.tok.text)
+		}
+		return &LitExpr{V: v, T: FloatType}, p.advance()
+	case mStr:
+		s := p.tok.text
+		return &LitExpr{V: s, T: StrType}, p.advance()
+	case mLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		saved := p.noAngleCmp
+		p.noAngleCmp = 0
+		e, err := p.parseExpr()
+		p.noAngleCmp = saved
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(mRParen, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case mIdent:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch name {
+		case "THIS":
+			return &This{}, nil
+		case "THIS1", "THIS2":
+			return &Ident{Name: name}, nil
+		case "true":
+			return &LitExpr{V: true, T: BoolType}, nil
+		case "false":
+			return &LitExpr{V: false, T: BoolType}, nil
+		case "TUPLE":
+			return p.parseTupleCons()
+		case "map", "select":
+			if p.tok.kind != mLBracket {
+				return nil, p.errf("%s requires [expr](...)", name)
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			inner, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(mRBracket, "]"); err != nil {
+				return nil, err
+			}
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			if len(args) != 1 {
+				return nil, p.errf("%s takes exactly one set argument, got %d", name, len(args))
+			}
+			if name == "map" {
+				return &MapExpr{Body: inner, Src: args[0]}, nil
+			}
+			return &SelectExpr{Pred: inner, Src: args[0]}, nil
+		case "join":
+			if p.tok.kind != mLBracket {
+				return nil, p.errf("join requires [pred](left, right)")
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			pred, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(mRBracket, "]"); err != nil {
+				return nil, err
+			}
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			if len(args) != 2 {
+				return nil, p.errf("join takes two set arguments, got %d", len(args))
+			}
+			return &JoinExpr{Pred: pred, Left: args[0], Right: args[1]}, nil
+		}
+		if p.tok.kind == mLParen {
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &CallExpr{Fn: name, Args: args}, nil
+		}
+		return &Ident{Name: name}, nil
+	}
+	return nil, p.errf("unexpected token %q", p.tok.text)
+}
+
+// parseTupleCons parses TUPLE<name: expr, ...> (constructor form; note the
+// name-first order, unlike the type syntax which is type-first).
+func (p *mParser) parseTupleCons() (Expr, error) {
+	if _, err := p.expect(mLAngle, "<"); err != nil {
+		return nil, err
+	}
+	te := &TupleExpr{}
+	for {
+		name, err := p.expect(mIdent, "field name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(mColon, ":"); err != nil {
+			return nil, err
+		}
+		p.noAngleCmp++
+		e, err := p.parseExpr()
+		p.noAngleCmp--
+		if err != nil {
+			return nil, err
+		}
+		te.Names = append(te.Names, name.text)
+		te.Elems = append(te.Elems, e)
+		if p.tok.kind == mComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(mRAngle, ">"); err != nil {
+		return nil, err
+	}
+	return te, nil
+}
+
+func (p *mParser) parseArgs() ([]Expr, error) {
+	if _, err := p.expect(mLParen, "("); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	if p.tok.kind == mRParen {
+		return args, p.advance()
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, e)
+		if p.tok.kind == mComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	_, err := p.expect(mRParen, ")")
+	return args, err
+}

@@ -1,0 +1,171 @@
+package moa
+
+import "fmt"
+
+// Options control the algebraic rewrites applied before flattening and the
+// common-subexpression elimination applied during it. The paper's claim
+// that the logical/physical split "provides an excellent basis for
+// algebraic query optimization" is exercised by toggling these
+// (BenchmarkE7_OptimizerAblation).
+type Options struct {
+	// FuseMaps rewrites map[f](map[g](S)) into map[f[THIS:=g]](S),
+	// eliminating the materialisation of the inner map's result.
+	FuseMaps bool
+	// FuseAggregates rewrites agg(structfn(args)) into the fused operator a
+	// structure registers for it; for CONTREP this turns sum(getBL(...))
+	// into the physical getbl operator instead of materialising per-term
+	// belief sets.
+	FuseAggregates bool
+	// FuseSelects rewrites select[p](select[q](S)) into select[p and q](S).
+	FuseSelects bool
+	// CSE deduplicates identical MIL operations during translation.
+	CSE bool
+}
+
+// DefaultOptions enables every optimisation.
+var DefaultOptions = Options{FuseMaps: true, FuseAggregates: true, FuseSelects: true, CSE: true}
+
+// NoOptimize disables every optimisation (the ablation baseline).
+var NoOptimize = Options{}
+
+// Rewrite applies the enabled algebraic rewrites to a *checked* expression
+// until fixpoint (bounded to keep pathological inputs terminating).
+func Rewrite(e Expr, opts Options) Expr {
+	for i := 0; i < 20; i++ {
+		changed := false
+		e = walkRewrite(e, func(n Expr) Expr {
+			if r, ok := rewriteNode(n, opts); ok {
+				changed = true
+				return r
+			}
+			return n
+		})
+		if !changed {
+			return e
+		}
+	}
+	return e
+}
+
+func rewriteNode(n Expr, opts Options) (Expr, bool) {
+	switch x := n.(type) {
+	case *MapExpr:
+		if !opts.FuseMaps {
+			return nil, false
+		}
+		inner, ok := x.Src.(*MapExpr)
+		if !ok {
+			return nil, false
+		}
+		// map[f](map[g](S)) → map[f[THIS:=g]](S)
+		body := substThis(cloneExpr(x.Body), inner.Body)
+		out := &MapExpr{Body: body, Src: inner.Src, T: x.T}
+		return out, true
+
+	case *SelectExpr:
+		if !opts.FuseSelects {
+			return nil, false
+		}
+		inner, ok := x.Src.(*SelectExpr)
+		if !ok {
+			return nil, false
+		}
+		pred := &BinExpr{Op: "and", L: inner.Pred, R: x.Pred, T: BoolType}
+		return &SelectExpr{Pred: pred, Src: inner.Src, T: x.T}, true
+
+	case *CallExpr:
+		if !opts.FuseAggregates || len(x.Args) != 1 {
+			return nil, false
+		}
+		innerCall, ok := x.Args[0].(*CallExpr)
+		if !ok || len(innerCall.Args) == 0 {
+			return nil, false
+		}
+		sf, ok := lookupStructFunc(innerCall.Fn, innerCall.Args[0].Type())
+		if !ok || sf.FuseAgg == nil {
+			return nil, false
+		}
+		fused, ok := sf.FuseAgg[x.Fn]
+		if !ok {
+			return nil, false
+		}
+		return &CallExpr{Fn: fused, Args: innerCall.Args, T: x.T}, true
+	}
+	return nil, false
+}
+
+// substThis replaces every THIS in e (that refers to the current map level)
+// with repl. Nested map/select bodies introduce a fresh THIS and are left
+// alone below their boundary.
+func substThis(e Expr, repl Expr) Expr {
+	switch x := e.(type) {
+	case *This:
+		return repl
+	case *Field:
+		x.Recv = substThis(x.Recv, repl)
+	case *CallExpr:
+		for i := range x.Args {
+			x.Args[i] = substThis(x.Args[i], repl)
+		}
+	case *BinExpr:
+		x.L = substThis(x.L, repl)
+		x.R = substThis(x.R, repl)
+	case *UnExpr:
+		x.E = substThis(x.E, repl)
+	case *TupleExpr:
+		for i := range x.Elems {
+			x.Elems[i] = substThis(x.Elems[i], repl)
+		}
+	case *MapExpr:
+		// THIS inside the nested body refers to the nested element; only the
+		// source is in the current scope.
+		x.Src = substThis(x.Src, repl)
+	case *SelectExpr:
+		x.Src = substThis(x.Src, repl)
+	case *JoinExpr:
+		x.Left = substThis(x.Left, repl)
+		x.Right = substThis(x.Right, repl)
+	}
+	return e
+}
+
+// cloneExpr deep-copies an expression tree (types are shared; they are
+// immutable).
+func cloneExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case *This:
+		c := *x
+		return &c
+	case *Ident:
+		c := *x
+		return &c
+	case *LitExpr:
+		c := *x
+		return &c
+	case *Field:
+		return &Field{Recv: cloneExpr(x.Recv), Name: x.Name, T: x.T}
+	case *MapExpr:
+		return &MapExpr{Body: cloneExpr(x.Body), Src: cloneExpr(x.Src), T: x.T}
+	case *SelectExpr:
+		return &SelectExpr{Pred: cloneExpr(x.Pred), Src: cloneExpr(x.Src), T: x.T}
+	case *JoinExpr:
+		return &JoinExpr{Pred: cloneExpr(x.Pred), Left: cloneExpr(x.Left), Right: cloneExpr(x.Right), T: x.T}
+	case *CallExpr:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = cloneExpr(a)
+		}
+		return &CallExpr{Fn: x.Fn, Args: args, T: x.T}
+	case *BinExpr:
+		return &BinExpr{Op: x.Op, L: cloneExpr(x.L), R: cloneExpr(x.R), T: x.T}
+	case *UnExpr:
+		return &UnExpr{Op: x.Op, E: cloneExpr(x.E), T: x.T}
+	case *TupleExpr:
+		elems := make([]Expr, len(x.Elems))
+		for i, a := range x.Elems {
+			elems[i] = cloneExpr(a)
+		}
+		return &TupleExpr{Names: append([]string(nil), x.Names...), Elems: elems, T: x.T}
+	}
+	panic(fmt.Sprintf("moa: cloneExpr: unknown node %T", e))
+}

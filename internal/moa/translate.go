@@ -1,0 +1,938 @@
+package moa
+
+import (
+	"fmt"
+	"math"
+
+	"mirror/internal/bat"
+	"mirror/internal/mil"
+)
+
+// Param is a query parameter binding: a Moa type plus a Go value.
+// Supported: atomic params (Go scalar), set-of-atom params ([]string,
+// []int64, []float64, []any), and the stats handle (value ignored).
+type Param struct {
+	T Type
+	V any
+}
+
+// Translated is the output of flattening a Moa query: a MIL program, extra
+// environment bindings (parameter BATs), and the shape of the result.
+type Translated struct {
+	Prog     *mil.Program
+	Bindings map[string]*bat.BAT
+	T        Type
+
+	// Set-typed results:
+	OutSet *OutSet
+	// Scalar results:
+	OutScalar Rep // ConstRep or VarRep
+}
+
+// OutSet describes a set-typed result: the domain variable enumerates the
+// element OIDs; Elem is the per-element representation.
+type OutSet struct {
+	DomainVar string
+	Elem      Rep
+	ElemT     Type
+}
+
+// Translator flattens checked Moa expressions into MIL. Structures'
+// EmitMap hooks receive it to emit their own MIL.
+type Translator struct {
+	db       *Database
+	prog     *mil.Program
+	params   map[string]Param
+	bindings map[string]*bat.BAT
+	n        int
+	opts     Options
+	cse      map[string]string
+	paramSet map[string]*ParamSetRep
+}
+
+// Translate flattens a checked (and usually rewritten) expression.
+func Translate(db *Database, e Expr, params map[string]Param, opts Options) (*Translated, error) {
+	tr := &Translator{
+		db:       db,
+		prog:     &mil.Program{},
+		params:   params,
+		bindings: map[string]*bat.BAT{},
+		opts:     opts,
+		cse:      map[string]string{},
+		paramSet: map[string]*ParamSetRep{},
+	}
+	out := &Translated{Prog: tr.prog, Bindings: tr.bindings, T: e.Type()}
+	if _, isSet := ElemType(e.Type()); isSet {
+		sv, err := tr.compileSetExpr(e)
+		if err != nil {
+			return nil, err
+		}
+		ctx := tr.newCtx(sv)
+		elem, err := sv.MkElem(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out.OutSet = &OutSet{DomainVar: sv.DomainVar, Elem: elem, ElemT: sv.ElemT}
+		return out, nil
+	}
+	rep, err := tr.compile(e, nil)
+	if err != nil {
+		return nil, err
+	}
+	switch rep.(type) {
+	case *ConstRep, *VarRep:
+		out.OutScalar = rep
+	default:
+		return nil, fmt.Errorf("moa: scalar query produced %T representation", rep)
+	}
+	return out, nil
+}
+
+// Opts exposes the active optimisation options (used by structure hooks).
+func (tr *Translator) Opts() Options { return tr.opts }
+
+// Fresh allocates a fresh MIL variable name.
+func (tr *Translator) Fresh(pfx string) string {
+	tr.n++
+	return fmt.Sprintf("%s_%d", pfx, tr.n)
+}
+
+// Emit appends `v := e` and returns v. When CSE is on, an identical prior
+// expression is reused instead (every emitted operation is pure).
+func (tr *Translator) Emit(pfx string, e mil.Expr) string {
+	key := mil.Render(e)
+	if tr.opts.CSE {
+		if v, ok := tr.cse[key]; ok {
+			return v
+		}
+	}
+	v := tr.Fresh(pfx)
+	tr.prog.Assign(v, e)
+	if tr.opts.CSE {
+		tr.cse[key] = v
+	}
+	return v
+}
+
+// Restrict joins a [elemOID, value] variable through the context domain,
+// unless the context is the full stored domain.
+func (tr *Translator) Restrict(varName string, ctx *Ctx) string {
+	if ctx == nil || ctx.Full {
+		return varName
+	}
+	return tr.Emit("r", mil.C("join", mil.R(ctx.DomainVar), mil.R(varName)))
+}
+
+// SetVal is the compiled form of a set-typed expression.
+type SetVal struct {
+	DomainVar string
+	Full      bool
+	ElemT     Type
+	MkElem    func(ctx *Ctx) (Rep, error)
+}
+
+// newCtx builds the map context over a compiled set and binds THIS.
+func (tr *Translator) newCtx(sv *SetVal) *Ctx {
+	ctx := &Ctx{DomainVar: sv.DomainVar, Full: sv.Full, ElemT: sv.ElemT}
+	ctx.This = &lazyThis{sv: sv, ctx: ctx}
+	return ctx
+}
+
+// lazyThis defers MkElem until THIS is actually used.
+type lazyThis struct {
+	sv   *SetVal
+	ctx  *Ctx
+	memo Rep
+}
+
+func (*lazyThis) isRep() {}
+
+func (lt *lazyThis) force(tr *Translator) (Rep, error) {
+	if lt.memo == nil {
+		r, err := lt.sv.MkElem(lt.ctx)
+		if err != nil {
+			return nil, err
+		}
+		lt.memo = r
+	}
+	return lt.memo, nil
+}
+
+// ---- set expressions ----
+
+func (tr *Translator) compileSetExpr(e Expr) (*SetVal, error) {
+	switch x := e.(type) {
+	case *Ident:
+		if p, ok := tr.params[x.Name]; ok {
+			st, ok := p.T.(*SetType)
+			if !ok {
+				return nil, fmt.Errorf("moa: parameter %q is not a set", x.Name)
+			}
+			psr, err := tr.bindParamSet(x.Name, st)
+			if err != nil {
+				return nil, err
+			}
+			return &SetVal{
+				DomainVar: "param_" + x.Name + "_id",
+				Full:      false, // param value BATs are keyed by their own OIDs
+				ElemT:     st.Elem,
+				MkElem: func(ctx *Ctx) (Rep, error) {
+					return &AtomRep{Var: tr.Restrict(psr.ValsVar, paramCtx(ctx, "param_"+x.Name+"_id")), T: st.Elem}, nil
+				},
+			}, nil
+		}
+		def, ok := tr.db.Set(x.Name)
+		if !ok {
+			return nil, fmt.Errorf("moa: unknown set %q", x.Name)
+		}
+		elem := def.Type.(*SetType).Elem
+		prefix := x.Name
+		return &SetVal{
+			DomainVar: prefix + "__id",
+			Full:      true,
+			ElemT:     elem,
+			MkElem: func(ctx *Ctx) (Rep, error) {
+				switch et := elem.(type) {
+				case *AtomType:
+					return &AtomRep{Var: tr.Restrict(prefix+"_val", ctx), T: et}, nil
+				case *TupleType:
+					return &ElemRep{Prefix: prefix, Ctx: ctx, T: et}, nil
+				}
+				return nil, fmt.Errorf("moa: unsupported element type %s", elem)
+			},
+		}, nil
+
+	case *MapExpr:
+		src, err := tr.compileSetExpr(x.Src)
+		if err != nil {
+			return nil, err
+		}
+		ctx := tr.newCtx(src)
+		body, err := tr.compile(x.Body, ctx)
+		if err != nil {
+			return nil, err
+		}
+		bodyT := x.Body.Type()
+		return &SetVal{
+			DomainVar: src.DomainVar,
+			Full:      src.Full,
+			ElemT:     bodyT,
+			MkElem: func(ctx2 *Ctx) (Rep, error) {
+				if ctx2.DomainVar == src.DomainVar {
+					return body, nil
+				}
+				return tr.restrictRep(body, ctx2)
+			},
+		}, nil
+
+	case *SelectExpr:
+		src, err := tr.compileSetExpr(x.Src)
+		if err != nil {
+			return nil, err
+		}
+		ctx := tr.newCtx(src)
+		pred, err := tr.compile(x.Pred, ctx)
+		if err != nil {
+			return nil, err
+		}
+		switch p := pred.(type) {
+		case *ConstRep:
+			if b, _ := p.V.(bool); b {
+				return src, nil
+			}
+			empty := tr.Emit("d", mil.C("slice", mil.R(src.DomainVar), mil.L(int64(0)), mil.L(int64(0))))
+			return &SetVal{DomainVar: empty, Full: false, ElemT: src.ElemT, MkElem: src.MkElem}, nil
+		case *AtomRep:
+			sel := tr.Emit("sel", mil.C("select", mil.R(p.Var), mil.L(true)))
+			dom := tr.Emit("d", mil.C("mirror", mil.R(sel)))
+			return &SetVal{DomainVar: dom, Full: false, ElemT: src.ElemT, MkElem: src.MkElem}, nil
+		}
+		return nil, fmt.Errorf("moa: select predicate compiled to %T", pred)
+
+	case *JoinExpr:
+		return tr.compileJoin(x)
+
+	case *CallExpr:
+		// A structure function returning a set at top level (e.g. a bare
+		// getBL) — compile in a synthetic full context of its receiver.
+		return nil, fmt.Errorf("moa: set-valued call %q outside map context is not supported", x.Fn)
+	}
+	return nil, fmt.Errorf("moa: expression %s is not a set", e)
+}
+
+// paramCtx adapts a context for a parameter set: parameters live in their
+// own OID domain, so the "full" shortcut applies when the context domain is
+// the parameter's identity BAT itself.
+func paramCtx(ctx *Ctx, idVar string) *Ctx {
+	if ctx.DomainVar == idVar {
+		c := *ctx
+		c.Full = true
+		return &c
+	}
+	return ctx
+}
+
+// bindParamSet builds the value BAT of a set parameter and binds it into the
+// execution environment.
+func (tr *Translator) bindParamSet(name string, st *SetType) (*ParamSetRep, error) {
+	if psr, ok := tr.paramSet[name]; ok {
+		return psr, nil
+	}
+	p := tr.params[name]
+	at, ok := st.Elem.(*AtomType)
+	if !ok {
+		return nil, fmt.Errorf("moa: set parameter %q must contain atoms", name)
+	}
+	vals := bat.NewDense(0, at.Kind)
+	ids := bat.New(bat.KindVoid, bat.KindVoid)
+	items, err := paramItems(p.V)
+	if err != nil {
+		return nil, fmt.Errorf("moa: parameter %q: %w", name, err)
+	}
+	for i, item := range items {
+		if err := vals.Append(bat.OID(i), coerceAtom(at, item)); err != nil {
+			return nil, fmt.Errorf("moa: parameter %q: %w", name, err)
+		}
+		if err := ids.Append(bat.OID(i), bat.OID(i)); err != nil {
+			return nil, err
+		}
+	}
+	valsName := "param_" + name + "_val"
+	idName := "param_" + name + "_id"
+	tr.bindings[valsName] = vals
+	tr.bindings[idName] = ids
+	psr := &ParamSetRep{ValsVar: valsName, ElemT: st.Elem}
+	tr.paramSet[name] = psr
+	return psr, nil
+}
+
+func paramItems(v any) ([]any, error) {
+	switch items := v.(type) {
+	case []any:
+		return items, nil
+	case []string:
+		out := make([]any, len(items))
+		for i, s := range items {
+			out[i] = s
+		}
+		return out, nil
+	case []int64:
+		out := make([]any, len(items))
+		for i, s := range items {
+			out[i] = s
+		}
+		return out, nil
+	case []float64:
+		out := make([]any, len(items))
+		for i, s := range items {
+			out[i] = s
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("unsupported set parameter value %T", v)
+}
+
+// ---- join ----
+
+// compileJoin flattens join[THIS1.f = THIS2.g (and ...)](L, R): candidate
+// pairs from the first equality, residual equalities as filters, result
+// fields projected through the pair columns.
+func (tr *Translator) compileJoin(x *JoinExpr) (*SetVal, error) {
+	left, err := tr.compileSetExpr(x.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := tr.compileSetExpr(x.Right)
+	if err != nil {
+		return nil, err
+	}
+	eqs := collectJoinEqs(x.Pred)
+	if len(eqs) == 0 {
+		return nil, fmt.Errorf("moa: join predicate has no equality")
+	}
+	lvar0, err := tr.setFieldVar(left, eqs[0].lfield)
+	if err != nil {
+		return nil, err
+	}
+	rvar0, err := tr.setFieldVar(right, eqs[0].rfield)
+	if err != nil {
+		return nil, err
+	}
+	// pairs [lOID, rOID]
+	pairs := tr.Emit("pairs", mil.C("join", mil.R(lvar0), mil.C("reverse", mil.R(rvar0))))
+	// pair columns keyed by a fresh dense pair OID
+	lcol := tr.Emit("lcol", mil.C("reverse", mil.C("mark", mil.R(pairs), mil.L(int64(0)))))
+	rcol := tr.Emit("rcol", mil.C("reverse", mil.C("mark", mil.C("reverse", mil.R(pairs)), mil.L(int64(0)))))
+	for _, eq := range eqs[1:] {
+		lv, err := tr.setFieldVar(left, eq.lfield)
+		if err != nil {
+			return nil, err
+		}
+		rv, err := tr.setFieldVar(right, eq.rfield)
+		if err != nil {
+			return nil, err
+		}
+		lvals := tr.Emit("lv", mil.C("join", mil.R(lcol), mil.R(lv)))
+		rvals := tr.Emit("rv", mil.C("join", mil.R(rcol), mil.R(rv)))
+		ok := tr.Emit("ok", mil.M("==", mil.R(lvals), mil.R(rvals)))
+		keep := tr.Emit("keep", mil.C("mirror", mil.C("select", mil.R(ok), mil.L(true))))
+		lcol = tr.Emit("lcol", mil.C("join", mil.R(keep), mil.R(lcol)))
+		rcol = tr.Emit("rcol", mil.C("join", mil.R(keep), mil.R(rcol)))
+	}
+	dom := tr.Emit("jd", mil.C("mirror", mil.R(lcol)))
+	merged := x.T.(*SetType).Elem.(*TupleType)
+	ltt := x.Left.Type().(*SetType).Elem.(*TupleType)
+	lcolVar, rcolVar := lcol, rcol
+
+	return &SetVal{
+		DomainVar: dom,
+		Full:      false,
+		ElemT:     merged,
+		MkElem: func(ctx *Ctx) (Rep, error) {
+			trep := &TupleRep{T: merged}
+			for i, name := range merged.Names {
+				var side *SetVal
+				col := lcolVar
+				if _, fromLeft := ltt.Field(name); !fromLeft {
+					side = right
+					col = rcolVar
+				} else {
+					side = left
+				}
+				restrictedCol := col
+				if ctx.DomainVar != dom {
+					restrictedCol = tr.Emit("r", mil.C("join", mil.R(ctx.DomainVar), mil.R(col)))
+				}
+				fr, err := tr.joinFieldRep(side, name, restrictedCol, merged.Types[i])
+				if err != nil {
+					return nil, fmt.Errorf("moa: join result field %q: %w", name, err)
+				}
+				trep.Names = append(trep.Names, name)
+				trep.Fields = append(trep.Fields, fr)
+			}
+			return trep, nil
+		},
+	}, nil
+}
+
+// joinFieldRep projects one field of a join operand through the pair
+// column col ([pairOID, sideOID]). Atomic fields and nested sets map
+// through; structure fields (CONTREP) do not survive a join, since their
+// postings reference the operand's own OIDs.
+func (tr *Translator) joinFieldRep(side *SetVal, name, col string, ft Type) (Rep, error) {
+	ctx := tr.newCtx(side)
+	elem, err := side.MkElem(ctx)
+	if err != nil {
+		return nil, err
+	}
+	fr, err := tr.getField(elem, name, ctx)
+	if err != nil {
+		return nil, err
+	}
+	switch r := fr.(type) {
+	case *AtomRep:
+		v := tr.Emit("jf", mil.C("join", mil.R(col), mil.R(r.Var)))
+		return &AtomRep{Var: v, T: ft}, nil
+	case *SetRep:
+		assoc := tr.Emit("ja", mil.C("join", mil.R(col), mil.R(r.AssocVar)))
+		return &SetRep{AssocVar: assoc, ValsVar: r.ValsVar, PosVar: r.PosVar, ElemT: r.ElemT}, nil
+	}
+	return nil, fmt.Errorf("moa: field of type %s cannot be projected through a join", ft)
+}
+
+type joinEq struct{ lfield, rfield string }
+
+func collectJoinEqs(e Expr) []joinEq {
+	b, ok := e.(*BinExpr)
+	if !ok {
+		return nil
+	}
+	if b.Op == "and" {
+		return append(collectJoinEqs(b.L), collectJoinEqs(b.R)...)
+	}
+	if b.Op != "=" {
+		return nil
+	}
+	lf := b.L.(*Field)
+	rf := b.R.(*Field)
+	eq := joinEq{lfield: lf.Name, rfield: rf.Name}
+	if lf.Recv.(*Ident).Name == "THIS2" {
+		eq.lfield, eq.rfield = rf.Name, lf.Name
+	}
+	return []joinEq{eq}
+}
+
+// setFieldVar compiles access to an atomic field of a set's elements over
+// the set's full domain, returning the MIL variable [elemOID, value].
+func (tr *Translator) setFieldVar(sv *SetVal, field string) (string, error) {
+	ctx := tr.newCtx(sv)
+	elem, err := sv.MkElem(ctx)
+	if err != nil {
+		return "", err
+	}
+	fr, err := tr.getField(elem, field, ctx)
+	if err != nil {
+		return "", err
+	}
+	ar, ok := fr.(*AtomRep)
+	if !ok {
+		return "", fmt.Errorf("moa: join field %q must be atomic", field)
+	}
+	return ar.Var, nil
+}
+
+// ---- expressions within a context ----
+
+func (tr *Translator) compile(e Expr, ctx *Ctx) (Rep, error) {
+	switch x := e.(type) {
+	case *This:
+		if ctx == nil {
+			return nil, fmt.Errorf("moa: THIS outside map context")
+		}
+		if lt, ok := ctx.This.(*lazyThis); ok {
+			return lt.force(tr)
+		}
+		return ctx.This, nil
+
+	case *LitExpr:
+		return &ConstRep{V: x.V, T: x.T}, nil
+
+	case *Ident:
+		if p, ok := tr.params[x.Name]; ok {
+			if p.T.Equal(StatsType) {
+				return &StatsRep{}, nil
+			}
+			if st, ok := p.T.(*SetType); ok {
+				return tr.bindParamSet(x.Name, st)
+			}
+			at, ok := p.T.(*AtomType)
+			if !ok {
+				return nil, fmt.Errorf("moa: unsupported parameter type %s", p.T)
+			}
+			return &ConstRep{V: coerceAtom(at, p.V), T: at}, nil
+		}
+		return nil, fmt.Errorf("moa: name %q not usable in value position", x.Name)
+
+	case *Field:
+		recv, err := tr.compile(x.Recv, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return tr.getField(recv, x.Name, ctx)
+
+	case *CallExpr:
+		return tr.compileCall(x, ctx)
+
+	case *BinExpr:
+		return tr.compileBin(x, ctx)
+
+	case *UnExpr:
+		inner, err := tr.compile(x.E, ctx)
+		if err != nil {
+			return nil, err
+		}
+		switch r := inner.(type) {
+		case *ConstRep:
+			return foldUnary(x.Op, r)
+		case *AtomRep:
+			if x.Op == "not" {
+				return &AtomRep{Var: tr.Emit("u", mil.M("not", mil.R(r.Var))), T: BoolType}, nil
+			}
+			return &AtomRep{Var: tr.Emit("u", mil.M("neg", mil.R(r.Var))), T: x.T}, nil
+		}
+		return nil, fmt.Errorf("moa: unary %s on %T", x.Op, inner)
+
+	case *TupleExpr:
+		trep := &TupleRep{T: x.T.(*TupleType)}
+		for i := range x.Names {
+			fr, err := tr.compile(x.Elems[i], ctx)
+			if err != nil {
+				return nil, err
+			}
+			trep.Names = append(trep.Names, x.Names[i])
+			trep.Fields = append(trep.Fields, fr)
+		}
+		return trep, nil
+
+	case *MapExpr, *SelectExpr, *JoinExpr:
+		return nil, fmt.Errorf("moa: nested %T inside a map body is not supported by the flattened executor (use the interpreter)", e)
+	}
+	return nil, fmt.Errorf("moa: cannot flatten node %T", e)
+}
+
+// getField accesses a tuple field on a compiled receiver.
+func (tr *Translator) getField(recv Rep, name string, ctx *Ctx) (Rep, error) {
+	if lt, ok := recv.(*lazyThis); ok {
+		r, err := lt.force(tr)
+		if err != nil {
+			return nil, err
+		}
+		recv = r
+	}
+	switch r := recv.(type) {
+	case *TupleRep:
+		for i, n := range r.Names {
+			if n == name {
+				return r.Fields[i], nil
+			}
+		}
+		return nil, fmt.Errorf("moa: tuple has no field %q", name)
+	case *ElemRep:
+		tt, ok := r.T.(*TupleType)
+		if !ok {
+			return nil, fmt.Errorf("moa: field access on non-tuple element")
+		}
+		ft, ok := tt.Field(name)
+		if !ok {
+			return nil, fmt.Errorf("moa: no field %q", name)
+		}
+		stored := r.Prefix + "_" + name
+		switch t := ft.(type) {
+		case *AtomType:
+			return &AtomRep{Var: tr.Restrict(stored, r.Ctx), T: t}, nil
+		case *StructType:
+			return &StructRep{Prefix: stored, Ctx: r.Ctx, T: t}, nil
+		case *SetType, *ListType:
+			assoc := stored
+			if !r.Ctx.Full {
+				assoc = tr.Emit("as", mil.C("semijoin", mil.R(stored), mil.R(r.Ctx.DomainVar)))
+			}
+			et, _ := ElemType(ft)
+			sr := &SetRep{AssocVar: assoc, ElemT: et}
+			if _, isAtom := et.(*AtomType); isAtom {
+				sr.ValsVar = stored + "_val"
+			}
+			if _, isList := ft.(*ListType); isList {
+				sr.PosVar = stored + "_pos"
+			}
+			return sr, nil
+		}
+		return nil, fmt.Errorf("moa: unsupported field type %s", ft)
+	}
+	return nil, fmt.Errorf("moa: field access on %T", recv)
+}
+
+// ---- calls ----
+
+func (tr *Translator) compileCall(x *CallExpr, ctx *Ctx) (Rep, error) {
+	// Structure function?
+	if len(x.Args) > 0 {
+		if sf, ok := lookupStructFunc(x.Fn, x.Args[0].Type()); ok {
+			recv, err := tr.compile(x.Args[0], ctx)
+			if err != nil {
+				return nil, err
+			}
+			extra := make([]Rep, 0, len(x.Args)-1)
+			for _, a := range x.Args[1:] {
+				r, err := tr.compile(a, ctx)
+				if err != nil {
+					return nil, err
+				}
+				extra = append(extra, r)
+			}
+			return sf.EmitMap(tr, ctx, recv, extra)
+		}
+	}
+
+	if kernelAggs[x.Fn] {
+		return tr.compileAgg(x, ctx)
+	}
+
+	if kernelScalarFns[x.Fn] {
+		arg, err := tr.compile(x.Args[0], ctx)
+		if err != nil {
+			return nil, err
+		}
+		switch r := arg.(type) {
+		case *ConstRep:
+			return foldScalarFn(x.Fn, r)
+		case *AtomRep:
+			return &AtomRep{Var: tr.Emit("f", mil.M(x.Fn, mil.R(r.Var))), T: FloatType}, nil
+		}
+		return nil, fmt.Errorf("moa: %s on %T", x.Fn, arg)
+	}
+
+	return nil, fmt.Errorf("moa: unknown function %q", x.Fn)
+}
+
+// compileAgg handles sum/count/min/max/avg in three shapes: over a nested
+// set of the current element (grouped pump), over a constant parameter set
+// (scalar), and over a top-level set expression (scalar).
+func (tr *Translator) compileAgg(x *CallExpr, ctx *Ctx) (Rep, error) {
+	arg := x.Args[0]
+	switch arg.(type) {
+	case *MapExpr, *SelectExpr, *JoinExpr:
+		return tr.scalarAggOverSet(x.Fn, arg, x.T)
+	case *Ident:
+		id := arg.(*Ident)
+		if _, isParam := tr.params[id.Name]; !isParam {
+			return tr.scalarAggOverSet(x.Fn, arg, x.T)
+		}
+	}
+
+	rep, err := tr.compile(arg, ctx)
+	if err != nil {
+		return nil, err
+	}
+	switch r := rep.(type) {
+	case *SetRep:
+		if x.Fn == "count" {
+			cnt := tr.Emit("cnt", mil.P("count", mil.R(r.AssocVar)))
+			filled := tr.Emit("cnt", mil.C("fill", mil.R(cnt), mil.R(ctx.DomainVar), mil.L(int64(0))))
+			return &AtomRep{Var: filled, T: IntType}, nil
+		}
+		if r.ValsVar == "" {
+			return nil, fmt.Errorf("moa: %s over non-atomic nested set", x.Fn)
+		}
+		joined := tr.Emit("jv", mil.C("join", mil.R(r.AssocVar), mil.R(r.ValsVar)))
+		agg := tr.Emit("ag", mil.P(x.Fn, mil.R(joined)))
+		if x.Fn == "sum" {
+			agg = tr.Emit("ag", mil.C("fill", mil.R(agg), mil.R(ctx.DomainVar), mil.L(0.0)))
+		}
+		return &AtomRep{Var: agg, T: x.T}, nil
+	case *ParamSetRep:
+		v := tr.Emit("pa", mil.C(milAggName(x.Fn), mil.R(r.ValsVar)))
+		return &VarRep{Var: v, T: x.T}, nil
+	}
+	return nil, fmt.Errorf("moa: %s over %T", x.Fn, rep)
+}
+
+// scalarAggOverSet aggregates a whole set expression to one scalar.
+func (tr *Translator) scalarAggOverSet(fn string, setExpr Expr, rt Type) (Rep, error) {
+	sv, err := tr.compileSetExpr(setExpr)
+	if err != nil {
+		return nil, err
+	}
+	if fn == "count" {
+		v := tr.Emit("pa", mil.C("count", mil.R(sv.DomainVar)))
+		return &VarRep{Var: v, T: rt}, nil
+	}
+	ctx := tr.newCtx(sv)
+	elem, err := sv.MkElem(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ar, ok := elem.(*AtomRep)
+	if !ok {
+		return nil, fmt.Errorf("moa: %s over a set of %T elements", fn, elem)
+	}
+	v := tr.Emit("pa", mil.C(milAggName(fn), mil.R(ar.Var)))
+	return &VarRep{Var: v, T: rt}, nil
+}
+
+func milAggName(fn string) string { return fn } // Moa and MIL agree on names
+
+// ---- binary operators ----
+
+func (tr *Translator) compileBin(x *BinExpr, ctx *Ctx) (Rep, error) {
+	l, err := tr.compile(x.L, ctx)
+	if err != nil {
+		return nil, err
+	}
+	r, err := tr.compile(x.R, ctx)
+	if err != nil {
+		return nil, err
+	}
+	op := x.Op
+	if op == "=" {
+		op = "=="
+	}
+	lc, lConst := constOperand(l)
+	rc, rConst := constOperand(r)
+	la, lAtom := l.(*AtomRep)
+	ra, rAtom := r.(*AtomRep)
+	switch {
+	case lConst && rConst:
+		return foldBinary(x, lc, rc)
+	case lAtom && rAtom:
+		return &AtomRep{Var: tr.Emit("b", mil.M(op, mil.R(la.Var), mil.R(ra.Var))), T: x.T}, nil
+	case lAtom && rConst:
+		return &AtomRep{Var: tr.Emit("b", mil.M(op, mil.R(la.Var), constMilExpr(rc))), T: x.T}, nil
+	case lConst && rAtom:
+		return &AtomRep{Var: tr.Emit("b", mil.M(op, constMilExpr(lc), mil.R(ra.Var))), T: x.T}, nil
+	}
+	return nil, fmt.Errorf("moa: operator %s on %T and %T", x.Op, l, r)
+}
+
+// constOperand extracts a compile- or run-time scalar operand.
+func constOperand(r Rep) (Rep, bool) {
+	switch r.(type) {
+	case *ConstRep, *VarRep:
+		return r, true
+	}
+	return nil, false
+}
+
+// constMilExpr renders a scalar operand as a MIL expression.
+func constMilExpr(r Rep) mil.Expr {
+	switch c := r.(type) {
+	case *ConstRep:
+		return mil.L(c.V)
+	case *VarRep:
+		return mil.R(c.Var)
+	}
+	panic("moa: not a scalar operand")
+}
+
+// foldBinary evaluates const⊕const at compile time where both are
+// compile-time constants; if either side is a run-time scalar it emits calc.
+func foldBinary(x *BinExpr, l, r Rep) (Rep, error) {
+	lc, lok := l.(*ConstRep)
+	rc, rok := r.(*ConstRep)
+	if !lok || !rok {
+		return nil, fmt.Errorf("moa: mixed scalar operands for %s not supported", x.Op)
+	}
+	switch x.Op {
+	case "and", "or":
+		lb, _ := lc.V.(bool)
+		rb, _ := rc.V.(bool)
+		if x.Op == "and" {
+			return &ConstRep{V: lb && rb, T: BoolType}, nil
+		}
+		return &ConstRep{V: lb || rb, T: BoolType}, nil
+	}
+	lf, lIsNum := numVal(lc.V)
+	rf, rIsNum := numVal(rc.V)
+	if lIsNum && rIsNum {
+		switch x.Op {
+		case "+":
+			return numConst(lf+rf, x.T), nil
+		case "-":
+			return numConst(lf-rf, x.T), nil
+		case "*":
+			return numConst(lf*rf, x.T), nil
+		case "/":
+			if rf == 0 {
+				return numConst(0, x.T), nil
+			}
+			return numConst(lf/rf, x.T), nil
+		case "=", "==":
+			return &ConstRep{V: lf == rf, T: BoolType}, nil
+		case "!=":
+			return &ConstRep{V: lf != rf, T: BoolType}, nil
+		case "<":
+			return &ConstRep{V: lf < rf, T: BoolType}, nil
+		case "<=":
+			return &ConstRep{V: lf <= rf, T: BoolType}, nil
+		case ">":
+			return &ConstRep{V: lf > rf, T: BoolType}, nil
+		case ">=":
+			return &ConstRep{V: lf >= rf, T: BoolType}, nil
+		}
+	}
+	ls, lStr := lc.V.(string)
+	rs, rStr := rc.V.(string)
+	if lStr && rStr {
+		switch x.Op {
+		case "+":
+			return &ConstRep{V: ls + rs, T: StrType}, nil
+		case "=", "==":
+			return &ConstRep{V: ls == rs, T: BoolType}, nil
+		case "!=":
+			return &ConstRep{V: ls != rs, T: BoolType}, nil
+		case "<":
+			return &ConstRep{V: ls < rs, T: BoolType}, nil
+		case "<=":
+			return &ConstRep{V: ls <= rs, T: BoolType}, nil
+		case ">":
+			return &ConstRep{V: ls > rs, T: BoolType}, nil
+		case ">=":
+			return &ConstRep{V: ls >= rs, T: BoolType}, nil
+		}
+	}
+	return nil, fmt.Errorf("moa: cannot fold %s on %T,%T", x.Op, lc.V, rc.V)
+}
+
+func foldUnary(op string, c *ConstRep) (Rep, error) {
+	switch op {
+	case "not":
+		b, ok := c.V.(bool)
+		if !ok {
+			return nil, fmt.Errorf("moa: not on %T", c.V)
+		}
+		return &ConstRep{V: !b, T: BoolType}, nil
+	case "-":
+		switch v := c.V.(type) {
+		case int64:
+			return &ConstRep{V: -v, T: IntType}, nil
+		case float64:
+			return &ConstRep{V: -v, T: FloatType}, nil
+		}
+	}
+	return nil, fmt.Errorf("moa: cannot fold unary %s", op)
+}
+
+func foldScalarFn(fn string, c *ConstRep) (Rep, error) {
+	v, ok := numVal(c.V)
+	if !ok {
+		return nil, fmt.Errorf("moa: %s on %T", fn, c.V)
+	}
+	var out float64
+	switch fn {
+	case "log":
+		out = math.Log(v)
+	case "exp":
+		out = math.Exp(v)
+	case "sqrt":
+		out = math.Sqrt(v)
+	case "abs":
+		out = math.Abs(v)
+	default:
+		return nil, fmt.Errorf("moa: unknown scalar fn %q", fn)
+	}
+	return &ConstRep{V: out, T: FloatType}, nil
+}
+
+func numVal(v any) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	case bat.OID:
+		return float64(x), true
+	}
+	return 0, false
+}
+
+func numConst(v float64, t Type) *ConstRep {
+	if t.Equal(IntType) {
+		return &ConstRep{V: int64(v), T: IntType}
+	}
+	return &ConstRep{V: v, T: FloatType}
+}
+
+// restrictRep re-aligns an already-computed representation to a narrower
+// domain (after a select over a computed set).
+func (tr *Translator) restrictRep(r Rep, ctx *Ctx) (Rep, error) {
+	switch x := r.(type) {
+	case *AtomRep:
+		return &AtomRep{Var: tr.Emit("r", mil.C("join", mil.R(ctx.DomainVar), mil.R(x.Var))), T: x.T}, nil
+	case *ConstRep, *VarRep, *ParamSetRep, *StatsRep:
+		return r, nil
+	case *TupleRep:
+		out := &TupleRep{T: x.T, Names: append([]string(nil), x.Names...)}
+		for _, f := range x.Fields {
+			rf, err := tr.restrictRep(f, ctx)
+			if err != nil {
+				return nil, err
+			}
+			out.Fields = append(out.Fields, rf)
+		}
+		return out, nil
+	case *SetRep:
+		assoc := tr.Emit("as", mil.C("semijoin", mil.R(x.AssocVar), mil.R(ctx.DomainVar)))
+		return &SetRep{AssocVar: assoc, ValsVar: x.ValsVar, PosVar: x.PosVar, ElemT: x.ElemT}, nil
+	case *ElemRep:
+		return &ElemRep{Prefix: x.Prefix, Ctx: ctx, T: x.T}, nil
+	case *StructRep:
+		return &StructRep{Prefix: x.Prefix, Ctx: ctx, T: x.T}, nil
+	case *lazyThis:
+		forced, err := x.force(tr)
+		if err != nil {
+			return nil, err
+		}
+		return tr.restrictRep(forced, ctx)
+	}
+	return nil, fmt.Errorf("moa: cannot restrict %T", r)
+}

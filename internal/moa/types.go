@@ -1,0 +1,183 @@
+// Package moa implements the Moa object algebra and data model [BWK98]: the
+// logical layer of the Mirror DBMS. Moa is based on "structural object
+// orientation": structures (TUPLE, SET, LIST and registered extensions such
+// as CONTREP) build complex types from atomic base types inherited from the
+// physical layer. Moa expressions are flattened ("Flattening an object
+// algebra to provide performance", ICDE 1998) into MIL programs over BATs,
+// which gives set-at-a-time execution and algebraic optimisation; a
+// tuple-at-a-time interpreter of the same algebra is included as the
+// performance baseline the flattening argument is made against.
+package moa
+
+import (
+	"fmt"
+	"strings"
+
+	"mirror/internal/bat"
+)
+
+// Type is a Moa logical type.
+type Type interface {
+	String() string
+	Equal(Type) bool
+}
+
+// AtomType is a base type inherited from the physical layer. Several logical
+// names (URL, Text, Image) share the physical string kind; they are distinct
+// logical types, as in the paper's schemas.
+type AtomType struct {
+	Name string
+	Kind bat.Kind
+}
+
+func (t *AtomType) String() string { return t.Name }
+
+// Equal: atoms are equal when their logical names match.
+func (t *AtomType) Equal(o Type) bool {
+	a, ok := o.(*AtomType)
+	return ok && a.Name == t.Name
+}
+
+// Builtin atom types.
+var (
+	IntType   = &AtomType{Name: "int", Kind: bat.KindInt}
+	FloatType = &AtomType{Name: "flt", Kind: bat.KindFloat}
+	StrType   = &AtomType{Name: "str", Kind: bat.KindStr}
+	BoolType  = &AtomType{Name: "bool", Kind: bat.KindBool}
+	OIDType   = &AtomType{Name: "oid", Kind: bat.KindOID}
+	URLType   = &AtomType{Name: "URL", Kind: bat.KindStr}
+	TextType  = &AtomType{Name: "Text", Kind: bat.KindStr}
+	ImageType = &AtomType{Name: "Image", Kind: bat.KindStr}
+	// StatsType types the `stats` argument of getBL: a handle to a
+	// collection's global statistics.
+	StatsType = &AtomType{Name: "stats", Kind: bat.KindStr}
+)
+
+// atomByName resolves the names usable inside Atomic<...>.
+var atomByName = map[string]*AtomType{
+	"int": IntType, "flt": FloatType, "float": FloatType,
+	"str": StrType, "string": StrType, "bool": BoolType, "bit": BoolType,
+	"oid": OIDType, "URL": URLType, "Text": TextType, "Image": ImageType,
+	"stats": StatsType,
+}
+
+// AtomTypeByName resolves an atomic type name (e.g. "URL").
+func AtomTypeByName(name string) (*AtomType, bool) {
+	t, ok := atomByName[name]
+	return t, ok
+}
+
+// IsNumeric reports whether a type is a numeric atom.
+func IsNumeric(t Type) bool {
+	a, ok := t.(*AtomType)
+	return ok && (a.Kind == bat.KindInt || a.Kind == bat.KindFloat || a.Kind == bat.KindOID)
+}
+
+// TupleType is the Moa TUPLE structure: named, ordered fields.
+type TupleType struct {
+	Names []string
+	Types []Type
+}
+
+func (t *TupleType) String() string {
+	var sb strings.Builder
+	sb.WriteString("TUPLE<")
+	for i := range t.Names {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s: %s", t.Types[i], t.Names[i])
+	}
+	sb.WriteString(">")
+	return sb.String()
+}
+
+// Equal compares field names and types structurally, in order.
+func (t *TupleType) Equal(o Type) bool {
+	u, ok := o.(*TupleType)
+	if !ok || len(u.Names) != len(t.Names) {
+		return false
+	}
+	for i := range t.Names {
+		if t.Names[i] != u.Names[i] || !t.Types[i].Equal(u.Types[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Field returns the type of the named field.
+func (t *TupleType) Field(name string) (Type, bool) {
+	for i, n := range t.Names {
+		if n == name {
+			return t.Types[i], true
+		}
+	}
+	return nil, false
+}
+
+// SetType is the Moa (multi-)SET structure.
+type SetType struct{ Elem Type }
+
+func (t *SetType) String() string { return "SET<" + t.Elem.String() + ">" }
+
+func (t *SetType) Equal(o Type) bool {
+	u, ok := o.(*SetType)
+	return ok && t.Elem.Equal(u.Elem)
+}
+
+// ListType is the LIST structure (the extension credited to Blok in the
+// paper's acknowledgments): a set with a stable element order.
+type ListType struct{ Elem Type }
+
+func (t *ListType) String() string { return "LIST<" + t.Elem.String() + ">" }
+
+func (t *ListType) Equal(o Type) bool {
+	u, ok := o.(*ListType)
+	return ok && t.Elem.Equal(u.Elem)
+}
+
+// StructType is an instance of a registered extension structure, e.g.
+// CONTREP<Text>.
+type StructType struct {
+	S      Structure
+	Params []Type
+}
+
+func (t *StructType) String() string {
+	var sb strings.Builder
+	sb.WriteString(t.S.Name())
+	sb.WriteString("<")
+	for i, p := range t.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(p.String())
+	}
+	sb.WriteString(">")
+	return sb.String()
+}
+
+func (t *StructType) Equal(o Type) bool {
+	u, ok := o.(*StructType)
+	if !ok || u.S.Name() != t.S.Name() || len(u.Params) != len(t.Params) {
+		return false
+	}
+	for i := range t.Params {
+		if !t.Params[i].Equal(u.Params[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ElemType returns the element type of a SET or LIST.
+func ElemType(t Type) (Type, bool) {
+	switch s := t.(type) {
+	case *SetType:
+		return s.Elem, true
+	case *ListType:
+		return s.Elem, true
+	}
+	return nil, false
+}

@@ -1,0 +1,121 @@
+// Package storage persists a named collection of BATs to a directory: the
+// Mirror DBMS's stand-in for Monet's BAT buffer pool persistence. A store
+// directory contains a manifest.json naming every BAT plus one .bat file per
+// BAT. Saves are atomic at directory granularity: data is written to a
+// temporary sibling directory and renamed into place.
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mirror/internal/bat"
+)
+
+// Manifest describes the contents of a store directory.
+type Manifest struct {
+	Version int               `json:"version"`
+	BATs    []string          `json:"bats"`
+	Extra   map[string]string `json:"extra,omitempty"` // schema text etc.
+}
+
+const manifestName = "manifest.json"
+
+// Save writes the BATs (and opaque extra metadata, e.g. serialised schema
+// text) into dir, atomically replacing any previous contents.
+func Save(dir string, bats map[string]*bat.BAT, extra map[string]string) error {
+	parent := filepath.Dir(dir)
+	if err := os.MkdirAll(parent, 0o755); err != nil {
+		return fmt.Errorf("storage: mkdir %s: %w", parent, err)
+	}
+	tmp, err := os.MkdirTemp(parent, ".store-*")
+	if err != nil {
+		return fmt.Errorf("storage: mktemp: %w", err)
+	}
+	defer os.RemoveAll(tmp)
+
+	names := make([]string, 0, len(bats))
+	for name := range bats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		if err := validName(name); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(tmp, name+".bat"))
+		if err != nil {
+			return fmt.Errorf("storage: create %s: %w", name, err)
+		}
+		_, werr := bats[name].WriteTo(f)
+		cerr := f.Close()
+		if werr != nil {
+			return fmt.Errorf("storage: write %s: %w", name, werr)
+		}
+		if cerr != nil {
+			return fmt.Errorf("storage: close %s: %w", name, cerr)
+		}
+	}
+
+	m := Manifest{Version: 1, BATs: names, Extra: extra}
+	mb, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("storage: marshal manifest: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(tmp, manifestName), mb, 0o644); err != nil {
+		return fmt.Errorf("storage: write manifest: %w", err)
+	}
+
+	if err := os.RemoveAll(dir); err != nil {
+		return fmt.Errorf("storage: remove old %s: %w", dir, err)
+	}
+	if err := os.Rename(tmp, dir); err != nil {
+		return fmt.Errorf("storage: rename into place: %w", err)
+	}
+	return nil
+}
+
+// Load reads a store directory written by Save.
+func Load(dir string) (map[string]*bat.BAT, map[string]string, error) {
+	mb, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, nil, fmt.Errorf("storage: read manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(mb, &m); err != nil {
+		return nil, nil, fmt.Errorf("storage: parse manifest: %w", err)
+	}
+	if m.Version != 1 {
+		return nil, nil, fmt.Errorf("storage: unsupported version %d", m.Version)
+	}
+	bats := make(map[string]*bat.BAT, len(m.BATs))
+	for _, name := range m.BATs {
+		if err := validName(name); err != nil {
+			return nil, nil, err
+		}
+		f, err := os.Open(filepath.Join(dir, name+".bat"))
+		if err != nil {
+			return nil, nil, fmt.Errorf("storage: open %s: %w", name, err)
+		}
+		b, rerr := bat.ReadBAT(f)
+		f.Close()
+		if rerr != nil {
+			return nil, nil, fmt.Errorf("storage: read %s: %w", name, rerr)
+		}
+		bats[name] = b
+	}
+	return bats, m.Extra, nil
+}
+
+// validName rejects BAT names that would escape the store directory.
+func validName(name string) error {
+	if name == "" || strings.ContainsAny(name, "/\\") || strings.Contains(name, "..") {
+		return fmt.Errorf("storage: invalid BAT name %q", name)
+	}
+	return nil
+}

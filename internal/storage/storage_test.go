@@ -1,0 +1,143 @@
+package storage
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"mirror/internal/bat"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	b1 := bat.NewDense(0, bat.KindStr)
+	b1.MustAppend(bat.OID(0), "http://a")
+	b1.MustAppend(bat.OID(1), "http://b")
+	b2 := bat.New(bat.KindOID, bat.KindFloat)
+	b2.MustAppend(bat.OID(9), 0.5)
+	b3 := bat.New(bat.KindInt, bat.KindBool)
+	b3.MustAppend(int64(-3), true)
+
+	in := map[string]*bat.BAT{"lib_source": b1, "scores": b2, "flags": b3}
+	if err := Save(dir, in, map[string]string{"schema": "define X ..."}); err != nil {
+		t.Fatal(err)
+	}
+	out, extra, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("loaded %d BATs, want 3", len(out))
+	}
+	if extra["schema"] != "define X ..." {
+		t.Fatalf("extra = %v", extra)
+	}
+	if v, ok := out["lib_source"].Find(bat.OID(1)); !ok || v.(string) != "http://b" {
+		t.Fatalf("lib_source[1] = %v", v)
+	}
+	if v, ok := out["scores"].Find(bat.OID(9)); !ok || v.(float64) != 0.5 {
+		t.Fatalf("scores[9] = %v", v)
+	}
+	if v, ok := out["flags"].Find(int64(-3)); !ok || v.(bool) != true {
+		t.Fatalf("flags[-3] = %v", v)
+	}
+}
+
+func TestSaveOverwritesAtomically(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	b := bat.NewDense(0, bat.KindInt)
+	b.MustAppend(bat.OID(0), int64(1))
+	if err := Save(dir, map[string]*bat.BAT{"a": b}, nil); err != nil {
+		t.Fatal(err)
+	}
+	b2 := bat.NewDense(0, bat.KindInt)
+	b2.MustAppend(bat.OID(0), int64(2))
+	if err := Save(dir, map[string]*bat.BAT{"b": b2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out["a"]; ok {
+		t.Fatal("old BAT should be gone after overwrite")
+	}
+	if _, ok := out["b"]; !ok {
+		t.Fatal("new BAT missing")
+	}
+}
+
+func TestInvalidNames(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	b := bat.New(bat.KindOID, bat.KindInt)
+	for _, name := range []string{"", "../evil", "a/b", `a\b`} {
+		if err := Save(dir, map[string]*bat.BAT{name: b}, nil); err == nil {
+			t.Errorf("Save with name %q should fail", name)
+		}
+	}
+}
+
+func TestLoadMissingDir(t *testing.T) {
+	if _, _, err := Load(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("loading a missing dir should fail")
+	}
+}
+
+func TestPropBATBinaryRoundTrip(t *testing.T) {
+	f := func(ints []int64, strs []string, flts []float64) bool {
+		b := bat.New(bat.KindInt, bat.KindStr)
+		n := len(ints)
+		if len(strs) < n {
+			n = len(strs)
+		}
+		for i := 0; i < n; i++ {
+			b.MustAppend(ints[i], strs[i])
+		}
+		var buf bytes.Buffer
+		if _, err := b.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := bat.ReadBAT(&buf)
+		if err != nil || got.Len() != b.Len() {
+			return false
+		}
+		for i := 0; i < got.Len(); i++ {
+			if got.Head.IntAt(i) != b.Head.IntAt(i) || got.Tail.StrAt(i) != b.Tail.StrAt(i) {
+				return false
+			}
+		}
+		// float BAT round trip including NaN-free values
+		fb := bat.NewDense(0, bat.KindFloat)
+		for i, v := range flts {
+			fb.MustAppend(bat.OID(i), v)
+		}
+		buf.Reset()
+		if _, err := fb.WriteTo(&buf); err != nil {
+			return false
+		}
+		got2, err := bat.ReadBAT(&buf)
+		if err != nil || got2.Len() != fb.Len() {
+			return false
+		}
+		for i := 0; i < got2.Len(); i++ {
+			a, c := got2.Tail.FloatAt(i), fb.Tail.FloatAt(i)
+			if a != c && !(a != a && c != c) { // NaN-safe compare
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptMagic(t *testing.T) {
+	if _, err := bat.ReadBAT(bytes.NewReader([]byte("XXXX garbage"))); err == nil {
+		t.Fatal("bad magic should fail")
+	}
+	if _, err := bat.ReadBAT(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input should fail")
+	}
+}

@@ -1,0 +1,187 @@
+// Package thesaurus implements the association thesaurus of Section 5: the
+// automatically constructed mapping between words in textual annotations
+// and clusters in the image content representation (the realisation of
+// Paivio's dual coding theory in the demo). Following the PhraseFinder
+// observation the paper cites [JC94], each concept (cluster term) is
+// treated as a document whose text is the annotation words co-occurring
+// with it, and concepts are ranked for a query with the same inference
+// network belief function used for document retrieval.
+package thesaurus
+
+import (
+	"sort"
+
+	"mirror/internal/ir"
+)
+
+// Doc is one training observation: the analysed annotation words of an
+// item together with the content-cluster terms extracted from it.
+type Doc struct {
+	Words    []string
+	Concepts []string
+}
+
+// Association is a ranked (concept, belief) pair.
+type Association struct {
+	Concept string
+	Belief  float64
+}
+
+// Thesaurus is the built association structure.
+type Thesaurus struct {
+	concepts []string
+	tf       map[string]map[string]int // concept → word → co-occurrence count
+	clen     map[string]int            // concept pseudo-document length
+	df       map[string]int            // word → #concepts it associates with
+	avgLen   float64
+}
+
+// Build constructs the thesaurus from co-occurrence data.
+func Build(docs []Doc) *Thesaurus {
+	t := &Thesaurus{
+		tf:   map[string]map[string]int{},
+		clen: map[string]int{},
+		df:   map[string]int{},
+	}
+	for _, d := range docs {
+		if len(d.Words) == 0 {
+			continue
+		}
+		for _, c := range d.Concepts {
+			m, ok := t.tf[c]
+			if !ok {
+				m = map[string]int{}
+				t.tf[c] = m
+				t.concepts = append(t.concepts, c)
+			}
+			for _, w := range d.Words {
+				m[w]++
+				t.clen[c]++
+			}
+		}
+	}
+	sort.Strings(t.concepts)
+	seen := map[string]map[string]bool{}
+	for c, m := range t.tf {
+		for w := range m {
+			if seen[w] == nil {
+				seen[w] = map[string]bool{}
+			}
+			if !seen[w][c] {
+				seen[w][c] = true
+				t.df[w]++
+			}
+		}
+	}
+	var total int
+	for _, l := range t.clen {
+		total += l
+	}
+	if len(t.clen) > 0 {
+		t.avgLen = float64(total) / float64(len(t.clen))
+	}
+	return t
+}
+
+// Concepts lists the known concepts, sorted.
+func (t *Thesaurus) Concepts() []string { return t.concepts }
+
+// Associate ranks concepts by their belief given the query words —
+// "measuring the belief in a concept (instead of in a document) given the
+// query" — and returns the top k (k <= 0 returns all).
+func (t *Thesaurus) Associate(queryWords []string, k int) []Association {
+	n := len(t.concepts)
+	out := make([]Association, 0, n)
+	for _, c := range t.concepts {
+		m := t.tf[c]
+		score := 0.0
+		for _, w := range queryWords {
+			df := t.df[w]
+			if df == 0 {
+				continue // word never co-occurs with any concept
+			}
+			score += ir.Belief(m[w], t.clen[c], t.avgLen, df, n)
+		}
+		if score > 0 {
+			out = append(out, Association{Concept: c, Belief: score})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Belief != out[j].Belief {
+			return out[i].Belief > out[j].Belief
+		}
+		return out[i].Concept < out[j].Concept
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// WordsFor ranks the annotation words most associated with a concept (the
+// inverse direction, used by the demo UI to explain clusters).
+func (t *Thesaurus) WordsFor(concept string, k int) []Association {
+	m := t.tf[concept]
+	out := make([]Association, 0, len(m))
+	for w, tf := range m {
+		out = append(out, Association{
+			Concept: w,
+			Belief:  ir.Belief(tf, t.clen[concept], t.avgLen, t.df[w], len(t.concepts)),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Belief != out[j].Belief {
+			return out[i].Belief > out[j].Belief
+		}
+		return out[i].Concept < out[j].Concept
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Reinforce adapts the thesaurus from relevance feedback ("we are
+// investigating machine learning techniques to adapt the thesaurus ...
+// using the relevance feedback across query sessions"): co-occurrences
+// between the query words and the concepts of relevant items are
+// strengthened, those of non-relevant items weakened.
+func (t *Thesaurus) Reinforce(queryWords []string, concepts []string, relevant bool) {
+	delta := 1
+	for _, c := range concepts {
+		m, ok := t.tf[c]
+		if !ok {
+			if !relevant {
+				continue
+			}
+			m = map[string]int{}
+			t.tf[c] = m
+			t.concepts = append(t.concepts, c)
+			sort.Strings(t.concepts)
+		}
+		for _, w := range queryWords {
+			old := m[w]
+			if relevant {
+				if old == 0 {
+					t.df[w]++
+				}
+				m[w] += delta
+				t.clen[c] += delta
+			} else if old > 0 {
+				m[w]--
+				t.clen[c]--
+				if m[w] == 0 {
+					delete(m, w)
+					t.df[w]--
+				}
+			}
+		}
+	}
+	var total int
+	for _, l := range t.clen {
+		total += l
+	}
+	if len(t.clen) > 0 {
+		t.avgLen = float64(total) / float64(len(t.clen))
+	}
+}

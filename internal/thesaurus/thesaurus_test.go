@@ -1,0 +1,123 @@
+package thesaurus
+
+import (
+	"testing"
+)
+
+func trainDocs() []Doc {
+	// "ocean" co-occurs with cluster c_water; "forest" with c_green;
+	// "beach" with both c_sand and c_water (shared coastline scenes).
+	return []Doc{
+		{Words: []string{"ocean", "waves"}, Concepts: []string{"c_water"}},
+		{Words: []string{"ocean", "blue"}, Concepts: []string{"c_water"}},
+		{Words: []string{"forest", "trees"}, Concepts: []string{"c_green"}},
+		{Words: []string{"forest", "green"}, Concepts: []string{"c_green"}},
+		{Words: []string{"beach", "sand", "ocean"}, Concepts: []string{"c_sand", "c_water"}},
+		{Words: []string{"beach", "dunes"}, Concepts: []string{"c_sand"}},
+		{Words: []string{"city", "lights"}, Concepts: []string{"c_dark"}},
+	}
+}
+
+func TestAssociateRanksRightConcept(t *testing.T) {
+	th := Build(trainDocs())
+	top := th.Associate([]string{"ocean"}, 2)
+	if len(top) == 0 || top[0].Concept != "c_water" {
+		t.Fatalf("ocean → %v, want c_water first", top)
+	}
+	top = th.Associate([]string{"forest"}, 1)
+	if len(top) != 1 || top[0].Concept != "c_green" {
+		t.Fatalf("forest → %v", top)
+	}
+	// a multi-class word associates with both its concepts
+	top = th.Associate([]string{"beach"}, 3)
+	found := map[string]bool{}
+	for _, a := range top {
+		found[a.Concept] = true
+	}
+	if !found["c_sand"] || !found["c_water"] {
+		t.Fatalf("beach → %v, want c_sand and c_water", top)
+	}
+}
+
+func TestAssociateUnknownWord(t *testing.T) {
+	th := Build(trainDocs())
+	if got := th.Associate([]string{"zzz"}, 5); len(got) != 0 {
+		t.Fatalf("unknown word associated: %v", got)
+	}
+}
+
+func TestWordsFor(t *testing.T) {
+	th := Build(trainDocs())
+	words := th.WordsFor("c_water", 3)
+	if len(words) == 0 || words[0].Concept != "ocean" {
+		t.Fatalf("c_water words = %v", words)
+	}
+}
+
+func TestConceptsSorted(t *testing.T) {
+	th := Build(trainDocs())
+	cs := th.Concepts()
+	for i := 1; i < len(cs); i++ {
+		if cs[i-1] >= cs[i] {
+			t.Fatalf("concepts not sorted: %v", cs)
+		}
+	}
+}
+
+func TestEmptyAnnotationsIgnored(t *testing.T) {
+	th := Build([]Doc{
+		{Words: nil, Concepts: []string{"c_x"}},
+		{Words: []string{"w"}, Concepts: []string{"c_y"}},
+	})
+	if len(th.Concepts()) != 1 {
+		t.Fatalf("concepts = %v (unannotated doc must not train)", th.Concepts())
+	}
+}
+
+func TestReinforce(t *testing.T) {
+	th := Build(trainDocs())
+	before := th.Associate([]string{"lights"}, 5)
+	var beforeWater float64
+	for _, a := range before {
+		if a.Concept == "c_water" {
+			beforeWater = a.Belief
+		}
+	}
+	// user says: for query "lights", items with c_water were relevant
+	for i := 0; i < 5; i++ {
+		th.Reinforce([]string{"lights"}, []string{"c_water"}, true)
+	}
+	after := th.Associate([]string{"lights"}, 5)
+	var afterWater float64
+	for _, a := range after {
+		if a.Concept == "c_water" {
+			afterWater = a.Belief
+		}
+	}
+	if afterWater <= beforeWater {
+		t.Fatalf("reinforcement did not raise association: %v → %v", beforeWater, afterWater)
+	}
+	// negative feedback reduces it again
+	for i := 0; i < 5; i++ {
+		th.Reinforce([]string{"lights"}, []string{"c_water"}, false)
+	}
+	final := th.Associate([]string{"lights"}, 5)
+	var finalWater float64
+	for _, a := range final {
+		if a.Concept == "c_water" {
+			finalWater = a.Belief
+		}
+	}
+	if finalWater >= afterWater {
+		t.Fatalf("negative feedback did not lower association: %v → %v", afterWater, finalWater)
+	}
+}
+
+func TestReinforceNewConcept(t *testing.T) {
+	th := Build(trainDocs())
+	th.Reinforce([]string{"aurora"}, []string{"c_new"}, true)
+	top := th.Associate([]string{"aurora"}, 1)
+	if len(top) != 1 || top[0].Concept != "c_new" {
+		t.Fatalf("new concept not learned: %v", top)
+	}
+}
