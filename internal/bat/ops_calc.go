@@ -5,6 +5,12 @@ import (
 	"math"
 )
 
+// The bulk arithmetic operators pre-size their output columns and fill them
+// by index — one allocation, no per-row append — and fan the fill over the
+// parallel kernel (ParallelFor) for large inputs. Every output element
+// depends only on its own inputs, so the parallel result is bit-identical
+// to the serial one.
+
 // Multiplex lifts a binary scalar operator over two positionally aligned
 // BATs: MIL's [op](a, b). The result is [a.head, a.tail op b.tail]. Both
 // operands must have the same length; heads are assumed aligned (the
@@ -22,18 +28,22 @@ func Multiplex(op string, a, b *BAT) (*BAT, error) {
 			if err3 != nil {
 				// fall through to string ops below
 			} else {
-				out := &BAT{Head: a.Head.clone(), Tail: NewColumn(KindFloat)}
-				if boolResult {
-					out.Tail = NewColumn(KindBool)
-				}
+				out := &BAT{Head: a.Head.clone()}
 				out.HSorted, out.HKey = a.HSorted || a.HDense(), a.HKey || a.HDense()
-				for i := 0; i < n; i++ {
-					r := f(av(i), bv(i))
-					if boolResult {
-						out.Tail.bools = append(out.Tail.bools, r != 0)
-					} else {
-						out.Tail.flts = append(out.Tail.flts, r)
-					}
+				if boolResult {
+					out.Tail = &Column{kind: KindBool, bools: make([]bool, n)}
+					ParallelFor(n, func(lo, hi int) {
+						for i := lo; i < hi; i++ {
+							out.Tail.bools[i] = f(av(i), bv(i)) != 0
+						}
+					})
+				} else {
+					out.Tail = &Column{kind: KindFloat, flts: make([]float64, n)}
+					ParallelFor(n, func(lo, hi int) {
+						for i := lo; i < hi; i++ {
+							out.Tail.flts[i] = f(av(i), bv(i))
+						}
+					})
 				}
 				return out, nil
 			}
@@ -44,39 +54,44 @@ func Multiplex(op string, a, b *BAT) (*BAT, error) {
 		out := &BAT{Head: a.Head.clone()}
 		switch op {
 		case "+":
-			out.Tail = NewColumn(KindStr)
-			for i := 0; i < n; i++ {
-				out.Tail.strs = append(out.Tail.strs, a.Tail.strs[i]+b.Tail.strs[i])
-			}
+			out.Tail = &Column{kind: KindStr, strs: make([]string, n)}
+			ParallelFor(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out.Tail.strs[i] = a.Tail.strs[i] + b.Tail.strs[i]
+				}
+			})
 		case "==", "!=", "<", "<=", ">", ">=":
-			out.Tail = NewColumn(KindBool)
-			for i := 0; i < n; i++ {
-				out.Tail.bools = append(out.Tail.bools, strCompare(op, a.Tail.strs[i], b.Tail.strs[i]))
-			}
+			out.Tail = &Column{kind: KindBool, bools: make([]bool, n)}
+			ParallelFor(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out.Tail.bools[i] = strCompare(op, a.Tail.strs[i], b.Tail.strs[i])
+				}
+			})
 		default:
 			return nil, fmt.Errorf("bat: multiplex [%s] unsupported on str", op)
 		}
 		return out, nil
 	}
 	if a.Tail.Kind() == KindBool && b.Tail.Kind() == KindBool {
-		out := &BAT{Head: a.Head.clone(), Tail: NewColumn(KindBool)}
-		for i := 0; i < n; i++ {
-			x, y := a.Tail.bools[i], b.Tail.bools[i]
-			var r bool
-			switch op {
-			case "and":
-				r = x && y
-			case "or":
-				r = x || y
-			case "==":
-				r = x == y
-			case "!=":
-				r = x != y
-			default:
-				return nil, fmt.Errorf("bat: multiplex [%s] unsupported on bit", op)
-			}
-			out.Tail.bools = append(out.Tail.bools, r)
+		var f func(x, y bool) bool
+		switch op {
+		case "and":
+			f = func(x, y bool) bool { return x && y }
+		case "or":
+			f = func(x, y bool) bool { return x || y }
+		case "==":
+			f = func(x, y bool) bool { return x == y }
+		case "!=":
+			f = func(x, y bool) bool { return x != y }
+		default:
+			return nil, fmt.Errorf("bat: multiplex [%s] unsupported on bit", op)
 		}
+		out := &BAT{Head: a.Head.clone(), Tail: &Column{kind: KindBool, bools: make([]bool, n)}}
+		ParallelFor(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out.Tail.bools[i] = f(a.Tail.bools[i], b.Tail.bools[i])
+			}
+		})
 		return out, nil
 	}
 	return nil, fmt.Errorf("bat: multiplex [%s] on %s/%s tails", op, a.Tail.Kind(), b.Tail.Kind())
@@ -93,46 +108,56 @@ func MultiplexConst(op string, a *BAT, c any, rightConst bool) (*BAT, error) {
 		if err3 != nil {
 			return nil, err3
 		}
-		out := &BAT{Head: a.Head.clone(), Tail: NewColumn(KindFloat)}
-		if boolResult {
-			out.Tail = NewColumn(KindBool)
-		}
+		out := &BAT{Head: a.Head.clone()}
 		out.HSorted, out.HKey = a.HSorted || a.HDense(), a.HKey || a.HDense()
-		for i := 0; i < n; i++ {
-			var r float64
+		apply := func(i int) float64 {
 			if rightConst {
-				r = f(av(i), cf)
-			} else {
-				r = f(cf, av(i))
+				return f(av(i), cf)
 			}
-			if boolResult {
-				out.Tail.bools = append(out.Tail.bools, r != 0)
-			} else {
-				out.Tail.flts = append(out.Tail.flts, r)
-			}
+			return f(cf, av(i))
+		}
+		if boolResult {
+			out.Tail = &Column{kind: KindBool, bools: make([]bool, n)}
+			ParallelFor(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out.Tail.bools[i] = apply(i) != 0
+				}
+			})
+		} else {
+			out.Tail = &Column{kind: KindFloat, flts: make([]float64, n)}
+			ParallelFor(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out.Tail.flts[i] = apply(i)
+				}
+			})
 		}
 		return out, nil
 	}
 	if s, ok := c.(string); ok && a.Tail.Kind() == KindStr {
-		out := &BAT{Head: a.Head.clone(), Tail: NewColumn(KindBool)}
+		out := &BAT{Head: a.Head.clone()}
 		if op == "+" {
-			out.Tail = NewColumn(KindStr)
-			for i := 0; i < n; i++ {
-				if rightConst {
-					out.Tail.strs = append(out.Tail.strs, a.Tail.strs[i]+s)
-				} else {
-					out.Tail.strs = append(out.Tail.strs, s+a.Tail.strs[i])
+			out.Tail = &Column{kind: KindStr, strs: make([]string, n)}
+			ParallelFor(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if rightConst {
+						out.Tail.strs[i] = a.Tail.strs[i] + s
+					} else {
+						out.Tail.strs[i] = s + a.Tail.strs[i]
+					}
 				}
-			}
+			})
 			return out, nil
 		}
-		for i := 0; i < n; i++ {
-			l, r := a.Tail.strs[i], s
-			if !rightConst {
-				l, r = r, l
+		out.Tail = &Column{kind: KindBool, bools: make([]bool, n)}
+		ParallelFor(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				l, r := a.Tail.strs[i], s
+				if !rightConst {
+					l, r = r, l
+				}
+				out.Tail.bools[i] = strCompare(op, l, r)
 			}
-			out.Tail.bools = append(out.Tail.bools, strCompare(op, l, r))
-		}
+		})
 		return out, nil
 	}
 	return nil, fmt.Errorf("bat: multiplex [%s] const %T on %s tail", op, c, a.Tail.Kind())
@@ -145,10 +170,12 @@ func MultiplexUnary(fn string, a *BAT) (*BAT, error) {
 		if a.Tail.Kind() != KindBool {
 			return nil, fmt.Errorf("bat: [not] needs bit tail, got %s", a.Tail.Kind())
 		}
-		out := &BAT{Head: a.Head.clone(), Tail: NewColumn(KindBool)}
-		for i := 0; i < n; i++ {
-			out.Tail.bools = append(out.Tail.bools, !a.Tail.bools[i])
-		}
+		out := &BAT{Head: a.Head.clone(), Tail: &Column{kind: KindBool, bools: make([]bool, n)}}
+		ParallelFor(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out.Tail.bools[i] = !a.Tail.bools[i]
+			}
+		})
 		return out, nil
 	}
 	av, err := numericReader(a.Tail)
@@ -176,11 +203,13 @@ func MultiplexUnary(fn string, a *BAT) (*BAT, error) {
 	default:
 		return nil, fmt.Errorf("bat: unknown unary multiplex [%s]", fn)
 	}
-	out := &BAT{Head: a.Head.clone(), Tail: NewColumn(KindFloat)}
+	out := &BAT{Head: a.Head.clone(), Tail: &Column{kind: KindFloat, flts: make([]float64, n)}}
 	out.HSorted, out.HKey = a.HSorted || a.HDense(), a.HKey || a.HDense()
-	for i := 0; i < n; i++ {
-		out.Tail.flts = append(out.Tail.flts, f(av(i)))
-	}
+	ParallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Tail.flts[i] = f(av(i))
+		}
+	})
 	return out, nil
 }
 

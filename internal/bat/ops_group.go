@@ -7,8 +7,17 @@ import (
 
 // Group computes equivalence classes over the tail values of b (MIL
 // group/CTgroup). The result maps each head value to a dense group OID
-// (0..G-1, numbered in order of first occurrence).
+// (0..G-1, numbered in order of first occurrence). Large inputs run on the
+// parallel kernel (par_ops.go) with identical output.
 func Group(b *BAT) (*BAT, error) {
+	if useParallel(b.Len()) {
+		return parGroup(b)
+	}
+	return groupSerial(b)
+}
+
+// groupSerial is the single-threaded reference implementation of Group.
+func groupSerial(b *BAT) (*BAT, error) {
 	out := &BAT{
 		Head: b.Head.clone(),
 		Tail: NewColumn(KindOID),
@@ -172,86 +181,67 @@ func PumpAggregate(agg AggKind, vals, grp *BAT) (*BAT, error) {
 	if vals.Len() != grp.Len() {
 		return nil, fmt.Errorf("bat: pump length mismatch: vals %d vs grp %d", vals.Len(), grp.Len())
 	}
-	numeric := func(i int) (float64, error) {
-		switch vals.Tail.Kind() {
-		case KindFloat:
-			return vals.Tail.flts[i], nil
-		case KindInt:
-			return float64(vals.Tail.ints[i]), nil
-		case KindOID, KindVoid:
-			return float64(vals.Tail.OIDAt(i)), nil
-		case KindBool:
-			if vals.Tail.bools[i] {
-				return 1, nil
-			}
-			return 0, nil
-		}
-		return 0, fmt.Errorf("bat: pump %s on non-numeric tail %s", agg, vals.Tail.Kind())
+	if useParallel(vals.Len()) {
+		return parPumpAggregate(agg, vals, grp)
 	}
+	return pumpAggregateSerial(agg, vals, grp)
+}
+
+// pumpAggregateSerial is the single-threaded reference implementation of
+// PumpAggregate; it shares the accumulator and emit code with the parallel
+// variant so the two differ only in scan order.
+func pumpAggregateSerial(agg AggKind, vals, grp *BAT) (*BAT, error) {
+	n := grp.Len()
+	if k := vals.Tail.Kind(); k == KindStr && agg != AggCount && n > 0 {
+		return nil, fmt.Errorf("bat: pump %s on non-numeric tail %s", agg, k)
+	}
+	read := pumpReader(vals.Tail)
 
 	// Determine the group domain size.
 	maxG := OID(0)
-	n := grp.Len()
 	for i := 0; i < n; i++ {
 		if g := grp.Tail.OIDAt(i); g >= maxG {
 			maxG = g + 1
 		}
 	}
-	sums := make([]float64, maxG)
-	counts := make([]int64, maxG)
-	mins := make([]float64, maxG)
-	maxs := make([]float64, maxG)
-	prods := make([]float64, maxG)
-	for i := range mins {
-		mins[i] = math.Inf(1)
-		maxs[i] = math.Inf(-1)
-		prods[i] = 1
-	}
+	acc := newPumpAcc(int(maxG))
 	for i := 0; i < n; i++ {
-		g := grp.Tail.OIDAt(i)
-		v, err := numeric(i)
-		if err != nil && agg != AggCount {
-			return nil, err
-		}
-		sums[g] += v
-		counts[g]++
-		if v < mins[g] {
-			mins[g] = v
-		}
-		if v > maxs[g] {
-			maxs[g] = v
-		}
-		prods[g] *= v
+		acc.add(grp.Tail.OIDAt(i), read(i))
 	}
+	return emitPump(agg, vals.Tail.Kind(), maxG, acc)
+}
 
-	out := NewDense(0, resultKind(agg, vals.Tail.Kind()))
+// emitPump renders accumulated per-group state as the [void, agg] result,
+// identically for the serial and parallel paths.
+func emitPump(agg AggKind, valKind Kind, maxG OID, acc *pumpAcc) (*BAT, error) {
+	out := NewDense(0, resultKind(agg, valKind))
 	for g := OID(0); g < maxG; g++ {
 		var v any
 		switch agg {
 		case AggSum:
-			v = castNum(sums[g], out.Tail.Kind())
+			v = castNum(acc.sums[g], out.Tail.Kind())
 		case AggCount:
-			v = counts[g]
+			v = acc.counts[g]
 		case AggMin:
-			x := mins[g]
-			if counts[g] == 0 {
+			x := acc.mins[g]
+			if acc.counts[g] == 0 {
 				x = 0
 			}
 			v = castNum(x, out.Tail.Kind())
 		case AggMax:
-			x := maxs[g]
-			if counts[g] == 0 {
+			x := acc.maxs[g]
+			if acc.counts[g] == 0 {
 				x = 0
 			}
 			v = castNum(x, out.Tail.Kind())
 		case AggAvg:
-			if counts[g] == 0 {
+			if acc.counts[g] == 0 {
 				v = 0.0
 			} else {
-				v = sums[g] / float64(counts[g])
+				v = acc.sums[g] / float64(acc.counts[g])
 			}
 		case AggProd:
-			v = castNum(prods[g], out.Tail.Kind())
+			v = castNum(acc.prods[g], out.Tail.Kind())
 		}
 		out.MustAppend(g, v)
 	}

@@ -1,0 +1,433 @@
+package bat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// Differential property tests for the parallel execution kernel: every
+// parallel operator is run against the serial reference on randomized BATs
+// across all Kind combinations (dense and materialised heads) and must
+// produce BUN-for-BUN identical results. Order-preserving operators and
+// integer aggregates compare exactly (bit-for-bit for floats); float
+// aggregations (sum/avg/prod) tolerate reassociation in the last ulps.
+//
+// The whole file runs under -race in CI, which also exercises the shared
+// worker pool for data races.
+
+// withExec runs f under a forced parallelism/threshold configuration and
+// restores the previous knobs.
+func withExec(par, threshold int, f func()) {
+	oldP := SetParallelism(par)
+	oldT := SetParallelThreshold(threshold)
+	defer func() {
+		SetParallelism(oldP)
+		SetParallelThreshold(oldT)
+	}()
+	f()
+}
+
+// diffOp runs op once serially and once on the 4-way parallel kernel with
+// threshold 1, returning both results.
+func diffOp(op func() (*BAT, error)) (ser, par *BAT, serErr, parErr error) {
+	withExec(1, 0, func() { ser, serErr = op() })
+	withExec(4, 1, func() { par, parErr = op() })
+	return
+}
+
+// checkDiff asserts serial and parallel agree (results or errors). floatTol
+// permits last-ulp float differences on float tails (aggregations only).
+func checkDiff(t *testing.T, name string, op func() (*BAT, error), floatTol bool) {
+	t.Helper()
+	ser, par, serErr, parErr := diffOp(op)
+	if (serErr == nil) != (parErr == nil) {
+		t.Fatalf("%s: serial err=%v parallel err=%v", name, serErr, parErr)
+	}
+	if serErr != nil {
+		if serErr.Error() != parErr.Error() {
+			t.Fatalf("%s: error mismatch: serial %q parallel %q", name, serErr, parErr)
+		}
+		return
+	}
+	assertSameBAT(t, name, ser, par, floatTol)
+}
+
+func assertSameBAT(t *testing.T, name string, ser, par *BAT, floatTol bool) {
+	t.Helper()
+	if ser.Len() != par.Len() {
+		t.Fatalf("%s: length %d vs %d\nserial:   %v\nparallel: %v", name, ser.Len(), par.Len(), ser, par)
+	}
+	if mk := materialKind(ser.Head.Kind()); mk != materialKind(par.Head.Kind()) {
+		t.Fatalf("%s: head kind %s vs %s", name, ser.Head.Kind(), par.Head.Kind())
+	}
+	if mk := materialKind(ser.Tail.Kind()); mk != materialKind(par.Tail.Kind()) {
+		t.Fatalf("%s: tail kind %s vs %s", name, ser.Tail.Kind(), par.Tail.Kind())
+	}
+	for i := 0; i < ser.Len(); i++ {
+		if !sameValue(ser.Head.Get(i), par.Head.Get(i), false) {
+			t.Fatalf("%s: head BUN %d: %v vs %v", name, i, ser.Head.Get(i), par.Head.Get(i))
+		}
+		if !sameValue(ser.Tail.Get(i), par.Tail.Get(i), floatTol) {
+			t.Fatalf("%s: tail BUN %d: %v vs %v", name, i, ser.Tail.Get(i), par.Tail.Get(i))
+		}
+	}
+}
+
+// sameValue compares boxed atoms; floats compare bitwise unless tol, in
+// which case a tiny relative tolerance absorbs parallel sum reassociation.
+func sameValue(a, b any, tol bool) bool {
+	af, aok := a.(float64)
+	bf, bok := b.(float64)
+	if tol {
+		// aggregate results may be cast to int64; compare numerically
+		if ai, ok := a.(int64); ok {
+			af, aok = float64(ai), true
+		}
+		if bi, ok := b.(int64); ok {
+			bf, bok = float64(bi), true
+		}
+	}
+	if aok && bok {
+		if !tol {
+			return math.Float64bits(af) == math.Float64bits(bf)
+		}
+		if math.IsNaN(af) && math.IsNaN(bf) {
+			return true
+		}
+		d := math.Abs(af - bf)
+		return d <= 1e-9*math.Max(1, math.Max(math.Abs(af), math.Abs(bf)))
+	}
+	return a == b
+}
+
+// diffValue generates a random atom of kind k from a small domain (to force
+// duplicates). Floats occasionally emit NaN to pin down NaN group/hash
+// semantics.
+func diffValue(r *rand.Rand, k Kind, i int) any {
+	switch k {
+	case KindVoid:
+		return OID(i)
+	case KindOID:
+		return OID(r.Intn(40))
+	case KindInt:
+		return int64(r.Intn(60) - 30)
+	case KindFloat:
+		if r.Intn(50) == 0 {
+			return math.NaN()
+		}
+		return float64(r.Intn(64)) / 4
+	case KindStr:
+		return fmt.Sprintf("s%d", r.Intn(30))
+	case KindBool:
+		return r.Intn(2) == 0
+	}
+	panic("bad kind")
+}
+
+// diffBAT builds a random BAT with the given head/tail kinds.
+func diffBAT(r *rand.Rand, hk, tk Kind, n int) *BAT {
+	b := New(hk, tk)
+	for i := 0; i < n; i++ {
+		b.MustAppend(diffValue(r, hk, i), diffValue(r, tk, i))
+	}
+	return b
+}
+
+var diffKinds = []Kind{KindVoid, KindOID, KindInt, KindFloat, KindStr, KindBool}
+
+func TestParDiffSelectFamily(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, hk := range diffKinds {
+		for _, tk := range diffKinds {
+			for _, n := range []int{0, 1, 17, 501, 2048} {
+				b := diffBAT(r, hk, tk, n)
+				v := diffValue(r, tk, n/2)
+				lo, hi := diffValue(r, tk, 1), diffValue(r, tk, n/3+1)
+				tag := fmt.Sprintf("[%s,%s]#%d", hk, tk, n)
+				checkDiff(t, "select "+tag, func() (*BAT, error) { return Select(b, v) }, false)
+				checkDiff(t, "select_not "+tag, func() (*BAT, error) { return SelectNot(b, v) }, false)
+				checkDiff(t, "select_range "+tag, func() (*BAT, error) { return SelectRange(b, lo, hi) }, false)
+				checkDiff(t, "uselect "+tag, func() (*BAT, error) { return USelect(b, v) }, false)
+				checkDiff(t, "uselect_range "+tag, func() (*BAT, error) { return USelectRange(b, lo, hi) }, false)
+				if tk == KindStr {
+					checkDiff(t, "like_select "+tag, func() (*BAT, error) { return LikeSelect(b, "s1") }, false)
+				}
+			}
+		}
+	}
+}
+
+func TestParDiffJoin(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, tk := range diffKinds {
+		for _, rtk := range []Kind{KindOID, KindInt, KindFloat, KindStr} {
+			for _, n := range []int{0, 33, 700, 2400} {
+				l := diffBAT(r, KindOID, tk, n)
+				rr := diffBAT(r, materialKind(tk), rtk, n/2+5)
+				tag := fmt.Sprintf("[oid,%s]⋈[%s,%s]#%d", tk, materialKind(tk), rtk, n)
+				checkDiff(t, "join "+tag, func() (*BAT, error) { return Join(l, rr) }, false)
+
+				// dense-head r: the positional fast path
+				rd := NewDense(3, rtk)
+				for i := 0; i < n/2+5; i++ {
+					rd.MustAppend(OID(3+i), diffValue(r, rtk, i))
+				}
+				if tk == KindOID || tk == KindVoid {
+					checkDiff(t, "join-dense "+tag, func() (*BAT, error) { return Join(l, rd) }, false)
+					ld := diffBAT(r, KindVoid, tk, n)
+					checkDiff(t, "join-dense-void "+tag, func() (*BAT, error) { return Join(ld, rd) }, false)
+				}
+			}
+		}
+	}
+	// type mismatch must yield the identical error on both paths
+	l := diffBAT(r, KindOID, KindStr, 3000)
+	rr := diffBAT(r, KindInt, KindFloat, 100)
+	checkDiff(t, "join-mismatch", func() (*BAT, error) { return Join(l, rr) }, false)
+}
+
+func TestParDiffSemiJoinDiff(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for _, hk := range diffKinds {
+		for _, n := range []int{0, 50, 900, 2100} {
+			l := diffBAT(r, hk, KindInt, n)
+			rhs := diffBAT(r, materialKind(hk), KindFloat, n/3+2)
+			tag := fmt.Sprintf("[%s]#%d", hk, n)
+			checkDiff(t, "semijoin "+tag, func() (*BAT, error) { return SemiJoin(l, rhs) }, false)
+			checkDiff(t, "kdiff "+tag, func() (*BAT, error) { return Diff(l, rhs) }, false)
+			checkDiff(t, "kintersect "+tag, func() (*BAT, error) { return Intersect(l, rhs) }, false)
+
+			// dense rhs: arithmetic membership
+			rd := NewDense(5, KindFloat)
+			for i := 0; i < n/4+1; i++ {
+				rd.MustAppend(OID(5+i), float64(i))
+			}
+			if hk == KindOID || hk == KindVoid {
+				checkDiff(t, "semijoin-dense "+tag, func() (*BAT, error) { return SemiJoin(l, rd) }, false)
+				checkDiff(t, "kdiff-dense "+tag, func() (*BAT, error) { return Diff(l, rd) }, false)
+			}
+		}
+	}
+}
+
+func TestParDiffGroup(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for _, tk := range diffKinds {
+		for _, n := range []int{0, 1, 64, 999, 2500} {
+			b := diffBAT(r, KindVoid, tk, n)
+			tag := fmt.Sprintf("[void,%s]#%d", tk, n)
+			checkDiff(t, "group "+tag, func() (*BAT, error) { return Group(b) }, false)
+			bm := diffBAT(r, KindOID, tk, n)
+			checkDiff(t, "group-mat "+tag, func() (*BAT, error) { return Group(bm) }, false)
+		}
+	}
+}
+
+func TestParDiffPumpAggregate(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	aggs := []AggKind{AggSum, AggCount, AggMin, AggMax, AggAvg, AggProd}
+	for _, tk := range []Kind{KindInt, KindFloat, KindOID, KindBool, KindVoid} {
+		for _, n := range []int{0, 40, 800, 2600} {
+			vals := diffBAT(r, KindVoid, tk, n)
+			grp, err := groupSerial(diffBAT(r, KindVoid, KindOID, n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, agg := range aggs {
+				// float sums reassociate across partitions; products round
+				// once past 2^53 for any numeric input
+				tol := agg == AggProd ||
+					(tk == KindFloat && (agg == AggSum || agg == AggAvg))
+				tag := fmt.Sprintf("%s[%s]#%d", agg, tk, n)
+				checkDiff(t, "pump "+tag, func() (*BAT, error) { return PumpAggregate(agg, vals, grp) }, tol)
+			}
+		}
+	}
+	// non-numeric tails: count works, everything else errors identically
+	strs := diffBAT(r, KindVoid, KindStr, 3000)
+	grp, _ := groupSerial(diffBAT(r, KindVoid, KindOID, 3000))
+	checkDiff(t, "pump count str", func() (*BAT, error) { return PumpAggregate(AggCount, strs, grp) }, false)
+	checkDiff(t, "pump sum str", func() (*BAT, error) { return PumpAggregate(AggSum, strs, grp) }, false)
+}
+
+func TestParDiffHistogramUnique(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for _, tk := range []Kind{KindInt, KindStr, KindOID, KindBool} {
+		for _, n := range []int{0, 77, 1500} {
+			b := diffBAT(r, KindVoid, tk, n)
+			tag := fmt.Sprintf("[%s]#%d", tk, n)
+			checkDiff(t, "histogram "+tag, func() (*BAT, error) { return Histogram(b) }, false)
+			bm := diffBAT(r, KindOID, tk, n)
+			checkDiff(t, "unique "+tag, func() (*BAT, error) { return Unique(bm) }, false)
+		}
+	}
+}
+
+func TestParDiffCalc(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	binOps := []string{"+", "-", "*", "/", "min", "max", "pow", "==", "!=", "<", "<=", ">", ">="}
+	for _, tk := range []Kind{KindInt, KindFloat, KindOID, KindBool} {
+		for _, n := range []int{0, 100, 2048} {
+			a := diffBAT(r, KindVoid, tk, n)
+			b := diffBAT(r, KindVoid, tk, n)
+			for _, op := range binOps {
+				tag := fmt.Sprintf("[%s](%s)#%d", op, tk, n)
+				checkDiff(t, "multiplex "+tag, func() (*BAT, error) { return Multiplex(op, a, b) }, false)
+				checkDiff(t, "multiplex_const "+tag, func() (*BAT, error) { return MultiplexConst(op, a, 3.5, true) }, false)
+				checkDiff(t, "multiplex_constl "+tag, func() (*BAT, error) { return MultiplexConst(op, a, 2.0, false) }, false)
+			}
+			for _, fn := range []string{"log", "exp", "sqrt", "abs", "neg"} {
+				checkDiff(t, "multiplex_unary "+fn, func() (*BAT, error) { return MultiplexUnary(fn, a) }, false)
+			}
+		}
+	}
+	// strings
+	for _, n := range []int{0, 150, 2048} {
+		a := diffBAT(r, KindVoid, KindStr, n)
+		b := diffBAT(r, KindVoid, KindStr, n)
+		for _, op := range []string{"+", "==", "<", ">="} {
+			checkDiff(t, "multiplex-str "+op, func() (*BAT, error) { return Multiplex(op, a, b) }, false)
+			checkDiff(t, "multiplex-str-const "+op, func() (*BAT, error) { return MultiplexConst(op, a, "s7", true) }, false)
+		}
+	}
+	// bools
+	a := diffBAT(r, KindVoid, KindBool, 2048)
+	b := diffBAT(r, KindVoid, KindBool, 2048)
+	for _, op := range []string{"and", "or", "==", "!="} {
+		checkDiff(t, "multiplex-bit "+op, func() (*BAT, error) { return Multiplex(op, a, b) }, false)
+	}
+	checkDiff(t, "multiplex-not", func() (*BAT, error) { return MultiplexUnary("not", a) }, false)
+}
+
+// synthContrep builds an aligned (term, doc, belief) flattened CONTREP.
+func synthContrep(r *rand.Rand, pairs, terms, docs int) (rev, doc, bel *BAT, query []OID) {
+	term := NewDense(0, KindOID)
+	doc = NewDense(0, KindOID)
+	bel = NewDense(0, KindFloat)
+	for i := 0; i < pairs; i++ {
+		term.MustAppend(OID(i), OID(r.Intn(terms)))
+		doc.MustAppend(OID(i), OID(r.Intn(docs)))
+		bel.MustAppend(OID(i), 0.05+float64(r.Intn(90))/100)
+	}
+	rev = term.Reverse()
+	for q := 0; q < 4; q++ {
+		query = append(query, OID(r.Intn(terms)))
+	}
+	return rev, doc, bel, query
+}
+
+func TestParDiffGetBLSumBeliefsFill(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for _, pairs := range []int{0, 120, 2500, 6000} {
+		rev, doc, bel, query := synthContrep(r, pairs, 50, pairs/4+7)
+
+		var serB, serC, parB, parC *BAT
+		var serErr, parErr error
+		withExec(1, 0, func() { serB, serC, serErr = GetBL(rev, doc, bel, query) })
+		withExec(4, 1, func() { parB, parC, parErr = GetBL(rev, doc, bel, query) })
+		if serErr != nil || parErr != nil {
+			t.Fatalf("getbl: %v / %v", serErr, parErr)
+		}
+		assertSameBAT(t, "getbl beliefs", serB, parB, false)
+		assertSameBAT(t, "getbl counts", serC, parC, false)
+
+		checkDiff(t, "sumbeliefs", func() (*BAT, error) {
+			b, c, err := GetBL(rev, doc, bel, query)
+			if err != nil {
+				return nil, err
+			}
+			return SumBeliefs(b, c, len(query), 0.4)
+		}, true)
+
+		// Fill: scores over a dense domain (the fast float path)
+		domain := &BAT{Head: NewVoid(0, pairs/4+7), Tail: NewVoid(0, pairs/4+7)}
+		domain.HSorted, domain.HKey = true, true
+		checkDiff(t, "fill", func() (*BAT, error) {
+			b, c, err := GetBL(rev, doc, bel, query)
+			if err != nil {
+				return nil, err
+			}
+			s, err := SumBeliefs(b, c, len(query), 0.4)
+			if err != nil {
+				return nil, err
+			}
+			return Fill(s, domain, 1.6)
+		}, true)
+	}
+}
+
+func TestPartitionMergeRoundtrip(t *testing.T) {
+	r := rand.New(rand.NewSource(37))
+	for _, hk := range diffKinds {
+		for _, tk := range diffKinds {
+			for _, n := range []int{0, 1, 5, 473, 2048} {
+				b := diffBAT(r, hk, tk, n)
+				for _, k := range []int{1, 3, 8, 64} {
+					parts := Partition(b, k)
+					total := 0
+					for _, p := range parts {
+						total += p.Len()
+					}
+					if total != b.Len() {
+						t.Fatalf("partition [%s,%s]#%d k=%d: covers %d BUNs", hk, tk, n, k, total)
+					}
+					if n == 0 {
+						continue
+					}
+					m, err := Merge(parts)
+					if err != nil {
+						t.Fatalf("merge [%s,%s]#%d k=%d: %v", hk, tk, n, k, err)
+					}
+					assertSameBAT(t, fmt.Sprintf("roundtrip [%s,%s]#%d k=%d", hk, tk, n, k), b, m, false)
+					if b.HDense() && !m.HDense() {
+						t.Fatalf("roundtrip [%s,%s]#%d k=%d: dense head lost", hk, tk, n, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParPoolConcurrentOperators drives many parallel operators from many
+// goroutines at once: the shared pool must neither deadlock nor race (the
+// latter is checked by -race in CI).
+func TestParPoolConcurrentOperators(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	l := diffBAT(r, KindVoid, KindOID, 4000)
+	rr := diffBAT(r, KindOID, KindFloat, 1500)
+	want, err := Join(l, rr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withExec(4, 1, func() {
+		var wg sync.WaitGroup
+		errs := make([]error, 16)
+		for g := 0; g < 16; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for it := 0; it < 5; it++ {
+					got, err := Join(l, rr)
+					if err != nil {
+						errs[g] = err
+						return
+					}
+					if got.Len() != want.Len() {
+						errs[g] = fmt.Errorf("len %d want %d", got.Len(), want.Len())
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}

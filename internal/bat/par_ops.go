@@ -1,0 +1,436 @@
+package bat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Parallel operator implementations. Each is the morsel-style counterpart of
+// a serial operator in ops_*.go: partition the probe input into contiguous
+// views, run the serial kernel (or a per-range fill) on each partition over
+// the shared pool, and merge in partition order. The public entry points in
+// ops_*.go dispatch here via useParallel; nothing below is reachable for
+// inputs under the threshold.
+
+// parJoin partitions l and joins each partition against all of r. r's hash
+// index (when needed) is built once, up front, and shared read-only.
+func parJoin(l, r *BAT) (*BAT, error) {
+	if !r.HDense() {
+		r.ensureHash()
+	}
+	parts := Partition(l, Parallelism())
+	outs := make([]*BAT, len(parts))
+	errs := make([]error, len(parts))
+	runTasks(len(parts), func(i int) {
+		outs[i], errs[i] = joinSerial(parts[i], r)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out, err := Merge(outs)
+	if err != nil {
+		return nil, err
+	}
+	// Same flag derivation as the serial dense-head fast path.
+	if r.HDense() && (l.Tail.Kind() == KindOID || l.Tail.Kind() == KindVoid) {
+		out.HSorted = l.HSorted || l.HDense()
+	}
+	return out, nil
+}
+
+// parSelectWhere is the shared engine behind the parallel select family and
+// semijoin/diff: mk builds a positional predicate for one partition; rows
+// satisfying it are gathered per partition and merged in order. Result flags
+// follow the serial selectWhere derivation.
+func parSelectWhere(b *BAT, mk func(part *BAT) (func(int) bool, error)) (*BAT, error) {
+	parts := Partition(b, Parallelism())
+	outs := make([]*BAT, len(parts))
+	errs := make([]error, len(parts))
+	runTasks(len(parts), func(i int) {
+		pred, err := mk(parts[i])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		outs[i] = selectWhere(parts[i], pred)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out, err := Merge(outs)
+	if err != nil {
+		return nil, err
+	}
+	out.HSorted = b.HSorted || b.HDense()
+	out.TSorted = b.TSorted || b.Tail.Kind() == KindVoid
+	out.HKey = b.HKey || b.HDense()
+	out.TKey = b.TKey || b.Tail.Kind() == KindVoid
+	return out, nil
+}
+
+// parGroupIDs computes the serial Group numbering (dense group OIDs in order
+// of first occurrence) in three phases: per-partition local grouping, a
+// serial merge that assigns global IDs walking partition dictionaries in
+// order (first occurrences in partition p precede, globally, any value first
+// seen in partition p+1, so the numbering matches the serial scan exactly),
+// and a parallel relabel through per-partition translation tables.
+func parGroupIDs[T comparable](vals []T) []OID {
+	ranges := chunkRanges(len(vals), Parallelism())
+	k := len(ranges)
+	localID := make([][]OID, k)
+	localOrder := make([][]T, k)
+	runChunks(ranges, func(c, lo, hi int) {
+		m := make(map[T]OID, hi-lo)
+		ids := make([]OID, hi-lo)
+		var ord []T
+		for i := lo; i < hi; i++ {
+			v := vals[i]
+			g, ok := m[v]
+			if !ok {
+				g = OID(len(ord))
+				m[v] = g
+				ord = append(ord, v)
+			}
+			ids[i-lo] = g
+		}
+		localID[c], localOrder[c] = ids, ord
+	})
+	global := make(map[T]OID)
+	trans := make([][]OID, k)
+	next := OID(0)
+	for c := 0; c < k; c++ {
+		tr := make([]OID, len(localOrder[c]))
+		for li, v := range localOrder[c] {
+			g, ok := global[v]
+			if !ok {
+				g = next
+				global[v] = g
+				next++
+			}
+			tr[li] = g
+		}
+		trans[c] = tr
+	}
+	out := make([]OID, len(vals))
+	runChunks(ranges, func(c, lo, hi int) {
+		tr, ids := trans[c], localID[c]
+		for i := lo; i < hi; i++ {
+			out[i] = tr[ids[i-lo]]
+		}
+	})
+	return out
+}
+
+// parGroup is the parallel Group: identical output to the serial reference
+// for every tail kind (including NaN floats, where every occurrence is its
+// own group in both implementations).
+func parGroup(b *BAT) (*BAT, error) {
+	var ids []OID
+	switch b.Tail.Kind() {
+	case KindVoid:
+		ids = make([]OID, b.Len())
+		ParallelFor(len(ids), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ids[i] = OID(i)
+			}
+		})
+	case KindOID:
+		ids = parGroupIDs(b.Tail.oids)
+	case KindInt:
+		ids = parGroupIDs(b.Tail.ints)
+	case KindFloat:
+		ids = parGroupIDs(b.Tail.flts)
+	case KindStr:
+		ids = parGroupIDs(b.Tail.strs)
+	case KindBool:
+		ids = parGroupIDs(b.Tail.bools)
+	default:
+		return nil, fmt.Errorf("bat: group unsupported on %s tail", b.Tail.Kind())
+	}
+	out := &BAT{Head: b.Head.clone(), Tail: &Column{kind: KindOID, oids: ids}}
+	out.HSorted, out.HKey = b.HSorted || b.HDense(), b.HKey || b.HDense()
+	return out, nil
+}
+
+// parPumpAggregate accumulates per-partition aggregate arrays and reduces
+// them in partition order. Count/min/max and integer-valued sums are exact;
+// float sums/products combine partial results and may differ from the
+// serial fold by floating-point reassociation.
+func parPumpAggregate(agg AggKind, vals, grp *BAT) (*BAT, error) {
+	n := vals.Len()
+	if k := vals.Tail.Kind(); k == KindStr && agg != AggCount && n > 0 {
+		return nil, fmt.Errorf("bat: pump %s on non-numeric tail %s", agg, k)
+	}
+	read := pumpReader(vals.Tail)
+	ranges := chunkRanges(n, Parallelism())
+	k := len(ranges)
+
+	// group domain size
+	chunkMax := make([]OID, k)
+	runChunks(ranges, func(c, lo, hi int) {
+		m := OID(0)
+		for i := lo; i < hi; i++ {
+			if g := grp.Tail.OIDAt(i); g >= m {
+				m = g + 1
+			}
+		}
+		chunkMax[c] = m
+	})
+	maxG := OID(0)
+	for _, m := range chunkMax {
+		if m > maxG {
+			maxG = m
+		}
+	}
+	// Each chunk carries its own maxG-sized accumulator, so a group domain
+	// near the row count (e.g. grouping a near-unique column) would cost
+	// O(workers·groups) memory and initialisation for no win — hand those
+	// back to the serial kernel.
+	if !denseParWorthwhile(maxG, k, n) {
+		return pumpAggregateSerial(agg, vals, grp)
+	}
+
+	accs := make([]*pumpAcc, k)
+	runChunks(ranges, func(c, lo, hi int) {
+		a := newPumpAcc(int(maxG))
+		for i := lo; i < hi; i++ {
+			a.add(grp.Tail.OIDAt(i), read(i))
+		}
+		accs[c] = a
+	})
+	total := accs[0]
+	for _, a := range accs[1:] {
+		total.merge(a)
+	}
+	return emitPump(agg, vals.Tail.Kind(), maxG, total)
+}
+
+// pumpAcc is one partition's aggregate state, one slot per group.
+type pumpAcc struct {
+	sums   []float64
+	counts []int64
+	mins   []float64
+	maxs   []float64
+	prods  []float64
+}
+
+func newPumpAcc(g int) *pumpAcc {
+	a := &pumpAcc{
+		sums:   make([]float64, g),
+		counts: make([]int64, g),
+		mins:   make([]float64, g),
+		maxs:   make([]float64, g),
+		prods:  make([]float64, g),
+	}
+	for i := range a.mins {
+		a.mins[i] = math.Inf(1)
+		a.maxs[i] = math.Inf(-1)
+		a.prods[i] = 1
+	}
+	return a
+}
+
+func (a *pumpAcc) add(g OID, v float64) {
+	a.sums[g] += v
+	a.counts[g]++
+	if v < a.mins[g] {
+		a.mins[g] = v
+	}
+	if v > a.maxs[g] {
+		a.maxs[g] = v
+	}
+	a.prods[g] *= v
+}
+
+func (a *pumpAcc) merge(o *pumpAcc) {
+	for g := range a.sums {
+		a.sums[g] += o.sums[g]
+		a.counts[g] += o.counts[g]
+		if o.mins[g] < a.mins[g] {
+			a.mins[g] = o.mins[g]
+		}
+		if o.maxs[g] > a.maxs[g] {
+			a.maxs[g] = o.maxs[g]
+		}
+		a.prods[g] *= o.prods[g]
+	}
+}
+
+// parMaxOID returns the maximum value in oids (0 when empty), scanning in
+// parallel for large inputs.
+func parMaxOID(oids []OID) OID {
+	if !useParallel(len(oids)) {
+		m := OID(0)
+		for _, d := range oids {
+			if d > m {
+				m = d
+			}
+		}
+		return m
+	}
+	ranges := chunkRanges(len(oids), Parallelism())
+	maxs := make([]OID, len(ranges))
+	runChunks(ranges, func(c, lo, hi int) {
+		m := OID(0)
+		for i := lo; i < hi; i++ {
+			if oids[i] > m {
+				m = oids[i]
+			}
+		}
+		maxs[c] = m
+	})
+	m := OID(0)
+	for _, v := range maxs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// parCountDocs builds the [doc, count] BAT of GetBL from the flattened doc
+// column: per-partition dense counters merged in partition order, with the
+// first-occurrence emission order preserved exactly (every first occurrence
+// in partition p precedes, globally, any first occurrence in partition p+1).
+func parCountDocs(docs []OID, maxDoc OID) *BAT {
+	ranges := chunkRanges(len(docs), Parallelism())
+	k := len(ranges)
+	cnts := make([][]int64, k)
+	orders := make([][]OID, k)
+	runChunks(ranges, func(c, lo, hi int) {
+		cnt := make([]int64, maxDoc+1)
+		var ord []OID
+		for i := lo; i < hi; i++ {
+			d := docs[i]
+			if cnt[d] == 0 {
+				ord = append(ord, d)
+			}
+			cnt[d]++
+		}
+		cnts[c], orders[c] = cnt, ord
+	})
+	total := cnts[0]
+	for _, cnt := range cnts[1:] {
+		for d := range total {
+			total[d] += cnt[d]
+		}
+	}
+	seen := make([]bool, maxDoc+1)
+	var order []OID
+	for _, ord := range orders {
+		for _, d := range ord {
+			if !seen[d] {
+				seen[d] = true
+				order = append(order, d)
+			}
+		}
+	}
+	counts := New(KindOID, KindInt)
+	counts.Head.oids = make([]OID, len(order))
+	counts.Tail.ints = make([]int64, len(order))
+	ParallelFor(len(order), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			counts.Head.oids[i] = order[i]
+			counts.Tail.ints[i] = total[order[i]]
+		}
+	})
+	counts.HKey = true
+	return counts
+}
+
+// parFillFastFloat is the partitioned form of fillFastFloat: two counting
+// passes establish exact output offsets per partition, then the matched and
+// missing sections are filled in parallel — the emission order is identical
+// to the serial reference.
+func parFillFastFloat(b, domain *BAT, fv float64, inDomain []bool, maxOID OID) (*BAT, bool, error) {
+	nb, nd := b.Len(), domain.Len()
+	present := make([]bool, maxOID+1)
+	for i := 0; i < nb; i++ {
+		if h := b.Head.OIDAt(i); inDomain[h] {
+			present[h] = true
+		}
+	}
+	bRanges := chunkRanges(nb, Parallelism())
+	bOff := make([]int, len(bRanges)+1)
+	runChunks(bRanges, func(c, lo, hi int) {
+		n := 0
+		for i := lo; i < hi; i++ {
+			if inDomain[b.Head.OIDAt(i)] {
+				n++
+			}
+		}
+		bOff[c+1] = n
+	})
+	for c := 1; c <= len(bRanges); c++ {
+		bOff[c] += bOff[c-1]
+	}
+	dRanges := chunkRanges(nd, Parallelism())
+	dOff := make([]int, len(dRanges)+1)
+	runChunks(dRanges, func(c, lo, hi int) {
+		n := 0
+		for i := lo; i < hi; i++ {
+			if !present[domain.Head.OIDAt(i)] {
+				n++
+			}
+		}
+		dOff[c+1] = n
+	})
+	for c := 1; c <= len(dRanges); c++ {
+		dOff[c] += dOff[c-1]
+	}
+	matched := bOff[len(bRanges)]
+	out := New(KindOID, KindFloat)
+	out.Head.oids = make([]OID, matched+dOff[len(dRanges)])
+	out.Tail.flts = make([]float64, len(out.Head.oids))
+	runChunks(bRanges, func(c, lo, hi int) {
+		at := bOff[c]
+		for i := lo; i < hi; i++ {
+			h := b.Head.OIDAt(i)
+			if !inDomain[h] {
+				continue
+			}
+			out.Head.oids[at] = h
+			out.Tail.flts[at] = b.Tail.flts[i]
+			at++
+		}
+	})
+	runChunks(dRanges, func(c, lo, hi int) {
+		at := matched + dOff[c]
+		for i := lo; i < hi; i++ {
+			h := domain.Head.OIDAt(i)
+			if present[h] {
+				continue
+			}
+			out.Head.oids[at] = h
+			out.Tail.flts[at] = fv
+			at++
+		}
+	})
+	return out, true, nil
+}
+
+// pumpReader returns the positional numeric reader PumpAggregate uses;
+// unsupported kinds read as 0 (only reachable for AggCount, which ignores
+// the value — other aggregates reject those kinds before reading).
+func pumpReader(c *Column) func(int) float64 {
+	switch c.Kind() {
+	case KindFloat:
+		return func(i int) float64 { return c.flts[i] }
+	case KindInt:
+		return func(i int) float64 { return float64(c.ints[i]) }
+	case KindOID, KindVoid:
+		return func(i int) float64 { return float64(c.OIDAt(i)) }
+	case KindBool:
+		return func(i int) float64 {
+			if c.bools[i] {
+				return 1
+			}
+			return 0
+		}
+	}
+	return func(int) float64 { return 0 }
+}

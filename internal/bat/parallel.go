@@ -1,0 +1,370 @@
+package bat
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the morsel-style parallel execution facility of the physical
+// layer: a shared worker pool, BUN-range partitioning of BATs into zero-copy
+// views, and the Merge that concatenates per-partition results with a single
+// pre-sized allocation. The parallel operators in par_ops.go are built from
+// these three pieces; every public operator entry point dispatches here when
+// the input is large enough (ParallelThreshold) and more than one worker is
+// available (Parallelism).
+//
+// Determinism contract: partitions are contiguous BUN ranges processed in
+// order, so order-preserving operators (joins, selects, grouping) produce
+// results BUN-for-BUN identical to the serial reference. Aggregations over
+// float tails combine per-partition partial sums, which may differ from the
+// serial fold in the last few ulps; integer and count aggregates are exact.
+
+// parDegree overrides the worker count (0 = derive from the machine);
+// parThreshold overrides the minimum BUN count for parallel dispatch.
+var (
+	parDegree    atomic.Int32
+	parThreshold atomic.Int32
+)
+
+// DefaultParallelThreshold is the minimum number of BUNs an operator input
+// must have before the parallel kernel is used. Below it the serial kernel
+// wins: partitioning and goroutine handoff cost more than the scan.
+const DefaultParallelThreshold = 8192
+
+// Parallelism reports the number of partitions the parallel operators use:
+// the SetParallelism override when set, else NumCPU capped by GOMAXPROCS.
+func Parallelism() int {
+	if d := parDegree.Load(); d > 0 {
+		return int(d)
+	}
+	n := runtime.NumCPU()
+	if p := runtime.GOMAXPROCS(0); p < n {
+		n = p
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SetParallelism overrides the partition count (tests force >1 on small
+// machines, servers may throttle). n <= 0 restores the machine default.
+// It returns the previous override (0 = default).
+func SetParallelism(n int) int {
+	old := parDegree.Load()
+	parDegree.Store(clampKnob(n))
+	return int(old)
+}
+
+// clampKnob keeps knob overrides in [0, MaxInt32] so values coming through
+// MIL's int64 arguments cannot silently wrap in the int32 store.
+func clampKnob(n int) int32 {
+	if n < 0 {
+		return 0
+	}
+	if n > 1<<31-1 {
+		return 1<<31 - 1
+	}
+	return int32(n)
+}
+
+// ParallelThreshold reports the minimum input size for parallel dispatch.
+func ParallelThreshold() int {
+	if t := parThreshold.Load(); t > 0 {
+		return int(t)
+	}
+	return DefaultParallelThreshold
+}
+
+// SetParallelThreshold overrides the dispatch threshold (tests lower it to
+// exercise the parallel paths on small BATs). n <= 0 restores the default.
+// It returns the previous override (0 = default).
+func SetParallelThreshold(n int) int {
+	old := parThreshold.Load()
+	parThreshold.Store(clampKnob(n))
+	return int(old)
+}
+
+// useParallel is the dispatch predicate shared by all operator entry points.
+func useParallel(n int) bool {
+	return n >= ParallelThreshold() && Parallelism() > 1
+}
+
+// denseParWorthwhile is the shared cost model for operators whose parallel
+// form keeps one dense accumulator array of size max+1 per worker: that is
+// only proportionate when workers·max stays in the order of the n rows
+// scanned (with a little slack), otherwise allocation and initialisation
+// dominate and the serial kernel wins.
+func denseParWorthwhile(max OID, workers, n int) bool {
+	return uint64(max)*uint64(workers) <= uint64(n)+(1<<16)
+}
+
+// ---- the shared worker pool ----
+
+// The pool holds NumCPU permanent workers started on first use. Submission
+// never blocks: when every worker is busy the submitting goroutine runs the
+// task inline, so nested or highly concurrent operator calls degrade to
+// serial execution instead of queueing behind each other.
+var (
+	poolOnce sync.Once
+	poolCh   chan func()
+)
+
+func poolStart() {
+	n := runtime.NumCPU()
+	if n < 1 {
+		n = 1
+	}
+	poolCh = make(chan func(), n)
+	for i := 0; i < n; i++ {
+		go func() {
+			for f := range poolCh {
+				f()
+			}
+		}()
+	}
+}
+
+// chunkRanges splits [0, n) into at most k contiguous non-empty ranges.
+func chunkRanges(n, k int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	out := make([][2]int, 0, k)
+	lo := 0
+	for i := 0; i < k; i++ {
+		hi := lo + (n-lo)/(k-i)
+		if hi > lo {
+			out = append(out, [2]int{lo, hi})
+			lo = hi
+		}
+	}
+	return out
+}
+
+// runChunks executes f(chunk, lo, hi) for every range, distributing chunks
+// over the worker pool and running the final chunk on the calling
+// goroutine. It propagates the first panic to the caller.
+func runChunks(ranges [][2]int, f func(chunk, lo, hi int)) {
+	if len(ranges) == 0 {
+		return
+	}
+	if len(ranges) == 1 {
+		f(0, ranges[0][0], ranges[0][1])
+		return
+	}
+	poolOnce.Do(poolStart)
+	var wg sync.WaitGroup
+	var panicked atomic.Pointer[any]
+	run := func(c int) {
+		defer wg.Done()
+		defer func() {
+			if p := recover(); p != nil {
+				panicked.CompareAndSwap(nil, &p)
+			}
+		}()
+		f(c, ranges[c][0], ranges[c][1])
+	}
+	wg.Add(len(ranges))
+	for c := 0; c < len(ranges)-1; c++ {
+		c := c
+		select {
+		case poolCh <- func() { run(c) }:
+		default:
+			run(c)
+		}
+	}
+	run(len(ranges) - 1)
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(*p)
+	}
+}
+
+// runTasks runs f(i) for each i in [0, k) over the pool (one task per i).
+func runTasks(k int, f func(i int)) {
+	runChunks(chunkRanges(k, k), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f(i)
+		}
+	})
+}
+
+// ParallelFor runs f over contiguous subranges of [0, n), in parallel when n
+// clears the threshold and serially otherwise. f must be safe to call
+// concurrently on disjoint ranges. This is the facility the layers above the
+// kernel (MIL, Moa, core) use to fan bulk work over the shared pool.
+func ParallelFor(n int, f func(lo, hi int)) {
+	if !useParallel(n) {
+		if n > 0 {
+			f(0, n)
+		}
+		return
+	}
+	runChunks(chunkRanges(n, Parallelism()), func(_, lo, hi int) { f(lo, hi) })
+}
+
+// ---- Partition / Merge ----
+
+// Partition splits b into at most k contiguous zero-copy views covering all
+// BUNs in order. Column storage is shared with b, so the views are read-only
+// (all operators treat their inputs as such). A dense (void) head stays
+// dense in every partition, re-based, preserving the positional fast paths.
+// Flags are inherited: sortedness and keyness survive range restriction.
+func Partition(b *BAT, k int) []*BAT {
+	ranges := chunkRanges(b.Len(), k)
+	parts := make([]*BAT, len(ranges))
+	for i, r := range ranges {
+		parts[i] = b.view(r[0], r[1])
+	}
+	return parts
+}
+
+// view is Slice without the copy: columns share storage with b.
+func (b *BAT) view(lo, hi int) *BAT {
+	return &BAT{
+		Head: b.Head.view(lo, hi), Tail: b.Tail.view(lo, hi),
+		HSorted: b.HSorted, TSorted: b.TSorted,
+		HKey: b.HKey, TKey: b.TKey,
+	}
+}
+
+// view returns rows [lo, hi) sharing the backing array. Void columns are
+// re-based and stay void.
+func (c *Column) view(lo, hi int) *Column {
+	switch c.kind {
+	case KindVoid:
+		return &Column{kind: KindVoid, base: c.base + OID(lo), n: hi - lo}
+	case KindOID:
+		return &Column{kind: KindOID, oids: c.oids[lo:hi]}
+	case KindInt:
+		return &Column{kind: KindInt, ints: c.ints[lo:hi]}
+	case KindFloat:
+		return &Column{kind: KindFloat, flts: c.flts[lo:hi]}
+	case KindStr:
+		return &Column{kind: KindStr, strs: c.strs[lo:hi]}
+	case KindBool:
+		return &Column{kind: KindBool, bools: c.bools[lo:hi]}
+	}
+	panic("bat: bad column kind")
+}
+
+// Merge concatenates partition results in order into one BAT with a single
+// pre-sized allocation per column. It is the inverse of Partition for any
+// order-preserving per-partition operator. Property flags on the result are
+// left unknown (false), which is always safe; dispatch wrappers that know
+// more set them explicitly.
+func Merge(parts []*BAT) (*BAT, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("bat: merge of zero partitions")
+	}
+	for _, p := range parts {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	heads := make([]*Column, len(parts))
+	tails := make([]*Column, len(parts))
+	for i, p := range parts {
+		heads[i], tails[i] = p.Head, p.Tail
+	}
+	h, err := concatColumns(heads)
+	if err != nil {
+		return nil, fmt.Errorf("bat: merge heads: %w", err)
+	}
+	t, err := concatColumns(tails)
+	if err != nil {
+		return nil, fmt.Errorf("bat: merge tails: %w", err)
+	}
+	return &BAT{Head: h, Tail: t}, nil
+}
+
+// concatColumns concatenates columns of one kind family. A run of void
+// columns whose bases line up stays void (materialisation-free); any other
+// mix of void/oid materialises to oid.
+func concatColumns(parts []*Column) (*Column, error) {
+	kind := materialKind(parts[0].kind)
+	total := 0
+	allVoid := true
+	for _, p := range parts {
+		if materialKind(p.kind) != kind {
+			return nil, fmt.Errorf("column kind mismatch: %s vs %s", parts[0].kind, p.kind)
+		}
+		if p.kind != KindVoid {
+			allVoid = false
+		}
+		total += p.Len()
+	}
+	if allVoid {
+		dense, started := true, false
+		var base, next OID
+		for _, p := range parts {
+			if p.n == 0 {
+				continue
+			}
+			if !started {
+				base, next, started = p.base, p.base+OID(p.n), true
+				continue
+			}
+			if p.base != next {
+				dense = false
+				break
+			}
+			next += OID(p.n)
+		}
+		if dense {
+			return &Column{kind: KindVoid, base: base, n: total}, nil
+		}
+	}
+	out := &Column{kind: kind}
+	switch kind {
+	case KindOID:
+		out.oids = make([]OID, total)
+		at := 0
+		for _, p := range parts {
+			if p.kind == KindVoid {
+				for i := 0; i < p.n; i++ {
+					out.oids[at+i] = p.base + OID(i)
+				}
+				at += p.n
+			} else {
+				at += copy(out.oids[at:], p.oids)
+			}
+		}
+	case KindInt:
+		out.ints = make([]int64, total)
+		at := 0
+		for _, p := range parts {
+			at += copy(out.ints[at:], p.ints)
+		}
+	case KindFloat:
+		out.flts = make([]float64, total)
+		at := 0
+		for _, p := range parts {
+			at += copy(out.flts[at:], p.flts)
+		}
+	case KindStr:
+		out.strs = make([]string, total)
+		at := 0
+		for _, p := range parts {
+			at += copy(out.strs[at:], p.strs)
+		}
+	case KindBool:
+		out.bools = make([]bool, total)
+		at := 0
+		for _, p := range parts {
+			at += copy(out.bools[at:], p.bools)
+		}
+	default:
+		return nil, fmt.Errorf("cannot concatenate %s columns", kind)
+	}
+	return out, nil
+}

@@ -61,23 +61,35 @@ func GetBL(revTerm, doc, belief *BAT, query []OID) (beliefs, counts *BAT, err er
 		total += len(positions)
 	}
 
+	// Flatten the matched position lists once; the beliefs fill is then a
+	// pure index-parallel gather into pre-sized columns (no per-row append).
+	posFlat := make([]int, total)
+	at := 0
+	for _, positions := range matched {
+		at += copy(posFlat[at:], positions)
+	}
 	beliefs = New(KindOID, KindFloat)
-	beliefs.Head.oids = make([]OID, 0, total)
-	beliefs.Tail.flts = make([]float64, 0, total)
+	beliefs.Head.oids = make([]OID, total)
+	beliefs.Tail.flts = make([]float64, total)
+	ParallelFor(total, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := posFlat[i]
+			beliefs.Head.oids[i] = doc.Tail.OIDAt(p)
+			beliefs.Tail.flts[i] = belief.Tail.flts[p]
+		}
+	})
 
 	// Dense accumulator fast path: document OIDs are small integers after
 	// flattening (0..card-1), so per-document counters live in a flat array
 	// rather than a hash map — the columnar execution style the physical
 	// layer exists for. Falls back to a map for sparse OID spaces.
-	maxDoc := OID(0)
-	for _, positions := range matched {
-		for _, p := range positions {
-			if d := doc.Tail.OIDAt(p); d > maxDoc {
-				maxDoc = d
-			}
-		}
-	}
+	maxDoc := parMaxOID(beliefs.Head.oids)
 	useDense := uint64(maxDoc) < uint64(4*total+1024)
+	// Parallel counting carries one maxDoc-sized counter array per chunk;
+	// only worth it when that total stays proportional to the match volume.
+	if useDense && useParallel(total) && denseParWorthwhile(maxDoc, Parallelism(), total) {
+		return beliefs, parCountDocs(beliefs.Head.oids, maxDoc), nil
+	}
 	var cntArr []int64
 	var cntMap map[OID]int64
 	if useDense {
@@ -86,22 +98,17 @@ func GetBL(revTerm, doc, belief *BAT, query []OID) (beliefs, counts *BAT, err er
 		cntMap = make(map[OID]int64)
 	}
 	order := make([]OID, 0, 64)
-	for _, positions := range matched {
-		for _, p := range positions {
-			d := doc.Tail.OIDAt(p)
-			beliefs.Head.oids = append(beliefs.Head.oids, d)
-			beliefs.Tail.flts = append(beliefs.Tail.flts, belief.Tail.flts[p])
-			if useDense {
-				if cntArr[d] == 0 {
-					order = append(order, d)
-				}
-				cntArr[d]++
-			} else {
-				if _, seen := cntMap[d]; !seen {
-					order = append(order, d)
-				}
-				cntMap[d]++
+	for _, d := range beliefs.Head.oids {
+		if useDense {
+			if cntArr[d] == 0 {
+				order = append(order, d)
 			}
+			cntArr[d]++
+		} else {
+			if _, seen := cntMap[d]; !seen {
+				order = append(order, d)
+			}
+			cntMap[d]++
 		}
 	}
 	counts = New(KindOID, KindInt)
@@ -133,26 +140,48 @@ func SumBeliefs(beliefs, counts *BAT, qlen int, defaultBelief float64) (*BAT, er
 			beliefs.Head.Kind(), beliefs.Tail.Kind())
 	}
 	// dense accumulator when the doc OID space is compact (see GetBL)
-	maxDoc := OID(0)
-	for _, d := range beliefs.Head.oids {
-		if d > maxDoc {
-			maxDoc = d
-		}
-	}
+	n := beliefs.Len()
+	maxDoc := parMaxOID(beliefs.Head.oids)
 	out := New(KindOID, KindFloat)
 	out.Head.oids = make([]OID, 0, counts.Len())
 	out.Tail.flts = make([]float64, 0, counts.Len())
-	if uint64(maxDoc) < uint64(4*beliefs.Len()+1024) {
-		sums := make([]float64, maxDoc+1)
-		for i, d := range beliefs.Head.oids {
-			sums[d] += beliefs.Tail.flts[i]
+	if uint64(maxDoc) < uint64(4*n+1024) {
+		// Per-partition partial sum arrays, reduced in partition order. The
+		// float reduction may differ from the serial fold in the last ulps
+		// (documented in parallel.go); the emit below is exact given sums.
+		var sums []float64
+		if useParallel(n) && denseParWorthwhile(maxDoc, Parallelism(), n) {
+			ranges := chunkRanges(n, Parallelism())
+			partial := make([][]float64, len(ranges))
+			runChunks(ranges, func(c, lo, hi int) {
+				s := make([]float64, maxDoc+1)
+				for i := lo; i < hi; i++ {
+					s[beliefs.Head.oids[i]] += beliefs.Tail.flts[i]
+				}
+				partial[c] = s
+			})
+			sums = partial[0]
+			for _, s := range partial[1:] {
+				for d := range sums {
+					sums[d] += s[d]
+				}
+			}
+		} else {
+			sums = make([]float64, maxDoc+1)
+			for i, d := range beliefs.Head.oids {
+				sums[d] += beliefs.Tail.flts[i]
+			}
 		}
-		for i := 0; i < counts.Len(); i++ {
-			d := counts.Head.oids[i]
-			matched := counts.Tail.ints[i]
-			out.Head.oids = append(out.Head.oids, d)
-			out.Tail.flts = append(out.Tail.flts, sums[d]+float64(qlen-int(matched))*defaultBelief)
-		}
+		m := counts.Len()
+		out.Head.oids = out.Head.oids[:m]
+		out.Tail.flts = out.Tail.flts[:m]
+		ParallelFor(m, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				d := counts.Head.oids[i]
+				out.Head.oids[i] = d
+				out.Tail.flts[i] = sums[d] + float64(qlen-int(counts.Tail.ints[i]))*defaultBelief
+			}
+		})
 	} else {
 		sums := make(map[OID]float64, counts.Len())
 		for i := 0; i < beliefs.Len(); i++ {

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mirror/internal/bat"
+	"mirror/internal/corpus"
+)
+
+// TestParallelPipelineMatchesSerial builds the content index twice — once
+// with the worker pool forced to 1 (serial reference) and once with 4
+// workers — and requires the resulting databases to answer identically:
+// the parallel extraction fan-out must not change what gets indexed.
+func TestParallelPipelineMatchesSerial(t *testing.T) {
+	build := func(par int) *Mirror {
+		old := bat.SetParallelism(par)
+		defer bat.SetParallelism(old)
+		items := corpus.Generate(corpus.Config{N: 12, W: 48, H: 48, Seed: 11, AnnotateRate: 0.75})
+		m, err := New()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, it := range items {
+			if err := m.AddImage(it.URL, it.Annotation, it.Scene.Img); err != nil {
+				t.Fatal(err)
+			}
+		}
+		opts := DefaultIndexOptions()
+		opts.Features = []string{"rgb_coarse", "gabor"}
+		opts.KMax = 6
+		if err := m.BuildContentIndex(opts); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	ser := build(1)
+	par := build(4)
+	for oid := bat.OID(0); oid < 12; oid++ {
+		s, p := ser.ContentTerms(oid), par.ContentTerms(oid)
+		if fmt.Sprint(s) != fmt.Sprint(p) {
+			t.Fatalf("content terms for %d diverge: %v vs %v", oid, s, p)
+		}
+	}
+	for _, q := range []string{"water", "forest", "sunshine"} {
+		sh, err := ser.QueryAnnotations(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ph, err := par.QueryAnnotations(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sh) != len(ph) {
+			t.Fatalf("%q: %d vs %d hits", q, len(sh), len(ph))
+		}
+		for i := range sh {
+			if sh[i].OID != ph[i].OID || sh[i].Score != ph[i].Score {
+				t.Fatalf("%q hit %d: %+v vs %+v", q, i, sh[i], ph[i])
+			}
+		}
+	}
+}
+
+// TestConcurrentQueriesOverlap hammers one served Mirror DBMS with many
+// clients issuing text, dual-coding, and raw Moa queries at once, with the
+// parallel BAT kernel forced on. Every response must match the
+// single-client answer; -race in CI checks the read path (shared BATs,
+// lazily built hash indexes, the worker pool) for data races.
+func TestConcurrentQueriesOverlap(t *testing.T) {
+	m, items := buildDemo(t, 12)
+	addr, stop, err := m.Serve("127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	oldP := bat.SetParallelism(4)
+	oldT := bat.SetParallelThreshold(1)
+	defer func() {
+		bat.SetParallelism(oldP)
+		bat.SetParallelThreshold(oldT)
+	}()
+
+	term := corpus.CanonicalTerm(mostAnnotatedClass(items))
+	ref, err := DialMirror(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	wantHits, err := ref.TextQuery(term, 5, false)
+	if err != nil || len(wantHits) == 0 {
+		t.Fatalf("reference hits: %v, %v", wantHits, err)
+	}
+	wantCount, err := ref.MoaQuery(`count(ImageLibraryInternal);`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for g := 0; g < clients; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := DialMirror(addr)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			defer c.Close()
+			for it := 0; it < 4; it++ {
+				hits, err := c.TextQuery(term, 5, it%2 == 1)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if len(hits) == 0 {
+					errs[g] = fmt.Errorf("client %d: no hits", g)
+					return
+				}
+				if it%2 == 0 && (len(hits) != len(wantHits) || hits[0].OID != wantHits[0].OID) {
+					errs[g] = fmt.Errorf("client %d: hits diverged: %v vs %v", g, hits, wantHits)
+					return
+				}
+				reply, err := c.MoaQuery(`count(ImageLibraryInternal);`, nil)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if reply.Scalar != wantCount.Scalar {
+					errs[g] = fmt.Errorf("client %d: count %q want %q", g, reply.Scalar, wantCount.Scalar)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"mirror/internal/bat"
 	"mirror/internal/cluster"
@@ -73,45 +75,64 @@ func (m *Mirror) buildIndex(opts IndexOptions, pipe segmentExtractor) error {
 		featureNames = pipe.features()
 	}
 
-	// 1. segmentation + feature extraction
+	// 1. segmentation + feature extraction. Both stages are embarrassingly
+	// parallel per item/segment; they fan out over up to bat.Parallelism()
+	// workers with results collected positionally, so the populated schema
+	// is identical to a serial run. The extractors, the segmenter, and the
+	// daemon RPC clients are all safe for concurrent use.
 	type segRef struct {
 		url    string
 		imgIdx int // index into m.order
 	}
+	perImage := make([][][][4]int, len(m.order))
+	segErrs := make([]error, len(m.order))
+	parallelEach(len(m.order), func(idx int) error {
+		perImage[idx], segErrs[idx] = pipe.segment(m.order[idx])
+		return segErrs[idx]
+	})
 	var segRefs []segRef
 	segTiles := make([][][4]int, 0)
-	perFeature := map[string][][]float64{}
 	for idx, url := range m.order {
-		tiles, err := pipe.segment(url)
-		if err != nil {
-			return fmt.Errorf("core: segmenting %s: %w", url, err)
+		if segErrs[idx] != nil {
+			return fmt.Errorf("core: segmenting %s: %w", url, segErrs[idx])
 		}
-		for _, tl := range tiles {
+		for _, tl := range perImage[idx] {
 			segRefs = append(segRefs, segRef{url: url, imgIdx: idx})
 			segTiles = append(segTiles, tl)
 		}
 	}
+	perFeature := map[string][][]float64{}
 	for _, fname := range featureNames {
 		vecs := make([][]float64, len(segRefs))
-		for si, ref := range segRefs {
-			v, err := pipe.extract(ref.url, fname, segTiles[si])
+		extErrs := make([]error, len(segRefs))
+		parallelEach(len(segRefs), func(si int) error {
+			vecs[si], extErrs[si] = pipe.extract(segRefs[si].url, fname, segTiles[si])
+			return extErrs[si]
+		})
+		for si, err := range extErrs {
 			if err != nil {
-				return fmt.Errorf("core: extracting %s from %s: %w", fname, ref.url, err)
+				return fmt.Errorf("core: extracting %s from %s: %w", fname, segRefs[si].url, err)
 			}
-			vecs[si] = v
 		}
 		perFeature[fname] = vecs
 	}
 
 	// 2. AutoClass clustering per feature space; each (feature, cluster)
-	// pair becomes a content "word" such as gabor_3.
+	// pair becomes a content "word" such as gabor_3. Feature spaces are
+	// independent, so they fit concurrently; the words append serially in
+	// feature order afterwards to keep per-segment word order stable.
+	assigns := make([][]int, len(featureNames))
+	fitErrs := make([]error, len(featureNames))
+	parallelEach(len(featureNames), func(fi int) error {
+		assigns[fi], _, fitErrs[fi] = pipe.fit(perFeature[featureNames[fi]], opts.KMin, opts.KMax, opts.Seed)
+		return fitErrs[fi]
+	})
 	segWords := make([][]string, len(segRefs))
-	for _, fname := range featureNames {
-		assign, _, err := pipe.fit(perFeature[fname], opts.KMin, opts.KMax, opts.Seed)
-		if err != nil {
-			return fmt.Errorf("core: clustering %s: %w", fname, err)
+	for fi, fname := range featureNames {
+		if fitErrs[fi] != nil {
+			return fmt.Errorf("core: clustering %s: %w", fname, fitErrs[fi])
 		}
-		for si, cl := range assign {
+		for si, cl := range assigns[fi] {
 			segWords[si] = append(segWords[si], fmt.Sprintf("%s_%d", fname, cl))
 		}
 	}
@@ -152,6 +173,49 @@ func (m *Mirror) buildIndex(opts IndexOptions, pipe segmentExtractor) error {
 	m.Thes = thesaurus.Build(thDocs)
 	m.indexed = true
 	return nil
+}
+
+// parallelEach runs f(i) for every i in [0, n) on up to bat.Parallelism()
+// workers (the same knob that sizes the BAT kernel's pool). Unlike
+// bat.ParallelFor it has no minimum-size threshold: pipeline items are few
+// but each costs milliseconds of image work, so even two are worth a
+// goroutine. A non-nil return from f stops the dispatch of further items —
+// matching the serial loops this replaced, which aborted at first failure —
+// though items already in flight still finish.
+func parallelEach(n int, f func(i int) error) {
+	workers := bat.Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if f(i) != nil {
+				return
+			}
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	var failed atomic.Bool
+	next.Store(-1)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				if f(i) != nil {
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func dedupSorted(in []string) []string {
@@ -240,8 +304,18 @@ type remotePipeline struct {
 	segClient    *daemon.Client
 	featClients  map[string]*daemon.Client
 	clustClient  *daemon.Client
-	ppmCache     map[string][]byte
+	ppmMu        sync.Mutex // guards the ppmCache map under parallelEach
+	ppmCache     map[string]*ppmEntry
 	featureNames []string
+}
+
+// ppmEntry is a singleflight cache slot: the map mutex is held only for the
+// lookup, and the CPU-bound encode runs once per URL outside it, so
+// concurrent workers encoding different images overlap.
+type ppmEntry struct {
+	once sync.Once
+	data []byte
+	err  error
 }
 
 func newRemotePipeline(m *Mirror, dictAddr string) (*remotePipeline, error) {
@@ -250,7 +324,7 @@ func newRemotePipeline(m *Mirror, dictAddr string) (*remotePipeline, error) {
 		return nil, err
 	}
 	defer dc.Close()
-	p := &remotePipeline{m: m, featClients: map[string]*daemon.Client{}, ppmCache: map[string][]byte{}}
+	p := &remotePipeline{m: m, featClients: map[string]*daemon.Client{}, ppmCache: map[string]*ppmEntry{}}
 
 	segs, err := dc.List("segmenter")
 	if err != nil || len(segs) == 0 {
@@ -289,19 +363,27 @@ func newRemotePipeline(m *Mirror, dictAddr string) (*remotePipeline, error) {
 func (p *remotePipeline) features() []string { return p.featureNames }
 
 func (p *remotePipeline) ppm(url string) ([]byte, error) {
-	if b, ok := p.ppmCache[url]; ok {
-		return b, nil
-	}
-	img, ok := p.m.rasters[url]
+	p.ppmMu.Lock()
+	e, ok := p.ppmCache[url]
 	if !ok {
-		return nil, fmt.Errorf("core: no raster for %s", url)
+		e = &ppmEntry{}
+		p.ppmCache[url] = e
 	}
-	var buf bytes.Buffer
-	if err := img.EncodePPM(&buf); err != nil {
-		return nil, err
-	}
-	p.ppmCache[url] = buf.Bytes()
-	return buf.Bytes(), nil
+	p.ppmMu.Unlock()
+	e.once.Do(func() {
+		img, ok := p.m.rasters[url]
+		if !ok {
+			e.err = fmt.Errorf("core: no raster for %s", url)
+			return
+		}
+		var buf bytes.Buffer
+		if err := img.EncodePPM(&buf); err != nil {
+			e.err = err
+			return
+		}
+		e.data = buf.Bytes()
+	})
+	return e.data, e.err
 }
 
 func (p *remotePipeline) segment(url string) ([][][4]int, error) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"net/rpc"
+	"runtime"
 
 	"mirror/internal/dict"
 )
@@ -11,9 +12,37 @@ import (
 // This file is the network face of the Mirror DBMS (cmd/mirrord): clients
 // of Figure 1 reach the meta-data database through the same RPC transport
 // the daemons use, and find it through the data dictionary.
+//
+// Queries execute concurrently: net/rpc dispatches every request in its own
+// goroutine and the query path is read-only over immutable BATs (hash
+// indexes build atomically), so independent queries genuinely overlap. The
+// gate below bounds how many run at once so heavy traffic degrades to
+// queueing instead of oversubscribing the cores the parallel BAT kernel is
+// already using.
 
 // Service exposes a Mirror instance over net/rpc under the name "Mirror".
-type Service struct{ m *Mirror }
+type Service struct {
+	m    *Mirror
+	gate chan struct{}
+}
+
+// defaultQueryGate is the default cap on concurrently executing queries.
+func defaultQueryGate() int {
+	n := 2 * runtime.NumCPU()
+	if n < 4 {
+		n = 4
+	}
+	return n
+}
+
+// acquire claims a query slot; the returned func releases it.
+func (s *Service) acquire() func() {
+	if s.gate == nil {
+		return func() {}
+	}
+	s.gate <- struct{}{}
+	return func() { <-s.gate }
+}
 
 // WireHit mirrors Hit with wire-safe types.
 type WireHit struct {
@@ -51,6 +80,7 @@ type SchemaReply struct{ Source string }
 
 // TextQuery implements ranked retrieval over the wire.
 func (s *Service) TextQuery(args TextQueryArgs, reply *TextQueryReply) error {
+	defer s.acquire()()
 	var hits []Hit
 	var err error
 	if args.Dual {
@@ -69,6 +99,7 @@ func (s *Service) TextQuery(args TextQueryArgs, reply *TextQueryReply) error {
 
 // MoaQuery executes a raw Moa query.
 func (s *Service) MoaQuery(args MoaQueryArgs, reply *MoaQueryReply) error {
+	defer s.acquire()()
 	res, err := s.m.Query(args.Source, args.QueryTerms)
 	if err != nil {
 		return err
@@ -99,7 +130,7 @@ func (m *Mirror) Serve(addr, dictAddr string) (string, func(), error) {
 		return "", nil, fmt.Errorf("core: listen %s: %w", addr, err)
 	}
 	srv := rpc.NewServer()
-	if err := srv.RegisterName("Mirror", &Service{m: m}); err != nil {
+	if err := srv.RegisterName("Mirror", &Service{m: m, gate: make(chan struct{}, defaultQueryGate())}); err != nil {
 		l.Close()
 		return "", nil, err
 	}

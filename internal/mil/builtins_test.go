@@ -217,3 +217,23 @@ func TestMuxBoolOps(t *testing.T) {
 		t.Fatalf("[not] = %v", v)
 	}
 }
+
+func TestParallelismBuiltins(t *testing.T) {
+	defer func() {
+		bat.SetParallelism(0)
+		bat.SetParallelThreshold(0)
+	}()
+	v := runSrc(t, "parallelism(3); parallelism();", nil)
+	if v.(int64) != 3 {
+		t.Fatalf("parallelism() = %v, want 3", v)
+	}
+	v = runSrc(t, "parallel_threshold(16); parallel_threshold();", nil)
+	if v.(int64) != 16 {
+		t.Fatalf("parallel_threshold() = %v, want 16", v)
+	}
+	// restore defaults from MIL and confirm the override is gone
+	runSrc(t, "parallelism(0); parallel_threshold(0);", nil)
+	if got := bat.ParallelThreshold(); got != bat.DefaultParallelThreshold {
+		t.Fatalf("threshold after reset = %d", got)
+	}
+}

@@ -1,0 +1,48 @@
+package mil
+
+import "testing"
+
+// FuzzMILParse drives the MIL lexer and parser with arbitrary input: no
+// query text, however malformed, may panic the server — parse errors are
+// the only acceptable failure. Successfully parsed programs must also
+// re-render (String) without panicking, since the shell and the Moa
+// translator both print programs back.
+//
+// Seed corpus: the inline seeds below plus testdata/fuzz/FuzzMILParse.
+func FuzzMILParse(f *testing.F) {
+	seeds := []string{
+		"",
+		";",
+		"var x := 42;",
+		"var y := -3.25; y;",
+		`var s := "hi\n"; print(s);`,
+		"var o := 7@0;",
+		"var n := nil;",
+		"var b := new(oid, int); insert(b, 0@0, 5); count(select(b, 5));",
+		"b.reverse().reverse().sum();",
+		"var doubled := [*](vals, 2.0); var sums := {sum}(doubled, grp); fetch(sums, 0);",
+		"var j := join(l, r); print(j);",
+		"kdiff(semijoin(l, r), r);",
+		"var g := group(b); {count}(g, g);",
+		"uselect(b, 1, 10);",
+		"[+](a, b); [==](a, 1); [not](c);",
+		"parallelism(4); parallelism();",
+		`x := "unterminated;`,
+		"var x :=;",
+		"insert(b, 0@0, 5",
+		"{sum(b);",
+		"[](a, b);",
+		"@@;;@",
+		"var \x00 := 1;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		_ = p.String()
+	})
+}

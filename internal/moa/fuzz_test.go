@@ -1,0 +1,43 @@
+package moa
+
+import "testing"
+
+// FuzzMoaParse drives the Moa lexer and all three parser entry points
+// (query, program, type DDL) with arbitrary input: malformed query text
+// must produce an error, never a panic — this is the text a network client
+// hands the server verbatim.
+//
+// Seed corpus: the inline seeds below plus testdata/fuzz/FuzzMoaParse.
+func FuzzMoaParse(f *testing.F) {
+	seeds := []string{
+		"",
+		";",
+		"People",
+		"map[sum(THIS)](map[THIS.score](People));",
+		"select[THIS.age > 21 and THIS.age <= 40](People)",
+		"map[TUPLE<n: THIS.name, s: THIS.score * 2.0>](People);",
+		"map[getBL(THIS.annotation, query, stats)](Lib);",
+		"select[not (THIS.age = 3)](People);",
+		"map[sum(THIS)](map[getBL(THIS.body, query, stats)]( Docs ));",
+		"count(People);",
+		"map[THIS](People)(extra);",
+		"select[THIS.age >](People);",
+		"define Docs as SET<TUPLE<Atomic<URL>: source, CONTREP<Text>: body>>;",
+		"define X as LIST<Atomic<Int>>;",
+		"SET<TUPLE<Atomic<Text>: a>>",
+		"TUPLE<<>>",
+		"map[map[map[THIS](THIS)](THIS)](S);",
+		"sel\x00ect[THIS](S);",
+		"map[THIS.a.b.c](S) @",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if e, err := ParseQuery(src); err == nil && e != nil {
+			_ = e.String()
+		}
+		_, _ = ParseProgram(src)
+		_, _ = ParseType(src)
+	})
+}

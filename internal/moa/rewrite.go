@@ -20,10 +20,14 @@ type Options struct {
 	FuseSelects bool
 	// CSE deduplicates identical MIL operations during translation.
 	CSE bool
+	// Parallel lets the flattened executor materialise large set results
+	// over the shared parallel kernel (internal/bat); the MIL operators a
+	// query runs dispatch on input size independently of this flag.
+	Parallel bool
 }
 
 // DefaultOptions enables every optimisation.
-var DefaultOptions = Options{FuseMaps: true, FuseAggregates: true, FuseSelects: true, CSE: true}
+var DefaultOptions = Options{FuseMaps: true, FuseAggregates: true, FuseSelects: true, CSE: true, Parallel: true}
 
 // NoOptimize disables every optimisation (the ablation baseline).
 var NoOptimize = Options{}

@@ -27,6 +27,10 @@ type Translated struct {
 	OutSet *OutSet
 	// Scalar results:
 	OutScalar Rep // ConstRep or VarRep
+
+	// Parallel records, at flatten time, whether the executor may
+	// materialise the result rows on the parallel kernel.
+	Parallel bool
 }
 
 // OutSet describes a set-typed result: the domain variable enumerates the
@@ -61,7 +65,7 @@ func Translate(db *Database, e Expr, params map[string]Param, opts Options) (*Tr
 		cse:      map[string]string{},
 		paramSet: map[string]*ParamSetRep{},
 	}
-	out := &Translated{Prog: tr.prog, Bindings: tr.bindings, T: e.Type()}
+	out := &Translated{Prog: tr.prog, Bindings: tr.bindings, T: e.Type(), Parallel: opts.Parallel}
 	if _, isSet := ElemType(e.Type()); isSet {
 		sv, err := tr.compileSetExpr(e)
 		if err != nil {
