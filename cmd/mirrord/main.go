@@ -3,6 +3,13 @@
 // registered daemons, builds the meta-data database, and serves Moa and
 // ranked-retrieval queries over RPC, registering itself with the data
 // dictionary.
+//
+// With -store the database lives in a persistent BAT-buffer-pool
+// directory: on startup the server recovers the last checkpoint (plus
+// the WAL tail) instead of re-crawling, new inserts and feedback are
+// WAL-logged, and checkpoints — periodic via -checkpoint-every, forced
+// via the Mirror.Checkpoint RPC, and one final on shutdown — rewrite
+// only the BATs that changed.
 package main
 
 import (
@@ -11,6 +18,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"time"
 
 	"mirror/internal/core"
 	"mirror/internal/dict"
@@ -22,55 +30,102 @@ func main() {
 		dictAddr = flag.String("dict", "", "data dictionary address (required)")
 		mediaURL = flag.String("media", "", "media server base URL; discovered via the dictionary when empty")
 		addr     = flag.String("addr", "127.0.0.1:8641", "listen address")
-		saveDir  = flag.String("save", "", "persist the database to this directory after indexing")
+		saveDir  = flag.String("save", "", "write a one-shot snapshot of the database to this directory after indexing")
 		local    = flag.Bool("local-pipeline", false, "run extraction in-process instead of via daemons")
+
+		storeDir  = flag.String("store", "", "persistent store directory (BAT buffer pool + WAL); recovers on restart")
+		walSync   = flag.Bool("wal-sync", false, "fsync the WAL on every append (durable per insert/feedback)")
+		verify    = flag.Bool("verify", true, "checksum heap files when loading the store (reads every byte once at startup; set false for a pure O(working-set) mmap cold start)")
+		noMmap    = flag.Bool("no-mmap", false, "load the store with the portable read path instead of mmap")
+		ckptEvery = flag.Duration("checkpoint-every", 0, "checkpoint the store on this interval (0 = only on shutdown/RPC)")
 	)
 	flag.Parse()
 	if *dictAddr == "" {
 		log.Fatal("mirrord: -dict is required")
 	}
 
-	base := *mediaURL
-	if base == "" {
-		dc, err := dict.Dial(*dictAddr)
+	var m *core.Mirror
+	var err error
+	if *storeDir != "" {
+		var stats core.RecoveryStats
+		m, stats, err = core.OpenPersistent(core.PersistOptions{
+			Dir: *storeDir, WALSync: *walSync, Verify: *verify, NoMmap: *noMmap,
+		})
 		if err != nil {
+			log.Fatalf("mirrord: open store: %v", err)
+		}
+		if stats.TornTail {
+			log.Printf("mirrord: WARNING: truncated a torn WAL tail in %s (recovered to last consistent state)", *storeDir)
+		}
+		fmt.Printf("mirrord: store %s: %d BATs, %d WAL records replayed, %d items\n",
+			*storeDir, stats.BATs, stats.WALRecords, m.Size())
+	} else {
+		if m, err = core.New(); err != nil {
 			log.Fatalf("mirrord: %v", err)
 		}
-		infos, err := dc.List("mediaserver")
-		dc.Close()
-		if err != nil || len(infos) == 0 {
-			log.Fatalf("mirrord: no media server registered (%v)", err)
-		}
-		base = "http://" + infos[0].Addr
 	}
 
-	fmt.Printf("mirrord: crawling %s\n", base)
-	crawled, err := mediaserver.Crawl(base)
-	if err != nil {
-		log.Fatalf("mirrord: crawl: %v", err)
-	}
-	m, err := core.New()
-	if err != nil {
-		log.Fatalf("mirrord: %v", err)
-	}
-	for _, it := range crawled {
-		img, err := mediaserver.DecodeItemImage(it)
+	// A fully indexed recovered store serves immediately. Anything else
+	// — fresh store, no store, or a store recovered from a crash before
+	// its first checkpoint (WAL inserts present but no content index,
+	// and rasters are never persisted) — is built/repaired by crawling
+	// the media server: known URLs get their rasters re-attached, new
+	// ones are ingested, then the pipeline runs.
+	if m.Size() == 0 || !m.Indexed() {
+		base := *mediaURL
+		if base == "" {
+			dc, err := dict.Dial(*dictAddr)
+			if err != nil {
+				log.Fatalf("mirrord: %v", err)
+			}
+			infos, err := dc.List("mediaserver")
+			dc.Close()
+			if err != nil || len(infos) == 0 {
+				log.Fatalf("mirrord: no media server registered (%v)", err)
+			}
+			base = "http://" + infos[0].Addr
+		}
+		fmt.Printf("mirrord: crawling %s\n", base)
+		crawled, err := mediaserver.Crawl(base)
 		if err != nil {
-			log.Fatalf("mirrord: decode %s: %v", it.URL, err)
+			log.Fatalf("mirrord: crawl: %v", err)
 		}
-		if err := m.AddImage(it.URL, it.Annotation, img); err != nil {
-			log.Fatalf("mirrord: ingest %s: %v", it.URL, err)
+		known := map[string]bool{}
+		for _, u := range m.URLs() {
+			known[u] = true
 		}
-	}
-	fmt.Printf("mirrord: ingested %d items; running extraction pipeline...\n", m.Size())
-	opts := core.DefaultIndexOptions()
-	if *local {
-		err = m.BuildContentIndex(opts)
-	} else {
-		err = m.BuildContentIndexDistributed(opts, *dictAddr)
-	}
-	if err != nil {
-		log.Fatalf("mirrord: pipeline: %v", err)
+		for _, it := range crawled {
+			img, err := mediaserver.DecodeItemImage(it)
+			if err != nil {
+				log.Fatalf("mirrord: decode %s: %v", it.URL, err)
+			}
+			if known[it.URL] {
+				if err := m.AddRaster(it.URL, img); err != nil {
+					log.Fatalf("mirrord: re-attach %s: %v", it.URL, err)
+				}
+				continue
+			}
+			if err := m.AddImage(it.URL, it.Annotation, img); err != nil {
+				log.Fatalf("mirrord: ingest %s: %v", it.URL, err)
+			}
+		}
+		fmt.Printf("mirrord: ingested %d items; running extraction pipeline...\n", m.Size())
+		opts := core.DefaultIndexOptions()
+		if *local {
+			err = m.BuildContentIndex(opts)
+		} else {
+			err = m.BuildContentIndexDistributed(opts, *dictAddr)
+		}
+		if err != nil {
+			log.Fatalf("mirrord: pipeline: %v", err)
+		}
+		if m.Persistent() {
+			st, err := m.Checkpoint()
+			if err != nil {
+				log.Fatalf("mirrord: checkpoint: %v", err)
+			}
+			fmt.Printf("mirrord: initial checkpoint: %d BATs written (%d bytes)\n", st.Written, st.Bytes)
+		}
 	}
 	if *saveDir != "" {
 		if err := m.Save(*saveDir); err != nil {
@@ -78,13 +133,46 @@ func main() {
 		}
 		fmt.Printf("mirrord: database saved to %s\n", *saveDir)
 	}
+
 	bound, stop, err := m.Serve(*addr, *dictAddr)
 	if err != nil {
 		log.Fatalf("mirrord: %v", err)
 	}
 	defer stop()
 	fmt.Printf("mirrord: Mirror DBMS serving at %s\n", bound)
+
+	ticker := make(<-chan time.Time)
+	if m.Persistent() && *ckptEvery > 0 {
+		t := time.NewTicker(*ckptEvery)
+		defer t.Stop()
+		ticker = t.C
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
-	<-sig
+	for {
+		select {
+		case <-ticker:
+			st, err := m.Checkpoint()
+			if err != nil {
+				log.Printf("mirrord: periodic checkpoint: %v", err)
+			} else if st.Written > 0 {
+				fmt.Printf("mirrord: checkpoint: %d dirty BATs written, %d clean skipped\n", st.Written, st.Skipped)
+			}
+		case <-sig:
+			// Stop accepting new connections before the final flush.
+			// Deliberately no ClosePersistent: in-flight queries may
+			// still hold mmap-backed BATs, and process exit reclaims
+			// the mappings and file handles safely.
+			stop()
+			if m.Persistent() {
+				st, err := m.Checkpoint()
+				if err != nil {
+					log.Printf("mirrord: final checkpoint: %v", err)
+				} else {
+					fmt.Printf("mirrord: final checkpoint: %d written, %d skipped\n", st.Written, st.Skipped)
+				}
+			}
+			return
+		}
+	}
 }

@@ -12,6 +12,9 @@
 //	\terms <text>                thesaurus expansion of a text query
 //	\q <w1> <w2> ...             set the `query` parameter terms
 //	\mil                         toggle MIL display
+//	\milrun <stmt;>              execute raw MIL against the stored BATs
+//	                             (bindings persist across \milrun lines;
+//	                             every builtin is documented in docs/MIL.md)
 //	\sets                        list defined sets
 //	\help, \quit
 package main
@@ -24,9 +27,11 @@ import (
 	"os"
 	"strings"
 
+	"mirror/internal/bat"
 	"mirror/internal/core"
 	"mirror/internal/corpus"
 	"mirror/internal/ir"
+	"mirror/internal/mil"
 	"mirror/internal/moa"
 )
 
@@ -73,6 +78,7 @@ func repl(m *core.Mirror) {
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	showMIL := false
+	var milEnv *mil.Env
 	var queryTerms []string
 	fmt.Println(`moash: the Mirror DBMS Moa shell — \help for commands`)
 	for {
@@ -95,11 +101,21 @@ func repl(m *core.Mirror) {
 			fmt.Println("  \\terms <text>       thesaurus expansion")
 			fmt.Println("  \\q w1 w2 ...        set query terms")
 			fmt.Println("  \\mil                toggle MIL program display")
+			fmt.Println("  \\milrun <stmt;>     run raw MIL against the stored BATs (see docs/MIL.md)")
 			fmt.Println("  \\sets               list sets")
 			fmt.Println("  \\quit")
 		case line == `\mil`:
 			showMIL = !showMIL
 			fmt.Printf("MIL display %v\n", showMIL)
+		case strings.HasPrefix(line, `\milrun `):
+			if milEnv == nil {
+				milEnv = mil.NewEnv()
+				milEnv.Out = os.Stdout
+				for name, b := range m.DB.Snapshot() {
+					milEnv.Bind(name, b)
+				}
+			}
+			runMIL(strings.TrimPrefix(line, `\milrun `), milEnv)
 		case line == `\sets`:
 			for _, def := range m.DB.Sets() {
 				fmt.Printf("  %s (card %d)\n", def.Name, def.Card)
@@ -158,6 +174,38 @@ func runQuery(m *core.Mirror, src string, queryTerms []string, showMIL bool) {
 			break
 		}
 		fmt.Printf("  %4d  %v\n", uint64(row.OID), row.Value)
+	}
+}
+
+// runMIL executes raw MIL source in the shell's persistent MIL
+// environment (so `\milrun var x := ...;` then `\milrun print(x);`
+// compose) and prints the value of the final statement.
+func runMIL(src string, env *mil.Env) {
+	if !strings.HasSuffix(strings.TrimSpace(src), ";") {
+		src += ";"
+	}
+	prog, err := mil.Parse(src)
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	v, err := mil.Run(prog, env)
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	// print() already wrote its output; don't echo its value again.
+	if n := len(prog.Stmts); n > 0 {
+		if call, ok := prog.Stmts[n-1].Expr.(*mil.Call); ok && call.Fn == "print" {
+			return
+		}
+	}
+	switch x := v.(type) {
+	case nil:
+	case *bat.BAT:
+		fmt.Println(x.String())
+	default:
+		fmt.Printf("= %s\n", bat.FormatValue(x))
 	}
 }
 

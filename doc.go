@@ -11,7 +11,10 @@
 // self-contained reproduction, consumed through its examples and
 // binaries):
 //
-//	internal/bat        the binary-relational physical layer (BATs)
+//	internal/bat        the binary-relational physical layer (BATs),
+//	                    serial + morsel-parallel operators
+//	internal/storage    the persistent BAT buffer pool (BBP): heap
+//	                    files, mmap loads, incremental checkpoints
 //	internal/mil        the MIL physical execution language
 //	internal/moa        the Moa object algebra: parser, checker, optimizer,
 //	                    flattening translator, tuple-at-a-time interpreter
@@ -25,6 +28,12 @@
 //	internal/mediaserver the HTTP media server and web robot
 //	internal/core       the Mirror DBMS facade and network server
 //
+// ARCHITECTURE.md at the repository root maps the paper onto these
+// packages, specifies the on-disk store format (manifest, heap files,
+// WAL, recovery sequence), and describes the parallel execution layer;
+// docs/MIL.md is the reference for every MIL builtin, each with an
+// example runnable in cmd/moash via \milrun.
+//
 // bench_test.go and experiments_test.go in this directory regenerate the
-// experiment suite documented in EXPERIMENTS.md (E1–E9).
+// experiment suite documented in EXPERIMENTS.md (E1–E10).
 package mirror

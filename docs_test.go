@@ -1,0 +1,121 @@
+package mirror
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"mirror/internal/mil"
+)
+
+// TestDocsEveryInternalPackageHasGodoc fails when an internal package
+// lacks a package-level doc comment ("// Package <name> ..."), keeping
+// `go doc mirror/internal/<pkg>` useful for every layer.
+func TestDocsEveryInternalPackageHasGodoc(t *testing.T) {
+	dirs, err := os.ReadDir("internal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		pkg := d.Name()
+		files, err := filepath.Glob(filepath.Join("internal", pkg, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := "// Package " + pkg + " "
+		found := false
+		for _, f := range files {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.HasPrefix(string(src), want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("internal/%s has no package-level godoc (no file starts with %q)", pkg, want)
+		}
+	}
+}
+
+// TestDocsLinksResolve link-checks the repo-relative markdown links in
+// ARCHITECTURE.md and everything under docs/.
+func TestDocsLinksResolve(t *testing.T) {
+	mdFiles := []string{"ARCHITECTURE.md"}
+	extra, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdFiles = append(mdFiles, extra...)
+	linkRE := regexp.MustCompile(`\]\(([^)#]+)(#[^)]*)?\)`)
+	for _, md := range mdFiles {
+		src, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatalf("%s: %v (the architecture map is a required artifact)", md, err)
+		}
+		for _, match := range linkRE.FindAllStringSubmatch(string(src), -1) {
+			target := match[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") {
+				continue
+			}
+			// Only file links; MIL's own [op](args) syntax also matches
+			// the markdown link pattern.
+			if !strings.HasSuffix(target, ".md") && !strings.HasSuffix(target, ".go") {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(md), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s links to %q which does not resolve (%s)", md, target, resolved)
+			}
+		}
+	}
+}
+
+// TestDocsMILReferenceIsComplete asserts docs/MIL.md documents every
+// registered MIL builtin (and mentions the pump/mux forms).
+func TestDocsMILReferenceIsComplete(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("docs", "MIL.md"))
+	if err != nil {
+		t.Fatalf("docs/MIL.md: %v (the MIL reference is a required artifact)", err)
+	}
+	doc := string(src)
+	for _, name := range mil.BuiltinNames() {
+		if !strings.Contains(doc, "`"+name+"`") {
+			t.Errorf("docs/MIL.md does not document builtin %q", name)
+		}
+	}
+	for _, form := range []string{"{sum}(", "[*]("} {
+		if !strings.Contains(doc, form) {
+			t.Errorf("docs/MIL.md does not show the %q form", form)
+		}
+	}
+}
+
+// TestDocsArchitectureCoversLayers keeps ARCHITECTURE.md honest: every
+// internal package must appear in the map.
+func TestDocsArchitectureCoversLayers(t *testing.T) {
+	src, err := os.ReadFile("ARCHITECTURE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := os.ReadDir("internal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		if !strings.Contains(string(src), fmt.Sprintf("internal/%s", d.Name())) {
+			t.Errorf("ARCHITECTURE.md does not mention internal/%s", d.Name())
+		}
+	}
+}

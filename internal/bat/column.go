@@ -4,7 +4,37 @@
 // two-column table of (head, tail) pairs called BUNs. All higher layers —
 // the MIL interpreter, the Moa object algebra, and the inference-network
 // retrieval operators — are expressed in terms of BATs and the operators in
-// this package.
+// this package. See ARCHITECTURE.md at the repository root for how the
+// layers fit together.
+//
+// # Invariants the rest of the system relies on
+//
+// Dense heads. A KindVoid column is a virtual dense OID sequence
+// [base, base+n): nothing is materialised, lookups are arithmetic, and
+// Append enforces density (the next OID must be base+n). The Moa
+// decomposition gives every stored set void-headed value BATs, which is
+// what makes positional joins and zero-copy persistence possible.
+//
+// Property flags. HSorted/TSorted/HKey/TKey are conservative: a false
+// flag means "unknown", never "violated". Operators may only narrow
+// their algorithm choice on a true flag. Append clears flags on
+// materialised columns rather than recomputing them.
+//
+// Views share columns. Reverse, Mirror and Mark return O(1) descriptors
+// over the same Column values; treat every BAT reachable from more than
+// one descriptor as read-only (all operators do).
+//
+// Dirty tracking. Append sets the BAT's dirty bit (Dirty/MarkDirty/
+// ClearDirty); the persistent buffer pool in internal/storage
+// checkpoints exactly the dirty BATs and clears the bit once their heap
+// files are durable. Code that mutates a column's backing slice
+// directly must call MarkDirty itself.
+//
+// Pinning. BATs loaded through the buffer pool may be backed by
+// memory-mapped heap files. Pin/Release bracket every use of such a
+// BAT: the pool never unmaps a BAT with PinCount > 0 (or with dirty
+// state), so holding a pin is what makes a loaded column's slices safe
+// to read. In-memory BATs carry the same API as a no-op.
 package bat
 
 import (

@@ -5,6 +5,25 @@
 // demo presents: insert images and annotations, run the extraction
 // pipeline, and query by text, by content, or by both (dual coding), with
 // relevance feedback.
+//
+// Persistence comes in two modes (see ARCHITECTURE.md §"On-disk format"):
+//
+//   - Save/Load write and read a whole-database snapshot through the
+//     BAT buffer pool in internal/storage; the loaded instance owns
+//     private memory and keeps no file handles.
+//   - OpenPersistent keeps the pool open for the life of the process:
+//     BATs load zero-copy (mmap) where the platform allows, every
+//     insert and relevance-feedback event is appended to a write-ahead
+//     log, and Checkpoint flushes only dirty BATs and truncates the
+//     WAL. Restart recovery = last checkpoint + WAL replay. cmd/mirrord
+//     exposes this mode through its -store flag and a Checkpoint RPC.
+//
+// Concurrency: one RWMutex guards the instance's mutable metadata;
+// mutations take the write lock and log to the WAL before releasing it,
+// so WAL order equals apply order. Query paths run lock-free over
+// immutable BATs (the kernel adds intra-operator parallelism); the
+// thesaurus, which relevance feedback mutates between checkpoints,
+// synchronises internally.
 package core
 
 import (
@@ -16,6 +35,7 @@ import (
 	"mirror/internal/ir"
 	"mirror/internal/media"
 	"mirror/internal/moa"
+	"mirror/internal/storage"
 	"mirror/internal/thesaurus"
 )
 
@@ -51,12 +71,19 @@ type Mirror struct {
 	// extraction daemons can reach them (the media server owns the
 	// authoritative copies).
 	rasters map[string]*media.Image
-	order   []string // ingestion order of URLs
+	order   []string            // ingestion order of URLs
+	urls    map[string]struct{} // set of order, for O(1) duplicate checks
 
 	// content metadata built by the pipeline
 	Thes         *thesaurus.Thesaurus
 	contentTerms map[bat.OID][]string // internal-set OID → cluster words
 	indexed      bool
+
+	// persistent mode (OpenPersistent): the BAT buffer pool backing the
+	// loaded BATs and the write-ahead log capturing inserts/feedback
+	// between checkpoints. Both nil for in-memory instances.
+	pool *storage.Pool
+	wal  *wal
 }
 
 // New creates an empty Mirror DBMS with the demo schema defined.
@@ -72,6 +99,7 @@ func New() (*Mirror, error) {
 		DB:           db,
 		Eng:          moa.NewEngine(db),
 		rasters:      map[string]*media.Image{},
+		urls:         map[string]struct{}{},
 		contentTerms: map[bat.OID][]string{},
 	}
 	return m, nil
@@ -79,11 +107,12 @@ func New() (*Mirror, error) {
 
 // AddImage ingests one library item: its URL, its (possibly empty)
 // annotation, and the raster. Call BuildContentIndex afterwards to derive
-// the internal representation.
+// the internal representation. In persistent mode the insert is logged
+// to the WAL so it survives a crash before the next checkpoint.
 func (m *Mirror) AddImage(url, annotation string, img *media.Image) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if _, dup := m.rasters[url]; dup {
+	if _, dup := m.urls[url]; dup {
 		return fmt.Errorf("core: image %q already in library", url)
 	}
 	if _, err := m.DB.Insert(LibrarySet, map[string]any{
@@ -91,9 +120,17 @@ func (m *Mirror) AddImage(url, annotation string, img *media.Image) error {
 	}); err != nil {
 		return err
 	}
+	// Commit the in-memory state fully before logging, so a WAL failure
+	// never leaves a half-applied insert: the item is in the library
+	// either way, and the returned error then only reports reduced
+	// durability (the next checkpoint still persists it).
 	m.rasters[url] = img
 	m.order = append(m.order, url)
+	m.urls[url] = struct{}{}
 	m.indexed = false
+	if err := m.logWAL(walRecord{Op: "insert", URL: url, Annotation: annotation}); err != nil {
+		return fmt.Errorf("core: %q ingested but not WAL-logged (will persist at next checkpoint): %w", url, err)
+	}
 	return nil
 }
 

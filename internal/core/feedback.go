@@ -104,12 +104,16 @@ func (s *Session) Run(k int) ([]Hit, error) {
 // Feedback applies one round of relevance judgments. Each relevant item's
 // cluster words gain Beta weight, each non-relevant item's lose Gamma; the
 // thesaurus is reinforced so the adaptation persists "across query
-// sessions".
+// sessions" — and, in persistent mode, across restarts: each
+// reinforcement is logged to the WAL and replayed during recovery.
+// On a WAL error the batch may be partially applied; everything applied
+// is already in the thesaurus (and persists at the next checkpoint), so
+// do not retry the same judgments.
 func (s *Session) Feedback(relevant, nonrelevant []bat.OID) error {
 	if len(relevant)+len(nonrelevant) == 0 {
 		return fmt.Errorf("core: feedback needs at least one judgment")
 	}
-	apply := func(oids []bat.OID, gain float64, rel bool) {
+	apply := func(oids []bat.OID, gain float64, rel bool) error {
 		for _, oid := range oids {
 			words := s.m.ContentTerms(oid)
 			for _, w := range words {
@@ -118,11 +122,20 @@ func (s *Session) Feedback(relevant, nonrelevant []bat.OID) error {
 					delete(s.weights, w)
 				}
 			}
-			s.m.Thes.Reinforce(s.textTerms, words, rel)
+			// Under the write lock: reinforcement + WAL append stay
+			// atomic with any concurrent Checkpoint.
+			if err := s.m.reinforceLogged(s.textTerms, words, rel); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-	apply(relevant, s.Beta, true)
-	apply(nonrelevant, -s.Gamma, false)
+	if err := apply(relevant, s.Beta, true); err != nil {
+		return err
+	}
+	if err := apply(nonrelevant, -s.Gamma, false); err != nil {
+		return err
+	}
 	s.Round++
 	return nil
 }

@@ -1,8 +1,14 @@
 package core
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
 
 	"mirror/internal/bat"
 	"mirror/internal/media"
@@ -11,21 +17,194 @@ import (
 	"mirror/internal/thesaurus"
 )
 
+// Persistence of a Mirror instance. Two modes share one on-disk format
+// (the BAT buffer pool of internal/storage):
+//
+//   - Save/Load: whole-database snapshot, for tools and tests.
+//   - OpenPersistent: a long-running server opens the store once, keeps
+//     the pool mapped for zero-copy reads, logs every insert and
+//     feedback event to an append-only WAL, and calls Checkpoint to
+//     flush only the BATs that changed. On restart, recovery = load the
+//     last checkpoint, then replay the WAL tail.
+//
+// The WAL is logical, not physical: a record names the operation
+// (insert / feedback) rather than BAT deltas, so replay goes through
+// exactly the code path the original operation used.
+
 // persistMeta is the JSON sidecar stored in the manifest's extra map.
+// ThesState carries the full thesaurus — including relevance-feedback
+// adjustments, which a rebuild from ThesDocs would lose; ThesDocs is
+// kept as the fallback for stores written before ThesState existed.
 type persistMeta struct {
 	Order        []string            `json:"order"`
 	ContentTerms map[uint64][]string `json:"content_terms"`
 	Indexed      bool                `json:"indexed"`
+	ThesState    *thesaurus.State    `json:"thesaurus_state,omitempty"`
 	ThesDocs     []thesaurus.Doc     `json:"thesaurus_docs,omitempty"`
 }
 
-// Save persists the database (all BATs), the schema, and the demo metadata
-// to dir. Rasters are NOT saved — the media server owns the footage; a
-// loaded instance answers queries immediately, while re-running the
-// extraction pipeline requires re-attaching rasters with AddRaster.
+// PersistOptions configures OpenPersistent.
+type PersistOptions struct {
+	Dir     string // store directory (created when absent)
+	WALSync bool   // fsync the WAL on every append (durable per-op)
+	Verify  bool   // checksum heap files on load
+	NoMmap  bool   // force the portable (copying) load path
+	Budget  int64  // pool byte budget for clean unpinned BATs; 0 = unlimited
+}
+
+// ---- write-ahead log ----
+
+// walRecord is one logical WAL entry.
+type walRecord struct {
+	Op         string   `json:"op"` // "insert" | "feedback"
+	URL        string   `json:"url,omitempty"`
+	Annotation string   `json:"annotation,omitempty"`
+	Words      []string `json:"words,omitempty"`
+	Concepts   []string `json:"concepts,omitempty"`
+	Relevant   bool     `json:"relevant,omitempty"`
+}
+
+// WAL framing: every record is [len uint32][crc32c uint32][payload],
+// little-endian, payload = JSON. Replay accepts the longest valid
+// prefix: a torn or corrupt tail (the expected crash shape for an
+// append-only file) is truncated away, never silently half-applied.
+const (
+	walName = "wal.log"
+	// maxWALRecord bounds one record's JSON payload; append enforces it
+	// so replay (which treats larger lengths as a torn tail) can never
+	// misread an acknowledged record as corruption.
+	maxWALRecord = 1 << 24
+)
+
+var walCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+type wal struct {
+	mu       sync.Mutex
+	f        *os.File
+	syncEach bool
+}
+
+// replayWAL parses the longest valid record prefix of the WAL at path.
+// It returns the records and the byte offset where valid data ends;
+// tornTail reports whether anything (a torn or corrupt suffix) follows.
+func replayWAL(path string) (recs []walRecord, validEnd int64, tornTail bool, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, 0, false, nil
+	}
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("core: read WAL: %w", err)
+	}
+	off := int64(0)
+	for int64(len(data))-off >= 8 {
+		n := binary.LittleEndian.Uint32(data[off:])
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if n == 0 || n > maxWALRecord || off+8+int64(n) > int64(len(data)) {
+			break
+		}
+		payload := data[off+8 : off+8+int64(n)]
+		if crc32.Checksum(payload, walCRCTable) != crc {
+			break
+		}
+		var r walRecord
+		if json.Unmarshal(payload, &r) != nil {
+			break
+		}
+		recs = append(recs, r)
+		off += 8 + int64(n)
+	}
+	return recs, off, off < int64(len(data)), nil
+}
+
+// openWAL opens (creating if needed) the WAL for appending, truncating
+// any torn tail found past validEnd.
+func openWAL(path string, validEnd int64, syncEach bool) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("core: open WAL: %w", err)
+	}
+	if err := f.Truncate(validEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("core: truncate WAL tail: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &wal{f: f, syncEach: syncEach}, nil
+}
+
+// append frames and writes one record.
+func (w *wal) append(r walRecord) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	payload, err := json.Marshal(&r)
+	if err != nil {
+		return fmt.Errorf("core: marshal WAL record: %w", err)
+	}
+	if len(payload) > maxWALRecord {
+		return fmt.Errorf("core: WAL record of %d bytes exceeds the %d-byte limit", len(payload), maxWALRecord)
+	}
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(payload, walCRCTable))
+	copy(buf[8:], payload)
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("core: append WAL: %w", err)
+	}
+	if w.syncEach {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("core: fsync WAL: %w", err)
+		}
+	}
+	return nil
+}
+
+// reset empties the WAL after a checkpoint has made its records
+// redundant.
+func (w *wal) reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("core: reset WAL: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *wal) close() error { return w.f.Close() }
+
+// ---- snapshot save / load ----
+
+// Save persists the database (all BATs), the schema, and the demo
+// metadata to dir as one full checkpoint. Rasters are NOT saved — the
+// media server owns the footage; a loaded instance answers queries
+// immediately, while re-running the extraction pipeline requires
+// re-attaching rasters with AddRaster.
 func (m *Mirror) Save(dir string) error {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
+	extra, err := m.persistExtraLocked()
+	if err != nil {
+		return err
+	}
+	if err := storage.Save(dir, m.DB.Snapshot(), extra); err != nil {
+		return err
+	}
+	// A snapshot is complete by definition: drop any WAL a previous
+	// persistent instance left in this directory, or a later
+	// OpenPersistent would replay stale records on top of the snapshot.
+	if err := os.Remove(filepath.Join(dir, walName)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("core: remove stale WAL: %w", err)
+	}
+	return nil
+}
+
+// persistExtraLocked serialises the schema and demo metadata for the
+// store manifest. Callers hold m.mu.
+func (m *Mirror) persistExtraLocked() (map[string]string, error) {
 	meta := persistMeta{
 		Order:        m.order,
 		ContentTerms: map[uint64][]string{},
@@ -35,53 +214,21 @@ func (m *Mirror) Save(dir string) error {
 		meta.ContentTerms[uint64(oid)] = terms
 	}
 	if m.Thes != nil {
-		meta.ThesDocs = m.thesaurusDocsLocked()
+		meta.ThesState = m.Thes.State()
 	}
 	mb, err := json.Marshal(&meta)
 	if err != nil {
-		return fmt.Errorf("core: marshal metadata: %w", err)
+		return nil, fmt.Errorf("core: marshal metadata: %w", err)
 	}
-	extra := map[string]string{
+	return map[string]string{
 		"schema": m.DB.SchemaSource(),
 		"meta":   string(mb),
-	}
-	return storage.Save(dir, m.DB.Snapshot(), extra)
+	}, nil
 }
 
-// thesaurusDocsLocked reconstructs the thesaurus training documents from
-// the stored annotations and content terms (the thesaurus itself is rebuilt
-// from them at load; feedback-learned adjustments reset, as in the
-// prototype, which kept them per session).
-func (m *Mirror) thesaurusDocsLocked() []thesaurus.Doc {
-	libAnn, ok := m.DB.BAT(LibrarySet + "_annotation")
-	if !ok {
-		return nil
-	}
-	var docs []thesaurus.Doc
-	for i := range m.order {
-		v, ok := libAnn.Find(bat.OID(i))
-		if !ok {
-			continue
-		}
-		ann, _ := v.(string)
-		if ann == "" {
-			continue
-		}
-		terms := m.contentTerms[bat.OID(i)]
-		if len(terms) == 0 {
-			continue
-		}
-		docs = append(docs, thesaurus.Doc{Words: AnalyzeQuery(ann), Concepts: terms})
-	}
-	return docs
-}
-
-// Load opens a saved Mirror database.
-func Load(dir string) (*Mirror, error) {
-	bats, extra, err := storage.Load(dir)
-	if err != nil {
-		return nil, err
-	}
+// buildFromBATs assembles a Mirror from loaded BATs plus the manifest's
+// extra metadata (shared by Load and OpenPersistent).
+func buildFromBATs(bats map[string]*bat.BAT, extra map[string]string) (*Mirror, error) {
 	db := moa.NewDatabase()
 	if err := db.DefineFromSource(extra["schema"]); err != nil {
 		return nil, fmt.Errorf("core: load schema: %w", err)
@@ -95,6 +242,7 @@ func Load(dir string) (*Mirror, error) {
 		DB:           db,
 		Eng:          moa.NewEngine(db),
 		rasters:      map[string]*media.Image{},
+		urls:         map[string]struct{}{},
 		contentTerms: map[bat.OID][]string{},
 	}
 	var meta persistMeta
@@ -104,14 +252,231 @@ func Load(dir string) (*Mirror, error) {
 		}
 	}
 	m.order = meta.Order
+	for _, u := range m.order {
+		m.urls[u] = struct{}{}
+	}
 	m.indexed = meta.Indexed
 	for oid, terms := range meta.ContentTerms {
 		m.contentTerms[bat.OID(oid)] = terms
 	}
-	if len(meta.ThesDocs) > 0 {
+	switch {
+	case meta.ThesState != nil:
+		m.Thes = thesaurus.FromState(meta.ThesState)
+	case len(meta.ThesDocs) > 0:
 		m.Thes = thesaurus.Build(meta.ThesDocs)
 	}
 	return m, nil
+}
+
+// Load opens a saved Mirror database as an in-memory snapshot (no pool
+// kept open, no WAL). Long-running servers should use OpenPersistent.
+func Load(dir string) (*Mirror, error) {
+	bats, extra, err := storage.Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	return buildFromBATs(bats, extra)
+}
+
+// ---- persistent mode ----
+
+// RecoveryStats reports what OpenPersistent found.
+type RecoveryStats struct {
+	BATs       int  // BATs in the checkpoint
+	WALRecords int  // logical records replayed from the WAL
+	WALSkipped int  // records already covered by the checkpoint (idempotent replay)
+	TornTail   bool // a torn/corrupt WAL suffix was truncated
+}
+
+// OpenPersistent opens (or initialises) a durable Mirror store: the
+// last checkpoint is loaded through the BAT buffer pool — zero-copy on
+// linux — and the WAL tail is replayed on top, restoring every insert
+// and feedback event since that checkpoint. The returned Mirror keeps
+// the pool and WAL open; call Checkpoint to flush changed BATs and
+// truncate the WAL, and ClosePersistent on shutdown.
+func OpenPersistent(opts PersistOptions) (*Mirror, RecoveryStats, error) {
+	var stats RecoveryStats
+	pool, err := storage.OpenOrCreate(opts.Dir, storage.Options{
+		Verify: opts.Verify, NoMmap: opts.NoMmap, Budget: opts.Budget,
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+
+	var m *Mirror
+	names := pool.Names()
+	if len(names) == 0 {
+		if m, err = New(); err != nil {
+			pool.Close()
+			return nil, stats, err
+		}
+	} else {
+		bats := make(map[string]*bat.BAT, len(names))
+		for _, name := range names {
+			// The pin taken by Get is held for the life of the process:
+			// these BATs are installed in the logical database, so the
+			// pool must never unmap them.
+			b, err := pool.Get(name)
+			if err != nil {
+				pool.Close()
+				return nil, stats, fmt.Errorf("core: recover %s: %w", opts.Dir, err)
+			}
+			bats[name] = b
+		}
+		if m, err = buildFromBATs(bats, pool.Extra()); err != nil {
+			pool.Close()
+			return nil, stats, err
+		}
+	}
+	stats.BATs = len(names)
+
+	walPath := filepath.Join(opts.Dir, walName)
+	recs, validEnd, torn, err := replayWAL(walPath)
+	if err != nil {
+		pool.Close()
+		return nil, stats, err
+	}
+	stats.TornTail = torn
+	for _, r := range recs {
+		applied, err := m.applyWALRecord(r)
+		if err != nil {
+			pool.Close()
+			return nil, stats, fmt.Errorf("core: WAL replay: %w", err)
+		}
+		if applied {
+			stats.WALRecords++
+		} else {
+			stats.WALSkipped++
+		}
+	}
+
+	w, err := openWAL(walPath, validEnd, opts.WALSync)
+	if err != nil {
+		pool.Close()
+		return nil, stats, err
+	}
+	m.pool = pool
+	m.wal = w
+	return m, stats, nil
+}
+
+// applyWALRecord re-executes one logged operation during recovery.
+// Replay must be idempotent: a crash between a checkpoint's manifest
+// commit and the WAL reset leaves records the checkpoint already
+// contains, and they must not brick the store. Inserts whose URL the
+// checkpoint already holds are skipped (applied=false); feedback
+// records in that window re-reinforce, which only nudges already-learnt
+// co-occurrence counts — tolerated by design, like the prototype's
+// approximate adaptation.
+func (m *Mirror) applyWALRecord(r walRecord) (applied bool, err error) {
+	switch r.Op {
+	case "insert":
+		return m.replayInsert(r.URL, r.Annotation)
+	case "feedback":
+		if m.Thes != nil {
+			m.Thes.Reinforce(r.Words, r.Concepts, r.Relevant)
+		}
+		return true, nil
+	}
+	return false, fmt.Errorf("core: unknown WAL op %q", r.Op)
+}
+
+// replayInsert is AddImage minus the raster (footage is never in the
+// WAL; the media server owns it, exactly as after Load).
+func (m *Mirror) replayInsert(url, annotation string) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.urls[url]; dup {
+		return false, nil // already in the checkpoint: idempotent skip
+	}
+	if _, err := m.DB.Insert(LibrarySet, map[string]any{
+		"source": url, "annotation": annotation, "image": url,
+	}); err != nil {
+		return false, err
+	}
+	m.order = append(m.order, url)
+	m.urls[url] = struct{}{}
+	m.indexed = false
+	return true, nil
+}
+
+// logWAL appends a record when running in persistent mode; a no-op
+// otherwise. Callers hold m.mu (write lock), which both keeps WAL order
+// equal to apply order and makes append atomic with Checkpoint's
+// pool-flush + WAL-reset pair, so no record lands between the two and
+// gets silently truncated.
+func (m *Mirror) logWAL(r walRecord) error {
+	if m.wal == nil {
+		return nil
+	}
+	return m.wal.append(r)
+}
+
+// reinforceLogged applies one thesaurus reinforcement under the write
+// lock and logs it, the mutation path relevance feedback uses so the
+// adaptation is atomic with checkpointing.
+func (m *Mirror) reinforceLogged(words, concepts []string, relevant bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.Thes == nil {
+		return fmt.Errorf("core: no thesaurus built")
+	}
+	m.Thes.Reinforce(words, concepts, relevant)
+	if err := m.logWAL(walRecord{Op: "feedback", Words: words, Concepts: concepts, Relevant: relevant}); err != nil {
+		// Mirror AddImage's contract: the reinforcement IS applied (and
+		// the thesaurus state persists at the next checkpoint); the
+		// error only reports reduced durability, so callers do not
+		// retry and double-reinforce.
+		return fmt.Errorf("core: feedback applied but not WAL-logged (will persist at next checkpoint): %w", err)
+	}
+	return nil
+}
+
+// Persistent reports whether the instance was opened with
+// OpenPersistent.
+func (m *Mirror) Persistent() bool { return m.pool != nil }
+
+// Checkpoint flushes the database to the store: only BATs dirtied (or
+// replaced) since the last checkpoint are rewritten, the manifest is
+// atomically swapped, and the WAL — now redundant — is emptied. It is
+// an error on a non-persistent instance.
+func (m *Mirror) Checkpoint() (storage.CheckpointStats, error) {
+	// Full lock: the WAL must not receive records between the pool
+	// checkpoint and the WAL reset, or they would be lost on replay.
+	// The pool check also happens under the lock so a concurrent
+	// ClosePersistent cannot nil it out from under us.
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.pool == nil {
+		return storage.CheckpointStats{}, fmt.Errorf("core: Checkpoint on a non-persistent Mirror (use Save)")
+	}
+	extra, err := m.persistExtraLocked()
+	if err != nil {
+		return storage.CheckpointStats{}, err
+	}
+	stats, err := m.pool.Checkpoint(m.DB.Snapshot(), extra)
+	if err != nil {
+		return stats, err
+	}
+	return stats, m.wal.reset()
+}
+
+// ClosePersistent checkpoints nothing; it releases the WAL handle and
+// unmaps the pool. The Mirror must not be used afterwards (its BATs may
+// reference unmapped memory). No-op for non-persistent instances.
+func (m *Mirror) ClosePersistent() error {
+	if m.pool == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	werr := m.wal.close()
+	perr := m.pool.Close()
+	m.wal, m.pool = nil, nil
+	if werr != nil {
+		return werr
+	}
+	return perr
 }
 
 // AddRaster re-attaches footage to an already-ingested URL (after Load),
@@ -119,14 +484,7 @@ func Load(dir string) (*Mirror, error) {
 func (m *Mirror) AddRaster(url string, img *media.Image) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	found := false
-	for _, u := range m.order {
-		if u == url {
-			found = true
-			break
-		}
-	}
-	if !found {
+	if _, ok := m.urls[url]; !ok {
 		return fmt.Errorf("core: URL %q is not in the library", url)
 	}
 	m.rasters[url] = img

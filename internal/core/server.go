@@ -121,6 +121,25 @@ func (s *Service) Schema(_ dict.Empty, reply *SchemaReply) error {
 	return nil
 }
 
+// CheckpointReply reports what a remote-triggered checkpoint wrote.
+type CheckpointReply struct {
+	Written int   // BATs whose heap files were rewritten
+	Skipped int   // clean BATs carried over untouched
+	Bytes   int64 // heap-file bytes written
+}
+
+// Checkpoint flushes dirty BATs to the store and truncates the WAL;
+// operators use it to bound recovery time without restarting. Errors on
+// a server not opened with OpenPersistent.
+func (s *Service) Checkpoint(_ dict.Empty, reply *CheckpointReply) error {
+	st, err := s.m.Checkpoint()
+	if err != nil {
+		return err
+	}
+	reply.Written, reply.Skipped, reply.Bytes = st.Written, st.Skipped, st.Bytes
+	return nil
+}
+
 // Serve runs the Mirror DBMS server on addr ("127.0.0.1:0" for ephemeral)
 // and registers it with the dictionary when dictAddr is non-empty. It
 // returns the bound address and a stop function.
@@ -215,4 +234,11 @@ func (c *Client) Schema() (string, error) {
 	var reply SchemaReply
 	err := c.c.Call("Mirror.Schema", dict.Empty{}, &reply)
 	return reply.Source, err
+}
+
+// Checkpoint asks the remote DBMS to flush dirty BATs to its store.
+func (c *Client) Checkpoint() (*CheckpointReply, error) {
+	var reply CheckpointReply
+	err := c.c.Call("Mirror.Checkpoint", dict.Empty{}, &reply)
+	return &reply, err
 }

@@ -2,6 +2,7 @@ package mil
 
 import (
 	"fmt"
+	"sort"
 
 	"mirror/internal/bat"
 )
@@ -83,6 +84,18 @@ func init() {
 		"parallelism":        biParallelism,
 		"parallel_threshold": biParallelThreshold,
 	}
+}
+
+// BuiltinNames lists every registered MIL builtin, sorted. The repo's
+// docs test uses it to keep docs/MIL.md complete: adding a builtin
+// without documenting it fails CI.
+func BuiltinNames() []string {
+	names := make([]string, 0, len(builtins))
+	for n := range builtins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 func biParallelism(_ *Env, args []any) (any, error) {

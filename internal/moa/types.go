@@ -7,6 +7,28 @@
 // which gives set-at-a-time execution and algebraic optimisation; a
 // tuple-at-a-time interpreter of the same algebra is included as the
 // performance baseline the flattening argument is made against.
+//
+// # Physical decomposition and its invariants
+//
+// Database maps every `define S as SET<TUPLE<...>>` onto BATs (see the
+// Database doc for the exact naming scheme). Two invariants matter to
+// every consumer:
+//
+//   - Element identity is dense: set S's elements are OIDs 0..card-1,
+//     so each atomic field BAT "S_f" has a void (dense) head and tail
+//     position i holds the value of element i. Query translation and
+//     the storage layer both exploit this.
+//   - OID counters are derivable: SyncAfterLoad recomputes per-set
+//     counters and cardinalities from the "__id" identity BATs, which
+//     is why a store can be recovered from BATs + schema text alone
+//     (no separate counter file; see ARCHITECTURE.md, recovery
+//     sequence).
+//
+// Mutation goes through Database (Insert/Finalize/Reset), which holds
+// the write lock while invoking Structure hooks; hooks must use the
+// *L accessors (BATL, PutBATL) to avoid self-deadlock. BATs obtained
+// from Snapshot or BAT are shared, not copied — they follow the
+// read-only-views rule documented in package bat.
 package moa
 
 import (

@@ -1,0 +1,552 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"mirror/internal/bat"
+)
+
+// This file implements the BAT buffer pool (BBP): Monet kept every BAT
+// in its own pair of binary heap files managed by a buffer pool, and
+// persisted the database by flushing dirty BATs — never by rewriting
+// the world. The Pool reproduces that design:
+//
+//   - one store directory holds MANIFEST (versioned JSON, replaced
+//     atomically) plus a bats/ directory of generation-numbered heap
+//     files, one file per materialised column (two for str columns);
+//   - Checkpoint writes only BATs that are dirty (mutated, or a new
+//     pointer since the last checkpoint), each via tmp+fsync+rename,
+//     fsyncs bats/, and only then publishes the new MANIFEST — so a
+//     crash at any instant leaves a store that opens to the previous
+//     checkpoint;
+//   - Get loads a BAT on demand (mmap zero-copy for 8-byte fixed-width
+//     columns on linux, a portable read elsewhere) and pins it; Release
+//     unpins, letting the pool evict cold, clean BATs once the
+//     configured byte budget is exceeded.
+//
+// Generation-numbered file names are what make the manifest swap atomic:
+// a rewritten BAT gets fresh files (name.g<N>.head, …) and the old
+// generation's files are deleted only after the new MANIFEST is durable,
+// so every manifest ever published references a complete, immutable set
+// of heap files.
+
+const (
+	manifestName   = "MANIFEST"
+	batsDirName    = "bats"
+	legacyManifest = "manifest.json"
+	formatVersion  = 2
+)
+
+// batMeta is the manifest's description of one persisted BAT.
+type batMeta struct {
+	Flags uint8   `json:"flags"` // bit 0 HSorted, 1 TSorted, 2 HKey, 3 TKey
+	Gen   uint64  `json:"gen"`
+	Head  colMeta `json:"head"`
+	Tail  colMeta `json:"tail"`
+}
+
+// manifest is the store's root metadata document.
+type manifest struct {
+	Version int                 `json:"version"`
+	Gen     uint64              `json:"gen"`
+	BATs    map[string]*batMeta `json:"bats"`
+	Extra   map[string]string   `json:"extra,omitempty"`
+}
+
+// mapping is one live mmap region backing a loaded column.
+type mapping struct {
+	data  []byte
+	close func() error
+}
+
+// Options configures a Pool.
+type Options struct {
+	// Verify makes every heap-file load check its CRC-32C against the
+	// manifest. Sizes are always checked.
+	Verify bool
+	// NoMmap forces the portable read path: loaded BATs own private
+	// memory and stay valid after the pool closes.
+	NoMmap bool
+	// Budget bounds the resident bytes of clean, unpinned BATs; once
+	// exceeded the pool evicts in LRU order. 0 means unlimited.
+	Budget int64
+}
+
+// entry is one resident BAT.
+type entry struct {
+	b       *bat.BAT
+	maps    []mapping
+	bytes   int64
+	lastUse uint64
+	pins    int // pool-issued pins (mirrors b.PinCount for pool callers)
+}
+
+// Pool is a persistent BAT buffer pool over one store directory.
+type Pool struct {
+	dir  string
+	opts Options
+
+	mu    sync.Mutex
+	man   *manifest
+	live  map[string]*entry
+	clock uint64
+}
+
+// CheckpointStats reports what one checkpoint did.
+type CheckpointStats struct {
+	Written int   // BATs whose heap files were rewritten
+	Skipped int   // clean BATs carried over without touching their files
+	Bytes   int64 // heap-file bytes written
+}
+
+// Create initialises an empty store at dir (which must not already hold
+// one) and returns its pool.
+func Create(dir string, opts Options) (*Pool, error) {
+	if err := os.MkdirAll(filepath.Join(dir, batsDirName), 0o755); err != nil {
+		return nil, fmt.Errorf("storage: mkdir %s: %w", dir, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err == nil {
+		return nil, fmt.Errorf("storage: %s already holds a store", dir)
+	}
+	if _, err := os.Stat(filepath.Join(dir, legacyManifest)); err == nil {
+		return nil, fmt.Errorf("storage: %s is a legacy v1 store (manifest.json), which this version cannot read; move it aside (or delete it and re-ingest) before using this directory", dir)
+	}
+	p := &Pool{
+		dir:  dir,
+		opts: opts,
+		man:  &manifest{Version: formatVersion, BATs: map[string]*batMeta{}},
+		live: map[string]*entry{},
+	}
+	if err := p.writeManifestLocked(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Open opens an existing store.
+func Open(dir string, opts Options) (*Pool, error) {
+	mb, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			if _, lerr := os.Stat(filepath.Join(dir, legacyManifest)); lerr == nil {
+				return nil, fmt.Errorf("storage: %s is a legacy v1 store (manifest.json), which this version cannot read; move it aside (or delete it and re-ingest) to start a v2 store here", dir)
+			}
+		}
+		return nil, fmt.Errorf("storage: read manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(mb, &m); err != nil {
+		return nil, fmt.Errorf("storage: parse manifest: %w", err)
+	}
+	if m.Version != formatVersion {
+		return nil, fmt.Errorf("storage: unsupported store version %d (want %d)", m.Version, formatVersion)
+	}
+	if m.BATs == nil {
+		m.BATs = map[string]*batMeta{}
+	}
+	p := &Pool{dir: dir, opts: opts, man: &m, live: map[string]*entry{}}
+	p.removeOrphansLocked()
+	return p, nil
+}
+
+// OpenOrCreate opens dir as a store, initialising it when empty.
+func OpenOrCreate(dir string, opts Options) (*Pool, error) {
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err == nil {
+		return Open(dir, opts)
+	}
+	return Create(dir, opts)
+}
+
+// Names lists the BATs in the last checkpoint, sorted.
+func (p *Pool) Names() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	names := make([]string, 0, len(p.man.BATs))
+	for n := range p.man.BATs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Extra returns the opaque metadata stored with the last checkpoint.
+func (p *Pool) Extra() map[string]string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]string, len(p.man.Extra))
+	for k, v := range p.man.Extra {
+		out[k] = v
+	}
+	return out
+}
+
+// Get returns the named BAT, loading it from its heap files if it is
+// not resident, and pins it. Callers must Release it when done; holding
+// a BAT (or slices of its columns) past Release is a use-after-evict
+// bug once a Budget is set.
+func (p *Pool) Get(name string) (*bat.BAT, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, err := p.loadLocked(name)
+	if err != nil {
+		return nil, err
+	}
+	p.clock++
+	e.lastUse = p.clock
+	e.pins++
+	e.b.Pin()
+	p.evictLocked()
+	return e.b, nil
+}
+
+// Release drops one pin on a BAT obtained from Get.
+func (p *Pool) Release(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.live[name]
+	if !ok || e.pins == 0 {
+		return
+	}
+	e.pins--
+	e.b.Release()
+	p.evictLocked()
+}
+
+// ResidentBytes reports the memory held by resident BATs.
+func (p *Pool) ResidentBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var n int64
+	for _, e := range p.live {
+		n += e.bytes
+	}
+	return n
+}
+
+// Resident reports how many BATs are currently loaded.
+func (p *Pool) Resident() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.live)
+}
+
+// loadLocked returns the resident entry for name, loading it if needed.
+func (p *Pool) loadLocked(name string) (*entry, error) {
+	if e, ok := p.live[name]; ok {
+		return e, nil
+	}
+	bm, ok := p.man.BATs[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: no BAT %q in store %s", name, p.dir)
+	}
+	bdir := filepath.Join(p.dir, batsDirName)
+	mmapOK := !p.opts.NoMmap
+	head, hm, err := loadColumn(bdir, bm.Head, mmapOK, p.opts.Verify)
+	if err != nil {
+		return nil, fmt.Errorf("storage: load %s head: %w", name, err)
+	}
+	tail, tm, err := loadColumn(bdir, bm.Tail, mmapOK, p.opts.Verify)
+	if err != nil {
+		for _, m := range hm {
+			m.close()
+		}
+		return nil, fmt.Errorf("storage: load %s tail: %w", name, err)
+	}
+	b, err := bat.FromColumns(head, tail,
+		bm.Flags&1 != 0, bm.Flags&2 != 0, bm.Flags&4 != 0, bm.Flags&8 != 0)
+	if err != nil {
+		for _, m := range append(hm, tm...) {
+			m.close()
+		}
+		return nil, fmt.Errorf("storage: load %s: %w", name, err)
+	}
+	e := &entry{b: b, maps: append(hm, tm...), bytes: b.MemBytes()}
+	p.live[name] = e
+	return e, nil
+}
+
+// evictLocked unmaps cold, clean, unpinned BATs until the resident set
+// fits the byte budget.
+func (p *Pool) evictLocked() {
+	if p.opts.Budget <= 0 {
+		return
+	}
+	var total int64
+	for _, e := range p.live {
+		total += e.bytes
+	}
+	for total > p.opts.Budget {
+		var victim string
+		var ve *entry
+		for name, e := range p.live {
+			if e.pins > 0 || e.b.PinCount() > 0 || e.b.Dirty() {
+				continue
+			}
+			if ve == nil || e.lastUse < ve.lastUse {
+				victim, ve = name, e
+			}
+		}
+		if ve == nil {
+			return // everything pinned or dirty
+		}
+		for _, m := range ve.maps {
+			m.close()
+		}
+		delete(p.live, victim)
+		total -= ve.bytes
+	}
+}
+
+// flagsOf packs a BAT's property flags.
+func flagsOf(b *bat.BAT) uint8 {
+	var f uint8
+	if b.HSorted {
+		f |= 1
+	}
+	if b.TSorted {
+		f |= 2
+	}
+	if b.HKey {
+		f |= 4
+	}
+	if b.TKey {
+		f |= 8
+	}
+	return f
+}
+
+// Checkpoint makes bats (plus the opaque extra metadata) the store's
+// durable contents. Only dirty BATs — mutated since the last
+// checkpoint, or bound to a name for the first time — have their heap
+// files rewritten; clean BATs are carried over by reference. BATs no
+// longer present in the map are dropped from the store.
+//
+// Durability guarantee: every heap file is written to a temp name,
+// fsync'd, and renamed; the bats/ directory is fsync'd; then the new
+// MANIFEST is written, fsync'd, and renamed over the old one, and the
+// store directory fsync'd. The manifest rename is the commit point — a
+// crash before it leaves the previous checkpoint intact, a crash after
+// it leaves the new one. Old-generation files are deleted only after
+// the commit point.
+func (p *Pool) Checkpoint(bats map[string]*bat.BAT, extra map[string]string) (CheckpointStats, error) {
+	return p.checkpoint(bats, extra, true)
+}
+
+// checkpoint implements Checkpoint. When adopt is false (the Save
+// wrapper's throwaway pool) the caller's BATs are written but NOT
+// adopted: their dirty bits are left untouched and the resident cache
+// is not updated, so snapshotting a live database never erases the
+// dirty state its own pool still needs to flush.
+func (p *Pool) checkpoint(bats map[string]*bat.BAT, extra map[string]string, adopt bool) (CheckpointStats, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var st CheckpointStats
+
+	names := make([]string, 0, len(bats))
+	for name := range bats {
+		if err := validName(name); err != nil {
+			return st, err
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	p.man.Gen++
+	gen := p.man.Gen
+	bdir := filepath.Join(p.dir, batsDirName)
+	newBATs := make(map[string]*batMeta, len(names))
+	var obsolete []string // old-generation files to remove after commit
+
+	for _, name := range names {
+		b := bats[name]
+		old, had := p.man.BATs[name]
+		e, resident := p.live[name]
+		clean := had && !b.Dirty() && resident && e.b == b
+		if clean {
+			newBATs[name] = old
+			st.Skipped++
+			continue
+		}
+		stem := fmt.Sprintf("%s.g%d", name, gen)
+		hm, err := writeColumn(bdir, stem+".head", b.Head)
+		if err != nil {
+			return st, err
+		}
+		tm, err := writeColumn(bdir, stem+".tail", b.Tail)
+		if err != nil {
+			return st, err
+		}
+		newBATs[name] = &batMeta{Flags: flagsOf(b), Gen: gen, Head: hm, Tail: tm}
+		st.Written++
+		st.Bytes += hm.Size + hm.HeapSize + tm.Size + tm.HeapSize
+		if had {
+			obsolete = append(obsolete, metaFiles(old)...)
+		}
+	}
+	// BATs dropped from the database: their files become garbage.
+	for name, old := range p.man.BATs {
+		if _, keep := newBATs[name]; !keep {
+			obsolete = append(obsolete, metaFiles(old)...)
+		}
+	}
+
+	if st.Written > 0 {
+		if err := fsyncDir(bdir); err != nil {
+			return st, err
+		}
+	}
+
+	oldBATs, oldExtra, oldGen := p.man.BATs, p.man.Extra, p.man.Gen
+	p.man.BATs = newBATs
+	p.man.Extra = extra
+	if err := p.writeManifestLocked(); err != nil {
+		// Restore the full in-memory manifest so it matches the durable
+		// one (Gen was bumped at the top of this checkpoint attempt).
+		p.man.BATs, p.man.Extra, p.man.Gen = oldBATs, oldExtra, oldGen
+		return st, err
+	}
+
+	// Commit point passed: retire old generations and refresh the cache.
+	for _, f := range obsolete {
+		os.Remove(filepath.Join(bdir, f))
+	}
+	if !adopt {
+		return st, nil
+	}
+	for _, name := range names {
+		b := bats[name]
+		b.ClearDirty()
+		if e, ok := p.live[name]; ok {
+			if e.b != b {
+				e.closeMapsIfSafe()
+				delete(p.live, name)
+			} else {
+				e.bytes = b.MemBytes() // the BAT may have grown since load
+			}
+		}
+		if _, ok := p.live[name]; !ok {
+			p.live[name] = &entry{b: b, bytes: b.MemBytes(), lastUse: p.clock}
+		}
+	}
+	for name, e := range p.live {
+		if _, keep := newBATs[name]; !keep {
+			e.closeMapsIfSafe()
+			delete(p.live, name)
+		}
+	}
+	p.evictLocked()
+	return st, nil
+}
+
+// closeMapsIfSafe unmaps an entry's regions unless the BAT is pinned
+// (in which case the mappings are leaked to the process lifetime rather
+// than risking a use-after-unmap; pinned replacements are a caller
+// bug).
+func (e *entry) closeMapsIfSafe() {
+	if e.pins > 0 || e.b.PinCount() > 0 {
+		return
+	}
+	for _, m := range e.maps {
+		m.close()
+	}
+	e.maps = nil
+}
+
+// metaFiles lists the heap files a batMeta references.
+func metaFiles(bm *batMeta) []string {
+	var fs []string
+	for _, cm := range []colMeta{bm.Head, bm.Tail} {
+		if cm.File != "" {
+			fs = append(fs, cm.File)
+		}
+		if cm.Heap != "" {
+			fs = append(fs, cm.Heap)
+		}
+	}
+	return fs
+}
+
+// writeManifestLocked atomically publishes the manifest: tmp file,
+// fsync, rename, fsync store directory.
+func (p *Pool) writeManifestLocked() error {
+	mb, err := json.MarshalIndent(p.man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("storage: marshal manifest: %w", err)
+	}
+	path := filepath.Join(p.dir, manifestName)
+	if _, err := writeHeapFile(path, mb); err != nil {
+		return err
+	}
+	return fsyncDir(p.dir)
+}
+
+// removeOrphansLocked deletes heap files in bats/ that no manifest
+// entry references — leftovers of a checkpoint that crashed before its
+// commit point (or after it, before cleanup finished).
+func (p *Pool) removeOrphansLocked() {
+	referenced := map[string]bool{}
+	for _, bm := range p.man.BATs {
+		for _, f := range metaFiles(bm) {
+			referenced[f] = true
+		}
+	}
+	bdir := filepath.Join(p.dir, batsDirName)
+	des, err := os.ReadDir(bdir)
+	if err != nil {
+		return
+	}
+	for _, de := range des {
+		if !referenced[de.Name()] {
+			os.Remove(filepath.Join(bdir, de.Name()))
+		}
+	}
+}
+
+// Close unmaps every resident BAT. BATs loaded through the mmap path
+// must not be used afterwards; the core layer keeps its pool open for
+// the life of the process.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var firstErr error
+	for name, e := range p.live {
+		for _, m := range e.maps {
+			if err := m.close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		delete(p.live, name)
+	}
+	return firstErr
+}
+
+// Dir reports the store directory.
+func (p *Pool) Dir() string { return p.dir }
+
+// fsyncDir fsyncs a directory so renames and file creations within it
+// are durable.
+func fsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("storage: open dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("storage: fsync dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// validName rejects BAT names that would escape the store directory.
+func validName(name string) error {
+	if name == "" || strings.ContainsAny(name, "/\\") || strings.Contains(name, "..") {
+		return fmt.Errorf("storage: invalid BAT name %q", name)
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+//go:build linux
+
+package storage
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps a heap file read-only. The mapping is shared
+// (page-cache backed), so a cold start faults pages in on first touch
+// instead of reading the whole database up front: load cost is
+// O(working set), not O(database). The file may be renamed or unlinked
+// while mapped — the mapping keeps the old inode alive, which is what
+// makes checkpoint-over-rename safe for live readers.
+func mapFile(path string, size int64) (mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return mapping{}, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return mapping{}, err
+	}
+	if st.Size() != size {
+		return mapping{}, fmt.Errorf("storage: heap file %s: size %d, manifest says %d (truncated or corrupt)", path, st.Size(), size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return mapping{}, fmt.Errorf("storage: mmap %s: %w", path, err)
+	}
+	return mapping{data: data, close: func() error { return syscall.Munmap(data) }}, nil
+}

@@ -1,0 +1,15 @@
+//go:build !linux
+
+package storage
+
+import "errors"
+
+// errNoMmap makes loadColumn fall back to the portable read path on
+// platforms where we do not implement memory mapping.
+var errNoMmap = errors.New("storage: mmap not supported on this platform")
+
+// mapFile is the non-linux stub; the pool falls back to reading heap
+// files into private memory.
+func mapFile(path string, size int64) (mapping, error) {
+	return mapping{}, errNoMmap
+}

@@ -1,121 +1,78 @@
-// Package storage persists a named collection of BATs to a directory: the
-// Mirror DBMS's stand-in for Monet's BAT buffer pool persistence. A store
-// directory contains a manifest.json naming every BAT plus one .bat file per
-// BAT. Saves are atomic at directory granularity: data is written to a
-// temporary sibling directory and renamed into place.
+// Package storage is the persistence layer of the Mirror DBMS: a
+// Monet-style BAT buffer pool (BBP) over one store directory.
+//
+// A store holds a versioned MANIFEST plus one binary heap file per
+// materialised BAT column under bats/ (an offset+heap file pair for
+// str columns); void columns are pure manifest metadata. The Pool type
+// is the primary API: Open/Create a store, Get (pin) and Release BATs,
+// and Checkpoint the current database — incrementally, rewriting only
+// the heap files of BATs that changed since the previous checkpoint.
+// On linux, 8-byte fixed-width columns load zero-copy via mmap, so a
+// cold start costs O(working set) page faults rather than O(database)
+// reads; other platforms use a portable read path.
+//
+// Durability invariant (the fix for the historical rename-before-fsync
+// bug in this package): heap files are written tmp+fsync+rename, the
+// bats/ directory is fsync'd, and only then is the new MANIFEST
+// published (itself tmp+fsync+rename followed by a directory fsync).
+// The manifest rename is the single commit point; a crash on either
+// side of it leaves a store that opens cleanly to a checkpoint.
+//
+// Save and Load remain as whole-database convenience wrappers for
+// callers that do not need incremental checkpoints; they use the same
+// on-disk format (and the same durability guarantee). Invariants the
+// pool relies on are documented on bat.BAT: Append sets the dirty bit,
+// and Pin/Release bracket every use of a pooled BAT so eviction never
+// unmaps memory in use.
 package storage
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
-	"sort"
-	"strings"
 
 	"mirror/internal/bat"
 )
 
-// Manifest describes the contents of a store directory.
-type Manifest struct {
-	Version int               `json:"version"`
-	BATs    []string          `json:"bats"`
-	Extra   map[string]string `json:"extra,omitempty"` // schema text etc.
-}
-
-const manifestName = "manifest.json"
-
-// Save writes the BATs (and opaque extra metadata, e.g. serialised schema
-// text) into dir, atomically replacing any previous contents.
+// Save writes the BATs (and opaque extra metadata, e.g. serialised
+// schema text) into dir as a full checkpoint, atomically replacing the
+// store's previous logical contents: BATs absent from the map are
+// dropped from the store. Files the store does not own (e.g. a WAL
+// managed by internal/core) are left in place — higher layers decide
+// their fate. The data is durable before the manifest commit point
+// (see the package comment).
 func Save(dir string, bats map[string]*bat.BAT, extra map[string]string) error {
-	parent := filepath.Dir(dir)
-	if err := os.MkdirAll(parent, 0o755); err != nil {
-		return fmt.Errorf("storage: mkdir %s: %w", parent, err)
-	}
-	tmp, err := os.MkdirTemp(parent, ".store-*")
+	p, err := OpenOrCreate(dir, Options{})
 	if err != nil {
-		return fmt.Errorf("storage: mktemp: %w", err)
+		return err
 	}
-	defer os.RemoveAll(tmp)
-
-	names := make([]string, 0, len(bats))
-	for name := range bats {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-
-	for _, name := range names {
-		if err := validName(name); err != nil {
-			return err
-		}
-		f, err := os.Create(filepath.Join(tmp, name+".bat"))
-		if err != nil {
-			return fmt.Errorf("storage: create %s: %w", name, err)
-		}
-		_, werr := bats[name].WriteTo(f)
-		cerr := f.Close()
-		if werr != nil {
-			return fmt.Errorf("storage: write %s: %w", name, werr)
-		}
-		if cerr != nil {
-			return fmt.Errorf("storage: close %s: %w", name, cerr)
-		}
-	}
-
-	m := Manifest{Version: 1, BATs: names, Extra: extra}
-	mb, err := json.MarshalIndent(m, "", "  ")
-	if err != nil {
-		return fmt.Errorf("storage: marshal manifest: %w", err)
-	}
-	if err := os.WriteFile(filepath.Join(tmp, manifestName), mb, 0o644); err != nil {
-		return fmt.Errorf("storage: write manifest: %w", err)
-	}
-
-	if err := os.RemoveAll(dir); err != nil {
-		return fmt.Errorf("storage: remove old %s: %w", dir, err)
-	}
-	if err := os.Rename(tmp, dir); err != nil {
-		return fmt.Errorf("storage: rename into place: %w", err)
+	defer p.Close()
+	// adopt=false: a fresh pool has no resident cache, so every BAT is
+	// written in full — and the caller's BATs are left untouched (their
+	// dirty bits may belong to a live pool that still has to flush them).
+	if _, err := p.checkpoint(bats, extra, false); err != nil {
+		return err
 	}
 	return nil
 }
 
-// Load reads a store directory written by Save.
+// Load reads every BAT of a store written by Save (or checkpointed by a
+// Pool). The returned BATs own private memory (no mmap), so they remain
+// valid indefinitely; long-running servers that want zero-copy loads
+// and incremental checkpoints should keep a Pool open instead.
 func Load(dir string) (map[string]*bat.BAT, map[string]string, error) {
-	mb, err := os.ReadFile(filepath.Join(dir, manifestName))
+	p, err := Open(dir, Options{Verify: true, NoMmap: true})
 	if err != nil {
-		return nil, nil, fmt.Errorf("storage: read manifest: %w", err)
+		return nil, nil, err
 	}
-	var m Manifest
-	if err := json.Unmarshal(mb, &m); err != nil {
-		return nil, nil, fmt.Errorf("storage: parse manifest: %w", err)
-	}
-	if m.Version != 1 {
-		return nil, nil, fmt.Errorf("storage: unsupported version %d", m.Version)
-	}
-	bats := make(map[string]*bat.BAT, len(m.BATs))
-	for _, name := range m.BATs {
-		if err := validName(name); err != nil {
-			return nil, nil, err
-		}
-		f, err := os.Open(filepath.Join(dir, name+".bat"))
+	defer p.Close()
+	names := p.Names()
+	bats := make(map[string]*bat.BAT, len(names))
+	for _, name := range names {
+		b, err := p.Get(name)
 		if err != nil {
-			return nil, nil, fmt.Errorf("storage: open %s: %w", name, err)
+			return nil, nil, fmt.Errorf("storage: load %s: %w", dir, err)
 		}
-		b, rerr := bat.ReadBAT(f)
-		f.Close()
-		if rerr != nil {
-			return nil, nil, fmt.Errorf("storage: read %s: %w", name, rerr)
-		}
+		p.Release(name)
 		bats[name] = b
 	}
-	return bats, m.Extra, nil
-}
-
-// validName rejects BAT names that would escape the store directory.
-func validName(name string) error {
-	if name == "" || strings.ContainsAny(name, "/\\") || strings.Contains(name, "..") {
-		return fmt.Errorf("storage: invalid BAT name %q", name)
-	}
-	return nil
+	return bats, p.Extra(), nil
 }

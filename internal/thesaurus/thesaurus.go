@@ -10,6 +10,7 @@ package thesaurus
 
 import (
 	"sort"
+	"sync"
 
 	"mirror/internal/ir"
 )
@@ -27,8 +28,11 @@ type Association struct {
 	Belief  float64
 }
 
-// Thesaurus is the built association structure.
+// Thesaurus is the built association structure. It synchronises
+// internally (one RWMutex), so lock-free query paths may Associate
+// concurrently with relevance feedback calling Reinforce.
 type Thesaurus struct {
+	mu       sync.RWMutex
 	concepts []string
 	tf       map[string]map[string]int // concept → word → co-occurrence count
 	clen     map[string]int            // concept pseudo-document length
@@ -84,12 +88,82 @@ func Build(docs []Doc) *Thesaurus {
 }
 
 // Concepts lists the known concepts, sorted.
-func (t *Thesaurus) Concepts() []string { return t.concepts }
+func (t *Thesaurus) Concepts() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]string(nil), t.concepts...)
+}
+
+// State is the serialisable form of a Thesaurus. Unlike rebuilding from
+// training Docs, round-tripping through State preserves the adjustments
+// learned from relevance feedback (Reinforce), so a persisted store
+// keeps its adaptation across restarts.
+type State struct {
+	Concepts []string                  `json:"concepts"`
+	TF       map[string]map[string]int `json:"tf"`
+	CLen     map[string]int            `json:"clen"`
+	DF       map[string]int            `json:"df"`
+	AvgLen   float64                   `json:"avg_len"`
+}
+
+// State snapshots the thesaurus for persistence.
+func (t *Thesaurus) State() *State {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	s := &State{
+		Concepts: append([]string(nil), t.concepts...),
+		TF:       make(map[string]map[string]int, len(t.tf)),
+		CLen:     make(map[string]int, len(t.clen)),
+		DF:       make(map[string]int, len(t.df)),
+		AvgLen:   t.avgLen,
+	}
+	for c, m := range t.tf {
+		cm := make(map[string]int, len(m))
+		for w, n := range m {
+			cm[w] = n
+		}
+		s.TF[c] = cm
+	}
+	for c, n := range t.clen {
+		s.CLen[c] = n
+	}
+	for w, n := range t.df {
+		s.DF[w] = n
+	}
+	return s
+}
+
+// FromState rebuilds a thesaurus snapshotted with State.
+func FromState(s *State) *Thesaurus {
+	t := &Thesaurus{
+		concepts: append([]string(nil), s.Concepts...),
+		tf:       make(map[string]map[string]int, len(s.TF)),
+		clen:     make(map[string]int, len(s.CLen)),
+		df:       make(map[string]int, len(s.DF)),
+		avgLen:   s.AvgLen,
+	}
+	for c, m := range s.TF {
+		cm := make(map[string]int, len(m))
+		for w, n := range m {
+			cm[w] = n
+		}
+		t.tf[c] = cm
+	}
+	for c, n := range s.CLen {
+		t.clen[c] = n
+	}
+	for w, n := range s.DF {
+		t.df[w] = n
+	}
+	return t
+}
 
 // Associate ranks concepts by their belief given the query words —
 // "measuring the belief in a concept (instead of in a document) given the
 // query" — and returns the top k (k <= 0 returns all).
 func (t *Thesaurus) Associate(queryWords []string, k int) []Association {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	n := len(t.concepts)
 	out := make([]Association, 0, n)
 	for _, c := range t.concepts {
@@ -121,6 +195,8 @@ func (t *Thesaurus) Associate(queryWords []string, k int) []Association {
 // WordsFor ranks the annotation words most associated with a concept (the
 // inverse direction, used by the demo UI to explain clusters).
 func (t *Thesaurus) WordsFor(concept string, k int) []Association {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	m := t.tf[concept]
 	out := make([]Association, 0, len(m))
 	for w, tf := range m {
@@ -147,6 +223,8 @@ func (t *Thesaurus) WordsFor(concept string, k int) []Association {
 // between the query words and the concepts of relevant items are
 // strengthened, those of non-relevant items weakened.
 func (t *Thesaurus) Reinforce(queryWords []string, concepts []string, relevant bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	delta := 1
 	for _, c := range concepts {
 		m, ok := t.tf[c]
