@@ -1,0 +1,357 @@
+package mirror
+
+// E11: pruned top-k retrieval vs exhaustive score-everything-then-sort, at
+// collection scale. The fixture is a synthetic term-ordered postings index
+// built directly at the physical layer (the same representation CONTREP's
+// Finalize derives), so the benchmark measures pure query cost: the
+// exhaustive side runs the legacy pipeline getbl → fill(domain) → full
+// descending sort cut at k; the pruned side runs the max-score operator.
+//
+// TestEmitQueryBenchJSON additionally writes the measured latencies as
+// BENCH_queries.json when the BENCH_QUERIES_JSON env var names a path (the
+// CI bench-smoke job does), seeding the query-latency perf trajectory.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"mirror/internal/bat"
+	"mirror/internal/ir"
+)
+
+// e11Index is the physical fixture: both postings layouts over one corpus.
+type e11Index struct {
+	n int // documents
+	// term-ordered layout (pruned operator input)
+	start, postDoc, postBel, maxBel *bat.BAT
+	// original pair layout (exhaustive getbl input)
+	revTerm, doc, bel *bat.BAT
+	domain            *bat.BAT
+	nterms            int
+}
+
+var (
+	e11Mu    sync.Mutex
+	e11Cache = map[int]*e11Index{}
+)
+
+// mkE11Index builds a deterministic corpus of n documents with 8 postings
+// each: 3 from a small set of common terms (long posting lists — the ones
+// max-score demotes to non-essential) and 5 rare terms.
+func mkE11Index(n int) *e11Index {
+	e11Mu.Lock()
+	defer e11Mu.Unlock()
+	if ix, ok := e11Cache[n]; ok {
+		return ix
+	}
+	const perDoc = 8
+	const common = 50
+	nterms := 20000
+	if nterms > n/2+common+1 {
+		nterms = n/2 + common + 1
+	}
+	p := n * perDoc
+	termOf := make([]bat.OID, 0, p)
+	docOf := make([]bat.OID, 0, p)
+	belOf := make([]float64, 0, p)
+	seen := map[bat.OID]bool{}
+	rnd := uint64(12345)
+	next := func() uint64 { // xorshift, deterministic and allocation-free
+		rnd ^= rnd << 13
+		rnd ^= rnd >> 7
+		rnd ^= rnd << 17
+		return rnd
+	}
+	for d := 0; d < n; d++ {
+		for t := range seen {
+			delete(seen, t)
+		}
+		for i := 0; i < perDoc; i++ {
+			var t bat.OID
+			if i < 3 {
+				t = bat.OID(next() % common)
+			} else {
+				t = bat.OID(common + next()%uint64(nterms-common))
+			}
+			if seen[t] {
+				continue
+			}
+			seen[t] = true
+			termOf = append(termOf, t)
+			docOf = append(docOf, bat.OID(d))
+			belOf = append(belOf, ir.DefaultBelief+float64(next()%1000)/1000*0.55)
+		}
+	}
+	p = len(termOf)
+
+	// counting sort by term → term-ordered layout (docs ascend per term
+	// because d ascends in the generation loop)
+	starts := make([]int64, nterms+1)
+	for _, t := range termOf {
+		starts[t+1]++
+	}
+	for t := 1; t <= nterms; t++ {
+		starts[t] += starts[t-1]
+	}
+	pd := make([]bat.OID, p)
+	pb := make([]float64, p)
+	mx := make([]float64, nterms)
+	cur := append([]int64(nil), starts...)
+	for i := 0; i < p; i++ {
+		t := termOf[i]
+		at := cur[t]
+		cur[t]++
+		pd[at] = docOf[i]
+		pb[at] = belOf[i]
+		if belOf[i] > mx[t] {
+			mx[t] = belOf[i]
+		}
+	}
+
+	ix := &e11Index{
+		n:       n,
+		nterms:  nterms,
+		start:   adoptVoid(bat.ColumnOfInts(starts)),
+		postDoc: adoptVoid(bat.ColumnOfOIDs(pd)),
+		postBel: adoptVoid(bat.ColumnOfFloats(pb)),
+		maxBel:  adoptVoid(bat.ColumnOfFloats(mx)),
+		revTerm: &bat.BAT{Head: bat.ColumnOfOIDs(termOf), Tail: bat.NewVoid(0, p)},
+		doc:     adoptVoid(bat.ColumnOfOIDs(docOf)),
+		bel:     adoptVoid(bat.ColumnOfFloats(belOf)),
+		domain:  &bat.BAT{Head: bat.NewVoid(0, n), Tail: bat.NewVoid(0, n)},
+	}
+	ix.domain.HSorted, ix.domain.HKey = true, true
+	e11Cache[n] = ix
+	return ix
+}
+
+func adoptVoid(tail *bat.Column) *bat.BAT {
+	b := &bat.BAT{Head: bat.NewVoid(0, tail.Len()), Tail: tail}
+	b.HSorted, b.HKey = true, true
+	return b
+}
+
+// e11Queries mixes common (high-df) and rare terms.
+func e11Queries(ix *e11Index) [][]bat.OID {
+	return [][]bat.OID{
+		{1, 2, 3},
+		{0, 7, 99, 1234 % bat.OID(ix.nterms)},
+		{5, 60, 61, 62, 63},
+		{10, 11},
+		{4, 8, 15, 16, 23, 42},
+		{20, 200 % bat.OID(ix.nterms), 2000 % bat.OID(ix.nterms)},
+		{30, 31, 32, 33},
+		{6, 9, 12},
+		{44, 45, 46, 47, 48},
+	}
+}
+
+// e11Exhaustive is the legacy pipeline: score matches, fill the whole
+// domain with the default, sort everything descending, cut at k.
+func e11Exhaustive(ix *e11Index, q []bat.OID, k int) (*bat.BAT, error) {
+	beliefs, counts, err := bat.GetBL(ix.revTerm, ix.doc, ix.bel, q)
+	if err != nil {
+		return nil, err
+	}
+	scores, err := bat.SumBeliefs(beliefs, counts, len(q), ir.DefaultBelief)
+	if err != nil {
+		return nil, err
+	}
+	filled, err := bat.Fill(scores, ix.domain, float64(len(q))*ir.DefaultBelief)
+	if err != nil {
+		return nil, err
+	}
+	return bat.TopN(filled, k)
+}
+
+func e11Pruned(ix *e11Index, q []bat.OID, k int) (*bat.BAT, error) {
+	return bat.PrunedTopK(ix.start, ix.postDoc, ix.postBel, ix.maxBel, q, nil, ir.DefaultBelief, k, ix.domain)
+}
+
+// e11N returns the benchmark collection size (override with E11_N).
+func e11N() int {
+	if s := os.Getenv("E11_N"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 1_000_000
+}
+
+func BenchmarkE11_ExhaustiveTopK(b *testing.B) {
+	ix := mkE11Index(e11N())
+	qs := e11Queries(ix)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e11Exhaustive(ix, qs[i%len(qs)], 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE11_PrunedTopK(b *testing.B) {
+	ix := mkE11Index(e11N())
+	qs := e11Queries(ix)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e11Pruned(ix, qs[i%len(qs)], 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestE11PrunedEqualsExhaustiveShape pins, at a size CI can afford, that
+// the two pipelines agree on the top-k set and scores. (Order within exact
+// ties differs only in how TopN's stable sort breaks them; the comparison
+// is on the canonical ranking, recomputed with the OID tie rule.)
+func TestE11PrunedEqualsExhaustiveShape(t *testing.T) {
+	n := 200_000
+	if testing.Short() {
+		n = 20_000
+	}
+	ix := mkE11Index(n)
+	for _, q := range e11Queries(ix) {
+		const k = 10
+		pruned, err := e11Pruned(ix, q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := e11CanonicalTopK(ix, q, k)
+		if pruned.Len() != len(want) {
+			t.Fatalf("q=%v: %d hits, want %d", q, pruned.Len(), len(want))
+		}
+		for i := range want {
+			if uint64(pruned.Head.OIDAt(i)) != want[i].Doc || pruned.Tail.FloatAt(i) != want[i].Score {
+				t.Fatalf("q=%v rank %d: got (%d, %v), want (%d, %v)",
+					q, i, pruned.Head.OIDAt(i), pruned.Tail.FloatAt(i), want[i].Doc, want[i].Score)
+			}
+		}
+	}
+}
+
+// e11CanonicalTopK computes the exhaustive ranking serially with the
+// canonical fold and tie order.
+func e11CanonicalTopK(ix *e11Index, q []bat.OID, k int) []ir.Ranked {
+	old := bat.SetParallelism(1)
+	defer bat.SetParallelism(old)
+	beliefs, counts, err := bat.GetBL(ix.revTerm, ix.doc, ix.bel, q)
+	if err != nil {
+		panic(err)
+	}
+	scores, err := bat.SumBeliefs(beliefs, counts, len(q), ir.DefaultBelief)
+	if err != nil {
+		panic(err)
+	}
+	s := make(ir.Scores, ix.n)
+	for i := 0; i < scores.Len(); i++ {
+		s[uint64(scores.Head.OIDAt(i))] = scores.Tail.FloatAt(i)
+	}
+	base := float64(len(q)) * ir.DefaultBelief
+	for d := 0; d < ix.n; d++ {
+		if _, ok := s[uint64(d)]; !ok {
+			s[uint64(d)] = base
+		}
+	}
+	return ir.Rank(s, k)
+}
+
+// TestEmitQueryBenchJSON measures p50 query latency of both paths and, when
+// BENCH_QUERIES_JSON names a file, writes the numbers there (the CI
+// bench-smoke job archives it as the perf trajectory).
+func TestEmitQueryBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_QUERIES_JSON")
+	if path == "" {
+		t.Skip("BENCH_QUERIES_JSON not set")
+	}
+	ix := mkE11Index(e11N())
+	qs := e11Queries(ix)
+	const k = 10
+	medianNs := func(run func(q []bat.OID) error) int64 {
+		perQuery := make([]int64, 0, len(qs))
+		for _, q := range qs {
+			best := int64(math.MaxInt64)
+			for rep := 0; rep < 3; rep++ {
+				t0 := time.Now()
+				if err := run(q); err != nil {
+					t.Fatal(err)
+				}
+				if d := time.Since(t0).Nanoseconds(); d < best {
+					best = d
+				}
+			}
+			perQuery = append(perQuery, best)
+		}
+		sort.Slice(perQuery, func(i, j int) bool { return perQuery[i] < perQuery[j] })
+		return perQuery[len(perQuery)/2]
+	}
+	exh := medianNs(func(q []bat.OID) error { _, err := e11Exhaustive(ix, q, k); return err })
+	prn := medianNs(func(q []bat.OID) error { _, err := e11Pruned(ix, q, k); return err })
+	out := map[string]any{
+		"experiment":        "E11",
+		"n_docs":            ix.n,
+		"k":                 k,
+		"queries":           len(qs),
+		"p50_exhaustive_ns": exh,
+		"p50_pruned_ns":     prn,
+		"speedup":           fmt.Sprintf("%.1f", float64(exh)/float64(prn)),
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("E11 n=%d k=%d: exhaustive p50 %.2fms, pruned p50 %.3fms (%.1fx)",
+		ix.n, k, float64(exh)/1e6, float64(prn)/1e6, float64(exh)/float64(prn))
+}
+
+// BenchmarkScoresPooling quantifies the sync.Pool satellite: the same
+// #sum combination with pooled Scores maps (the production path, maps
+// released after use) vs fresh map allocation per query.
+func BenchmarkScoresPooling(b *testing.B) {
+	mk := func(n int, pooled bool) ir.Scores {
+		var s ir.Scores
+		if pooled {
+			s = ir.NewScores()
+		} else {
+			s = make(ir.Scores)
+		}
+		for d := 0; d < n; d++ {
+			s[uint64(d)] = 0.4 + float64(d%100)/250
+		}
+		return s
+	}
+	const n = 20000
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a, c := mk(n, true), mk(n, true)
+			out, err := ir.CombineSum([]ir.Scores{a, c}, []float64{0.4, 0.4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ir.ReleaseScores(a)
+			ir.ReleaseScores(c)
+			ir.ReleaseScores(out)
+		}
+	})
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a, c := mk(n, false), mk(n, false)
+			out := make(ir.Scores, len(a))
+			for d := range a {
+				out[d] = (a[d] + c[d]) / 2
+			}
+			_ = out
+		}
+	})
+}

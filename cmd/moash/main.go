@@ -11,6 +11,9 @@
 //	\dual <text>                 dual-coding retrieval via the thesaurus
 //	\terms <text>                thesaurus expansion of a text query
 //	\q <w1> <w2> ...             set the `query` parameter terms
+//	\topk <n>                    ranked cut for ad-hoc queries (pushed
+//	                             into the plan optimizer; 0 = full result)
+//	\plan <query;>               show the optimised logical plan
 //	\mil                         toggle MIL display
 //	\milrun <stmt;>              execute raw MIL against the stored BATs
 //	                             (bindings persist across \milrun lines;
@@ -78,6 +81,7 @@ func repl(m *core.Mirror) {
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	showMIL := false
+	topK := 0
 	var milEnv *mil.Env
 	var queryTerms []string
 	fmt.Println(`moash: the Mirror DBMS Moa shell — \help for commands`)
@@ -101,6 +105,8 @@ func repl(m *core.Mirror) {
 			fmt.Println("  \\terms <text>       thesaurus expansion")
 			fmt.Println("  \\q w1 w2 ...        set query terms")
 			fmt.Println("  \\mil                toggle MIL program display")
+			fmt.Println("  \\plan <query;>      show the optimised logical plan")
+			fmt.Println("  \\topk <n>           rank cut for ad-hoc queries (0 = full result)")
 			fmt.Println("  \\milrun <stmt;>     run raw MIL against the stored BATs (see docs/MIL.md)")
 			fmt.Println("  \\sets               list sets")
 			fmt.Println("  \\quit")
@@ -123,6 +129,25 @@ func repl(m *core.Mirror) {
 		case strings.HasPrefix(line, `\q `):
 			queryTerms = strings.Fields(strings.TrimPrefix(line, `\q `))
 			fmt.Printf("query terms: %v\n", queryTerms)
+		case strings.HasPrefix(line, `\topk `):
+			if _, err := fmt.Sscanf(strings.TrimPrefix(line, `\topk `), "%d", &topK); err != nil {
+				fmt.Printf("error: %v\n", err)
+			} else {
+				fmt.Printf("top-k cut: %d\n", topK)
+			}
+		case strings.HasPrefix(line, `\plan `):
+			var params map[string]moa.Param
+			if queryTerms != nil {
+				params = ir.QueryParams(queryTerms)
+			}
+			eng := &moa.Engine{DB: m.Eng.DB, Opts: m.Eng.Opts}
+			eng.Opts.TopK = topK
+			plan, err := eng.Explain(strings.TrimPrefix(line, `\plan `), params)
+			if err != nil {
+				fmt.Printf("error: %v\n", err)
+			} else {
+				fmt.Print(plan)
+			}
 		case strings.HasPrefix(line, `\rank `):
 			hits, err := m.QueryAnnotations(strings.TrimPrefix(line, `\rank `), 10)
 			printHits(hits, err)
@@ -138,17 +163,21 @@ func repl(m *core.Mirror) {
 				fmt.Printf("error: %v\n", err)
 			}
 		default:
-			runQuery(m, line, queryTerms, showMIL)
+			runQuery(m, line, queryTerms, showMIL, topK)
 		}
 	}
 }
 
-func runQuery(m *core.Mirror, src string, queryTerms []string, showMIL bool) {
+func runQuery(m *core.Mirror, src string, queryTerms []string, showMIL bool, topK int) {
 	var params map[string]moa.Param
 	if queryTerms != nil {
 		params = ir.QueryParams(queryTerms)
 	}
-	c, err := m.Eng.Compile(src, params)
+	eng := &moa.Engine{DB: m.Eng.DB, Opts: m.Eng.Opts}
+	if topK > 0 {
+		eng.Opts.TopK = topK
+	}
+	c, err := eng.Compile(src, params)
 	if err != nil {
 		fmt.Printf("error: %v\n", err)
 		return

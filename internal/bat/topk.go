@@ -1,0 +1,611 @@
+package bat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// This file is the pruned ranked-retrieval operator of the physical layer:
+// document-at-a-time max-score (WAND-family) evaluation over term-ordered
+// postings with per-term belief upper bounds, feeding a bounded k-heap.
+// Where GetBL + SumBeliefs + a full sort score and order the whole match
+// set (O(matches + N log N) once the logical layer fills in defaults for
+// the entire collection), PrunedTopK visits only documents whose score
+// *could* enter the current top k and returns the cut directly:
+// O(matches · log k) with skipping, never a collection-sized intermediate.
+//
+// The operator consumes the term-ordered postings representation CONTREP's
+// Finalize derives (internal/ir):
+//
+//	start  [termOID(void), int]  postings offset per term, nterms+1 entries
+//	doc    [void, docOID]        postings sorted by (term, doc asc)
+//	belief [void, flt]           beliefs aligned with doc
+//	maxbel [termOID(void), flt]  per-term maximum belief (the bound)
+//
+// Determinism contract: the returned ranking is BUN-for-BUN identical to
+// exhaustively scoring every document with the *serial* fold
+//
+//	score(d) = Σ_{qi asc, matched} bel(q[qi], d) + (qlen − matched)·def
+//
+// (exactly SumBeliefs' arithmetic), ordering by score descending with OID
+// ascending ties, and cutting at k. Candidate scores are computed with that
+// fold verbatim; pruning bounds are padded by boundSlack so floating-point
+// reassociation in the bound arithmetic can never skip a true top-k
+// document. Parallel and serial execution return identical BUNs: partitions
+// only decide which documents are *considered*, every returned score is the
+// same canonical fold.
+
+// boundSlack pads every pruning-bound comparison. Bounds are sums of at
+// most a few hundred beliefs in [0,1], so their rounding error is < 1e-10;
+// padding by 1e-9 keeps the bound a true upper bound of the exactly-folded
+// score while costing only the occasional extra candidate evaluation.
+const boundSlack = 1e-9
+
+// postingsView validates and unwraps the four postings columns.
+type postingsView struct {
+	start []int64
+	docs  []OID
+	bels  []float64
+	maxb  []float64
+}
+
+// newPostingsView validates and unwraps the postings columns. maxBel may
+// be nil for consumers that only read posting lists (Postings). These
+// columns can arrive from arbitrary MIL programs, so every offset is
+// checked: a malformed start column must produce an error, never an
+// out-of-range panic that kills the shell or server.
+func newPostingsView(start, postDoc, postBel, maxBel *BAT) (*postingsView, error) {
+	if start.Tail.Kind() != KindInt {
+		return nil, fmt.Errorf("bat: prunedtopk: start tail must be int, got %s", start.Tail.Kind())
+	}
+	if postDoc.Tail.Kind() != KindOID || postBel.Tail.Kind() != KindFloat {
+		return nil, fmt.Errorf("bat: prunedtopk: postings columns must be [void,oid]/[void,flt]")
+	}
+	pv := &postingsView{
+		start: start.Tail.Ints(),
+		docs:  postDoc.Tail.OIDs(),
+		bels:  postBel.Tail.Floats(),
+	}
+	if len(pv.start) == 0 {
+		return nil, fmt.Errorf("bat: prunedtopk: start column is empty (run Finalize)")
+	}
+	if maxBel != nil {
+		if maxBel.Tail.Kind() != KindFloat {
+			return nil, fmt.Errorf("bat: prunedtopk: maxbel tail must be flt, got %s", maxBel.Tail.Kind())
+		}
+		pv.maxb = maxBel.Tail.Floats()
+		if len(pv.start)-1 != len(pv.maxb) {
+			return nil, fmt.Errorf("bat: prunedtopk: %d maxbel bounds for %d terms", len(pv.maxb), len(pv.start)-1)
+		}
+	}
+	total := pv.start[len(pv.start)-1]
+	if int(total) != len(pv.docs) || len(pv.docs) != len(pv.bels) {
+		return nil, fmt.Errorf("bat: prunedtopk: postings misaligned (%d offsets end, %d docs, %d beliefs)",
+			total, len(pv.docs), len(pv.bels))
+	}
+	if pv.start[0] < 0 {
+		return nil, fmt.Errorf("bat: prunedtopk: negative postings offset %d", pv.start[0])
+	}
+	for i := 0; i+1 < len(pv.start); i++ {
+		if pv.start[i] > pv.start[i+1] {
+			return nil, fmt.Errorf("bat: prunedtopk: postings offsets not monotone at term %d (%d > %d)",
+				i, pv.start[i], pv.start[i+1])
+		}
+	}
+	return pv, nil
+}
+
+// nterms reports the number of terms the offsets describe.
+func (pv *postingsView) nterms() int { return len(pv.start) - 1 }
+
+// termRange returns the posting range of term t ([lo,hi) into docs/bels);
+// out-of-range terms get an empty range (they behave as always-unmatched,
+// like an in-dictionary term no document contains).
+func (pv *postingsView) termRange(t OID) (lo, hi int) {
+	if int64(t) < 0 || int(t) >= pv.nterms() {
+		return 0, 0
+	}
+	return int(pv.start[t]), int(pv.start[t+1])
+}
+
+// Postings returns one term's posting list as [docOID, belief], doc
+// ascending — the postings-access operator the MIL surface exposes.
+func Postings(start, postDoc, postBel *BAT, t OID) (*BAT, error) {
+	pv, err := newPostingsView(start, postDoc, postBel, nil)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := pv.termRange(t)
+	out := New(KindOID, KindFloat)
+	out.Head.oids = append([]OID(nil), pv.docs[lo:hi]...)
+	out.Tail.flts = append([]float64(nil), pv.bels[lo:hi]...)
+	out.HSorted, out.HKey = true, true
+	return out, nil
+}
+
+// ---- the bounded k-heap ----
+
+// worseHit reports whether (s1,d1) ranks strictly after (s2,d2) under the
+// ranked-retrieval order: score descending, OID ascending on ties.
+func worseHit(s1 float64, d1 OID, s2 float64, d2 OID) bool {
+	if s1 != s2 {
+		return s1 < s2
+	}
+	return d1 > d2
+}
+
+// BoundedTopK is a bounded best-k selector: Offer any number of elements,
+// it retains the k best under the strict total order worse(a,b) == "a
+// ranks after b". Internally a binary min-heap whose root is the current
+// worst retained element, so selection costs O(N log k). The comparator
+// being a total order makes the retained set independent of offer order.
+// Every ranking cut in the system (the pruned retrieval operator, ir.Rank,
+// core's row ranking) runs on this one implementation.
+type BoundedTopK[T any] struct {
+	worse func(a, b T) bool
+	items []T
+	k     int
+}
+
+// NewBoundedTopK returns a selector for the k best elements.
+func NewBoundedTopK[T any](k int, worse func(a, b T) bool) *BoundedTopK[T] {
+	cap := k
+	if cap > 1024 {
+		cap = 1024
+	}
+	return &BoundedTopK[T]{k: k, worse: worse, items: make([]T, 0, cap)}
+}
+
+// Full reports whether k elements are retained.
+func (h *BoundedTopK[T]) Full() bool { return len(h.items) >= h.k }
+
+// Worst returns the worst retained element; ok is false while empty.
+func (h *BoundedTopK[T]) Worst() (v T, ok bool) {
+	if len(h.items) == 0 {
+		return v, false
+	}
+	return h.items[0], true
+}
+
+// Offer retains v if it belongs in the top k.
+func (h *BoundedTopK[T]) Offer(v T) {
+	if h.Full() {
+		if !h.worse(h.items[0], v) {
+			return
+		}
+		h.items[0] = v
+		h.siftDown(0)
+		return
+	}
+	h.items = append(h.items, v)
+	for i := len(h.items) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !h.worse(h.items[i], h.items[p]) {
+			break
+		}
+		h.items[i], h.items[p] = h.items[p], h.items[i]
+		i = p
+	}
+}
+
+func (h *BoundedTopK[T]) siftDown(i int) {
+	n := len(h.items)
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < n && h.worse(h.items[l], h.items[m]) {
+			m = l
+		}
+		if r < n && h.worse(h.items[r], h.items[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h.items[i], h.items[m] = h.items[m], h.items[i]
+		i = m
+	}
+}
+
+// Items returns the retained elements in heap (unspecified) order.
+func (h *BoundedTopK[T]) Items() []T { return h.items }
+
+// Ranked sorts the retained elements best-first and returns them; the
+// selector must not be Offered to afterwards.
+func (h *BoundedTopK[T]) Ranked() []T {
+	sort.Slice(h.items, func(i, j int) bool { return h.worse(h.items[j], h.items[i]) })
+	return h.items
+}
+
+// topkCand is the pruned operator's heap element.
+type topkCand struct {
+	doc   OID
+	score float64
+}
+
+func worseCand(a, b topkCand) bool { return worseHit(a.score, a.doc, b.score, b.doc) }
+
+// ---- shared threshold across partitions ----
+
+// sharedTheta is a monotonically rising score lower bound shared by all
+// partitions: each publishes its local k-th best, and any partition's k-th
+// best within its candidate subset is ≤ the global k-th best, so skipping
+// bound+slack ≤ θ can never drop a true top-k document.
+type sharedTheta struct{ bits atomic.Uint64 }
+
+func newSharedTheta() *sharedTheta {
+	t := &sharedTheta{}
+	t.bits.Store(math.Float64bits(math.Inf(-1)))
+	return t
+}
+
+func (t *sharedTheta) load() float64 { return math.Float64frombits(t.bits.Load()) }
+
+func (t *sharedTheta) raise(v float64) {
+	for {
+		old := t.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if t.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// ---- the operator ----
+
+// qterm is one query term's scan state within a partition.
+type qterm struct {
+	qi     int     // position in the original query (the canonical fold order)
+	cur    int     // next unread posting position (also the search start)
+	hi     int     // partition-local end of the term's posting range
+	ub     float64 // upper bound on the term's score surplus over the default
+	weight float64 // per-term weight (1 in unweighted mode)
+}
+
+// PrunedTopK returns the top k documents of the query under the
+// inference-network sum (weights == nil) or weighted sum (weights != nil,
+// all ≥ 0) score, as [docOID, flt] ordered score descending / OID
+// ascending, cut at k.
+//
+// Unweighted mode reproduces the full logical pipeline getbl + fill + rank:
+// documents matching no query term score qlen·def and are merged in (by
+// ascending OID) when the match set cannot fill the top k alone; domain
+// supplies their OIDs and must enumerate them ascending. Weighted mode
+// reproduces WSumBeliefs + rank: only matching documents appear, domain may
+// be nil.
+func PrunedTopK(start, postDoc, postBel, maxBel *BAT, query []OID, weights []float64, def float64, k int, domain *BAT) (*BAT, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("bat: prunedtopk: k must be positive, got %d", k)
+	}
+	pv, err := newPostingsView(start, postDoc, postBel, maxBel)
+	if err != nil {
+		return nil, err
+	}
+	weighted := weights != nil
+	if weighted {
+		if len(weights) != len(query) {
+			return nil, fmt.Errorf("bat: prunedtopk: %d terms vs %d weights", len(query), len(weights))
+		}
+		for _, w := range weights {
+			if w < 0 {
+				return nil, fmt.Errorf("bat: prunedtopk: negative weight %v (use the exhaustive path)", w)
+			}
+		}
+	} else if domain == nil {
+		return nil, fmt.Errorf("bat: prunedtopk: unweighted mode needs a domain for default-scored documents")
+	}
+
+	// fillBase is the score of a document matching nothing, in the exact
+	// arithmetic of the exhaustive path (count(q)·def resp. wtot·def).
+	var fillBase float64
+	if weighted {
+		wtot := 0.0
+		for _, w := range weights {
+			wtot += w
+		}
+		fillBase = wtot * def
+	} else {
+		fillBase = float64(len(query)) * def
+	}
+
+	// Resolve term ranges once; partition the *document space* so each
+	// worker owns a contiguous OID range of every posting list.
+	ranges := make([]postingRange, len(query))
+	maxDoc := OID(0)
+	totalPostings := 0
+	for i, t := range query {
+		lo, hi := pv.termRange(t)
+		ranges[i] = postingRange{lo, hi}
+		totalPostings += hi - lo
+		if hi > lo && pv.docs[hi-1] > maxDoc {
+			maxDoc = pv.docs[hi-1]
+		}
+	}
+
+	nPar := Parallelism()
+	theta := newSharedTheta()
+	var heaps []*BoundedTopK[topkCand]
+	if useParallel(totalPostings) && nPar > 1 {
+		// Document-range partitions: per-partition max-score with local
+		// heaps plus the shared rising threshold, merged below.
+		bounds := make([]OID, 0, nPar+1)
+		span := uint64(maxDoc) + 1
+		for c := 0; c <= nPar; c++ {
+			bounds = append(bounds, OID(span*uint64(c)/uint64(nPar)))
+		}
+		heaps = make([]*BoundedTopK[topkCand], nPar)
+		runChunks(chunkRanges(nPar, nPar), func(_, lo, hi int) {
+			for c := lo; c < hi; c++ {
+				h := NewBoundedTopK(k, worseCand)
+				terms := make([]qterm, len(query))
+				for i := range query {
+					w := 1.0
+					if weighted {
+						w = weights[i]
+					}
+					tlo := searchDocFrom(pv.docs, ranges[i].lo, ranges[i].hi, bounds[c])
+					thi := searchDocFrom(pv.docs, tlo, ranges[i].hi, bounds[c+1])
+					terms[i] = qterm{qi: i, cur: tlo, hi: thi, weight: w}
+				}
+				maxscoreScan(pv, terms, query, weights, def, fillBase, h, theta)
+				heaps[c] = h
+			}
+		})
+	} else {
+		h := NewBoundedTopK(k, worseCand)
+		terms := make([]qterm, len(query))
+		for i := range query {
+			w := 1.0
+			if weighted {
+				w = weights[i]
+			}
+			terms[i] = qterm{qi: i, cur: ranges[i].lo, hi: ranges[i].hi, weight: w}
+		}
+		maxscoreScan(pv, terms, query, weights, def, fillBase, h, theta)
+		heaps = []*BoundedTopK[topkCand]{h}
+	}
+
+	// Merge the per-partition candidates; the full exact scores make the
+	// selection deterministic regardless of partitioning.
+	merged := NewBoundedTopK(k, worseCand)
+	for _, h := range heaps {
+		for _, c := range h.Items() {
+			merged.Offer(c)
+		}
+	}
+	ranked := merged.Ranked()
+	resDocs := make([]OID, 0, k)
+	resScores := make([]float64, 0, k)
+	for _, c := range ranked {
+		resDocs = append(resDocs, c.doc)
+		resScores = append(resScores, c.score)
+	}
+
+	if !weighted {
+		resDocs, resScores = fillDefaults(pv, ranges, domain, fillBase, k, resDocs, resScores)
+	}
+
+	out := New(KindOID, KindFloat)
+	out.Head.oids = resDocs
+	out.Tail.flts = resScores
+	out.HKey = true
+	return out, nil
+}
+
+// maxscoreScan runs the max-score loop over one document partition: the
+// essential terms (largest bounds) are merged document-at-a-time; the
+// non-essential tail is probed by binary search only while a document's
+// score bound still clears the threshold.
+func maxscoreScan(pv *postingsView, terms []qterm, query []OID, weights []float64, def, fillBase float64, h *BoundedTopK[topkCand], theta *sharedTheta) {
+	m := len(terms)
+	if m == 0 {
+		return
+	}
+	for i := range terms {
+		t := query[terms[i].qi]
+		ub := 0.0
+		if lo, hi := pv.termRange(t); hi > lo {
+			mb := pv.maxb[t]
+			if mb < def {
+				mb = def
+			}
+			ub = terms[i].weight * (mb - def)
+		}
+		terms[i].ub = ub
+	}
+	// Bound-descending order; suffixUB[j] bounds the surplus of terms
+	// perm[j:]. Essential prefix perm[:e]: a document absent from all of it
+	// is bounded by fillBase+suffixUB[e].
+	perm := make([]int, m)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return terms[perm[a]].ub > terms[perm[b]].ub })
+	suffixUB := make([]float64, m+1)
+	for j := m - 1; j >= 0; j-- {
+		suffixUB[j] = suffixUB[j+1] + terms[perm[j]].ub
+	}
+	e := m
+
+	// Per-candidate scratch, stamped instead of cleared.
+	fbel := make([]float64, m)
+	stamp := make([]int, m)
+	cur := 0
+
+	shrink := func(th float64) {
+		for e > 0 && fillBase+suffixUB[e-1]+boundSlack <= th {
+			e--
+		}
+	}
+
+	threshold := func() float64 {
+		if w, ok := h.Worst(); ok && h.Full() {
+			return w.score
+		}
+		return math.Inf(-1)
+	}
+	for {
+		th := threshold()
+		if g := theta.load(); g > th {
+			th = g
+		}
+		if h.Full() {
+			shrink(th)
+		}
+		// Next candidate: the smallest current document among essential terms.
+		best := OID(math.MaxUint64)
+		found := false
+		for j := 0; j < e; j++ {
+			qt := &terms[perm[j]]
+			if qt.cur < qt.hi {
+				if d := pv.docs[qt.cur]; !found || d < best {
+					best, found = d, true
+				}
+			}
+		}
+		if !found {
+			return
+		}
+		cur++
+		known := 0.0
+		for j := 0; j < e; j++ {
+			qt := &terms[perm[j]]
+			if qt.cur < qt.hi && pv.docs[qt.cur] == best {
+				bel := pv.bels[qt.cur]
+				fbel[qt.qi], stamp[qt.qi] = bel, cur
+				known += qt.weight * (bel - def)
+				qt.cur++
+			}
+		}
+		bound := fillBase + known + suffixUB[e]
+		if h.Full() && bound+boundSlack <= th {
+			continue
+		}
+		pruned := false
+		for j := e; j < m; j++ {
+			qt := &terms[perm[j]]
+			bound -= qt.ub
+			if pos := searchDocFrom(pv.docs, qt.cur, qt.hi, best); pos < qt.hi && pv.docs[pos] == best {
+				bel := pv.bels[pos]
+				fbel[qt.qi], stamp[qt.qi] = bel, cur
+				bound += qt.weight * (bel - def)
+				qt.cur = pos + 1
+			} else {
+				qt.cur = pos
+			}
+			if h.Full() && bound+boundSlack <= th {
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			continue
+		}
+		// The canonical fold, exactly as SumBeliefs / WSumBeliefs compute it.
+		score := 0.0
+		if weights == nil {
+			matched := 0
+			for qi := 0; qi < m; qi++ {
+				if stamp[qi] == cur {
+					score += fbel[qi]
+					matched++
+				}
+			}
+			score += float64(m-matched) * def
+		} else {
+			for qi := 0; qi < m; qi++ {
+				if stamp[qi] == cur {
+					score += weights[qi] * (fbel[qi] - def)
+				}
+			}
+			score += fillBase
+		}
+		h.Offer(topkCand{doc: best, score: score})
+		if h.Full() {
+			theta.raise(threshold())
+		}
+	}
+}
+
+// searchDocFrom finds the first position in docs[lo:hi) with docs[pos] >= d.
+func searchDocFrom(docs []OID, lo, hi int, d OID) int {
+	return lo + sort.Search(hi-lo, func(i int) bool { return docs[lo+i] >= d })
+}
+
+// postingRange is one query term's [lo,hi) slice of the postings columns.
+type postingRange struct{ lo, hi int }
+
+// fillDefaults merges default-scored (unmatched) documents into a ranked
+// result when they can still enter the top k: they all score fillBase and
+// tie-break by ascending OID, so the walk stops at the first one that no
+// longer beats the tail.
+func fillDefaults(pv *postingsView, ranges []postingRange, domain *BAT, fillBase float64, k int, docs []OID, scores []float64) ([]OID, []float64) {
+	if len(docs) == k && scores[len(scores)-1] > fillBase {
+		// The current tail strictly beats any default-scored document; on a
+		// tie the walk below still runs, because a smaller unmatched OID wins.
+		return docs, scores
+	}
+	// Matched-document membership, sized by the larger of postings max and
+	// domain max; sparse OID spaces fall back to a map.
+	n := domain.Len()
+	maxDoc := OID(0)
+	for _, r := range ranges {
+		if r.hi > r.lo && pv.docs[r.hi-1] > maxDoc {
+			maxDoc = pv.docs[r.hi-1]
+		}
+	}
+	if n > 0 {
+		if d := domain.Head.OIDAt(n - 1); d > maxDoc {
+			maxDoc = d
+		}
+	}
+	var dense []bool
+	var sparse map[OID]struct{}
+	if uint64(maxDoc) < uint64(4*n+1024) {
+		dense = make([]bool, maxDoc+1)
+	} else {
+		sparse = make(map[OID]struct{})
+	}
+	mark := func(d OID) {
+		if dense != nil {
+			dense[d] = true
+		} else {
+			sparse[d] = struct{}{}
+		}
+	}
+	marked := func(d OID) bool {
+		if dense != nil {
+			return uint64(d) < uint64(len(dense)) && dense[d]
+		}
+		_, ok := sparse[d]
+		return ok
+	}
+	for _, r := range ranges {
+		for p := r.lo; p < r.hi; p++ {
+			mark(pv.docs[p])
+		}
+	}
+	for i := 0; i < n; i++ {
+		d := domain.Head.OIDAt(i)
+		if marked(d) {
+			continue
+		}
+		if len(docs) >= k {
+			if !worseHit(scores[len(scores)-1], docs[len(docs)-1], fillBase, d) {
+				break // every later unmatched doc is worse still
+			}
+			docs, scores = docs[:len(docs)-1], scores[:len(scores)-1]
+		}
+		// Insert (d, fillBase) keeping rank order.
+		pos := sort.Search(len(docs), func(j int) bool { return worseHit(scores[j], docs[j], fillBase, d) })
+		docs = append(docs, 0)
+		scores = append(scores, 0)
+		copy(docs[pos+1:], docs[pos:])
+		copy(scores[pos+1:], scores[pos:])
+		docs[pos], scores[pos] = d, fillBase
+	}
+	return docs, scores
+}

@@ -1,0 +1,342 @@
+package bat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// synthIndex is a term-ordered postings fixture mirroring what CONTREP's
+// Finalize derives: start/doc/belief/maxbel columns over nterms terms.
+type synthIndex struct {
+	nterms, ndocs int
+	start         *BAT
+	doc           *BAT
+	bel           *BAT
+	maxb          *BAT
+	domain        *BAT
+	// perDoc[d][t] = belief of term t in doc d (absent → unmatched)
+	perDoc []map[OID]float64
+}
+
+// mkSynthIndex generates a random corpus. dupEvery > 0 duplicates every
+// dupEvery-th document's postings from its predecessor, manufacturing
+// exactly tied scores; belief values are drawn from a tiny set so unrelated
+// ties happen too.
+func mkSynthIndex(rng *rand.Rand, nterms, ndocs, maxTermsPerDoc, dupEvery int) *synthIndex {
+	const def = 0.4
+	beliefLevels := []float64{def, 0.41, 0.55, 0.75, 0.97}
+	si := &synthIndex{nterms: nterms, ndocs: ndocs, perDoc: make([]map[OID]float64, ndocs)}
+	for d := 0; d < ndocs; d++ {
+		m := map[OID]float64{}
+		if dupEvery > 0 && d > 0 && d%dupEvery == 0 {
+			for t, b := range si.perDoc[d-1] {
+				m[t] = b
+			}
+		} else {
+			for i := 0; i < rng.Intn(maxTermsPerDoc+1); i++ {
+				t := OID(rng.Intn(nterms))
+				m[t] = beliefLevels[rng.Intn(len(beliefLevels))]
+			}
+		}
+		si.perDoc[d] = m
+	}
+	// scatter into term-ordered postings
+	type post struct {
+		d OID
+		b float64
+	}
+	byTerm := make([][]post, nterms)
+	for d := 0; d < ndocs; d++ {
+		for t, b := range si.perDoc[d] {
+			byTerm[t] = append(byTerm[t], post{OID(d), b})
+		}
+	}
+	si.start = NewDense(0, KindInt)
+	si.doc = NewDense(0, KindOID)
+	si.bel = NewDense(0, KindFloat)
+	si.maxb = NewDense(0, KindFloat)
+	si.domain = New(KindVoid, KindVoid)
+	off := int64(0)
+	for t := 0; t < nterms; t++ {
+		si.start.MustAppend(OID(t), off)
+		mx := 0.0
+		for _, p := range byTerm[t] { // doc ascending by construction
+			si.doc.MustAppend(OID(off), p.d)
+			si.bel.MustAppend(OID(off), p.b)
+			if p.b > mx {
+				mx = p.b
+			}
+			off++
+		}
+		si.maxb.MustAppend(OID(t), mx)
+	}
+	si.start.MustAppend(OID(nterms), off)
+	for d := 0; d < ndocs; d++ {
+		si.domain.MustAppend(OID(d), OID(d))
+	}
+	return si
+}
+
+// refTopK is the exhaustive reference: score every domain document with the
+// canonical fold, sort fully, cut at k.
+func (si *synthIndex) refTopK(query []OID, weights []float64, def float64, k int) ([]OID, []float64) {
+	type hit struct {
+		d OID
+		s float64
+	}
+	var hits []hit
+	wtot := 0.0
+	for _, w := range weights {
+		wtot += w
+	}
+	for d := 0; d < si.ndocs; d++ {
+		sum, matched := 0.0, 0
+		for qi, t := range query {
+			var bel float64
+			ok := false
+			if int(t) < si.nterms {
+				bel, ok = si.perDoc[d][t]
+			}
+			if !ok {
+				continue
+			}
+			if weights == nil {
+				sum += bel
+			} else {
+				sum += weights[qi] * (bel - def)
+			}
+			matched++
+		}
+		if weights == nil {
+			hits = append(hits, hit{OID(d), sum + float64(len(query)-matched)*def})
+		} else if matched > 0 {
+			hits = append(hits, hit{OID(d), sum + wtot*def})
+		}
+	}
+	// selection sort order: score desc, OID asc (insertion via worseHit)
+	for i := 1; i < len(hits); i++ {
+		for j := i; j > 0 && worseHit(hits[j-1].s, hits[j-1].d, hits[j].s, hits[j].d); j-- {
+			hits[j-1], hits[j] = hits[j], hits[j-1]
+		}
+	}
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	docs := make([]OID, len(hits))
+	scores := make([]float64, len(hits))
+	for i, h := range hits {
+		docs[i], scores[i] = h.d, h.s
+	}
+	return docs, scores
+}
+
+func checkTopK(t *testing.T, si *synthIndex, query []OID, weights []float64, k int) {
+	t.Helper()
+	const def = 0.4
+	got, err := PrunedTopK(si.start, si.doc, si.bel, si.maxb, query, weights, def, k, si.domain)
+	if err != nil {
+		t.Fatalf("PrunedTopK: %v", err)
+	}
+	wantD, wantS := si.refTopK(query, weights, def, k)
+	if got.Len() != len(wantD) {
+		t.Fatalf("k=%d q=%v: got %d hits, want %d", k, query, got.Len(), len(wantD))
+	}
+	for i := 0; i < got.Len(); i++ {
+		if got.Head.OIDAt(i) != wantD[i] || got.Tail.FloatAt(i) != wantS[i] {
+			t.Fatalf("k=%d q=%v rank %d: got (%d, %v), want (%d, %v)",
+				k, query, i, got.Head.OIDAt(i), got.Tail.FloatAt(i), wantD[i], wantS[i])
+		}
+	}
+}
+
+// TestPrunedTopKMatchesExhaustive is the differential property test: over
+// random corpora (including duplicated documents, i.e. exact score ties,
+// and out-of-vocabulary query terms) the pruned operator returns
+// BUN-for-BUN the exhaustive ranking.
+func TestPrunedTopKMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := []struct{ nterms, ndocs, perDoc, dup int }{
+		{1, 1, 1, 0},
+		{5, 20, 3, 0},
+		{12, 200, 6, 3},
+		{50, 2000, 8, 5},
+	}
+	for _, sh := range shapes {
+		si := mkSynthIndex(rng, sh.nterms, sh.ndocs, sh.perDoc, sh.dup)
+		for trial := 0; trial < 8; trial++ {
+			qlen := rng.Intn(6)
+			query := make([]OID, qlen)
+			for i := range query {
+				if rng.Intn(8) == 0 {
+					query[i] = OID(sh.nterms + rng.Intn(3)) // OOV
+				} else {
+					query[i] = OID(rng.Intn(sh.nterms))
+				}
+			}
+			if qlen > 1 && rng.Intn(3) == 0 {
+				query[1] = query[0] // duplicate term
+			}
+			for _, k := range []int{1, 3, sh.ndocs, sh.ndocs + 7} {
+				checkTopK(t, si, query, nil, k)
+				weights := make([]float64, qlen)
+				for i := range weights {
+					weights[i] = float64(rng.Intn(4)) * 0.5 // includes zero weights
+				}
+				checkTopK(t, si, query, weights, k)
+			}
+		}
+	}
+}
+
+// TestPrunedTopKParallelIdentical pins the determinism contract: the
+// parallel partitioned scan returns exactly the serial result.
+func TestPrunedTopKParallelIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	si := mkSynthIndex(rng, 40, 5000, 8, 4)
+	query := []OID{1, 3, 3, 7, 39}
+	const def = 0.4
+	for _, k := range []int{1, 10, 200} {
+		oldPar := SetParallelism(1)
+		serial, err := PrunedTopK(si.start, si.doc, si.bel, si.maxb, query, nil, def, k, si.domain)
+		SetParallelism(4)
+		oldThr := SetParallelThreshold(1)
+		par, err2 := PrunedTopK(si.start, si.doc, si.bel, si.maxb, query, nil, def, k, si.domain)
+		SetParallelism(oldPar)
+		SetParallelThreshold(oldThr)
+		if err != nil || err2 != nil {
+			t.Fatalf("errors: %v / %v", err, err2)
+		}
+		if serial.Len() != par.Len() {
+			t.Fatalf("k=%d: serial %d hits, parallel %d", k, serial.Len(), par.Len())
+		}
+		for i := 0; i < serial.Len(); i++ {
+			if serial.Head.OIDAt(i) != par.Head.OIDAt(i) || serial.Tail.FloatAt(i) != par.Tail.FloatAt(i) {
+				t.Fatalf("k=%d rank %d: serial (%d,%v) vs parallel (%d,%v)", k, i,
+					serial.Head.OIDAt(i), serial.Tail.FloatAt(i), par.Head.OIDAt(i), par.Tail.FloatAt(i))
+			}
+		}
+	}
+}
+
+func TestPrunedTopKEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	si := mkSynthIndex(rng, 8, 50, 4, 0)
+	// empty query: every document scores 0, ranking is OID ascending
+	got, err := PrunedTopK(si.start, si.doc, si.bel, si.maxb, nil, nil, 0.4, 5, si.domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 5 {
+		t.Fatalf("empty query: %d hits", got.Len())
+	}
+	for i := 0; i < 5; i++ {
+		if got.Head.OIDAt(i) != OID(i) || got.Tail.FloatAt(i) != 0 {
+			t.Fatalf("empty query rank %d: (%d, %v)", i, got.Head.OIDAt(i), got.Tail.FloatAt(i))
+		}
+	}
+	// invalid k
+	if _, err := PrunedTopK(si.start, si.doc, si.bel, si.maxb, nil, nil, 0.4, 0, si.domain); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	// negative weight rejected (exhaustive fallback territory)
+	if _, err := PrunedTopK(si.start, si.doc, si.bel, si.maxb, []OID{1}, []float64{-1}, 0.4, 3, si.domain); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	// unweighted mode needs a domain
+	if _, err := PrunedTopK(si.start, si.doc, si.bel, si.maxb, []OID{1}, nil, 0.4, 3, nil); err == nil {
+		t.Fatal("nil domain accepted")
+	}
+}
+
+func TestPostingsAccess(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	si := mkSynthIndex(rng, 10, 100, 5, 0)
+	for term := OID(0); term < 10; term++ {
+		got, err := Postings(si.start, si.doc, si.bel, term)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		prev := OID(0)
+		for d := 0; d < si.ndocs; d++ {
+			if b, ok := si.perDoc[d][term]; ok {
+				if got.Head.OIDAt(want) != OID(d) || got.Tail.FloatAt(want) != b {
+					t.Fatalf("term %d posting %d mismatch", term, want)
+				}
+				if want > 0 && got.Head.OIDAt(want) <= prev {
+					t.Fatalf("term %d postings not doc-ascending", term)
+				}
+				prev = got.Head.OIDAt(want)
+				want++
+			}
+		}
+		if got.Len() != want {
+			t.Fatalf("term %d: %d postings, want %d", term, got.Len(), want)
+		}
+	}
+	// out-of-range term → empty list
+	got, err := Postings(si.start, si.doc, si.bel, 99)
+	if err != nil || got.Len() != 0 {
+		t.Fatalf("OOV postings: len=%d err=%v", got.Len(), err)
+	}
+}
+
+// TestPrunedTopKMalformedOffsets: hand-built (MIL-reachable) postings with
+// corrupt offsets must produce an error, never an out-of-range panic that
+// would kill the shell or server.
+func TestPrunedTopKMalformedOffsets(t *testing.T) {
+	mkStart := func(vals ...int64) *BAT {
+		b := NewDense(0, KindInt)
+		for i, v := range vals {
+			b.MustAppend(OID(i), v)
+		}
+		return b
+	}
+	doc := NewDense(0, KindOID)
+	bel := NewDense(0, KindFloat)
+	for i := 0; i < 3; i++ {
+		doc.MustAppend(OID(i), OID(i))
+		bel.MustAppend(OID(i), 0.5)
+	}
+	maxb := NewDense(0, KindFloat)
+	maxb.MustAppend(OID(0), 0.5)
+	maxb.MustAppend(OID(1), 0.5)
+	domain := New(KindVoid, KindVoid)
+	domain.MustAppend(OID(0), OID(0))
+	for _, start := range []*BAT{
+		mkStart(0, 5, 3),  // intermediate offset past the postings
+		mkStart(-1, 2, 3), // negative offset
+		mkStart(2, 1, 3),  // non-monotone
+	} {
+		if _, err := PrunedTopK(start, doc, bel, maxb, []OID{0, 1}, nil, 0.4, 1, domain); err == nil {
+			t.Fatalf("malformed offsets %v accepted", start.Tail.Ints())
+		}
+		if _, err := Postings(start, doc, bel, 0); err == nil {
+			t.Fatalf("malformed offsets %v accepted by postings", start.Tail.Ints())
+		}
+	}
+}
+
+// TestBoundedTopK pins the shared bounded selector: exact best-k under the
+// total order, independent of offer order.
+func TestBoundedTopK(t *testing.T) {
+	worse := func(a, b int) bool { return a < b } // "best" = largest
+	h := NewBoundedTopK(3, worse)
+	for _, v := range []int{5, 1, 9, 3, 7, 2, 8} {
+		h.Offer(v)
+	}
+	got := h.Ranked()
+	want := []int{9, 8, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranked = %v, want %v", got, want)
+		}
+	}
+	// underfull selector
+	h2 := NewBoundedTopK(10, worse)
+	h2.Offer(4)
+	h2.Offer(6)
+	if w, ok := h2.Worst(); !ok || w != 4 || h2.Full() {
+		t.Fatalf("underfull: worst=%v ok=%v full=%v", w, ok, h2.Full())
+	}
+}

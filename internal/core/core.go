@@ -28,7 +28,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"mirror/internal/bat"
@@ -191,29 +190,56 @@ func (m *Mirror) urlOf(oid bat.OID) string {
 	return s
 }
 
-// rankRows converts a set-typed score result into sorted hits.
+// rankRows converts a set-typed score result into sorted hits. Results the
+// pruned top-k operator produced (res.Ranked) arrive ordered and cut — a
+// re-sort would be wasted work; exhaustive results with k > 0 go through a
+// bounded min-heap partial selection (O(N log k) instead of O(N log N))
+// that preserves the exact score-descending / OID-ascending tie order.
 func (m *Mirror) rankRows(res *moa.Result, k int) []Hit {
-	res.SortByScoreDesc()
-	n := len(res.Rows)
-	if k > 0 && n > k {
-		n = k
+	rows := res.Rows
+	switch {
+	case res.Ranked:
+		// already ranked by the pruned operator; defensive cut only
+	case k > 0 && k < len(rows):
+		rows = topKRows(rows, k)
+	default:
+		res.SortByScoreDesc()
+		rows = res.Rows
 	}
-	hits := make([]Hit, 0, n)
-	for _, row := range res.Rows[:n] {
+	if k > 0 && len(rows) > k {
+		rows = rows[:k]
+	}
+	hits := make([]Hit, 0, len(rows))
+	for _, row := range rows {
 		score, _ := row.Value.(float64)
 		hits = append(hits, Hit{OID: row.OID, URL: m.urlOf(row.OID), Score: score})
 	}
 	return hits
 }
 
-// sortHits orders hits by score descending, OID ascending.
-func sortHits(hits []Hit) {
-	sort.SliceStable(hits, func(i, j int) bool {
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
-		}
-		return hits[i].OID < hits[j].OID
-	})
+// rowWorse reports whether row a ranks strictly after row b under the
+// SortByScoreDesc order: float scores descending, non-float values last,
+// ties by ascending OID.
+func rowWorse(a, b moa.Row) bool {
+	fa, oka := a.Value.(float64)
+	fb, okb := b.Value.(float64)
+	switch {
+	case oka && okb && fa != fb:
+		return fa < fb
+	case oka != okb:
+		return okb
+	}
+	return a.OID > b.OID
+}
+
+// topKRows selects the k best rows on the shared bounded selector;
+// identical output to a full SortByScoreDesc cut at k.
+func topKRows(rows []moa.Row, k int) []moa.Row {
+	h := bat.NewBoundedTopK(k, rowWorse)
+	for _, r := range rows {
+		h.Offer(r)
+	}
+	return h.Ranked()
 }
 
 // AnalyzeQuery exposes the text analysis pipeline used for queries.

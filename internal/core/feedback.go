@@ -87,17 +87,13 @@ func (s *Session) Run(k int) ([]Hit, error) {
 		[]ir.Scores{ts, cs},
 		[]float64{float64(len(s.textTerms)) * ir.DefaultBelief, wtot * ir.DefaultBelief},
 	)
+	ir.ReleaseScores(ts)
+	ir.ReleaseScores(cs)
 	if err != nil {
 		return nil, err
 	}
-	hits := make([]Hit, 0, len(combined))
-	for d, sc := range combined {
-		hits = append(hits, Hit{OID: bat.OID(d), URL: s.m.urlOf(bat.OID(d)), Score: sc})
-	}
-	sortHits(hits)
-	if k > 0 && len(hits) > k {
-		hits = hits[:k]
-	}
+	hits := scoresToHits(s.m, combined, k)
+	ir.ReleaseScores(combined)
 	return hits, nil
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"mirror/internal/bat"
 	"mirror/internal/ir"
@@ -20,15 +21,29 @@ const contentQuery = `
 	map[sum(THIS)](
 		map[getBL(THIS.image, query, stats)]( ImageLibraryInternal ));`
 
+// queryTopK runs a query with k pushed into the plan optimizer: when k > 0
+// the engine's TopK option lets the optimizer serve the query with the
+// pruned top-k operator (Result.Ranked); plans pruning cannot serve fall
+// back to exhaustive evaluation, and rankRows applies the cut either way.
+// The shared engine is never mutated — options are copied per query.
+func (m *Mirror) queryTopK(src string, params map[string]moa.Param, k int) (*moa.Result, error) {
+	eng := &moa.Engine{DB: m.Eng.DB, Opts: m.Eng.Opts}
+	if k > 0 {
+		eng.Opts.TopK = k
+	}
+	return eng.Query(src, params)
+}
+
 // QueryAnnotations ranks the library against a free-text query using the
 // textual annotations (the Section 3 scenario). The text passes through the
-// same analyzer as the indexed annotations.
+// same analyzer as the indexed annotations. k > 0 is pushed down into the
+// query plan (pruned top-k retrieval); k <= 0 returns the full ranking.
 func (m *Mirror) QueryAnnotations(text string, k int) ([]Hit, error) {
 	if err := m.requireIndex(); err != nil {
 		return nil, err
 	}
 	terms := ir.Analyze(text)
-	res, err := m.Eng.Query(annotationQuery, ir.QueryParams(terms))
+	res, err := m.queryTopK(annotationQuery, ir.QueryParams(terms), k)
 	if err != nil {
 		return nil, err
 	}
@@ -36,12 +51,13 @@ func (m *Mirror) QueryAnnotations(text string, k int) ([]Hit, error) {
 }
 
 // QueryContent ranks the library by image content given cluster words
-// (normally chosen through the thesaurus).
+// (normally chosen through the thesaurus). k behaves as in
+// QueryAnnotations.
 func (m *Mirror) QueryContent(clusterWords []string, k int) ([]Hit, error) {
 	if err := m.requireIndex(); err != nil {
 		return nil, err
 	}
-	res, err := m.Eng.Query(contentQuery, ir.QueryParams(clusterWords))
+	res, err := m.queryTopK(contentQuery, ir.QueryParams(clusterWords), k)
 	if err != nil {
 		return nil, err
 	}
@@ -90,18 +106,30 @@ func (m *Mirror) QueryDualCoding(text string, k int) ([]Hit, error) {
 		[]ir.Scores{ts, cs},
 		[]float64{nText * ir.DefaultBelief, nContent * ir.DefaultBelief},
 	)
+	ir.ReleaseScores(ts)
+	ir.ReleaseScores(cs)
 	if err != nil {
 		return nil, err
 	}
-	hits := make([]Hit, 0, len(combined))
-	for d, s := range combined {
-		hits = append(hits, Hit{OID: bat.OID(d), URL: m.urlOf(bat.OID(d)), Score: s})
-	}
-	sortHits(hits)
-	if k > 0 && len(hits) > k {
-		hits = hits[:k]
-	}
+	hits := scoresToHits(m, combined, k)
+	ir.ReleaseScores(combined)
 	return hits, nil
+}
+
+// rankedPool recycles the []ir.Ranked scratch between queries (the
+// combined-evidence paths rank on every request).
+var rankedPool = sync.Pool{New: func() any { return make([]ir.Ranked, 0, 128) }}
+
+// scoresToHits ranks a combined score map and resolves URLs; k > 0 cuts
+// with the bounded partial selection. The ranking scratch is pooled.
+func scoresToHits(m *Mirror, s ir.Scores, k int) []Hit {
+	ranked := ir.RankInto(rankedPool.Get().([]ir.Ranked), s, k)
+	hits := make([]Hit, 0, len(ranked))
+	for _, r := range ranked {
+		hits = append(hits, Hit{OID: bat.OID(r.Doc), URL: m.urlOf(bat.OID(r.Doc)), Score: r.Score})
+	}
+	rankedPool.Put(ranked[:0]) //nolint:staticcheck // slice reuse is the point
+	return hits
 }
 
 // WeightedContentScores scores the internal set's image CONTREP with
@@ -168,8 +196,10 @@ func (m *Mirror) requireIndex() error {
 	return nil
 }
 
+// hitsToScores converts hits into a pooled Scores map; callers release it
+// with ir.ReleaseScores when done.
 func hitsToScores(hits []Hit) ir.Scores {
-	out := make(ir.Scores, len(hits))
+	out := ir.NewScores()
 	for _, h := range hits {
 		out[uint64(h.OID)] = h.Score
 	}
@@ -179,9 +209,17 @@ func hitsToScores(hits []Hit) ir.Scores {
 // Query exposes raw Moa queries (used by moash and the network server).
 // Parameters: the optional query terms bind the `query`/`stats` parameters.
 func (m *Mirror) Query(src string, queryTerms []string) (*moa.Result, error) {
+	return m.QueryTopK(src, queryTerms, 0)
+}
+
+// QueryTopK is Query with a ranked top-k request pushed into the plan
+// optimizer: when the plan is a retrieval pruning can serve, only the k
+// best rows come back, already ranked; otherwise the full exhaustive
+// result is returned (the caller cuts). k <= 0 means no cut.
+func (m *Mirror) QueryTopK(src string, queryTerms []string, k int) (*moa.Result, error) {
 	var params map[string]moa.Param
 	if queryTerms != nil {
 		params = ir.QueryParams(queryTerms)
 	}
-	return m.Eng.Query(src, params)
+	return m.queryTopK(src, params, k)
 }

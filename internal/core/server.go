@@ -62,9 +62,13 @@ type TextQueryArgs struct {
 type TextQueryReply struct{ Hits []WireHit }
 
 // MoaQueryArgs carries a raw Moa query plus optional query-term bindings.
+// K > 0 pushes a ranked top-k request into the query plan: retrievals the
+// pruned operator can serve return only the k best rows (already ranked);
+// other plans run exhaustively and are cut server-side.
 type MoaQueryArgs struct {
 	Source     string
 	QueryTerms []string
+	K          int
 }
 
 // MoaQueryReply returns rows rendered as strings (OID plus value), enough
@@ -97,10 +101,10 @@ func (s *Service) TextQuery(args TextQueryArgs, reply *TextQueryReply) error {
 	return nil
 }
 
-// MoaQuery executes a raw Moa query.
+// MoaQuery executes a raw Moa query; args.K > 0 requests a ranked top-k.
 func (s *Service) MoaQuery(args MoaQueryArgs, reply *MoaQueryReply) error {
 	defer s.acquire()()
-	res, err := s.m.Query(args.Source, args.QueryTerms)
+	res, err := s.m.QueryTopK(args.Source, args.QueryTerms, args.K)
 	if err != nil {
 		return err
 	}
@@ -108,7 +112,21 @@ func (s *Service) MoaQuery(args MoaQueryArgs, reply *MoaQueryReply) error {
 		reply.Scalar = fmt.Sprintf("%v", res.Scalar)
 		return nil
 	}
-	for _, row := range res.Rows {
+	rows := res.Rows
+	if args.K > 0 && !res.Ranked {
+		// Exhaustive fallback: rank and cut server-side, so the wire
+		// carries only the k best rows either way.
+		if args.K < len(rows) {
+			rows = topKRows(rows, args.K)
+		} else {
+			res.SortByScoreDesc()
+			rows = res.Rows
+		}
+	}
+	if args.K > 0 && len(rows) > args.K {
+		rows = rows[:args.K]
+	}
+	for _, row := range rows {
 		reply.OIDs = append(reply.OIDs, uint64(row.OID))
 		reply.Values = append(reply.Values, fmt.Sprintf("%v", row.Value))
 	}
@@ -224,8 +242,14 @@ func (c *Client) TextQuery(text string, k int, dual bool) ([]WireHit, error) {
 
 // MoaQuery runs a raw Moa query.
 func (c *Client) MoaQuery(src string, queryTerms []string) (*MoaQueryReply, error) {
+	return c.MoaQueryTopK(src, queryTerms, 0)
+}
+
+// MoaQueryTopK runs a raw Moa query with a ranked top-k request pushed
+// down to the server's plan optimizer.
+func (c *Client) MoaQueryTopK(src string, queryTerms []string, k int) (*MoaQueryReply, error) {
 	var reply MoaQueryReply
-	err := c.c.Call("Mirror.MoaQuery", MoaQueryArgs{Source: src, QueryTerms: queryTerms}, &reply)
+	err := c.c.Call("Mirror.MoaQuery", MoaQueryArgs{Source: src, QueryTerms: queryTerms, K: k}, &reply)
 	return &reply, err
 }
 

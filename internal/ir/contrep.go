@@ -26,9 +26,18 @@ import (
 //	prefix_termrev                       reverse view of _term (derived),
 //	                                     carrying the persistent hash index
 //	                                     the physical getbl operator probes
+//	prefix_poststart [termOID(void),int] term-ordered postings offsets
+//	                                     (derived), nterms+1 entries
+//	prefix_postdoc  [void, ownerOID]     postings re-sorted by (term, doc)
+//	prefix_postbel  [void, flt]          beliefs aligned with _postdoc
+//	prefix_maxbel   [termOID(void), flt] per-term maximum belief — the
+//	                                     upper bound driving max-score
+//	                                     pruned top-k retrieval
 //
 // The structure registers the query functions getBL (per-term beliefs, the
-// paper's operator) and getBLScore (the sum∘getBL fusion target).
+// paper's operator) and getBLScore (the sum∘getBL fusion target, which
+// also carries the pruned top-k emitter the plan optimizer fuses
+// topk∘sum∘getBL into).
 type Contrep struct{}
 
 // ContrepValue is the materialised logical value of a CONTREP field: the
@@ -252,12 +261,82 @@ func (c *Contrep) Finalize(db *moa.Database, prefix string) error {
 	stats.MustAppend(bat.OID(2), DefaultBelief)
 	stats.MustAppend(bat.OID(3), float64(dict.Len()))
 
+	// Term-ordered postings with per-term max-belief upper bounds: the
+	// input of the pruned top-k physical operator (bat.PrunedTopK). The
+	// scatter below is a counting sort by term; documents are inserted in
+	// ascending OID order, so each term's run comes out doc-ascending (a
+	// repair sort runs if a caller ever violated that). Rebuilt on every
+	// Finalize — including after WAL-replayed inserts trigger a reindex —
+	// and persisted through the BBP manifest like any other column, the
+	// bounds can never go stale relative to the beliefs they cap.
+	nt := dict.Len()
+	p := termB.Len()
+	starts := make([]int64, nt+1)
+	for i := 0; i < p; i++ {
+		starts[termB.Tail.OIDAt(i)+1]++
+	}
+	for t := 1; t <= nt; t++ {
+		starts[t] += starts[t-1]
+	}
+	postDoc := make([]bat.OID, p)
+	postBel := make([]float64, p)
+	maxb := make([]float64, nt)
+	cursor := append([]int64(nil), starts...)
+	for i := 0; i < p; i++ {
+		t := termB.Tail.OIDAt(i)
+		at := cursor[t]
+		cursor[t]++
+		postDoc[at] = docB.Tail.OIDAt(i)
+		b := bel.Tail.FloatAt(i)
+		postBel[at] = b
+		if b > maxb[t] {
+			maxb[t] = b
+		}
+	}
+	for t := 0; t < nt; t++ {
+		lo, hi := starts[t], starts[t+1]
+		for i := lo + 1; i < hi; i++ {
+			if postDoc[i] < postDoc[i-1] {
+				sortPostingsRun(postDoc[lo:hi], postBel[lo:hi])
+				break
+			}
+		}
+	}
+	db.PutBATL(prefix+"_poststart", adoptDense(bat.ColumnOfInts(starts)))
+	db.PutBATL(prefix+"_postdoc", adoptDense(bat.ColumnOfOIDs(postDoc)))
+	db.PutBATL(prefix+"_postbel", adoptDense(bat.ColumnOfFloats(postBel)))
+	db.PutBATL(prefix+"_maxbel", adoptDense(bat.ColumnOfFloats(maxb)))
+
 	db.PutBATL(prefix+"_df", dfB)
 	db.PutBATL(prefix+"_bel", bel)
 	db.PutBATL(prefix+"_stats", stats)
 	db.PutBATL(prefix+"_termrev", termB.Reverse())
 	db.PutBATL(prefix+"_dictrev", dict.Reverse())
 	return nil
+}
+
+// adoptDense wraps an adopted tail column as a [void, tail] BAT.
+func adoptDense(tail *bat.Column) *bat.BAT {
+	b := &bat.BAT{Head: bat.NewVoid(0, tail.Len()), Tail: tail}
+	b.HSorted, b.HKey = true, true
+	return b
+}
+
+// sortPostingsRun sorts one term's postings by document OID (parallel
+// arrays), repairing out-of-order inserts.
+func sortPostingsRun(docs []bat.OID, bels []float64) {
+	idx := make([]int, len(docs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return docs[idx[a]] < docs[idx[b]] })
+	nd := make([]bat.OID, len(docs))
+	nb := make([]float64, len(bels))
+	for i, j := range idx {
+		nd[i], nb[i] = docs[j], bels[j]
+	}
+	copy(docs, nd)
+	copy(bels, nb)
 }
 
 // Materialize implements moa.Structure.
@@ -324,6 +403,7 @@ func (c *Contrep) Functions() map[string]*moa.StructFunc {
 			Check:     checkGetBL(moa.FloatType),
 			EmitMap:   emitGetBLScore,
 			EvalTuple: evalGetBLScore,
+			EmitTopK:  emitGetBLScoreTopK,
 		},
 	}
 }
@@ -406,6 +486,54 @@ func emitGetBLScore(tr *moa.Translator, ctx *moa.Ctx, recv moa.Rep, extra []moa.
 	defScore := tr.Emit("dfs", mil.C("calc", mil.L("*"), mil.C("count", mil.R(q)), mil.L(DefaultBelief)))
 	filled := tr.Emit("bls", mil.C("fill", mil.R(scores), mil.R(ctx.DomainVar), mil.R(defScore)))
 	return &moa.AtomRep{Var: filled, T: moa.FloatType}, nil
+}
+
+// emitGetBLScoreTopK is the pruned fusion of topk∘sum∘getBL: instead of
+// scoring the whole collection and letting the caller sort, the physical
+// prunedtopk operator runs max-score skipping over the term-ordered
+// postings and returns only the top k documents, already ranked (score
+// descending, OID ascending). The plan optimizer calls this when a query's
+// top-k root sits directly on a full-collection getBLScore map; any other
+// shape keeps the exhaustive path.
+func emitGetBLScoreTopK(tr *moa.Translator, ctx *moa.Ctx, recv moa.Rep, extra []moa.Rep, k int) (*moa.SetVal, error) {
+	sr, ok := recv.(*moa.StructRep)
+	if !ok {
+		return nil, fmt.Errorf("moa: getBLScore receiver must be a CONTREP field, got %T", recv)
+	}
+	if len(extra) != 2 {
+		return nil, fmt.Errorf("moa: getBLScore needs query and stats arguments")
+	}
+	if !ctx.Full {
+		return nil, fmt.Errorf("moa: pruned top-k requires a full-collection scan")
+	}
+	// A checkpoint written before the term-ordered postings existed (or a
+	// CONTREP never finalized) lacks the derived columns: fall back to the
+	// exhaustive plan instead of emitting dangling references.
+	for _, suffix := range []string{"_poststart", "_postdoc", "_postbel", "_maxbel"} {
+		if !tr.HasBAT(sr.Prefix + suffix) {
+			return nil, moa.ErrNoPrunedForm
+		}
+	}
+	q, err := queryTermsVar(tr, sr.Prefix, extra[0])
+	if err != nil {
+		return nil, err
+	}
+	pk := tr.Emit("pk", mil.C("prunedtopk",
+		mil.R(sr.Prefix+"_poststart"), mil.R(sr.Prefix+"_postdoc"),
+		mil.R(sr.Prefix+"_postbel"), mil.R(sr.Prefix+"_maxbel"),
+		mil.R(q), mil.L(DefaultBelief), mil.L(int64(k)), mil.R(ctx.DomainVar)))
+	dom := tr.Emit("pkd", mil.C("mirror", mil.R(pk)))
+	return &moa.SetVal{
+		DomainVar: dom,
+		Full:      false,
+		ElemT:     moa.FloatType,
+		MkElem: func(ctx2 *moa.Ctx) (moa.Rep, error) {
+			if ctx2.DomainVar == dom {
+				return &moa.AtomRep{Var: pk, T: moa.FloatType}, nil
+			}
+			return &moa.AtomRep{Var: tr.Restrict(pk, ctx2), T: moa.FloatType}, nil
+		},
+	}, nil
 }
 
 // evalGetBL is the tuple-at-a-time path: per element, produce the belief of

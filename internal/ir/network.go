@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+
+	"mirror/internal/bat"
 )
 
 // DefaultBelief is the inference network's prior belief in a concept given a
@@ -48,15 +51,37 @@ type Stats struct {
 // of the inference network: #sum, #wsum, #and, #or, #not, #max.
 type Scores map[uint64]float64
 
+// scoresPool recycles Scores maps between queries: the exhaustive
+// evaluation path builds (and promptly drops) several collection-sized
+// maps per request, which at server query rates is pure allocator churn.
+// Combine* results and hit conversions draw from the pool; callers on hot
+// paths hand maps back with ReleaseScores when done.
+var scoresPool = sync.Pool{New: func() any { return make(Scores, 256) }}
+
+// NewScores returns an empty Scores map, reusing a released one when
+// available. Maps obtained here may simply be dropped (the GC reclaims
+// them); returning them with ReleaseScores is an optimisation, not an
+// obligation.
+func NewScores() Scores { return scoresPool.Get().(Scores) }
+
+// ReleaseScores clears s and returns it to the pool. The caller must not
+// retain s afterwards. nil is tolerated.
+func ReleaseScores(s Scores) {
+	if s == nil {
+		return
+	}
+	clear(s)
+	scoresPool.Put(s)
+}
+
 // CombineSum averages the beliefs of the children (#sum). Documents missing
 // from a child contribute that child's default.
 func CombineSum(children []Scores, defaults []float64) (Scores, error) {
 	if len(children) != len(defaults) {
 		return nil, fmt.Errorf("ir: #sum: %d children vs %d defaults", len(children), len(defaults))
 	}
-	out := Scores{}
-	for ci, ch := range children {
-		_ = ci
+	out := NewScores()
+	for _, ch := range children {
 		for d := range ch {
 			out[d] = 0
 		}
@@ -89,9 +114,9 @@ func CombineWSum(children []Scores, weights, defaults []float64) (Scores, error)
 		wtot += w
 	}
 	if wtot == 0 {
-		return Scores{}, nil
+		return NewScores(), nil
 	}
-	out := Scores{}
+	out := NewScores()
 	for _, ch := range children {
 		for d := range ch {
 			out[d] = 0
@@ -116,7 +141,7 @@ func CombineAnd(children []Scores, defaults []float64) (Scores, error) {
 	if len(children) != len(defaults) {
 		return nil, fmt.Errorf("ir: #and: mismatched children/defaults")
 	}
-	out := Scores{}
+	out := NewScores()
 	for _, ch := range children {
 		for d := range ch {
 			out[d] = 1
@@ -141,7 +166,7 @@ func CombineOr(children []Scores, defaults []float64) (Scores, error) {
 	if len(children) != len(defaults) {
 		return nil, fmt.Errorf("ir: #or: mismatched children/defaults")
 	}
-	out := Scores{}
+	out := NewScores()
 	for _, ch := range children {
 		for d := range ch {
 			out[d] = 0
@@ -163,7 +188,7 @@ func CombineOr(children []Scores, defaults []float64) (Scores, error) {
 
 // CombineNot negates belief (#not).
 func CombineNot(child Scores) Scores {
-	out := make(Scores, len(child))
+	out := NewScores()
 	for d, v := range child {
 		out[d] = 1 - v
 	}
@@ -175,7 +200,7 @@ func CombineMax(children []Scores, defaults []float64) (Scores, error) {
 	if len(children) != len(defaults) {
 		return nil, fmt.Errorf("ir: #max: mismatched children/defaults")
 	}
-	out := Scores{}
+	out := NewScores()
 	for _, ch := range children {
 		for d := range ch {
 			out[d] = math.Inf(-1)
@@ -203,19 +228,41 @@ type Ranked struct {
 	Score float64
 }
 
+// rankedWorse reports whether a ranks strictly after b (score descending,
+// document OID ascending on ties — the order every ranking in the system
+// uses).
+func rankedWorse(a, b Ranked) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Doc > b.Doc
+}
+
 // Rank orders scores descending (ties by document OID) and cuts at k
-// (k <= 0 keeps everything).
+// (k <= 0 keeps everything). When k is smaller than the collection it runs
+// a bounded min-heap partial selection — O(N log k) instead of sorting all
+// N scores — with the identical tie order.
 func Rank(s Scores, k int) []Ranked {
-	out := make([]Ranked, 0, len(s))
+	return RankInto(nil, s, k)
+}
+
+// RankInto is Rank reusing dst's backing array (pass a slice retained from
+// a previous ranking to avoid the allocation; dst may be nil). The bounded
+// selection runs on bat.BoundedTopK — a total-order comparator (OIDs are
+// unique), so the result is independent of map iteration order.
+func RankInto(dst []Ranked, s Scores, k int) []Ranked {
+	out := dst[:0]
+	if k > 0 && k < len(s) {
+		h := bat.NewBoundedTopK(k, rankedWorse)
+		for d, v := range s {
+			h.Offer(Ranked{Doc: d, Score: v})
+		}
+		return append(out, h.Ranked()...)
+	}
 	for d, v := range s {
 		out = append(out, Ranked{Doc: d, Score: v})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].Doc < out[j].Doc
-	})
+	sort.Slice(out, func(i, j int) bool { return rankedWorse(out[j], out[i]) })
 	if k > 0 && len(out) > k {
 		out = out[:k]
 	}

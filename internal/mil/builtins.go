@@ -71,8 +71,10 @@ func init() {
 		"exists": biExists,
 
 		// probabilistic retrieval operators (the paper's physical extension)
-		"getbl":    biGetBL,
-		"wsum_bel": biWSumBel,
+		"getbl":      biGetBL,
+		"wsum_bel":   biWSumBel,
+		"prunedtopk": biPrunedTopK,
+		"postings":   biPostings,
 
 		// I/O
 		"print": biPrint,
@@ -500,6 +502,86 @@ func biWSumBel(_ *Env, args []any) (any, error) {
 		weights[i] = wb.Tail.FloatAt(i)
 	}
 	return bat.WSumBeliefs(rev, doc, bel, query, weights, def)
+}
+
+// biPrunedTopK is the MIL surface of the pruned ranked-retrieval operator:
+//
+//	prunedtopk(poststart, postdoc, postbel, maxbel, query, default, k, domain)
+//	    → [docOID, score]
+//
+// It evaluates the inference-network sum score with max-score skipping over
+// the term-ordered postings (bat.PrunedTopK) and returns only the k best
+// documents, already ordered score descending / OID ascending — identical
+// BUN-for-BUN to getbl + fill + a full descending sort cut at k. domain
+// supplies the OIDs of documents matching no query term (they score
+// count(query)·default and are merged in when the match set cannot fill k).
+func biPrunedTopK(_ *Env, args []any) (any, error) {
+	if err := wantArgs(args, 8); err != nil {
+		return nil, err
+	}
+	start, err := argBAT(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := argBAT(args, 1)
+	if err != nil {
+		return nil, err
+	}
+	bel, err := argBAT(args, 2)
+	if err != nil {
+		return nil, err
+	}
+	maxb, err := argBAT(args, 3)
+	if err != nil {
+		return nil, err
+	}
+	qb, err := argBAT(args, 4)
+	if err != nil {
+		return nil, err
+	}
+	def, err := argFloat(args, 5)
+	if err != nil {
+		return nil, err
+	}
+	k, err := argInt(args, 6)
+	if err != nil {
+		return nil, err
+	}
+	domain, err := argBAT(args, 7)
+	if err != nil {
+		return nil, err
+	}
+	query := make([]bat.OID, qb.Len())
+	for i := range query {
+		query[i] = qb.Tail.OIDAt(i)
+	}
+	return bat.PrunedTopK(start, doc, bel, maxb, query, nil, def, int(k), domain)
+}
+
+// biPostings: postings(poststart, postdoc, postbel, t) → [docOID, belief],
+// one term's posting list in ascending document order (the postings-access
+// primitive over the term-ordered representation).
+func biPostings(_ *Env, args []any) (any, error) {
+	if err := wantArgs(args, 4); err != nil {
+		return nil, err
+	}
+	start, err := argBAT(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := argBAT(args, 1)
+	if err != nil {
+		return nil, err
+	}
+	bel, err := argBAT(args, 2)
+	if err != nil {
+		return nil, err
+	}
+	t, err := argInt(args, 3)
+	if err != nil {
+		return nil, err
+	}
+	return bat.Postings(start, doc, bel, bat.OID(t))
 }
 
 func biPrint(env *Env, args []any) (any, error) {

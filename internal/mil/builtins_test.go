@@ -237,3 +237,55 @@ func TestParallelismBuiltins(t *testing.T) {
 		t.Fatalf("threshold after reset = %d", got)
 	}
 }
+
+// TestPrunedTopKBuiltin exercises the MIL surface of the pruned retrieval
+// operator on a hand-built term-ordered postings fixture: two terms, four
+// documents, one unmatched document merged in at the default score.
+func TestPrunedTopKBuiltin(t *testing.T) {
+	// term 0 → postings (doc 0, 0.9), (doc 2, 0.5); term 1 → (doc 1, 0.6)
+	start := mk(t, bat.KindInt, int64(0), int64(2), int64(3))
+	doc := mk(t, bat.KindOID, bat.OID(0), bat.OID(2), bat.OID(1))
+	bel := mk(t, bat.KindFloat, 0.9, 0.5, 0.6)
+	maxb := mk(t, bat.KindFloat, 0.9, 0.6)
+	q := mk(t, bat.KindOID, bat.OID(0), bat.OID(1))
+	domain := bat.New(bat.KindVoid, bat.KindVoid)
+	for i := 0; i < 4; i++ {
+		domain.MustAppend(bat.OID(i), bat.OID(i))
+	}
+	bind := map[string]any{"st": start, "d": doc, "b": bel, "mb": maxb, "q": q, "dom": domain}
+
+	v := runSrc(t, "prunedtopk(st, d, b, mb, q, 0.4, 4, dom);", bind)
+	out := v.(*bat.BAT)
+	// scores: doc0 = 0.9+0.4 = 1.3, doc1 = 0.4+0.6 = 1.0, doc2 = 0.5+0.4 = 0.9,
+	// doc3 unmatched = 2·0.4 = 0.8
+	wantD := []bat.OID{0, 1, 2, 3}
+	wantS := []float64{1.3, 1.0, 0.9, 0.8}
+	if out.Len() != 4 {
+		t.Fatalf("prunedtopk: %d hits", out.Len())
+	}
+	for i := range wantD {
+		if out.Head.OIDAt(i) != wantD[i] || math.Abs(out.Tail.FloatAt(i)-wantS[i]) > 1e-12 {
+			t.Fatalf("rank %d: (%d, %v)", i, out.Head.OIDAt(i), out.Tail.FloatAt(i))
+		}
+	}
+	// k cuts
+	out = runSrc(t, "prunedtopk(st, d, b, mb, q, 0.4, 2, dom);", bind).(*bat.BAT)
+	if out.Len() != 2 || out.Head.OIDAt(0) != 0 || out.Head.OIDAt(1) != 1 {
+		t.Fatalf("k=2 cut wrong: %v", out)
+	}
+}
+
+func TestPostingsBuiltin(t *testing.T) {
+	start := mk(t, bat.KindInt, int64(0), int64(2), int64(3))
+	doc := mk(t, bat.KindOID, bat.OID(0), bat.OID(2), bat.OID(1))
+	bel := mk(t, bat.KindFloat, 0.9, 0.5, 0.6)
+	bind := map[string]any{"st": start, "d": doc, "b": bel}
+	out := runSrc(t, "postings(st, d, b, 0);", bind).(*bat.BAT)
+	if out.Len() != 2 || out.Head.OIDAt(0) != 0 || out.Tail.FloatAt(1) != 0.5 {
+		t.Fatalf("postings(0): %v", out)
+	}
+	out = runSrc(t, "postings(st, d, b, 7);", bind).(*bat.BAT)
+	if out.Len() != 0 {
+		t.Fatalf("postings OOV: %v", out)
+	}
+}

@@ -23,10 +23,14 @@ func NewEngine(db *Database) *Engine {
 
 // Result is a materialised query result. Set-typed queries fill Rows (one
 // per element, carrying the element OID); scalar queries fill Scalar.
+// Ranked reports that Rows are already in ranking order (score descending,
+// OID ascending) cut at Options.TopK, because the optimiser served the
+// query with the pruned top-k operator; callers must not re-sort.
 type Result struct {
 	T      Type
 	Scalar any
 	Rows   []Row
+	Ranked bool
 }
 
 // Row is one element of a set result. Value is a Go rendering of the Moa
@@ -80,6 +84,7 @@ type Compiled struct {
 	outScalar Rep
 	src       string
 	parallel  bool
+	ranked    bool
 }
 
 // Compile parses, checks, rewrites and flattens a query.
@@ -95,7 +100,6 @@ func (e *Engine) Compile(src string, params map[string]Param) (*Compiled, error)
 	if _, err := Check(expr, &CheckEnv{DB: e.DB, Params: ptypes}); err != nil {
 		return nil, err
 	}
-	expr = Rewrite(expr, e.Opts)
 	tl, err := Translate(e.DB, expr, params, e.Opts)
 	if err != nil {
 		return nil, err
@@ -103,8 +107,37 @@ func (e *Engine) Compile(src string, params map[string]Param) (*Compiled, error)
 	return &Compiled{
 		eng: e, T: tl.T, prog: tl.Prog, bindings: tl.Bindings,
 		outSet: tl.OutSet, outScalar: tl.OutScalar, src: src,
-		parallel: tl.Parallel,
+		parallel: tl.Parallel, ranked: tl.Ranked,
 	}, nil
+}
+
+// Explain parses, checks and plans a set-typed query, returning the
+// optimised logical plan as an indented operator tree (the shell's \plan
+// command). Scalar queries report their aggregate shape.
+func (e *Engine) Explain(src string, params map[string]Param) (string, error) {
+	expr, err := ParseQuery(src)
+	if err != nil {
+		return "", err
+	}
+	ptypes := make(map[string]Type, len(params))
+	for k, p := range params {
+		ptypes[k] = p.T
+	}
+	if _, err := Check(expr, &CheckEnv{DB: e.DB, Params: ptypes}); err != nil {
+		return "", err
+	}
+	if _, isSet := ElemType(expr.Type()); !isSet {
+		return fmt.Sprintf("scalar [%s]\n", expr), nil
+	}
+	tr := &Translator{db: e.DB, params: params, opts: e.Opts}
+	plan, err := tr.BuildPlan(expr)
+	if err != nil {
+		return "", err
+	}
+	if e.Opts.TopK > 0 {
+		plan = &TopKPlan{Src: plan, K: e.Opts.TopK}
+	}
+	return PlanString(OptimizePlan(plan, e.Opts)), nil
 }
 
 // Query compiles and runs in one step.
@@ -133,7 +166,7 @@ func (c *Compiled) Run() (*Result, error) {
 	if _, err := mil.Run(c.prog, env); err != nil {
 		return nil, fmt.Errorf("moa: executing %q: %w", c.src, err)
 	}
-	res := &Result{T: c.T}
+	res := &Result{T: c.T, Ranked: c.ranked}
 	if c.outSet != nil {
 		m := &materializer{eng: c.eng, env: env, assocIdx: map[string]map[bat.OID][]bat.OID{}}
 		dom, err := env.BAT(c.outSet.DomainVar)

@@ -1,6 +1,9 @@
 package moa
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // FuzzMoaParse drives the Moa lexer and all three parser entry points
 // (query, program, type DDL) with arbitrary input: malformed query text
@@ -41,3 +44,59 @@ func FuzzMoaParse(f *testing.F) {
 		_, _ = ParseType(src)
 	})
 }
+
+// FuzzPlanOptimizer is the plan-optimizer differential fuzz target: for
+// any query the naive plan (NoOptimize) and the fully optimised plan
+// (fusion, pushdown, CSE) must produce identical results. An input the
+// naive pipeline compiles but the optimised one rejects is also a bug.
+func FuzzPlanOptimizer(f *testing.F) {
+	seeds := []string{
+		"map[THIS * 2.0](map[THIS.score](People));",
+		"select[THIS.age > 21](select[THIS.score > 0.6](People));",
+		"select[THIS > 0.6](map[THIS.score](People));",
+		"map[sum(THIS.grades)](select[THIS.age < 41](People));",
+		"map[THIS + 1.0](map[THIS * 2.0](map[THIS.score](People)));",
+		"select[THIS > 1.0](map[sum(THIS.grades)](People));",
+		"map[TUPLE<n: THIS.name, s: THIS.score * 2.0>](People);",
+		"select[true](People);",
+		"select[1 = 2](map[THIS.age](People));",
+		"count(select[THIS.age > 21](People));",
+		"sum(map[THIS.score](People));",
+		"join[THIS1.name = THIS2.name](People, People);",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	db := mkPeopleDB(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		naive := &Engine{DB: db, Opts: NoOptimize}
+		opt := &Engine{DB: db, Opts: DefaultOptions}
+		rn, errN := naive.Query(src, nil)
+		ro, errO := opt.Query(src, nil)
+		if errN != nil {
+			return // invalid (or unflattenable) input either way
+		}
+		if errO != nil {
+			t.Fatalf("optimised pipeline rejects what the naive one runs: %v\n%s", errO, src)
+		}
+		if (rn.Rows == nil) != (ro.Rows == nil) {
+			t.Fatalf("result shape diverged for %s", src)
+		}
+		if rn.Rows == nil {
+			if fmtScalar(rn.Scalar) != fmtScalar(ro.Scalar) {
+				t.Fatalf("scalar diverged for %s: %v vs %v", src, rn.Scalar, ro.Scalar)
+			}
+			return
+		}
+		if len(rn.Rows) != len(ro.Rows) {
+			t.Fatalf("cardinality diverged for %s: %d vs %d", src, len(rn.Rows), len(ro.Rows))
+		}
+		for i := range rn.Rows {
+			if rn.Rows[i].OID != ro.Rows[i].OID || fmtScalar(rn.Rows[i].Value) != fmtScalar(ro.Rows[i].Value) {
+				t.Fatalf("row %d diverged for %s: %v vs %v", i, src, rn.Rows[i], ro.Rows[i])
+			}
+		}
+	})
+}
+
+func fmtScalar(v any) string { return fmt.Sprintf("%#v", v) }

@@ -6,7 +6,7 @@ import (
 )
 
 // mkPeopleDB builds a small SET<TUPLE> collection used across tests.
-func mkPeopleDB(t *testing.T) *Database {
+func mkPeopleDB(t testing.TB) *Database {
 	t.Helper()
 	db := NewDatabase()
 	err := db.DefineFromSource(`

@@ -1,0 +1,305 @@
+package moa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file is the logical plan layer between the checked Moa AST and MIL:
+// Translate builds a Plan from the expression, OptimizePlan runs rule-based
+// rewrites over it (map/select fusion, selection pushdown, aggregate
+// fusion, top-k pushdown into retrieval), and the lowering pass in
+// translate.go emits MIL from the optimised plan. The paper's claim that
+// the logical/physical split "provides an excellent basis for algebraic
+// query optimization" lives here: rewrites operate on explicit operators
+// instead of being fused into a one-shot translator.
+
+// Plan is one node of the logical query plan for a set-typed (sub)query.
+// Map and select bodies remain Moa expressions — Moa is a comprehension
+// algebra, and the element-wise work is what the expression compiler
+// flattens — while the set-level structure the optimizer reasons about is
+// explicit.
+type Plan interface {
+	isPlan()
+	describe(sb *strings.Builder, indent int)
+}
+
+// ScanPlan enumerates a stored collection (the full OID domain).
+type ScanPlan struct{ Set string }
+
+// ParamScanPlan enumerates a set-valued query parameter.
+type ParamScanPlan struct {
+	Name string
+	T    *SetType
+}
+
+// MapPlan applies Body to every element of Src (map[Body](Src)).
+type MapPlan struct {
+	Src  Plan
+	Body Expr
+}
+
+// SelectPlan keeps the elements of Src satisfying Pred.
+type SelectPlan struct {
+	Src  Plan
+	Pred Expr
+}
+
+// JoinPlan joins two set plans; E retains the original join expression for
+// its predicate and result typing.
+type JoinPlan struct {
+	Left, Right Plan
+	E           *JoinExpr
+}
+
+// TopKPlan asks for the K best elements of Src under the ranked-retrieval
+// order (score descending, OID ascending). It is introduced at the plan
+// root by Options.TopK; when the optimizer cannot push it into a pruned
+// retrieval operator it lowers as a no-op and the executor's exhaustive
+// ranking applies the cut (the exact fallback).
+type TopKPlan struct {
+	Src Plan
+	K   int
+}
+
+// PrunedPlan is the fusion of TopK ∘ Map[score-call] ∘ Scan: the structure
+// function's EmitTopK hook emits a single physical operator that evaluates
+// the retrieval with upper-bound pruning and returns only the ranked top K.
+type PrunedPlan struct {
+	Src  *ScanPlan
+	Call *CallExpr
+	Fn   *StructFunc
+	K    int
+}
+
+func (*ScanPlan) isPlan()      {}
+func (*ParamScanPlan) isPlan() {}
+func (*MapPlan) isPlan()       {}
+func (*SelectPlan) isPlan()    {}
+func (*JoinPlan) isPlan()      {}
+func (*TopKPlan) isPlan()      {}
+func (*PrunedPlan) isPlan()    {}
+
+// BuildPlan turns a checked set-typed expression into the initial
+// (unoptimised) plan. The translator supplies parameter and schema
+// context.
+func (tr *Translator) BuildPlan(e Expr) (Plan, error) {
+	switch x := e.(type) {
+	case *Ident:
+		if p, ok := tr.params[x.Name]; ok {
+			st, ok := p.T.(*SetType)
+			if !ok {
+				return nil, fmt.Errorf("moa: parameter %q is not a set", x.Name)
+			}
+			return &ParamScanPlan{Name: x.Name, T: st}, nil
+		}
+		if _, ok := tr.db.Set(x.Name); !ok {
+			return nil, fmt.Errorf("moa: unknown set %q", x.Name)
+		}
+		return &ScanPlan{Set: x.Name}, nil
+
+	case *MapExpr:
+		src, err := tr.BuildPlan(x.Src)
+		if err != nil {
+			return nil, err
+		}
+		return &MapPlan{Src: src, Body: x.Body}, nil
+
+	case *SelectExpr:
+		src, err := tr.BuildPlan(x.Src)
+		if err != nil {
+			return nil, err
+		}
+		return &SelectPlan{Src: src, Pred: x.Pred}, nil
+
+	case *JoinExpr:
+		left, err := tr.BuildPlan(x.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := tr.BuildPlan(x.Right)
+		if err != nil {
+			return nil, err
+		}
+		return &JoinPlan{Left: left, Right: right, E: x}, nil
+
+	case *CallExpr:
+		return nil, fmt.Errorf("moa: set-valued call %q outside map context is not supported", x.Fn)
+	}
+	return nil, fmt.Errorf("moa: expression %s is not a set", e)
+}
+
+// OptimizePlan applies the enabled rewrite rules until fixpoint (bounded so
+// pathological rule interactions still terminate).
+func OptimizePlan(p Plan, opts Options) Plan {
+	for i := 0; i < 20; i++ {
+		changed := false
+		p = rewritePlan(p, opts, &changed)
+		if !changed {
+			return p
+		}
+	}
+	return p
+}
+
+// rewritePlan runs one bottom-up rewrite pass.
+func rewritePlan(p Plan, opts Options, changed *bool) Plan {
+	switch n := p.(type) {
+	case *MapPlan:
+		n.Src = rewritePlan(n.Src, opts, changed)
+		if opts.FuseAggregates {
+			n.Body = rewriteExprAggs(n.Body, changed)
+		}
+		// map[f](map[g](S)) → map[f[THIS:=g]](S)
+		if opts.FuseMaps {
+			if inner, ok := n.Src.(*MapPlan); ok {
+				*changed = true
+				return &MapPlan{Src: inner.Src, Body: substThis(cloneExpr(n.Body), inner.Body)}
+			}
+		}
+		return n
+
+	case *SelectPlan:
+		n.Src = rewritePlan(n.Src, opts, changed)
+		if opts.FuseAggregates {
+			n.Pred = rewriteExprAggs(n.Pred, changed)
+		}
+		// select[p](select[q](S)) → select[q and p](S)
+		if opts.FuseSelects {
+			if inner, ok := n.Src.(*SelectPlan); ok {
+				*changed = true
+				return &SelectPlan{
+					Src:  inner.Src,
+					Pred: &BinExpr{Op: "and", L: inner.Pred, R: n.Pred, T: BoolType},
+				}
+			}
+		}
+		// selection pushdown: select[p](map[f](S)) → map[f](select[p[THIS:=f]](S)).
+		// Valid for any pure element-wise f; the selected sub-domain is
+		// identical, and the map then materialises only surviving elements.
+		if opts.PushSelects {
+			if inner, ok := n.Src.(*MapPlan); ok {
+				*changed = true
+				pushed := substThis(cloneExpr(n.Pred), cloneExpr(inner.Body))
+				return &MapPlan{
+					Src:  &SelectPlan{Src: inner.Src, Pred: pushed},
+					Body: inner.Body,
+				}
+			}
+		}
+		return n
+
+	case *JoinPlan:
+		n.Left = rewritePlan(n.Left, opts, changed)
+		n.Right = rewritePlan(n.Right, opts, changed)
+		return n
+
+	case *TopKPlan:
+		n.Src = rewritePlan(n.Src, opts, changed)
+		// top-k pushdown: topk(map[f-with-pruned-form](scan S)) → pruned
+		// operator. Only a full-collection scan qualifies: the physical
+		// operator's bounds cover the whole posting file, so a restricted
+		// domain (selects, joins, nested maps) keeps the exhaustive path.
+		if mp, ok := n.Src.(*MapPlan); ok {
+			if scan, ok := mp.Src.(*ScanPlan); ok {
+				if call, ok := mp.Body.(*CallExpr); ok && len(call.Args) > 0 {
+					if sf, ok := lookupStructFunc(call.Fn, call.Args[0].Type()); ok && sf.EmitTopK != nil {
+						*changed = true
+						return &PrunedPlan{Src: scan, Call: call, Fn: sf, K: n.K}
+					}
+				}
+			}
+		}
+		return n
+	}
+	return p
+}
+
+// rewriteExprAggs applies the aggregate-fusion rule inside a map body or
+// predicate: agg(structfn(args)) becomes the fused function the structure
+// registered (for CONTREP, sum∘getBL → getBLScore).
+func rewriteExprAggs(e Expr, changed *bool) Expr {
+	return walkRewrite(e, func(n Expr) Expr {
+		if r, ok := fuseAggNode(n); ok {
+			*changed = true
+			return r
+		}
+		return n
+	})
+}
+
+// fuseAggNode matches one agg(structfn(...)) call.
+func fuseAggNode(n Expr) (Expr, bool) {
+	x, ok := n.(*CallExpr)
+	if !ok || len(x.Args) != 1 {
+		return nil, false
+	}
+	innerCall, ok := x.Args[0].(*CallExpr)
+	if !ok || len(innerCall.Args) == 0 {
+		return nil, false
+	}
+	sf, ok := lookupStructFunc(innerCall.Fn, innerCall.Args[0].Type())
+	if !ok || sf.FuseAgg == nil {
+		return nil, false
+	}
+	fused, ok := sf.FuseAgg[x.Fn]
+	if !ok {
+		return nil, false
+	}
+	return &CallExpr{Fn: fused, Args: innerCall.Args, T: x.T}, true
+}
+
+// PlanString renders a plan as an indented operator tree (tests and the
+// shell's explain output).
+func PlanString(p Plan) string {
+	var sb strings.Builder
+	p.describe(&sb, 0)
+	return sb.String()
+}
+
+func ind(sb *strings.Builder, n int) {
+	for i := 0; i < n; i++ {
+		sb.WriteString("  ")
+	}
+}
+
+func (n *ScanPlan) describe(sb *strings.Builder, d int) {
+	ind(sb, d)
+	fmt.Fprintf(sb, "scan %s\n", n.Set)
+}
+
+func (n *ParamScanPlan) describe(sb *strings.Builder, d int) {
+	ind(sb, d)
+	fmt.Fprintf(sb, "param %s\n", n.Name)
+}
+
+func (n *MapPlan) describe(sb *strings.Builder, d int) {
+	ind(sb, d)
+	fmt.Fprintf(sb, "map [%s]\n", n.Body)
+	n.Src.describe(sb, d+1)
+}
+
+func (n *SelectPlan) describe(sb *strings.Builder, d int) {
+	ind(sb, d)
+	fmt.Fprintf(sb, "select [%s]\n", n.Pred)
+	n.Src.describe(sb, d+1)
+}
+
+func (n *JoinPlan) describe(sb *strings.Builder, d int) {
+	ind(sb, d)
+	fmt.Fprintf(sb, "join [%s]\n", n.E.Pred)
+	n.Left.describe(sb, d+1)
+	n.Right.describe(sb, d+1)
+}
+
+func (n *TopKPlan) describe(sb *strings.Builder, d int) {
+	ind(sb, d)
+	fmt.Fprintf(sb, "topk %d (exhaustive fallback)\n", n.K)
+	n.Src.describe(sb, d+1)
+}
+
+func (n *PrunedPlan) describe(sb *strings.Builder, d int) {
+	ind(sb, d)
+	fmt.Fprintf(sb, "pruned-topk %d [%s]\n", n.K, n.Call)
+	n.Src.describe(sb, d+1)
+}

@@ -18,16 +18,29 @@ type Options struct {
 	FuseAggregates bool
 	// FuseSelects rewrites select[p](select[q](S)) into select[p and q](S).
 	FuseSelects bool
+	// PushSelects rewrites select[p](map[f](S)) into
+	// map[f](select[p[THIS:=f]](S)), so the map materialises only the
+	// surviving elements.
+	PushSelects bool
 	// CSE deduplicates identical MIL operations during translation.
 	CSE bool
 	// Parallel lets the flattened executor materialise large set results
 	// over the shared parallel kernel (internal/bat); the MIL operators a
 	// query runs dispatch on input size independently of this flag.
 	Parallel bool
+	// TopK > 0 asks for only the K best elements of a set-typed query
+	// under the ranked-retrieval order (score descending, OID ascending).
+	// When the optimised plan is a retrieval the pruned top-k operator can
+	// serve (a full-collection scan scored by a function with a pruned
+	// form, e.g. getBLScore), the result comes back already ranked and cut
+	// (Result.Ranked); every other plan shape falls back to exhaustive
+	// evaluation and the caller's ranking applies the cut — the exact
+	// fallback.
+	TopK int
 }
 
 // DefaultOptions enables every optimisation.
-var DefaultOptions = Options{FuseMaps: true, FuseAggregates: true, FuseSelects: true, CSE: true, Parallel: true}
+var DefaultOptions = Options{FuseMaps: true, FuseAggregates: true, FuseSelects: true, PushSelects: true, CSE: true, Parallel: true}
 
 // NoOptimize disables every optimisation (the ablation baseline).
 var NoOptimize = Options{}

@@ -62,6 +62,13 @@ type StructFunc struct {
 	// agg(fn(args)) rewrites to fused(args). This is how CONTREP tells the
 	// optimizer that sum∘getBL collapses into the physical getbl operator.
 	FuseAgg map[string]string
+	// EmitTopK, when non-nil, lets the plan optimizer fuse a top-k request
+	// over a full-collection map of this function into one pruned physical
+	// operator: it emits MIL returning the k best elements already ranked
+	// (score descending, OID ascending) and describes the result as a
+	// SetVal whose domain is in ranking order. CONTREP registers this for
+	// getBLScore (max-score pruned retrieval).
+	EmitTopK func(tr *Translator, ctx *Ctx, recv Rep, extra []Rep, k int) (*SetVal, error)
 }
 
 var (

@@ -1,6 +1,7 @@
 package moa
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -31,6 +32,12 @@ type Translated struct {
 	// Parallel records, at flatten time, whether the executor may
 	// materialise the result rows on the parallel kernel.
 	Parallel bool
+
+	// Ranked reports that the emitted program already returns the result
+	// in ranking order (score descending, OID ascending) cut at
+	// Options.TopK — the optimiser pushed the top-k into a pruned
+	// physical operator, so the executor must not re-rank.
+	Ranked bool
 }
 
 // OutSet describes a set-typed result: the domain variable enumerates the
@@ -52,9 +59,12 @@ type Translator struct {
 	opts     Options
 	cse      map[string]string
 	paramSet map[string]*ParamSetRep
+	ranked   bool
 }
 
-// Translate flattens a checked (and usually rewritten) expression.
+// Translate flattens a checked expression through the plan pipeline:
+// build the logical plan, optimise it (including top-k pushdown when
+// opts.TopK asks for a ranked cut), and lower the result to MIL.
 func Translate(db *Database, e Expr, params map[string]Param, opts Options) (*Translated, error) {
 	tr := &Translator{
 		db:       db,
@@ -67,10 +77,19 @@ func Translate(db *Database, e Expr, params map[string]Param, opts Options) (*Tr
 	}
 	out := &Translated{Prog: tr.prog, Bindings: tr.bindings, T: e.Type(), Parallel: opts.Parallel}
 	if _, isSet := ElemType(e.Type()); isSet {
-		sv, err := tr.compileSetExpr(e)
+		plan, err := tr.BuildPlan(e)
 		if err != nil {
 			return nil, err
 		}
+		if opts.TopK > 0 {
+			plan = &TopKPlan{Src: plan, K: opts.TopK}
+		}
+		plan = OptimizePlan(plan, opts)
+		sv, err := tr.lowerPlan(plan)
+		if err != nil {
+			return nil, err
+		}
+		out.Ranked = tr.ranked
 		ctx := tr.newCtx(sv)
 		elem, err := sv.MkElem(ctx)
 		if err != nil {
@@ -162,61 +181,37 @@ func (lt *lazyThis) force(tr *Translator) (Rep, error) {
 	return lt.memo, nil
 }
 
-// ---- set expressions ----
+// ---- set expressions: plan pipeline + lowering ----
 
+// compileSetExpr flattens a set-typed (sub)expression: build its plan,
+// optimise, lower. Top-k wrapping happens only at the query root
+// (Translate), never for nested set compilations.
 func (tr *Translator) compileSetExpr(e Expr) (*SetVal, error) {
-	switch x := e.(type) {
-	case *Ident:
-		if p, ok := tr.params[x.Name]; ok {
-			st, ok := p.T.(*SetType)
-			if !ok {
-				return nil, fmt.Errorf("moa: parameter %q is not a set", x.Name)
-			}
-			psr, err := tr.bindParamSet(x.Name, st)
-			if err != nil {
-				return nil, err
-			}
-			return &SetVal{
-				DomainVar: "param_" + x.Name + "_id",
-				Full:      false, // param value BATs are keyed by their own OIDs
-				ElemT:     st.Elem,
-				MkElem: func(ctx *Ctx) (Rep, error) {
-					return &AtomRep{Var: tr.Restrict(psr.ValsVar, paramCtx(ctx, "param_"+x.Name+"_id")), T: st.Elem}, nil
-				},
-			}, nil
-		}
-		def, ok := tr.db.Set(x.Name)
-		if !ok {
-			return nil, fmt.Errorf("moa: unknown set %q", x.Name)
-		}
-		elem := def.Type.(*SetType).Elem
-		prefix := x.Name
-		return &SetVal{
-			DomainVar: prefix + "__id",
-			Full:      true,
-			ElemT:     elem,
-			MkElem: func(ctx *Ctx) (Rep, error) {
-				switch et := elem.(type) {
-				case *AtomType:
-					return &AtomRep{Var: tr.Restrict(prefix+"_val", ctx), T: et}, nil
-				case *TupleType:
-					return &ElemRep{Prefix: prefix, Ctx: ctx, T: et}, nil
-				}
-				return nil, fmt.Errorf("moa: unsupported element type %s", elem)
-			},
-		}, nil
+	plan, err := tr.BuildPlan(e)
+	if err != nil {
+		return nil, err
+	}
+	return tr.lowerPlan(OptimizePlan(plan, tr.opts))
+}
 
-	case *MapExpr:
-		src, err := tr.compileSetExpr(x.Src)
+// lowerPlan emits MIL for an optimised plan and returns the compiled set.
+func (tr *Translator) lowerPlan(p Plan) (*SetVal, error) {
+	switch n := p.(type) {
+	case *ScanPlan:
+		return tr.lowerScan(n)
+	case *ParamScanPlan:
+		return tr.lowerParamScan(n)
+	case *MapPlan:
+		src, err := tr.lowerPlan(n.Src)
 		if err != nil {
 			return nil, err
 		}
 		ctx := tr.newCtx(src)
-		body, err := tr.compile(x.Body, ctx)
+		body, err := tr.compile(n.Body, ctx)
 		if err != nil {
 			return nil, err
 		}
-		bodyT := x.Body.Type()
+		bodyT := n.Body.Type()
 		return &SetVal{
 			DomainVar: src.DomainVar,
 			Full:      src.Full,
@@ -228,14 +223,13 @@ func (tr *Translator) compileSetExpr(e Expr) (*SetVal, error) {
 				return tr.restrictRep(body, ctx2)
 			},
 		}, nil
-
-	case *SelectExpr:
-		src, err := tr.compileSetExpr(x.Src)
+	case *SelectPlan:
+		src, err := tr.lowerPlan(n.Src)
 		if err != nil {
 			return nil, err
 		}
 		ctx := tr.newCtx(src)
-		pred, err := tr.compile(x.Pred, ctx)
+		pred, err := tr.compile(n.Pred, ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -252,16 +246,105 @@ func (tr *Translator) compileSetExpr(e Expr) (*SetVal, error) {
 			return &SetVal{DomainVar: dom, Full: false, ElemT: src.ElemT, MkElem: src.MkElem}, nil
 		}
 		return nil, fmt.Errorf("moa: select predicate compiled to %T", pred)
-
-	case *JoinExpr:
-		return tr.compileJoin(x)
-
-	case *CallExpr:
-		// A structure function returning a set at top level (e.g. a bare
-		// getBL) — compile in a synthetic full context of its receiver.
-		return nil, fmt.Errorf("moa: set-valued call %q outside map context is not supported", x.Fn)
+	case *JoinPlan:
+		return tr.lowerJoin(n)
+	case *TopKPlan:
+		// Exact fallback: the optimiser could not push the cut into a
+		// pruned operator; lower the source exhaustively and let the
+		// executor's ranking apply k.
+		return tr.lowerPlan(n.Src)
+	case *PrunedPlan:
+		sv, err := tr.lowerPruned(n)
+		if errors.Is(err, ErrNoPrunedForm) {
+			// The physical form is unavailable (e.g. a store written
+			// before the term-ordered postings existed): lower the
+			// equivalent exhaustive map and let the caller rank.
+			return tr.lowerPlan(&MapPlan{Src: n.Src, Body: n.Call})
+		}
+		if err != nil {
+			return nil, err
+		}
+		tr.ranked = true
+		return sv, nil
 	}
-	return nil, fmt.Errorf("moa: expression %s is not a set", e)
+	return nil, fmt.Errorf("moa: cannot lower plan %T", p)
+}
+
+// ErrNoPrunedForm is returned by a StructFunc's EmitTopK when the pruned
+// physical representation is not available in the current database (for
+// example a checkpoint written before the term-ordered postings columns
+// existed); the lowering then falls back to exhaustive evaluation.
+var ErrNoPrunedForm = errors.New("moa: pruned top-k form unavailable")
+
+// HasBAT reports whether a stored physical BAT exists; structure EmitTopK
+// hooks use it to verify their derived columns before emitting references.
+func (tr *Translator) HasBAT(name string) bool {
+	_, ok := tr.db.BAT(name)
+	return ok
+}
+
+// lowerScan compiles a stored-collection scan.
+func (tr *Translator) lowerScan(n *ScanPlan) (*SetVal, error) {
+	def, ok := tr.db.Set(n.Set)
+	if !ok {
+		return nil, fmt.Errorf("moa: unknown set %q", n.Set)
+	}
+	elem := def.Type.(*SetType).Elem
+	prefix := n.Set
+	return &SetVal{
+		DomainVar: prefix + "__id",
+		Full:      true,
+		ElemT:     elem,
+		MkElem: func(ctx *Ctx) (Rep, error) {
+			switch et := elem.(type) {
+			case *AtomType:
+				return &AtomRep{Var: tr.Restrict(prefix+"_val", ctx), T: et}, nil
+			case *TupleType:
+				return &ElemRep{Prefix: prefix, Ctx: ctx, T: et}, nil
+			}
+			return nil, fmt.Errorf("moa: unsupported element type %s", elem)
+		},
+	}, nil
+}
+
+// lowerParamScan compiles a set-parameter scan.
+func (tr *Translator) lowerParamScan(n *ParamScanPlan) (*SetVal, error) {
+	psr, err := tr.bindParamSet(n.Name, n.T)
+	if err != nil {
+		return nil, err
+	}
+	idVar := "param_" + n.Name + "_id"
+	return &SetVal{
+		DomainVar: idVar,
+		Full:      false, // param value BATs are keyed by their own OIDs
+		ElemT:     n.T.Elem,
+		MkElem: func(ctx *Ctx) (Rep, error) {
+			return &AtomRep{Var: tr.Restrict(psr.ValsVar, paramCtx(ctx, idVar)), T: n.T.Elem}, nil
+		},
+	}, nil
+}
+
+// lowerPruned compiles the fused top-k retrieval: the scan supplies the
+// full context, the structure's EmitTopK emits the physical operator.
+func (tr *Translator) lowerPruned(n *PrunedPlan) (*SetVal, error) {
+	scan, err := tr.lowerScan(n.Src)
+	if err != nil {
+		return nil, err
+	}
+	ctx := tr.newCtx(scan)
+	recv, err := tr.compile(n.Call.Args[0], ctx)
+	if err != nil {
+		return nil, err
+	}
+	extra := make([]Rep, 0, len(n.Call.Args)-1)
+	for _, a := range n.Call.Args[1:] {
+		r, err := tr.compile(a, ctx)
+		if err != nil {
+			return nil, err
+		}
+		extra = append(extra, r)
+	}
+	return n.Fn.EmitTopK(tr, ctx, recv, extra, n.K)
 }
 
 // paramCtx adapts a context for a parameter set: parameters live in their
@@ -338,15 +421,16 @@ func paramItems(v any) ([]any, error) {
 
 // ---- join ----
 
-// compileJoin flattens join[THIS1.f = THIS2.g (and ...)](L, R): candidate
+// lowerJoin flattens join[THIS1.f = THIS2.g (and ...)](L, R): candidate
 // pairs from the first equality, residual equalities as filters, result
 // fields projected through the pair columns.
-func (tr *Translator) compileJoin(x *JoinExpr) (*SetVal, error) {
-	left, err := tr.compileSetExpr(x.Left)
+func (tr *Translator) lowerJoin(n *JoinPlan) (*SetVal, error) {
+	x := n.E
+	left, err := tr.lowerPlan(n.Left)
 	if err != nil {
 		return nil, err
 	}
-	right, err := tr.compileSetExpr(x.Right)
+	right, err := tr.lowerPlan(n.Right)
 	if err != nil {
 		return nil, err
 	}

@@ -2,11 +2,14 @@
 // logical layer of the Mirror DBMS. Moa is based on "structural object
 // orientation": structures (TUPLE, SET, LIST and registered extensions such
 // as CONTREP) build complex types from atomic base types inherited from the
-// physical layer. Moa expressions are flattened ("Flattening an object
-// algebra to provide performance", ICDE 1998) into MIL programs over BATs,
-// which gives set-at-a-time execution and algebraic optimisation; a
-// tuple-at-a-time interpreter of the same algebra is included as the
-// performance baseline the flattening argument is made against.
+// physical layer. Moa expressions compile through an explicit logical plan
+// (BuildPlan → OptimizePlan → lowering; see plan.go) and are flattened
+// ("Flattening an object algebra to provide performance", ICDE 1998) into
+// MIL programs over BATs, which gives set-at-a-time execution and algebraic
+// optimisation — including top-k pushdown into pruned retrieval operators
+// (Options.TopK); a tuple-at-a-time interpreter of the same algebra is
+// included as the performance baseline the flattening argument is made
+// against.
 //
 // # Physical decomposition and its invariants
 //
