@@ -291,8 +291,11 @@ func TestEmitQueryBenchJSON(t *testing.T) {
 		sort.Slice(perQuery, func(i, j int) bool { return perQuery[i] < perQuery[j] })
 		return perQuery[len(perQuery)/2]
 	}
+	const nShards = 8
+	shards := mkE11Shards(ix, nShards)
 	exh := medianNs(func(q []bat.OID) error { _, err := e11Exhaustive(ix, q, k); return err })
 	prn := medianNs(func(q []bat.OID) error { _, err := e11Pruned(ix, q, k); return err })
+	shd := medianNs(func(q []bat.OID) error { _, err := e11Sharded(shards, q, k); return err })
 	out := map[string]any{
 		"experiment":        "E11",
 		"n_docs":            ix.n,
@@ -301,6 +304,13 @@ func TestEmitQueryBenchJSON(t *testing.T) {
 		"p50_exhaustive_ns": exh,
 		"p50_pruned_ns":     prn,
 		"speedup":           fmt.Sprintf("%.1f", float64(exh)/float64(prn)),
+		// sharded-vs-single: the scatter-gather merge with a shared
+		// pruning threshold over 8 document shards, against the single
+		// pruned scan — the overhead (or win) of going placement-aware.
+		"shards":            nShards,
+		"p50_sharded_ns":    shd,
+		"sharded_vs_single": fmt.Sprintf("%.2f", float64(shd)/float64(prn)),
+		"sharded_vs_exh":    fmt.Sprintf("%.1f", float64(exh)/float64(shd)),
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -309,8 +319,8 @@ func TestEmitQueryBenchJSON(t *testing.T) {
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("E11 n=%d k=%d: exhaustive p50 %.2fms, pruned p50 %.3fms (%.1fx)",
-		ix.n, k, float64(exh)/1e6, float64(prn)/1e6, float64(exh)/float64(prn))
+	t.Logf("E11 n=%d k=%d: exhaustive p50 %.2fms, pruned p50 %.3fms (%.1fx), sharded(%d) p50 %.3fms",
+		ix.n, k, float64(exh)/1e6, float64(prn)/1e6, float64(exh)/float64(prn), nShards, float64(shd)/1e6)
 }
 
 // BenchmarkScoresPooling quantifies the sync.Pool satellite: the same
@@ -354,4 +364,141 @@ func BenchmarkScoresPooling(b *testing.B) {
 			_ = out
 		}
 	})
+}
+
+// ---- sharded scatter-gather vs single store (PR 4) ----
+
+// e11Shard is one document-range slice of the e11 postings — the physical
+// shape of one shard's CONTREP after a sharded index build.
+type e11Shard struct {
+	start, postDoc, postBel, maxBel, domain *bat.BAT
+}
+
+// mkE11Shards slices the corpus into n doc-range shards with shard-local
+// max-belief bounds. (The engine shards by URL hash; doc ranges give the
+// same per-shard shape with a cheaper fixture.)
+func mkE11Shards(ix *e11Index, n int) []e11Shard {
+	starts := ix.start.Tail.Ints()
+	docs := ix.postDoc.Tail.OIDs()
+	bels := ix.postBel.Tail.Floats()
+	shards := make([]e11Shard, n)
+	for s := 0; s < n; s++ {
+		lo := bat.OID(uint64(ix.n) * uint64(s) / uint64(n))
+		hi := bat.OID(uint64(ix.n) * uint64(s+1) / uint64(n))
+		st := make([]int64, 0, ix.nterms+1)
+		var pd []bat.OID
+		var pb []float64
+		mx := make([]float64, ix.nterms)
+		for t := 0; t < ix.nterms; t++ {
+			st = append(st, int64(len(pd)))
+			tlo, thi := int(starts[t]), int(starts[t+1])
+			p := tlo + sort.Search(thi-tlo, func(i int) bool { return docs[tlo+i] >= lo })
+			for ; p < thi && docs[p] < hi; p++ {
+				pd = append(pd, docs[p])
+				pb = append(pb, bels[p])
+				if bels[p] > mx[t] {
+					mx[t] = bels[p]
+				}
+			}
+		}
+		st = append(st, int64(len(pd)))
+		dom := &bat.BAT{Head: bat.NewVoid(lo, int(hi-lo)), Tail: bat.NewVoid(lo, int(hi-lo))}
+		dom.HSorted, dom.HKey = true, true
+		shards[s] = e11Shard{
+			start:   adoptVoid(bat.ColumnOfInts(st)),
+			postDoc: adoptVoid(bat.ColumnOfOIDs(pd)),
+			postBel: adoptVoid(bat.ColumnOfFloats(pb)),
+			maxBel:  adoptVoid(bat.ColumnOfFloats(mx)),
+			domain:  dom,
+		}
+	}
+	return shards
+}
+
+type e11Hit struct {
+	doc   bat.OID
+	score float64
+}
+
+func e11HitWorse(a, b e11Hit) bool {
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	return a.doc > b.doc
+}
+
+// e11Sharded runs the scatter-gather path: every shard scans concurrently
+// with ONE shared pruning threshold, local top-ks merge through the
+// bounded selector — exactly core.ShardedEngine's per-query dance at the
+// physical layer.
+func e11Sharded(shards []e11Shard, q []bat.OID, k int) ([]e11Hit, error) {
+	theta := bat.NewTopKThreshold()
+	results := make([]*bat.BAT, len(shards))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for s := range shards {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sh := shards[s]
+			results[s], errs[s] = bat.PrunedTopKShared(
+				sh.start, sh.postDoc, sh.postBel, sh.maxBel, q, nil, ir.DefaultBelief, k, sh.domain, theta)
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	merged := bat.NewBoundedTopK(k, e11HitWorse)
+	for _, r := range results {
+		for i := 0; i < r.Len(); i++ {
+			merged.Offer(e11Hit{doc: r.Head.OIDAt(i), score: r.Tail.FloatAt(i)})
+		}
+	}
+	return merged.Ranked(), nil
+}
+
+// TestE11ShardedEqualsSingle pins, at CI scale, that the scatter-gather
+// merge with a shared threshold returns the single scan BUN-for-BUN.
+func TestE11ShardedEqualsSingle(t *testing.T) {
+	n := 200_000
+	if testing.Short() {
+		n = 20_000
+	}
+	ix := mkE11Index(n)
+	shards := mkE11Shards(ix, 8)
+	const k = 10
+	for _, q := range e11Queries(ix) {
+		want, err := e11Pruned(ix, q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e11Sharded(shards, q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != want.Len() {
+			t.Fatalf("q=%v: %d hits vs %d", q, len(got), want.Len())
+		}
+		for i, h := range got {
+			if h.doc != want.Head.OIDAt(i) || h.score != want.Tail.FloatAt(i) {
+				t.Fatalf("q=%v rank %d: sharded (%d, %v), single (%d, %v)",
+					q, i, h.doc, h.score, want.Head.OIDAt(i), want.Tail.FloatAt(i))
+			}
+		}
+	}
+}
+
+func BenchmarkE11_ShardedTopK(b *testing.B) {
+	ix := mkE11Index(e11N())
+	shards := mkE11Shards(ix, 8)
+	qs := e11Queries(ix)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e11Sharded(shards, qs[i%len(qs)], 10); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

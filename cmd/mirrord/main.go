@@ -10,6 +10,14 @@
 // WAL-logged, and checkpoints — periodic via -checkpoint-every, forced
 // via the Mirror.Checkpoint RPC, and one final on shutdown — rewrite
 // only the BATs that changed.
+//
+// With -shards N the collection is hash-partitioned across N member
+// stores (store/shard-000 … shard-N-1, each with its own manifest, heap
+// files and WAL) that recover in parallel and answer queries by
+// scatter-gather; clients see the same RPC surface either way. The
+// layout is a stored property of the shard manifests: a sharded store
+// reopens with the shard count it was built with (-shards 0), and a
+// contradicting count is refused — see docs/OPERATIONS.md.
 package main
 
 import (
@@ -18,11 +26,13 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"time"
 
 	"mirror/internal/core"
 	"mirror/internal/dict"
 	"mirror/internal/mediaserver"
+	"mirror/internal/storage"
 )
 
 func main() {
@@ -30,7 +40,7 @@ func main() {
 		dictAddr = flag.String("dict", "", "data dictionary address (required)")
 		mediaURL = flag.String("media", "", "media server base URL; discovered via the dictionary when empty")
 		addr     = flag.String("addr", "127.0.0.1:8641", "listen address")
-		saveDir  = flag.String("save", "", "write a one-shot snapshot of the database to this directory after indexing")
+		saveDir  = flag.String("save", "", "write a one-shot snapshot of the database to this directory after indexing (unsharded only)")
 		local    = flag.Bool("local-pipeline", false, "run extraction in-process instead of via daemons")
 
 		storeDir  = flag.String("store", "", "persistent store directory (BAT buffer pool + WAL); recovers on restart")
@@ -38,31 +48,32 @@ func main() {
 		verify    = flag.Bool("verify", true, "checksum heap files when loading the store (reads every byte once at startup; set false for a pure O(working-set) mmap cold start)")
 		noMmap    = flag.Bool("no-mmap", false, "load the store with the portable read path instead of mmap")
 		ckptEvery = flag.Duration("checkpoint-every", 0, "checkpoint the store on this interval (0 = only on shutdown/RPC)")
+		shards    = flag.Int("shards", 0, "shard the collection across N hash-partitioned stores (0 = reopen a store with its stored layout, or run unsharded when fresh)")
 	)
 	flag.Parse()
 	if *dictAddr == "" {
 		log.Fatal("mirrord: -dict is required")
 	}
+	if *shards < 0 {
+		log.Fatal("mirrord: -shards must be >= 0")
+	}
 
-	var m *core.Mirror
-	var err error
-	if *storeDir != "" {
-		var stats core.RecoveryStats
-		m, stats, err = core.OpenPersistent(core.PersistOptions{
-			Dir: *storeDir, WALSync: *walSync, Verify: *verify, NoMmap: *noMmap,
-		})
+	var r core.Retriever
+	switch {
+	case *storeDir != "":
+		r = openStore(*storeDir, *shards, *walSync, *verify, *noMmap)
+	case *shards >= 1:
+		e, err := core.NewSharded(*shards)
 		if err != nil {
-			log.Fatalf("mirrord: open store: %v", err)
-		}
-		if stats.TornTail {
-			log.Printf("mirrord: WARNING: truncated a torn WAL tail in %s (recovered to last consistent state)", *storeDir)
-		}
-		fmt.Printf("mirrord: store %s: %d BATs, %d WAL records replayed, %d items\n",
-			*storeDir, stats.BATs, stats.WALRecords, m.Size())
-	} else {
-		if m, err = core.New(); err != nil {
 			log.Fatalf("mirrord: %v", err)
 		}
+		r = e
+	default:
+		m, err := core.New()
+		if err != nil {
+			log.Fatalf("mirrord: %v", err)
+		}
+		r = m
 	}
 
 	// A fully indexed recovered store serves immediately. Anything else
@@ -71,7 +82,7 @@ func main() {
 	// and rasters are never persisted) — is built/repaired by crawling
 	// the media server: known URLs get their rasters re-attached, new
 	// ones are ingested, then the pipeline runs.
-	if m.Size() == 0 || !m.Indexed() {
+	if r.Size() == 0 || !r.Indexed() {
 		base := *mediaURL
 		if base == "" {
 			dc, err := dict.Dial(*dictAddr)
@@ -91,7 +102,7 @@ func main() {
 			log.Fatalf("mirrord: crawl: %v", err)
 		}
 		known := map[string]bool{}
-		for _, u := range m.URLs() {
+		for _, u := range r.URLs() {
 			known[u] = true
 		}
 		for _, it := range crawled {
@@ -100,27 +111,27 @@ func main() {
 				log.Fatalf("mirrord: decode %s: %v", it.URL, err)
 			}
 			if known[it.URL] {
-				if err := m.AddRaster(it.URL, img); err != nil {
+				if err := r.AddRaster(it.URL, img); err != nil {
 					log.Fatalf("mirrord: re-attach %s: %v", it.URL, err)
 				}
 				continue
 			}
-			if err := m.AddImage(it.URL, it.Annotation, img); err != nil {
+			if err := r.AddImage(it.URL, it.Annotation, img); err != nil {
 				log.Fatalf("mirrord: ingest %s: %v", it.URL, err)
 			}
 		}
-		fmt.Printf("mirrord: ingested %d items; running extraction pipeline...\n", m.Size())
+		fmt.Printf("mirrord: ingested %d items; running extraction pipeline...\n", r.Size())
 		opts := core.DefaultIndexOptions()
 		if *local {
-			err = m.BuildContentIndex(opts)
+			err = r.BuildContentIndex(opts)
 		} else {
-			err = m.BuildContentIndexDistributed(opts, *dictAddr)
+			err = r.BuildContentIndexDistributed(opts, *dictAddr)
 		}
 		if err != nil {
 			log.Fatalf("mirrord: pipeline: %v", err)
 		}
-		if m.Persistent() {
-			st, err := m.Checkpoint()
+		if r.Persistent() {
+			st, err := r.Checkpoint()
 			if err != nil {
 				log.Fatalf("mirrord: checkpoint: %v", err)
 			}
@@ -128,13 +139,17 @@ func main() {
 		}
 	}
 	if *saveDir != "" {
+		m, ok := r.(*core.Mirror)
+		if !ok {
+			log.Fatal("mirrord: -save snapshots are unsharded only (checkpoint the sharded store instead)")
+		}
 		if err := m.Save(*saveDir); err != nil {
 			log.Fatalf("mirrord: save: %v", err)
 		}
 		fmt.Printf("mirrord: database saved to %s\n", *saveDir)
 	}
 
-	bound, stop, err := m.Serve(*addr, *dictAddr)
+	bound, stop, err := core.Serve(r, *addr, *dictAddr)
 	if err != nil {
 		log.Fatalf("mirrord: %v", err)
 	}
@@ -142,7 +157,7 @@ func main() {
 	fmt.Printf("mirrord: Mirror DBMS serving at %s\n", bound)
 
 	ticker := make(<-chan time.Time)
-	if m.Persistent() && *ckptEvery > 0 {
+	if r.Persistent() && *ckptEvery > 0 {
 		t := time.NewTicker(*ckptEvery)
 		defer t.Stop()
 		ticker = t.C
@@ -152,7 +167,7 @@ func main() {
 	for {
 		select {
 		case <-ticker:
-			st, err := m.Checkpoint()
+			st, err := r.Checkpoint()
 			if err != nil {
 				log.Printf("mirrord: periodic checkpoint: %v", err)
 			} else if st.Written > 0 {
@@ -164,8 +179,8 @@ func main() {
 			// still hold mmap-backed BATs, and process exit reclaims
 			// the mappings and file handles safely.
 			stop()
-			if m.Persistent() {
-				st, err := m.Checkpoint()
+			if r.Persistent() {
+				st, err := r.Checkpoint()
 				if err != nil {
 					log.Printf("mirrord: final checkpoint: %v", err)
 				} else {
@@ -175,4 +190,43 @@ func main() {
 			return
 		}
 	}
+}
+
+// openStore opens the persistent store, standalone or sharded. Layout
+// resolution: an explicit -shards N >= 1 demands a sharded store with N
+// members (fresh stores are created that way); -shards 0 reopens whatever
+// layout the directory holds, defaulting to standalone for fresh stores.
+func openStore(dir string, shards int, walSync, verify, noMmap bool) core.Retriever {
+	standalone := storage.IsStore(dir)
+	_, shard0Err := os.Stat(filepath.Join(dir, "shard-000"))
+	sharded := shards >= 1 || shard0Err == nil
+	if sharded && standalone {
+		log.Fatalf("mirrord: %s holds a standalone store; it cannot be opened with -shards (resharding in place is not supported)", dir)
+	}
+	if sharded {
+		e, stats, err := core.OpenShardedPersistent(core.ShardedPersistOptions{
+			Dir: dir, Shards: shards, WALSync: walSync, Verify: verify, NoMmap: noMmap,
+		})
+		if err != nil {
+			log.Fatalf("mirrord: open sharded store: %v", err)
+		}
+		for _, s := range stats.TornTails {
+			log.Printf("mirrord: WARNING: truncated a torn WAL tail on shard %d (recovered to last consistent state)", s)
+		}
+		fmt.Printf("mirrord: sharded store %s: %d shards, %d BATs, %d WAL records replayed, %d items\n",
+			dir, stats.Shards, stats.BATs, stats.WALRecords, e.Size())
+		return e
+	}
+	m, stats, err := core.OpenPersistent(core.PersistOptions{
+		Dir: dir, WALSync: walSync, Verify: verify, NoMmap: noMmap,
+	})
+	if err != nil {
+		log.Fatalf("mirrord: open store: %v", err)
+	}
+	if stats.TornTail {
+		log.Printf("mirrord: WARNING: truncated a torn WAL tail in %s (recovered to last consistent state)", dir)
+	}
+	fmt.Printf("mirrord: store %s: %d BATs, %d WAL records replayed, %d items\n",
+		dir, stats.BATs, stats.WALRecords, m.Size())
+	return m
 }

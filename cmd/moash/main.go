@@ -19,7 +19,17 @@
 //	                             (bindings persist across \milrun lines;
 //	                             every builtin is documented in docs/MIL.md)
 //	\sets                        list defined sets
+//	\shards                      sharded-layout introspection (shard count,
+//	                             per-shard document/BAT counts, store dirs)
 //	\help, \quit
+//
+// With -shards N the demo collection is hash-partitioned across N
+// in-memory stores and queries scatter-gather through the sharded engine
+// (the differential guarantee makes the results indistinguishable from
+// the unsharded shell). -load accepts a sharded store root (written by
+// mirrord -shards) as well as a standalone snapshot. In sharded mode,
+// query plumbing that is inherently single-store — \mil, \milrun, \plan,
+// define — runs against shard 0 and says so.
 package main
 
 import (
@@ -40,50 +50,81 @@ import (
 
 func main() {
 	var (
-		n      = flag.Int("n", 40, "demo collection size")
-		seed   = flag.Int64("seed", 1, "demo collection seed")
-		load   = flag.String("load", "", "load a saved database directory instead of generating")
-		noPipe = flag.Bool("no-pipeline", false, "skip the content pipeline (text-only)")
+		n       = flag.Int("n", 40, "demo collection size")
+		seed    = flag.Int64("seed", 1, "demo collection seed")
+		load    = flag.String("load", "", "load a saved database directory (snapshot or sharded store root) instead of generating")
+		noPipe  = flag.Bool("no-pipeline", false, "skip the content pipeline (text-only)")
+		shardsN = flag.Int("shards", 0, "shard the demo collection across N in-memory stores (0 = unsharded)")
 	)
 	flag.Parse()
 
-	var m *core.Mirror
-	var err error
-	if *load != "" {
-		m, err = core.Load(*load)
-		if err != nil {
-			log.Fatalf("moash: %v", err)
+	var r core.Retriever
+	var sharded *core.ShardedEngine
+	switch {
+	case *load != "":
+		if _, err := os.Stat(*load + "/shard-000"); err == nil {
+			e, stats, err := core.OpenShardedPersistent(core.ShardedPersistOptions{Dir: *load})
+			if err != nil {
+				log.Fatalf("moash: %v", err)
+			}
+			sharded, r = e, e
+			fmt.Printf("moash: opened sharded store %s (%d shards, %d items)\n", *load, stats.Shards, e.Size())
+		} else {
+			m, err := core.Load(*load)
+			if err != nil {
+				log.Fatalf("moash: %v", err)
+			}
+			r = m
+			fmt.Printf("moash: loaded %d items from %s\n", m.Size(), *load)
 		}
-		fmt.Printf("moash: loaded %d items from %s\n", m.Size(), *load)
-	} else {
+	default:
 		fmt.Printf("moash: generating demo collection (n=%d, seed=%d)...\n", *n, *seed)
 		items := corpus.Generate(corpus.Config{N: *n, W: 64, H: 64, Seed: *seed, AnnotateRate: 0.7})
-		m, err = core.New()
-		if err != nil {
-			log.Fatalf("moash: %v", err)
+		if *shardsN > 0 {
+			e, err := core.NewSharded(*shardsN)
+			if err != nil {
+				log.Fatalf("moash: %v", err)
+			}
+			sharded, r = e, e
+		} else {
+			m, err := core.New()
+			if err != nil {
+				log.Fatalf("moash: %v", err)
+			}
+			r = m
 		}
 		for _, it := range items {
-			if err := m.AddImage(it.URL, it.Annotation, it.Scene.Img); err != nil {
+			if err := r.AddImage(it.URL, it.Annotation, it.Scene.Img); err != nil {
 				log.Fatalf("moash: %v", err)
 			}
 		}
 		if !*noPipe {
 			fmt.Println("moash: running extraction pipeline (segmentation, features, AutoClass, thesaurus)...")
-			if err := m.BuildContentIndex(core.DefaultIndexOptions()); err != nil {
+			if err := r.BuildContentIndex(core.DefaultIndexOptions()); err != nil {
 				log.Fatalf("moash: %v", err)
 			}
 		}
 	}
-	repl(m)
+	repl(r, sharded)
 }
 
-func repl(m *core.Mirror) {
+// localStore returns the store backing single-store plumbing (\milrun,
+// \plan, define): the Mirror itself, or shard 0 of a sharded engine.
+func localStore(r core.Retriever, sharded *core.ShardedEngine) *core.Mirror {
+	if sharded != nil {
+		return sharded.Shard(0)
+	}
+	return r.(*core.Mirror)
+}
+
+func repl(r core.Retriever, sharded *core.ShardedEngine) {
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	showMIL := false
 	topK := 0
 	var milEnv *mil.Env
 	var queryTerms []string
+	local := localStore(r, sharded)
 	fmt.Println(`moash: the Mirror DBMS Moa shell — \help for commands`)
 	for {
 		fmt.Print("moa> ")
@@ -109,7 +150,22 @@ func repl(m *core.Mirror) {
 			fmt.Println("  \\topk <n>           rank cut for ad-hoc queries (0 = full result)")
 			fmt.Println("  \\milrun <stmt;>     run raw MIL against the stored BATs (see docs/MIL.md)")
 			fmt.Println("  \\sets               list sets")
+			fmt.Println("  \\shards             sharded-layout introspection")
 			fmt.Println("  \\quit")
+		case line == `\shards`:
+			if sharded == nil {
+				fmt.Println("unsharded: one store answers everything (run with -shards N, or point -load at a sharded store root)")
+				break
+			}
+			infos := sharded.ShardInfos()
+			fmt.Printf("%d shards, %d documents, routing: fnv64a(url) mod %d\n", len(infos), sharded.Size(), len(infos))
+			for _, info := range infos {
+				dir := info.Dir
+				if dir == "" {
+					dir = "(in-memory)"
+				}
+				fmt.Printf("  shard %3d  %6d docs  %4d BATs  %s\n", info.Index, info.Docs, info.BATs, dir)
+			}
 		case line == `\mil`:
 			showMIL = !showMIL
 			fmt.Printf("MIL display %v\n", showMIL)
@@ -117,13 +173,16 @@ func repl(m *core.Mirror) {
 			if milEnv == nil {
 				milEnv = mil.NewEnv()
 				milEnv.Out = os.Stdout
-				for name, b := range m.DB.Snapshot() {
+				if sharded != nil {
+					fmt.Println("(sharded: raw MIL runs against shard 0's BATs)")
+				}
+				for name, b := range local.DB.Snapshot() {
 					milEnv.Bind(name, b)
 				}
 			}
 			runMIL(strings.TrimPrefix(line, `\milrun `), milEnv)
 		case line == `\sets`:
-			for _, def := range m.DB.Sets() {
+			for _, def := range local.DB.Sets() {
 				fmt.Printf("  %s (card %d)\n", def.Name, def.Card)
 			}
 		case strings.HasPrefix(line, `\q `):
@@ -140,7 +199,10 @@ func repl(m *core.Mirror) {
 			if queryTerms != nil {
 				params = ir.QueryParams(queryTerms)
 			}
-			eng := &moa.Engine{DB: m.Eng.DB, Opts: m.Eng.Opts}
+			if sharded != nil {
+				fmt.Printf("(sharded: the plan below runs on each of the %d shards; results merge through the bounded top-k selector)\n", sharded.NumShards())
+			}
+			eng := &moa.Engine{DB: local.Eng.DB, Opts: local.Eng.Opts}
 			eng.Opts.TopK = topK
 			plan, err := eng.Explain(strings.TrimPrefix(line, `\plan `), params)
 			if err != nil {
@@ -149,23 +211,42 @@ func repl(m *core.Mirror) {
 				fmt.Print(plan)
 			}
 		case strings.HasPrefix(line, `\rank `):
-			hits, err := m.QueryAnnotations(strings.TrimPrefix(line, `\rank `), 10)
+			hits, err := r.QueryAnnotations(strings.TrimPrefix(line, `\rank `), 10)
 			printHits(hits, err)
 		case strings.HasPrefix(line, `\dual `):
-			hits, err := m.QueryDualCoding(strings.TrimPrefix(line, `\dual `), 10)
+			hits, err := r.QueryDualCoding(strings.TrimPrefix(line, `\dual `), 10)
 			printHits(hits, err)
 		case strings.HasPrefix(line, `\terms `):
-			for _, c := range m.ExpandQuery(strings.TrimPrefix(line, `\terms `), 8) {
+			for _, c := range r.ExpandQuery(strings.TrimPrefix(line, `\terms `), 8) {
 				fmt.Printf("  %s\n", c)
 			}
 		case strings.HasPrefix(line, "define"):
-			if err := m.DB.DefineFromSource(line); err != nil {
+			if sharded != nil {
+				fmt.Println("error: schema changes on a sharded store must go through the engine (define on shard 0 would desync the layout)")
+				break
+			}
+			if err := local.DB.DefineFromSource(line); err != nil {
 				fmt.Printf("error: %v\n", err)
 			}
 		default:
-			runQuery(m, line, queryTerms, showMIL, topK)
+			if sharded != nil {
+				runShardedQuery(sharded, line, queryTerms, topK)
+			} else {
+				runQuery(local, line, queryTerms, showMIL, topK)
+			}
 		}
 	}
+}
+
+// runShardedQuery evaluates a Moa query through the scatter-gather engine
+// (no MIL display: N programs run, one per shard).
+func runShardedQuery(e *core.ShardedEngine, src string, queryTerms []string, topK int) {
+	res, err := e.QueryTopK(src, queryTerms, topK)
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	printRows(res)
 }
 
 func runQuery(m *core.Mirror, src string, queryTerms []string, showMIL bool, topK int) {
@@ -192,6 +273,10 @@ func runQuery(m *core.Mirror, src string, queryTerms []string, showMIL bool, top
 		fmt.Printf("error: %v\n", err)
 		return
 	}
+	printRows(res)
+}
+
+func printRows(res *moa.Result) {
 	if res.Rows == nil {
 		fmt.Printf("= %v\n", res.Scalar)
 		return

@@ -47,9 +47,9 @@ func TestDocsEveryInternalPackageHasGodoc(t *testing.T) {
 }
 
 // TestDocsLinksResolve link-checks the repo-relative markdown links in
-// ARCHITECTURE.md and everything under docs/.
+// README.md, ARCHITECTURE.md and everything under docs/.
 func TestDocsLinksResolve(t *testing.T) {
-	mdFiles := []string{"ARCHITECTURE.md"}
+	mdFiles := []string{"README.md", "ARCHITECTURE.md"}
 	extra, err := filepath.Glob(filepath.Join("docs", "*.md"))
 	if err != nil {
 		t.Fatal(err)
@@ -95,6 +95,111 @@ func TestDocsMILReferenceIsComplete(t *testing.T) {
 	for _, form := range []string{"{sum}(", "[*]("} {
 		if !strings.Contains(doc, form) {
 			t.Errorf("docs/MIL.md does not show the %q form", form)
+		}
+	}
+}
+
+// mirrordFlags parses the flag definitions out of cmd/mirrord/main.go —
+// the single source of truth the operations manual must track.
+func mirrordFlags(t *testing.T) []string {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("cmd", "mirrord", "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`flag\.(?:String|Bool|Int|Int64|Float64|Duration)\("([^"]+)"`)
+	var names []string
+	for _, m := range re.FindAllStringSubmatch(string(src), -1) {
+		names = append(names, m[1])
+	}
+	if len(names) < 5 {
+		t.Fatalf("parsed only %d mirrord flags — the extraction regexp is stale", len(names))
+	}
+	return names
+}
+
+// TestDocsOperationsCoversEveryMirrordFlag fails when cmd/mirrord gains
+// (or renames) a flag without docs/OPERATIONS.md documenting it as
+// `-name`, keeping the operator manual complete by construction.
+func TestDocsOperationsCoversEveryMirrordFlag(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("docs", "OPERATIONS.md"))
+	if err != nil {
+		t.Fatalf("docs/OPERATIONS.md: %v (the operations manual is a required artifact)", err)
+	}
+	doc := string(src)
+	for _, name := range mirrordFlags(t) {
+		if !strings.Contains(doc, "`-"+name+"`") {
+			t.Errorf("docs/OPERATIONS.md does not document mirrord flag -%s", name)
+		}
+	}
+	// the recovery story and the crash matrix are the document's reason
+	// to exist — their anchors must survive edits
+	for _, anchor := range []string{"Recovery walkthrough", "Crash matrix", "Sharding", "wal.log", "MANIFEST"} {
+		if !strings.Contains(doc, anchor) {
+			t.Errorf("docs/OPERATIONS.md lost its %q section/anchor", anchor)
+		}
+	}
+}
+
+// TestDocsReadmeCoversEntryPoints keeps README.md an honest front door:
+// it must exist, name every binary in cmd/, and point at the deeper docs.
+func TestDocsReadmeCoversEntryPoints(t *testing.T) {
+	src, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("README.md: %v (the repo front door is a required artifact)", err)
+	}
+	doc := string(src)
+	cmds, err := os.ReadDir("cmd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range cmds {
+		if d.IsDir() && !strings.Contains(doc, d.Name()) {
+			t.Errorf("README.md does not mention cmd/%s", d.Name())
+		}
+	}
+	for _, ref := range []string{"ARCHITECTURE.md", "docs/OPERATIONS.md", "docs/MIL.md", "EXPERIMENTS.md", "ROADMAP.md"} {
+		if !strings.Contains(doc, ref) {
+			t.Errorf("README.md does not point at %s", ref)
+		}
+	}
+	for _, pkg := range []string{"internal/bat", "internal/moa", "internal/ir", "internal/storage", "internal/core"} {
+		if !strings.Contains(doc, pkg) {
+			t.Errorf("README.md does not describe %s", pkg)
+		}
+	}
+}
+
+// TestDocsCrashMatrixNamesRealTests keeps the OPERATIONS.md crash matrix
+// anchored to the suite: every test it cites must still exist somewhere
+// under internal/.
+func TestDocsCrashMatrixNamesRealTests(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("docs", "OPERATIONS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cited := regexp.MustCompile("`(Test[A-Za-z0-9_]+)`").FindAllStringSubmatch(string(src), -1)
+	if len(cited) == 0 {
+		t.Fatal("the crash matrix cites no tests")
+	}
+	var testSrc strings.Builder
+	for _, dir := range []string{"internal/storage", "internal/core"} {
+		files, err := filepath.Glob(filepath.Join(dir, "*_test.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range files {
+			b, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			testSrc.Write(b)
+		}
+	}
+	all := testSrc.String()
+	for _, m := range cited {
+		if !strings.Contains(all, "func "+m[1]+"(") {
+			t.Errorf("docs/OPERATIONS.md cites %s, which no longer exists", m[1])
 		}
 	}
 }

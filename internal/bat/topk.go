@@ -226,23 +226,32 @@ type topkCand struct {
 
 func worseCand(a, b topkCand) bool { return worseHit(a.score, a.doc, b.score, b.doc) }
 
-// ---- shared threshold across partitions ----
+// ---- shared threshold across partitions and shards ----
 
-// sharedTheta is a monotonically rising score lower bound shared by all
-// partitions: each publishes its local k-th best, and any partition's k-th
-// best within its candidate subset is ≤ the global k-th best, so skipping
-// bound+slack ≤ θ can never drop a true top-k document.
-type sharedTheta struct{ bits atomic.Uint64 }
+// TopKThreshold is a monotonically rising score lower bound shared by all
+// scans cooperating on one top-k cut: each publishes its local k-th best,
+// and any scan's k-th best within its candidate subset is ≤ the global
+// k-th best, so skipping bound+slack ≤ θ can never drop a true top-k
+// document. Within one PrunedTopK call the doc-range partitions share one
+// automatically; a sharded engine passes the same object to every shard's
+// scan (PrunedTopKShared) so pruning tightens across shards exactly as it
+// does across partitions. Safe for concurrent use; zero value is NOT
+// ready — use NewTopKThreshold.
+type TopKThreshold struct{ bits atomic.Uint64 }
 
-func newSharedTheta() *sharedTheta {
-	t := &sharedTheta{}
+// NewTopKThreshold returns a threshold initialised to -Inf (nothing can be
+// pruned until some scan retains k candidates).
+func NewTopKThreshold() *TopKThreshold {
+	t := &TopKThreshold{}
 	t.bits.Store(math.Float64bits(math.Inf(-1)))
 	return t
 }
 
-func (t *sharedTheta) load() float64 { return math.Float64frombits(t.bits.Load()) }
+// Load returns the current lower bound.
+func (t *TopKThreshold) Load() float64 { return math.Float64frombits(t.bits.Load()) }
 
-func (t *sharedTheta) raise(v float64) {
+// Raise lifts the bound to v if v is higher; it never lowers.
+func (t *TopKThreshold) Raise(v float64) {
 	for {
 		old := t.bits.Load()
 		if math.Float64frombits(old) >= v {
@@ -277,6 +286,17 @@ type qterm struct {
 // reproduces WSumBeliefs + rank: only matching documents appear, domain may
 // be nil.
 func PrunedTopK(start, postDoc, postBel, maxBel *BAT, query []OID, weights []float64, def float64, k int, domain *BAT) (*BAT, error) {
+	return PrunedTopKShared(start, postDoc, postBel, maxBel, query, weights, def, k, domain, nil)
+}
+
+// PrunedTopKShared is PrunedTopK with an externally owned pruning
+// threshold. A scatter-gather engine passes the same *TopKThreshold to
+// every shard's scan of one query: each shard raises it to its local k-th
+// best score, so a hot shard's threshold prunes the cold shards' scans.
+// The returned ranking is unchanged by sharing (the threshold is always a
+// valid global lower bound); only the amount of skipped work differs.
+// theta == nil behaves exactly like PrunedTopK (a private threshold).
+func PrunedTopKShared(start, postDoc, postBel, maxBel *BAT, query []OID, weights []float64, def float64, k int, domain *BAT, theta *TopKThreshold) (*BAT, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("bat: prunedtopk: k must be positive, got %d", k)
 	}
@@ -326,7 +346,9 @@ func PrunedTopK(start, postDoc, postBel, maxBel *BAT, query []OID, weights []flo
 	}
 
 	nPar := Parallelism()
-	theta := newSharedTheta()
+	if theta == nil {
+		theta = NewTopKThreshold()
+	}
 	var heaps []*BoundedTopK[topkCand]
 	if useParallel(totalPostings) && nPar > 1 {
 		// Document-range partitions: per-partition max-score with local
@@ -399,7 +421,7 @@ func PrunedTopK(start, postDoc, postBel, maxBel *BAT, query []OID, weights []flo
 // essential terms (largest bounds) are merged document-at-a-time; the
 // non-essential tail is probed by binary search only while a document's
 // score bound still clears the threshold.
-func maxscoreScan(pv *postingsView, terms []qterm, query []OID, weights []float64, def, fillBase float64, h *BoundedTopK[topkCand], theta *sharedTheta) {
+func maxscoreScan(pv *postingsView, terms []qterm, query []OID, weights []float64, def, fillBase float64, h *BoundedTopK[topkCand], theta *TopKThreshold) {
 	m := len(terms)
 	if m == 0 {
 		return
@@ -449,7 +471,7 @@ func maxscoreScan(pv *postingsView, terms []qterm, query []OID, weights []float6
 	}
 	for {
 		th := threshold()
-		if g := theta.load(); g > th {
+		if g := theta.Load(); g > th {
 			th = g
 		}
 		if h.Full() {
@@ -525,7 +547,7 @@ func maxscoreScan(pv *postingsView, terms []qterm, query []OID, weights []float6
 		}
 		h.Offer(topkCand{doc: best, score: score})
 		if h.Full() {
-			theta.raise(threshold())
+			theta.Raise(threshold())
 		}
 	}
 }

@@ -2,6 +2,7 @@ package bat
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -338,5 +339,137 @@ func TestBoundedTopK(t *testing.T) {
 	h2.Offer(6)
 	if w, ok := h2.Worst(); !ok || w != 4 || h2.Full() {
 		t.Fatalf("underfull: worst=%v ok=%v full=%v", w, ok, h2.Full())
+	}
+}
+
+// shardSlice cuts a synthIndex to the document range [lo, hi): the
+// term-ordered postings restricted to those documents, with shard-local
+// max-belief bounds — exactly what one shard of a sharded store holds.
+func (si *synthIndex) shardSlice(lo, hi OID) (start, doc, bel, maxb, domain *BAT) {
+	start = NewDense(0, KindInt)
+	doc = NewDense(0, KindOID)
+	bel = NewDense(0, KindFloat)
+	maxb = NewDense(0, KindFloat)
+	off := int64(0)
+	for t := 0; t < si.nterms; t++ {
+		start.MustAppend(OID(t), off)
+		tlo, thi := int(si.start.Tail.IntAt(t)), int(si.start.Tail.IntAt(t+1))
+		mx := 0.0
+		for p := tlo; p < thi; p++ {
+			d := si.doc.Tail.OIDAt(p)
+			if d < lo || d >= hi {
+				continue
+			}
+			b := si.bel.Tail.FloatAt(p)
+			doc.MustAppend(OID(off), d)
+			bel.MustAppend(OID(off), b)
+			if b > mx {
+				mx = b
+			}
+			off++
+		}
+		maxb.MustAppend(OID(t), mx)
+	}
+	start.MustAppend(OID(si.nterms), off)
+	domain = &BAT{Head: NewVoid(lo, int(hi-lo)), Tail: NewVoid(lo, int(hi-lo))}
+	domain.HSorted, domain.HKey = true, true
+	return
+}
+
+// TestPrunedTopKSharedAcrossShards is the shard-level analog of the
+// partition property: document-range "shards" scanned concurrently with
+// ONE shared threshold, merged through the bounded selector, must equal
+// the single-store scan BUN-for-BUN — the threshold may only prune work,
+// never results.
+func TestPrunedTopKSharedAcrossShards(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	si := mkSynthIndex(rng, 40, 600, 6, 7)
+	queries := [][]OID{
+		{1, 2, 3},
+		{0, 5, 39, 12},
+		{7},
+		{3, 3, 100}, // duplicate + out-of-range term
+	}
+	const def = 0.4
+	for _, nShards := range []int{2, 3, 8} {
+		for _, q := range queries {
+			for _, k := range []int{1, 5, 40} {
+				want, err := PrunedTopK(si.start, si.doc, si.bel, si.maxb, q, nil, def, k, si.domain)
+				if err != nil {
+					t.Fatal(err)
+				}
+				theta := NewTopKThreshold()
+				merged := NewBoundedTopK(k, worseCand)
+				var mu sync.Mutex
+				var wg sync.WaitGroup
+				for s := 0; s < nShards; s++ {
+					lo := OID(si.ndocs * s / nShards)
+					hi := OID(si.ndocs * (s + 1) / nShards)
+					wg.Add(1)
+					go func(lo, hi OID) {
+						defer wg.Done()
+						start, doc, bel, maxb, domain := si.shardSlice(lo, hi)
+						got, err := PrunedTopKShared(start, doc, bel, maxb, q, nil, def, k, domain, theta)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						mu.Lock()
+						for i := 0; i < got.Len(); i++ {
+							merged.Offer(topkCand{doc: got.Head.OIDAt(i), score: got.Tail.FloatAt(i)})
+						}
+						mu.Unlock()
+					}(lo, hi)
+				}
+				wg.Wait()
+				ranked := merged.Ranked()
+				if len(ranked) != want.Len() {
+					t.Fatalf("shards=%d q=%v k=%d: merged %d hits, want %d", nShards, q, k, len(ranked), want.Len())
+				}
+				for i, c := range ranked {
+					if c.doc != want.Head.OIDAt(i) || c.score != want.Tail.FloatAt(i) {
+						t.Fatalf("shards=%d q=%v k=%d rank %d: merged (%d, %v), single (%d, %v)",
+							nShards, q, k, i, c.doc, c.score, want.Head.OIDAt(i), want.Tail.FloatAt(i))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTopKThresholdMonotone pins the threshold contract: Raise never
+// lowers, and a threshold equal to the k-th best score never prunes the
+// tied documents a second pass would return.
+func TestTopKThresholdMonotone(t *testing.T) {
+	th := NewTopKThreshold()
+	th.Raise(1.5)
+	th.Raise(0.5)
+	if th.Load() != 1.5 {
+		t.Fatalf("threshold lowered to %v", th.Load())
+	}
+	rng := rand.New(rand.NewSource(3))
+	si := mkSynthIndex(rng, 20, 300, 5, 5)
+	q := []OID{1, 2, 3}
+	const k, def = 10, 0.4
+	first, err := PrunedTopK(si.start, si.doc, si.bel, si.maxb, q, nil, def, k, si.domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a second scan that starts at the converged threshold (what a late
+	// shard sees) must return the identical ranking, ties included
+	theta := NewTopKThreshold()
+	theta.Raise(first.Tail.FloatAt(first.Len() - 1))
+	second, err := PrunedTopKShared(si.start, si.doc, si.bel, si.maxb, q, nil, def, k, si.domain, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Len() != first.Len() {
+		t.Fatalf("pre-raised threshold changed the result size: %d vs %d", second.Len(), first.Len())
+	}
+	for i := 0; i < first.Len(); i++ {
+		if first.Head.OIDAt(i) != second.Head.OIDAt(i) || first.Tail.FloatAt(i) != second.Tail.FloatAt(i) {
+			t.Fatalf("rank %d: (%d, %v) vs (%d, %v)", i,
+				first.Head.OIDAt(i), first.Tail.FloatAt(i), second.Head.OIDAt(i), second.Tail.FloatAt(i))
+		}
 	}
 }

@@ -83,6 +83,16 @@ type Mirror struct {
 	// between checkpoints. Both nil for in-memory instances.
 	pool *storage.Pool
 	wal  *wal
+
+	// shard identity (ShardedEngine members only; zero for standalone
+	// stores). globalOIDs[i] is the engine-wide OID of the i-th locally
+	// ingested document — the identity under which this shard's hits
+	// merge into the global ranking. Persisted in the store manifest's
+	// meta (checkpointed docs) and in each WAL insert record (tail docs),
+	// so recovery restores the global mapping shard-locally.
+	shardIndex int
+	shardCount int
+	globalOIDs []uint64
 }
 
 // New creates an empty Mirror DBMS with the demo schema defined.
@@ -109,6 +119,17 @@ func New() (*Mirror, error) {
 // the internal representation. In persistent mode the insert is logged
 // to the WAL so it survives a crash before the next checkpoint.
 func (m *Mirror) AddImage(url, annotation string, img *media.Image) error {
+	return m.addImage(url, annotation, img, nil)
+}
+
+// addImageShard is AddImage for a ShardedEngine member: the engine assigns
+// the document's global OID (its position in the engine-wide ingestion
+// order), and the shard persists it alongside the local insert.
+func (m *Mirror) addImageShard(url, annotation string, img *media.Image, global uint64) error {
+	return m.addImage(url, annotation, img, &global)
+}
+
+func (m *Mirror) addImage(url, annotation string, img *media.Image, global *uint64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, dup := m.urls[url]; dup {
@@ -126,8 +147,11 @@ func (m *Mirror) AddImage(url, annotation string, img *media.Image) error {
 	m.rasters[url] = img
 	m.order = append(m.order, url)
 	m.urls[url] = struct{}{}
+	if global != nil {
+		m.globalOIDs = append(m.globalOIDs, *global)
+	}
 	m.indexed = false
-	if err := m.logWAL(walRecord{Op: "insert", URL: url, Annotation: annotation}); err != nil {
+	if err := m.logWAL(walRecord{Op: "insert", URL: url, Annotation: annotation, Global: global}); err != nil {
 		return fmt.Errorf("core: %q ingested but not WAL-logged (will persist at next checkpoint): %w", url, err)
 	}
 	return nil
@@ -169,11 +193,45 @@ func (m *Mirror) Indexed() bool {
 	return m.indexed
 }
 
+// SchemaSource returns the DDL of the served database.
+func (m *Mirror) SchemaSource() string { return m.DB.SchemaSource() }
+
+// Thesaurus returns the association thesaurus (nil before indexing).
+func (m *Mirror) Thesaurus() *thesaurus.Thesaurus {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.Thes
+}
+
+// setThesaurus installs a (possibly shared) thesaurus; the sharded engine
+// uses it to point every shard at the one global instance.
+func (m *Mirror) setThesaurus(t *thesaurus.Thesaurus) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.Thes = t
+}
+
+// globalOIDsSnapshot returns the local→global OID mapping of a shard
+// member. Entries below the returned length are immutable; concurrent
+// appends only extend it.
+func (m *Mirror) globalOIDsSnapshot() []uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.globalOIDs
+}
+
 // Hit is one ranked retrieval result.
 type Hit struct {
 	OID   bat.OID
 	URL   string
 	Score float64
+}
+
+// urlResolver maps a document OID to its source URL; Mirror resolves
+// shard-local OIDs through the internal set, ShardedEngine global OIDs
+// through its ingestion order.
+type urlResolver interface {
+	urlOf(oid bat.OID) string
 }
 
 // urlOf resolves an internal-set OID to its source URL.

@@ -6,6 +6,7 @@ import (
 
 	"mirror/internal/bat"
 	"mirror/internal/ir"
+	"mirror/internal/thesaurus"
 )
 
 // Session is an interactive retrieval session with relevance feedback, the
@@ -17,7 +18,7 @@ import (
 // Rocchio-style (relevant items add their cluster words' weight,
 // non-relevant subtract).
 type Session struct {
-	m         *Mirror
+	m         sessionHost
 	Text      string
 	textTerms []string
 	weights   map[string]float64 // cluster word → weight
@@ -27,18 +28,32 @@ type Session struct {
 	Alpha, Beta, Gamma float64
 }
 
+// sessionHost is the store surface a feedback session drives; Mirror (one
+// store) and ShardedEngine (scatter-gather over many) both provide it.
+type sessionHost interface {
+	urlResolver
+	QueryAnnotations(text string, k int) ([]Hit, error)
+	WeightedContentScores(terms []string, weights []float64) (ir.Scores, error)
+	ContentTerms(oid bat.OID) []string
+	Thesaurus() *thesaurus.Thesaurus
+	requireIndex() error
+	reinforceLogged(words, concepts []string, relevant bool) error
+}
+
 // NewSession starts a session from a free-text query.
-func (m *Mirror) NewSession(text string) (*Session, error) {
-	if err := m.requireIndex(); err != nil {
+func (m *Mirror) NewSession(text string) (*Session, error) { return newSession(m, text) }
+
+func newSession(h sessionHost, text string) (*Session, error) {
+	if err := h.requireIndex(); err != nil {
 		return nil, err
 	}
 	s := &Session{
-		m: m, Text: text,
+		m: h, Text: text,
 		textTerms: ir.Analyze(text),
 		weights:   map[string]float64{},
 		Alpha:     1, Beta: 0.75, Gamma: 0.25,
 	}
-	for _, a := range m.Thes.Associate(s.textTerms, 5) {
+	for _, a := range h.Thesaurus().Associate(s.textTerms, 5) {
 		s.weights[a.Concept] = a.Belief
 	}
 	return s, nil

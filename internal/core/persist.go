@@ -41,6 +41,17 @@ type persistMeta struct {
 	Indexed      bool                `json:"indexed"`
 	ThesState    *thesaurus.State    `json:"thesaurus_state,omitempty"`
 	ThesDocs     []thesaurus.Doc     `json:"thesaurus_docs,omitempty"`
+	Shard        *shardMeta          `json:"shard,omitempty"`
+}
+
+// shardMeta makes the sharded layout a stored property of the MANIFEST: a
+// shard store records which slice of which layout it is, so a sharded
+// engine reopens a store with exactly the layout it was built with (and
+// refuses a contradicting -shards request). GlobalOIDs aligns with Order.
+type shardMeta struct {
+	Index      int      `json:"index"`
+	Count      int      `json:"count"`
+	GlobalOIDs []uint64 `json:"global_oids"`
 }
 
 // PersistOptions configures OpenPersistent.
@@ -50,6 +61,14 @@ type PersistOptions struct {
 	Verify  bool   // checksum heap files on load
 	NoMmap  bool   // force the portable (copying) load path
 	Budget  int64  // pool byte budget for clean unpinned BATs; 0 = unlimited
+
+	// ShardIndex/ShardCount declare the store a member of a sharded
+	// layout (ShardCount > 0). A fresh store is stamped with them; an
+	// existing store must have been built with the same identity —
+	// resharding a store in place is refused. Both zero for standalone
+	// stores. Set by OpenShardedPersistent; not normally set by hand.
+	ShardIndex int
+	ShardCount int
 }
 
 // ---- write-ahead log ----
@@ -62,6 +81,10 @@ type walRecord struct {
 	Words      []string `json:"words,omitempty"`
 	Concepts   []string `json:"concepts,omitempty"`
 	Relevant   bool     `json:"relevant,omitempty"`
+	// Global is the engine-wide OID of a sharded insert (nil on
+	// standalone stores): replay must restore the local→global mapping
+	// for documents the checkpoint has not captured yet.
+	Global *uint64 `json:"global,omitempty"`
 }
 
 // WAL framing: every record is [len uint32][crc32c uint32][payload],
@@ -216,6 +239,13 @@ func (m *Mirror) persistExtraLocked() (map[string]string, error) {
 	if m.Thes != nil {
 		meta.ThesState = m.Thes.State()
 	}
+	if m.shardCount > 0 {
+		meta.Shard = &shardMeta{
+			Index:      m.shardIndex,
+			Count:      m.shardCount,
+			GlobalOIDs: m.globalOIDs,
+		}
+	}
 	mb, err := json.Marshal(&meta)
 	if err != nil {
 		return nil, fmt.Errorf("core: marshal metadata: %w", err)
@@ -264,6 +294,15 @@ func buildFromBATs(bats map[string]*bat.BAT, extra map[string]string) (*Mirror, 
 		m.Thes = thesaurus.FromState(meta.ThesState)
 	case len(meta.ThesDocs) > 0:
 		m.Thes = thesaurus.Build(meta.ThesDocs)
+	}
+	if meta.Shard != nil {
+		m.shardIndex = meta.Shard.Index
+		m.shardCount = meta.Shard.Count
+		m.globalOIDs = meta.Shard.GlobalOIDs
+		if len(m.globalOIDs) != len(m.order) {
+			return nil, fmt.Errorf("core: shard meta lists %d global OIDs for %d documents",
+				len(m.globalOIDs), len(m.order))
+		}
 	}
 	return m, nil
 }
@@ -330,6 +369,23 @@ func OpenPersistent(opts PersistOptions) (*Mirror, RecoveryStats, error) {
 	}
 	stats.BATs = len(names)
 
+	// Shard identity: stamp a fresh store, verify an existing one. The
+	// layout is a stored property of the manifest — a store only ever
+	// reopens as the shard it was built as.
+	if opts.ShardCount > 0 {
+		switch {
+		case m.shardCount == 0 && len(m.order) == 0:
+			m.shardIndex, m.shardCount = opts.ShardIndex, opts.ShardCount
+		case m.shardCount == 0:
+			pool.Close()
+			return nil, stats, fmt.Errorf("core: %s was built standalone; resharding in place is not supported", opts.Dir)
+		case m.shardIndex != opts.ShardIndex || m.shardCount != opts.ShardCount:
+			pool.Close()
+			return nil, stats, fmt.Errorf("core: %s is shard %d/%d, not the requested %d/%d",
+				opts.Dir, m.shardIndex, m.shardCount, opts.ShardIndex, opts.ShardCount)
+		}
+	}
+
 	walPath := filepath.Join(opts.Dir, walName)
 	recs, validEnd, torn, err := replayWAL(walPath)
 	if err != nil {
@@ -371,7 +427,7 @@ func OpenPersistent(opts PersistOptions) (*Mirror, RecoveryStats, error) {
 func (m *Mirror) applyWALRecord(r walRecord) (applied bool, err error) {
 	switch r.Op {
 	case "insert":
-		return m.replayInsert(r.URL, r.Annotation)
+		return m.replayInsert(r.URL, r.Annotation, r.Global)
 	case "feedback":
 		if m.Thes != nil {
 			m.Thes.Reinforce(r.Words, r.Concepts, r.Relevant)
@@ -383,7 +439,7 @@ func (m *Mirror) applyWALRecord(r walRecord) (applied bool, err error) {
 
 // replayInsert is AddImage minus the raster (footage is never in the
 // WAL; the media server owns it, exactly as after Load).
-func (m *Mirror) replayInsert(url, annotation string) (bool, error) {
+func (m *Mirror) replayInsert(url, annotation string, global *uint64) (bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, dup := m.urls[url]; dup {
@@ -396,6 +452,9 @@ func (m *Mirror) replayInsert(url, annotation string) (bool, error) {
 	}
 	m.order = append(m.order, url)
 	m.urls[url] = struct{}{}
+	if global != nil {
+		m.globalOIDs = append(m.globalOIDs, *global)
+	}
 	m.indexed = false
 	return true, nil
 }

@@ -13,6 +13,7 @@ import (
 	"mirror/internal/dict"
 	"mirror/internal/feature"
 	"mirror/internal/ir"
+	"mirror/internal/media"
 	"mirror/internal/thesaurus"
 )
 
@@ -44,17 +45,28 @@ type segmentExtractor interface {
 // space, CONTREP indexing of the resulting cluster words, and thesaurus
 // construction.
 func (m *Mirror) BuildContentIndex(opts IndexOptions) error {
-	return m.buildIndex(opts, newLocalPipeline(m, opts))
+	return m.buildIndex(opts, newLocalPipeline(m.rasterLookup()))
 }
 
 // BuildContentIndexDistributed runs the same pipeline against daemons
 // discovered through the distributed data dictionary (Figure 1).
 func (m *Mirror) BuildContentIndexDistributed(opts IndexOptions, dictAddr string) error {
-	p, err := newRemotePipeline(m, dictAddr)
+	p, err := newRemotePipeline(m.rasterLookup(), dictAddr)
 	if err != nil {
 		return err
 	}
 	return m.buildIndex(opts, p)
+}
+
+// rasterLookup exposes the raster store to a pipeline. The lookup is
+// lock-free: it only runs inside buildIndex, which holds m.mu for the
+// whole build (a ShardedEngine build instead goes through Raster, which
+// takes each shard's read lock).
+func (m *Mirror) rasterLookup() func(url string) (*media.Image, bool) {
+	return func(url string) (*media.Image, bool) {
+		img, ok := m.rasters[url]
+		return img, ok
+	}
 }
 
 // buildIndex drives the pipeline over the ingested items and populates the
@@ -64,6 +76,26 @@ func (m *Mirror) buildIndex(opts IndexOptions, pipe segmentExtractor) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
+	imageWords, err := runExtraction(pipe, opts, m.order)
+	if err != nil {
+		return err
+	}
+	thDocs, err := m.populateContentLocked(imageWords, nil, nil)
+	if err != nil {
+		return err
+	}
+	m.Thes = thesaurus.Build(thDocs)
+	m.indexed = true
+	return nil
+}
+
+// runExtraction is stages 1–3 of the pipeline, independent of any one
+// store: segmentation, feature extraction and AutoClass clustering over
+// the given document order, returning each document's content words (with
+// duplicates; callers dedup at insert). A ShardedEngine runs it ONCE over
+// the global order — clustering is collection-global, so per-shard fits
+// would assign different cluster words than a single store.
+func runExtraction(pipe segmentExtractor, opts IndexOptions, order []string) (map[string][]string, error) {
 	if opts.KMin <= 0 {
 		opts.KMin = 2
 	}
@@ -80,38 +112,34 @@ func (m *Mirror) buildIndex(opts IndexOptions, pipe segmentExtractor) error {
 	// workers with results collected positionally, so the populated schema
 	// is identical to a serial run. The extractors, the segmenter, and the
 	// daemon RPC clients are all safe for concurrent use.
-	type segRef struct {
-		url    string
-		imgIdx int // index into m.order
-	}
-	perImage := make([][][][4]int, len(m.order))
-	segErrs := make([]error, len(m.order))
-	parallelEach(len(m.order), func(idx int) error {
-		perImage[idx], segErrs[idx] = pipe.segment(m.order[idx])
+	perImage := make([][][][4]int, len(order))
+	segErrs := make([]error, len(order))
+	parallelEach(len(order), func(idx int) error {
+		perImage[idx], segErrs[idx] = pipe.segment(order[idx])
 		return segErrs[idx]
 	})
-	var segRefs []segRef
+	var segURLs []string
 	segTiles := make([][][4]int, 0)
-	for idx, url := range m.order {
+	for idx, url := range order {
 		if segErrs[idx] != nil {
-			return fmt.Errorf("core: segmenting %s: %w", url, segErrs[idx])
+			return nil, fmt.Errorf("core: segmenting %s: %w", url, segErrs[idx])
 		}
 		for _, tl := range perImage[idx] {
-			segRefs = append(segRefs, segRef{url: url, imgIdx: idx})
+			segURLs = append(segURLs, url)
 			segTiles = append(segTiles, tl)
 		}
 	}
 	perFeature := map[string][][]float64{}
 	for _, fname := range featureNames {
-		vecs := make([][]float64, len(segRefs))
-		extErrs := make([]error, len(segRefs))
-		parallelEach(len(segRefs), func(si int) error {
-			vecs[si], extErrs[si] = pipe.extract(segRefs[si].url, fname, segTiles[si])
+		vecs := make([][]float64, len(segURLs))
+		extErrs := make([]error, len(segURLs))
+		parallelEach(len(segURLs), func(si int) error {
+			vecs[si], extErrs[si] = pipe.extract(segURLs[si], fname, segTiles[si])
 			return extErrs[si]
 		})
 		for si, err := range extErrs {
 			if err != nil {
-				return fmt.Errorf("core: extracting %s from %s: %w", fname, segRefs[si].url, err)
+				return nil, fmt.Errorf("core: extracting %s from %s: %w", fname, segURLs[si], err)
 			}
 		}
 		perFeature[fname] = vecs
@@ -127,10 +155,10 @@ func (m *Mirror) buildIndex(opts IndexOptions, pipe segmentExtractor) error {
 		assigns[fi], _, fitErrs[fi] = pipe.fit(perFeature[featureNames[fi]], opts.KMin, opts.KMax, opts.Seed)
 		return fitErrs[fi]
 	})
-	segWords := make([][]string, len(segRefs))
+	segWords := make([][]string, len(segURLs))
 	for fi, fname := range featureNames {
 		if fitErrs[fi] != nil {
-			return fmt.Errorf("core: clustering %s: %w", fname, fitErrs[fi])
+			return nil, fmt.Errorf("core: clustering %s: %w", fname, fitErrs[fi])
 		}
 		for si, cl := range assigns[fi] {
 			segWords[si] = append(segWords[si], fmt.Sprintf("%s_%d", fname, cl))
@@ -138,14 +166,23 @@ func (m *Mirror) buildIndex(opts IndexOptions, pipe segmentExtractor) error {
 	}
 
 	// 3. per-image content terms: the union of its segments' words.
-	imageWords := make(map[string][]string, len(m.order))
-	for si, ref := range segRefs {
-		imageWords[ref.url] = append(imageWords[ref.url], segWords[si]...)
+	imageWords := make(map[string][]string, len(order))
+	for si, url := range segURLs {
+		imageWords[url] = append(imageWords[url], segWords[si]...)
 	}
+	return imageWords, nil
+}
 
-	// 4. populate the internal schema and train the thesaurus.
+// populateContentLocked is stage 4: rebuild the internal set from the
+// per-document content words and finalize the CONTREPs. annDict/imgDict,
+// when non-nil, are unioned into the respective dictionaries before
+// Finalize — a sharded build passes the global vocabulary so every shard
+// agrees on what is in-dictionary (its statistics overrides are registered
+// by the engine beforehand). Returns the thesaurus training docs in local
+// document order; callers hold m.mu.
+func (m *Mirror) populateContentLocked(imageWords map[string][]string, annDict, imgDict []string) ([]thesaurus.Doc, error) {
 	if err := m.DB.Reset(InternalSet); err != nil {
-		return err
+		return nil, err
 	}
 	m.contentTerms = map[bat.OID][]string{}
 	annB, _ := m.DB.BAT(LibrarySet + "_annotation")
@@ -160,17 +197,39 @@ func (m *Mirror) buildIndex(opts IndexOptions, pipe segmentExtractor) error {
 			"image":      terms,
 		})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		m.contentTerms[oid] = terms
 		if ann != "" {
 			thDocs = append(thDocs, thesaurus.Doc{Words: ir.Analyze(ann), Concepts: terms})
 		}
 	}
+	if annDict != nil {
+		if err := ir.EnsureDictTerms(m.DB, InternalSet+"_annotation", annDict); err != nil {
+			return nil, err
+		}
+	}
+	if imgDict != nil {
+		if err := ir.EnsureDictTerms(m.DB, InternalSet+"_image", imgDict); err != nil {
+			return nil, err
+		}
+	}
 	if err := m.DB.Finalize(InternalSet); err != nil {
+		return nil, err
+	}
+	return thDocs, nil
+}
+
+// populateShardIndex is the per-shard half of a sharded index build: the
+// engine has computed content words and registered the global statistics
+// overrides; this installs the shard's slice and marks it indexed. The
+// engine owns the thesaurus.
+func (m *Mirror) populateShardIndex(imageWords map[string][]string, annDict, imgDict []string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := m.populateContentLocked(imageWords, annDict, imgDict); err != nil {
 		return err
 	}
-	m.Thes = thesaurus.Build(thDocs)
 	m.indexed = true
 	return nil
 }
@@ -234,13 +293,13 @@ func dedupSorted(in []string) []string {
 // ---- local pipeline ----
 
 type localPipeline struct {
-	m   *Mirror
-	seg *feature.Segmenter
-	exs map[string]feature.Extractor
+	rasters func(url string) (*media.Image, bool)
+	seg     *feature.Segmenter
+	exs     map[string]feature.Extractor
 }
 
-func newLocalPipeline(m *Mirror, opts IndexOptions) *localPipeline {
-	p := &localPipeline{m: m, seg: feature.NewSegmenter(), exs: map[string]feature.Extractor{}}
+func newLocalPipeline(rasters func(url string) (*media.Image, bool)) *localPipeline {
+	p := &localPipeline{rasters: rasters, seg: feature.NewSegmenter(), exs: map[string]feature.Extractor{}}
 	for _, ex := range feature.All() {
 		p.exs[ex.Name()] = ex
 	}
@@ -257,7 +316,7 @@ func (p *localPipeline) features() []string {
 }
 
 func (p *localPipeline) segment(url string) ([][][4]int, error) {
-	img, ok := p.m.rasters[url]
+	img, ok := p.rasters(url)
 	if !ok {
 		return nil, fmt.Errorf("core: no raster for %s", url)
 	}
@@ -270,7 +329,7 @@ func (p *localPipeline) segment(url string) ([][][4]int, error) {
 }
 
 func (p *localPipeline) extract(url, fname string, tiles [][4]int) ([]float64, error) {
-	img, ok := p.m.rasters[url]
+	img, ok := p.rasters(url)
 	if !ok {
 		return nil, fmt.Errorf("core: no raster for %s", url)
 	}
@@ -300,7 +359,7 @@ func (p *localPipeline) close() {}
 // ---- remote (Figure 1) pipeline ----
 
 type remotePipeline struct {
-	m            *Mirror
+	rasters      func(url string) (*media.Image, bool)
 	segClient    *daemon.Client
 	featClients  map[string]*daemon.Client
 	clustClient  *daemon.Client
@@ -318,13 +377,13 @@ type ppmEntry struct {
 	err  error
 }
 
-func newRemotePipeline(m *Mirror, dictAddr string) (*remotePipeline, error) {
+func newRemotePipeline(rasters func(url string) (*media.Image, bool), dictAddr string) (*remotePipeline, error) {
 	dc, err := dict.Dial(dictAddr)
 	if err != nil {
 		return nil, err
 	}
 	defer dc.Close()
-	p := &remotePipeline{m: m, featClients: map[string]*daemon.Client{}, ppmCache: map[string]*ppmEntry{}}
+	p := &remotePipeline{rasters: rasters, featClients: map[string]*daemon.Client{}, ppmCache: map[string]*ppmEntry{}}
 
 	segs, err := dc.List("segmenter")
 	if err != nil || len(segs) == 0 {
@@ -371,7 +430,7 @@ func (p *remotePipeline) ppm(url string) ([]byte, error) {
 	}
 	p.ppmMu.Unlock()
 	e.once.Do(func() {
-		img, ok := p.m.rasters[url]
+		img, ok := p.rasters(url)
 		if !ok {
 			e.err = fmt.Errorf("core: no raster for %s", url)
 			return

@@ -86,14 +86,30 @@ func (m *Mirror) QueryDualCoding(text string, k int) ([]Hit, error) {
 	if err := m.requireIndex(); err != nil {
 		return nil, err
 	}
-	textHits, err := m.QueryAnnotations(text, 0)
+	return queryDualCoding(m, text, k)
+}
+
+// dualCodingSite is the retrieval surface dual coding combines evidence
+// over; Mirror and ShardedEngine both provide it (the sharded engine's
+// hits already carry global OIDs, so the #sum combination is
+// shard-oblivious).
+type dualCodingSite interface {
+	urlResolver
+	QueryAnnotations(text string, k int) ([]Hit, error)
+	QueryContent(clusterWords []string, k int) ([]Hit, error)
+	ExpandQuery(text string, topK int) []string
+}
+
+// queryDualCoding implements QueryDualCoding over any retrieval site.
+func queryDualCoding(site dualCodingSite, text string, k int) ([]Hit, error) {
+	textHits, err := site.QueryAnnotations(text, 0)
 	if err != nil {
 		return nil, err
 	}
-	clusterWords := m.ExpandQuery(text, 5)
+	clusterWords := site.ExpandQuery(text, 5)
 	var contentHits []Hit
 	if len(clusterWords) > 0 {
-		contentHits, err = m.QueryContent(clusterWords, 0)
+		contentHits, err = site.QueryContent(clusterWords, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -111,7 +127,7 @@ func (m *Mirror) QueryDualCoding(text string, k int) ([]Hit, error) {
 	if err != nil {
 		return nil, err
 	}
-	hits := scoresToHits(m, combined, k)
+	hits := scoresToHits(site, combined, k)
 	ir.ReleaseScores(combined)
 	return hits, nil
 }
@@ -122,11 +138,11 @@ var rankedPool = sync.Pool{New: func() any { return make([]ir.Ranked, 0, 128) }}
 
 // scoresToHits ranks a combined score map and resolves URLs; k > 0 cuts
 // with the bounded partial selection. The ranking scratch is pooled.
-func scoresToHits(m *Mirror, s ir.Scores, k int) []Hit {
+func scoresToHits(r urlResolver, s ir.Scores, k int) []Hit {
 	ranked := ir.RankInto(rankedPool.Get().([]ir.Ranked), s, k)
 	hits := make([]Hit, 0, len(ranked))
-	for _, r := range ranked {
-		hits = append(hits, Hit{OID: bat.OID(r.Doc), URL: m.urlOf(bat.OID(r.Doc)), Score: r.Score})
+	for _, rk := range ranked {
+		hits = append(hits, Hit{OID: bat.OID(rk.Doc), URL: r.urlOf(bat.OID(rk.Doc)), Score: rk.Score})
 	}
 	rankedPool.Put(ranked[:0]) //nolint:staticcheck // slice reuse is the point
 	return hits

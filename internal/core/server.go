@@ -6,7 +6,12 @@ import (
 	"net/rpc"
 	"runtime"
 
+	"mirror/internal/bat"
 	"mirror/internal/dict"
+	"mirror/internal/media"
+	"mirror/internal/moa"
+	"mirror/internal/storage"
+	"mirror/internal/thesaurus"
 )
 
 // This file is the network face of the Mirror DBMS (cmd/mirrord): clients
@@ -20,9 +25,36 @@ import (
 // queueing instead of oversubscribing the cores the parallel BAT kernel is
 // already using.
 
-// Service exposes a Mirror instance over net/rpc under the name "Mirror".
+// Retriever is the serving surface of the Mirror DBMS: one store
+// (*Mirror) or a sharded scatter-gather engine (*ShardedEngine). The RPC
+// service and the shells run against it, so clients cannot tell how many
+// stores answer their queries — routing is transparent.
+type Retriever interface {
+	AddImage(url, annotation string, img *media.Image) error
+	AddRaster(url string, img *media.Image) error
+	BuildContentIndex(opts IndexOptions) error
+	BuildContentIndexDistributed(opts IndexOptions, dictAddr string) error
+	QueryAnnotations(text string, k int) ([]Hit, error)
+	QueryContent(clusterWords []string, k int) ([]Hit, error)
+	QueryDualCoding(text string, k int) ([]Hit, error)
+	Query(src string, queryTerms []string) (*moa.Result, error)
+	QueryTopK(src string, queryTerms []string, k int) (*moa.Result, error)
+	ExpandQuery(text string, topK int) []string
+	NewSession(text string) (*Session, error)
+	ContentTerms(oid bat.OID) []string
+	Size() int
+	URLs() []string
+	Indexed() bool
+	SchemaSource() string
+	Thesaurus() *thesaurus.Thesaurus
+	Persistent() bool
+	Checkpoint() (storage.CheckpointStats, error)
+	ClosePersistent() error
+}
+
+// Service exposes a Retriever over net/rpc under the name "Mirror".
 type Service struct {
-	m    *Mirror
+	m    Retriever
 	gate chan struct{}
 }
 
@@ -135,7 +167,7 @@ func (s *Service) MoaQuery(args MoaQueryArgs, reply *MoaQueryReply) error {
 
 // Schema returns the database schema.
 func (s *Service) Schema(_ dict.Empty, reply *SchemaReply) error {
-	reply.Source = s.m.DB.SchemaSource()
+	reply.Source = s.m.SchemaSource()
 	return nil
 }
 
@@ -162,12 +194,18 @@ func (s *Service) Checkpoint(_ dict.Empty, reply *CheckpointReply) error {
 // and registers it with the dictionary when dictAddr is non-empty. It
 // returns the bound address and a stop function.
 func (m *Mirror) Serve(addr, dictAddr string) (string, func(), error) {
+	return Serve(m, addr, dictAddr)
+}
+
+// Serve runs the RPC server for any Retriever — a single store or a
+// sharded engine; the wire protocol is identical either way.
+func Serve(r Retriever, addr, dictAddr string) (string, func(), error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("core: listen %s: %w", addr, err)
 	}
 	srv := rpc.NewServer()
-	if err := srv.RegisterName("Mirror", &Service{m: m, gate: make(chan struct{}, defaultQueryGate())}); err != nil {
+	if err := srv.RegisterName("Mirror", &Service{m: r, gate: make(chan struct{}, defaultQueryGate())}); err != nil {
 		l.Close()
 		return "", nil, err
 	}
@@ -193,7 +231,7 @@ func (m *Mirror) Serve(addr, dictAddr string) (string, func(), error) {
 			l.Close()
 			return "", nil, err
 		}
-		if err := dc.SetSchema(m.DB.SchemaSource()); err != nil {
+		if err := dc.SetSchema(r.SchemaSource()); err != nil {
 			l.Close()
 			return "", nil, err
 		}

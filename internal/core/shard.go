@@ -1,0 +1,831 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"mirror/internal/bat"
+	"mirror/internal/ir"
+	"mirror/internal/media"
+	"mirror/internal/moa"
+	"mirror/internal/storage"
+	"mirror/internal/thesaurus"
+)
+
+// ShardedEngine is the placement-aware face of the Mirror DBMS: the
+// document collection is partitioned by URL hash across N member stores
+// (each a full *Mirror with its own BAT buffer pool and WAL), inserts are
+// routed to their shard, and queries scatter to every shard and gather
+// through the shared bounded top-k selector. It implements the same
+// Retriever surface as a single store, so the RPC service and the shells
+// cannot tell the difference — that transparency rests on three
+// invariants:
+//
+//   - Global identity. Every document carries a global OID (its position
+//     in the engine-wide ingestion order), persisted shard-locally in the
+//     store manifest and WAL. Hits are remapped local→global before
+//     merging, so scores AND tie-breaks (ascending OID) are exactly those
+//     of a single store that ingested the same sequence.
+//
+//   - Global statistics. Shard-local indexing would compute local df/N/
+//     avgdl and local vocabularies, diverging from a single store. The
+//     engine runs extraction and clustering once over the global order,
+//     computes collection statistics once, and registers them as overrides
+//     (ir.SetGlobalStats) plus a union dictionary (ir.EnsureDictTerms) on
+//     every shard before Finalize. Beliefs then become pure per-document
+//     annotations — comparable across shards by construction.
+//
+//   - Shared pruning threshold. Ranked (k > 0) queries hand every shard's
+//     pruned top-k scan one bat.TopKThreshold, so a hot shard's k-th best
+//     score prunes the cold shards' scans exactly as doc-range partitions
+//     prune each other inside one scan.
+//
+// Together these yield the differential guarantee the tests pin: for any
+// shard count, the merged result is BUN-for-BUN identical (ties included)
+// to the single-store result.
+type ShardedEngine struct {
+	mu     sync.RWMutex
+	shards []*Mirror // immutable slice after construction
+
+	// global ingestion bookkeeping. order[g] is the URL of global OID g
+	// ("" marks a gap left by a shard that lost WAL-tail inserts in a
+	// crash); loc[g] locates the document's shard and local OID.
+	order []string
+	urls  map[string]struct{}
+	loc   []shardLoc
+
+	thes *thesaurus.Thesaurus // shared across shards (shard 0 is authority)
+
+	persistent bool
+	root       string // store root in persistent mode
+}
+
+type shardLoc struct {
+	shard int
+	local bat.OID
+}
+
+// NewSharded creates an empty in-memory engine with n shards.
+func NewSharded(n int) (*ShardedEngine, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: shard count must be >= 1, got %d", n)
+	}
+	e := &ShardedEngine{urls: map[string]struct{}{}}
+	for i := 0; i < n; i++ {
+		m, err := New()
+		if err != nil {
+			return nil, err
+		}
+		m.shardIndex, m.shardCount = i, n
+		e.shards = append(e.shards, m)
+	}
+	return e, nil
+}
+
+// shardFor routes a URL to its shard: FNV-64a of the URL modulo the shard
+// count. The function is pure, so placement survives restarts without a
+// routing table — the same URL always lands on the same shard.
+func (e *ShardedEngine) shardFor(url string) int {
+	h := fnv.New64a()
+	h.Write([]byte(url))
+	return int(h.Sum64() % uint64(len(e.shards)))
+}
+
+// NumShards reports the shard count.
+func (e *ShardedEngine) NumShards() int { return len(e.shards) }
+
+// Shard exposes one member store (read-only use: shell introspection and
+// tests). Mutations must go through the engine or global invariants break.
+func (e *ShardedEngine) Shard(i int) *Mirror { return e.shards[i] }
+
+// ShardInfo describes one shard for introspection (moash \shards).
+type ShardInfo struct {
+	Index int
+	Docs  int
+	BATs  int
+	Dir   string // "" for in-memory engines
+}
+
+// ShardInfos reports the layout: per-shard document counts (the skew the
+// hash routing produced), BAT counts, and store directories.
+func (e *ShardedEngine) ShardInfos() []ShardInfo {
+	out := make([]ShardInfo, len(e.shards))
+	for i, sh := range e.shards {
+		out[i] = ShardInfo{Index: i, Docs: sh.Size(), BATs: len(sh.DB.BATNames())}
+		if e.persistent {
+			out[i].Dir = filepath.Join(e.root, shardDirName(i))
+		}
+	}
+	return out
+}
+
+// ---- ingestion ----
+
+// AddImage routes one library item to its shard and records its global
+// identity. The engine-wide duplicate check runs first so a URL cannot
+// land twice even if shard-local state were lost.
+func (e *ShardedEngine) AddImage(url, annotation string, img *media.Image) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.urls[url]; dup {
+		return fmt.Errorf("core: image %q already in library", url)
+	}
+	s := e.shardFor(url)
+	g := uint64(len(e.order))
+	pre := e.shards[s].Size()
+	err := e.shards[s].addImageShard(url, annotation, img, g)
+	// A WAL-append failure from the shard means "ingested but not
+	// WAL-logged" — the document IS in the shard (and owns global OID g),
+	// so the engine must record it or the next insert would reuse g and
+	// corrupt the global mapping. Judge by what actually happened (the
+	// shard grew), not by the error alone.
+	if e.shards[s].Size() > pre {
+		e.order = append(e.order, url)
+		e.urls[url] = struct{}{}
+		e.loc = append(e.loc, shardLoc{shard: s, local: bat.OID(pre)})
+	}
+	return err
+}
+
+// AddRaster re-attaches footage to an already-ingested URL on its shard.
+func (e *ShardedEngine) AddRaster(url string, img *media.Image) error {
+	return e.shards[e.shardFor(url)].AddRaster(url, img)
+}
+
+// Raster returns the stored raster for a URL.
+func (e *ShardedEngine) Raster(url string) (*media.Image, bool) {
+	return e.shards[e.shardFor(url)].Raster(url)
+}
+
+// Size reports the number of library items across all shards.
+func (e *ShardedEngine) Size() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.urls)
+}
+
+// URLs returns the item URLs in global ingestion order.
+func (e *ShardedEngine) URLs() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.urls))
+	for _, u := range e.order {
+		if u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Indexed reports whether every shard's content index is current.
+func (e *ShardedEngine) Indexed() bool {
+	for _, sh := range e.shards {
+		if !sh.Indexed() {
+			return false
+		}
+	}
+	return true
+}
+
+// ContentTerms returns the cluster words of a document by global OID.
+// Crash gaps (order[oid] == "") resolve to nil, never to another
+// document's terms.
+func (e *ShardedEngine) ContentTerms(oid bat.OID) []string {
+	e.mu.RLock()
+	if uint64(oid) >= uint64(len(e.loc)) || e.order[oid] == "" {
+		e.mu.RUnlock()
+		return nil
+	}
+	l := e.loc[oid]
+	e.mu.RUnlock()
+	return e.shards[l.shard].ContentTerms(l.local)
+}
+
+// Thesaurus returns the shared association thesaurus.
+func (e *ShardedEngine) Thesaurus() *thesaurus.Thesaurus {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.thes
+}
+
+// SchemaSource returns the DDL (identical on every shard).
+func (e *ShardedEngine) SchemaSource() string { return e.shards[0].SchemaSource() }
+
+// urlOf resolves a global OID through the ingestion order.
+func (e *ShardedEngine) urlOf(oid bat.OID) string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if uint64(oid) >= uint64(len(e.order)) {
+		return ""
+	}
+	return e.order[oid]
+}
+
+func (e *ShardedEngine) requireIndex() error {
+	if !e.Indexed() {
+		return fmt.Errorf("core: content index not built (run BuildContentIndex)")
+	}
+	return nil
+}
+
+// ---- index build (global pipeline) ----
+
+// BuildContentIndex runs the Section 5.1 pipeline ONCE over the global
+// collection — clustering and collection statistics are global by nature —
+// then distributes each shard's slice of the result. See the type comment
+// for why a per-shard build would break cross-shard comparability.
+func (e *ShardedEngine) BuildContentIndex(opts IndexOptions) error {
+	return e.buildIndex(opts, newLocalPipeline(e.rasterLookup()))
+}
+
+// BuildContentIndexDistributed is BuildContentIndex against daemons
+// discovered through the data dictionary.
+func (e *ShardedEngine) BuildContentIndexDistributed(opts IndexOptions, dictAddr string) error {
+	p, err := newRemotePipeline(e.rasterLookup(), dictAddr)
+	if err != nil {
+		return err
+	}
+	return e.buildIndex(opts, p)
+}
+
+// rasterLookup resolves rasters across shards (routing is pure, so no
+// table is needed).
+func (e *ShardedEngine) rasterLookup() func(url string) (*media.Image, bool) {
+	return func(url string) (*media.Image, bool) {
+		return e.shards[e.shardFor(url)].Raster(url)
+	}
+}
+
+func (e *ShardedEngine) buildIndex(opts IndexOptions, pipe segmentExtractor) error {
+	defer pipe.close()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	// Dense global order for the pipeline (skip crash gaps).
+	order := make([]string, 0, len(e.urls))
+	for _, u := range e.order {
+		if u != "" {
+			order = append(order, u)
+		}
+	}
+	imageWords, err := runExtraction(pipe, opts, order)
+	if err != nil {
+		return err
+	}
+
+	// Global collection statistics and vocabulary for both CONTREPs, from
+	// exactly the token streams the shards will insert.
+	anns := e.annotationsLocked()
+	annTokens := make([][]string, len(order))
+	imgTerms := make([][]string, len(order))
+	var thDocs []thesaurus.Doc
+	for i, url := range order {
+		ann := anns[url]
+		annTokens[i] = ir.Analyze(ann)
+		imgTerms[i] = dedupSorted(append([]string(nil), imageWords[url]...))
+		if ann != "" {
+			thDocs = append(thDocs, thesaurus.Doc{Words: annTokens[i], Concepts: imgTerms[i]})
+		}
+	}
+	gsAnn := ir.CollectionStats(annTokens)
+	gsImg := ir.CollectionStats(imgTerms)
+	annVocab := sortedKeys(gsAnn.DF)
+	imgVocab := sortedKeys(gsImg.DF)
+
+	// Per-shard populate, in parallel: register this shard's statistics
+	// overrides, install its slice of the content words, union the global
+	// vocabulary into its dictionaries, Finalize.
+	errs := make([]error, len(e.shards))
+	var wg sync.WaitGroup
+	for i, sh := range e.shards {
+		wg.Add(1)
+		go func(i int, sh *Mirror) {
+			defer wg.Done()
+			ir.SetGlobalStats(sh.DB, InternalSet+"_annotation", gsAnn)
+			ir.SetGlobalStats(sh.DB, InternalSet+"_image", gsImg)
+			errs[i] = sh.populateShardIndex(imageWords, annVocab, imgVocab)
+		}(i, sh)
+	}
+	wg.Wait()
+	// The overrides have served their purpose once Finalize persisted the
+	// derived columns; clear them (also on failure) so the package-global
+	// registry does not pin shard databases for the process lifetime.
+	for _, sh := range e.shards {
+		ir.SetGlobalStats(sh.DB, InternalSet+"_annotation", nil)
+		ir.SetGlobalStats(sh.DB, InternalSet+"_image", nil)
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("core: indexing shard %d: %w", i, err)
+		}
+	}
+
+	// One global thesaurus, shared by reference: every shard checkpoints
+	// the same state, and feedback reinforcement (logged on shard 0)
+	// mutates the one object all query paths read.
+	e.thes = thesaurus.Build(thDocs)
+	for _, sh := range e.shards {
+		sh.setThesaurus(e.thes)
+	}
+	return nil
+}
+
+// annotationsLocked reads every document's annotation from the shard
+// library BATs (annotations are stored data, not engine state). Callers
+// hold e.mu.
+func (e *ShardedEngine) annotationsLocked() map[string]string {
+	out := make(map[string]string, len(e.urls))
+	for _, sh := range e.shards {
+		annB, ok := sh.DB.BAT(LibrarySet + "_annotation")
+		if !ok {
+			continue
+		}
+		for i, u := range sh.order {
+			if v, ok := annB.Find(bat.OID(i)); ok {
+				s, _ := v.(string)
+				out[u] = s
+			}
+		}
+	}
+	return out
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---- scatter-gather queries ----
+
+// hitWorse orders hits under the ranked-retrieval total order: score
+// descending, global OID ascending on ties — the same order a single
+// store's ranking uses, which is what makes the merge a pure top-k union.
+func hitWorse(a, b Hit) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.OID > b.OID
+}
+
+// fanOut runs f on every shard concurrently and returns the first error.
+func (e *ShardedEngine) fanOut(f func(s int, sh *Mirror) error) error {
+	errs := make([]error, len(e.shards))
+	var wg sync.WaitGroup
+	for i, sh := range e.shards {
+		wg.Add(1)
+		go func(i int, sh *Mirror) {
+			defer wg.Done()
+			errs[i] = f(i, sh)
+		}(i, sh)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("core: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// gatherHits fans a ranking query out to every shard and merges the
+// shard-local rankings into the global one. k > 0 shares one pruning
+// threshold across all shards' scans and merges through the bounded
+// selector; k <= 0 returns the full ranking.
+func (e *ShardedEngine) gatherHits(src string, params map[string]moa.Param, k int) ([]Hit, error) {
+	var theta *bat.TopKThreshold
+	if k > 0 {
+		theta = bat.NewTopKThreshold()
+	}
+	perShard := make([][]Hit, len(e.shards))
+	err := e.fanOut(func(s int, sh *Mirror) error {
+		eng := &moa.Engine{DB: sh.Eng.DB, Opts: sh.Eng.Opts}
+		if k > 0 {
+			eng.Opts.TopK = k
+			eng.Opts.TopKTheta = theta
+		}
+		res, err := eng.Query(src, params)
+		if err != nil {
+			return err
+		}
+		globals := sh.globalOIDsSnapshot()
+		hits := make([]Hit, 0, len(res.Rows))
+		for _, row := range res.Rows {
+			if uint64(row.OID) >= uint64(len(globals)) {
+				return fmt.Errorf("local OID %d beyond %d mapped documents", row.OID, len(globals))
+			}
+			score, _ := row.Value.(float64)
+			g := bat.OID(globals[row.OID])
+			hits = append(hits, Hit{OID: g, URL: e.urlOf(g), Score: score})
+		}
+		// An exhaustive fallback returns unranked rows; rank them locally
+		// so the merge below sees each shard's best first either way.
+		if !res.Ranked && k > 0 && len(hits) > k {
+			hits = topKHits(hits, k)
+		}
+		perShard[s] = hits
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if k > 0 {
+		merged := bat.NewBoundedTopK(k, hitWorse)
+		for _, hits := range perShard {
+			for _, h := range hits {
+				merged.Offer(h)
+			}
+		}
+		return merged.Ranked(), nil
+	}
+	var all []Hit
+	for _, hits := range perShard {
+		all = append(all, hits...)
+	}
+	sort.Slice(all, func(i, j int) bool { return hitWorse(all[j], all[i]) })
+	return all, nil
+}
+
+// topKHits cuts hits to the k best under hitWorse.
+func topKHits(hits []Hit, k int) []Hit {
+	h := bat.NewBoundedTopK(k, hitWorse)
+	for _, x := range hits {
+		h.Offer(x)
+	}
+	return h.Ranked()
+}
+
+// QueryAnnotations ranks the whole collection against a free-text query —
+// scatter, then gather; see Mirror.QueryAnnotations for semantics.
+func (e *ShardedEngine) QueryAnnotations(text string, k int) ([]Hit, error) {
+	if err := e.requireIndex(); err != nil {
+		return nil, err
+	}
+	return e.gatherHits(annotationQuery, ir.QueryParams(ir.Analyze(text)), k)
+}
+
+// QueryContent ranks by image content given cluster words.
+func (e *ShardedEngine) QueryContent(clusterWords []string, k int) ([]Hit, error) {
+	if err := e.requireIndex(); err != nil {
+		return nil, err
+	}
+	return e.gatherHits(contentQuery, ir.QueryParams(clusterWords), k)
+}
+
+// QueryDualCoding combines annotation and content evidence (#sum); the
+// combination runs on global OIDs, so it is shard-oblivious.
+func (e *ShardedEngine) QueryDualCoding(text string, k int) ([]Hit, error) {
+	if err := e.requireIndex(); err != nil {
+		return nil, err
+	}
+	return queryDualCoding(e, text, k)
+}
+
+// ExpandQuery maps free text to associated content clusters via the
+// shared thesaurus.
+func (e *ShardedEngine) ExpandQuery(text string, topK int) []string {
+	thes := e.Thesaurus()
+	if thes == nil {
+		return nil
+	}
+	assocs := thes.Associate(ir.Analyze(text), topK)
+	out := make([]string, len(assocs))
+	for i, a := range assocs {
+		out[i] = a.Concept
+	}
+	return out
+}
+
+// WeightedContentScores scatters the weighted-sum scoring and gathers the
+// per-shard score maps under global OIDs (shards are disjoint, so the
+// merge is a plain union).
+func (e *ShardedEngine) WeightedContentScores(terms []string, weights []float64) (ir.Scores, error) {
+	perShard := make([]ir.Scores, len(e.shards))
+	err := e.fanOut(func(s int, sh *Mirror) error {
+		scores, err := sh.WeightedContentScores(terms, weights)
+		if err != nil {
+			return err
+		}
+		globals := sh.globalOIDsSnapshot()
+		out := make(ir.Scores, len(scores))
+		for local, score := range scores {
+			if local >= uint64(len(globals)) {
+				return fmt.Errorf("local OID %d beyond %d mapped documents", local, len(globals))
+			}
+			out[globals[local]] = score
+		}
+		perShard[s] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, s := range perShard {
+		total += len(s)
+	}
+	merged := make(ir.Scores, total)
+	for _, s := range perShard {
+		for g, score := range s {
+			merged[g] = score
+		}
+	}
+	return merged, nil
+}
+
+// NewSession starts a relevance-feedback session over the sharded
+// collection; judgments arrive as global OIDs (what hits carry).
+func (e *ShardedEngine) NewSession(text string) (*Session, error) { return newSession(e, text) }
+
+// reinforceLogged routes feedback reinforcement to shard 0 — the durable
+// authority for the shared thesaurus (its WAL carries the feedback
+// records; every shard checkpoints the same shared state).
+func (e *ShardedEngine) reinforceLogged(words, concepts []string, relevant bool) error {
+	return e.shards[0].reinforceLogged(words, concepts, relevant)
+}
+
+// Query runs a raw Moa query across all shards (see QueryTopK).
+func (e *ShardedEngine) Query(src string, queryTerms []string) (*moa.Result, error) {
+	return e.QueryTopK(src, queryTerms, 0)
+}
+
+// QueryTopK runs a raw Moa query on every shard and merges set-typed
+// results under global OIDs: k > 0 merges the shard rankings through the
+// bounded selector (rows come back ranked and cut — on a sharded store
+// the cut always happens engine-side, even for plans served exhaustively
+// on the shards); k <= 0 concatenates in ascending global OID order.
+// Scalar queries are refused: aggregating arbitrary scalars across shards
+// is query-specific, and silently summing or averaging would lie.
+func (e *ShardedEngine) QueryTopK(src string, queryTerms []string, k int) (*moa.Result, error) {
+	var params map[string]moa.Param
+	if queryTerms != nil {
+		params = ir.QueryParams(queryTerms)
+	}
+	var theta *bat.TopKThreshold
+	if k > 0 {
+		theta = bat.NewTopKThreshold()
+	}
+	results := make([]*moa.Result, len(e.shards))
+	err := e.fanOut(func(s int, sh *Mirror) error {
+		eng := &moa.Engine{DB: sh.Eng.DB, Opts: sh.Eng.Opts}
+		if k > 0 {
+			eng.Opts.TopK = k
+			eng.Opts.TopKTheta = theta
+		}
+		res, err := eng.Query(src, params)
+		if err != nil {
+			return err
+		}
+		if res.Rows == nil {
+			return fmt.Errorf("scalar Moa queries cannot be merged across shards (run against one shard)")
+		}
+		globals := sh.globalOIDsSnapshot()
+		for i := range res.Rows {
+			local := res.Rows[i].OID
+			if uint64(local) >= uint64(len(globals)) {
+				return fmt.Errorf("local OID %d beyond %d mapped documents", local, len(globals))
+			}
+			res.Rows[i].OID = bat.OID(globals[local])
+		}
+		results[s] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &moa.Result{T: results[0].T}
+	if k > 0 {
+		merged := bat.NewBoundedTopK(k, rowWorse)
+		for _, res := range results {
+			for _, row := range res.Rows {
+				merged.Offer(row)
+			}
+		}
+		out.Rows = merged.Ranked()
+		out.Ranked = true
+		return out, nil
+	}
+	for _, res := range results {
+		out.Rows = append(out.Rows, res.Rows...)
+	}
+	sort.Slice(out.Rows, func(i, j int) bool { return out.Rows[i].OID < out.Rows[j].OID })
+	return out, nil
+}
+
+// ---- persistence ----
+
+// shardDirName is the store subdirectory of one shard.
+func shardDirName(i int) string { return fmt.Sprintf("shard-%03d", i) }
+
+// ShardedPersistOptions configures OpenShardedPersistent.
+type ShardedPersistOptions struct {
+	Dir    string // store root; shards live in Dir/shard-NNN
+	Shards int    // shard count; 0 = reopen with the stored layout
+	// Per-shard pool/WAL knobs, identical to PersistOptions.
+	WALSync bool
+	Verify  bool
+	NoMmap  bool
+	Budget  int64 // total byte budget, split evenly across shards
+}
+
+// ShardRecoveryStats aggregates per-shard recovery.
+type ShardRecoveryStats struct {
+	Shards     int
+	BATs       int
+	WALRecords int
+	WALSkipped int
+	TornTails  []int // shard indexes whose WAL tail was truncated
+}
+
+// OpenShardedPersistent opens (or initialises) a sharded store: the root
+// holds one BAT-buffer-pool directory per shard, each with its own
+// manifest, heap files and WAL. Shards recover in parallel — checkpoint
+// load plus WAL replay each — and the engine rebuilds the global mapping
+// from the shard-local identities. The layout is a stored property of the
+// shard manifests: opts.Shards must match an existing store (0 adopts the
+// stored count), and a directory holding a standalone store is refused —
+// resharding in place is not supported.
+func OpenShardedPersistent(opts ShardedPersistOptions) (*ShardedEngine, ShardRecoveryStats, error) {
+	var stats ShardRecoveryStats
+	if opts.Dir == "" {
+		return nil, stats, fmt.Errorf("core: sharded store needs a directory")
+	}
+	if storage.IsStore(opts.Dir) {
+		return nil, stats, fmt.Errorf("core: %s holds a standalone store; resharding in place is not supported", opts.Dir)
+	}
+	stored := 0
+	for {
+		if _, err := os.Stat(filepath.Join(opts.Dir, shardDirName(stored))); err != nil {
+			break
+		}
+		stored++
+	}
+	n := opts.Shards
+	switch {
+	case stored == 0 && n < 1:
+		return nil, stats, fmt.Errorf("core: fresh sharded store needs an explicit shard count")
+	case stored == 0:
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, stats, err
+		}
+	case n == 0:
+		n = stored // reopen with the layout the store was built with
+	case n != stored:
+		return nil, stats, fmt.Errorf("core: %s was built with %d shards, not the requested %d", opts.Dir, stored, n)
+	}
+
+	e := &ShardedEngine{
+		shards:     make([]*Mirror, n),
+		urls:       map[string]struct{}{},
+		persistent: true,
+		root:       opts.Dir,
+	}
+	perStats := make([]RecoveryStats, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e.shards[i], perStats[i], errs[i] = OpenPersistent(PersistOptions{
+				Dir:        filepath.Join(opts.Dir, shardDirName(i)),
+				WALSync:    opts.WALSync,
+				Verify:     opts.Verify,
+				NoMmap:     opts.NoMmap,
+				Budget:     opts.Budget / int64(n),
+				ShardIndex: i,
+				ShardCount: n,
+			})
+		}(i)
+	}
+	wg.Wait()
+	var firstErr error
+	for i, err := range errs {
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("core: shard %d: %w", i, err)
+		}
+	}
+	if firstErr != nil {
+		for _, sh := range e.shards {
+			if sh != nil {
+				sh.ClosePersistent()
+			}
+		}
+		return nil, stats, firstErr
+	}
+
+	stats.Shards = n
+	for i, ps := range perStats {
+		stats.BATs += ps.BATs
+		stats.WALRecords += ps.WALRecords
+		stats.WALSkipped += ps.WALSkipped
+		if ps.TornTail {
+			stats.TornTails = append(stats.TornTails, i)
+		}
+	}
+
+	if err := e.rebuildGlobalMapping(); err != nil {
+		for _, sh := range e.shards {
+			sh.ClosePersistent()
+		}
+		return nil, stats, err
+	}
+
+	// Shard 0 is the thesaurus authority: it replayed the feedback WAL.
+	// Install its instance everywhere so all query paths share one object
+	// (and every shard checkpoints the authoritative state from now on).
+	e.thes = e.shards[0].Thesaurus()
+	if e.thes != nil {
+		for _, sh := range e.shards[1:] {
+			sh.setThesaurus(e.thes)
+		}
+	}
+	return e, stats, nil
+}
+
+// rebuildGlobalMapping reconstructs order/loc from the shard-local
+// (local OID → global OID) maps the shards recovered. A gap — a global
+// OID no shard claims — means a shard lost WAL-tail inserts in a crash
+// (possible without -wal-sync); the slot is kept empty rather than
+// renumbering, so surviving documents keep their identity.
+func (e *ShardedEngine) rebuildGlobalMapping() error {
+	maxG := -1
+	for _, sh := range e.shards {
+		for _, g := range sh.globalOIDs {
+			if int(g) > maxG {
+				maxG = int(g)
+			}
+		}
+	}
+	e.order = make([]string, maxG+1)
+	e.loc = make([]shardLoc, maxG+1)
+	for s, sh := range e.shards {
+		if len(sh.globalOIDs) != len(sh.order) {
+			return fmt.Errorf("core: shard %d maps %d of %d documents", s, len(sh.globalOIDs), len(sh.order))
+		}
+		for i, g := range sh.globalOIDs {
+			url := sh.order[i]
+			if e.order[g] != "" {
+				return fmt.Errorf("core: global OID %d claimed by both %q and %q", g, e.order[g], url)
+			}
+			e.order[g] = url
+			e.loc[g] = shardLoc{shard: s, local: bat.OID(i)}
+			e.urls[url] = struct{}{}
+		}
+	}
+	return nil
+}
+
+// Persistent reports whether the engine was opened with
+// OpenShardedPersistent.
+func (e *ShardedEngine) Persistent() bool { return e.persistent }
+
+// Checkpoint flushes every shard in parallel (each shard's manifest swap
+// is its own atomic commit point; there is no cross-shard transaction —
+// every shard is individually consistent, and the global mapping is
+// shard-local data, so a crash between shard checkpoints loses at most
+// unsynced WAL tails, never consistency). Stats are summed.
+func (e *ShardedEngine) Checkpoint() (storage.CheckpointStats, error) {
+	var total storage.CheckpointStats
+	if !e.persistent {
+		return total, fmt.Errorf("core: Checkpoint on a non-persistent engine")
+	}
+	var mu sync.Mutex
+	err := e.fanOut(func(s int, sh *Mirror) error {
+		st, err := sh.Checkpoint()
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		total.Written += st.Written
+		total.Skipped += st.Skipped
+		total.Bytes += st.Bytes
+		mu.Unlock()
+		return nil
+	})
+	return total, err
+}
+
+// ClosePersistent releases every shard's WAL and pool.
+func (e *ShardedEngine) ClosePersistent() error {
+	var firstErr error
+	for _, sh := range e.shards {
+		if err := sh.ClosePersistent(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Serve runs the standard RPC server over the sharded engine; clients see
+// the same protocol a single store serves.
+func (e *ShardedEngine) Serve(addr, dictAddr string) (string, func(), error) {
+	return Serve(e, addr, dictAddr)
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mirror/internal/corpus"
+)
+
+// Sharded persistence: every shard is its own BAT buffer pool + WAL, the
+// layout is a stored property of the shard manifests, and recovery is
+// per-shard (checkpoint + WAL tail) with the engine re-deriving the
+// global mapping from shard-local identities.
+
+func shardedIndexOpts() IndexOptions {
+	opts := DefaultIndexOptions()
+	opts.Features = []string{"rgb_coarse"}
+	opts.KMax = 4
+	return opts
+}
+
+// openShardedDemo opens a sharded store in dir and ingests/indexes the
+// first n items.
+func openShardedDemo(t *testing.T, dir string, shards, n int) (*ShardedEngine, []*corpus.Item) {
+	t.Helper()
+	items := corpus.Generate(corpus.Config{N: n + 8, W: 48, H: 48, Seed: 5, AnnotateRate: 0.8})
+	e, _, err := OpenShardedPersistent(ShardedPersistOptions{Dir: dir, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items[:n] {
+		if err := e.AddImage(it.URL, it.Annotation, it.Scene.Img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.BuildContentIndex(shardedIndexOpts()); err != nil {
+		t.Fatal(err)
+	}
+	return e, items
+}
+
+func TestShardedPersistRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	e, items := openShardedDemo(t, dir, 2, 12)
+	if _, err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// two more inserts reach only the WALs
+	for _, it := range items[12:14] {
+		if err := e.AddImage(it.URL, it.Annotation, it.Scene.Img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantURLs := e.URLs()
+	if err := e.ClosePersistent(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shards: 0 adopts the stored layout.
+	re, stats, err := OpenShardedPersistent(ShardedPersistOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.ClosePersistent()
+	if stats.Shards != 2 {
+		t.Fatalf("recovered %d shards, want 2", stats.Shards)
+	}
+	if stats.WALRecords != 2 {
+		t.Fatalf("replayed %d WAL records, want 2", stats.WALRecords)
+	}
+	if re.Size() != 14 {
+		t.Fatalf("recovered %d docs, want 14", re.Size())
+	}
+	gotURLs := re.URLs()
+	for i := range wantURLs {
+		if wantURLs[i] != gotURLs[i] {
+			t.Fatalf("URL order diverged at %d: %q vs %q", i, wantURLs[i], gotURLs[i])
+		}
+	}
+	// The WAL-tail inserts are unindexed (as on a single store): queries
+	// refuse until the index is rebuilt.
+	if re.Indexed() {
+		t.Fatal("index should be stale after WAL-tail inserts")
+	}
+	for _, it := range items[:14] {
+		if err := re.AddRaster(it.URL, it.Scene.Img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := re.BuildContentIndex(shardedIndexOpts()); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := re.QueryAnnotations("scene", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("no hits after recovery + reindex")
+	}
+}
+
+// TestShardedLayoutIsStored: the shard count comes from the manifests; a
+// contradicting request is refused, and a standalone store cannot be
+// opened sharded.
+func TestShardedLayoutIsStored(t *testing.T) {
+	dir := t.TempDir()
+	e, _ := openShardedDemo(t, dir, 3, 6)
+	if _, err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ClosePersistent(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenShardedPersistent(ShardedPersistOptions{Dir: dir, Shards: 2}); err == nil {
+		t.Fatal("mismatched shard count should be refused")
+	}
+	re, stats, err := OpenShardedPersistent(ShardedPersistOptions{Dir: dir, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	re.ClosePersistent()
+	if stats.Shards != 3 {
+		t.Fatalf("got %d shards", stats.Shards)
+	}
+
+	// a standalone store is not a sharded root
+	solo := t.TempDir()
+	m, _, err := OpenPersistent(PersistOptions{Dir: solo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	m.ClosePersistent()
+	if _, _, err := OpenShardedPersistent(ShardedPersistOptions{Dir: solo, Shards: 2}); err == nil {
+		t.Fatal("standalone store opened as sharded root")
+	}
+	// and a shard member refuses to reopen under a different identity
+	if _, _, err := OpenPersistent(PersistOptions{
+		Dir: filepath.Join(dir, shardDirName(0)), ShardIndex: 1, ShardCount: 3,
+	}); err == nil {
+		t.Fatal("shard 0 reopened as shard 1")
+	}
+}
+
+// TestShardedTornWAL: garbage appended to one shard's WAL (the expected
+// crash shape) is truncated on recovery; the other shards' tails survive,
+// and the engine reports which shard was torn.
+func TestShardedTornWAL(t *testing.T) {
+	dir := t.TempDir()
+	e, items := openShardedDemo(t, dir, 2, 10)
+	if _, err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items[10:14] {
+		if err := e.AddImage(it.URL, it.Annotation, it.Scene.Img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// find a shard that received at least one WAL-tail insert
+	torn := -1
+	for i := 0; i < 2; i++ {
+		wal := filepath.Join(dir, shardDirName(i), "wal.log")
+		if fi, err := os.Stat(wal); err == nil && fi.Size() > 0 {
+			torn = i
+			break
+		}
+	}
+	if torn < 0 {
+		t.Fatal("no shard got a WAL-tail insert")
+	}
+	if err := e.ClosePersistent(); err != nil {
+		t.Fatal(err)
+	}
+	wal := filepath.Join(dir, shardDirName(torn), "wal.log")
+	f, err := os.OpenFile(wal, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("\x99\x00garbage-torn-tail")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re, stats, err := OpenShardedPersistent(ShardedPersistOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.ClosePersistent()
+	if len(stats.TornTails) != 1 || stats.TornTails[0] != torn {
+		t.Fatalf("torn tails = %v, want [%d]", stats.TornTails, torn)
+	}
+	// checkpoint + valid WAL prefix: all 14 docs survive (the garbage
+	// followed the last valid record)
+	if re.Size() != 14 {
+		t.Fatalf("recovered %d docs, want 14", re.Size())
+	}
+}
+
+// TestShardedLostWALTail: one shard loses its entire WAL tail (crash
+// without -wal-sync before any checkpoint of those inserts). Recovery
+// keeps the surviving documents under their original global identity —
+// the lost documents leave gaps, never renumbering.
+func TestShardedLostWALTail(t *testing.T) {
+	dir := t.TempDir()
+	e, items := openShardedDemo(t, dir, 2, 10)
+	if _, err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	var tailURLs []string
+	for _, it := range items[10:16] {
+		if err := e.AddImage(it.URL, it.Annotation, it.Scene.Img); err != nil {
+			t.Fatal(err)
+		}
+		tailURLs = append(tailURLs, it.URL)
+	}
+	// count the tail docs per shard before the "crash"
+	perShard := map[int]int{}
+	for _, u := range tailURLs {
+		perShard[e.shardFor(u)]++
+	}
+	lost := -1
+	for s, c := range perShard {
+		if c > 0 {
+			lost = s
+			break
+		}
+	}
+	if lost < 0 {
+		t.Skip("tail landed on no shard")
+	}
+	if err := e.ClosePersistent(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(filepath.Join(dir, shardDirName(lost), "wal.log"), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	re, _, err := OpenShardedPersistent(ShardedPersistOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.ClosePersistent()
+	want := 16 - perShard[lost]
+	if re.Size() != want {
+		t.Fatalf("recovered %d docs, want %d (lost %d)", re.Size(), want, perShard[lost])
+	}
+	// surviving docs keep their URLs and identities; lost ones are gone
+	lostSet := map[string]bool{}
+	for _, u := range tailURLs {
+		if re.shardFor(u) == lost {
+			lostSet[u] = true
+		}
+	}
+	for _, u := range re.URLs() {
+		if lostSet[u] {
+			t.Fatalf("lost document %q resurfaced", u)
+		}
+	}
+}

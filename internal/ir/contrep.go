@@ -241,6 +241,18 @@ func (c *Contrep) Finalize(db *moa.Database, prefix string) error {
 	for i := 0; i < termB.Len(); i++ {
 		df[termB.Tail.OIDAt(i)]++
 	}
+
+	// Sharded indexing: a registered collection-statistics override
+	// replaces the local view of n, avgdl and df with the global one, so
+	// this store's beliefs match what a single store holding the whole
+	// collection would compute (see globalstats.go).
+	if gs := globalStatsFor(db, prefix); gs != nil {
+		n = gs.N
+		avgdl = gs.AvgDocLen
+		for t := range df {
+			df[t] = int64(gs.DF[dict.Tail.StrAt(t)])
+		}
+	}
 	dfB := bat.NewDense(0, bat.KindInt)
 	for t, c := range df {
 		dfB.MustAppend(bat.OID(t), c)

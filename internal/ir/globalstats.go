@@ -1,0 +1,122 @@
+package ir
+
+import (
+	"fmt"
+	"sync"
+
+	"mirror/internal/bat"
+	"mirror/internal/moa"
+)
+
+// Collection-statistics overrides for sharded indexing.
+//
+// The belief of a posting (Belief) mixes per-document evidence (tf, dlen)
+// with collection statistics: document frequency, collection size and
+// average document length. A shard that indexes only its slice of the
+// collection would compute *local* statistics and its beliefs would
+// diverge from a single store holding everything — local idf is the
+// classic distributed-IR failure mode. The sharded engine in internal/core
+// therefore computes the statistics once, globally, and registers them
+// here per (database, CONTREP prefix) before running Finalize on each
+// shard. With the override in place every shard writes exactly the belief
+// a single store would have written, which is what makes the global top-k
+// a pure merge of shard-local top-ks (beliefs become per-document
+// annotations in the Gatterbauer sense — comparable across stores).
+//
+// The override also requires *union dictionaries* (EnsureDictTerms): a
+// query term that matches no document of a shard must still be in that
+// shard's dictionary, or the shard would drop it as out-of-vocabulary and
+// score its unmatched documents with a smaller default fill than the
+// single store does.
+//
+// Beliefs, the _df column and the _stats column are persisted through the
+// BBP manifest, so a reopened shard answers queries consistently without
+// re-registering anything; the engine re-registers the override whenever
+// it rebuilds the index (which is the only path that calls Finalize).
+
+// GlobalStats is the collection-level truth a shard's Finalize uses in
+// place of its local view.
+type GlobalStats struct {
+	N         int            // global document count
+	AvgDocLen float64        // global average document length (tokens)
+	DF        map[string]int // global document frequency per term
+}
+
+// CollectionStats folds per-document term lists into GlobalStats. Each
+// docs[i] is one document's token sequence (duplicates count toward the
+// document length, distinct terms toward df) — exactly the arithmetic
+// Finalize performs over its postings. Empty documents still count in N,
+// matching the dlen row every CONTREP insert appends.
+func CollectionStats(docs [][]string) *GlobalStats {
+	gs := &GlobalStats{N: len(docs), DF: map[string]int{}}
+	var total int
+	for _, terms := range docs {
+		total += len(terms)
+		tf, _ := TermFrequencies(terms)
+		for t := range tf {
+			gs.DF[t]++
+		}
+	}
+	if gs.N > 0 {
+		gs.AvgDocLen = float64(total) / float64(gs.N)
+	}
+	return gs
+}
+
+var (
+	gsMu  sync.Mutex
+	gsReg = map[cacheKey]*GlobalStats{}
+)
+
+// SetGlobalStats registers (gs != nil) or clears (gs == nil) the
+// collection-statistics override the next Finalize of this CONTREP will
+// use. It applies to belief computation, the _df column and the _stats
+// column alike.
+func SetGlobalStats(db *moa.Database, prefix string, gs *GlobalStats) {
+	gsMu.Lock()
+	defer gsMu.Unlock()
+	key := cacheKey{db, prefix}
+	if gs == nil {
+		delete(gsReg, key)
+		return
+	}
+	gsReg[key] = gs
+}
+
+// globalStatsFor returns the registered override, or nil.
+func globalStatsFor(db *moa.Database, prefix string) *GlobalStats {
+	gsMu.Lock()
+	defer gsMu.Unlock()
+	return gsReg[cacheKey{db, prefix}]
+}
+
+// EnsureDictTerms appends every term missing from the CONTREP's dictionary
+// (with no postings — the term simply becomes known). Sharded indexing
+// calls it with the global term set so all shards agree on query
+// vocabulary; term OIDs remain shard-local, which is fine because queries
+// enter through a string join against the dictionary. Call before
+// Finalize, which derives the reversed dictionary and the per-term bound
+// columns from the (now unioned) dictionary.
+func EnsureDictTerms(db *moa.Database, prefix string, terms []string) error {
+	idx, err := dictIndex(db, prefix, false)
+	if err != nil {
+		return err
+	}
+	dict, ok := db.BAT(prefix + "_dict")
+	if !ok {
+		return fmt.Errorf("ir: missing dictionary BAT %s_dict", prefix)
+	}
+	dictMu.Lock()
+	defer dictMu.Unlock()
+	for _, t := range terms {
+		if _, known := idx[t]; known {
+			continue
+		}
+		toid := bat.OID(dict.Len())
+		if err := dict.Append(toid, t); err != nil {
+			return err
+		}
+		idx[t] = toid
+	}
+	return nil
+}

@@ -515,7 +515,7 @@ func biWSumBel(_ *Env, args []any) (any, error) {
 // BUN-for-BUN to getbl + fill + a full descending sort cut at k. domain
 // supplies the OIDs of documents matching no query term (they score
 // count(query)·default and are merged in when the match set cannot fill k).
-func biPrunedTopK(_ *Env, args []any) (any, error) {
+func biPrunedTopK(env *Env, args []any) (any, error) {
 	if err := wantArgs(args, 8); err != nil {
 		return nil, err
 	}
@@ -555,7 +555,7 @@ func biPrunedTopK(_ *Env, args []any) (any, error) {
 	for i := range query {
 		query[i] = qb.Tail.OIDAt(i)
 	}
-	return bat.PrunedTopK(start, doc, bel, maxb, query, nil, def, int(k), domain)
+	return bat.PrunedTopKShared(start, doc, bel, maxb, query, nil, def, int(k), domain, env.TopKTheta)
 }
 
 // biPostings: postings(poststart, postdoc, postbel, t) → [docOID, belief],

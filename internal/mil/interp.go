@@ -13,6 +13,14 @@ import (
 type Env struct {
 	vars map[string]any
 	Out  io.Writer
+
+	// TopKTheta, when non-nil, is the shared pruning threshold the
+	// prunedtopk builtin passes to the physical operator. A scatter-gather
+	// engine binds one bat.TopKThreshold into the Env of every shard's
+	// program for a query, so a hot shard's k-th best score prunes the
+	// cold shards' scans (exactly as doc-range partitions already share a
+	// threshold within one scan). Nil means a private per-call threshold.
+	TopKTheta *bat.TopKThreshold
 }
 
 // NewEnv returns an empty environment.

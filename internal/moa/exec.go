@@ -157,6 +157,7 @@ func (c *Compiled) MIL() string { return c.prog.String() }
 // materialises the result.
 func (c *Compiled) Run() (*Result, error) {
 	env := mil.NewEnv()
+	env.TopKTheta = c.eng.Opts.TopKTheta
 	for k, v := range c.eng.DB.Snapshot() {
 		env.Bind(k, v)
 	}

@@ -1,6 +1,10 @@
 package moa
 
-import "fmt"
+import (
+	"fmt"
+
+	"mirror/internal/bat"
+)
 
 // Options control the algebraic rewrites applied before flattening and the
 // common-subexpression elimination applied during it. The paper's claim
@@ -37,6 +41,12 @@ type Options struct {
 	// evaluation and the caller's ranking applies the cut — the exact
 	// fallback.
 	TopK int
+	// TopKTheta, when non-nil, is an externally owned pruning threshold
+	// bound into the MIL environment at Run time: every pruned top-k scan
+	// of this engine's queries raises and reads it. The sharded engine in
+	// internal/core sets one per query across all shard engines so pruning
+	// tightens globally; leave nil for a private per-scan threshold.
+	TopKTheta *bat.TopKThreshold
 }
 
 // DefaultOptions enables every optimisation.

@@ -105,6 +105,16 @@ type CheckpointStats struct {
 	Bytes   int64 // heap-file bytes written
 }
 
+// IsStore reports whether dir holds a (v2) BAT-buffer-pool store — i.e.
+// a published MANIFEST exists. Layout detection belongs here, next to
+// the format it detects: core's sharded engine and cmd/mirrord use it to
+// distinguish a standalone store root from a sharded one (whose members
+// live in subdirectories, each its own store).
+func IsStore(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, manifestName))
+	return err == nil
+}
+
 // Create initialises an empty store at dir (which must not already hold
 // one) and returns its pool.
 func Create(dir string, opts Options) (*Pool, error) {
