@@ -49,6 +49,7 @@ func main() {
 		noMmap    = flag.Bool("no-mmap", false, "load the store with the portable read path instead of mmap")
 		ckptEvery = flag.Duration("checkpoint-every", 0, "checkpoint the store on this interval (0 = only on shutdown/RPC)")
 		shards    = flag.Int("shards", 0, "shard the collection across N hash-partitioned stores (0 = reopen a store with its stored layout, or run unsharded when fresh)")
+		refrEvery = flag.Duration("refresh-every", 0, "incrementally index newly ingested documents on this interval, publishing a fresh snapshot epoch (0 = only via the Mirror.Refresh RPC); queries are never blocked by a refresh")
 	)
 	flag.Parse()
 	if *dictAddr == "" {
@@ -76,13 +77,16 @@ func main() {
 		r = m
 	}
 
-	// A fully indexed recovered store serves immediately. Anything else
-	// — fresh store, no store, or a store recovered from a crash before
-	// its first checkpoint (WAL inserts present but no content index,
-	// and rasters are never persisted) — is built/repaired by crawling
-	// the media server: known URLs get their rasters re-attached, new
-	// ones are ingested, then the pipeline runs.
-	if r.Size() == 0 || !r.Indexed() {
+	// A fully indexed, current recovered store serves immediately.
+	// Anything else — fresh store, no store, a store recovered from a
+	// crash before its first checkpoint (WAL inserts present but no
+	// content index), or an indexed store with pending documents (rasters
+	// are never persisted, so the crawl re-attaches them before the
+	// catch-up Refresh below) — is built/repaired by crawling the media
+	// server: known URLs get their rasters re-attached, new ones are
+	// ingested, then the pipeline (full build) or an incremental refresh
+	// runs.
+	if r.Size() == 0 || !r.Indexed() || !r.Current() {
 		base := *mediaURL
 		if base == "" {
 			dc, err := dict.Dial(*dictAddr)
@@ -120,15 +124,33 @@ func main() {
 				log.Fatalf("mirrord: ingest %s: %v", it.URL, err)
 			}
 		}
-		fmt.Printf("mirrord: ingested %d items; running extraction pipeline...\n", r.Size())
-		opts := core.DefaultIndexOptions()
-		if *local {
-			err = r.BuildContentIndex(opts)
-		} else {
-			err = r.BuildContentIndexDistributed(opts, *dictAddr)
+		rebuild := !r.Indexed()
+		if !rebuild {
+			// Incremental catch-up: the recovered epoch keeps serving while
+			// the pending documents are assigned to the frozen codebooks
+			// and published as a delta segment. A store that cannot refresh
+			// (no codebook: distributed build or pre-codebook checkpoint)
+			// falls back to the full rebuild below instead of dying.
+			st, err := r.Refresh()
+			if err != nil {
+				log.Printf("mirrord: catch-up refresh failed (%v); falling back to a full rebuild", err)
+				rebuild = true
+			} else {
+				fmt.Printf("mirrord: catch-up refresh: +%d docs, epoch %d (%d segments)\n",
+					st.NewDocs, st.Epoch, st.Segments)
+			}
 		}
-		if err != nil {
-			log.Fatalf("mirrord: pipeline: %v", err)
+		if rebuild {
+			fmt.Printf("mirrord: ingested %d items; running extraction pipeline...\n", r.Size())
+			opts := core.DefaultIndexOptions()
+			if *local {
+				err = r.BuildContentIndex(opts)
+			} else {
+				err = r.BuildContentIndexDistributed(opts, *dictAddr)
+			}
+			if err != nil {
+				log.Fatalf("mirrord: pipeline: %v", err)
+			}
 		}
 		if r.Persistent() {
 			st, err := r.Checkpoint()
@@ -162,6 +184,16 @@ func main() {
 		defer t.Stop()
 		ticker = t.C
 	}
+	// The refresh loop is the background indexing thread: newly ingested
+	// documents become retrievable without any restart or rebuild, and
+	// delta-segment compaction rides along. Queries keep serving the
+	// previous epoch throughout each tick.
+	refresh := make(<-chan time.Time)
+	if *refrEvery > 0 {
+		t := time.NewTicker(*refrEvery)
+		defer t.Stop()
+		refresh = t.C
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	for {
@@ -172,6 +204,14 @@ func main() {
 				log.Printf("mirrord: periodic checkpoint: %v", err)
 			} else if st.Written > 0 {
 				fmt.Printf("mirrord: checkpoint: %d dirty BATs written, %d clean skipped\n", st.Written, st.Skipped)
+			}
+		case <-refresh:
+			st, err := r.Refresh()
+			if err != nil {
+				log.Printf("mirrord: periodic refresh: %v", err)
+			} else if st.NewDocs > 0 {
+				fmt.Printf("mirrord: refresh: +%d docs, epoch %d (%d merges, %d segments)\n",
+					st.NewDocs, st.Epoch, st.Merges, st.Segments)
 			}
 		case <-sig:
 			// Stop accepting new connections before the final flush.

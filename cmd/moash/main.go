@@ -21,6 +21,10 @@
 //	\sets                        list defined sets
 //	\shards                      sharded-layout introspection (shard count,
 //	                             per-shard document/BAT counts, store dirs)
+//	\segments                    index-segment introspection: the serving
+//	                             epoch, per-CONTREP segment directory
+//	                             (docs/postings/terms per segment), and
+//	                             pending (unindexed) document counts
 //	\help, \quit
 //
 // With -shards N the demo collection is hash-partitioned across N
@@ -34,6 +38,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -151,6 +156,7 @@ func repl(r core.Retriever, sharded *core.ShardedEngine) {
 			fmt.Println("  \\milrun <stmt;>     run raw MIL against the stored BATs (see docs/MIL.md)")
 			fmt.Println("  \\sets               list sets")
 			fmt.Println("  \\shards             sharded-layout introspection")
+			fmt.Println("  \\segments           index-segment / epoch introspection")
 			fmt.Println("  \\quit")
 		case line == `\shards`:
 			if sharded == nil {
@@ -165,6 +171,23 @@ func repl(r core.Retriever, sharded *core.ShardedEngine) {
 					dir = "(in-memory)"
 				}
 				fmt.Printf("  shard %3d  %6d docs  %4d BATs  %s\n", info.Index, info.Docs, info.BATs, dir)
+			}
+		case line == `\segments`:
+			infos := r.Segments()
+			if infos == nil {
+				fmt.Println("no index epoch published yet (run the pipeline / BuildContentIndex)")
+				break
+			}
+			if pending := r.Size() - segmentsDocs(infos); pending > 0 {
+				fmt.Printf("%d documents pending the next refresh\n", pending)
+			}
+			for _, info := range infos {
+				fmt.Printf("shard %d  %-40s epoch %-4d %6d docs  %d segment(s)\n",
+					info.Shard, info.Prefix, info.Epoch, info.Docs, len(info.Segs))
+				for _, seg := range info.Segs {
+					fmt.Printf("    seg %-3d %6d docs  %8d postings  %6d terms\n",
+						seg.Slot, seg.Docs, seg.Postings, seg.Terms)
+				}
 			}
 		case line == `\mil`:
 			showMIL = !showMIL
@@ -323,9 +346,29 @@ func runMIL(src string, env *mil.Env) {
 	}
 }
 
+// segmentsDocs reports how many documents the serving epoch covers
+// (engine-wide: the max over the per-CONTREP entries of each shard,
+// summed across shards once per shard).
+func segmentsDocs(infos []core.SegmentsInfo) int {
+	perShard := map[int]int{}
+	for _, info := range infos {
+		if info.Docs > perShard[info.Shard] {
+			perShard[info.Shard] = info.Docs
+		}
+	}
+	total := 0
+	for _, d := range perShard {
+		total += d
+	}
+	return total
+}
+
 func printHits(hits []core.Hit, err error) {
 	if err != nil {
 		fmt.Printf("error: %v\n", err)
+		if errors.Is(err, core.ErrNotIndexed) {
+			fmt.Println("hint: no index epoch is published yet — run the extraction pipeline (mirrord, or moash without -no-pipeline); once built, new inserts are picked up by Refresh without rebuilding")
+		}
 		return
 	}
 	for i, h := range hits {

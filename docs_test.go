@@ -99,11 +99,12 @@ func TestDocsMILReferenceIsComplete(t *testing.T) {
 	}
 }
 
-// mirrordFlags parses the flag definitions out of cmd/mirrord/main.go —
-// the single source of truth the operations manual must track.
-func mirrordFlags(t *testing.T) []string {
+// cmdFlags parses the flag definitions out of cmd/<name>/main.go — the
+// single source of truth the operations manual must track. min guards the
+// extraction regexp against silently rotting.
+func cmdFlags(t *testing.T, name string, min int) []string {
 	t.Helper()
-	src, err := os.ReadFile(filepath.Join("cmd", "mirrord", "main.go"))
+	src, err := os.ReadFile(filepath.Join("cmd", name, "main.go"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,11 +113,14 @@ func mirrordFlags(t *testing.T) []string {
 	for _, m := range re.FindAllStringSubmatch(string(src), -1) {
 		names = append(names, m[1])
 	}
-	if len(names) < 5 {
-		t.Fatalf("parsed only %d mirrord flags — the extraction regexp is stale", len(names))
+	if len(names) < min {
+		t.Fatalf("parsed only %d %s flags — the extraction regexp is stale", len(names), name)
 	}
 	return names
 }
+
+// mirrordFlags keeps the historical helper name used below.
+func mirrordFlags(t *testing.T) []string { return cmdFlags(t, "mirrord", 5) }
 
 // TestDocsOperationsCoversEveryMirrordFlag fails when cmd/mirrord gains
 // (or renames) a flag without docs/OPERATIONS.md documenting it as
@@ -134,9 +138,28 @@ func TestDocsOperationsCoversEveryMirrordFlag(t *testing.T) {
 	}
 	// the recovery story and the crash matrix are the document's reason
 	// to exist — their anchors must survive edits
-	for _, anchor := range []string{"Recovery walkthrough", "Crash matrix", "Sharding", "wal.log", "MANIFEST"} {
+	for _, anchor := range []string{"Recovery walkthrough", "Crash matrix", "Sharding", "wal.log", "MANIFEST", "Online ingest"} {
 		if !strings.Contains(doc, anchor) {
 			t.Errorf("docs/OPERATIONS.md lost its %q section/anchor", anchor)
+		}
+	}
+}
+
+// TestDocsOperationsCoversEveryMirrordaemonFlag brings cmd/mirrordaemon
+// into the operability checks: until PR 5 it silently escaped them — a
+// flag could be added or renamed without the manual noticing.
+func TestDocsOperationsCoversEveryMirrordaemonFlag(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("docs", "OPERATIONS.md"))
+	if err != nil {
+		t.Fatalf("docs/OPERATIONS.md: %v (the operations manual is a required artifact)", err)
+	}
+	doc := string(src)
+	if !strings.Contains(doc, "mirrordaemon") {
+		t.Fatal("docs/OPERATIONS.md does not document cmd/mirrordaemon")
+	}
+	for _, name := range cmdFlags(t, "mirrordaemon", 2) {
+		if !strings.Contains(doc, "`-"+name+"`") {
+			t.Errorf("docs/OPERATIONS.md does not document mirrordaemon flag -%s", name)
 		}
 	}
 }

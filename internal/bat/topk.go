@@ -297,12 +297,46 @@ func PrunedTopK(start, postDoc, postBel, maxBel *BAT, query []OID, weights []flo
 // valid global lower bound); only the amount of skipped work differs.
 // theta == nil behaves exactly like PrunedTopK (a private threshold).
 func PrunedTopKShared(start, postDoc, postBel, maxBel *BAT, query []OID, weights []float64, def float64, k int, domain *BAT, theta *TopKThreshold) (*BAT, error) {
+	return PrunedTopKSegs([]PostingsSeg{{Start: start, Doc: postDoc, Bel: postBel, MaxBel: maxBel}},
+		query, weights, def, k, domain, theta)
+}
+
+// PostingsSeg bundles the four term-ordered postings columns of one index
+// segment (see internal/ir: incremental indexing splits the postings by
+// document range into generation-numbered segments).
+type PostingsSeg struct {
+	Start  *BAT // [termOID(void), int]  per-term offsets, nterms+1 entries
+	Doc    *BAT // [void, docOID]        postings sorted by (term, doc asc)
+	Bel    *BAT // [void, flt]           beliefs aligned with Doc
+	MaxBel *BAT // [termOID(void), flt]  per-term maximum belief in the segment
+}
+
+// PrunedTopKSegs evaluates the pruned top-k retrieval over a LIST of
+// postings segments that together partition the document space (each
+// document's postings live entirely in one segment). The result is
+// BUN-for-BUN identical to PrunedTopK over the single segment obtained by
+// merging the list: every candidate's score is the same canonical fold
+// (all of a document's postings sit in one segment, so the fold order is
+// unchanged), and all segments share one rising threshold — exactly the
+// mechanism that already makes doc-range partitions inside one scan and
+// shard scans across stores return the serial result. Segments may
+// disagree on dictionary size (a segment published before later terms
+// existed simply has no postings for them) and on per-term bounds (a
+// per-segment bound is tighter, pruning more, never less correctly).
+func PrunedTopKSegs(segs []PostingsSeg, query []OID, weights []float64, def float64, k int, domain *BAT, theta *TopKThreshold) (*BAT, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("bat: prunedtopk: k must be positive, got %d", k)
 	}
-	pv, err := newPostingsView(start, postDoc, postBel, maxBel)
-	if err != nil {
-		return nil, err
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("bat: prunedtopk: no postings segments")
+	}
+	views := make([]*postingsView, len(segs))
+	for i, s := range segs {
+		pv, err := newPostingsView(s.Start, s.Doc, s.Bel, s.MaxBel)
+		if err != nil {
+			return nil, fmt.Errorf("segment %d: %w", i, err)
+		}
+		views[i] = pv
 	}
 	weighted := weights != nil
 	if weighted {
@@ -331,63 +365,69 @@ func PrunedTopKShared(start, postDoc, postBel, maxBel *BAT, query []OID, weights
 		fillBase = float64(len(query)) * def
 	}
 
-	// Resolve term ranges once; partition the *document space* so each
-	// worker owns a contiguous OID range of every posting list.
-	ranges := make([]postingRange, len(query))
-	maxDoc := OID(0)
-	totalPostings := 0
-	for i, t := range query {
-		lo, hi := pv.termRange(t)
-		ranges[i] = postingRange{lo, hi}
-		totalPostings += hi - lo
-		if hi > lo && pv.docs[hi-1] > maxDoc {
-			maxDoc = pv.docs[hi-1]
-		}
-	}
-
-	nPar := Parallelism()
+	// Resolve term ranges once per segment; within a segment, partition
+	// the *document space* so each worker owns a contiguous OID range of
+	// every posting list.
+	segRanges := make([][]postingRange, len(views))
 	if theta == nil {
 		theta = NewTopKThreshold()
 	}
 	var heaps []*BoundedTopK[topkCand]
-	if useParallel(totalPostings) && nPar > 1 {
-		// Document-range partitions: per-partition max-score with local
-		// heaps plus the shared rising threshold, merged below.
-		bounds := make([]OID, 0, nPar+1)
-		span := uint64(maxDoc) + 1
-		for c := 0; c <= nPar; c++ {
-			bounds = append(bounds, OID(span*uint64(c)/uint64(nPar)))
+	for vi, pv := range views {
+		ranges := make([]postingRange, len(query))
+		maxDoc := OID(0)
+		totalPostings := 0
+		for i, t := range query {
+			lo, hi := pv.termRange(t)
+			ranges[i] = postingRange{lo, hi}
+			totalPostings += hi - lo
+			if hi > lo && pv.docs[hi-1] > maxDoc {
+				maxDoc = pv.docs[hi-1]
+			}
 		}
-		heaps = make([]*BoundedTopK[topkCand], nPar)
-		runChunks(chunkRanges(nPar, nPar), func(_, lo, hi int) {
-			for c := lo; c < hi; c++ {
-				h := NewBoundedTopK(k, worseCand)
-				terms := make([]qterm, len(query))
-				for i := range query {
-					w := 1.0
-					if weighted {
-						w = weights[i]
+		segRanges[vi] = ranges
+
+		nPar := Parallelism()
+		if useParallel(totalPostings) && nPar > 1 {
+			// Document-range partitions: per-partition max-score with local
+			// heaps plus the shared rising threshold, merged below.
+			bounds := make([]OID, 0, nPar+1)
+			span := uint64(maxDoc) + 1
+			for c := 0; c <= nPar; c++ {
+				bounds = append(bounds, OID(span*uint64(c)/uint64(nPar)))
+			}
+			segHeaps := make([]*BoundedTopK[topkCand], nPar)
+			runChunks(chunkRanges(nPar, nPar), func(_, lo, hi int) {
+				for c := lo; c < hi; c++ {
+					h := NewBoundedTopK(k, worseCand)
+					terms := make([]qterm, len(query))
+					for i := range query {
+						w := 1.0
+						if weighted {
+							w = weights[i]
+						}
+						tlo := searchDocFrom(pv.docs, ranges[i].lo, ranges[i].hi, bounds[c])
+						thi := searchDocFrom(pv.docs, tlo, ranges[i].hi, bounds[c+1])
+						terms[i] = qterm{qi: i, cur: tlo, hi: thi, weight: w}
 					}
-					tlo := searchDocFrom(pv.docs, ranges[i].lo, ranges[i].hi, bounds[c])
-					thi := searchDocFrom(pv.docs, tlo, ranges[i].hi, bounds[c+1])
-					terms[i] = qterm{qi: i, cur: tlo, hi: thi, weight: w}
+					maxscoreScan(pv, terms, query, weights, def, fillBase, h, theta)
+					segHeaps[c] = h
 				}
-				maxscoreScan(pv, terms, query, weights, def, fillBase, h, theta)
-				heaps[c] = h
+			})
+			heaps = append(heaps, segHeaps...)
+		} else {
+			h := NewBoundedTopK(k, worseCand)
+			terms := make([]qterm, len(query))
+			for i := range query {
+				w := 1.0
+				if weighted {
+					w = weights[i]
+				}
+				terms[i] = qterm{qi: i, cur: ranges[i].lo, hi: ranges[i].hi, weight: w}
 			}
-		})
-	} else {
-		h := NewBoundedTopK(k, worseCand)
-		terms := make([]qterm, len(query))
-		for i := range query {
-			w := 1.0
-			if weighted {
-				w = weights[i]
-			}
-			terms[i] = qterm{qi: i, cur: ranges[i].lo, hi: ranges[i].hi, weight: w}
+			maxscoreScan(pv, terms, query, weights, def, fillBase, h, theta)
+			heaps = append(heaps, h)
 		}
-		maxscoreScan(pv, terms, query, weights, def, fillBase, h, theta)
-		heaps = []*BoundedTopK[topkCand]{h}
 	}
 
 	// Merge the per-partition candidates; the full exact scores make the
@@ -407,7 +447,7 @@ func PrunedTopKShared(start, postDoc, postBel, maxBel *BAT, query []OID, weights
 	}
 
 	if !weighted {
-		resDocs, resScores = fillDefaults(pv, ranges, domain, fillBase, k, resDocs, resScores)
+		resDocs, resScores = fillDefaults(views, segRanges, domain, fillBase, k, resDocs, resScores)
 	}
 
 	out := New(KindOID, KindFloat)
@@ -563,8 +603,9 @@ type postingRange struct{ lo, hi int }
 // fillDefaults merges default-scored (unmatched) documents into a ranked
 // result when they can still enter the top k: they all score fillBase and
 // tie-break by ascending OID, so the walk stops at the first one that no
-// longer beats the tail.
-func fillDefaults(pv *postingsView, ranges []postingRange, domain *BAT, fillBase float64, k int, docs []OID, scores []float64) ([]OID, []float64) {
+// longer beats the tail. A document is "matched" when any segment holds a
+// posting for it under any query term.
+func fillDefaults(views []*postingsView, segRanges [][]postingRange, domain *BAT, fillBase float64, k int, docs []OID, scores []float64) ([]OID, []float64) {
 	if len(docs) == k && scores[len(scores)-1] > fillBase {
 		// The current tail strictly beats any default-scored document; on a
 		// tie the walk below still runs, because a smaller unmatched OID wins.
@@ -574,9 +615,11 @@ func fillDefaults(pv *postingsView, ranges []postingRange, domain *BAT, fillBase
 	// domain max; sparse OID spaces fall back to a map.
 	n := domain.Len()
 	maxDoc := OID(0)
-	for _, r := range ranges {
-		if r.hi > r.lo && pv.docs[r.hi-1] > maxDoc {
-			maxDoc = pv.docs[r.hi-1]
+	for vi, pv := range views {
+		for _, r := range segRanges[vi] {
+			if r.hi > r.lo && pv.docs[r.hi-1] > maxDoc {
+				maxDoc = pv.docs[r.hi-1]
+			}
 		}
 	}
 	if n > 0 {
@@ -605,9 +648,11 @@ func fillDefaults(pv *postingsView, ranges []postingRange, domain *BAT, fillBase
 		_, ok := sparse[d]
 		return ok
 	}
-	for _, r := range ranges {
-		for p := r.lo; p < r.hi; p++ {
-			mark(pv.docs[p])
+	for vi, pv := range views {
+		for _, r := range segRanges[vi] {
+			for p := r.lo; p < r.hi; p++ {
+				mark(pv.docs[p])
+			}
 		}
 	}
 	for i := 0; i < n; i++ {

@@ -1,0 +1,145 @@
+package bat
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// segSplit cuts a synthIndex's document space at the given boundaries
+// (ascending, exclusive ends; the last boundary must be ndocs) and builds
+// one PostingsSeg per slice. Segments may be built against different
+// dictionary sizes (tail segments see the full dictionary, earlier ones a
+// prefix) to mirror incremental publishes that predate later terms.
+func segSplit(si *synthIndex, bounds []int, shrinkDicts bool) []PostingsSeg {
+	segs := make([]PostingsSeg, 0, len(bounds))
+	lo := 0
+	for segIdx, hi := range bounds {
+		nterms := si.nterms
+		if shrinkDicts && segIdx == 0 {
+			// First segment published before the last term existed — but
+			// only when no document in it uses the last term.
+			uses := false
+			for d := lo; d < hi; d++ {
+				if _, ok := si.perDoc[d][OID(si.nterms-1)]; ok {
+					uses = true
+				}
+			}
+			if !uses {
+				nterms = si.nterms - 1
+			}
+		}
+		type post struct {
+			d OID
+			b float64
+		}
+		byTerm := make([][]post, nterms)
+		for d := lo; d < hi; d++ {
+			for t, b := range si.perDoc[d] {
+				if int(t) < nterms {
+					byTerm[t] = append(byTerm[t], post{OID(d), b})
+				}
+			}
+		}
+		start := NewDense(0, KindInt)
+		doc := NewDense(0, KindOID)
+		bel := NewDense(0, KindFloat)
+		maxb := NewDense(0, KindFloat)
+		off := int64(0)
+		for t := 0; t < nterms; t++ {
+			start.MustAppend(OID(t), off)
+			sort.Slice(byTerm[t], func(a, b int) bool { return byTerm[t][a].d < byTerm[t][b].d })
+			mx := 0.0
+			for _, p := range byTerm[t] {
+				doc.MustAppend(OID(off), p.d)
+				bel.MustAppend(OID(off), p.b)
+				if p.b > mx {
+					mx = p.b
+				}
+				off++
+			}
+			maxb.MustAppend(OID(t), mx)
+		}
+		start.MustAppend(OID(nterms), off)
+		segs = append(segs, PostingsSeg{Start: start, Doc: doc, Bel: bel, MaxBel: maxb})
+		lo = hi
+	}
+	return segs
+}
+
+// TestPrunedTopKSegsMatchesMerged pins the segment-list operator's
+// differential guarantee: scanning any segmentation of the document space
+// returns BUN-for-BUN (ties included) the single-segment result, for
+// random corpora with manufactured ties, duplicate and OOV query terms,
+// unweighted (domain fill) and weighted modes, and segments whose
+// dictionaries predate later terms.
+func TestPrunedTopKSegsMatchesMerged(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const def = 0.4
+	for round := 0; round < 60; round++ {
+		ndocs := 1 + rng.Intn(300)
+		nterms := 2 + rng.Intn(30)
+		si := mkSynthIndex(rng, nterms, ndocs, 6, 3)
+
+		// random segmentation: 1..5 cuts
+		nseg := 1 + rng.Intn(5)
+		cuts := map[int]bool{ndocs: true}
+		for len(cuts) < nseg {
+			cuts[1+rng.Intn(ndocs)] = true
+		}
+		var bounds []int
+		for c := range cuts {
+			bounds = append(bounds, c)
+		}
+		sort.Ints(bounds)
+		segs := segSplit(si, bounds, rng.Intn(2) == 0)
+
+		k := 1 + rng.Intn(ndocs+3)
+		qlen := 1 + rng.Intn(5)
+		query := make([]OID, qlen)
+		for i := range query {
+			query[i] = OID(rng.Intn(nterms + 2)) // may exceed dict: OOV
+		}
+		var weights []float64
+		if rng.Intn(2) == 0 {
+			weights = make([]float64, qlen)
+			for i := range weights {
+				weights[i] = float64(rng.Intn(4))
+			}
+		}
+
+		want, err := PrunedTopK(si.start, si.doc, si.bel, si.maxb, query, weights, def, k, si.domain)
+		if err != nil {
+			t.Fatalf("round %d: merged: %v", round, err)
+		}
+		got, err := PrunedTopKSegs(segs, query, weights, def, k, si.domain, nil)
+		if err != nil {
+			t.Fatalf("round %d: segmented: %v", round, err)
+		}
+		if want.Len() != got.Len() {
+			t.Fatalf("round %d (%d segs): %d vs %d hits", round, len(segs), want.Len(), got.Len())
+		}
+		for i := 0; i < want.Len(); i++ {
+			if want.Head.OIDAt(i) != got.Head.OIDAt(i) || want.Tail.FloatAt(i) != got.Tail.FloatAt(i) {
+				t.Fatalf("round %d (%d segs) hit %d: merged (%d,%v) vs segmented (%d,%v)",
+					round, len(segs), i,
+					want.Head.OIDAt(i), want.Tail.FloatAt(i),
+					got.Head.OIDAt(i), got.Tail.FloatAt(i))
+			}
+		}
+	}
+}
+
+// TestPrunedTopKSegsValidation keeps malformed segment input an error,
+// never a panic (the MIL surface feeds this operator arbitrary programs).
+func TestPrunedTopKSegsValidation(t *testing.T) {
+	if _, err := PrunedTopKSegs(nil, []OID{0}, nil, 0.4, 3, New(KindVoid, KindVoid), nil); err == nil {
+		t.Fatal("empty segment list accepted")
+	}
+	rng := rand.New(rand.NewSource(1))
+	si := mkSynthIndex(rng, 4, 10, 3, 0)
+	bad := PostingsSeg{Start: si.bel, Doc: si.doc, Bel: si.bel, MaxBel: si.maxb} // wrong kind
+	if _, err := PrunedTopKSegs([]PostingsSeg{bad}, []OID{0}, nil, 0.4, 3, si.domain, nil); err == nil {
+		t.Fatal("malformed segment accepted")
+	}
+}

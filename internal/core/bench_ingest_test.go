@@ -1,0 +1,200 @@
+package core
+
+// Online-ingest benchmark (E13): sustained insert-while-serving
+// throughput, query latency under concurrent ingest vs quiesced, and
+// refresh (delta publish) latency at collection scale. TestEmitIngestBenchJSON
+// writes the numbers as BENCH_ingest.json when the BENCH_INGEST_JSON env
+// var names a path — the CI bench-smoke job archives it alongside
+// BENCH_queries.json as the ingest-side perf trajectory.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// ingestN returns the benchmark collection size (override with INGEST_N).
+func ingestN() int {
+	if s := os.Getenv("INGEST_N"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 1_000_000
+}
+
+// ingestCorpus is a cheap deterministic corpus: a 512-word vocabulary,
+// 2-6 words per annotation, every 8th document unannotated.
+func ingestCorpus(n int) (urls, anns []string) {
+	urls = make([]string, n)
+	anns = make([]string, n)
+	rnd := uint64(99991)
+	next := func() uint64 {
+		rnd ^= rnd << 13
+		rnd ^= rnd >> 7
+		rnd ^= rnd << 17
+		return rnd
+	}
+	for i := 0; i < n; i++ {
+		urls[i] = fmt.Sprintf("img://bench-%07d", i)
+		if i%8 == 7 {
+			continue
+		}
+		m := 2 + int(next()%5)
+		words := make([]byte, 0, m*5)
+		for j := 0; j < m; j++ {
+			if j > 0 {
+				words = append(words, ' ')
+			}
+			words = append(words, fmt.Sprintf("w%03d", next()%512)...)
+		}
+		anns[i] = string(words)
+	}
+	return urls, anns
+}
+
+func p50(ns []int64) int64 {
+	if len(ns) == 0 {
+		return 0
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	return ns[len(ns)/2]
+}
+
+func TestEmitIngestBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_INGEST_JSON")
+	if path == "" {
+		t.Skip("BENCH_INGEST_JSON not set")
+	}
+	n := ingestN()
+	batch := n / 2
+	urls, anns := ingestCorpus(n)
+
+	m, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < batch; i++ {
+		if err := m.AddImage(urls[i], anns[i], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.buildIndex(DefaultIndexOptions(), stubPipeline{}); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{"w001 w137", "w500", "w042 w314 w271", "w099 w100"}
+	const k = 10
+
+	// Phase 1 — sustained online ingest: the second half of the corpus
+	// streams in while a refresh loop publishes delta segments and a
+	// querier measures serving latency. Everything a production mirrord
+	// with -refresh-every does, minus the network.
+	var (
+		done       atomic.Bool
+		duringNs   []int64
+		duringMu   sync.Mutex
+		refreshNs  []int64
+		refreshed  int
+		mergeTotal = 0
+	)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // querier under ingest
+		defer wg.Done()
+		qi := 0
+		for !done.Load() {
+			q := queries[qi%len(queries)]
+			qi++
+			t0 := time.Now()
+			if _, err := m.QueryAnnotations(q, k); err != nil {
+				t.Error(err)
+				return
+			}
+			d := time.Since(t0).Nanoseconds()
+			duringMu.Lock()
+			duringNs = append(duringNs, d)
+			duringMu.Unlock()
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	chunk := batch / 8
+	if chunk < 1 {
+		chunk = 1
+	}
+	t0 := time.Now()
+	for at := batch; at < n; {
+		hi := at + chunk
+		if hi > n {
+			hi = n
+		}
+		for i := at; i < hi; i++ {
+			if err := m.AddImage(urls[i], anns[i], nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		at = hi
+		r0 := time.Now()
+		m.buildMu.Lock()
+		st, err := m.refreshWith(stubPipeline{})
+		m.buildMu.Unlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		refreshNs = append(refreshNs, time.Since(r0).Nanoseconds())
+		refreshed += st.NewDocs
+		mergeTotal += st.Merges
+	}
+	ingestWall := time.Since(t0)
+	done.Store(true)
+	wg.Wait()
+	if refreshed != n-batch {
+		t.Fatalf("refreshes covered %d docs, want %d", refreshed, n-batch)
+	}
+
+	// Phase 2 — quiesced query latency over the final epoch.
+	var quiescedNs []int64
+	for rep := 0; rep < 64; rep++ {
+		q := queries[rep%len(queries)]
+		q0 := time.Now()
+		if _, err := m.QueryAnnotations(q, k); err != nil {
+			t.Fatal(err)
+		}
+		quiescedNs = append(quiescedNs, time.Since(q0).Nanoseconds())
+	}
+
+	docsPerSec := float64(n-batch) / ingestWall.Seconds()
+	during := p50(duringNs)
+	quiesced := p50(quiescedNs)
+	out := map[string]any{
+		"experiment":             "E13",
+		"n_docs":                 n,
+		"batch_docs":             batch,
+		"ingested_docs":          n - batch,
+		"k":                      k,
+		"ingest_docs_per_sec":    fmt.Sprintf("%.0f", docsPerSec),
+		"refreshes":              len(refreshNs),
+		"merges":                 mergeTotal,
+		"segments_final":         m.maxSegments(),
+		"p50_refresh_ns":         p50(refreshNs),
+		"p50_query_ingesting_ns": during,
+		"p50_query_quiesced_ns":  quiesced,
+		"ingest_query_penalty":   fmt.Sprintf("%.2f", float64(during)/float64(quiesced)),
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("E13 n=%d: ingest %.0f docs/s, refresh p50 %.1fms, query p50 %.3fms ingesting / %.3fms quiesced (%d samples), %d segments",
+		n, docsPerSec, float64(p50(refreshNs))/1e6, float64(during)/1e6, float64(quiesced)/1e6, len(duringNs), m.maxSegments())
+}

@@ -20,15 +20,20 @@
 //
 // Concurrency: one RWMutex guards the instance's mutable metadata;
 // mutations take the write lock and log to the WAL before releasing it,
-// so WAL order equals apply order. Query paths run lock-free over
-// immutable BATs (the kernel adds intra-operator parallelism); the
-// thesaurus, which relevance feedback mutates between checkpoints,
+// so WAL order equals apply order. Query paths are lock-free in a
+// stronger sense since the online-indexing rework: every ranked query
+// pins the current IndexEpoch — an immutable snapshot database of frozen
+// BAT views — with a single atomic load (epoch.go), so inserts, delta
+// refreshes (Refresh), segment merges and checkpoints never block a
+// query and can never be observed half-applied. The thesaurus, which
+// relevance feedback and delta publishes mutate between checkpoints,
 // synchronises internally.
 package core
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"mirror/internal/bat"
 	"mirror/internal/ir"
@@ -76,7 +81,32 @@ type Mirror struct {
 	// content metadata built by the pipeline
 	Thes         *thesaurus.Thesaurus
 	contentTerms map[bat.OID][]string // internal-set OID → cluster words
-	indexed      bool
+	indexed      bool                 // an index has been published (epoch exists)
+
+	// snapshot-isolated serving: queries pin the current epoch with one
+	// atomic load and never touch the live (mutable) database. buildMu
+	// serialises index construction — full builds, delta refreshes and
+	// segment merges — without ever blocking queries; lock order is
+	// buildMu before mu.
+	epoch    atomic.Pointer[IndexEpoch]
+	epochSeq int64 // last published epoch number (persisted)
+	buildMu  sync.Mutex
+
+	// codebook freezes the feature clustering of the last full build so
+	// delta refreshes can assign new documents to the existing clusters
+	// (full re-clustering stays an explicit offline BuildContentIndex).
+	// Persisted in the store manifest; nil after a distributed build
+	// whose daemons did not return models.
+	codebook *Codebook
+
+	// Deferred shard recovery: a shard member replays WAL publish records
+	// structurally (inserts only) because belief recomputation needs the
+	// engine's global statistics; the engine finishes the publish once
+	// every shard is open. deferredThes stashes the replayed documents'
+	// thesaurus contribution for the engine to fold into the shared
+	// instance.
+	deferredDelta bool
+	deferredThes  []thesaurus.Doc
 
 	// persistent mode (OpenPersistent): the BAT buffer pool backing the
 	// loaded BATs and the write-ahead log capturing inserts/feedback
@@ -150,7 +180,9 @@ func (m *Mirror) addImage(url, annotation string, img *media.Image, global *uint
 	if global != nil {
 		m.globalOIDs = append(m.globalOIDs, *global)
 	}
-	m.indexed = false
+	// The published epoch keeps serving: the new document becomes
+	// retrievable at the next Refresh (incremental) or BuildContentIndex
+	// (full re-clustering). Queries never see a half-indexed document.
 	if err := m.logWAL(walRecord{Op: "insert", URL: url, Annotation: annotation, Global: global}); err != nil {
 		return fmt.Errorf("core: %q ingested but not WAL-logged (will persist at next checkpoint): %w", url, err)
 	}
@@ -186,11 +218,49 @@ func (m *Mirror) ContentTerms(oid bat.OID) []string {
 	return append([]string(nil), m.contentTerms[oid]...)
 }
 
-// Indexed reports whether BuildContentIndex has run since the last insert.
+// Indexed reports whether a content index is being served (some epoch has
+// been published). Documents added since the last Refresh are pending —
+// see Current — but do not un-index the store: queries keep serving the
+// latest published snapshot.
 func (m *Mirror) Indexed() bool {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	return m.indexed
+}
+
+// Current reports whether the serving epoch covers every ingested
+// document (no inserts pending a Refresh).
+func (m *Mirror) Current() bool {
+	ep := m.currentEpoch()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return ep != nil && ep.Docs == len(m.order)
+}
+
+// Pending reports how many ingested documents the serving epoch does not
+// cover yet.
+func (m *Mirror) Pending() int {
+	ep := m.currentEpoch()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if ep == nil {
+		return len(m.order)
+	}
+	return len(m.order) - ep.Docs
+}
+
+// annotationOf reads a document's stored annotation under the lock (safe
+// against concurrent inserts appending to the library columns).
+func (m *Mirror) annotationOf(oid bat.OID) string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	b, ok := m.DB.BAT(LibrarySet + "_annotation")
+	if !ok {
+		return ""
+	}
+	v, _ := b.Find(oid)
+	s, _ := v.(string)
+	return s
 }
 
 // SchemaSource returns the DDL of the served database.
@@ -234,8 +304,12 @@ type urlResolver interface {
 	urlOf(oid bat.OID) string
 }
 
-// urlOf resolves an internal-set OID to its source URL.
+// urlOf resolves an internal-set OID to its source URL against the live
+// database, under the read lock (the epoch-pinned query paths resolve
+// through their snapshot instead).
 func (m *Mirror) urlOf(oid bat.OID) string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	b, ok := m.DB.BAT(InternalSet + "_source")
 	if !ok {
 		return ""
@@ -246,33 +320,6 @@ func (m *Mirror) urlOf(oid bat.OID) string {
 	}
 	s, _ := v.(string)
 	return s
-}
-
-// rankRows converts a set-typed score result into sorted hits. Results the
-// pruned top-k operator produced (res.Ranked) arrive ordered and cut — a
-// re-sort would be wasted work; exhaustive results with k > 0 go through a
-// bounded min-heap partial selection (O(N log k) instead of O(N log N))
-// that preserves the exact score-descending / OID-ascending tie order.
-func (m *Mirror) rankRows(res *moa.Result, k int) []Hit {
-	rows := res.Rows
-	switch {
-	case res.Ranked:
-		// already ranked by the pruned operator; defensive cut only
-	case k > 0 && k < len(rows):
-		rows = topKRows(rows, k)
-	default:
-		res.SortByScoreDesc()
-		rows = res.Rows
-	}
-	if k > 0 && len(rows) > k {
-		rows = rows[:k]
-	}
-	hits := make([]Hit, 0, len(rows))
-	for _, row := range rows {
-		score, _ := row.Value.(float64)
-		hits = append(hits, Hit{OID: row.OID, URL: m.urlOf(row.OID), Score: score})
-	}
-	return hits
 }
 
 // rowWorse reports whether row a ranks strictly after row b under the

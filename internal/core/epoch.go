@@ -1,0 +1,272 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"mirror/internal/bat"
+	"mirror/internal/ir"
+	"mirror/internal/moa"
+	"mirror/internal/thesaurus"
+)
+
+// ErrNotIndexed is returned by every ranked-retrieval entry point invoked
+// before any index epoch has been published — a store that never ran
+// BuildContentIndex (or lost its index and has not been rebuilt). It is
+// wrapping-friendly: callers test with errors.Is, and the RPC layer
+// carries it verbatim so remote clients (moash) can print the remediation
+// hint.
+var ErrNotIndexed = errors.New("core: content index not built (run BuildContentIndex)")
+
+// IndexEpoch is one published, immutable index snapshot. Queries pin an
+// epoch (a single atomic load) and run entirely against it: its database
+// holds frozen views of every BAT (bat.Freeze) plus the derived columns
+// as published, so concurrent inserts, delta refreshes and segment merges
+// on the live store can never produce a torn read — a query sees exactly
+// the collection state of some published epoch, never a half-built
+// segment. Publication is an RCU-style pointer swap; superseded epochs
+// stay valid for the queries still holding them and are reclaimed by GC
+// (a finalizer releases the ir-layer caches keyed by the snapshot
+// database).
+type IndexEpoch struct {
+	Seq  int64 // monotone epoch number (persisted; survives restarts)
+	Docs int   // documents covered (internal-set cardinality at publish)
+
+	DB  *moa.Database // frozen snapshot: schema + frozen views of every BAT
+	Eng *moa.Engine
+
+	thes *thesaurus.Thesaurus // the shared (internally synchronised) thesaurus
+	// globals maps shard-local document OIDs to engine-global OIDs for
+	// the covered prefix; nil on standalone stores.
+	globals []uint64
+}
+
+// contrepPrefixes are the internal schema's CONTREP columns.
+var contrepPrefixes = []string{InternalSet + "_annotation", InternalSet + "_image"}
+
+// publishEpochLocked snapshots the live database into a fresh immutable
+// epoch and swaps it in as the serving index. Callers hold m.mu (write),
+// so no append can be mid-flight during the freeze. The snapshot shares
+// all column storage with the live BATs (freezing is O(#BATs), not
+// O(data)); derived columns are replaced wholesale by every refinalize,
+// so an epoch's frozen descriptors are never invalidated.
+func (m *Mirror) publishEpochLocked() error {
+	db := moa.NewDatabase()
+	if err := db.DefineFromSource(m.DB.SchemaSource()); err != nil {
+		return fmt.Errorf("core: snapshot schema: %w", err)
+	}
+	for name, b := range m.DB.Snapshot() {
+		db.PutBAT(name, bat.Freeze(b))
+	}
+	db.SyncAfterLoad()
+	// Pre-build the hash indexes the hot query paths probe, so the first
+	// query after a publish does not pay for them.
+	for _, prefix := range contrepPrefixes {
+		if b, ok := db.BAT(prefix + "_termrev"); ok {
+			b.EnsureIndex()
+		}
+		if b, ok := db.BAT(prefix + "_dictrev"); ok {
+			b.EnsureIndex()
+		}
+	}
+	eng := moa.NewEngine(db)
+	eng.Opts = m.Eng.Opts
+
+	m.epochSeq++
+	docs := 0
+	if def, ok := db.Set(InternalSet); ok {
+		docs = def.Card
+	}
+	ep := &IndexEpoch{
+		Seq:     m.epochSeq,
+		Docs:    docs,
+		DB:      db,
+		Eng:     eng,
+		thes:    m.Thes,
+		globals: m.globalOIDs[:len(m.globalOIDs):len(m.globalOIDs)],
+	}
+	// Reclaim the ir-layer caches of superseded snapshots once their last
+	// query lets go of them.
+	runtime.SetFinalizer(ep, func(e *IndexEpoch) { ir.ReleaseDBCaches(e.DB) })
+	m.epoch.Store(ep)
+	return nil
+}
+
+// currentEpoch returns the serving snapshot, or nil before the first
+// publish. Lock-free: a single atomic pointer load, so queries never
+// block on ingest, refresh or checkpoint activity.
+func (m *Mirror) currentEpoch() *IndexEpoch { return m.epoch.Load() }
+
+// requireEpoch returns the serving snapshot or ErrNotIndexed.
+func (m *Mirror) requireEpoch() (*IndexEpoch, error) {
+	ep := m.currentEpoch()
+	if ep == nil {
+		return nil, ErrNotIndexed
+	}
+	return ep, nil
+}
+
+// urlOf resolves an internal-set OID to its source URL within the epoch.
+func (ep *IndexEpoch) urlOf(oid bat.OID) string {
+	b, ok := ep.DB.BAT(InternalSet + "_source")
+	if !ok {
+		return ""
+	}
+	v, ok := b.Find(oid)
+	if !ok {
+		return ""
+	}
+	s, _ := v.(string)
+	return s
+}
+
+// queryTopK compiles and runs a query against the epoch snapshot with k
+// pushed into the plan optimizer; theta, when non-nil, is the shared
+// cross-shard pruning threshold.
+func (ep *IndexEpoch) queryTopK(src string, params map[string]moa.Param, k int, theta *bat.TopKThreshold) (*moa.Result, error) {
+	eng := &moa.Engine{DB: ep.Eng.DB, Opts: ep.Eng.Opts}
+	if k > 0 {
+		eng.Opts.TopK = k
+		eng.Opts.TopKTheta = theta
+	}
+	return eng.Query(src, params)
+}
+
+// rankRows converts a set-typed score result into sorted hits resolved
+// against the epoch. Results the pruned top-k operator produced
+// (res.Ranked) arrive ordered and cut; exhaustive results with k > 0 go
+// through the bounded partial selection.
+func (ep *IndexEpoch) rankRows(res *moa.Result, k int) []Hit {
+	return rankRowsResolved(ep, res, k)
+}
+
+// rankRowsResolved is rankRows over any URL resolver.
+func rankRowsResolved(r urlResolver, res *moa.Result, k int) []Hit {
+	rows := res.Rows
+	switch {
+	case res.Ranked:
+		// already ranked by the pruned operator; defensive cut only
+	case k > 0 && k < len(rows):
+		rows = topKRows(rows, k)
+	default:
+		res.SortByScoreDesc()
+		rows = res.Rows
+	}
+	if k > 0 && len(rows) > k {
+		rows = rows[:k]
+	}
+	hits := make([]Hit, 0, len(rows))
+	for _, row := range rows {
+		score, _ := row.Value.(float64)
+		hits = append(hits, Hit{OID: row.OID, URL: r.urlOf(row.OID), Score: score})
+	}
+	return hits
+}
+
+// queryAnnotations ranks the epoch's collection against a text query.
+func (ep *IndexEpoch) queryAnnotations(text string, k int) ([]Hit, error) {
+	res, err := ep.queryTopK(annotationQuery, ir.QueryParams(ir.Analyze(text)), k, nil)
+	if err != nil {
+		return nil, err
+	}
+	return ep.rankRows(res, k), nil
+}
+
+// queryContent ranks the epoch's collection by content cluster words.
+func (ep *IndexEpoch) queryContent(clusterWords []string, k int) ([]Hit, error) {
+	res, err := ep.queryTopK(contentQuery, ir.QueryParams(clusterWords), k, nil)
+	if err != nil {
+		return nil, err
+	}
+	return ep.rankRows(res, k), nil
+}
+
+// QueryAnnotations / QueryContent / ExpandQuery / urlOf make a pinned
+// epoch a dualCodingSite, so combined-evidence retrieval reads ONE
+// consistent snapshot even while refreshes publish new epochs mid-query.
+func (ep *IndexEpoch) QueryAnnotations(text string, k int) ([]Hit, error) {
+	return ep.queryAnnotations(text, k)
+}
+
+func (ep *IndexEpoch) QueryContent(clusterWords []string, k int) ([]Hit, error) {
+	return ep.queryContent(clusterWords, k)
+}
+
+func (ep *IndexEpoch) ExpandQuery(text string, topK int) []string {
+	return expandConcepts(ep.thes, text, topK)
+}
+
+// weightedContentScores scores the epoch's image CONTREP with per-term
+// weights via the wsum physical operator (the relevance-feedback
+// primitive), shard-locally.
+func (ep *IndexEpoch) weightedContentScores(terms []string, weights []float64) (ir.Scores, error) {
+	if len(terms) != len(weights) {
+		return nil, fmt.Errorf("core: %d terms vs %d weights", len(terms), len(weights))
+	}
+	prefix := InternalSet + "_image"
+	dict, ok := ep.DB.BAT(prefix + "_dictrev")
+	if !ok {
+		return nil, fmt.Errorf("core: content index incomplete")
+	}
+	var qoids []bat.OID
+	var qw []float64
+	for i, t := range terms {
+		if v, ok := dict.Find(t); ok {
+			qoids = append(qoids, v.(bat.OID))
+			qw = append(qw, weights[i])
+		}
+	}
+	rev, ok1 := ep.DB.BAT(prefix + "_termrev")
+	doc, ok2 := ep.DB.BAT(prefix + "_doc")
+	bel, ok3 := ep.DB.BAT(prefix + "_bel")
+	if !ok1 || !ok2 || !ok3 {
+		return nil, fmt.Errorf("core: content index incomplete")
+	}
+	scored, err := bat.WSumBeliefs(rev, doc, bel, qoids, qw, ir.DefaultBelief)
+	if err != nil {
+		return nil, err
+	}
+	out := make(ir.Scores, scored.Len())
+	for i := 0; i < scored.Len(); i++ {
+		out[uint64(scored.Head.OIDAt(i))] = scored.Tail.FloatAt(i)
+	}
+	return out, nil
+}
+
+// SegmentsInfo describes the segment layout of one CONTREP on one store,
+// as published in the serving epoch (moash \segments).
+type SegmentsInfo struct {
+	Shard  int // member index; 0 on standalone stores
+	Prefix string
+	Epoch  int64
+	Docs   int
+	Segs   []ir.SegmentStat
+}
+
+// segmentsOf reports the epoch's segment layout for every CONTREP.
+func (ep *IndexEpoch) segmentsOf(shard int) []SegmentsInfo {
+	out := make([]SegmentsInfo, 0, len(contrepPrefixes))
+	for _, prefix := range contrepPrefixes {
+		info := SegmentsInfo{Shard: shard, Prefix: prefix, Epoch: ep.Seq, Docs: ep.Docs}
+		info.Segs = ir.SegmentStats(ep.DB, prefix)
+		if info.Segs == nil {
+			// store checkpointed before segmentation: one monolithic segment
+			if b, ok := ep.DB.BAT(prefix + "_postdoc"); ok {
+				info.Segs = []ir.SegmentStat{{Slot: 0, Docs: ep.Docs, Postings: b.Len()}}
+			}
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// Segments reports the serving epoch's segment layout; nil before the
+// first publish.
+func (m *Mirror) Segments() []SegmentsInfo {
+	ep := m.currentEpoch()
+	if ep == nil {
+		return nil
+	}
+	return ep.segmentsOf(m.shardIndex)
+}

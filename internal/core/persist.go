@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"mirror/internal/bat"
+	"mirror/internal/ir"
 	"mirror/internal/media"
 	"mirror/internal/moa"
 	"mirror/internal/storage"
@@ -42,6 +43,12 @@ type persistMeta struct {
 	ThesState    *thesaurus.State    `json:"thesaurus_state,omitempty"`
 	ThesDocs     []thesaurus.Doc     `json:"thesaurus_docs,omitempty"`
 	Shard        *shardMeta          `json:"shard,omitempty"`
+	// Epoch is the last published index epoch number; recovery resumes
+	// the sequence from here (replayed publishes advance it further).
+	Epoch int64 `json:"epoch,omitempty"`
+	// Codebook is the frozen clustering of the last full build, what lets
+	// Refresh keep assigning new documents after a restart.
+	Codebook *Codebook `json:"codebook,omitempty"`
 }
 
 // shardMeta makes the sharded layout a stored property of the MANIFEST: a
@@ -73,9 +80,19 @@ type PersistOptions struct {
 
 // ---- write-ahead log ----
 
+// walDoc is one document of a "publish" record: the URL identifies the
+// (already WAL-logged or checkpointed) library item, Words carries its
+// content cluster terms — extraction is NOT re-runnable during recovery
+// (rasters are never persisted), so the publish record captures its
+// output.
+type walDoc struct {
+	URL   string   `json:"url"`
+	Words []string `json:"words,omitempty"`
+}
+
 // walRecord is one logical WAL entry.
 type walRecord struct {
-	Op         string   `json:"op"` // "insert" | "feedback"
+	Op         string   `json:"op"` // "insert" | "feedback" | "publish" | "merge"
 	URL        string   `json:"url,omitempty"`
 	Annotation string   `json:"annotation,omitempty"`
 	Words      []string `json:"words,omitempty"`
@@ -85,6 +102,21 @@ type walRecord struct {
 	// standalone stores): replay must restore the local→global mapping
 	// for documents the checkpoint has not captured yet.
 	Global *uint64 `json:"global,omitempty"`
+
+	// "publish" records: Base is the covered-document count the delta
+	// applies on top of (replay refuses a mismatching base — a full
+	// rebuild ran after the checkpoint and was not logged, so the delta
+	// no longer applies); Docs are the newly covered documents.
+	Base int      `json:"base,omitempty"`
+	Docs []walDoc `json:"docs,omitempty"`
+
+	// "merge" records: the compaction applied to Prefix's segment
+	// directory. SegsBefore guards idempotent replay (a checkpoint taken
+	// after the merge already reflects it; the count mismatch skips).
+	Prefix     string `json:"prefix,omitempty"`
+	MergeLo    int    `json:"merge_lo,omitempty"`
+	MergeHi    int    `json:"merge_hi,omitempty"`
+	SegsBefore int    `json:"segs_before,omitempty"`
 }
 
 // WAL framing: every record is [len uint32][crc32c uint32][payload],
@@ -246,6 +278,8 @@ func (m *Mirror) persistExtraLocked() (map[string]string, error) {
 			GlobalOIDs: m.globalOIDs,
 		}
 	}
+	meta.Epoch = m.epochSeq
+	meta.Codebook = m.codebook
 	mb, err := json.Marshal(&meta)
 	if err != nil {
 		return nil, fmt.Errorf("core: marshal metadata: %w", err)
@@ -295,6 +329,8 @@ func buildFromBATs(bats map[string]*bat.BAT, extra map[string]string) (*Mirror, 
 	case len(meta.ThesDocs) > 0:
 		m.Thes = thesaurus.Build(meta.ThesDocs)
 	}
+	m.epochSeq = meta.Epoch
+	m.codebook = meta.Codebook
 	if meta.Shard != nil {
 		m.shardIndex = meta.Shard.Index
 		m.shardCount = meta.Shard.Count
@@ -314,7 +350,19 @@ func Load(dir string) (*Mirror, error) {
 	if err != nil {
 		return nil, err
 	}
-	return buildFromBATs(bats, extra)
+	m, err := buildFromBATs(bats, extra)
+	if err != nil {
+		return nil, err
+	}
+	if m.indexed {
+		m.mu.Lock()
+		err = m.publishEpochLocked()
+		m.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
 }
 
 // ---- persistent mode ----
@@ -406,6 +454,23 @@ func OpenPersistent(opts PersistOptions) (*Mirror, RecoveryStats, error) {
 		}
 	}
 
+	// Serve the recovered index: one epoch publish restores snapshot-
+	// isolated queries at exactly the replayed state (the sequence number
+	// advances past every replayed publish, so epochs stay monotone
+	// across the crash). A shard member that replayed publish records
+	// defers — belief recomputation needs the engine's global statistics,
+	// which OpenShardedPersistent re-registers before finishing the
+	// publish.
+	if m.indexed && !m.deferredDelta {
+		m.mu.Lock()
+		perr := m.publishEpochLocked()
+		m.mu.Unlock()
+		if perr != nil {
+			pool.Close()
+			return nil, stats, perr
+		}
+	}
+
 	w, err := openWAL(walPath, validEnd, opts.WALSync)
 	if err != nil {
 		pool.Close()
@@ -433,8 +498,74 @@ func (m *Mirror) applyWALRecord(r walRecord) (applied bool, err error) {
 			m.Thes.Reinforce(r.Words, r.Concepts, r.Relevant)
 		}
 		return true, nil
+	case "publish":
+		return m.replayPublish(r)
+	case "merge":
+		return m.replayMerge(r)
 	}
 	return false, fmt.Errorf("core: unknown WAL op %q", r.Op)
+}
+
+// replayPublish re-applies one delta publish during recovery, using the
+// record's captured content words in place of extraction. Idempotent: a
+// delta the checkpoint already covers is skipped. A base mismatch means a
+// full rebuild ran after the checkpoint without being logged (full builds
+// carry their whole corpus and are deliberately not WAL-logged); the
+// delta no longer applies to anything, so the index is dropped loudly-by-
+// behavior (queries return ErrNotIndexed until the operator — or
+// mirrord's startup path — rebuilds).
+func (m *Mirror) replayPublish(r walRecord) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	covered := m.coveredLocked()
+	if covered >= r.Base+len(r.Docs) {
+		return false, nil // checkpoint already contains this publish
+	}
+	if covered != r.Base || !m.indexed {
+		m.dropIndexLocked()
+		return false, nil
+	}
+	urls := make([]string, 0, len(r.Docs))
+	words := make(map[string][]string, len(r.Docs))
+	for _, d := range r.Docs {
+		urls = append(urls, d.URL)
+		words[d.URL] = d.Words
+	}
+	if _, err := m.applyDeltaLocked(urls, words, nil, nil, m.shardCount == 0); err != nil {
+		return false, fmt.Errorf("core: replay publish: %w", err)
+	}
+	m.epochSeq++ // keep the epoch sequence monotone across the crash
+	return true, nil
+}
+
+// replayMerge re-applies one segment compaction. The SegsBefore guard
+// skips merges the checkpoint already reflects (or that no longer apply
+// after a deferred sharded recovery); skipping a merge never changes
+// query results — compaction is layout-only.
+func (m *Mirror) replayMerge(r walRecord) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.indexed || m.deferredDelta {
+		return false, nil
+	}
+	if ir.SegmentCount(m.DB, r.Prefix) != r.SegsBefore {
+		return false, nil
+	}
+	if err := ir.MergeSegments(m.DB, r.Prefix, r.MergeLo, r.MergeHi); err != nil {
+		return false, fmt.Errorf("core: replay merge: %w", err)
+	}
+	return true, nil
+}
+
+// dropIndexLocked abandons the content index (internal set, segments,
+// epoch); the library itself is untouched. The store reports !Indexed()
+// and mirrord's startup path rebuilds by crawling.
+func (m *Mirror) dropIndexLocked() {
+	_ = m.DB.Reset(InternalSet)
+	m.contentTerms = map[bat.OID][]string{}
+	m.indexed = false
+	m.codebook = nil
+	m.epoch.Store(nil)
 }
 
 // replayInsert is AddImage minus the raster (footage is never in the
@@ -455,7 +586,6 @@ func (m *Mirror) replayInsert(url, annotation string, global *uint64) (bool, err
 	if global != nil {
 		m.globalOIDs = append(m.globalOIDs, *global)
 	}
-	m.indexed = false
 	return true, nil
 }
 

@@ -31,13 +31,41 @@ func DefaultIndexOptions() IndexOptions {
 
 // segmentExtractor abstracts "local function call" vs "remote daemon" so
 // the same pipeline drives both; the paper's point is exactly that these
-// are interchangeable behind the daemon abstraction.
+// are interchangeable behind the daemon abstraction. fit returns the
+// fitted codebook when the implementation can expose it (the in-process
+// pipeline); daemons that only return assignments yield a nil codebook,
+// which disables incremental Refresh until the next local full build.
 type segmentExtractor interface {
 	segment(url string) (tiles [][][4]int, err error)
 	extract(url string, featureName string, tiles [][4]int) ([]float64, error)
-	fit(data [][]float64, kmin, kmax int, seed int64) ([]int, int, error)
+	fit(data [][]float64, kmin, kmax int, seed int64) ([]int, *SpaceCodebook, error)
 	features() []string
 	close()
+}
+
+// SpaceCodebook freezes one feature space's clustering: the
+// standardisation parameters and the fitted mixture model. Assign maps a
+// raw feature vector to its cluster exactly as the full build did.
+type SpaceCodebook struct {
+	Means []float64      `json:"means"`
+	Stds  []float64      `json:"stds"`
+	Model *cluster.Model `json:"model"`
+}
+
+// Assign returns the cluster index of a raw (unstandardised) vector.
+func (sc *SpaceCodebook) Assign(x []float64) int {
+	return sc.Model.Assign(cluster.ApplyStandardize(x, sc.Means, sc.Stds))
+}
+
+// Codebook freezes the whole content-model of a full build — one
+// SpaceCodebook per feature space. Delta refreshes extract features from
+// new documents and Assign them to the existing clusters, so incremental
+// content words stay comparable with the indexed collection; discovering
+// NEW clusters requires an explicit offline BuildContentIndex. Persisted
+// in the store manifest so refreshes keep working across restarts.
+type Codebook struct {
+	Features []string                  `json:"features"`
+	Spaces   map[string]*SpaceCodebook `json:"spaces"`
 }
 
 // BuildContentIndex runs the full Section 5.1 pipeline in-process:
@@ -70,13 +98,18 @@ func (m *Mirror) rasterLookup() func(url string) (*media.Image, bool) {
 }
 
 // buildIndex drives the pipeline over the ingested items and populates the
-// internal schema.
+// internal schema, publishing the result as a fresh single-segment epoch.
+// Full builds are the explicit offline re-clustering operation: they hold
+// the write lock for the duration (inserts queue), while queries keep
+// serving the previous epoch untouched.
 func (m *Mirror) buildIndex(opts IndexOptions, pipe segmentExtractor) error {
 	defer pipe.close()
+	m.buildMu.Lock()
+	defer m.buildMu.Unlock()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
-	imageWords, err := runExtraction(pipe, opts, m.order)
+	imageWords, cb, err := runExtraction(pipe, opts, m.order)
 	if err != nil {
 		return err
 	}
@@ -85,17 +118,61 @@ func (m *Mirror) buildIndex(opts IndexOptions, pipe segmentExtractor) error {
 		return err
 	}
 	m.Thes = thesaurus.Build(thDocs)
+	m.codebook = cb
 	m.indexed = true
-	return nil
+	return m.publishEpochLocked()
+}
+
+// extractFeatures is stage 1 of the pipeline: segmentation plus feature
+// extraction over the given document order. Both stages are
+// embarrassingly parallel per item/segment; they fan out over up to
+// bat.Parallelism() workers with results collected positionally, so the
+// populated schema is identical to a serial run. The extractors, the
+// segmenter, and the daemon RPC clients are all safe for concurrent use.
+func extractFeatures(pipe segmentExtractor, featureNames, order []string) (segURLs []string, perFeature map[string][][]float64, err error) {
+	perImage := make([][][][4]int, len(order))
+	segErrs := make([]error, len(order))
+	parallelEach(len(order), func(idx int) error {
+		perImage[idx], segErrs[idx] = pipe.segment(order[idx])
+		return segErrs[idx]
+	})
+	segTiles := make([][][4]int, 0)
+	for idx, url := range order {
+		if segErrs[idx] != nil {
+			return nil, nil, fmt.Errorf("core: segmenting %s: %w", url, segErrs[idx])
+		}
+		for _, tl := range perImage[idx] {
+			segURLs = append(segURLs, url)
+			segTiles = append(segTiles, tl)
+		}
+	}
+	perFeature = map[string][][]float64{}
+	for _, fname := range featureNames {
+		vecs := make([][]float64, len(segURLs))
+		extErrs := make([]error, len(segURLs))
+		parallelEach(len(segURLs), func(si int) error {
+			vecs[si], extErrs[si] = pipe.extract(segURLs[si], fname, segTiles[si])
+			return extErrs[si]
+		})
+		for si, err := range extErrs {
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: extracting %s from %s: %w", fname, segURLs[si], err)
+			}
+		}
+		perFeature[fname] = vecs
+	}
+	return segURLs, perFeature, nil
 }
 
 // runExtraction is stages 1–3 of the pipeline, independent of any one
 // store: segmentation, feature extraction and AutoClass clustering over
 // the given document order, returning each document's content words (with
-// duplicates; callers dedup at insert). A ShardedEngine runs it ONCE over
-// the global order — clustering is collection-global, so per-shard fits
-// would assign different cluster words than a single store.
-func runExtraction(pipe segmentExtractor, opts IndexOptions, order []string) (map[string][]string, error) {
+// duplicates; callers dedup at insert) plus the frozen codebook (nil when
+// the clustering daemon cannot expose its models). A ShardedEngine runs
+// it ONCE over the global order — clustering is collection-global, so
+// per-shard fits would assign different cluster words than a single
+// store.
+func runExtraction(pipe segmentExtractor, opts IndexOptions, order []string) (map[string][]string, *Codebook, error) {
 	if opts.KMin <= 0 {
 		opts.KMin = 2
 	}
@@ -106,43 +183,9 @@ func runExtraction(pipe segmentExtractor, opts IndexOptions, order []string) (ma
 	if featureNames == nil {
 		featureNames = pipe.features()
 	}
-
-	// 1. segmentation + feature extraction. Both stages are embarrassingly
-	// parallel per item/segment; they fan out over up to bat.Parallelism()
-	// workers with results collected positionally, so the populated schema
-	// is identical to a serial run. The extractors, the segmenter, and the
-	// daemon RPC clients are all safe for concurrent use.
-	perImage := make([][][][4]int, len(order))
-	segErrs := make([]error, len(order))
-	parallelEach(len(order), func(idx int) error {
-		perImage[idx], segErrs[idx] = pipe.segment(order[idx])
-		return segErrs[idx]
-	})
-	var segURLs []string
-	segTiles := make([][][4]int, 0)
-	for idx, url := range order {
-		if segErrs[idx] != nil {
-			return nil, fmt.Errorf("core: segmenting %s: %w", url, segErrs[idx])
-		}
-		for _, tl := range perImage[idx] {
-			segURLs = append(segURLs, url)
-			segTiles = append(segTiles, tl)
-		}
-	}
-	perFeature := map[string][][]float64{}
-	for _, fname := range featureNames {
-		vecs := make([][]float64, len(segURLs))
-		extErrs := make([]error, len(segURLs))
-		parallelEach(len(segURLs), func(si int) error {
-			vecs[si], extErrs[si] = pipe.extract(segURLs[si], fname, segTiles[si])
-			return extErrs[si]
-		})
-		for si, err := range extErrs {
-			if err != nil {
-				return nil, fmt.Errorf("core: extracting %s from %s: %w", fname, segURLs[si], err)
-			}
-		}
-		perFeature[fname] = vecs
+	segURLs, perFeature, err := extractFeatures(pipe, featureNames, order)
+	if err != nil {
+		return nil, nil, err
 	}
 
 	// 2. AutoClass clustering per feature space; each (feature, cluster)
@@ -150,22 +193,57 @@ func runExtraction(pipe segmentExtractor, opts IndexOptions, order []string) (ma
 	// independent, so they fit concurrently; the words append serially in
 	// feature order afterwards to keep per-segment word order stable.
 	assigns := make([][]int, len(featureNames))
+	books := make([]*SpaceCodebook, len(featureNames))
 	fitErrs := make([]error, len(featureNames))
 	parallelEach(len(featureNames), func(fi int) error {
-		assigns[fi], _, fitErrs[fi] = pipe.fit(perFeature[featureNames[fi]], opts.KMin, opts.KMax, opts.Seed)
+		assigns[fi], books[fi], fitErrs[fi] = pipe.fit(perFeature[featureNames[fi]], opts.KMin, opts.KMax, opts.Seed)
 		return fitErrs[fi]
 	})
 	segWords := make([][]string, len(segURLs))
+	cb := &Codebook{Features: append([]string(nil), featureNames...), Spaces: map[string]*SpaceCodebook{}}
 	for fi, fname := range featureNames {
 		if fitErrs[fi] != nil {
-			return nil, fmt.Errorf("core: clustering %s: %w", fname, fitErrs[fi])
+			return nil, nil, fmt.Errorf("core: clustering %s: %w", fname, fitErrs[fi])
 		}
 		for si, cl := range assigns[fi] {
 			segWords[si] = append(segWords[si], fmt.Sprintf("%s_%d", fname, cl))
 		}
+		if books[fi] != nil {
+			cb.Spaces[fname] = books[fi]
+		}
+	}
+	if len(cb.Spaces) != len(featureNames) {
+		cb = nil // a daemon kept its model: incremental assignment impossible
 	}
 
 	// 3. per-image content terms: the union of its segments' words.
+	imageWords := make(map[string][]string, len(order))
+	for si, url := range segURLs {
+		imageWords[url] = append(imageWords[url], segWords[si]...)
+	}
+	return imageWords, cb, nil
+}
+
+// assignExtraction is the delta-refresh variant of runExtraction: stage 1
+// runs as usual over the new documents, but stage 2 ASSIGNS every segment
+// to the frozen codebook's existing clusters instead of refitting — the
+// content vocabulary cannot drift between refreshes, which is what keeps
+// incremental documents comparable with the indexed collection.
+func assignExtraction(pipe segmentExtractor, cb *Codebook, order []string) (map[string][]string, error) {
+	segURLs, perFeature, err := extractFeatures(pipe, cb.Features, order)
+	if err != nil {
+		return nil, err
+	}
+	segWords := make([][]string, len(segURLs))
+	for _, fname := range cb.Features {
+		sc := cb.Spaces[fname]
+		if sc == nil || sc.Model == nil {
+			return nil, fmt.Errorf("core: codebook has no model for feature %q", fname)
+		}
+		for si, vec := range perFeature[fname] {
+			segWords[si] = append(segWords[si], fmt.Sprintf("%s_%d", fname, sc.Assign(vec)))
+		}
+	}
 	imageWords := make(map[string][]string, len(order))
 	for si, url := range segURLs {
 		imageWords[url] = append(imageWords[url], segWords[si]...)
@@ -341,17 +419,18 @@ func (p *localPipeline) extract(url, fname string, tiles [][4]int) ([]float64, e
 	return seg.ExtractAveraged(img, ex), nil
 }
 
-func (p *localPipeline) fit(data [][]float64, kmin, kmax int, seed int64) ([]int, int, error) {
+func (p *localPipeline) fit(data [][]float64, kmin, kmax int, seed int64) ([]int, *SpaceCodebook, error) {
 	std, means, stds := cluster.Standardize(data)
 	model, err := cluster.Select(std, kmin, kmax, seed)
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, err
 	}
+	sc := &SpaceCodebook{Means: means, Stds: stds, Model: model}
 	assign := make([]int, len(data))
 	for i, x := range data {
-		assign[i] = model.Assign(cluster.ApplyStandardize(x, means, stds))
+		assign[i] = sc.Assign(x)
 	}
-	return assign, model.K, nil
+	return assign, sc, nil
 }
 
 func (p *localPipeline) close() {}
@@ -469,12 +548,15 @@ func (p *remotePipeline) extract(url, fname string, tiles [][4]int) ([]float64, 
 	return c.Extract(ppm, tiles)
 }
 
-func (p *remotePipeline) fit(data [][]float64, kmin, kmax int, seed int64) ([]int, int, error) {
+// fit against the clustering daemon returns assignments only — the wire
+// protocol does not ship models — so distributed builds publish a nil
+// codebook and Refresh stays unavailable until a local full build.
+func (p *remotePipeline) fit(data [][]float64, kmin, kmax int, seed int64) ([]int, *SpaceCodebook, error) {
 	reply, err := p.clustClient.Fit(data, kmin, kmax, seed)
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, err
 	}
-	return reply.Assign, reply.ChoseK, nil
+	return reply.Assign, nil, nil
 }
 
 func (p *remotePipeline) close() {

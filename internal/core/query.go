@@ -1,12 +1,12 @@
 package core
 
 import (
-	"fmt"
 	"sync"
 
 	"mirror/internal/bat"
 	"mirror/internal/ir"
 	"mirror/internal/moa"
+	"mirror/internal/thesaurus"
 )
 
 // annotationQuery is the paper's Section 3 ranking expression over the
@@ -21,56 +21,44 @@ const contentQuery = `
 	map[sum(THIS)](
 		map[getBL(THIS.image, query, stats)]( ImageLibraryInternal ));`
 
-// queryTopK runs a query with k pushed into the plan optimizer: when k > 0
-// the engine's TopK option lets the optimizer serve the query with the
-// pruned top-k operator (Result.Ranked); plans pruning cannot serve fall
-// back to exhaustive evaluation, and rankRows applies the cut either way.
-// The shared engine is never mutated — options are copied per query.
-func (m *Mirror) queryTopK(src string, params map[string]moa.Param, k int) (*moa.Result, error) {
-	eng := &moa.Engine{DB: m.Eng.DB, Opts: m.Eng.Opts}
-	if k > 0 {
-		eng.Opts.TopK = k
-	}
-	return eng.Query(src, params)
-}
+// Every ranked-retrieval entry point pins the current index epoch with
+// one atomic load and evaluates entirely against that snapshot: queries
+// never block on ingest/refresh/checkpoint activity and never observe a
+// partially published segment. Before the first publish they fail with
+// ErrNotIndexed.
 
 // QueryAnnotations ranks the library against a free-text query using the
 // textual annotations (the Section 3 scenario). The text passes through the
 // same analyzer as the indexed annotations. k > 0 is pushed down into the
 // query plan (pruned top-k retrieval); k <= 0 returns the full ranking.
 func (m *Mirror) QueryAnnotations(text string, k int) ([]Hit, error) {
-	if err := m.requireIndex(); err != nil {
-		return nil, err
-	}
-	terms := ir.Analyze(text)
-	res, err := m.queryTopK(annotationQuery, ir.QueryParams(terms), k)
+	ep, err := m.requireEpoch()
 	if err != nil {
 		return nil, err
 	}
-	return m.rankRows(res, k), nil
+	return ep.queryAnnotations(text, k)
 }
 
 // QueryContent ranks the library by image content given cluster words
 // (normally chosen through the thesaurus). k behaves as in
 // QueryAnnotations.
 func (m *Mirror) QueryContent(clusterWords []string, k int) ([]Hit, error) {
-	if err := m.requireIndex(); err != nil {
-		return nil, err
-	}
-	res, err := m.queryTopK(contentQuery, ir.QueryParams(clusterWords), k)
+	ep, err := m.requireEpoch()
 	if err != nil {
 		return nil, err
 	}
-	return m.rankRows(res, k), nil
+	return ep.queryContent(clusterWords, k)
 }
 
-// ExpandQuery maps free text to the topK associated content clusters via
-// the thesaurus (the demo's query formulation step).
-func (m *Mirror) ExpandQuery(text string, topK int) []string {
-	if m.Thes == nil {
+// expandConcepts is the one query-expansion implementation behind every
+// ExpandQuery surface (live store, pinned epoch, sharded engine and its
+// epochs): the topK concepts the thesaurus associates with the analysed
+// text. nil thesaurus (pre-index) expands to nothing.
+func expandConcepts(thes *thesaurus.Thesaurus, text string, topK int) []string {
+	if thes == nil {
 		return nil
 	}
-	assocs := m.Thes.Associate(ir.Analyze(text), topK)
+	assocs := thes.Associate(ir.Analyze(text), topK)
 	out := make([]string, len(assocs))
 	for i, a := range assocs {
 		out[i] = a.Concept
@@ -78,21 +66,28 @@ func (m *Mirror) ExpandQuery(text string, topK int) []string {
 	return out
 }
 
+// ExpandQuery maps free text to the topK associated content clusters via
+// the thesaurus (the demo's query formulation step).
+func (m *Mirror) ExpandQuery(text string, topK int) []string {
+	return expandConcepts(m.Thesaurus(), text, topK)
+}
+
 // QueryDualCoding is the full Section 5.2 retrieval: the text query ranks
 // annotations directly AND, through the thesaurus, the image content
 // representation; the two belief sources are combined with the inference
-// network's #sum operator.
+// network's #sum operator. Both evidence sources read ONE pinned epoch.
 func (m *Mirror) QueryDualCoding(text string, k int) ([]Hit, error) {
-	if err := m.requireIndex(); err != nil {
+	ep, err := m.requireEpoch()
+	if err != nil {
 		return nil, err
 	}
-	return queryDualCoding(m, text, k)
+	return queryDualCoding(ep, text, k)
 }
 
 // dualCodingSite is the retrieval surface dual coding combines evidence
-// over; Mirror and ShardedEngine both provide it (the sharded engine's
-// hits already carry global OIDs, so the #sum combination is
-// shard-oblivious).
+// over; a pinned IndexEpoch and the ShardedEngine both provide it (the
+// sharded engine's hits already carry global OIDs, so the #sum
+// combination is shard-oblivious).
 type dualCodingSite interface {
 	urlResolver
 	QueryAnnotations(text string, k int) ([]Hit, error)
@@ -152,62 +147,17 @@ func scoresToHits(r urlResolver, s ir.Scores, k int) []Hit {
 // per-term weights via the wsum physical operator; this is the primitive
 // the relevance feedback loop uses.
 func (m *Mirror) WeightedContentScores(terms []string, weights []float64) (ir.Scores, error) {
-	if len(terms) != len(weights) {
-		return nil, fmt.Errorf("core: %d terms vs %d weights", len(terms), len(weights))
-	}
-	if err := m.requireIndex(); err != nil {
-		return nil, err
-	}
-	prefix := InternalSet + "_image"
-	dictIdx, err := m.termOIDs(prefix, terms)
+	ep, err := m.requireEpoch()
 	if err != nil {
 		return nil, err
 	}
-	var qoids []bat.OID
-	var qw []float64
-	for i, t := range terms {
-		if oid, ok := dictIdx[t]; ok {
-			qoids = append(qoids, oid)
-			qw = append(qw, weights[i])
-		}
-	}
-	rev, ok1 := m.DB.BAT(prefix + "_termrev")
-	doc, ok2 := m.DB.BAT(prefix + "_doc")
-	bel, ok3 := m.DB.BAT(prefix + "_bel")
-	if !ok1 || !ok2 || !ok3 {
-		return nil, fmt.Errorf("core: content index incomplete")
-	}
-	scored, err := bat.WSumBeliefs(rev, doc, bel, qoids, qw, ir.DefaultBelief)
-	if err != nil {
-		return nil, err
-	}
-	out := make(ir.Scores, scored.Len())
-	for i := 0; i < scored.Len(); i++ {
-		out[uint64(scored.Head.OIDAt(i))] = scored.Tail.FloatAt(i)
-	}
-	return out, nil
+	return ep.weightedContentScores(terms, weights)
 }
 
-// termOIDs resolves terms against a CONTREP dictionary.
-func (m *Mirror) termOIDs(prefix string, terms []string) (map[string]bat.OID, error) {
-	dict, ok := m.DB.BAT(prefix + "_dict")
-	if !ok {
-		return nil, fmt.Errorf("core: missing dictionary for %s", prefix)
-	}
-	rev := dict.Reverse()
-	out := make(map[string]bat.OID, len(terms))
-	for _, t := range terms {
-		if v, ok := rev.Find(t); ok {
-			out[t] = v.(bat.OID)
-		}
-	}
-	return out, nil
-}
-
-// requireIndex rejects queries before the pipeline has run.
+// requireIndex rejects queries before any index epoch has been published.
 func (m *Mirror) requireIndex() error {
-	if !m.Indexed() {
-		return fmt.Errorf("core: content index not built (run BuildContentIndex)")
+	if m.currentEpoch() == nil {
+		return ErrNotIndexed
 	}
 	return nil
 }
@@ -232,10 +182,22 @@ func (m *Mirror) Query(src string, queryTerms []string) (*moa.Result, error) {
 // optimizer: when the plan is a retrieval pruning can serve, only the k
 // best rows come back, already ranked; otherwise the full exhaustive
 // result is returned (the caller cuts). k <= 0 means no cut.
+//
+// Indexed stores evaluate against the serving epoch (snapshot-isolated);
+// a store that never published an index evaluates against the live
+// database — the pre-index browsing moash supports — which is safe only
+// without concurrent ingest.
 func (m *Mirror) QueryTopK(src string, queryTerms []string, k int) (*moa.Result, error) {
 	var params map[string]moa.Param
 	if queryTerms != nil {
 		params = ir.QueryParams(queryTerms)
 	}
-	return m.queryTopK(src, params, k)
+	if ep := m.currentEpoch(); ep != nil {
+		return ep.queryTopK(src, params, k, nil)
+	}
+	eng := &moa.Engine{DB: m.Eng.DB, Opts: m.Eng.Opts}
+	if k > 0 {
+		eng.Opts.TopK = k
+	}
+	return eng.Query(src, params)
 }

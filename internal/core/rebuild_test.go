@@ -41,11 +41,30 @@ func TestRebuildIndexAfterNewImages(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if m.Indexed() {
-		t.Fatal("index should be marked stale after new inserts")
+	// Inserts no longer un-index the store: the published epoch keeps
+	// serving (snapshot isolation), the new documents are merely pending.
+	if !m.Indexed() {
+		t.Fatal("inserts must not un-index the store")
 	}
-	if _, err := m.QueryAnnotations("ocean", 3); err == nil {
-		t.Fatal("stale index should refuse queries")
+	if m.Current() {
+		t.Fatal("epoch should not cover the new inserts yet")
+	}
+	if hits, err := m.QueryAnnotations("ocean", 3); err != nil {
+		t.Fatalf("pending inserts must not break queries: %v", err)
+	} else {
+		for _, h := range hits {
+			if int(h.OID) >= 12 {
+				t.Fatalf("query over the pinned epoch returned pending document %d", h.OID)
+			}
+		}
+	}
+	// The snapshot still counts 12 documents even though 20 are ingested.
+	res, err = m.Query(`count(ImageLibraryInternal);`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scalar.(int64) != 12 {
+		t.Fatalf("epoch-internal count = %v, want 12", res.Scalar)
 	}
 	if err := m.BuildContentIndex(opts); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Recovery of online-indexed stores: WAL publish/merge records replay the
+// incremental history on top of the last checkpoint, so a restart serves
+// exactly the state the crashed process had published.
+
+// openStubPersistent opens a persistent store, ingests docs[:batch] and
+// runs the stub full build.
+func openStubPersistent(t *testing.T, dir string, urls, anns []string, batch int) *Mirror {
+	t.Helper()
+	m, _, err := OpenPersistent(PersistOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < batch; i++ {
+		if err := m.AddImage(urls[i], anns[i], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.buildIndex(DefaultIndexOptions(), stubPipeline{}); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestRecoveryReplaysPublishesToExactEpoch crashes (closes without a
+// final checkpoint) after several delta publishes and merges, recovers,
+// and requires the recovered store to answer BUN-for-BUN like a one-shot
+// build over the full corpus — i.e. exactly like the pre-crash epoch.
+func TestRecoveryReplaysPublishesToExactEpoch(t *testing.T) {
+	const n, batch = 28, 10
+	urls, anns := refreshCorpus(n, 11)
+	dir := t.TempDir()
+
+	m := openStubPersistent(t, dir, urls, anns, batch)
+	if _, err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Three delta publishes after the checkpoint: only the WAL holds them.
+	var preSeq int64
+	for _, hi := range []int{16, 17, n} {
+		for i := m.Size(); i < hi; i++ {
+			if err := m.AddImage(urls[i], anns[i], nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := refreshStub(t, m)
+		preSeq = st.Epoch
+	}
+	preSegs := m.maxSegments()
+	if err := m.ClosePersistent(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, stats, err := OpenPersistent(PersistOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.ClosePersistent()
+	if !re.Indexed() || !re.Current() {
+		t.Fatalf("recovered Indexed=%v Current=%v, want true/true", re.Indexed(), re.Current())
+	}
+	if re.covered() != n {
+		t.Fatalf("recovered %d covered docs, want %d", re.covered(), n)
+	}
+	if got := re.currentEpoch().Seq; got < preSeq {
+		t.Fatalf("recovered epoch %d went backwards from %d", got, preSeq)
+	}
+	if got := re.maxSegments(); got != preSegs {
+		t.Fatalf("recovered %d segments, want the pre-crash %d (merge replay)", got, preSegs)
+	}
+	if stats.WALRecords == 0 {
+		t.Fatal("recovery replayed nothing; the publishes were lost")
+	}
+	ref := oneShotStub(t, urls, anns)
+	assertSameRetrieval(t, "recovered store", ref, re, 10)
+
+	// And the store stays refreshable: the codebook survived the restart.
+	if err := re.AddImage("img://post-restart", "harbor lantern", nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := refreshStub(t, re); st.NewDocs != 1 {
+		t.Fatalf("post-restart refresh covered %d docs, want 1", st.NewDocs)
+	}
+}
+
+// TestRecoveryDropsIndexOnUnloggedRebuild pins the base-mismatch guard: a
+// full BuildContentIndex is deliberately not WAL-logged (it would carry
+// the whole corpus), so a later delta publish record that no longer
+// applies must drop the index rather than corrupt it — the store recovers
+// unindexed and is rebuilt by the operator path.
+func TestRecoveryDropsIndexOnUnloggedRebuild(t *testing.T) {
+	const n, batch = 18, 10
+	urls, anns := refreshCorpus(n, 13)
+	dir := t.TempDir()
+
+	m := openStubPersistent(t, dir, urls, anns, batch)
+	if _, err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := batch; i < 15; i++ {
+		if err := m.AddImage(urls[i], anns[i], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Full rebuild (re-clusters, resets the internal set) — not logged.
+	if err := m.buildIndex(DefaultIndexOptions(), stubPipeline{}); err != nil {
+		t.Fatal(err)
+	}
+	// A delta publish on top of the rebuild: its base (15) contradicts
+	// the checkpointed internal set (10).
+	for i := 15; i < n; i++ {
+		if err := m.AddImage(urls[i], anns[i], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refreshStub(t, m)
+	if err := m.ClosePersistent(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, _, err := OpenPersistent(PersistOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.ClosePersistent()
+	if re.Indexed() {
+		t.Fatal("an inapplicable delta must drop the index, not guess")
+	}
+	if re.Size() != n {
+		t.Fatalf("library lost documents: %d of %d", re.Size(), n)
+	}
+	// The drop is recoverable: a rebuild re-indexes everything.
+	if err := re.buildIndex(DefaultIndexOptions(), stubPipeline{}); err != nil {
+		t.Fatal(err)
+	}
+	ref := oneShotStub(t, urls, anns)
+	assertSameRetrieval(t, "rebuilt-after-drop", ref, re, 10)
+}
+
+// TestShardedRecoveryFinishesDeferredPublishes crashes a sharded engine
+// after delta publishes, recovers, and requires exact one-shot-equivalent
+// answers: shard-level replay is structural (inserts), and the engine
+// re-registers global statistics to finish every shard's publish.
+func TestShardedRecoveryFinishesDeferredPublishes(t *testing.T) {
+	const n, batch, shards = 26, 12, 4
+	urls, anns := refreshCorpus(n, 17)
+	dir := t.TempDir()
+
+	e, _, err := OpenShardedPersistent(ShardedPersistOptions{Dir: dir, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < batch; i++ {
+		if err := e.AddImage(urls[i], anns[i], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.buildIndex(DefaultIndexOptions(), stubPipeline{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for _, hi := range []int{18, n} {
+		for i := e.Size(); i < hi; i++ {
+			if err := e.AddImage(urls[i], anns[i], nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		engineRefreshStub(t, e)
+	}
+	if err := e.ClosePersistent(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, _, err := OpenShardedPersistent(ShardedPersistOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.ClosePersistent()
+	if !re.Indexed() || !re.Current() {
+		t.Fatalf("recovered engine Indexed=%v Current=%v, want true/true", re.Indexed(), re.Current())
+	}
+	ref := oneShotStub(t, urls, anns)
+	assertSameRetrieval(t, fmt.Sprintf("recovered %d-shard engine", shards), ref, re, 10)
+	assertSameRetrieval(t, "recovered sharded full", ref, re, 0)
+
+	// Still refreshable post-restart.
+	if err := re.AddImage("img://post-restart", "gull anchor", nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := engineRefreshStub(t, re); st.NewDocs != 1 {
+		t.Fatalf("post-restart engine refresh covered %d docs, want 1", st.NewDocs)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/rpc"
 	"runtime"
+	"strings"
 
 	"mirror/internal/bat"
 	"mirror/internal/dict"
@@ -45,6 +46,9 @@ type Retriever interface {
 	Size() int
 	URLs() []string
 	Indexed() bool
+	Current() bool
+	Refresh() (RefreshStats, error)
+	Segments() []SegmentsInfo
 	SchemaSource() string
 	Thesaurus() *thesaurus.Thesaurus
 	Persistent() bool
@@ -190,6 +194,29 @@ func (s *Service) Checkpoint(_ dict.Empty, reply *CheckpointReply) error {
 	return nil
 }
 
+// RefreshReply reports what a remote-triggered Refresh published.
+type RefreshReply struct {
+	NewDocs  int   // documents newly covered
+	Docs     int   // documents covered after the publish
+	Epoch    int64 // published epoch number
+	Merges   int   // segment compactions applied
+	Segments int   // max segment count after compaction
+}
+
+// Refresh incrementally indexes every document ingested since the last
+// publish and swaps in a new snapshot epoch; queries are never blocked.
+// mirrord drives this periodically via -refresh-every, and operators can
+// force it between ticks.
+func (s *Service) Refresh(_ dict.Empty, reply *RefreshReply) error {
+	st, err := s.m.Refresh()
+	if err != nil {
+		return err
+	}
+	reply.NewDocs, reply.Docs, reply.Epoch = st.NewDocs, st.Docs, st.Epoch
+	reply.Merges, reply.Segments = st.Merges, st.Segments
+	return nil
+}
+
 // Serve runs the Mirror DBMS server on addr ("127.0.0.1:0" for ephemeral)
 // and registers it with the dictionary when dictAddr is non-empty. It
 // returns the bound address and a stop function.
@@ -271,11 +298,35 @@ func DiscoverMirror(dictAddr string) (*Client, error) {
 // Close releases the connection.
 func (c *Client) Close() error { return c.c.Close() }
 
+// remoteError re-types a well-known server failure carried over the wire
+// (net/rpc transmits errors as bare strings): the message stays verbatim,
+// while Unwrap lets callers errors.Is against the local sentinel — moash
+// uses this to print the BuildContentIndex remediation hint for remote
+// stores exactly as for local ones.
+type remoteError struct {
+	msg  string
+	base error
+}
+
+func (e *remoteError) Error() string { return e.msg }
+func (e *remoteError) Unwrap() error { return e.base }
+
+// wireErr maps recognised server error strings back to typed errors.
+func wireErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if msg := err.Error(); strings.Contains(msg, ErrNotIndexed.Error()) {
+		return &remoteError{msg: msg, base: ErrNotIndexed}
+	}
+	return err
+}
+
 // TextQuery runs a ranked text (or dual-coding) query.
 func (c *Client) TextQuery(text string, k int, dual bool) ([]WireHit, error) {
 	var reply TextQueryReply
 	err := c.c.Call("Mirror.TextQuery", TextQueryArgs{Text: text, K: k, Dual: dual}, &reply)
-	return reply.Hits, err
+	return reply.Hits, wireErr(err)
 }
 
 // MoaQuery runs a raw Moa query.
@@ -288,7 +339,15 @@ func (c *Client) MoaQuery(src string, queryTerms []string) (*MoaQueryReply, erro
 func (c *Client) MoaQueryTopK(src string, queryTerms []string, k int) (*MoaQueryReply, error) {
 	var reply MoaQueryReply
 	err := c.c.Call("Mirror.MoaQuery", MoaQueryArgs{Source: src, QueryTerms: queryTerms, K: k}, &reply)
-	return &reply, err
+	return &reply, wireErr(err)
+}
+
+// Refresh asks the remote DBMS to incrementally index pending documents
+// and publish a new epoch.
+func (c *Client) Refresh() (*RefreshReply, error) {
+	var reply RefreshReply
+	err := c.c.Call("Mirror.Refresh", dict.Empty{}, &reply)
+	return &reply, wireErr(err)
 }
 
 // Schema fetches the remote schema.

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"mirror/internal/bat"
 	"mirror/internal/ir"
@@ -62,6 +63,61 @@ type ShardedEngine struct {
 
 	persistent bool
 	root       string // store root in persistent mode
+
+	// Snapshot-isolated serving across shards: queries pin ONE engine
+	// epoch — a consistent vector of per-shard epochs plus the frozen
+	// global order — so a refresh that has published on shard A but not
+	// yet on shard B can never produce a cross-shard torn read. buildMu
+	// serialises engine-level index construction (full builds and
+	// refreshes).
+	epoch    atomic.Pointer[engineEpoch]
+	epochSeq int64
+	buildMu  sync.Mutex
+
+	// Frozen content model and running global collection statistics (the
+	// exact integer bookkeeping behind df/N/avgdl), maintained
+	// incrementally at each refresh and rebuilt from shard state on open.
+	codebook           *Codebook
+	annStats, imgStats *ir.GlobalStats
+	annTotal, imgTotal int // token totals behind the AvgDocLen ratios
+}
+
+// engineEpoch is one published engine-wide snapshot: the per-shard epochs
+// that together cover exactly docs global positions of the frozen order.
+type engineEpoch struct {
+	seq    int64
+	docs   int      // covered global positions (gaps included)
+	order  []string // frozen prefix of the global ingestion order
+	shards []*IndexEpoch
+	thes   *thesaurus.Thesaurus
+}
+
+// urlOf resolves a global OID against the epoch's frozen order.
+func (ee *engineEpoch) urlOf(oid bat.OID) string {
+	if uint64(oid) >= uint64(len(ee.order)) {
+		return ""
+	}
+	return ee.order[oid]
+}
+
+// fanOutEps runs f on every shard epoch concurrently, first error wins.
+func fanOutEps(shards []*IndexEpoch, f func(s int, ep *IndexEpoch) error) error {
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i, ep := range shards {
+		wg.Add(1)
+		go func(i int, ep *IndexEpoch) {
+			defer wg.Done()
+			errs[i] = f(i, ep)
+		}(i, ep)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("core: shard %d: %w", i, err)
+		}
+	}
+	return nil
 }
 
 type shardLoc struct {
@@ -181,14 +237,210 @@ func (e *ShardedEngine) URLs() []string {
 	return out
 }
 
-// Indexed reports whether every shard's content index is current.
-func (e *ShardedEngine) Indexed() bool {
-	for _, sh := range e.shards {
-		if !sh.Indexed() {
-			return false
+// Indexed reports whether an engine epoch is being served (the content
+// index exists; documents pending a Refresh do not un-index the engine).
+func (e *ShardedEngine) Indexed() bool { return e.epoch.Load() != nil }
+
+// Current reports whether the serving engine epoch covers every ingested
+// document.
+func (e *ShardedEngine) Current() bool {
+	ee := e.epoch.Load()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return ee != nil && ee.docs == len(e.order)
+}
+
+// Segments reports the serving epoch's per-shard segment layouts.
+func (e *ShardedEngine) Segments() []SegmentsInfo {
+	ee := e.epoch.Load()
+	if ee == nil {
+		return nil
+	}
+	var out []SegmentsInfo
+	for s, ep := range ee.shards {
+		out = append(out, ep.segmentsOf(s)...)
+	}
+	return out
+}
+
+// Refresh incrementally indexes every document ingested since the last
+// publish: extraction and frozen-codebook assignment run once globally
+// (off the locks), the running collection statistics advance by exactly
+// the delta (integer bookkeeping — beliefs stay identical to a one-shot
+// build), every shard republishes under the refreshed statistics (a
+// shard with no new documents still refinalizes: df/N/avgdl moved), and
+// one new engine epoch swaps in atomically — queries never observe a
+// state in which some shards have refreshed and others have not.
+func (e *ShardedEngine) Refresh() (RefreshStats, error) {
+	e.buildMu.Lock()
+	defer e.buildMu.Unlock()
+	return e.refreshWith(newLocalPipeline(e.rasterLookup()))
+}
+
+// refreshWith is Refresh against an arbitrary pipeline (tests inject
+// deterministic extractors). Caller holds e.buildMu.
+func (e *ShardedEngine) refreshWith(pipe segmentExtractor) (RefreshStats, error) {
+	defer pipe.close()
+	var st RefreshStats
+	ee := e.epoch.Load()
+	if ee == nil {
+		return st, fmt.Errorf("core: Refresh: %w", ErrNotIndexed)
+	}
+	e.mu.RLock()
+	coveredPos := ee.docs
+	orderLen := len(e.order)
+	shardCovered := make([]int, len(e.shards))
+	for s, sh := range e.shards {
+		shardCovered[s] = sh.covered()
+	}
+	// alreadyCovered skips documents a shard recovered beyond the engine
+	// prefix (torn-tail sibling recovery): re-publishing would duplicate
+	// them in the shard's internal set.
+	alreadyCovered := func(g int) bool {
+		l := e.loc[g]
+		return int(l.local) < shardCovered[l.shard]
+	}
+	var pendingURLs []string
+	for g := coveredPos; g < orderLen; g++ {
+		if e.order[g] != "" && !alreadyCovered(g) {
+			pendingURLs = append(pendingURLs, e.order[g])
 		}
 	}
-	return true
+	cb := e.codebook
+	e.mu.RUnlock()
+
+	if len(pendingURLs) == 0 {
+		st.Docs, st.Epoch = ee.docs, ee.seq
+		return st, nil
+	}
+	if cb == nil {
+		return st, fmt.Errorf("core: Refresh needs the frozen feature codebook, which this store lacks " +
+			"(built by a distributed pipeline or an older version); run BuildContentIndex once locally")
+	}
+	words, err := assignExtraction(pipe, cb, pendingURLs)
+	if err != nil {
+		return st, err
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// Group the delta by shard (global order ⇒ ascending shard-local
+	// OIDs) and advance the exact running statistics by it.
+	perShardURLs := make([][]string, len(e.shards))
+	gsAnn, annTotal := cloneStats(e.annStats, e.annTotal)
+	gsImg, imgTotal := cloneStats(e.imgStats, e.imgTotal)
+	var thDocsTotal int
+	for g := coveredPos; g < orderLen; g++ {
+		url := e.order[g]
+		if url == "" || alreadyCovered(g) {
+			continue
+		}
+		l := e.loc[g]
+		perShardURLs[l.shard] = append(perShardURLs[l.shard], url)
+		ann := e.shards[l.shard].annotationOf(l.local)
+		annToks := ir.Analyze(ann)
+		gsAnn.N++
+		annTotal += len(annToks)
+		tf, _ := ir.TermFrequencies(annToks)
+		for t := range tf {
+			gsAnn.DF[t]++
+		}
+		imgToks := dedupSorted(append([]string(nil), words[url]...))
+		gsImg.N++
+		imgTotal += len(imgToks)
+		for _, t := range imgToks {
+			gsImg.DF[t]++
+		}
+		if ann != "" {
+			thDocsTotal++
+		}
+	}
+	gsAnn.AvgDocLen, gsImg.AvgDocLen = 0, 0
+	if gsAnn.N > 0 {
+		gsAnn.AvgDocLen = float64(annTotal) / float64(gsAnn.N)
+	}
+	if gsImg.N > 0 {
+		gsImg.AvgDocLen = float64(imgTotal) / float64(gsImg.N)
+	}
+	annVocab := sortedKeys(gsAnn.DF)
+	imgVocab := sortedKeys(gsImg.DF)
+
+	perShard := make([]RefreshStats, len(e.shards))
+	err = e.fanOut(func(s int, sh *Mirror) error {
+		ir.SetGlobalStats(sh.DB, InternalSet+"_annotation", gsAnn)
+		ir.SetGlobalStats(sh.DB, InternalSet+"_image", gsImg)
+		var serr error
+		perShard[s], serr = sh.publishShardDelta(perShardURLs[s], words, annVocab, imgVocab)
+		return serr
+	})
+	for _, sh := range e.shards {
+		ir.SetGlobalStats(sh.DB, InternalSet+"_annotation", nil)
+		ir.SetGlobalStats(sh.DB, InternalSet+"_image", nil)
+	}
+	if err != nil {
+		// A partial failure may have published on some shards: their
+		// documents are now covered (the next refresh's alreadyCovered
+		// guard skips them), so the running statistics must be recounted
+		// from actual shard state or those documents' df/N/token
+		// contributions would be lost for every later refresh. The engine
+		// epoch is NOT advanced — queries keep the last consistent vector —
+		// and the next successful refresh covers everything.
+		e.rebuildRunningStats()
+		return st, err
+	}
+	e.annStats, e.annTotal = gsAnn, annTotal
+	e.imgStats, e.imgTotal = gsImg, imgTotal
+	e.publishEngineEpochLocked(orderLen)
+
+	nee := e.epoch.Load()
+	st.NewDocs, st.Docs, st.Epoch = len(pendingURLs), nee.docs, nee.seq
+	for _, ps := range perShard {
+		st.Merges += ps.Merges
+		if ps.Segments > st.Segments {
+			st.Segments = ps.Segments
+		}
+	}
+	return st, nil
+}
+
+// publishShardDelta is the engine-driven shard half of a refresh: publish
+// the shard's delta (possibly empty — statistics moved regardless) under
+// the pre-registered global overrides. The shard thesaurus is the shared
+// engine instance, so AddDocs lands in the right place.
+func (m *Mirror) publishShardDelta(urls []string, words map[string][]string, annVocab, imgVocab []string) (RefreshStats, error) {
+	m.buildMu.Lock()
+	defer m.buildMu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.publishDeltaLocked(urls, words, annVocab, imgVocab)
+}
+
+// cloneStats deep-copies running statistics so a failed refresh never
+// corrupts the engine's bookkeeping.
+func cloneStats(gs *ir.GlobalStats, total int) (*ir.GlobalStats, int) {
+	out := &ir.GlobalStats{N: gs.N, AvgDocLen: gs.AvgDocLen, DF: make(map[string]int, len(gs.DF))}
+	for t, c := range gs.DF {
+		out.DF[t] = c
+	}
+	return out, total
+}
+
+// publishEngineEpochLocked swaps in a new engine epoch covering docs
+// global positions, pinning every shard's just-published epoch. Callers
+// hold e.mu (write).
+func (e *ShardedEngine) publishEngineEpochLocked(docs int) {
+	e.epochSeq++
+	shardEps := make([]*IndexEpoch, len(e.shards))
+	for i, sh := range e.shards {
+		shardEps[i] = sh.currentEpoch()
+	}
+	e.epoch.Store(&engineEpoch{
+		seq:    e.epochSeq,
+		docs:   docs,
+		order:  e.order[:docs:docs],
+		shards: shardEps,
+		thes:   e.thes,
+	})
 }
 
 // ContentTerms returns the cluster words of a document by global OID.
@@ -226,8 +478,8 @@ func (e *ShardedEngine) urlOf(oid bat.OID) string {
 }
 
 func (e *ShardedEngine) requireIndex() error {
-	if !e.Indexed() {
-		return fmt.Errorf("core: content index not built (run BuildContentIndex)")
+	if e.epoch.Load() == nil {
+		return ErrNotIndexed
 	}
 	return nil
 }
@@ -262,6 +514,8 @@ func (e *ShardedEngine) rasterLookup() func(url string) (*media.Image, bool) {
 
 func (e *ShardedEngine) buildIndex(opts IndexOptions, pipe segmentExtractor) error {
 	defer pipe.close()
+	e.buildMu.Lock()
+	defer e.buildMu.Unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 
@@ -272,7 +526,7 @@ func (e *ShardedEngine) buildIndex(opts IndexOptions, pipe segmentExtractor) err
 			order = append(order, u)
 		}
 	}
-	imageWords, err := runExtraction(pipe, opts, order)
+	imageWords, cb, err := runExtraction(pipe, opts, order)
 	if err != nil {
 		return err
 	}
@@ -331,7 +585,41 @@ func (e *ShardedEngine) buildIndex(opts IndexOptions, pipe segmentExtractor) err
 	for _, sh := range e.shards {
 		sh.setThesaurus(e.thes)
 	}
+
+	// Freeze the content model and the exact statistics bookkeeping the
+	// incremental refresh path advances; every shard persists the
+	// codebook so a reopened store can keep refreshing.
+	e.codebook = cb
+	e.annStats, e.annTotal = gsAnn, tokenTotal(annTokens)
+	e.imgStats, e.imgTotal = gsImg, tokenTotal(imgTerms)
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		sh.codebook = cb
+		sh.mu.Unlock()
+	}
+
+	// Publish: every shard snapshots its just-built index, then the
+	// engine pins the vector as epoch 1 (or the next in sequence).
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		err := sh.publishEpochLocked()
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	e.publishEngineEpochLocked(len(e.order))
 	return nil
+}
+
+// tokenTotal sums per-document token counts (the integer numerator of
+// AvgDocLen).
+func tokenTotal(docs [][]string) int {
+	total := 0
+	for _, d := range docs {
+		total += len(d)
+	}
+	return total
 }
 
 // annotationsLocked reads every document's annotation from the shard
@@ -395,35 +683,37 @@ func (e *ShardedEngine) fanOut(f func(s int, sh *Mirror) error) error {
 	return nil
 }
 
-// gatherHits fans a ranking query out to every shard and merges the
-// shard-local rankings into the global one. k > 0 shares one pruning
-// threshold across all shards' scans and merges through the bounded
-// selector; k <= 0 returns the full ranking.
+// gatherHits fans a ranking query out to every shard epoch of one pinned
+// engine epoch and merges the shard-local rankings into the global one.
+// k > 0 shares one pruning threshold across all shards' scans and merges
+// through the bounded selector; k <= 0 returns the full ranking.
 func (e *ShardedEngine) gatherHits(src string, params map[string]moa.Param, k int) ([]Hit, error) {
+	ee := e.epoch.Load()
+	if ee == nil {
+		return nil, ErrNotIndexed
+	}
+	return ee.gatherHits(src, params, k)
+}
+
+func (ee *engineEpoch) gatherHits(src string, params map[string]moa.Param, k int) ([]Hit, error) {
 	var theta *bat.TopKThreshold
 	if k > 0 {
 		theta = bat.NewTopKThreshold()
 	}
-	perShard := make([][]Hit, len(e.shards))
-	err := e.fanOut(func(s int, sh *Mirror) error {
-		eng := &moa.Engine{DB: sh.Eng.DB, Opts: sh.Eng.Opts}
-		if k > 0 {
-			eng.Opts.TopK = k
-			eng.Opts.TopKTheta = theta
-		}
-		res, err := eng.Query(src, params)
+	perShard := make([][]Hit, len(ee.shards))
+	err := fanOutEps(ee.shards, func(s int, ep *IndexEpoch) error {
+		res, err := ep.queryTopK(src, params, k, theta)
 		if err != nil {
 			return err
 		}
-		globals := sh.globalOIDsSnapshot()
 		hits := make([]Hit, 0, len(res.Rows))
 		for _, row := range res.Rows {
-			if uint64(row.OID) >= uint64(len(globals)) {
-				return fmt.Errorf("local OID %d beyond %d mapped documents", row.OID, len(globals))
+			if uint64(row.OID) >= uint64(len(ep.globals)) {
+				return fmt.Errorf("local OID %d beyond %d mapped documents", row.OID, len(ep.globals))
 			}
 			score, _ := row.Value.(float64)
-			g := bat.OID(globals[row.OID])
-			hits = append(hits, Hit{OID: g, URL: e.urlOf(g), Score: score})
+			g := bat.OID(ep.globals[row.OID])
+			hits = append(hits, Hit{OID: g, URL: ee.urlOf(g), Score: score})
 		}
 		// An exhaustive fallback returns unranked rows; rank them locally
 		// so the merge below sees each shard's best first either way.
@@ -453,6 +743,20 @@ func (e *ShardedEngine) gatherHits(src string, params map[string]moa.Param, k in
 	return all, nil
 }
 
+// QueryAnnotations / QueryContent / ExpandQuery make a pinned engineEpoch
+// a dualCodingSite (combined evidence reads one consistent snapshot).
+func (ee *engineEpoch) QueryAnnotations(text string, k int) ([]Hit, error) {
+	return ee.gatherHits(annotationQuery, ir.QueryParams(ir.Analyze(text)), k)
+}
+
+func (ee *engineEpoch) QueryContent(clusterWords []string, k int) ([]Hit, error) {
+	return ee.gatherHits(contentQuery, ir.QueryParams(clusterWords), k)
+}
+
+func (ee *engineEpoch) ExpandQuery(text string, topK int) []string {
+	return expandConcepts(ee.thes, text, topK)
+}
+
 // topKHits cuts hits to the k best under hitWorse.
 func topKHits(hits []Hit, k int) []Hit {
 	h := bat.NewBoundedTopK(k, hitWorse)
@@ -480,46 +784,42 @@ func (e *ShardedEngine) QueryContent(clusterWords []string, k int) ([]Hit, error
 }
 
 // QueryDualCoding combines annotation and content evidence (#sum); the
-// combination runs on global OIDs, so it is shard-oblivious.
+// combination runs on global OIDs, so it is shard-oblivious, and both
+// evidence sources read one pinned engine epoch.
 func (e *ShardedEngine) QueryDualCoding(text string, k int) ([]Hit, error) {
-	if err := e.requireIndex(); err != nil {
-		return nil, err
+	ee := e.epoch.Load()
+	if ee == nil {
+		return nil, ErrNotIndexed
 	}
-	return queryDualCoding(e, text, k)
+	return queryDualCoding(ee, text, k)
 }
 
 // ExpandQuery maps free text to associated content clusters via the
 // shared thesaurus.
 func (e *ShardedEngine) ExpandQuery(text string, topK int) []string {
-	thes := e.Thesaurus()
-	if thes == nil {
-		return nil
-	}
-	assocs := thes.Associate(ir.Analyze(text), topK)
-	out := make([]string, len(assocs))
-	for i, a := range assocs {
-		out[i] = a.Concept
-	}
-	return out
+	return expandConcepts(e.Thesaurus(), text, topK)
 }
 
-// WeightedContentScores scatters the weighted-sum scoring and gathers the
-// per-shard score maps under global OIDs (shards are disjoint, so the
-// merge is a plain union).
+// WeightedContentScores scatters the weighted-sum scoring across one
+// pinned engine epoch and gathers the per-shard score maps under global
+// OIDs (shards are disjoint, so the merge is a plain union).
 func (e *ShardedEngine) WeightedContentScores(terms []string, weights []float64) (ir.Scores, error) {
-	perShard := make([]ir.Scores, len(e.shards))
-	err := e.fanOut(func(s int, sh *Mirror) error {
-		scores, err := sh.WeightedContentScores(terms, weights)
+	ee := e.epoch.Load()
+	if ee == nil {
+		return nil, ErrNotIndexed
+	}
+	perShard := make([]ir.Scores, len(ee.shards))
+	err := fanOutEps(ee.shards, func(s int, ep *IndexEpoch) error {
+		scores, err := ep.weightedContentScores(terms, weights)
 		if err != nil {
 			return err
 		}
-		globals := sh.globalOIDsSnapshot()
 		out := make(ir.Scores, len(scores))
 		for local, score := range scores {
-			if local >= uint64(len(globals)) {
-				return fmt.Errorf("local OID %d beyond %d mapped documents", local, len(globals))
+			if local >= uint64(len(ep.globals)) {
+				return fmt.Errorf("local OID %d beyond %d mapped documents", local, len(ep.globals))
 			}
-			out[globals[local]] = score
+			out[ep.globals[local]] = score
 		}
 		perShard[s] = out
 		return nil
@@ -572,21 +872,39 @@ func (e *ShardedEngine) QueryTopK(src string, queryTerms []string, k int) (*moa.
 	if k > 0 {
 		theta = bat.NewTopKThreshold()
 	}
-	results := make([]*moa.Result, len(e.shards))
-	err := e.fanOut(func(s int, sh *Mirror) error {
-		eng := &moa.Engine{DB: sh.Eng.DB, Opts: sh.Eng.Opts}
+	// Indexed engines evaluate against the pinned engine epoch (snapshot-
+	// isolated). A pre-index engine falls back to the live shard
+	// databases — moash's pre-pipeline browsing — which is safe only
+	// without concurrent ingest.
+	shardEval := func(s int, run func(*moa.Engine) (*moa.Result, error)) (*moa.Result, error) {
+		eng := &moa.Engine{DB: e.shards[s].Eng.DB, Opts: e.shards[s].Eng.Opts}
 		if k > 0 {
 			eng.Opts.TopK = k
 			eng.Opts.TopKTheta = theta
 		}
-		res, err := eng.Query(src, params)
+		return run(eng)
+	}
+	ee := e.epoch.Load()
+	globalsOf := func(s int) []uint64 { return e.shards[s].globalOIDsSnapshot() }
+	evalShard := func(s int) (*moa.Result, error) {
+		return shardEval(s, func(eng *moa.Engine) (*moa.Result, error) { return eng.Query(src, params) })
+	}
+	if ee != nil {
+		globalsOf = func(s int) []uint64 { return ee.shards[s].globals }
+		evalShard = func(s int) (*moa.Result, error) {
+			return ee.shards[s].queryTopK(src, params, k, theta)
+		}
+	}
+	results := make([]*moa.Result, len(e.shards))
+	err := e.fanOut(func(s int, _ *Mirror) error {
+		res, err := evalShard(s)
 		if err != nil {
 			return err
 		}
 		if res.Rows == nil {
 			return fmt.Errorf("scalar Moa queries cannot be merged across shards (run against one shard)")
 		}
-		globals := sh.globalOIDsSnapshot()
+		globals := globalsOf(s)
 		for i := range res.Rows {
 			local := res.Rows[i].OID
 			if uint64(local) >= uint64(len(globals)) {
@@ -747,7 +1065,134 @@ func OpenShardedPersistent(opts ShardedPersistOptions) (*ShardedEngine, ShardRec
 			sh.setThesaurus(e.thes)
 		}
 	}
+
+	// Content model + the exact statistics bookkeeping future refreshes
+	// advance incrementally (rebuilt from the covered documents, so it
+	// reflects replayed publishes too).
+	for _, sh := range e.shards {
+		if sh.codebook != nil {
+			e.codebook = sh.codebook
+			break
+		}
+	}
+	e.rebuildRunningStats()
+
+	// Finish deferred deltas: shards replay WAL publish records
+	// structurally (inserts only) because beliefs need GLOBAL statistics;
+	// now that every shard is open the engine re-registers them, unions
+	// the grown vocabulary everywhere, and refinalizes ALL shards (a
+	// replayed delta moves df/N/avgdl for every shard, exactly as the
+	// live refresh did).
+	deferred := false
+	allIndexed := true
+	for _, sh := range e.shards {
+		if sh.deferredDelta {
+			deferred = true
+		}
+		if !sh.Indexed() {
+			allIndexed = false
+		}
+	}
+	if deferred && allIndexed {
+		var th []thesaurus.Doc
+		for _, sh := range e.shards {
+			th = append(th, sh.deferredThes...)
+			sh.deferredThes = nil
+		}
+		if len(th) > 0 {
+			if e.thes == nil {
+				e.thes = thesaurus.Build(th)
+				for _, sh := range e.shards {
+					sh.setThesaurus(e.thes)
+				}
+			} else {
+				e.thes.AddDocs(th)
+			}
+		}
+		annVocab := sortedKeys(e.annStats.DF)
+		imgVocab := sortedKeys(e.imgStats.DF)
+		err := e.fanOut(func(s int, sh *Mirror) error {
+			ir.SetGlobalStats(sh.DB, InternalSet+"_annotation", e.annStats)
+			ir.SetGlobalStats(sh.DB, InternalSet+"_image", e.imgStats)
+			if err := ir.EnsureDictTerms(sh.DB, InternalSet+"_annotation", annVocab); err != nil {
+				return err
+			}
+			if err := ir.EnsureDictTerms(sh.DB, InternalSet+"_image", imgVocab); err != nil {
+				return err
+			}
+			return sh.finishDeferredDelta()
+		})
+		for _, sh := range e.shards {
+			ir.SetGlobalStats(sh.DB, InternalSet+"_annotation", nil)
+			ir.SetGlobalStats(sh.DB, InternalSet+"_image", nil)
+		}
+		if err != nil {
+			for _, sh := range e.shards {
+				sh.ClosePersistent()
+			}
+			return nil, stats, err
+		}
+	}
+	if allIndexed {
+		for _, sh := range e.shards {
+			if sh.epochSeq > e.epochSeq {
+				e.epochSeq = sh.epochSeq
+			}
+		}
+		e.mu.Lock()
+		e.publishEngineEpochLocked(e.coveredPrefixLocked())
+		e.mu.Unlock()
+	}
 	return e, stats, nil
+}
+
+// coveredPrefixLocked computes the longest prefix of the global order in
+// which every (non-gap) position's document is covered by its shard's
+// internal set — what the recovered engine epoch may claim. Documents a
+// shard recovered beyond this prefix (possible only after a torn-tail
+// WAL loss on a sibling shard) stay served shard-exactly and are skipped
+// by later refreshes. Callers hold e.mu.
+func (e *ShardedEngine) coveredPrefixLocked() int {
+	covered := make([]int, len(e.shards))
+	for s, sh := range e.shards {
+		covered[s] = sh.covered()
+	}
+	docs := 0
+	for g := 0; g < len(e.order); g++ {
+		if e.order[g] != "" {
+			l := e.loc[g]
+			if int(l.local) >= covered[l.shard] {
+				break
+			}
+		}
+		docs = g + 1
+	}
+	return docs
+}
+
+// rebuildRunningStats recomputes the exact global-statistics bookkeeping
+// from every shard's covered documents (annotations are stored data, the
+// content words live in contentTerms).
+func (e *ShardedEngine) rebuildRunningStats() {
+	var annDocs, imgDocs [][]string
+	for _, sh := range e.shards {
+		sh.mu.RLock()
+		covered := sh.coveredLocked()
+		annB, _ := sh.DB.BAT(LibrarySet + "_annotation")
+		for i := 0; i < covered; i++ {
+			var ann string
+			if annB != nil {
+				if v, ok := annB.Find(bat.OID(i)); ok {
+					ann, _ = v.(string)
+				}
+			}
+			annDocs = append(annDocs, ir.Analyze(ann))
+			imgDocs = append(imgDocs, sh.contentTerms[bat.OID(i)])
+		}
+		sh.mu.RUnlock()
+	}
+	e.annStats, e.annTotal = ir.CollectionStats(annDocs), tokenTotal(annDocs)
+	e.imgStats, e.imgTotal = ir.CollectionStats(imgDocs), tokenTotal(imgDocs)
 }
 
 // rebuildGlobalMapping reconstructs order/loc from the shard-local

@@ -78,10 +78,14 @@ func TestShardedPersistRoundtrip(t *testing.T) {
 			t.Fatalf("URL order diverged at %d: %q vs %q", i, wantURLs[i], gotURLs[i])
 		}
 	}
-	// The WAL-tail inserts are unindexed (as on a single store): queries
-	// refuse until the index is rebuilt.
-	if re.Indexed() {
-		t.Fatal("index should be stale after WAL-tail inserts")
+	// The WAL-tail inserts are pending, not index-destroying: the
+	// recovered epoch keeps serving the 12 checkpointed documents until a
+	// Refresh or rebuild covers the tail.
+	if !re.Indexed() {
+		t.Fatal("recovered engine lost its index")
+	}
+	if re.Current() {
+		t.Fatal("recovered epoch should not cover the WAL-tail inserts")
 	}
 	for _, it := range items[:14] {
 		if err := re.AddRaster(it.URL, it.Scene.Img); err != nil {
@@ -90,6 +94,9 @@ func TestShardedPersistRoundtrip(t *testing.T) {
 	}
 	if err := re.BuildContentIndex(shardedIndexOpts()); err != nil {
 		t.Fatal(err)
+	}
+	if !re.Current() {
+		t.Fatal("rebuild should cover every ingested document")
 	}
 	hits, err := re.QueryAnnotations("scene", 5)
 	if err != nil {

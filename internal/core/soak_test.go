@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Online-ingest soak: concurrent AddImage, ranked queries, Refresh and
+// Checkpoint hammer one store (and a 4-shard engine) while the race
+// detector watches. The correctness assertion is snapshot isolation
+// itself: EVERY query's result must be exactly the result of a one-shot
+// build over docs[:c] for SOME covered count c in [batch, n] — a torn
+// read (a query observing a half-published segment, a half-refreshed
+// shard vector, or a partially recomputed belief column) produces a
+// ranking matching no prefix and fails loudly.
+
+const (
+	soakDocs  = 32
+	soakBatch = 12
+)
+
+var soakQueries = []string{"harbor gull", "tide pier", "kelp", "lantern mist salt"}
+
+// soakExpected precomputes, for every prefix length c, the reference
+// rankings a one-shot build over docs[:c] yields.
+func soakExpected(t *testing.T, urls, anns []string) map[int]map[string][]Hit {
+	t.Helper()
+	out := make(map[int]map[string][]Hit)
+	for c := soakBatch; c <= len(urls); c++ {
+		ref := oneShotStub(t, urls[:c], anns[:c])
+		per := make(map[string][]Hit, len(soakQueries))
+		for _, q := range soakQueries {
+			hits, err := ref.QueryAnnotations(q, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			per[q] = hits
+		}
+		out[c] = per
+	}
+	return out
+}
+
+// matchesSomePrefix reports whether hits equals expected[c][q] for any c.
+func matchesSomePrefix(expected map[int]map[string][]Hit, q string, hits []Hit) (int, bool) {
+	for c, per := range expected {
+		if hitsEqual(per[q], hits) {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+func runSoak(t *testing.T, ingest func(i int) error, refresh func() error, checkpoint func() error,
+	query func(q string, k int) ([]Hit, error), current func() bool, expected map[int]map[string][]Hit) {
+	t.Helper()
+	var (
+		wg         sync.WaitGroup
+		done       atomic.Bool
+		ingestDone atomic.Bool
+		firstErr   atomic.Value
+	)
+	fail := func(err error) {
+		if err != nil {
+			firstErr.CompareAndSwap(nil, err) //nolint:errcheck
+			done.Store(true)
+		}
+	}
+
+	// Ingester: one document at a time, paced so refreshes interleave.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer ingestDone.Store(true)
+		for i := soakBatch; i < soakDocs && !done.Load(); i++ {
+			if err := ingest(i); err != nil {
+				fail(fmt.Errorf("ingest %d: %w", i, err))
+				return
+			}
+			time.Sleep(300 * time.Microsecond)
+		}
+	}()
+
+	// Refresher: the background indexing thread; loops until everything
+	// ingested is covered.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !done.Load() {
+			if err := refresh(); err != nil {
+				fail(fmt.Errorf("refresh: %w", err))
+				return
+			}
+			// Only a post-ingestion catch-up ends the soak: Current() is
+			// momentarily true whenever the refresher outruns the ingester.
+			if ingestDone.Load() && current() {
+				done.Store(true)
+				return
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+
+	// Checkpointer: interleaves incremental checkpoints with everything.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !done.Load() {
+			if err := checkpoint(); err != nil {
+				fail(fmt.Errorf("checkpoint: %w", err))
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Queriers: every result must be exact for some published prefix.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for !done.Load() {
+				q := soakQueries[w%len(soakQueries)]
+				hits, err := query(q, 8)
+				if err != nil {
+					fail(fmt.Errorf("query %q: %w", q, err))
+					return
+				}
+				if _, ok := matchesSomePrefix(expected, q, hits); !ok {
+					fail(fmt.Errorf("torn read: %q returned a ranking matching no published prefix: %v", q, hits))
+					return
+				}
+			}
+		}(w)
+	}
+
+	wg.Wait()
+	if err := firstErr.Load(); err != nil {
+		t.Fatal(err)
+	}
+	// Quiesced: the final state must be the full corpus, exactly.
+	if !current() {
+		if err := refresh(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, q := range soakQueries {
+		hits, err := query(q, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hitsEqual(expected[soakDocs][q], hits) {
+			t.Fatalf("quiesced ranking for %q is not the full-corpus one-shot result:\n  want %v\n  got  %v",
+				q, expected[soakDocs][q], hits)
+		}
+	}
+}
+
+// TestSoakOnlineIngestSingleStore soaks a persistent single store.
+func TestSoakOnlineIngestSingleStore(t *testing.T) {
+	urls, anns := refreshCorpus(soakDocs, 23)
+	expected := soakExpected(t, urls, anns)
+	m := openStubPersistent(t, t.TempDir(), urls, anns, soakBatch)
+	defer m.ClosePersistent()
+
+	runSoak(t,
+		func(i int) error { return m.AddImage(urls[i], anns[i], nil) },
+		func() error {
+			m.buildMu.Lock()
+			defer m.buildMu.Unlock()
+			_, err := m.refreshWith(stubPipeline{})
+			return err
+		},
+		func() error { _, err := m.Checkpoint(); return err },
+		m.QueryAnnotations,
+		m.Current,
+		expected,
+	)
+}
+
+// TestSoakOnlineIngestSharded soaks a persistent 4-shard engine; the
+// exactness oracle is the same single-store prefix table (the sharded
+// differential guarantee).
+func TestSoakOnlineIngestSharded(t *testing.T) {
+	urls, anns := refreshCorpus(soakDocs, 29)
+	expected := soakExpected(t, urls, anns)
+	e, _, err := OpenShardedPersistent(ShardedPersistOptions{Dir: t.TempDir(), Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.ClosePersistent()
+	for i := 0; i < soakBatch; i++ {
+		if err := e.AddImage(urls[i], anns[i], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.buildIndex(DefaultIndexOptions(), stubPipeline{}); err != nil {
+		t.Fatal(err)
+	}
+
+	runSoak(t,
+		func(i int) error { return e.AddImage(urls[i], anns[i], nil) },
+		func() error {
+			e.buildMu.Lock()
+			defer e.buildMu.Unlock()
+			_, err := e.refreshWith(stubPipeline{})
+			return err
+		},
+		func() error { _, err := e.Checkpoint(); return err },
+		e.QueryAnnotations,
+		e.Current,
+		expected,
+	)
+}

@@ -146,6 +146,28 @@ func postingsOf(db *moa.Database, prefix string, owner bat.OID) ([]int, error) {
 	return idx.pairs[owner], nil
 }
 
+// ReleaseDBCaches drops the package-level dictionary and posting caches
+// keyed by the given database. Epoch-based serving (internal/core)
+// creates a fresh snapshot database per index publish; releasing the
+// superseded snapshot's cache entries keeps the package registries from
+// pinning one database per epoch for the process lifetime.
+func ReleaseDBCaches(db *moa.Database) {
+	dictMu.Lock()
+	for k := range dictCache {
+		if k.db == db {
+			delete(dictCache, k)
+		}
+	}
+	dictMu.Unlock()
+	docMu.Lock()
+	for k := range docCache {
+		if k.db == db {
+			delete(docCache, k)
+		}
+	}
+	docMu.Unlock()
+}
+
 // Insert implements moa.Structure: v is the raw text (string) or a
 // pre-analysed term list ([]string, used for cluster "words" in the image
 // pipeline). Beliefs are recomputed by Finalize.
@@ -213,118 +235,25 @@ func (c *Contrep) Insert(db *moa.Database, prefix string, owner bat.OID, v any) 
 	return dlenB.Append(owner, int64(dlen))
 }
 
-// Finalize implements moa.Structure: it recomputes document frequencies,
-// collection statistics, the belief column, and the persistent reversed
-// term view used by the physical getbl operator.
+// Finalize implements moa.Structure: it rebuilds the derived
+// representation — document frequencies, collection statistics, the
+// belief column, the persistent reversed views, and the term-ordered
+// postings with per-term max-belief bounds — as a SINGLE index segment
+// (segment.go). A batch build is exactly the degenerate case of the
+// segmented layout, which is what makes the incremental path (delta
+// AppendSegment + RefinalizeSegments, compacted by MergeSegments)
+// provably equivalent: both run the same derivation code over the same
+// raw columns, honouring a registered GlobalStats override either way.
+// Any delta segments a previous incremental run left behind are dropped —
+// a full Finalize is the explicit "re-derive everything" operation.
 func (c *Contrep) Finalize(db *moa.Database, prefix string) error {
-	termB := mustBATL(db, prefix+"_term")
-	docB := mustBATL(db, prefix+"_doc")
-	tfB := mustBATL(db, prefix+"_tf")
-	dlenB := mustBATL(db, prefix+"_dlen")
-	dict := mustBATL(db, prefix+"_dict")
-
-	n := dlenB.Len()
-	var totalLen int64
-	dlenOf := make(map[bat.OID]int64, n)
-	for i := 0; i < n; i++ {
-		l := dlenB.Tail.IntAt(i)
-		dlenOf[dlenB.Head.OIDAt(i)] = l
-		totalLen += l
+	a := accessLocked(db)
+	dropSegments(a, prefix)
+	writeSegDir(a, prefix, &segDir{})
+	if _, err := appendSegment(a, prefix); err != nil {
+		return err
 	}
-	avgdl := 0.0
-	if n > 0 {
-		avgdl = float64(totalLen) / float64(n)
-	}
-
-	// df: one posting per (doc, term), so df(t) = #postings with term t.
-	df := make([]int64, dict.Len())
-	for i := 0; i < termB.Len(); i++ {
-		df[termB.Tail.OIDAt(i)]++
-	}
-
-	// Sharded indexing: a registered collection-statistics override
-	// replaces the local view of n, avgdl and df with the global one, so
-	// this store's beliefs match what a single store holding the whole
-	// collection would compute (see globalstats.go).
-	if gs := globalStatsFor(db, prefix); gs != nil {
-		n = gs.N
-		avgdl = gs.AvgDocLen
-		for t := range df {
-			df[t] = int64(gs.DF[dict.Tail.StrAt(t)])
-		}
-	}
-	dfB := bat.NewDense(0, bat.KindInt)
-	for t, c := range df {
-		dfB.MustAppend(bat.OID(t), c)
-	}
-
-	bel := bat.NewDense(0, bat.KindFloat)
-	for i := 0; i < termB.Len(); i++ {
-		t := termB.Tail.OIDAt(i)
-		d := docB.Tail.OIDAt(i)
-		tf := int(tfB.Tail.IntAt(i))
-		b := Belief(tf, int(dlenOf[d]), avgdl, int(df[t]), n)
-		bel.MustAppend(bat.OID(i), b)
-	}
-
-	stats := bat.NewDense(0, bat.KindFloat)
-	stats.MustAppend(bat.OID(0), float64(n))
-	stats.MustAppend(bat.OID(1), avgdl)
-	stats.MustAppend(bat.OID(2), DefaultBelief)
-	stats.MustAppend(bat.OID(3), float64(dict.Len()))
-
-	// Term-ordered postings with per-term max-belief upper bounds: the
-	// input of the pruned top-k physical operator (bat.PrunedTopK). The
-	// scatter below is a counting sort by term; documents are inserted in
-	// ascending OID order, so each term's run comes out doc-ascending (a
-	// repair sort runs if a caller ever violated that). Rebuilt on every
-	// Finalize — including after WAL-replayed inserts trigger a reindex —
-	// and persisted through the BBP manifest like any other column, the
-	// bounds can never go stale relative to the beliefs they cap.
-	nt := dict.Len()
-	p := termB.Len()
-	starts := make([]int64, nt+1)
-	for i := 0; i < p; i++ {
-		starts[termB.Tail.OIDAt(i)+1]++
-	}
-	for t := 1; t <= nt; t++ {
-		starts[t] += starts[t-1]
-	}
-	postDoc := make([]bat.OID, p)
-	postBel := make([]float64, p)
-	maxb := make([]float64, nt)
-	cursor := append([]int64(nil), starts...)
-	for i := 0; i < p; i++ {
-		t := termB.Tail.OIDAt(i)
-		at := cursor[t]
-		cursor[t]++
-		postDoc[at] = docB.Tail.OIDAt(i)
-		b := bel.Tail.FloatAt(i)
-		postBel[at] = b
-		if b > maxb[t] {
-			maxb[t] = b
-		}
-	}
-	for t := 0; t < nt; t++ {
-		lo, hi := starts[t], starts[t+1]
-		for i := lo + 1; i < hi; i++ {
-			if postDoc[i] < postDoc[i-1] {
-				sortPostingsRun(postDoc[lo:hi], postBel[lo:hi])
-				break
-			}
-		}
-	}
-	db.PutBATL(prefix+"_poststart", adoptDense(bat.ColumnOfInts(starts)))
-	db.PutBATL(prefix+"_postdoc", adoptDense(bat.ColumnOfOIDs(postDoc)))
-	db.PutBATL(prefix+"_postbel", adoptDense(bat.ColumnOfFloats(postBel)))
-	db.PutBATL(prefix+"_maxbel", adoptDense(bat.ColumnOfFloats(maxb)))
-
-	db.PutBATL(prefix+"_df", dfB)
-	db.PutBATL(prefix+"_bel", bel)
-	db.PutBATL(prefix+"_stats", stats)
-	db.PutBATL(prefix+"_termrev", termB.Reverse())
-	db.PutBATL(prefix+"_dictrev", dict.Reverse())
-	return nil
+	return refinalizeSegments(a, db, prefix)
 }
 
 // adoptDense wraps an adopted tail column as a [void, tail] BAT.
@@ -332,23 +261,6 @@ func adoptDense(tail *bat.Column) *bat.BAT {
 	b := &bat.BAT{Head: bat.NewVoid(0, tail.Len()), Tail: tail}
 	b.HSorted, b.HKey = true, true
 	return b
-}
-
-// sortPostingsRun sorts one term's postings by document OID (parallel
-// arrays), repairing out-of-order inserts.
-func sortPostingsRun(docs []bat.OID, bels []float64) {
-	idx := make([]int, len(docs))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool { return docs[idx[a]] < docs[idx[b]] })
-	nd := make([]bat.OID, len(docs))
-	nb := make([]float64, len(bels))
-	for i, j := range idx {
-		nd[i], nb[i] = docs[j], bels[j]
-	}
-	copy(docs, nd)
-	copy(bels, nb)
 }
 
 // Materialize implements moa.Structure.
@@ -520,20 +432,44 @@ func emitGetBLScoreTopK(tr *moa.Translator, ctx *moa.Ctx, recv moa.Rep, extra []
 	}
 	// A checkpoint written before the term-ordered postings existed (or a
 	// CONTREP never finalized) lacks the derived columns: fall back to the
-	// exhaustive plan instead of emitting dangling references.
+	// exhaustive plan instead of emitting dangling references. Incremental
+	// indexing splits the derived representation into segments — slot 0
+	// keeps the canonical names, delta slots are suffixed _seg<s> — so the
+	// emitted scan enumerates whatever segment list this database (a
+	// published epoch snapshot) holds.
 	for _, suffix := range []string{"_poststart", "_postdoc", "_postbel", "_maxbel"} {
 		if !tr.HasBAT(sr.Prefix + suffix) {
 			return nil, moa.ErrNoPrunedForm
 		}
 	}
+	nsegs := 1
+	for tr.HasBAT(SegColumn(sr.Prefix, nsegs, "_poststart")) {
+		for _, suffix := range []string{"_postdoc", "_postbel", "_maxbel"} {
+			if !tr.HasBAT(SegColumn(sr.Prefix, nsegs, suffix)) {
+				return nil, moa.ErrNoPrunedForm // half-published slot: exhaustive is always safe
+			}
+		}
+		nsegs++
+	}
 	q, err := queryTermsVar(tr, sr.Prefix, extra[0])
 	if err != nil {
 		return nil, err
 	}
-	pk := tr.Emit("pk", mil.C("prunedtopk",
-		mil.R(sr.Prefix+"_poststart"), mil.R(sr.Prefix+"_postdoc"),
-		mil.R(sr.Prefix+"_postbel"), mil.R(sr.Prefix+"_maxbel"),
-		mil.R(q), mil.L(DefaultBelief), mil.L(int64(k)), mil.R(ctx.DomainVar)))
+	var pk string
+	if nsegs == 1 {
+		pk = tr.Emit("pk", mil.C("prunedtopk",
+			mil.R(sr.Prefix+"_poststart"), mil.R(sr.Prefix+"_postdoc"),
+			mil.R(sr.Prefix+"_postbel"), mil.R(sr.Prefix+"_maxbel"),
+			mil.R(q), mil.L(DefaultBelief), mil.L(int64(k)), mil.R(ctx.DomainVar)))
+	} else {
+		args := []mil.Expr{mil.R(q), mil.L(DefaultBelief), mil.L(int64(k)), mil.R(ctx.DomainVar)}
+		for s := 0; s < nsegs; s++ {
+			for _, suffix := range []string{"_poststart", "_postdoc", "_postbel", "_maxbel"} {
+				args = append(args, mil.R(SegColumn(sr.Prefix, s, suffix)))
+			}
+		}
+		pk = tr.Emit("pk", mil.C("prunedtopkseg", args...))
+	}
 	dom := tr.Emit("pkd", mil.C("mirror", mil.R(pk)))
 	return &moa.SetVal{
 		DomainVar: dom,

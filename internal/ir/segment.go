@@ -1,0 +1,545 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+
+	"mirror/internal/bat"
+	"mirror/internal/moa"
+)
+
+// Segmented CONTREP finalization for incremental online indexing.
+//
+// A monolithic Finalize re-derives the whole term-ordered postings
+// representation on every run — acceptable for a batch build, hostile to
+// insert-while-serving. The segmented layout splits the *derived*
+// representation by document range into generation-numbered segments:
+//
+//	prefix_segdir                [void, int]  packed directory, two ints
+//	                             per segment: pairEnd (exclusive end of
+//	                             the segment's range in the raw _term/_doc
+//	                             /_tf pair columns) and docEnd (exclusive
+//	                             end of its document-OID range)
+//	prefix_poststart …           segment slot 0 keeps the canonical
+//	                             (unsuffixed) derived names, so stores
+//	                             written before segmentation read as a
+//	                             single segment
+//	prefix_seg<s>_poststart …    slots s ≥ 1: _poststart/_postdoc/
+//	                             _posttf/_postbel/_maxbel per segment
+//
+// _posttf (term frequencies aligned with _postdoc) is what makes belief
+// recomputation independent of segment *structure*: when collection
+// statistics move (every delta publish moves df/N/avgdl, and exactness
+// demands all beliefs reflect the new statistics), only the _postbel/
+// _maxbel float columns are rewritten — the counting sort that built
+// _poststart/_postdoc/_posttf is never repeated for old segments.
+//
+// Invariants (the segment tests pin them):
+//
+//   - Segments partition both the raw pair range and the document-OID
+//     range contiguously and in ascending order; every document's
+//     postings live entirely in one segment.
+//   - Within a segment, each term's postings run is document-ascending.
+//   - Merging adjacent segments is pure concatenation per term (doc
+//     ranges are adjacent), so compaction never touches beliefs.
+//   - After RefinalizeSegments, the logical postings content (term →
+//     (doc, tf, belief) multiset) equals what a monolithic Finalize over
+//     the same raw columns derives; queries over the segment list are
+//     BUN-for-BUN identical to queries over one merged segment
+//     (bat.PrunedTopKSegs' guarantee).
+//
+// A segment's _poststart length records the dictionary size when the
+// segment was derived; terms added later simply have no postings run in
+// older segments (bat's termRange treats out-of-range terms as empty).
+
+// segSuffixes are the per-segment derived column suffixes.
+var segSuffixes = []string{"_poststart", "_postdoc", "_posttf", "_postbel", "_maxbel"}
+
+// SegColumn names slot s's derived column for the given canonical suffix
+// ("_poststart" …): slot 0 owns the canonical name, higher slots are
+// suffixed _seg<s>.
+func SegColumn(prefix string, slot int, suffix string) string {
+	if slot == 0 {
+		return prefix + suffix
+	}
+	return fmt.Sprintf("%s_seg%d%s", prefix, slot, suffix)
+}
+
+// dbAccess abstracts locked (Structure hook) vs unlocked (core refresh)
+// database access so one implementation serves both call sites.
+type dbAccess struct {
+	get func(string) (*bat.BAT, bool)
+	put func(string, *bat.BAT)
+	del func(string)
+}
+
+func access(db *moa.Database) dbAccess {
+	return dbAccess{get: db.BAT, put: db.PutBAT, del: db.DropBAT}
+}
+
+func accessLocked(db *moa.Database) dbAccess {
+	return dbAccess{get: db.BATL, put: db.PutBATL, del: db.DropBATL}
+}
+
+// segDir is the decoded segment directory.
+type segDir struct {
+	pairEnd []int // exclusive end in the raw pair columns, per segment
+	docEnd  []int // exclusive end of the document-OID range, per segment
+}
+
+func (sd *segDir) count() int { return len(sd.pairEnd) }
+
+func (sd *segDir) pairRange(s int) (lo, hi int) {
+	if s > 0 {
+		lo = sd.pairEnd[s-1]
+	}
+	return lo, sd.pairEnd[s]
+}
+
+func readSegDir(a dbAccess, prefix string) (*segDir, bool) {
+	b, ok := a.get(prefix + "_segdir")
+	if !ok || b.Len()%2 != 0 {
+		return nil, false
+	}
+	sd := &segDir{}
+	for i := 0; i < b.Len(); i += 2 {
+		sd.pairEnd = append(sd.pairEnd, int(b.Tail.IntAt(i)))
+		sd.docEnd = append(sd.docEnd, int(b.Tail.IntAt(i+1)))
+	}
+	return sd, true
+}
+
+// writeSegDir replaces the directory wholesale (never edited in place, so
+// published epochs keep their frozen copy).
+func writeSegDir(a dbAccess, prefix string, sd *segDir) {
+	packed := make([]int64, 0, 2*sd.count())
+	for s := 0; s < sd.count(); s++ {
+		packed = append(packed, int64(sd.pairEnd[s]), int64(sd.docEnd[s]))
+	}
+	a.put(prefix+"_segdir", adoptDense(bat.ColumnOfInts(packed)))
+}
+
+// SegmentStat describes one index segment for introspection.
+type SegmentStat struct {
+	Slot     int // directory position (0 = oldest)
+	Docs     int // documents covered (docEnd - previous docEnd)
+	Postings int // raw postings covered
+	Terms    int // dictionary size when the segment was derived
+}
+
+// SegmentStats reports the segment layout of a CONTREP, oldest first; nil
+// when the store predates segmentation (one monolithic representation).
+func SegmentStats(db *moa.Database, prefix string) []SegmentStat {
+	a := access(db)
+	sd, ok := readSegDir(a, prefix)
+	if !ok {
+		return nil
+	}
+	out := make([]SegmentStat, 0, sd.count())
+	prevPair, prevDoc := 0, 0
+	for s := 0; s < sd.count(); s++ {
+		st := SegmentStat{Slot: s, Docs: sd.docEnd[s] - prevDoc, Postings: sd.pairEnd[s] - prevPair}
+		if b, ok := a.get(SegColumn(prefix, s, "_poststart")); ok && b.Len() > 0 {
+			st.Terms = b.Len() - 1
+		}
+		out = append(out, st)
+		prevPair, prevDoc = sd.pairEnd[s], sd.docEnd[s]
+	}
+	return out
+}
+
+// SegmentCount reports the number of index segments (0 when the store
+// predates segmentation).
+func SegmentCount(db *moa.Database, prefix string) int {
+	sd, ok := readSegDir(access(db), prefix)
+	if !ok {
+		return 0
+	}
+	return sd.count()
+}
+
+// buildSegmentStructure derives slot's _poststart/_postdoc/_posttf from
+// the raw pair range [pairLo, pairHi): a counting sort by term, each
+// term's run document-ascending (a repair sort runs if a caller ever
+// violated insertion order). Beliefs are NOT computed here — they depend
+// on collection statistics and are filled in by recomputeBeliefs.
+func buildSegmentStructure(a dbAccess, prefix string, slot, pairLo, pairHi int) error {
+	termB, ok1 := a.get(prefix + "_term")
+	docB, ok2 := a.get(prefix + "_doc")
+	tfB, ok3 := a.get(prefix + "_tf")
+	dict, ok4 := a.get(prefix + "_dict")
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		return fmt.Errorf("ir: %s: missing raw CONTREP columns", prefix)
+	}
+	if pairHi > termB.Len() || pairLo > pairHi {
+		return fmt.Errorf("ir: %s: segment pair range [%d,%d) beyond %d postings", prefix, pairLo, pairHi, termB.Len())
+	}
+	nt := dict.Len()
+	p := pairHi - pairLo
+	starts := make([]int64, nt+1)
+	for i := pairLo; i < pairHi; i++ {
+		starts[termB.Tail.OIDAt(i)+1]++
+	}
+	for t := 1; t <= nt; t++ {
+		starts[t] += starts[t-1]
+	}
+	postDoc := make([]bat.OID, p)
+	postTF := make([]int64, p)
+	cursor := append([]int64(nil), starts...)
+	for i := pairLo; i < pairHi; i++ {
+		t := termB.Tail.OIDAt(i)
+		at := cursor[t]
+		cursor[t]++
+		postDoc[at] = docB.Tail.OIDAt(i)
+		postTF[at] = tfB.Tail.IntAt(i)
+	}
+	for t := 0; t < nt; t++ {
+		lo, hi := starts[t], starts[t+1]
+		for i := lo + 1; i < hi; i++ {
+			if postDoc[i] < postDoc[i-1] {
+				sortSegRun(postDoc[lo:hi], postTF[lo:hi])
+				break
+			}
+		}
+	}
+	a.put(SegColumn(prefix, slot, "_poststart"), adoptDense(bat.ColumnOfInts(starts)))
+	a.put(SegColumn(prefix, slot, "_postdoc"), adoptDense(bat.ColumnOfOIDs(postDoc)))
+	a.put(SegColumn(prefix, slot, "_posttf"), adoptDense(bat.ColumnOfInts(postTF)))
+	return nil
+}
+
+// sortSegRun repairs one term's (doc, tf) run into document order.
+func sortSegRun(docs []bat.OID, tfs []int64) {
+	idx := make([]int, len(docs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return docs[idx[a]] < docs[idx[b]] })
+	nd := make([]bat.OID, len(docs))
+	ntf := make([]int64, len(tfs))
+	for i, j := range idx {
+		nd[i], ntf[i] = docs[j], tfs[j]
+	}
+	copy(docs, nd)
+	copy(tfs, ntf)
+}
+
+// AppendSegment extends the segment directory with a delta segment
+// covering every raw posting and document appended since the last
+// segment, deriving its structure. Returns false when nothing is pending.
+// The caller must follow up with RefinalizeSegments before serving the
+// new segment (beliefs and statistics are stale until then).
+func AppendSegment(db *moa.Database, prefix string) (bool, error) {
+	return appendSegment(access(db), prefix)
+}
+
+func appendSegment(a dbAccess, prefix string) (bool, error) {
+	termB, ok1 := a.get(prefix + "_term")
+	dlenB, ok2 := a.get(prefix + "_dlen")
+	if !ok1 || !ok2 {
+		return false, fmt.Errorf("ir: %s: missing raw CONTREP columns", prefix)
+	}
+	sd, ok := readSegDir(a, prefix)
+	if !ok {
+		return false, fmt.Errorf("ir: %s is not segmented (run a full Finalize first)", prefix)
+	}
+	pairLo, docLo := 0, 0
+	if n := sd.count(); n > 0 {
+		pairLo, docLo = sd.pairEnd[n-1], sd.docEnd[n-1]
+	}
+	pairHi, docHi := termB.Len(), dlenB.Len()
+	if pairHi == pairLo && docHi == docLo && sd.count() > 0 {
+		// Nothing pending — but an empty directory still gets its first
+		// (empty) segment, so a full Finalize of an empty collection keeps
+		// publishing the canonical derived columns.
+		return false, nil
+	}
+	slot := sd.count()
+	if err := buildSegmentStructure(a, prefix, slot, pairLo, pairHi); err != nil {
+		return false, err
+	}
+	sd.pairEnd = append(sd.pairEnd, pairHi)
+	sd.docEnd = append(sd.docEnd, docHi)
+	writeSegDir(a, prefix, sd)
+	return true, nil
+}
+
+// RefinalizeSegments recomputes everything that depends on collection
+// statistics — the _df/_stats columns, the pair-ordered _bel column, and
+// every segment's _postbel/_maxbel — plus the reversed term/dictionary
+// views, honouring a registered GlobalStats override exactly like the
+// monolithic Finalize. Segment structure is left untouched. New derived
+// BATs replace the old wholesale, so a published epoch's frozen views
+// keep serving the pre-refresh state.
+func RefinalizeSegments(db *moa.Database, prefix string) error {
+	return refinalizeSegments(access(db), db, prefix)
+}
+
+func refinalizeSegments(a dbAccess, db *moa.Database, prefix string) error {
+	termB, ok1 := a.get(prefix + "_term")
+	docB, ok2 := a.get(prefix + "_doc")
+	tfB, ok3 := a.get(prefix + "_tf")
+	dlenB, ok4 := a.get(prefix + "_dlen")
+	dict, ok5 := a.get(prefix + "_dict")
+	if !ok1 || !ok2 || !ok3 || !ok4 || !ok5 {
+		return fmt.Errorf("ir: %s: missing raw CONTREP columns", prefix)
+	}
+	sd, ok := readSegDir(a, prefix)
+	if !ok {
+		return fmt.Errorf("ir: %s is not segmented (run a full Finalize first)", prefix)
+	}
+	if n := sd.count(); n == 0 {
+		if termB.Len() != 0 || dlenB.Len() != 0 {
+			return fmt.Errorf("ir: %s: segment directory does not cover the raw postings (AppendSegment first)", prefix)
+		}
+	} else if sd.pairEnd[n-1] != termB.Len() || sd.docEnd[n-1] != dlenB.Len() {
+		return fmt.Errorf("ir: %s: segment directory does not cover the raw postings (AppendSegment first)", prefix)
+	}
+
+	// Collection statistics from the raw columns (identical arithmetic to
+	// the monolithic Finalize).
+	n := dlenB.Len()
+	var totalLen int64
+	dlenOf := make(map[bat.OID]int64, n)
+	for i := 0; i < n; i++ {
+		l := dlenB.Tail.IntAt(i)
+		dlenOf[dlenB.Head.OIDAt(i)] = l
+		totalLen += l
+	}
+	avgdl := 0.0
+	if n > 0 {
+		avgdl = float64(totalLen) / float64(n)
+	}
+
+	// df from the per-segment offset partials: df(t) = Σ_s (start_s[t+1] −
+	// start_s[t]). Integer sums, so this equals the monolithic count.
+	df := make([]int64, dict.Len())
+	for s := 0; s < sd.count(); s++ {
+		startB, ok := a.get(SegColumn(prefix, s, "_poststart"))
+		if !ok {
+			return fmt.Errorf("ir: %s: segment %d lost its offsets", prefix, s)
+		}
+		for t := 0; t+1 < startB.Len() && t < len(df); t++ {
+			df[t] += startB.Tail.IntAt(t+1) - startB.Tail.IntAt(t)
+		}
+	}
+
+	// Sharded indexing: the registered override replaces the local view
+	// of n, avgdl and df with the global one (see globalstats.go).
+	if gs := globalStatsFor(db, prefix); gs != nil {
+		n = gs.N
+		avgdl = gs.AvgDocLen
+		for t := range df {
+			df[t] = int64(gs.DF[dict.Tail.StrAt(t)])
+		}
+	}
+	dfB := bat.NewDense(0, bat.KindInt)
+	for t, c := range df {
+		dfB.MustAppend(bat.OID(t), c)
+	}
+
+	// Pair-ordered beliefs (the exhaustive getbl/wsum input).
+	bel := bat.NewDense(0, bat.KindFloat)
+	for i := 0; i < termB.Len(); i++ {
+		t := termB.Tail.OIDAt(i)
+		d := docB.Tail.OIDAt(i)
+		tf := int(tfB.Tail.IntAt(i))
+		bel.MustAppend(bat.OID(i), Belief(tf, int(dlenOf[d]), avgdl, int(df[t]), n))
+	}
+
+	stats := bat.NewDense(0, bat.KindFloat)
+	stats.MustAppend(bat.OID(0), float64(n))
+	stats.MustAppend(bat.OID(1), avgdl)
+	stats.MustAppend(bat.OID(2), DefaultBelief)
+	stats.MustAppend(bat.OID(3), float64(dict.Len()))
+
+	// Per-segment beliefs and bounds, walking each segment's term runs.
+	// Belief is a pure per-posting function, so these are exactly the
+	// pair-ordered values scattered — no fold-order concern.
+	for s := 0; s < sd.count(); s++ {
+		startB, ok1 := a.get(SegColumn(prefix, s, "_poststart"))
+		pdocB, ok2 := a.get(SegColumn(prefix, s, "_postdoc"))
+		ptfB, ok3 := a.get(SegColumn(prefix, s, "_posttf"))
+		if !ok1 || !ok2 || !ok3 {
+			return fmt.Errorf("ir: %s: segment %d lost its structure", prefix, s)
+		}
+		np := pdocB.Len()
+		pbel := make([]float64, np)
+		maxb := make([]float64, startB.Len()-1)
+		for t := 0; t+1 < startB.Len(); t++ {
+			lo, hi := startB.Tail.IntAt(t), startB.Tail.IntAt(t+1)
+			for i := lo; i < hi; i++ {
+				b := Belief(int(ptfB.Tail.IntAt(int(i))), int(dlenOf[pdocB.Tail.OIDAt(int(i))]), avgdl, int(df[t]), n)
+				pbel[i] = b
+				if b > maxb[t] {
+					maxb[t] = b
+				}
+			}
+		}
+		a.put(SegColumn(prefix, s, "_postbel"), adoptDense(bat.ColumnOfFloats(pbel)))
+		a.put(SegColumn(prefix, s, "_maxbel"), adoptDense(bat.ColumnOfFloats(maxb)))
+	}
+
+	a.put(prefix+"_df", dfB)
+	a.put(prefix+"_bel", bel)
+	a.put(prefix+"_stats", stats)
+	a.put(prefix+"_termrev", termB.Reverse())
+	a.put(prefix+"_dictrev", dict.Reverse())
+	return nil
+}
+
+// MergeSegments compacts segment slots [lo, hi) into one. Adjacent
+// segments cover adjacent document ranges and every term run is
+// document-ascending, so the merged run is pure per-term concatenation in
+// slot order — beliefs are copied, never recomputed (statistics do not
+// move at a merge), and the merged per-term bound is the max of the slot
+// bounds. Higher slots shift down; stale slot names are dropped.
+func MergeSegments(db *moa.Database, prefix string, lo, hi int) error {
+	a := access(db)
+	sd, ok := readSegDir(a, prefix)
+	if !ok {
+		return fmt.Errorf("ir: %s is not segmented", prefix)
+	}
+	if lo < 0 || hi > sd.count() || hi-lo < 2 {
+		return fmt.Errorf("ir: %s: bad merge range [%d,%d) of %d segments", prefix, lo, hi, sd.count())
+	}
+
+	type segView struct {
+		start, doc, tf, bel, maxb *bat.BAT
+	}
+	views := make([]segView, 0, hi-lo)
+	nt := 0
+	np := 0
+	for s := lo; s < hi; s++ {
+		var v segView
+		var ok [5]bool
+		v.start, ok[0] = a.get(SegColumn(prefix, s, "_poststart"))
+		v.doc, ok[1] = a.get(SegColumn(prefix, s, "_postdoc"))
+		v.tf, ok[2] = a.get(SegColumn(prefix, s, "_posttf"))
+		v.bel, ok[3] = a.get(SegColumn(prefix, s, "_postbel"))
+		v.maxb, ok[4] = a.get(SegColumn(prefix, s, "_maxbel"))
+		for _, o := range ok {
+			if !o {
+				return fmt.Errorf("ir: %s: segment %d incomplete, cannot merge", prefix, s)
+			}
+		}
+		if v.start.Len()-1 > nt {
+			nt = v.start.Len() - 1
+		}
+		np += v.doc.Len()
+		views = append(views, v)
+	}
+
+	starts := make([]int64, nt+1)
+	mdoc := make([]bat.OID, 0, np)
+	mtf := make([]int64, 0, np)
+	mbel := make([]float64, 0, np)
+	maxb := make([]float64, nt)
+	for t := 0; t < nt; t++ {
+		starts[t] = int64(len(mdoc))
+		for _, v := range views { // slot order == ascending doc ranges
+			if t+1 >= v.start.Len() {
+				continue
+			}
+			rlo, rhi := v.start.Tail.IntAt(t), v.start.Tail.IntAt(t+1)
+			for i := rlo; i < rhi; i++ {
+				mdoc = append(mdoc, v.doc.Tail.OIDAt(int(i)))
+				mtf = append(mtf, v.tf.Tail.IntAt(int(i)))
+				mbel = append(mbel, v.bel.Tail.FloatAt(int(i)))
+			}
+			if int(t) < v.maxb.Len() && v.maxb.Tail.FloatAt(t) > maxb[t] {
+				maxb[t] = v.maxb.Tail.FloatAt(t)
+			}
+		}
+	}
+	starts[nt] = int64(len(mdoc))
+
+	// Install the merged segment at slot lo, shift survivors down, drop
+	// the now-unused tail slot names, rewrite the directory.
+	put := func(slot int, suffix string, b *bat.BAT) { a.put(SegColumn(prefix, slot, suffix), b) }
+	put(lo, "_poststart", adoptDense(bat.ColumnOfInts(starts)))
+	put(lo, "_postdoc", adoptDense(bat.ColumnOfOIDs(mdoc)))
+	put(lo, "_posttf", adoptDense(bat.ColumnOfInts(mtf)))
+	put(lo, "_postbel", adoptDense(bat.ColumnOfFloats(mbel)))
+	put(lo, "_maxbel", adoptDense(bat.ColumnOfFloats(maxb)))
+
+	removed := hi - lo - 1
+	for s := hi; s < sd.count(); s++ {
+		for _, suffix := range segSuffixes {
+			if b, ok := a.get(SegColumn(prefix, s, suffix)); ok {
+				a.put(SegColumn(prefix, s-removed, suffix), b)
+			}
+		}
+	}
+	for s := sd.count() - removed; s < sd.count(); s++ {
+		for _, suffix := range segSuffixes {
+			a.del(SegColumn(prefix, s, suffix))
+		}
+	}
+
+	nsd := &segDir{}
+	nsd.pairEnd = append(nsd.pairEnd, sd.pairEnd[:lo]...)
+	nsd.docEnd = append(nsd.docEnd, sd.docEnd[:lo]...)
+	nsd.pairEnd = append(nsd.pairEnd, sd.pairEnd[hi-1])
+	nsd.docEnd = append(nsd.docEnd, sd.docEnd[hi-1])
+	nsd.pairEnd = append(nsd.pairEnd, sd.pairEnd[hi:]...)
+	nsd.docEnd = append(nsd.docEnd, sd.docEnd[hi:]...)
+	writeSegDir(a, prefix, nsd)
+	return nil
+}
+
+// PickMerge chooses the next compaction for a tiered, bounded-fan-in
+// policy: walking from the newest segment backwards, a segment joins the
+// merge run while it is no larger than twice the run accumulated so far
+// (so compaction stays logarithmic — small deltas merge often, a big base
+// segment only when the tail has grown comparable), bounded by fanIn
+// inputs. Returns ok=false when no run of ≥ 2 segments qualifies.
+// Deterministic in sizes, which keeps WAL-replayed merges identical.
+func PickMerge(sizes []int, fanIn int) (lo, hi int, ok bool) {
+	n := len(sizes)
+	if n < 2 || fanIn < 2 {
+		return 0, 0, false
+	}
+	run := sizes[n-1]
+	lo = n - 1
+	for lo > 0 && n-lo < fanIn && sizes[lo-1] <= 2*run {
+		lo--
+		run += sizes[lo]
+	}
+	if n-lo < 2 {
+		return 0, 0, false
+	}
+	return lo, n, true
+}
+
+// EnsureSegmented upgrades a CONTREP whose derived representation
+// predates segmentation (a store checkpointed by an older build): the
+// existing postings become segment 0 (structure re-derived from the raw
+// columns — the old layout lacks _posttf) covering everything so far.
+// No-op when a directory already exists.
+func EnsureSegmented(db *moa.Database, prefix string) error {
+	a := access(db)
+	if _, ok := readSegDir(a, prefix); ok {
+		return nil
+	}
+	writeSegDir(a, prefix, &segDir{})
+	if _, err := appendSegment(a, prefix); err != nil {
+		return err
+	}
+	return refinalizeSegments(a, db, prefix)
+}
+
+// dropSegments removes every segmented derived column and the directory
+// (the prelude to a full monolithic rebuild).
+func dropSegments(a dbAccess, prefix string) {
+	sd, ok := readSegDir(a, prefix)
+	if !ok {
+		return
+	}
+	for s := 0; s < sd.count(); s++ {
+		for _, suffix := range segSuffixes {
+			a.del(SegColumn(prefix, s, suffix))
+		}
+	}
+	a.del(prefix + "_segdir")
+}

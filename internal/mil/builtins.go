@@ -71,10 +71,11 @@ func init() {
 		"exists": biExists,
 
 		// probabilistic retrieval operators (the paper's physical extension)
-		"getbl":      biGetBL,
-		"wsum_bel":   biWSumBel,
-		"prunedtopk": biPrunedTopK,
-		"postings":   biPostings,
+		"getbl":         biGetBL,
+		"wsum_bel":      biWSumBel,
+		"prunedtopk":    biPrunedTopK,
+		"prunedtopkseg": biPrunedTopKSeg,
+		"postings":      biPostings,
 
 		// I/O
 		"print": biPrint,
@@ -556,6 +557,58 @@ func biPrunedTopK(env *Env, args []any) (any, error) {
 		query[i] = qb.Tail.OIDAt(i)
 	}
 	return bat.PrunedTopKShared(start, doc, bel, maxb, query, nil, def, int(k), domain, env.TopKTheta)
+}
+
+// biPrunedTopKSeg is the segment-list form of prunedtopk, the physical
+// operator behind snapshot-isolated incremental indexes:
+//
+//	prunedtopkseg(query, default, k, domain,
+//	              s0_start, s0_doc, s0_bel, s0_maxbel,
+//	              [s1_start, s1_doc, s1_bel, s1_maxbel, ...])
+//	    → [docOID, score]
+//
+// The segments must partition the document space (each document's
+// postings entirely in one segment — which is how internal/ir publishes
+// them); the result is then BUN-for-BUN identical to prunedtopk over the
+// single segment obtained by merging the list, because all segments share
+// one rising threshold and every score is the same canonical fold.
+func biPrunedTopKSeg(env *Env, args []any) (any, error) {
+	if len(args) < 8 || (len(args)-4)%4 != 0 {
+		return nil, errorf("prunedtopkseg expects 4 scalar args plus 4 BATs per segment, got %d args", len(args))
+	}
+	qb, err := argBAT(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	def, err := argFloat(args, 1)
+	if err != nil {
+		return nil, err
+	}
+	k, err := argInt(args, 2)
+	if err != nil {
+		return nil, err
+	}
+	domain, err := argBAT(args, 3)
+	if err != nil {
+		return nil, err
+	}
+	nsegs := (len(args) - 4) / 4
+	segs := make([]bat.PostingsSeg, nsegs)
+	for s := 0; s < nsegs; s++ {
+		base := 4 + 4*s
+		var cols [4]*bat.BAT
+		for j := range cols {
+			if cols[j], err = argBAT(args, base+j); err != nil {
+				return nil, err
+			}
+		}
+		segs[s] = bat.PostingsSeg{Start: cols[0], Doc: cols[1], Bel: cols[2], MaxBel: cols[3]}
+	}
+	query := make([]bat.OID, qb.Len())
+	for i := range query {
+		query[i] = qb.Tail.OIDAt(i)
+	}
+	return bat.PrunedTopKSegs(segs, query, nil, def, int(k), domain, env.TopKTheta)
 }
 
 // biPostings: postings(poststart, postdoc, postbel, t) → [docOID, belief],

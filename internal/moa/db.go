@@ -178,6 +178,19 @@ func (db *Database) PutBAT(name string, b *bat.BAT) {
 	db.bats[name] = b
 }
 
+// DropBAT removes a physical BAT from the database (derived columns a
+// structure stops maintaining, e.g. a compacted-away index segment). The
+// next checkpoint simply omits it from the manifest. Dropping an unknown
+// name is a no-op.
+func (db *Database) DropBAT(name string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.bats, name)
+}
+
+// DropBATL is DropBAT for Structure hooks running under the database lock.
+func (db *Database) DropBATL(name string) { delete(db.bats, name) }
+
 // BATL fetches a BAT without taking the lock. It must only be called from
 // Structure hooks (Insert, Finalize), which the Database invokes while
 // already holding its write lock; calling BAT there would self-deadlock.

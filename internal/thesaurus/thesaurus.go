@@ -47,6 +47,19 @@ func Build(docs []Doc) *Thesaurus {
 		clen: map[string]int{},
 		df:   map[string]int{},
 	}
+	t.AddDocs(docs)
+	return t
+}
+
+// AddDocs folds additional training observations into the thesaurus. The
+// statistics are pure co-occurrence counts, so adding documents
+// incrementally yields exactly the thesaurus Build would construct from
+// the concatenated corpus — the property the online-indexing refresh path
+// relies on (delta publishes extend the shared thesaurus in place while
+// queries keep Associating concurrently).
+func (t *Thesaurus) AddDocs(docs []Doc) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for _, d := range docs {
 		if len(d.Words) == 0 {
 			continue
@@ -59,24 +72,15 @@ func Build(docs []Doc) *Thesaurus {
 				t.concepts = append(t.concepts, c)
 			}
 			for _, w := range d.Words {
+				if m[w] == 0 {
+					t.df[w]++
+				}
 				m[w]++
 				t.clen[c]++
 			}
 		}
 	}
 	sort.Strings(t.concepts)
-	seen := map[string]map[string]bool{}
-	for c, m := range t.tf {
-		for w := range m {
-			if seen[w] == nil {
-				seen[w] = map[string]bool{}
-			}
-			if !seen[w][c] {
-				seen[w][c] = true
-				t.df[w]++
-			}
-		}
-	}
 	var total int
 	for _, l := range t.clen {
 		total += l
@@ -84,7 +88,6 @@ func Build(docs []Doc) *Thesaurus {
 	if len(t.clen) > 0 {
 		t.avgLen = float64(total) / float64(len(t.clen))
 	}
-	return t
 }
 
 // Concepts lists the known concepts, sorted.
