@@ -50,6 +50,8 @@ func main() {
 		ckptEvery = flag.Duration("checkpoint-every", 0, "checkpoint the store on this interval (0 = only on shutdown/RPC)")
 		shards    = flag.Int("shards", 0, "shard the collection across N hash-partitioned stores (0 = reopen a store with its stored layout, or run unsharded when fresh)")
 		refrEvery = flag.Duration("refresh-every", 0, "incrementally index newly ingested documents on this interval, publishing a fresh snapshot epoch (0 = only via the Mirror.Refresh RPC); queries are never blocked by a refresh")
+
+		cacheBytes = flag.Int64("query-cache", 64<<20, "bytes of epoch-keyed query result cache (0 disables); entries are invalidated automatically when a refresh/recovery publishes a new epoch")
 	)
 	flag.Parse()
 	if *dictAddr == "" {
@@ -76,6 +78,7 @@ func main() {
 		}
 		r = m
 	}
+	setResultCache(r, *cacheBytes)
 
 	// A fully indexed, current recovered store serves immediately.
 	// Anything else — fresh store, no store, a store recovered from a
@@ -269,4 +272,13 @@ func openStore(dir string, shards int, walSync, verify, noMmap bool) core.Retrie
 	fmt.Printf("mirrord: store %s: %d BATs, %d WAL records replayed, %d items\n",
 		dir, stats.BATs, stats.WALRecords, m.Size())
 	return m
+}
+
+// setResultCache turns on the epoch-keyed query result cache for either
+// retriever shape (single store or sharded engine).
+func setResultCache(r core.Retriever, maxBytes int64) {
+	type cacheSetter interface{ SetResultCache(int64) }
+	if cs, ok := r.(cacheSetter); ok {
+		cs.SetResultCache(maxBytes)
+	}
 }

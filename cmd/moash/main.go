@@ -60,6 +60,7 @@ func main() {
 		load    = flag.String("load", "", "load a saved database directory (snapshot or sharded store root) instead of generating")
 		noPipe  = flag.Bool("no-pipeline", false, "skip the content pipeline (text-only)")
 		shardsN = flag.Int("shards", 0, "shard the demo collection across N in-memory stores (0 = unsharded)")
+		cacheB  = flag.Int64("query-cache", 0, "bytes of epoch-keyed query result cache for \\rank/\\dual (0 disables); invalidated automatically when \\refresh publishes a new epoch")
 	)
 	flag.Parse()
 
@@ -109,6 +110,11 @@ func main() {
 				log.Fatalf("moash: %v", err)
 			}
 		}
+	}
+	if sharded != nil {
+		sharded.SetResultCache(*cacheB)
+	} else if m, ok := r.(*core.Mirror); ok {
+		m.SetResultCache(*cacheB)
 	}
 	repl(r, sharded)
 }

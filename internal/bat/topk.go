@@ -158,6 +158,14 @@ func NewBoundedTopK[T any](k int, worse func(a, b T) bool) *BoundedTopK[T] {
 	return &BoundedTopK[T]{k: k, worse: worse, items: make([]T, 0, cap)}
 }
 
+// NewBoundedTopKInto is NewBoundedTopK reusing scratch's backing array
+// for the retained items (pass pooled scratch to avoid the per-selection
+// allocation; scratch may be nil). The selector owns scratch until
+// Items/Ranked hands the — possibly reallocated — slice back.
+func NewBoundedTopKInto[T any](scratch []T, k int, worse func(a, b T) bool) *BoundedTopK[T] {
+	return &BoundedTopK[T]{k: k, worse: worse, items: scratch[:0]}
+}
+
 // Full reports whether k elements are retained.
 func (h *BoundedTopK[T]) Full() bool { return len(h.items) >= h.k }
 

@@ -1,0 +1,131 @@
+package core
+
+// Result-cache benchmark: cold (compute + cache fill) vs cached p50 for
+// repeated top-k queries at collection scale, through the full core query
+// path. TestEmitQueryCacheBenchJSON merges its rows into the same
+// BENCH_queries.json the root TestEmitQueryBenchJSON writes (the CI
+// bench-smoke job runs the root emitter first, then this one), so the
+// perf trajectory carries the cold-vs-cached trade-off next to the
+// physical-layer numbers.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// cacheBenchN returns the benchmark collection size (override with
+// QUERY_CACHE_N).
+func cacheBenchN() int {
+	if s := os.Getenv("QUERY_CACHE_N"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 1_000_000
+}
+
+// cacheBenchQueries builds distinct two-term queries over the ingest
+// corpus vocabulary: enough keys for a meaningful cold p50.
+func cacheBenchQueries(n int) []string {
+	qs := make([]string, n)
+	for i := range qs {
+		qs[i] = fmt.Sprintf("w%03d w%03d", (i*37)%512, (i*113+7)%512)
+	}
+	return qs
+}
+
+func TestEmitQueryCacheBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_QUERIES_JSON")
+	if path == "" {
+		t.Skip("BENCH_QUERIES_JSON not set")
+	}
+	n := cacheBenchN()
+	urls, anns := ingestCorpus(n)
+	m, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range urls {
+		if err := m.AddImage(urls[i], anns[i], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.buildIndex(DefaultIndexOptions(), stubPipeline{}); err != nil {
+		t.Fatal(err)
+	}
+	m.SetResultCache(64 << 20)
+
+	const k = 10
+	queries := cacheBenchQueries(64)
+
+	// Cold: first execution per distinct query — full pruned retrieval
+	// plus the cache fill.
+	coldNs := make([]int64, 0, len(queries))
+	for _, q := range queries {
+		t0 := time.Now()
+		if _, err := m.QueryAnnotations(q, k); err != nil {
+			t.Fatal(err)
+		}
+		coldNs = append(coldNs, time.Since(t0).Nanoseconds())
+	}
+
+	// Warm: every query repeats against a populated cache on the same
+	// epoch — the repeated-query path the cache exists for.
+	warmNs := make([]int64, 0, 32*len(queries))
+	for rep := 0; rep < 32; rep++ {
+		for _, q := range queries {
+			t0 := time.Now()
+			if _, err := m.QueryAnnotations(q, k); err != nil {
+				t.Fatal(err)
+			}
+			warmNs = append(warmNs, time.Since(t0).Nanoseconds())
+		}
+	}
+	cold, warm := p50(coldNs), p50(warmNs)
+	if st := m.ResultCacheStats(); st.Hits < int64(len(warmNs)) {
+		t.Fatalf("warm passes should all hit: stats %+v, want >= %d hits", st, len(warmNs))
+	}
+
+	// The cached path must not allocate: the key is scalar-only, the hash
+	// is inlined, and the stored ranking is returned shared.
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := m.QueryAnnotations(queries[0], k); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cached query allocates %.1f objects/op, want 0", allocs)
+	}
+	if warm >= 100_000 {
+		t.Errorf("cache-warm p50 = %dns, want < 100µs", warm)
+	}
+
+	// Merge into the shared trajectory file (the root emitter writes it
+	// first in CI; standalone runs start a fresh map).
+	out := map[string]any{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatalf("existing %s is not a JSON object: %v", path, err)
+		}
+	}
+	out["cache_n_docs"] = n
+	out["cache_k"] = k
+	out["cache_queries"] = len(queries)
+	out["p50_query_cold_ns"] = cold
+	out["p50_query_cached_ns"] = warm
+	out["cached_allocs_per_op"] = allocs
+	out["cache_speedup"] = fmt.Sprintf("%.1f", float64(cold)/float64(warm))
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("result cache n=%d k=%d: cold p50 %.3fms, cached p50 %.1fµs (%.0fx), %.1f allocs/op cached",
+		n, k, float64(cold)/1e6, float64(warm)/1e3, float64(cold)/float64(warm), allocs)
+}

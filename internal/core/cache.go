@@ -1,0 +1,253 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Epoch-keyed query result cache.
+//
+// PR 5's epoch snapshots make invalidation trivial: every published
+// epoch carries a monotone sequence number, and cache entries are keyed
+// on it — an epoch swap (Refresh, recovery, rebuild) is a generation bump
+// that makes every old entry unreachable, with no locking against the
+// query path. The publish choke points (publishEpochLocked /
+// publishEngineEpochLocked) additionally sweep stale generations out so
+// their bytes return promptly.
+//
+// The cache is bounded by bytes with per-stripe LRU eviction. Stripes are
+// shared-nothing: a key hashes to exactly one stripe with its own mutex,
+// list and budget, so concurrent queries on different keys rarely
+// contend. Hits return a shared immutable []Hit — callers must treat
+// cached results as read-only (every caller in the tree renders or copies
+// them).
+
+// cacheKind separates the three ranked query surfaces in the key space.
+type cacheKind uint8
+
+const (
+	cacheAnnotations cacheKind = iota + 1
+	cacheContent
+	cacheDual
+)
+
+// cacheStripeCount is the number of shared-nothing stripes (power of two).
+const cacheStripeCount = 16
+
+// cacheKey is scalar-only so lookups allocate nothing.
+type cacheKey struct {
+	gen  int64 // epoch sequence number the result was computed against
+	kind cacheKind
+	k    int
+	hash uint64 // fnv64a over the query surface (text or terms)
+}
+
+// cacheEntry pins the query surface verbatim so a hash collision can
+// never serve a wrong result: hits are returned only when text and terms
+// match the stored key exactly.
+type cacheEntry struct {
+	key   cacheKey
+	text  string
+	terms []string
+	hits  []Hit
+	size  int64
+}
+
+type cacheStripe struct {
+	mu    sync.Mutex
+	lru   *list.List // front = most recently used; values are *cacheEntry
+	idx   map[cacheKey]*list.Element
+	bytes int64
+	max   int64
+}
+
+// resultCache is the engine-wide cache; the zero Pointer (nil *resultCache)
+// means caching is disabled, and all methods are nil-receiver safe.
+type resultCache struct {
+	stripes [cacheStripeCount]cacheStripe
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+// newResultCache builds a cache bounded to roughly maxBytes across all
+// stripes; maxBytes <= 0 returns nil (disabled).
+func newResultCache(maxBytes int64) *resultCache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	c := &resultCache{}
+	per := maxBytes / cacheStripeCount
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.stripes {
+		c.stripes[i].lru = list.New()
+		c.stripes[i].idx = make(map[cacheKey]*list.Element)
+		c.stripes[i].max = per
+	}
+	return c
+}
+
+// cacheHash is fnv64a over the query surface; inlined byte-at-a-time so a
+// cache hit performs zero allocations.
+func cacheHash(text string, terms []string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(text); i++ {
+		h = (h ^ uint64(text[i])) * prime64
+	}
+	for _, t := range terms {
+		h = (h ^ 0xff) * prime64 // term separator
+		for i := 0; i < len(t); i++ {
+			h = (h ^ uint64(t[i])) * prime64
+		}
+	}
+	return h
+}
+
+// matches reports whether the entry was stored for exactly this query
+// surface (collision guard).
+func (e *cacheEntry) matches(text string, terms []string) bool {
+	if e.text != text || len(e.terms) != len(terms) {
+		return false
+	}
+	for i := range terms {
+		if e.terms[i] != terms[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// get returns the cached ranking for (gen, kind, k, surface) and whether
+// it was present. The returned slice is shared: read-only for the caller.
+// k <= 0 requests (full rankings) are never cached.
+func (c *resultCache) get(gen int64, kind cacheKind, k int, text string, terms []string) ([]Hit, bool) {
+	if c == nil || k <= 0 {
+		return nil, false
+	}
+	key := cacheKey{gen: gen, kind: kind, k: k, hash: cacheHash(text, terms)}
+	st := &c.stripes[key.hash&(cacheStripeCount-1)]
+	st.mu.Lock()
+	el, ok := st.idx[key]
+	if ok {
+		e := el.Value.(*cacheEntry)
+		if e.matches(text, terms) {
+			st.lru.MoveToFront(el)
+			hits := e.hits
+			st.mu.Unlock()
+			c.hits.Add(1)
+			return hits, true
+		}
+	}
+	st.mu.Unlock()
+	c.misses.Add(1)
+	return nil, false
+}
+
+// put stores a computed ranking. The hits slice is retained and shared
+// with future get callers; the query surface is copied (callers may reuse
+// their terms slice). Entries larger than a whole stripe are not cached.
+func (c *resultCache) put(gen int64, kind cacheKind, k int, text string, terms []string, hits []Hit) {
+	if c == nil || k <= 0 {
+		return
+	}
+	key := cacheKey{gen: gen, kind: kind, k: k, hash: cacheHash(text, terms)}
+	e := &cacheEntry{key: key, text: text, hits: hits}
+	if len(terms) > 0 {
+		e.terms = append(make([]string, 0, len(terms)), terms...)
+	}
+	e.size = cacheEntrySize(e)
+	st := &c.stripes[key.hash&(cacheStripeCount-1)]
+	if e.size > st.max {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if el, ok := st.idx[key]; ok {
+		// Lost a race with another miss on the same key: keep the
+		// incumbent (both were computed against the same epoch).
+		st.lru.MoveToFront(el)
+		return
+	}
+	st.idx[key] = st.lru.PushFront(e)
+	st.bytes += e.size
+	for st.bytes > st.max {
+		back := st.lru.Back()
+		if back == nil {
+			break
+		}
+		st.evictLocked(back)
+	}
+}
+
+// evictLocked removes one entry; the stripe mutex is held.
+func (st *cacheStripe) evictLocked(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	st.lru.Remove(el)
+	delete(st.idx, e.key)
+	st.bytes -= e.size
+}
+
+// sweep drops every entry computed against a generation older than gen.
+// Publishing an epoch calls this: correctness never depends on it (stale
+// generations can no longer be looked up), it just returns the bytes.
+func (c *resultCache) sweep(gen int64) {
+	if c == nil {
+		return
+	}
+	for i := range c.stripes {
+		st := &c.stripes[i]
+		st.mu.Lock()
+		var next *list.Element
+		for el := st.lru.Front(); el != nil; el = next {
+			next = el.Next()
+			if el.Value.(*cacheEntry).key.gen < gen {
+				st.evictLocked(el)
+			}
+		}
+		st.mu.Unlock()
+	}
+}
+
+// cacheEntrySize estimates the entry's resident bytes (slice headers,
+// strings, map/list bookkeeping) for the LRU budget.
+func cacheEntrySize(e *cacheEntry) int64 {
+	n := int64(128) // entry struct + list element + index slot overhead
+	n += int64(len(e.text))
+	for _, t := range e.terms {
+		n += int64(len(t)) + 16
+	}
+	for _, h := range e.hits {
+		n += int64(len(h.URL)) + 32
+	}
+	return n
+}
+
+// CacheStats reports result-cache effectiveness counters.
+type CacheStats struct {
+	Hits   int64
+	Misses int64
+	Bytes  int64
+	Items  int
+}
+
+// stats snapshots the counters (nil-safe, like every method).
+func (c *resultCache) stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	s := CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	for i := range c.stripes {
+		st := &c.stripes[i]
+		st.mu.Lock()
+		s.Bytes += st.bytes
+		s.Items += st.lru.Len()
+		st.mu.Unlock()
+	}
+	return s
+}

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"mirror/internal/ir"
+)
+
+// TestCacheDifferentialSingle: with the result cache enabled, every query
+// answer must be hit-for-hit identical to an uncached twin store — before
+// an epoch swap, and (the invalidation guarantee) after AddImage+Refresh
+// publishes a new epoch. Each round queries twice, so the second pass is
+// served from the cache.
+func TestCacheDifferentialSingle(t *testing.T) {
+	urls, anns := refreshCorpus(40, 3)
+	plain := oneShotStub(t, urls[:25], anns[:25])
+	cached := oneShotStub(t, urls[:25], anns[:25])
+	cached.SetResultCache(1 << 20)
+
+	assertSameRetrieval(t, "single cold", plain, cached, 10)
+	assertSameRetrieval(t, "single warm", plain, cached, 10)
+	if st := cached.ResultCacheStats(); st.Hits == 0 {
+		t.Fatalf("warm pass never hit the cache, stats = %+v", st)
+	}
+
+	for i := 25; i < 40; i++ {
+		if err := plain.AddImage(urls[i], anns[i], nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := cached.AddImage(urls[i], anns[i], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refreshStub(t, plain)
+	refreshStub(t, cached)
+
+	// The refresh published a new epoch: the old generation's entries must
+	// be unreachable, so the cached store answers from the new snapshot.
+	assertSameRetrieval(t, "single post-refresh cold", plain, cached, 10)
+	assertSameRetrieval(t, "single post-refresh warm", plain, cached, 10)
+}
+
+// TestCacheDifferentialSharded repeats the guarantee over the
+// scatter-gather engine for N ∈ {1, 2, 8} shards.
+func TestCacheDifferentialSharded(t *testing.T) {
+	urls, anns := refreshCorpus(40, 3)
+	for _, shards := range []int{1, 2, 8} {
+		build := func() *ShardedEngine {
+			e, err := NewSharded(shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 25; i++ {
+				if err := e.AddImage(urls[i], anns[i], nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := e.buildIndex(DefaultIndexOptions(), stubPipeline{}); err != nil {
+				t.Fatal(err)
+			}
+			return e
+		}
+		plain, cached := build(), build()
+		cached.SetResultCache(1 << 20)
+
+		label := fmt.Sprintf("%d shards", shards)
+		assertSameRetrieval(t, label+" cold", plain, cached, 10)
+		assertSameRetrieval(t, label+" warm", plain, cached, 10)
+		if st := cached.ResultCacheStats(); st.Hits == 0 {
+			t.Fatalf("%s: warm pass never hit the cache, stats = %+v", label, st)
+		}
+
+		for i := 25; i < 40; i++ {
+			if err := plain.AddImage(urls[i], anns[i], nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := cached.AddImage(urls[i], anns[i], nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		engineRefreshStub(t, plain)
+		engineRefreshStub(t, cached)
+
+		assertSameRetrieval(t, label+" post-refresh cold", plain, cached, 10)
+		assertSameRetrieval(t, label+" post-refresh warm", plain, cached, 10)
+	}
+}
+
+// TestCacheUnit exercises the resultCache directly: keying, LRU byte
+// budget, generation sweep, counters, and the disabled (nil) cache.
+func TestCacheUnit(t *testing.T) {
+	hits := []Hit{{OID: 1, URL: "img://a", Score: 0.9}, {OID: 2, URL: "img://b", Score: 0.5}}
+
+	t.Run("nil cache is inert", func(t *testing.T) {
+		var c *resultCache
+		c.put(1, cacheDual, 10, "q", nil, hits)
+		if _, ok := c.get(1, cacheDual, 10, "q", nil); ok {
+			t.Fatal("nil cache returned a hit")
+		}
+		c.sweep(2)
+		if st := c.stats(); st != (CacheStats{}) {
+			t.Fatalf("nil cache stats = %+v", st)
+		}
+		if newResultCache(0) != nil || newResultCache(-1) != nil {
+			t.Fatal("non-positive budget must disable the cache")
+		}
+	})
+
+	t.Run("key dimensions", func(t *testing.T) {
+		c := newResultCache(1 << 20)
+		c.put(1, cacheDual, 10, "q", nil, hits)
+		if got, ok := c.get(1, cacheDual, 10, "q", nil); !ok || !hitsEqual(got, hits) {
+			t.Fatal("exact-key get missed")
+		}
+		for _, miss := range []func() ([]Hit, bool){
+			func() ([]Hit, bool) { return c.get(2, cacheDual, 10, "q", nil) },        // other epoch
+			func() ([]Hit, bool) { return c.get(1, cacheAnnotations, 10, "q", nil) }, // other surface
+			func() ([]Hit, bool) { return c.get(1, cacheDual, 5, "q", nil) },         // other k
+			func() ([]Hit, bool) { return c.get(1, cacheDual, 10, "r", nil) },        // other text
+		} {
+			if _, ok := miss(); ok {
+				t.Fatal("get hit on a differing key dimension")
+			}
+		}
+		// Term queries key on the term list, order-sensitively.
+		c.put(1, cacheContent, 10, "", []string{"c1", "c2"}, hits)
+		if _, ok := c.get(1, cacheContent, 10, "", []string{"c1", "c2"}); !ok {
+			t.Fatal("terms get missed")
+		}
+		if _, ok := c.get(1, cacheContent, 10, "", []string{"c2", "c1"}); ok {
+			t.Fatal("terms get ignored order")
+		}
+	})
+
+	t.Run("full rankings bypass", func(t *testing.T) {
+		c := newResultCache(1 << 20)
+		c.put(1, cacheDual, 0, "q", nil, hits)
+		if _, ok := c.get(1, cacheDual, 0, "q", nil); ok {
+			t.Fatal("k <= 0 must never be cached")
+		}
+	})
+
+	t.Run("byte budget evicts LRU", func(t *testing.T) {
+		const budget = 16 * 1024
+		c := newResultCache(budget)
+		for i := 0; i < 4096; i++ {
+			c.put(1, cacheDual, 10, fmt.Sprintf("query-%04d", i), nil, hits)
+		}
+		st := c.stats()
+		if st.Bytes > budget {
+			t.Fatalf("cache holds %d bytes, budget %d", st.Bytes, budget)
+		}
+		if st.Items == 0 {
+			t.Fatal("eviction emptied the cache entirely")
+		}
+		if _, ok := c.get(1, cacheDual, 10, "query-4095", nil); !ok {
+			t.Fatal("most recently inserted entry was evicted")
+		}
+	})
+
+	t.Run("sweep drops stale generations", func(t *testing.T) {
+		c := newResultCache(1 << 20)
+		c.put(1, cacheDual, 10, "old", nil, hits)
+		c.put(2, cacheDual, 10, "new", nil, hits)
+		c.sweep(2)
+		if _, ok := c.get(1, cacheDual, 10, "old", nil); ok {
+			t.Fatal("swept generation still served")
+		}
+		if _, ok := c.get(2, cacheDual, 10, "new", nil); !ok {
+			t.Fatal("current generation swept by mistake")
+		}
+		if st := c.stats(); st.Items != 1 {
+			t.Fatalf("items after sweep = %d, want 1", st.Items)
+		}
+	})
+
+	t.Run("collision guard", func(t *testing.T) {
+		e := &cacheEntry{text: "q", terms: []string{"a"}}
+		if !e.matches("q", []string{"a"}) {
+			t.Fatal("exact surface rejected")
+		}
+		if e.matches("q", []string{"b"}) || e.matches("p", []string{"a"}) || e.matches("q", nil) {
+			t.Fatal("differing surface accepted — a hash collision could serve wrong results")
+		}
+	})
+}
+
+// TestAlphaOneMatchesUnweightedSum pins the Rocchio Alpha fix to the old
+// behaviour at the default: Session.Run with Alpha = 1 must reproduce the
+// plain #sum combination bit-for-bit (CombineWSum with weights {1, 1} is
+// arithmetically identical to CombineSum), so existing callers see no
+// change.
+func TestAlphaOneMatchesUnweightedSum(t *testing.T) {
+	urls, anns := refreshCorpus(30, 5)
+	m := oneShotStub(t, urls, anns)
+	sess, err := m.NewSession("harbor gull")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed the content query from real indexed cluster words so the
+	// content evidence is non-trivial.
+	for _, h := range queryAnn(t, m, "harbor", 6) {
+		for _, w := range m.ContentTerms(h.OID) {
+			sess.weights[w] += 0.5
+		}
+	}
+	if len(sess.weights) == 0 {
+		t.Fatal("stub corpus yielded no cluster words to weight")
+	}
+
+	got, err := sess.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Recompute the pre-Alpha combination by hand: plain #sum over text
+	// and weighted content evidence.
+	textHits := queryAnn(t, m, sess.Text, 0)
+	ts := hitsToScores(textHits)
+	terms, ws := sess.ClusterWeights()
+	var wtot float64
+	for _, w := range ws {
+		wtot += w
+	}
+	cs, err := m.WeightedContentScores(terms, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, err := ir.CombineSum(
+		[]ir.Scores{ts, cs},
+		[]float64{float64(len(ir.Analyze(sess.Text))) * ir.DefaultBelief, wtot * ir.DefaultBelief},
+	)
+	ir.ReleaseScores(ts)
+	ir.ReleaseScores(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := scoresToHits(m, combined, 10)
+	ir.ReleaseScores(combined)
+
+	if !hitsEqual(want, got) {
+		t.Fatalf("Alpha=1 Run diverges from the unweighted #sum:\n  want %v\n  got  %v", want, got)
+	}
+}
+
+// TestAlphaReweightsTextEvidence: the previously dead Alpha gain now
+// actually shifts the combination — raising it moves every document's
+// score toward its text evidence, exactly per the #wsum semantics.
+func TestAlphaReweightsTextEvidence(t *testing.T) {
+	urls, anns := refreshCorpus(30, 5)
+	m := oneShotStub(t, urls, anns)
+	sess, err := m.NewSession("harbor gull")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range queryAnn(t, m, "tide", 6) {
+		for _, w := range m.ContentTerms(h.OID) {
+			sess.weights[w] += 0.5
+		}
+	}
+	if len(sess.weights) == 0 {
+		t.Fatal("stub corpus yielded no cluster words to weight")
+	}
+
+	base, err := sess.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Alpha = 3
+	boosted, err := sess.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hitsEqual(base, boosted) {
+		t.Fatal("changing Alpha left the ranking untouched — the gain is still dead")
+	}
+
+	// Cross-check one document against the #wsum formula directly.
+	textHits := queryAnn(t, m, sess.Text, 0)
+	ts := hitsToScores(textHits)
+	terms, ws := sess.ClusterWeights()
+	var wtot float64
+	for _, w := range ws {
+		wtot += w
+	}
+	cs, err := m.WeightedContentScores(terms, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ir.CombineWSum(
+		[]ir.Scores{ts, cs},
+		[]float64{3, 1},
+		[]float64{float64(len(ir.Analyze(sess.Text))) * ir.DefaultBelief, wtot * ir.DefaultBelief},
+	)
+	ir.ReleaseScores(ts)
+	ir.ReleaseScores(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range boosted {
+		if s, ok := want[uint64(h.OID)]; !ok || s != h.Score {
+			ir.ReleaseScores(want)
+			t.Fatalf("doc %d: Run score %v, #wsum formula %v", h.OID, h.Score, s)
+		}
+	}
+	ir.ReleaseScores(want)
+}
+
+func queryAnn(t *testing.T, m *Mirror, text string, k int) []Hit {
+	t.Helper()
+	hits, err := m.QueryAnnotations(text, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hits
+}

@@ -92,6 +92,11 @@ type Mirror struct {
 	epochSeq int64 // last published epoch number (persisted)
 	buildMu  sync.Mutex
 
+	// cache is the optional epoch-keyed query result cache (SetResultCache);
+	// nil (the default) disables caching. Entries are keyed on the epoch
+	// sequence number, so every publish invalidates them for free.
+	cache atomic.Pointer[resultCache]
+
 	// codebook freezes the feature clustering of the last full build so
 	// delta refreshes can assign new documents to the existing clusters
 	// (full re-clustering stays an explicit offline BuildContentIndex).
@@ -322,29 +327,17 @@ func (m *Mirror) urlOf(oid bat.OID) string {
 	return s
 }
 
-// rowWorse reports whether row a ranks strictly after row b under the
-// SortByScoreDesc order: float scores descending, non-float values last,
-// ties by ascending OID.
-func rowWorse(a, b moa.Row) bool {
-	fa, oka := a.Value.(float64)
-	fb, okb := b.Value.(float64)
-	switch {
-	case oka && okb && fa != fb:
-		return fa < fb
-	case oka != okb:
-		return okb
-	}
-	return a.OID > b.OID
+// SetResultCache installs (or, with maxBytes <= 0, removes) an
+// epoch-keyed query result cache bounded to roughly maxBytes. Safe to
+// call at any time; in-flight queries keep using the cache they loaded.
+func (m *Mirror) SetResultCache(maxBytes int64) {
+	m.cache.Store(newResultCache(maxBytes))
 }
 
-// topKRows selects the k best rows on the shared bounded selector;
-// identical output to a full SortByScoreDesc cut at k.
-func topKRows(rows []moa.Row, k int) []moa.Row {
-	h := bat.NewBoundedTopK(k, rowWorse)
-	for _, r := range rows {
-		h.Offer(r)
-	}
-	return h.Ranked()
+// ResultCacheStats reports the result cache's effectiveness counters
+// (zero when caching is disabled).
+func (m *Mirror) ResultCacheStats() CacheStats {
+	return m.cache.Load().stats()
 }
 
 // AnalyzeQuery exposes the text analysis pipeline used for queries.

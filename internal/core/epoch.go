@@ -90,6 +90,9 @@ func (m *Mirror) publishEpochLocked() error {
 	// query lets go of them.
 	runtime.SetFinalizer(ep, func(e *IndexEpoch) { ir.ReleaseDBCaches(e.DB) })
 	m.epoch.Store(ep)
+	// The new sequence number invalidates every cached result for free;
+	// sweeping just returns the stale generations' bytes promptly.
+	m.cache.Load().sweep(ep.Seq)
 	return nil
 }
 
@@ -148,7 +151,7 @@ func rankRowsResolved(r urlResolver, res *moa.Result, k int) []Hit {
 	case res.Ranked:
 		// already ranked by the pruned operator; defensive cut only
 	case k > 0 && k < len(rows):
-		rows = topKRows(rows, k)
+		rows = moa.TopKRows(rows, k)
 	default:
 		res.SortByScoreDesc()
 		rows = res.Rows
@@ -227,7 +230,7 @@ func (ep *IndexEpoch) weightedContentScores(terms []string, weights []float64) (
 	if err != nil {
 		return nil, err
 	}
-	out := make(ir.Scores, scored.Len())
+	out := ir.NewScores()
 	for i := 0; i < scored.Len(); i++ {
 		out[uint64(scored.Head.OIDAt(i))] = scored.Tail.FloatAt(i)
 	}

@@ -24,7 +24,9 @@ type Session struct {
 	weights   map[string]float64 // cluster word → weight
 	Round     int
 
-	// Rocchio-style update gains.
+	// Rocchio-style gains: Alpha scales the original text query's
+	// evidence when Run combines it with the weighted content evidence;
+	// Beta/Gamma are the per-judgment feedback gains Feedback applies.
 	Alpha, Beta, Gamma float64
 }
 
@@ -79,7 +81,11 @@ func (s *Session) ClusterWeights() ([]string, []float64) {
 }
 
 // Run evaluates the current session query and returns the top k hits:
-// text evidence plus weighted content evidence combined with #sum.
+// text evidence plus weighted content evidence combined with #wsum, the
+// text term weighted by the session's Rocchio Alpha gain (Alpha = 1, the
+// default, reduces to the unweighted #sum exactly). Every borrowed Scores
+// map is released on every path, including error returns
+// (poolcheck-enforced).
 func (s *Session) Run(k int) ([]Hit, error) {
 	textHits, err := s.m.QueryAnnotations(s.Text, 0)
 	if err != nil {
@@ -95,16 +101,20 @@ func (s *Session) Run(k int) ([]Hit, error) {
 	if len(terms) > 0 {
 		cs, err = s.m.WeightedContentScores(terms, ws)
 		if err != nil {
+			ir.ReleaseScores(cs) // nil on error; release is nil-safe
+			ir.ReleaseScores(ts)
 			return nil, err
 		}
 	}
-	combined, err := ir.CombineSum(
+	combined, err := ir.CombineWSum(
 		[]ir.Scores{ts, cs},
+		[]float64{s.Alpha, 1},
 		[]float64{float64(len(s.textTerms)) * ir.DefaultBelief, wtot * ir.DefaultBelief},
 	)
 	ir.ReleaseScores(ts)
 	ir.ReleaseScores(cs)
 	if err != nil {
+		ir.ReleaseScores(combined)
 		return nil, err
 	}
 	hits := scoresToHits(s.m, combined, k)

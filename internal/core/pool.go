@@ -1,0 +1,47 @@
+package core
+
+import (
+	"sync"
+
+	"mirror/internal/ir"
+)
+
+// Pooled ranking scratch: borrow/return discipline for []ir.Ranked slices.
+//
+// The combined-evidence query paths rank on every request; the heap/sort
+// scratch is recycled through rankedPool behind borrowRanked/releaseRanked.
+// Call sites thread the slice through ir.RankInto in the
+// `ranked = ir.RankInto(ranked, ...)` style (RankInto may grow the backing
+// array) and release exactly once on every path. internal/lint/poolcheck
+// enforces the discipline statically; the pooldebug build tag counts live
+// borrows and poisons released slices.
+//
+// Raw rankedPool access outside this file is a poolcheck diagnostic.
+//
+//poolcheck:poolfile
+
+// maxPooledRanked bounds the capacity of slices the pool retains: the
+// k<=0 dual-coding/session paths rank the whole collection, and pooling
+// that scratch would pin O(collection) memory per P forever.
+const maxPooledRanked = 1 << 14
+
+// rankedPool recycles the []ir.Ranked scratch between queries.
+var rankedPool = sync.Pool{New: func() any { return make([]ir.Ranked, 0, 128) }}
+
+// borrowRanked returns an empty ranking scratch slice; pass it to
+// ir.RankInto and hand the result back with releaseRanked exactly once.
+func borrowRanked() []ir.Ranked {
+	r := rankedPool.Get().([]ir.Ranked)
+	rankedBorrowed()
+	return r
+}
+
+// releaseRanked returns ranking scratch to the pool. Oversized backing
+// arrays (full-collection rankings) are dropped instead of pooled.
+func releaseRanked(r []ir.Ranked) {
+	rankedReleased(r)
+	if cap(r) > maxPooledRanked {
+		return
+	}
+	rankedPool.Put(r[:0]) //nolint:staticcheck // slice reuse is the point
+}

@@ -1,0 +1,34 @@
+//go:build pooldebug
+
+package core
+
+import (
+	"math"
+	"sync/atomic"
+
+	"mirror/internal/ir"
+)
+
+// pooldebug: dynamic accounting for the []ir.Ranked scratch pool.
+//
+// Slice identity is not stable across RankInto (append may reallocate the
+// backing array), so unlike the ir.Scores registry this tracks a live
+// counter rather than pointers: leak tests snapshot LiveRanked around a
+// query path and require the delta be zero. Released slices have their
+// retained capacity poisoned so a stale alias reads garbage loudly.
+//
+//poolcheck:poolfile
+
+var rankedLive atomic.Int64
+
+func rankedBorrowed() { rankedLive.Add(1) }
+
+func rankedReleased(r []ir.Ranked) {
+	rankedLive.Add(-1)
+	for i := range r[:cap(r)] {
+		r[:cap(r)][i] = ir.Ranked{Doc: ^uint64(0), Score: math.NaN()}
+	}
+}
+
+// LiveRanked reports the number of borrowed-but-unreleased ranking slices.
+func LiveRanked() int { return int(rankedLive.Load()) }

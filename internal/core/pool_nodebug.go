@@ -1,0 +1,15 @@
+//go:build !pooldebug
+
+package core
+
+import "mirror/internal/ir"
+
+// Release builds: pool accounting hooks compile to nothing. Build with
+// -tags pooldebug for live-borrow counting and released-slice poisoning.
+
+func rankedBorrowed()            {}
+func rankedReleased([]ir.Ranked) {}
+
+// LiveRanked reports the number of borrowed-but-unreleased ranking
+// slices. It always returns 0 unless built with -tags pooldebug.
+func LiveRanked() int { return 0 }

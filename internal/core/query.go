@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sync"
-
 	"mirror/internal/bat"
 	"mirror/internal/ir"
 	"mirror/internal/moa"
@@ -36,7 +34,15 @@ func (m *Mirror) QueryAnnotations(text string, k int) ([]Hit, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ep.queryAnnotations(text, k)
+	c := m.cache.Load()
+	if hits, ok := c.get(ep.Seq, cacheAnnotations, k, text, nil); ok {
+		return hits, nil
+	}
+	hits, err := ep.queryAnnotations(text, k)
+	if err == nil {
+		c.put(ep.Seq, cacheAnnotations, k, text, nil, hits)
+	}
+	return hits, err
 }
 
 // QueryContent ranks the library by image content given cluster words
@@ -47,7 +53,15 @@ func (m *Mirror) QueryContent(clusterWords []string, k int) ([]Hit, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ep.queryContent(clusterWords, k)
+	c := m.cache.Load()
+	if hits, ok := c.get(ep.Seq, cacheContent, k, "", clusterWords); ok {
+		return hits, nil
+	}
+	hits, err := ep.queryContent(clusterWords, k)
+	if err == nil {
+		c.put(ep.Seq, cacheContent, k, "", clusterWords, hits)
+	}
+	return hits, err
 }
 
 // expandConcepts is the one query-expansion implementation behind every
@@ -81,7 +95,15 @@ func (m *Mirror) QueryDualCoding(text string, k int) ([]Hit, error) {
 	if err != nil {
 		return nil, err
 	}
-	return queryDualCoding(ep, text, k)
+	c := m.cache.Load()
+	if hits, ok := c.get(ep.Seq, cacheDual, k, text, nil); ok {
+		return hits, nil
+	}
+	hits, err := queryDualCoding(ep, text, k)
+	if err == nil {
+		c.put(ep.Seq, cacheDual, k, text, nil, hits)
+	}
+	return hits, err
 }
 
 // dualCodingSite is the retrieval surface dual coding combines evidence
@@ -96,20 +118,23 @@ type dualCodingSite interface {
 }
 
 // queryDualCoding implements QueryDualCoding over any retrieval site.
+// Every borrowed Scores map is released on every path, including the
+// error returns (poolcheck-enforced).
 func queryDualCoding(site dualCodingSite, text string, k int) ([]Hit, error) {
 	textHits, err := site.QueryAnnotations(text, 0)
 	if err != nil {
 		return nil, err
 	}
+	ts := hitsToScores(textHits)
 	clusterWords := site.ExpandQuery(text, 5)
 	var contentHits []Hit
 	if len(clusterWords) > 0 {
 		contentHits, err = site.QueryContent(clusterWords, 0)
 		if err != nil {
+			ir.ReleaseScores(ts)
 			return nil, err
 		}
 	}
-	ts := hitsToScores(textHits)
 	cs := hitsToScores(contentHits)
 	nText := float64(len(ir.Analyze(text)))
 	nContent := float64(len(clusterWords))
@@ -120,6 +145,7 @@ func queryDualCoding(site dualCodingSite, text string, k int) ([]Hit, error) {
 	ir.ReleaseScores(ts)
 	ir.ReleaseScores(cs)
 	if err != nil {
+		ir.ReleaseScores(combined)
 		return nil, err
 	}
 	hits := scoresToHits(site, combined, k)
@@ -127,25 +153,25 @@ func queryDualCoding(site dualCodingSite, text string, k int) ([]Hit, error) {
 	return hits, nil
 }
 
-// rankedPool recycles the []ir.Ranked scratch between queries (the
-// combined-evidence paths rank on every request).
-var rankedPool = sync.Pool{New: func() any { return make([]ir.Ranked, 0, 128) }}
-
 // scoresToHits ranks a combined score map and resolves URLs; k > 0 cuts
-// with the bounded partial selection. The ranking scratch is pooled.
+// with the bounded partial selection. The ranking scratch is pooled;
+// RankInto may grow the backing array, so the borrow is threaded through
+// the same variable.
 func scoresToHits(r urlResolver, s ir.Scores, k int) []Hit {
-	ranked := ir.RankInto(rankedPool.Get().([]ir.Ranked), s, k)
+	ranked := borrowRanked()
+	ranked = ir.RankInto(ranked, s, k)
 	hits := make([]Hit, 0, len(ranked))
 	for _, rk := range ranked {
 		hits = append(hits, Hit{OID: bat.OID(rk.Doc), URL: r.urlOf(bat.OID(rk.Doc)), Score: rk.Score})
 	}
-	rankedPool.Put(ranked[:0]) //nolint:staticcheck // slice reuse is the point
+	releaseRanked(ranked)
 	return hits
 }
 
 // WeightedContentScores scores the internal set's image CONTREP with
 // per-term weights via the wsum physical operator; this is the primitive
-// the relevance feedback loop uses.
+// the relevance feedback loop uses. The returned map is pooled scratch:
+// the caller owns it and releases it with ir.ReleaseScores when done.
 func (m *Mirror) WeightedContentScores(terms []string, weights []float64) (ir.Scores, error) {
 	ep, err := m.requireEpoch()
 	if err != nil {

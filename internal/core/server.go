@@ -153,7 +153,7 @@ func (s *Service) MoaQuery(args MoaQueryArgs, reply *MoaQueryReply) error {
 		// Exhaustive fallback: rank and cut server-side, so the wire
 		// carries only the k best rows either way.
 		if args.K < len(rows) {
-			rows = topKRows(rows, args.K)
+			rows = moa.TopKRows(rows, args.K)
 		} else {
 			res.SortByScoreDesc()
 			rows = res.Rows

@@ -74,6 +74,13 @@ type ShardedEngine struct {
 	epochSeq int64
 	buildMu  sync.Mutex
 
+	// cache is the optional epoch-keyed query result cache
+	// (SetResultCache); nil disables caching. Keyed on the engine epoch
+	// sequence number, so every engine-level publish invalidates it for
+	// free. One cache serves the whole engine (results carry global OIDs);
+	// internally it is striped shared-nothing.
+	cache atomic.Pointer[resultCache]
+
 	// Frozen content model and running global collection statistics (the
 	// exact integer bookkeeping behind df/N/avgdl), maintained
 	// incrementally at each refresh and rebuilt from shard state on open.
@@ -434,6 +441,9 @@ func (e *ShardedEngine) publishEngineEpochLocked(docs int) {
 	for i, sh := range e.shards {
 		shardEps[i] = sh.currentEpoch()
 	}
+	// The new sequence number invalidates every cached result for free;
+	// sweeping just returns the stale generations' bytes promptly.
+	defer e.cache.Load().sweep(e.epochSeq)
 	e.epoch.Store(&engineEpoch{
 		seq:    e.epochSeq,
 		docs:   docs,
@@ -769,18 +779,36 @@ func topKHits(hits []Hit, k int) []Hit {
 // QueryAnnotations ranks the whole collection against a free-text query —
 // scatter, then gather; see Mirror.QueryAnnotations for semantics.
 func (e *ShardedEngine) QueryAnnotations(text string, k int) ([]Hit, error) {
-	if err := e.requireIndex(); err != nil {
-		return nil, err
+	ee := e.epoch.Load()
+	if ee == nil {
+		return nil, ErrNotIndexed
 	}
-	return e.gatherHits(annotationQuery, ir.QueryParams(ir.Analyze(text)), k)
+	c := e.cache.Load()
+	if hits, ok := c.get(ee.seq, cacheAnnotations, k, text, nil); ok {
+		return hits, nil
+	}
+	hits, err := ee.gatherHits(annotationQuery, ir.QueryParams(ir.Analyze(text)), k)
+	if err == nil {
+		c.put(ee.seq, cacheAnnotations, k, text, nil, hits)
+	}
+	return hits, err
 }
 
 // QueryContent ranks by image content given cluster words.
 func (e *ShardedEngine) QueryContent(clusterWords []string, k int) ([]Hit, error) {
-	if err := e.requireIndex(); err != nil {
-		return nil, err
+	ee := e.epoch.Load()
+	if ee == nil {
+		return nil, ErrNotIndexed
 	}
-	return e.gatherHits(contentQuery, ir.QueryParams(clusterWords), k)
+	c := e.cache.Load()
+	if hits, ok := c.get(ee.seq, cacheContent, k, "", clusterWords); ok {
+		return hits, nil
+	}
+	hits, err := ee.gatherHits(contentQuery, ir.QueryParams(clusterWords), k)
+	if err == nil {
+		c.put(ee.seq, cacheContent, k, "", clusterWords, hits)
+	}
+	return hits, err
 }
 
 // QueryDualCoding combines annotation and content evidence (#sum); the
@@ -791,7 +819,28 @@ func (e *ShardedEngine) QueryDualCoding(text string, k int) ([]Hit, error) {
 	if ee == nil {
 		return nil, ErrNotIndexed
 	}
-	return queryDualCoding(ee, text, k)
+	c := e.cache.Load()
+	if hits, ok := c.get(ee.seq, cacheDual, k, text, nil); ok {
+		return hits, nil
+	}
+	hits, err := queryDualCoding(ee, text, k)
+	if err == nil {
+		c.put(ee.seq, cacheDual, k, text, nil, hits)
+	}
+	return hits, err
+}
+
+// SetResultCache installs (or, with maxBytes <= 0, removes) an
+// epoch-keyed query result cache bounded to roughly maxBytes, shared by
+// all shards (the gathered results it stores carry global OIDs).
+func (e *ShardedEngine) SetResultCache(maxBytes int64) {
+	e.cache.Store(newResultCache(maxBytes))
+}
+
+// ResultCacheStats reports the result cache's effectiveness counters
+// (zero when caching is disabled).
+func (e *ShardedEngine) ResultCacheStats() CacheStats {
+	return e.cache.Load().stats()
 }
 
 // ExpandQuery maps free text to associated content clusters via the
@@ -812,15 +861,20 @@ func (e *ShardedEngine) WeightedContentScores(terms []string, weights []float64)
 	err := fanOutEps(ee.shards, func(s int, ep *IndexEpoch) error {
 		scores, err := ep.weightedContentScores(terms, weights)
 		if err != nil {
+			ir.ReleaseScores(scores) // nil on error; release is nil-safe
 			return err
 		}
+		// The shard-local map is pooled scratch: remap to global OIDs into
+		// a plain map (perShard escapes the borrow scope) and release.
 		out := make(ir.Scores, len(scores))
 		for local, score := range scores {
 			if local >= uint64(len(ep.globals)) {
+				ir.ReleaseScores(scores)
 				return fmt.Errorf("local OID %d beyond %d mapped documents", local, len(ep.globals))
 			}
 			out[ep.globals[local]] = score
 		}
+		ir.ReleaseScores(scores)
 		perShard[s] = out
 		return nil
 	})
@@ -920,7 +974,7 @@ func (e *ShardedEngine) QueryTopK(src string, queryTerms []string, k int) (*moa.
 	}
 	out := &moa.Result{T: results[0].T}
 	if k > 0 {
-		merged := bat.NewBoundedTopK(k, rowWorse)
+		merged := bat.NewBoundedTopK(k, moa.RowWorse)
 		for _, res := range results {
 			for _, row := range res.Rows {
 				merged.Offer(row)

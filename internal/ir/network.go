@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"sync"
 
 	"mirror/internal/bat"
 )
@@ -49,34 +48,18 @@ type Stats struct {
 // Scores maps document OIDs (as uint64 for package independence) to
 // beliefs. The combination operators implement the query formulation model
 // of the inference network: #sum, #wsum, #and, #or, #not, #max.
+//
+// Scores maps returned by NewScores and the Combine* operators are pooled
+// scratch (see pool.go): the caller owns the result and hands it back with
+// ReleaseScores exactly once on every path, including error returns — a
+// discipline enforced statically by internal/lint/poolcheck and dynamically
+// by the pooldebug build tag.
 type Scores map[uint64]float64
-
-// scoresPool recycles Scores maps between queries: the exhaustive
-// evaluation path builds (and promptly drops) several collection-sized
-// maps per request, which at server query rates is pure allocator churn.
-// Combine* results and hit conversions draw from the pool; callers on hot
-// paths hand maps back with ReleaseScores when done.
-var scoresPool = sync.Pool{New: func() any { return make(Scores, 256) }}
-
-// NewScores returns an empty Scores map, reusing a released one when
-// available. Maps obtained here may simply be dropped (the GC reclaims
-// them); returning them with ReleaseScores is an optimisation, not an
-// obligation.
-func NewScores() Scores { return scoresPool.Get().(Scores) }
-
-// ReleaseScores clears s and returns it to the pool. The caller must not
-// retain s afterwards. nil is tolerated.
-func ReleaseScores(s Scores) {
-	if s == nil {
-		return
-	}
-	clear(s)
-	scoresPool.Put(s)
-}
 
 // CombineSum averages the beliefs of the children (#sum). Documents missing
 // from a child contribute that child's default.
 func CombineSum(children []Scores, defaults []float64) (Scores, error) {
+	assertScoresLive(children...)
 	if len(children) != len(defaults) {
 		return nil, fmt.Errorf("ir: #sum: %d children vs %d defaults", len(children), len(defaults))
 	}
@@ -106,6 +89,7 @@ func CombineSum(children []Scores, defaults []float64) (Scores, error) {
 
 // CombineWSum is the weighted average (#wsum).
 func CombineWSum(children []Scores, weights, defaults []float64) (Scores, error) {
+	assertScoresLive(children...)
 	if len(children) != len(weights) || len(children) != len(defaults) {
 		return nil, fmt.Errorf("ir: #wsum: mismatched children/weights/defaults")
 	}
@@ -138,6 +122,7 @@ func CombineWSum(children []Scores, weights, defaults []float64) (Scores, error)
 
 // CombineAnd multiplies beliefs (#and).
 func CombineAnd(children []Scores, defaults []float64) (Scores, error) {
+	assertScoresLive(children...)
 	if len(children) != len(defaults) {
 		return nil, fmt.Errorf("ir: #and: mismatched children/defaults")
 	}
@@ -163,6 +148,7 @@ func CombineAnd(children []Scores, defaults []float64) (Scores, error) {
 
 // CombineOr is the probabilistic or (#or): 1 − Π(1 − b).
 func CombineOr(children []Scores, defaults []float64) (Scores, error) {
+	assertScoresLive(children...)
 	if len(children) != len(defaults) {
 		return nil, fmt.Errorf("ir: #or: mismatched children/defaults")
 	}
@@ -188,6 +174,7 @@ func CombineOr(children []Scores, defaults []float64) (Scores, error) {
 
 // CombineNot negates belief (#not).
 func CombineNot(child Scores) Scores {
+	assertScoresLive(child)
 	out := NewScores()
 	for d, v := range child {
 		out[d] = 1 - v
@@ -197,6 +184,7 @@ func CombineNot(child Scores) Scores {
 
 // CombineMax takes the maximum belief (#max).
 func CombineMax(children []Scores, defaults []float64) (Scores, error) {
+	assertScoresLive(children...)
 	if len(children) != len(defaults) {
 		return nil, fmt.Errorf("ir: #max: mismatched children/defaults")
 	}
@@ -251,6 +239,7 @@ func Rank(s Scores, k int) []Ranked {
 // selection runs on bat.BoundedTopK — a total-order comparator (OIDs are
 // unique), so the result is independent of map iteration order.
 func RankInto(dst []Ranked, s Scores, k int) []Ranked {
+	assertScoresLive(s)
 	out := dst[:0]
 	if k > 0 && k < len(s) {
 		h := bat.NewBoundedTopK(k, rankedWorse)

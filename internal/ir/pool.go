@@ -1,0 +1,61 @@
+package ir
+
+import "sync"
+
+// Pooled query scratch: borrow/return discipline for Scores maps.
+//
+// The exhaustive evaluation path builds (and promptly drops) several
+// collection-sized maps per request, which at server query rates is pure
+// allocator churn. NewScores and the Combine* operators draw from a
+// sync.Pool; every borrowed map is handed back with ReleaseScores exactly
+// once on every path, including error returns. Two enforcement layers back
+// the discipline up:
+//
+//   - internal/lint/poolcheck (run in CI and by its own tests) statically
+//     checks every borrow is released or ownership-transferred on every
+//     control-flow path;
+//   - the pooldebug build tag (pool_debug.go) tracks live borrows at run
+//     time, poisons released maps, and panics on double-release and
+//     use-after-release.
+//
+// Raw scoresPool access outside this file is a poolcheck diagnostic.
+//
+//poolcheck:poolfile
+
+// maxPooledScores bounds the size of maps the pool retains. Go maps never
+// shrink: one k<=0 query over a large collection would otherwise pin a
+// collection-sized bucket array per P forever. Oversized maps are dropped
+// on release and left to the GC.
+const maxPooledScores = 1 << 14
+
+// scoresPool recycles Scores maps between queries.
+var scoresPool = sync.Pool{New: func() any { return make(Scores, 256) }}
+
+// NewScores returns an empty Scores map, reusing a released one when
+// available. The caller owns the map: return it with ReleaseScores exactly
+// once when done (dropping it instead merely wastes the reuse, but under
+// the pooldebug tag an unreleased borrow is a reportable leak).
+func NewScores() Scores {
+	s := scoresPool.Get().(Scores)
+	scoresBorrowed(s)
+	return s
+}
+
+// ReleaseScores clears s and returns it to the pool. The caller must not
+// retain s afterwards: under the pooldebug tag released maps are poisoned,
+// and feeding one back into a Combine*/Rank* operator panics. nil is
+// tolerated (error paths release unconditionally). Maps larger than
+// maxPooledScores are dropped instead of pooled.
+func ReleaseScores(s Scores) {
+	if s == nil {
+		return
+	}
+	pooled := len(s) <= maxPooledScores
+	scoresReleased(s)
+	if !pooled {
+		return
+	}
+	clear(s)
+	scoresRepooled(s)
+	scoresPool.Put(s)
+}

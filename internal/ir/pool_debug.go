@@ -1,0 +1,101 @@
+//go:build pooldebug
+
+package ir
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+)
+
+// pooldebug: dynamic enforcement of the Scores borrow/return discipline.
+//
+// Every borrow is tracked in a live set keyed by the map's pointer; every
+// release removes it again and — for maps that go back into the pool —
+// registers the map in a released registry. Feeding a released map into a
+// Combine*/Rank* operator panics (use-after-release), as does releasing
+// the same pooled map twice (double-release). Released maps are poisoned
+// with a sentinel entry so even untracked reads look loudly wrong.
+//
+// The released registry pins the actual map references, so an address can
+// never be recycled by the allocator while the registry still names it —
+// pointer-keyed tracking stays sound. Oversized maps that ReleaseScores
+// drops (rather than pools) are not registered: pinning them would defeat
+// the drop. Use-after-release of a dropped map is therefore detected only
+// by its poison entry, not by panic.
+//
+//poolcheck:poolfile
+
+// poisonKey/poisonVal mark a released map: no real document has OID 2^64-1,
+// and NaN propagates through any belief arithmetic that touches it.
+const poisonKey = ^uint64(0)
+
+var poisonVal = math.NaN()
+
+var poolDebug struct {
+	mu       sync.Mutex
+	live     map[uintptr]struct{}
+	released map[uintptr]Scores
+}
+
+func init() {
+	poolDebug.live = make(map[uintptr]struct{})
+	poolDebug.released = make(map[uintptr]Scores)
+}
+
+func scoresPtr(s Scores) uintptr { return reflect.ValueOf(s).Pointer() }
+
+func scoresBorrowed(s Scores) {
+	p := scoresPtr(s)
+	poolDebug.mu.Lock()
+	delete(poolDebug.released, p)
+	poolDebug.live[p] = struct{}{}
+	poolDebug.mu.Unlock()
+	delete(s, poisonKey)
+}
+
+func scoresReleased(s Scores) {
+	p := scoresPtr(s)
+	poolDebug.mu.Lock()
+	if _, ok := poolDebug.released[p]; ok {
+		poolDebug.mu.Unlock()
+		panic(fmt.Sprintf("ir: double ReleaseScores of pooled map %#x", p))
+	}
+	// Releasing a map that was never borrowed (built with make by tests
+	// or foreign call sites) is tolerated: it simply joins the pool.
+	delete(poolDebug.live, p)
+	poolDebug.mu.Unlock()
+	s[poisonKey] = poisonVal
+}
+
+func scoresRepooled(s Scores) {
+	p := scoresPtr(s)
+	poolDebug.mu.Lock()
+	poolDebug.released[p] = s
+	poolDebug.mu.Unlock()
+	s[poisonKey] = poisonVal
+}
+
+// assertScoresLive panics when any argument is a released pooled map —
+// the use-after-release trap wired into every Combine*/Rank* entry point.
+func assertScoresLive(ss ...Scores) {
+	poolDebug.mu.Lock()
+	defer poolDebug.mu.Unlock()
+	for _, s := range ss {
+		if s == nil {
+			continue
+		}
+		if _, ok := poolDebug.released[scoresPtr(s)]; ok {
+			panic(fmt.Sprintf("ir: use of released Scores map %#x", scoresPtr(s)))
+		}
+	}
+}
+
+// LiveScores reports the number of borrowed-but-unreleased Scores maps.
+// Leak tests snapshot it around a query path and require the delta be zero.
+func LiveScores() int {
+	poolDebug.mu.Lock()
+	defer poolDebug.mu.Unlock()
+	return len(poolDebug.live)
+}

@@ -1,0 +1,17 @@
+//go:build !pooldebug
+
+package ir
+
+// Release builds: the pool hooks compile to nothing (they are tiny and
+// non-virtual, so the hot path pays zero cost). Build with -tags pooldebug
+// to turn on borrow accounting, released-map poisoning and
+// use-after-release panics.
+
+func scoresBorrowed(Scores)      {}
+func scoresReleased(Scores)      {}
+func scoresRepooled(Scores)      {}
+func assertScoresLive(...Scores) {}
+
+// LiveScores reports the number of borrowed-but-unreleased Scores maps.
+// It always returns 0 unless built with -tags pooldebug.
+func LiveScores() int { return 0 }

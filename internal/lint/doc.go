@@ -1,0 +1,5 @@
+// Package lint hosts the repository's custom static analyzers, run in CI
+// alongside go vet. Each analyzer lives in its own subpackage with a
+// command driver under cmd/; see poolcheck for the pooled borrow/return
+// discipline checker.
+package lint

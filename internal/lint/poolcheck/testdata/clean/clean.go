@@ -1,0 +1,96 @@
+// Package clean holds the post-fix shapes of the query hot path: every
+// borrow released exactly once on every path. poolcheck must report
+// nothing here. Never compiled — parsed by poolcheck_test only.
+package clean
+
+// sessionRun is the fixed Session.Run: every error return releases every
+// live borrow (releases are nil-safe).
+func sessionRun(k int) ([]Hit, error) {
+	textHits, err := m.QueryAnnotations(text, 0)
+	if err != nil {
+		return nil, err
+	}
+	ts := hitsToScores(textHits)
+	terms, ws := clusterWeights()
+	var cs ir.Scores
+	if len(terms) > 0 {
+		cs, err = m.WeightedContentScores(terms, ws)
+		if err != nil {
+			ir.ReleaseScores(cs)
+			ir.ReleaseScores(ts)
+			return nil, err
+		}
+	}
+	combined, err := ir.CombineWSum(
+		[]ir.Scores{ts, cs},
+		[]float64{alpha, 1},
+		[]float64{1, 1},
+	)
+	ir.ReleaseScores(ts)
+	ir.ReleaseScores(cs)
+	if err != nil {
+		ir.ReleaseScores(combined)
+		return nil, err
+	}
+	hits := scoresToHits(m, combined, k)
+	ir.ReleaseScores(combined)
+	return hits, nil
+}
+
+// deferred releases through defer: covers every exit after registration.
+func deferred() error {
+	s := ir.NewScores()
+	defer ir.ReleaseScores(s)
+	if bad() {
+		return errBad
+	}
+	use(s)
+	return nil
+}
+
+// transferred returns the borrow: ownership moves to the caller.
+func transferred() (ir.Scores, error) {
+	out := ir.NewScores()
+	if bad() {
+		ir.ReleaseScores(out)
+		return nil, errBad
+	}
+	return out, nil
+}
+
+// threaded reuses ranking scratch through RankInto (the backing array may
+// move, so the borrow follows the variable).
+func threaded(s ir.Scores, k int) []Hit {
+	ranked := borrowRanked()
+	ranked = ir.RankInto(ranked, s, k)
+	hits := convert(ranked)
+	releaseRanked(ranked)
+	return hits
+}
+
+// escaped stores the borrow into an outer structure: ownership transfers.
+func escaped(perShard []ir.Scores, s int) {
+	out := ir.NewScores()
+	perShard[s] = out
+}
+
+// looped borrows and releases within each iteration.
+func looped(n int) {
+	for i := 0; i < n; i++ {
+		s := ir.NewScores()
+		use(s)
+		ir.ReleaseScores(s)
+	}
+}
+
+// switched releases on every arm that falls through.
+func switched(mode int) {
+	s := ir.NewScores()
+	switch mode {
+	case 0:
+		use(s)
+	default:
+		use2(s)
+	}
+	ir.ReleaseScores(s)
+}

@@ -1,0 +1,13 @@
+//go:build !pooldebug
+
+package moa
+
+// Release builds: pool accounting hooks compile to nothing. Build with
+// -tags pooldebug for live-borrow counting and released-slice poisoning.
+
+func rowsBorrowed()      {}
+func rowsReleased([]Row) {}
+
+// LiveRows reports the number of borrowed-but-unreleased row scratch
+// slices. It always returns 0 unless built with -tags pooldebug.
+func LiveRows() int { return 0 }
