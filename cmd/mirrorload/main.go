@@ -1,0 +1,201 @@
+// Command mirrorload is the production workload harness: it boots a live
+// mirrord (plus an in-process media server and data dictionary) per
+// topology, drives a deterministic mixed read/write scenario over the real
+// RPC surface with closed-loop workers — zipf-weighted ranked queries,
+// bursty image ingest, multi-turn relevance-feedback sessions, and
+// harness-paced refresh/checkpoint maintenance — injects the
+// docs/OPERATIONS.md crash-matrix faults mid-run through a process
+// supervisor, and verifies every stamped annotation answer bit-exact
+// against an in-process oracle (a one-shot rebuild of the answering
+// epoch's document prefix).
+//
+// The run exits non-zero on any oracle violation or unrecovered fault and
+// writes per-operation-class latency quantiles (p50/p95/p99/max) for each
+// topology to -out as BENCH_load.json.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"mirror/internal/load"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatalf("mirrorload: %v", err)
+	}
+}
+
+// run is main without the process plumbing, so tests can drive the full
+// flag surface and capture output.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mirrorload", flag.ContinueOnError)
+	var (
+		bin      = fs.String("bin", "", "mirrord binary to supervise (required)")
+		outPath  = fs.String("out", "BENCH_load.json", "latency/fault/oracle report path")
+		topos    = fs.String("topologies", "single,sharded-3", "comma-separated topologies to drive: single and/or sharded-N")
+		faultsFl = fs.String("faults", "kill-during-publish,kill-during-checkpoint,torn-wal", "comma-separated faults injected mid-run per topology (empty: none)")
+		duration = fs.Duration("duration", 5*time.Second, "steady-state workload window per topology")
+		seed     = fs.Int64("seed", 1, "scenario synthesis seed")
+		docs     = fs.Int("docs", 96, "total documents (preload + ingest stream)")
+		preload  = fs.Int("preload", 48, "documents present before the workload starts")
+		width    = fs.Int("w", 32, "raster width")
+		height   = fs.Int("h", 32, "raster height")
+		annotate = fs.Float64("annotate", 0.75, "fraction of annotated documents")
+		queries  = fs.Int("queries", 24, "distinct query texts in the zipf mix")
+		zipf     = fs.Float64("zipf", 1.1, "zipf exponent of query popularity")
+		sessions = fs.Int("sessions", 6, "feedback-session seed texts")
+		bursts   = fs.Int("bursts", 4, "ingest bursts over the stream")
+		skew     = fs.Float64("skew", 0.7, "fraction of the stream placed on the hot shard (sharded topologies)")
+		qworkers = fs.Int("query-workers", 4, "closed-loop query workers")
+		fworkers = fs.Int("feedback-workers", 2, "closed-loop feedback-session workers")
+		topk     = fs.Int("k", 10, "ranked top-k per query")
+		refresh  = fs.Duration("refresh-every", 400*time.Millisecond, "harness-paced refresh cadence (the daemon's own timers are off)")
+		ckpt     = fs.Duration("checkpoint-every", 900*time.Millisecond, "harness-paced checkpoint cadence")
+		storeRt  = fs.String("store-root", "", "parent directory for the per-topology stores (default: a temp dir, removed afterwards)")
+		quiet    = fs.Bool("quiet", false, "suppress progress narration")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *bin == "" {
+		return fmt.Errorf("-bin is required (point it at a built mirrord)")
+	}
+	topologies, err := parseTopologies(*topos)
+	if err != nil {
+		return err
+	}
+	faults, err := parseFaults(*faultsFl)
+	if err != nil {
+		return err
+	}
+	root := *storeRt
+	if root == "" {
+		root, err = os.MkdirTemp("", "mirrorload-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(root)
+	}
+	logf := func(format string, a ...any) { fmt.Fprintf(stdout, format+"\n", a...) }
+	if *quiet {
+		logf = nil
+	}
+
+	report := &load.Report{Seed: *seed}
+	for _, shards := range topologies {
+		spec := load.Spec{
+			Seed: *seed, Docs: *docs, Preload: *preload, W: *width, H: *height,
+			AnnotateRate: *annotate, HotShard: maxInt(shards-1, 0), SkewFrac: *skew,
+			Queries: *queries, ZipfS: *zipf, Sessions: *sessions, Bursts: *bursts,
+		}
+		opts := load.Options{
+			Spec:            spec,
+			Bin:             *bin,
+			StoreDir:        filepath.Join(root, topoLabel(shards)),
+			Shards:          shards,
+			Duration:        *duration,
+			QueryWorkers:    *qworkers,
+			FeedbackWorkers: *fworkers,
+			K:               *topk,
+			Faults:          faults,
+			RefreshEvery:    *refresh,
+			CheckpointEvery: *ckpt,
+			Logf:            logf,
+		}
+		rep, err := load.Run(opts)
+		if rep != nil {
+			report.Topologies = append(report.Topologies, rep)
+		}
+		if err != nil {
+			// Write what we have first: a failing soak run should still
+			// leave its evidence behind.
+			load.WriteReport(*outPath, report)
+			return fmt.Errorf("topology %s: %w", topoLabel(shards), err)
+		}
+		summarize(stdout, rep)
+	}
+	if err := load.WriteReport(*outPath, report); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "mirrorload: report written to %s\n", *outPath)
+	return nil
+}
+
+// parseTopologies turns "single,sharded-3" into shard counts (0 = single).
+func parseTopologies(s string) ([]int, error) {
+	var out []int
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		switch {
+		case tok == "":
+		case tok == "single":
+			out = append(out, 0)
+		case strings.HasPrefix(tok, "sharded-"):
+			n, err := strconv.Atoi(strings.TrimPrefix(tok, "sharded-"))
+			if err != nil || n < 2 {
+				return nil, fmt.Errorf("bad topology %q: want sharded-N with N >= 2", tok)
+			}
+			out = append(out, n)
+		default:
+			return nil, fmt.Errorf("unknown topology %q (want single or sharded-N)", tok)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no topologies selected")
+	}
+	return out, nil
+}
+
+// parseFaults validates the fault list against the injectable set.
+func parseFaults(s string) ([]load.Fault, error) {
+	known := map[load.Fault]bool{}
+	for _, f := range load.AllFaults() {
+		known[f] = true
+	}
+	var out []load.Fault
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		f := load.Fault(tok)
+		if !known[f] {
+			return nil, fmt.Errorf("unknown fault %q (have %v)", tok, load.AllFaults())
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func topoLabel(shards int) string {
+	if shards > 1 {
+		return fmt.Sprintf("sharded-%d", shards)
+	}
+	return "single"
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// summarize prints one topology's outcome as a compact table.
+func summarize(w io.Writer, rep *load.TopologyReport) {
+	fmt.Fprintf(w, "mirrorload: %s — epoch %d over %d docs, %d restarts, oracle %d/%d ok\n",
+		rep.Topology, rep.FinalEpoch, rep.FinalDocs, rep.Restarts,
+		rep.Oracle.Checked-rep.Oracle.Violations, rep.Oracle.Checked)
+	b, _ := json.MarshalIndent(rep.Ops, "  ", "  ")
+	fmt.Fprintf(w, "  ops: %s\n", b)
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"mirror/internal/load"
+)
+
+func TestParseTopologies(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []int
+		ok   bool
+	}{
+		{"single", []int{0}, true},
+		{"single,sharded-3", []int{0, 3}, true},
+		{"sharded-2, single", []int{2, 0}, true},
+		{"sharded-1", nil, false}, // one shard is not a sharded topology
+		{"sharded-x", nil, false},
+		{"cluster", nil, false},
+		{"", nil, false},
+		{",,", nil, false},
+	}
+	for _, tc := range tests {
+		got, err := parseTopologies(tc.in)
+		if tc.ok != (err == nil) {
+			t.Fatalf("%q: err %v, want ok=%v", tc.in, err, tc.ok)
+		}
+		if tc.ok && !reflect.DeepEqual(got, tc.want) {
+			t.Fatalf("%q: got %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseFaults(t *testing.T) {
+	got, err := parseFaults("kill-during-publish, torn-wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []load.Fault{load.FaultKillDuringPublish, load.FaultTornWAL}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if got, err := parseFaults(""); err != nil || len(got) != 0 {
+		t.Fatalf("empty fault list must mean no faults: %v %v", got, err)
+	}
+	if _, err := parseFaults("quake"); err == nil {
+		t.Fatal("unknown fault accepted")
+	}
+	// Every injectable fault must parse back in.
+	for _, f := range load.AllFaults() {
+		if _, err := parseFaults(string(f)); err != nil {
+			t.Fatalf("%s does not round-trip: %v", f, err)
+		}
+	}
+}
+
+// The flag surface must reject nonsense before any daemon is spawned.
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	tests := [][]string{
+		{"-no-such-flag"},
+		{},                                   // -bin required
+		{"-bin", "x", "-topologies", "mesh"}, // bad topology
+		{"-bin", "x", "-faults", "quake"},    // bad fault
+	}
+	for _, args := range tests {
+		if err := run(args, &out); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

@@ -1,60 +1,118 @@
-// Command mkcorpus generates the synthetic demo collection (the web-robot
-// substitute) into a directory: one PPM per image, one .txt per available
-// annotation, and a truth.json with the ground-truth latent classes.
+// Command mkcorpus synthesizes workloads. In its original corpus mode it
+// generates the synthetic demo collection (the web-robot substitute) into
+// a directory: one PPM per image, one .txt per available annotation, and a
+// truth.json with the ground-truth latent classes.
+//
+// With -scenario it instead synthesizes a full load-test scenario (the
+// document stream with latent classes and annotations, a zipf-weighted
+// query mix, feedback-session seeds, and ingest bursts — see
+// internal/load) as deterministic JSON: equal flags give byte-identical
+// output, so scenarios can be committed, diffed, and replayed. Rasters are
+// not materialised in scenario mode; each document carries a seed from
+// which cmd/mirrorload regenerates identical pixels on demand.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
 
 	"mirror/internal/corpus"
+	"mirror/internal/load"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatalf("mkcorpus: %v", err)
+	}
+}
+
+// run is main without the process plumbing, so tests can drive the full
+// flag surface and capture output.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mkcorpus", flag.ContinueOnError)
 	var (
-		n    = flag.Int("n", 60, "number of images")
-		w    = flag.Int("w", 64, "image width")
-		h    = flag.Int("h", 64, "image height")
-		seed = flag.Int64("seed", 1, "generator seed")
-		rate = flag.Float64("annotate", 0.7, "fraction of annotated images")
-		out  = flag.String("out", "corpus", "output directory")
+		n    = fs.Int("n", 60, "number of images (scenario mode: total documents)")
+		w    = fs.Int("w", 64, "image width")
+		h    = fs.Int("h", 64, "image height")
+		seed = fs.Int64("seed", 1, "generator seed")
+		rate = fs.Float64("annotate", 0.7, "fraction of annotated images")
+		out  = fs.String("out", "corpus", "output directory (corpus mode)")
+
+		scenario = fs.String("scenario", "", "write a load-test scenario as JSON to this path instead of a corpus directory")
+		base     = fs.String("base", "http://mediaserver", "base URL the scenario's document URLs and shard routing hash against")
+		preload  = fs.Int("preload", 0, "scenario documents present before the workload starts (rest arrive in ingest bursts)")
+		shards   = fs.Int("shards", 1, "scenario topology the placement skew targets (<=1: no skew)")
+		hot      = fs.Int("hot-shard", 0, "shard receiving the skewed fraction of the document stream")
+		skew     = fs.Float64("skew", 0.7, "fraction of the stream routed to the hot shard (0: uniform)")
+		queries  = fs.Int("queries", 24, "distinct query texts in the scenario's zipf-weighted mix")
+		zipf     = fs.Float64("zipf", 1.1, "zipf exponent of query popularity")
+		sessions = fs.Int("sessions", 6, "feedback-session seed texts in the scenario")
+		bursts   = fs.Int("bursts", 4, "ingest bursts the post-preload stream is split into")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *scenario != "" {
+		spec := load.Spec{
+			Seed: *seed, Docs: *n, Preload: *preload, W: *w, H: *h,
+			AnnotateRate: *rate, Shards: *shards, HotShard: *hot, SkewFrac: *skew,
+			Queries: *queries, ZipfS: *zipf, Sessions: *sessions, Bursts: *bursts,
+		}
+		sc, err := load.Synthesize(spec, *base)
+		if err != nil {
+			return err
+		}
+		b, err := json.MarshalIndent(sc, "", "  ")
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if err := os.WriteFile(*scenario, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "mkcorpus: wrote scenario to %s (seed %d: %d docs, %d queries, %d sessions, %d bursts)\n",
+			*scenario, spec.Seed, len(sc.Docs), len(sc.Queries), len(sc.Sessions), len(sc.Bursts))
+		return nil
+	}
 
 	cfg := corpus.Config{N: *n, W: *w, H: *h, Seed: *seed, AnnotateRate: *rate}
 	items := corpus.Generate(cfg)
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		log.Fatalf("mkcorpus: %v", err)
+		return err
 	}
 	truth := map[string][]int{}
 	for i, it := range items {
 		name := fmt.Sprintf("%04d.ppm", i)
 		f, err := os.Create(filepath.Join(*out, name))
 		if err != nil {
-			log.Fatalf("mkcorpus: %v", err)
+			return err
 		}
 		if err := it.Scene.Img.EncodePPM(f); err != nil {
-			log.Fatalf("mkcorpus: encode %s: %v", name, err)
+			f.Close()
+			return fmt.Errorf("encode %s: %w", name, err)
 		}
 		f.Close()
 		if it.Annotation != "" {
 			ann := fmt.Sprintf("%04d.txt", i)
 			if err := os.WriteFile(filepath.Join(*out, ann), []byte(it.Annotation), 0o644); err != nil {
-				log.Fatalf("mkcorpus: %v", err)
+				return err
 			}
 		}
 		truth[name] = it.Classes
 	}
 	tb, err := json.MarshalIndent(truth, "", "  ")
 	if err != nil {
-		log.Fatalf("mkcorpus: %v", err)
+		return err
 	}
 	if err := os.WriteFile(filepath.Join(*out, "truth.json"), tb, 0o644); err != nil {
-		log.Fatalf("mkcorpus: %v", err)
+		return err
 	}
-	fmt.Printf("mkcorpus: wrote %d images to %s (seed %d)\n", len(items), *out, *seed)
+	fmt.Fprintf(stdout, "mkcorpus: wrote %d images to %s (seed %d)\n", len(items), *out, *seed)
+	return nil
 }

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mirror/internal/load"
+)
+
+// Corpus mode must keep writing the directory layout downstream tools
+// crawl: PPMs, annotation .txt files, truth.json.
+func TestRunCorpusMode(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "corpus")
+	var out bytes.Buffer
+	if err := run([]string{"-n", "8", "-w", "16", "-h", "16", "-seed", "3", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote 8 images") {
+		t.Fatalf("output: %q", out.String())
+	}
+	ppms, _ := filepath.Glob(filepath.Join(dir, "*.ppm"))
+	if len(ppms) != 8 {
+		t.Fatalf("%d PPMs, want 8", len(ppms))
+	}
+	tb, err := os.ReadFile(filepath.Join(dir, "truth.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := map[string][]int{}
+	if err := json.Unmarshal(tb, &truth); err != nil {
+		t.Fatal(err)
+	}
+	if len(truth) != 8 {
+		t.Fatalf("truth.json has %d entries, want 8", len(truth))
+	}
+}
+
+// Scenario mode is the reproducibility contract: equal flags give
+// byte-identical JSON, and the payload round-trips into a load.Scenario.
+func TestRunScenarioModeDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")
+	args := []string{"-scenario", "", "-seed", "7", "-n", "40", "-preload", "16",
+		"-shards", "3", "-hot-shard", "1", "-queries", "10", "-sessions", "4", "-bursts", "3"}
+	var out bytes.Buffer
+	args[1] = a
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	args[1] = b
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	ab, _ := os.ReadFile(a)
+	bb, _ := os.ReadFile(b)
+	if len(ab) == 0 || !bytes.Equal(ab, bb) {
+		t.Fatal("scenario output is not byte-reproducible")
+	}
+	var sc load.Scenario
+	if err := json.Unmarshal(ab, &sc); err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Docs) != 40 || len(sc.Queries) != 10 || len(sc.Sessions) != 4 || len(sc.Bursts) != 3 {
+		t.Fatalf("scenario shape: %d docs %d queries %d sessions %d bursts",
+			len(sc.Docs), len(sc.Queries), len(sc.Sessions), len(sc.Bursts))
+	}
+	if sc.Spec.Seed != 7 || sc.Spec.Shards != 3 || sc.Spec.HotShard != 1 {
+		t.Fatalf("spec not threaded through flags: %+v", sc.Spec)
+	}
+}
+
+// Bad flags and bad specs must fail, not write anything.
+func TestRunRejectsBadInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	p := filepath.Join(t.TempDir(), "sc.json")
+	// preload > docs is an invalid scenario spec
+	if err := run([]string{"-scenario", p, "-n", "4", "-preload", "9"}, &out); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	if _, err := os.Stat(p); err == nil {
+		t.Fatal("scenario file written despite the error")
+	}
+}

@@ -25,6 +25,9 @@
 //	                             epoch, per-CONTREP segment directory
 //	                             (docs/postings/terms per segment), and
 //	                             pending (unindexed) document counts
+//	\stats                       serving state: ingested/pending document
+//	                             counts and the serving epoch stamp that
+//	                             query answers carry over RPC
 //	\help, \quit
 //
 // With -shards N the demo collection is hash-partitioned across N
@@ -163,6 +166,7 @@ func repl(r core.Retriever, sharded *core.ShardedEngine) {
 			fmt.Println("  \\sets               list sets")
 			fmt.Println("  \\shards             sharded-layout introspection")
 			fmt.Println("  \\segments           index-segment / epoch introspection")
+			fmt.Println("  \\stats              serving state: size, pending, serving epoch stamp")
 			fmt.Println("  \\quit")
 		case line == `\shards`:
 			if sharded == nil {
@@ -177,6 +181,15 @@ func repl(r core.Retriever, sharded *core.ShardedEngine) {
 					dir = "(in-memory)"
 				}
 				fmt.Printf("  shard %3d  %6d docs  %4d BATs  %s\n", info.Index, info.Docs, info.BATs, dir)
+			}
+		case line == `\stats`:
+			fmt.Printf("%d documents ingested, %d pending, indexed %v, current %v\n",
+				r.Size(), r.Pending(), r.Indexed(), r.Current())
+			if st, ok := r.ServingEpoch(); ok {
+				fmt.Printf("serving epoch %d over %d documents (the stamp every query answer carries)\n",
+					st.Seq, st.Docs)
+			} else {
+				fmt.Println("no serving epoch published yet (run the pipeline first)")
 			}
 		case line == `\segments`:
 			infos := r.Segments()

@@ -108,7 +108,9 @@ func cmdFlags(t *testing.T, name string, min int) []string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	re := regexp.MustCompile(`flag\.(?:String|Bool|Int|Int64|Float64|Duration)\("([^"]+)"`)
+	// Matches both package-level flag.X and the fs.X of a flag.NewFlagSet
+	// (the testable-main style used by mkcorpus and mirrorload).
+	re := regexp.MustCompile(`\b(?:flag|fs)\.(?:String|Bool|Int|Int64|Float64|Duration)\("([^"]+)"`)
 	var names []string
 	for _, m := range re.FindAllStringSubmatch(string(src), -1) {
 		names = append(names, m[1])
@@ -138,7 +140,7 @@ func TestDocsOperationsCoversEveryMirrordFlag(t *testing.T) {
 	}
 	// the recovery story and the crash matrix are the document's reason
 	// to exist — their anchors must survive edits
-	for _, anchor := range []string{"Recovery walkthrough", "Crash matrix", "Sharding", "wal.log", "MANIFEST", "Online ingest"} {
+	for _, anchor := range []string{"Recovery walkthrough", "Crash matrix", "Sharding", "wal.log", "MANIFEST", "Online ingest", "Load testing & soak"} {
 		if !strings.Contains(doc, anchor) {
 			t.Errorf("docs/OPERATIONS.md lost its %q section/anchor", anchor)
 		}
@@ -160,6 +162,25 @@ func TestDocsOperationsCoversEveryMirrordaemonFlag(t *testing.T) {
 	for _, name := range cmdFlags(t, "mirrordaemon", 2) {
 		if !strings.Contains(doc, "`-"+name+"`") {
 			t.Errorf("docs/OPERATIONS.md does not document mirrordaemon flag -%s", name)
+		}
+	}
+}
+
+// TestDocsOperationsCoversEveryMirrorloadFlag extends the same
+// completeness check to cmd/mirrorload, the load-test harness: its flag
+// surface is the soak runbook's vocabulary.
+func TestDocsOperationsCoversEveryMirrorloadFlag(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("docs", "OPERATIONS.md"))
+	if err != nil {
+		t.Fatalf("docs/OPERATIONS.md: %v (the operations manual is a required artifact)", err)
+	}
+	doc := string(src)
+	if !strings.Contains(doc, "mirrorload") {
+		t.Fatal("docs/OPERATIONS.md does not document cmd/mirrorload")
+	}
+	for _, name := range cmdFlags(t, "mirrorload", 10) {
+		if !strings.Contains(doc, "`-"+name+"`") {
+			t.Errorf("docs/OPERATIONS.md does not document mirrorload flag -%s", name)
 		}
 	}
 }
@@ -206,7 +227,7 @@ func TestDocsCrashMatrixNamesRealTests(t *testing.T) {
 		t.Fatal("the crash matrix cites no tests")
 	}
 	var testSrc strings.Builder
-	for _, dir := range []string{"internal/storage", "internal/core"} {
+	for _, dir := range []string{"internal/storage", "internal/core", "internal/load"} {
 		files, err := filepath.Glob(filepath.Join(dir, "*_test.go"))
 		if err != nil {
 			t.Fatal(err)

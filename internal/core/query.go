@@ -30,19 +30,27 @@ const contentQuery = `
 // same analyzer as the indexed annotations. k > 0 is pushed down into the
 // query plan (pruned top-k retrieval); k <= 0 returns the full ranking.
 func (m *Mirror) QueryAnnotations(text string, k int) ([]Hit, error) {
+	hits, _, err := m.QueryAnnotationsStamped(text, k)
+	return hits, err
+}
+
+// QueryAnnotationsStamped is QueryAnnotations plus the stamp of the epoch
+// the answer was served from — the same pinned epoch, so the stamp can
+// never mislabel the answer under concurrent publishes.
+func (m *Mirror) QueryAnnotationsStamped(text string, k int) ([]Hit, EpochStamp, error) {
 	ep, err := m.requireEpoch()
 	if err != nil {
-		return nil, err
+		return nil, EpochStamp{}, err
 	}
 	c := m.cache.Load()
 	if hits, ok := c.get(ep.Seq, cacheAnnotations, k, text, nil); ok {
-		return hits, nil
+		return hits, ep.stamp(), nil
 	}
 	hits, err := ep.queryAnnotations(text, k)
 	if err == nil {
 		c.put(ep.Seq, cacheAnnotations, k, text, nil, hits)
 	}
-	return hits, err
+	return hits, ep.stamp(), err
 }
 
 // QueryContent ranks the library by image content given cluster words
@@ -91,19 +99,26 @@ func (m *Mirror) ExpandQuery(text string, topK int) []string {
 // representation; the two belief sources are combined with the inference
 // network's #sum operator. Both evidence sources read ONE pinned epoch.
 func (m *Mirror) QueryDualCoding(text string, k int) ([]Hit, error) {
+	hits, _, err := m.QueryDualCodingStamped(text, k)
+	return hits, err
+}
+
+// QueryDualCodingStamped is QueryDualCoding plus the stamp of the pinned
+// epoch both evidence sources read.
+func (m *Mirror) QueryDualCodingStamped(text string, k int) ([]Hit, EpochStamp, error) {
 	ep, err := m.requireEpoch()
 	if err != nil {
-		return nil, err
+		return nil, EpochStamp{}, err
 	}
 	c := m.cache.Load()
 	if hits, ok := c.get(ep.Seq, cacheDual, k, text, nil); ok {
-		return hits, nil
+		return hits, ep.stamp(), nil
 	}
 	hits, err := queryDualCoding(ep, text, k)
 	if err == nil {
 		c.put(ep.Seq, cacheDual, k, text, nil, hits)
 	}
-	return hits, err
+	return hits, ep.stamp(), err
 }
 
 // dualCodingSite is the retrieval surface dual coding combines evidence
@@ -214,16 +229,26 @@ func (m *Mirror) Query(src string, queryTerms []string) (*moa.Result, error) {
 // database — the pre-index browsing moash supports — which is safe only
 // without concurrent ingest.
 func (m *Mirror) QueryTopK(src string, queryTerms []string, k int) (*moa.Result, error) {
+	res, _, err := m.QueryTopKStamped(src, queryTerms, k)
+	return res, err
+}
+
+// QueryTopKStamped is QueryTopK plus the stamp of the epoch the plan ran
+// against; the live-database fallback (no epoch published) returns the
+// zero stamp.
+func (m *Mirror) QueryTopKStamped(src string, queryTerms []string, k int) (*moa.Result, EpochStamp, error) {
 	var params map[string]moa.Param
 	if queryTerms != nil {
 		params = ir.QueryParams(queryTerms)
 	}
 	if ep := m.currentEpoch(); ep != nil {
-		return ep.queryTopK(src, params, k, nil)
+		res, err := ep.queryTopK(src, params, k, nil)
+		return res, ep.stamp(), err
 	}
 	eng := &moa.Engine{DB: m.Eng.DB, Opts: m.Eng.Opts}
 	if k > 0 {
 		eng.Opts.TopK = k
 	}
-	return eng.Query(src, params)
+	res, err := eng.Query(src, params)
+	return res, EpochStamp{}, err
 }

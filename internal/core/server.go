@@ -1,11 +1,13 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"net"
 	"net/rpc"
 	"runtime"
 	"strings"
+	"sync"
 
 	"mirror/internal/bat"
 	"mirror/internal/dict"
@@ -38,12 +40,17 @@ type Retriever interface {
 	QueryAnnotations(text string, k int) ([]Hit, error)
 	QueryContent(clusterWords []string, k int) ([]Hit, error)
 	QueryDualCoding(text string, k int) ([]Hit, error)
+	QueryAnnotationsStamped(text string, k int) ([]Hit, EpochStamp, error)
+	QueryDualCodingStamped(text string, k int) ([]Hit, EpochStamp, error)
 	Query(src string, queryTerms []string) (*moa.Result, error)
 	QueryTopK(src string, queryTerms []string, k int) (*moa.Result, error)
+	QueryTopKStamped(src string, queryTerms []string, k int) (*moa.Result, EpochStamp, error)
+	ServingEpoch() (EpochStamp, bool)
 	ExpandQuery(text string, topK int) []string
 	NewSession(text string) (*Session, error)
 	ContentTerms(oid bat.OID) []string
 	Size() int
+	Pending() int
 	URLs() []string
 	Indexed() bool
 	Current() bool
@@ -60,7 +67,27 @@ type Retriever interface {
 type Service struct {
 	m    Retriever
 	gate chan struct{}
+
+	// Feedback sessions are server-side state (the Rocchio weights live
+	// with the store that reinforces the thesaurus); clients hold opaque
+	// IDs. The table dies with the process — after a restart clients
+	// start fresh sessions.
+	smu      sync.Mutex
+	sessions map[uint64]*serverSession
+	lastSess uint64
 }
+
+// serverSession serialises one client's session calls: the Session type
+// itself is not safe for concurrent use, and net/rpc dispatches every
+// request in its own goroutine.
+type serverSession struct {
+	mu sync.Mutex
+	s  *Session
+}
+
+// maxServerSessions bounds the session table so leaked client sessions
+// cannot grow server memory without bound.
+const maxServerSessions = 1024
 
 // defaultQueryGate is the default cap on concurrently executing queries.
 func defaultQueryGate() int {
@@ -94,8 +121,17 @@ type TextQueryArgs struct {
 	Dual bool // combine annotation and content evidence
 }
 
-// TextQueryReply returns the ranking.
-type TextQueryReply struct{ Hits []WireHit }
+// TextQueryReply returns the ranking, stamped with the published epoch it
+// was served from (Epoch 0 only before the first publish, which TextQuery
+// rejects — so replies always carry a real stamp). EpochDocs is the number
+// of documents that epoch covers: external exactness checkers compare the
+// ranking against a reference build over the first EpochDocs ingested
+// documents.
+type TextQueryReply struct {
+	Hits      []WireHit
+	Epoch     int64
+	EpochDocs int
+}
 
 // MoaQueryArgs carries a raw Moa query plus optional query-term bindings.
 // K > 0 pushes a ranked top-k request into the query plan: retrievals the
@@ -108,11 +144,15 @@ type MoaQueryArgs struct {
 }
 
 // MoaQueryReply returns rows rendered as strings (OID plus value), enough
-// for the demo clients; richer clients use the Go API.
+// for the demo clients; richer clients use the Go API. Epoch/EpochDocs
+// stamp the snapshot the plan ran against (zero on the pre-index
+// live-database fallback).
 type MoaQueryReply struct {
-	Scalar string
-	OIDs   []uint64
-	Values []string
+	Scalar    string
+	OIDs      []uint64
+	Values    []string
+	Epoch     int64
+	EpochDocs int
 }
 
 // SchemaReply returns the DDL of the served database.
@@ -122,15 +162,17 @@ type SchemaReply struct{ Source string }
 func (s *Service) TextQuery(args TextQueryArgs, reply *TextQueryReply) error {
 	defer s.acquire()()
 	var hits []Hit
+	var st EpochStamp
 	var err error
 	if args.Dual {
-		hits, err = s.m.QueryDualCoding(args.Text, args.K)
+		hits, st, err = s.m.QueryDualCodingStamped(args.Text, args.K)
 	} else {
-		hits, err = s.m.QueryAnnotations(args.Text, args.K)
+		hits, st, err = s.m.QueryAnnotationsStamped(args.Text, args.K)
 	}
 	if err != nil {
 		return err
 	}
+	reply.Epoch, reply.EpochDocs = st.Seq, st.Docs
 	for _, h := range hits {
 		reply.Hits = append(reply.Hits, WireHit{OID: uint64(h.OID), URL: h.URL, Score: h.Score})
 	}
@@ -140,10 +182,11 @@ func (s *Service) TextQuery(args TextQueryArgs, reply *TextQueryReply) error {
 // MoaQuery executes a raw Moa query; args.K > 0 requests a ranked top-k.
 func (s *Service) MoaQuery(args MoaQueryArgs, reply *MoaQueryReply) error {
 	defer s.acquire()()
-	res, err := s.m.QueryTopK(args.Source, args.QueryTerms, args.K)
+	res, st, err := s.m.QueryTopKStamped(args.Source, args.QueryTerms, args.K)
 	if err != nil {
 		return err
 	}
+	reply.Epoch, reply.EpochDocs = st.Seq, st.Docs
 	if res.Rows == nil {
 		reply.Scalar = fmt.Sprintf("%v", res.Scalar)
 		return nil
@@ -215,6 +258,182 @@ func (s *Service) Refresh(_ dict.Empty, reply *RefreshReply) error {
 	reply.NewDocs, reply.Docs, reply.Epoch = st.NewDocs, st.Docs, st.Epoch
 	reply.Merges, reply.Segments = st.Merges, st.Segments
 	return nil
+}
+
+// AddImageArgs carries one document over the wire: URL, annotation and
+// the raster as PPM bytes (decoded server-side, so the wire format is the
+// media server's own).
+type AddImageArgs struct {
+	URL        string
+	Annotation string
+	PPM        []byte
+}
+
+// AddImageReply reports the library state after the insert.
+type AddImageReply struct {
+	Size    int // documents in the library
+	Pending int // documents not yet covered by the serving epoch
+}
+
+// AddImage ingests one document over RPC: the insert is WAL-logged
+// exactly like a crawled one and becomes retrievable at the next Refresh
+// publish. Load generators use this to drive ingest without a re-crawl.
+func (s *Service) AddImage(args AddImageArgs, reply *AddImageReply) error {
+	img, err := media.DecodePPM(bytes.NewReader(args.PPM))
+	if err != nil {
+		return fmt.Errorf("core: decode PPM for %s: %v", args.URL, err)
+	}
+	if err := s.m.AddImage(args.URL, args.Annotation, img); err != nil {
+		return err
+	}
+	reply.Size, reply.Pending = s.m.Size(), s.m.Pending()
+	return nil
+}
+
+// StatsReply is a point-in-time operational snapshot of the served store
+// (moash \stats, the load harness's oracle bookkeeping).
+type StatsReply struct {
+	Size      int   // documents ingested
+	Pending   int   // ingested but not covered by the serving epoch
+	Indexed   bool  // a content index epoch has been published
+	Current   bool  // the serving epoch covers every ingested document
+	Epoch     int64 // serving epoch sequence (0 before the first publish)
+	EpochDocs int   // documents the serving epoch covers
+}
+
+// Stats reports the serving state. The epoch stamp only brackets
+// concurrently running queries (each pins its own epoch); per-answer
+// stamps ride on the query replies themselves.
+func (s *Service) Stats(_ dict.Empty, reply *StatsReply) error {
+	st, _ := s.m.ServingEpoch()
+	reply.Size = s.m.Size()
+	reply.Pending = s.m.Pending()
+	reply.Indexed = s.m.Indexed()
+	reply.Current = s.m.Current()
+	reply.Epoch, reply.EpochDocs = st.Seq, st.Docs
+	return nil
+}
+
+// SessionStartArgs opens a relevance-feedback session for a text query.
+type SessionStartArgs struct{ Text string }
+
+// SessionStartReply returns the server-side session handle.
+type SessionStartReply struct{ ID uint64 }
+
+// SessionStart opens a server-side feedback session (Section 5.2's
+// interactive loop) and returns its handle. Sessions are process-local:
+// a restarted server forgets them, and clients start over.
+func (s *Service) SessionStart(args SessionStartArgs, reply *SessionStartReply) error {
+	sess, err := s.m.NewSession(args.Text)
+	if err != nil {
+		return err
+	}
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	if s.sessions == nil {
+		s.sessions = make(map[uint64]*serverSession)
+	}
+	if len(s.sessions) >= maxServerSessions {
+		return fmt.Errorf("core: session table full (%d live sessions; SessionEnd some)", maxServerSessions)
+	}
+	s.lastSess++
+	s.sessions[s.lastSess] = &serverSession{s: sess}
+	reply.ID = s.lastSess
+	return nil
+}
+
+// lookupSession resolves a session handle.
+func (s *Service) lookupSession(id uint64) (*serverSession, error) {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	ss, ok := s.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown session %d (sessions do not survive a server restart)", id)
+	}
+	return ss, nil
+}
+
+// SessionRunArgs evaluates a session's current query.
+type SessionRunArgs struct {
+	ID uint64
+	K  int
+}
+
+// SessionRunReply returns the session ranking and the feedback round it
+// reflects.
+type SessionRunReply struct {
+	Round int
+	Hits  []WireHit
+}
+
+// SessionRun evaluates the session's current (text + weighted content)
+// query and returns the top k hits.
+func (s *Service) SessionRun(args SessionRunArgs, reply *SessionRunReply) error {
+	ss, err := s.lookupSession(args.ID)
+	if err != nil {
+		return err
+	}
+	defer s.acquire()()
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	hits, err := ss.s.Run(args.K)
+	if err != nil {
+		return err
+	}
+	reply.Round = ss.s.Round
+	for _, h := range hits {
+		reply.Hits = append(reply.Hits, WireHit{OID: uint64(h.OID), URL: h.URL, Score: h.Score})
+	}
+	return nil
+}
+
+// SessionFeedbackArgs applies one round of relevance judgments.
+type SessionFeedbackArgs struct {
+	ID          uint64
+	Relevant    []uint64 // OIDs judged relevant
+	Nonrelevant []uint64 // OIDs judged non-relevant
+}
+
+// SessionFeedbackReply reports the feedback round after the judgments.
+type SessionFeedbackReply struct{ Round int }
+
+// SessionFeedback applies judgments: the session's content weights move
+// Rocchio-style and the thesaurus reinforcement is WAL-logged on
+// persistent stores (it survives restarts even though the session does
+// not).
+func (s *Service) SessionFeedback(args SessionFeedbackArgs, reply *SessionFeedbackReply) error {
+	ss, err := s.lookupSession(args.ID)
+	if err != nil {
+		return err
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if err := ss.s.Feedback(toOIDs(args.Relevant), toOIDs(args.Nonrelevant)); err != nil {
+		return err
+	}
+	reply.Round = ss.s.Round
+	return nil
+}
+
+// SessionEndArgs closes a session.
+type SessionEndArgs struct{ ID uint64 }
+
+// SessionEnd drops the session from the table; unknown IDs are a no-op
+// (the table is already gone after a restart).
+func (s *Service) SessionEnd(args SessionEndArgs, _ *dict.Empty) error {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	delete(s.sessions, args.ID)
+	return nil
+}
+
+// toOIDs converts wire OIDs.
+func toOIDs(in []uint64) []bat.OID {
+	out := make([]bat.OID, len(in))
+	for i, v := range in {
+		out[i] = bat.OID(v)
+	}
+	return out
 }
 
 // Serve runs the Mirror DBMS server on addr ("127.0.0.1:0" for ephemeral)
@@ -324,9 +543,58 @@ func wireErr(err error) error {
 
 // TextQuery runs a ranked text (or dual-coding) query.
 func (c *Client) TextQuery(text string, k int, dual bool) ([]WireHit, error) {
+	reply, err := c.TextQueryStamped(text, k, dual)
+	return reply.Hits, err
+}
+
+// TextQueryStamped is TextQuery returning the full reply, including the
+// epoch stamp of the snapshot the answer was served from.
+func (c *Client) TextQueryStamped(text string, k int, dual bool) (*TextQueryReply, error) {
 	var reply TextQueryReply
 	err := c.c.Call("Mirror.TextQuery", TextQueryArgs{Text: text, K: k, Dual: dual}, &reply)
-	return reply.Hits, wireErr(err)
+	return &reply, wireErr(err)
+}
+
+// AddImage ingests one document (PPM raster bytes) into the remote store.
+func (c *Client) AddImage(url, annotation string, ppm []byte) (*AddImageReply, error) {
+	var reply AddImageReply
+	err := c.c.Call("Mirror.AddImage", AddImageArgs{URL: url, Annotation: annotation, PPM: ppm}, &reply)
+	return &reply, err
+}
+
+// Stats fetches the remote serving-state snapshot.
+func (c *Client) Stats() (*StatsReply, error) {
+	var reply StatsReply
+	err := c.c.Call("Mirror.Stats", dict.Empty{}, &reply)
+	return &reply, err
+}
+
+// SessionStart opens a remote relevance-feedback session.
+func (c *Client) SessionStart(text string) (uint64, error) {
+	var reply SessionStartReply
+	err := c.c.Call("Mirror.SessionStart", SessionStartArgs{Text: text}, &reply)
+	return reply.ID, wireErr(err)
+}
+
+// SessionRun evaluates the session's current query.
+func (c *Client) SessionRun(id uint64, k int) (*SessionRunReply, error) {
+	var reply SessionRunReply
+	err := c.c.Call("Mirror.SessionRun", SessionRunArgs{ID: id, K: k}, &reply)
+	return &reply, wireErr(err)
+}
+
+// SessionFeedback applies one round of relevance judgments.
+func (c *Client) SessionFeedback(id uint64, relevant, nonrelevant []uint64) (*SessionFeedbackReply, error) {
+	var reply SessionFeedbackReply
+	err := c.c.Call("Mirror.SessionFeedback",
+		SessionFeedbackArgs{ID: id, Relevant: relevant, Nonrelevant: nonrelevant}, &reply)
+	return &reply, wireErr(err)
+}
+
+// SessionEnd closes a remote session.
+func (c *Client) SessionEnd(id uint64) error {
+	var reply dict.Empty
+	return c.c.Call("Mirror.SessionEnd", SessionEndArgs{ID: id}, &reply)
 }
 
 // MoaQuery runs a raw Moa query.

@@ -94,6 +94,7 @@ type ShardedEngine struct {
 type engineEpoch struct {
 	seq    int64
 	docs   int      // covered global positions (gaps included)
+	live   int      // covered documents (crash gaps excluded) — the wire stamp
 	order  []string // frozen prefix of the global ingestion order
 	shards []*IndexEpoch
 	thes   *thesaurus.Thesaurus
@@ -153,9 +154,16 @@ func NewSharded(n int) (*ShardedEngine, error) {
 // count. The function is pure, so placement survives restarts without a
 // routing table — the same URL always lands on the same shard.
 func (e *ShardedEngine) shardFor(url string) int {
+	return ShardOf(url, len(e.shards))
+}
+
+// ShardOf is the engine's routing function as a pure standalone: the
+// shard an n-shard engine stores url on. Workload synthesis uses it to
+// construct shard-skewed document distributions without an engine.
+func ShardOf(url string, n int) int {
 	h := fnv.New64a()
 	h.Write([]byte(url))
-	return int(h.Sum64() % uint64(len(e.shards)))
+	return int(h.Sum64() % uint64(n))
 }
 
 // NumShards reports the shard count.
@@ -255,6 +263,25 @@ func (e *ShardedEngine) Current() bool {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return ee != nil && ee.docs == len(e.order)
+}
+
+// Pending reports how many ingested documents the serving engine epoch
+// does not cover yet (global positions, so crash gaps never count).
+func (e *ShardedEngine) Pending() int {
+	ee := e.epoch.Load()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	covered := 0
+	if ee != nil {
+		covered = ee.docs
+	}
+	n := 0
+	for _, u := range e.order[covered:] {
+		if u != "" {
+			n++
+		}
+	}
+	return n
 }
 
 // Segments reports the serving epoch's per-shard segment layouts.
@@ -444,9 +471,19 @@ func (e *ShardedEngine) publishEngineEpochLocked(docs int) {
 	// The new sequence number invalidates every cached result for free;
 	// sweeping just returns the stale generations' bytes promptly.
 	defer e.cache.Load().sweep(e.epochSeq)
+	// Crash gaps (order[g] == "" after a WAL-truncating recovery) occupy
+	// global positions but hold no document; the wire stamp counts only
+	// live documents so it matches the ingest-order prefix length.
+	live := 0
+	for _, u := range e.order[:docs] {
+		if u != "" {
+			live++
+		}
+	}
 	e.epoch.Store(&engineEpoch{
 		seq:    e.epochSeq,
 		docs:   docs,
+		live:   live,
 		order:  e.order[:docs:docs],
 		shards: shardEps,
 		thes:   e.thes,
@@ -779,19 +816,26 @@ func topKHits(hits []Hit, k int) []Hit {
 // QueryAnnotations ranks the whole collection against a free-text query —
 // scatter, then gather; see Mirror.QueryAnnotations for semantics.
 func (e *ShardedEngine) QueryAnnotations(text string, k int) ([]Hit, error) {
+	hits, _, err := e.QueryAnnotationsStamped(text, k)
+	return hits, err
+}
+
+// QueryAnnotationsStamped is QueryAnnotations plus the stamp of the
+// engine epoch the scatter-gather ran against.
+func (e *ShardedEngine) QueryAnnotationsStamped(text string, k int) ([]Hit, EpochStamp, error) {
 	ee := e.epoch.Load()
 	if ee == nil {
-		return nil, ErrNotIndexed
+		return nil, EpochStamp{}, ErrNotIndexed
 	}
 	c := e.cache.Load()
 	if hits, ok := c.get(ee.seq, cacheAnnotations, k, text, nil); ok {
-		return hits, nil
+		return hits, ee.stamp(), nil
 	}
 	hits, err := ee.gatherHits(annotationQuery, ir.QueryParams(ir.Analyze(text)), k)
 	if err == nil {
 		c.put(ee.seq, cacheAnnotations, k, text, nil, hits)
 	}
-	return hits, err
+	return hits, ee.stamp(), err
 }
 
 // QueryContent ranks by image content given cluster words.
@@ -815,19 +859,26 @@ func (e *ShardedEngine) QueryContent(clusterWords []string, k int) ([]Hit, error
 // combination runs on global OIDs, so it is shard-oblivious, and both
 // evidence sources read one pinned engine epoch.
 func (e *ShardedEngine) QueryDualCoding(text string, k int) ([]Hit, error) {
+	hits, _, err := e.QueryDualCodingStamped(text, k)
+	return hits, err
+}
+
+// QueryDualCodingStamped is QueryDualCoding plus the stamp of the pinned
+// engine epoch both evidence sources read.
+func (e *ShardedEngine) QueryDualCodingStamped(text string, k int) ([]Hit, EpochStamp, error) {
 	ee := e.epoch.Load()
 	if ee == nil {
-		return nil, ErrNotIndexed
+		return nil, EpochStamp{}, ErrNotIndexed
 	}
 	c := e.cache.Load()
 	if hits, ok := c.get(ee.seq, cacheDual, k, text, nil); ok {
-		return hits, nil
+		return hits, ee.stamp(), nil
 	}
 	hits, err := queryDualCoding(ee, text, k)
 	if err == nil {
 		c.put(ee.seq, cacheDual, k, text, nil, hits)
 	}
-	return hits, err
+	return hits, ee.stamp(), err
 }
 
 // SetResultCache installs (or, with maxBytes <= 0, removes) an
@@ -918,6 +969,14 @@ func (e *ShardedEngine) Query(src string, queryTerms []string) (*moa.Result, err
 // Scalar queries are refused: aggregating arbitrary scalars across shards
 // is query-specific, and silently summing or averaging would lie.
 func (e *ShardedEngine) QueryTopK(src string, queryTerms []string, k int) (*moa.Result, error) {
+	res, _, err := e.QueryTopKStamped(src, queryTerms, k)
+	return res, err
+}
+
+// QueryTopKStamped is QueryTopK plus the stamp of the engine epoch every
+// shard evaluated against; the live-database fallback (no epoch published)
+// returns the zero stamp.
+func (e *ShardedEngine) QueryTopKStamped(src string, queryTerms []string, k int) (*moa.Result, EpochStamp, error) {
 	var params map[string]moa.Param
 	if queryTerms != nil {
 		params = ir.QueryParams(queryTerms)
@@ -939,6 +998,10 @@ func (e *ShardedEngine) QueryTopK(src string, queryTerms []string, k int) (*moa.
 		return run(eng)
 	}
 	ee := e.epoch.Load()
+	var stamp EpochStamp
+	if ee != nil {
+		stamp = ee.stamp()
+	}
 	globalsOf := func(s int) []uint64 { return e.shards[s].globalOIDsSnapshot() }
 	evalShard := func(s int) (*moa.Result, error) {
 		return shardEval(s, func(eng *moa.Engine) (*moa.Result, error) { return eng.Query(src, params) })
@@ -970,7 +1033,7 @@ func (e *ShardedEngine) QueryTopK(src string, queryTerms []string, k int) (*moa.
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, stamp, err
 	}
 	out := &moa.Result{T: results[0].T}
 	if k > 0 {
@@ -982,13 +1045,13 @@ func (e *ShardedEngine) QueryTopK(src string, queryTerms []string, k int) (*moa.
 		}
 		out.Rows = merged.Ranked()
 		out.Ranked = true
-		return out, nil
+		return out, stamp, nil
 	}
 	for _, res := range results {
 		out.Rows = append(out.Rows, res.Rows...)
 	}
 	sort.Slice(out.Rows, func(i, j int) bool { return out.Rows[i].OID < out.Rows[j].OID })
-	return out, nil
+	return out, stamp, nil
 }
 
 // ---- persistence ----

@@ -1,0 +1,46 @@
+package core
+
+// EpochStamp identifies the published snapshot a query answer was served
+// from: the monotone epoch sequence number and the number of documents
+// the epoch covers (crash gaps excluded, so Docs always equals the length
+// of the ingest-order prefix the epoch indexed). The zero stamp means the
+// answer came from the live pre-index database (no epoch published yet).
+//
+// The stamp is taken from the SAME pinned epoch the query evaluated
+// against — not from a separate load, which could race with a concurrent
+// publish and mislabel the answer. The load harness's exactness oracle
+// relies on this: a stamped reply must be bit-exact for the one-shot
+// index over the first Docs ingested documents.
+type EpochStamp struct {
+	Seq  int64
+	Docs int
+}
+
+// stamp derives the wire stamp of a pinned standalone epoch.
+func (ep *IndexEpoch) stamp() EpochStamp { return EpochStamp{Seq: ep.Seq, Docs: ep.Docs} }
+
+// stamp derives the wire stamp of a pinned engine epoch. Docs is the live
+// document count (crash gaps in the frozen order excluded), precomputed
+// at publish.
+func (ee *engineEpoch) stamp() EpochStamp { return EpochStamp{Seq: ee.seq, Docs: ee.live} }
+
+// ServingEpoch reports the stamp of the epoch queries are currently
+// served from; ok is false (and the stamp zero) before the first publish.
+// Because queries pin their own epoch, a stamp observed here only brackets
+// concurrent answers — per-answer stamps come from the Stamped variants.
+func (m *Mirror) ServingEpoch() (EpochStamp, bool) {
+	ep := m.currentEpoch()
+	if ep == nil {
+		return EpochStamp{}, false
+	}
+	return ep.stamp(), true
+}
+
+// ServingEpoch reports the engine-wide serving stamp; see Mirror.ServingEpoch.
+func (e *ShardedEngine) ServingEpoch() (EpochStamp, bool) {
+	ee := e.epoch.Load()
+	if ee == nil {
+		return EpochStamp{}, false
+	}
+	return ee.stamp(), true
+}

@@ -1,0 +1,156 @@
+package load
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"mirror/internal/core"
+)
+
+// Fault names one crash-matrix entry from docs/OPERATIONS.md. Every fault
+// ends the same way — SIGKILL, then a restart over the surviving store —
+// and differs only in what the daemon was doing when the lights went out.
+type Fault string
+
+const (
+	// FaultKillDuringPublish crashes the daemon while a Refresh is
+	// building and publishing a new snapshot epoch. Recovery must land in
+	// the catch-up branch: the checkpointed epoch serves, WAL-replayed
+	// documents show as pending, and a catch-up refresh re-publishes them.
+	FaultKillDuringPublish Fault = "kill-during-publish"
+
+	// FaultKillDuringCheckpoint crashes the daemon mid-checkpoint.
+	// Recovery must reopen the previous consistent manifest (checkpoints
+	// publish atomically) and replay the intact WAL over it.
+	FaultKillDuringCheckpoint Fault = "kill-during-checkpoint"
+
+	// FaultTornWAL crashes the daemon and then tears the WAL tail on
+	// disk — the torn-write shape of a power cut. Recovery must detect
+	// the tear, truncate to the last consistent record, and log the
+	// "truncated a torn WAL tail" warning; the dropped suffix is
+	// re-ingested from the media server by the startup crawl.
+	FaultTornWAL Fault = "torn-wal"
+)
+
+// AllFaults lists every injectable fault, in injection order.
+func AllFaults() []Fault {
+	return []Fault{FaultKillDuringPublish, FaultKillDuringCheckpoint, FaultTornWAL}
+}
+
+// FaultReport records what one injection did and what recovery looked like.
+type FaultReport struct {
+	Fault        Fault         `json:"fault"`
+	TornTailSeen bool          `json:"torn_tail_seen"` // recovery logged the torn-tail warning
+	WALTorn      bool          `json:"wal_torn"`       // injector performed WAL surgery
+	Downtime     time.Duration `json:"downtime_ns"`    // kill → ready again
+}
+
+// Inject executes one fault against a running daemon and brings it back:
+// provoke the interesting moment, SIGKILL, (for FaultTornWAL) perform the
+// WAL surgery, restart, and block until the RPC surface serves again.
+// storeDir is the daemon's -store directory, needed for the WAL surgery.
+func Inject(d *Daemon, f Fault, storeDir string) (*FaultReport, error) {
+	rep := &FaultReport{Fault: f}
+	switch f {
+	case FaultKillDuringPublish:
+		fireAsync(d.Addr, func(c *core.Client) { c.Refresh() })
+	case FaultKillDuringCheckpoint:
+		fireAsync(d.Addr, func(c *core.Client) { c.Checkpoint() })
+	case FaultTornWAL:
+		// Nothing to provoke: the tear happens post-mortem.
+	default:
+		return nil, fmt.Errorf("load: unknown fault %q", f)
+	}
+	mark := len(d.Output())
+	start := time.Now()
+	if err := d.Kill(); err != nil {
+		return nil, err
+	}
+	if f == FaultTornWAL {
+		torn, err := TearWAL(storeDir)
+		if err != nil {
+			return nil, err
+		}
+		rep.WALTorn = torn
+	}
+	if err := d.Start(); err != nil {
+		return nil, err
+	}
+	if err := d.WaitReady(60 * time.Second); err != nil {
+		return nil, fmt.Errorf("load: recovery after %s: %w", f, err)
+	}
+	rep.Downtime = time.Since(start)
+	rep.TornTailSeen = strings.Contains(d.Output()[mark:], "truncated a torn WAL tail")
+	return rep, nil
+}
+
+// fireAsync dials the daemon and runs one RPC on a goroutine; the call is
+// expected to die mid-flight when the daemon is killed, so errors (and the
+// connection) are abandoned. A short grace period lets the RPC reach the
+// server and start the operation before the caller pulls the trigger.
+func fireAsync(addr string, call func(*core.Client)) {
+	c, err := core.DialMirror(addr)
+	if err != nil {
+		return // daemon already gone; the kill proceeds regardless
+	}
+	go func() {
+		defer c.Close()
+		call(c)
+	}()
+	time.Sleep(15 * time.Millisecond)
+}
+
+// TearWAL damages the store's WAL tail the way a torn write would: the
+// last bytes of the newest non-empty WAL (standalone wal.log or any
+// shard-NNN/wal.log) are cut mid-record. When every WAL is empty (a
+// checkpoint just reset them) a partial garbage frame is appended
+// instead — both shapes must make recovery truncate to the last valid
+// record. Returns whether any surgery was performed.
+func TearWAL(storeDir string) (bool, error) {
+	wals := walFiles(storeDir)
+	if len(wals) == 0 {
+		return false, fmt.Errorf("load: no wal.log under %s", storeDir)
+	}
+	// Prefer the largest WAL: most records, so the tear is guaranteed to
+	// land inside one.
+	sort.Slice(wals, func(i, j int) bool { return wals[i].size > wals[j].size })
+	w := wals[0]
+	if w.size >= 8 {
+		return true, os.Truncate(w.path, w.size-3)
+	}
+	f, err := os.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	// A plausible length prefix followed by nothing: a frame whose body
+	// never hit the disk.
+	_, err = f.Write([]byte{0x40, 0x00, 0x00, 0x00, 0xde, 0xad})
+	return err == nil, err
+}
+
+type walFile struct {
+	path string
+	size int64
+}
+
+// walFiles finds every WAL in a store directory, standalone or sharded.
+func walFiles(storeDir string) []walFile {
+	var out []walFile
+	add := func(p string) {
+		if st, err := os.Stat(p); err == nil {
+			out = append(out, walFile{path: p, size: st.Size()})
+		}
+	}
+	add(filepath.Join(storeDir, "wal.log"))
+	shards, _ := filepath.Glob(filepath.Join(storeDir, "shard-*", "wal.log"))
+	sort.Strings(shards)
+	for _, p := range shards {
+		add(p)
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package load
+
+import (
+	"strings"
+	"testing"
+
+	"mirror/internal/core"
+)
+
+// Every crash-matrix fault must land the daemon in an intended recovery
+// branch (pinned by scraping the restart banner and the serving state)
+// and converge back to answers the oracle accepts.
+func TestFaultRecoveryBranches(t *testing.T) {
+	tests := []struct {
+		name   string
+		fault  Fault
+		shards int
+		check  func(t *testing.T, rig *testRig, rep *FaultReport, out string)
+	}{
+		// Killed around a publish: the publish WAL record either made it
+		// (replay reproduces the epoch — immediately current, no crawl)
+		// or it didn't (pending docs force the crawl + catch-up branch).
+		// Anything in between — a half-applied publish — is a bug.
+		{"kill-during-publish", FaultKillDuringPublish, 0,
+			func(t *testing.T, rig *testRig, rep *FaultReport, out string) {
+				if rep.TornTailSeen {
+					t.Fatalf("unexpected torn-tail warning:\n%s", out)
+				}
+				crawled := strings.Contains(out, "mirrord: crawling")
+				st := rig.stats(t)
+				if !crawled && (!st.Current || st.EpochDocs != rig.ingested) {
+					t.Fatalf("no crawl, yet replay is not current over %d docs: %+v", rig.ingested, st)
+				}
+				if crawled && !strings.Contains(out, "catch-up refresh") &&
+					!strings.Contains(out, "running extraction pipeline") {
+					t.Fatalf("crawl branch without catch-up or rebuild:\n%s", out)
+				}
+			}},
+		// Killed mid-checkpoint: the previous manifest must reopen
+		// (checkpoints publish atomically) and the WAL replay on top;
+		// the RPC-ingested docs were never published, so recovery must
+		// take the crawl + catch-up branch to re-attach their rasters.
+		{"kill-during-checkpoint", FaultKillDuringCheckpoint, 0,
+			func(t *testing.T, rig *testRig, rep *FaultReport, out string) {
+				if rep.TornTailSeen {
+					t.Fatalf("unexpected torn-tail warning:\n%s", out)
+				}
+				if !strings.Contains(out, "mirrord: crawling") {
+					t.Fatalf("recovery skipped the crawl + catch-up branch:\n%s", out)
+				}
+			}},
+		// Torn WAL tail: recovery must detect the tear, truncate to the
+		// last consistent record, and warn loudly; the dropped suffix is
+		// re-ingested by the crawl.
+		{"torn-wal", FaultTornWAL, 0,
+			func(t *testing.T, rig *testRig, rep *FaultReport, out string) {
+				if !rep.WALTorn {
+					t.Fatal("injector reported no WAL surgery")
+				}
+				if !rep.TornTailSeen || !strings.Contains(out, "truncated a torn WAL tail") {
+					t.Fatalf("recovery did not log the torn-tail warning:\n%s", out)
+				}
+			}},
+		// Same against a sharded store: the tear lands in one member's
+		// WAL and recovery names the shard it truncated.
+		{"torn-wal-sharded", FaultTornWAL, 3,
+			func(t *testing.T, rig *testRig, rep *FaultReport, out string) {
+				if !rep.WALTorn {
+					t.Fatal("injector reported no WAL surgery")
+				}
+				if !rep.TornTailSeen || !strings.Contains(out, "torn WAL tail on shard") {
+					t.Fatalf("recovery did not log the per-shard torn-tail warning:\n%s", out)
+				}
+			}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			rig := newRig(t, tc.shards)
+			rig.ingest(t, 4) // WAL records beyond the initial checkpoint
+			mark := len(rig.d.Output())
+			rep, err := Inject(rig.d, tc.fault, rig.store)
+			if err != nil {
+				t.Fatalf("inject %s: %v", tc.fault, err)
+			}
+			if rep.Fault != tc.fault || rep.Downtime <= 0 {
+				t.Fatalf("bad report: %+v", rep)
+			}
+			if !rig.d.Running() {
+				t.Fatal("daemon not running after recovery")
+			}
+			tc.check(t, rig, rep, rig.d.Output()[mark:])
+			st := rig.settle(t)
+			if st.Epoch == 0 || st.EpochDocs != rig.ingested {
+				t.Fatalf("bad post-recovery state: %+v", st)
+			}
+		})
+	}
+}
+
+// stats fetches the daemon's serving state without driving any refresh.
+func (r *testRig) stats(t *testing.T) *core.StatsReply {
+	t.Helper()
+	c, err := core.DialMirror(r.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// Tearing the WAL of a store whose directory holds no WAL at all is an
+// injector error, not a silent no-op.
+func TestTearWALRequiresAWAL(t *testing.T) {
+	if _, err := TearWAL(t.TempDir()); err == nil {
+		t.Fatal("TearWAL on an empty directory must fail")
+	}
+}
+
+// Injecting an unknown fault must be rejected before any kill happens.
+func TestInjectUnknownFault(t *testing.T) {
+	d := &Daemon{}
+	if _, err := Inject(d, Fault("meteor-strike"), t.TempDir()); err == nil {
+		t.Fatal("unknown fault accepted")
+	}
+}

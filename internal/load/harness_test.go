@@ -1,0 +1,184 @@
+package load
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"mirror/internal/core"
+	"mirror/internal/dict"
+	"mirror/internal/mediaserver"
+)
+
+// mirrordBin is the daemon binary every e2e test supervises, built once
+// per test run by TestMain.
+var mirrordBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "load-mirrord-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	bin := filepath.Join(dir, "mirrord")
+	out, err := exec.Command("go", "build", "-o", bin, "mirror/cmd/mirrord").CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "building mirrord: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	mirrordBin = bin
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// testRig is a live single-daemon harness: in-process dictionary and media
+// server, a supervised mirrord child over a persistent store, and the
+// shadow oracle tracking the ingest prefix.
+type testRig struct {
+	d        *Daemon
+	store    string
+	media    *mediaserver.Server
+	addr     string
+	oracle   *core.Oracle
+	sc       *Scenario
+	spec     Spec
+	ingested int // documents known to media server + oracle
+}
+
+// newRig boots a rig with the spec's preload indexed and checkpointed.
+// shards <= 1 runs a standalone store, else a sharded one.
+func newRig(t *testing.T, shards int) *testRig {
+	t.Helper()
+	dictAddr, stopDict, err := dict.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(stopDict)
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + l.Addr().String()
+
+	spec := DefaultSpec()
+	spec.Docs, spec.Preload, spec.W, spec.H = 24, 16, 16, 16
+	if shards > 1 {
+		spec.Shards, spec.HotShard = shards, shards-1
+	}
+	sc, err := Synthesize(spec, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := &testRig{store: t.TempDir(), sc: sc, spec: spec, oracle: core.NewOracle()}
+	r.media = mediaserver.NewServer(nil)
+	for i := 0; i < spec.Preload; i++ {
+		it := sc.Docs[i].Item(sc.BaseURL, spec.W, spec.H)
+		r.media.Add(it)
+		r.oracle.AddDoc(it.URL, it.Annotation)
+	}
+	r.ingested = spec.Preload
+	srv := &http.Server{Handler: r.media}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+
+	r.addr, err = freeAddr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := []string{
+		"-dict", dictAddr, "-media", base, "-addr", r.addr,
+		"-store", r.store, "-local-pipeline", "-wal-sync",
+		"-refresh-every", "0", "-checkpoint-every", "0",
+	}
+	if shards > 1 {
+		args = append(args, "-shards", strconv.Itoa(shards))
+	}
+	r.d = &Daemon{Bin: mirrordBin, Args: args, Addr: r.addr}
+	if err := r.d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.d.Kill() })
+	if err := r.d.WaitReady(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// ingest pushes the next n stream documents through the full path: media
+// server first, oracle second, RPC last — the prefix discipline.
+func (r *testRig) ingest(t *testing.T, n int) {
+	t.Helper()
+	c, err := core.DialMirror(r.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for ; n > 0; n-- {
+		doc := &r.sc.Docs[r.ingested]
+		it := doc.Item(r.sc.BaseURL, r.spec.W, r.spec.H)
+		r.media.Add(it)
+		r.oracle.AddDoc(it.URL, it.Annotation)
+		var ppm bytes.Buffer
+		if err := it.Scene.Img.EncodePPM(&ppm); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.AddImage(it.URL, it.Annotation, ppm.Bytes()); err != nil &&
+			!strings.Contains(err.Error(), "already in library") {
+			t.Fatalf("ingest %s: %v", it.URL, err)
+		}
+		r.ingested++
+	}
+}
+
+// settle refreshes until the daemon serves every ingested document, then
+// verifies one stamped query against the oracle, returning final stats.
+func (r *testRig) settle(t *testing.T) *core.StatsReply {
+	t.Helper()
+	c, err := core.DialMirror(r.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var st *core.StatsReply
+	deadline := time.Now().Add(time.Minute)
+	for {
+		if _, err := c.Refresh(); err != nil {
+			t.Fatalf("refresh: %v", err)
+		}
+		st, err = c.Stats()
+		if err != nil {
+			t.Fatalf("stats: %v", err)
+		}
+		if st.Pending == 0 && st.Current {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became current: %+v", st)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if st.EpochDocs != r.ingested {
+		t.Fatalf("epoch covers %d docs, harness ingested %d", st.EpochDocs, r.ingested)
+	}
+	q := r.sc.Queries[0].Text
+	reply, err := c.TextQueryStamped(q, 10, false)
+	if err != nil {
+		t.Fatalf("query %q: %v", q, err)
+	}
+	if err := r.oracle.VerifyHits(reply.EpochDocs, q, 10, reply.Hits); err != nil {
+		t.Fatalf("oracle violation after recovery: %v", err)
+	}
+	return st
+}

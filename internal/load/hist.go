@@ -1,0 +1,119 @@
+// Package load is the production workload harness: it synthesizes
+// deterministic mixed read/write scenarios (zipfian query popularity,
+// bursty ingest, multi-turn feedback sessions, shard-skewed document
+// placement), drives a live mirrord over its real RPC surface with
+// closed-loop workers, injects the OPERATIONS.md crash-matrix faults
+// mid-run through a process supervisor, and verifies every stamped query
+// answer against the in-process exactness oracle (internal/core.Oracle).
+// Latencies are recorded in HDR-style histograms per operation class and
+// emitted as BENCH_load.json by cmd/mirrorload.
+package load
+
+import "math/bits"
+
+// Hist is an HDR-style latency histogram: log2 major buckets of 32
+// sub-buckets each, giving a fixed ~3% relative error at every
+// magnitude with a few KB of counters and lock-free-cheap observes
+// (callers own a Hist per worker and Merge at the end — Hist itself is
+// not synchronised). Values are unit-agnostic; the harness records
+// microseconds. The exact maximum is tracked separately so tail reports
+// never round the worst case down.
+type Hist struct {
+	counts [histBuckets]uint64
+	n      uint64
+	sum    uint64
+	max    uint64
+}
+
+// histBuckets covers values up to 2^63-1: majors 0..59, 32 sub-buckets
+// each (majors 0 and 1 are exact).
+const histBuckets = 60 * 32
+
+// bucketOf maps a value to its bucket index. Values below 64 map
+// exactly; above, the top 5 bits below the leading bit select the
+// sub-bucket, so each bucket spans 1/32 of its magnitude.
+func bucketOf(v uint64) int {
+	if v < 64 {
+		return int(v)
+	}
+	e := uint(bits.Len64(v)) - 6
+	return int((uint64(e)+1)*32 + (v>>e - 32))
+}
+
+// bucketMax is the largest value a bucket holds (the inverse of
+// bucketOf, used to report quantiles).
+func bucketMax(idx int) uint64 {
+	if idx < 64 {
+		return uint64(idx)
+	}
+	e := uint(idx/32) - 1
+	return (uint64(idx%32)+33)<<e - 1
+}
+
+// Observe records one value.
+func (h *Hist) Observe(v uint64) {
+	h.counts[bucketOf(v)]++
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge folds another histogram into this one.
+func (h *Hist) Merge(o *Hist) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Count reports the number of observations.
+func (h *Hist) Count() uint64 { return h.n }
+
+// Mean reports the exact arithmetic mean (the sum is tracked, not
+// reconstructed from buckets); 0 when empty.
+func (h *Hist) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Max reports the exact maximum observation; 0 when empty.
+func (h *Hist) Max() uint64 { return h.max }
+
+// Quantile reports an upper bound on the q-quantile (0 < q <= 1) with
+// the bucket granularity's ~3% relative error; the exact max caps it.
+// 0 when empty.
+func (h *Hist) Quantile(q float64) uint64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.n))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			ub := bucketMax(i)
+			if ub > h.max {
+				ub = h.max
+			}
+			return ub
+		}
+	}
+	return h.max
+}

@@ -1,0 +1,99 @@
+package load
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Buckets must tile the value space: every value maps to a bucket whose
+// range contains it, bucket maxima are strictly increasing, and values
+// below 64 are exact.
+func TestHistBucketMath(t *testing.T) {
+	for v := uint64(0); v < 64; v++ {
+		if got := bucketOf(v); got != int(v) {
+			t.Fatalf("bucketOf(%d) = %d, want exact", v, got)
+		}
+		if got := bucketMax(int(v)); got != v {
+			t.Fatalf("bucketMax(%d) = %d, want exact", v, got)
+		}
+	}
+	prev := uint64(0)
+	for idx := 1; idx < histBuckets; idx++ {
+		m := bucketMax(idx)
+		if m <= prev {
+			t.Fatalf("bucketMax not increasing at %d: %d <= %d", idx, m, prev)
+		}
+		// The bucket's own max and the first value past the previous
+		// bucket must both map back to this bucket.
+		if got := bucketOf(m); got != idx {
+			t.Fatalf("bucketOf(bucketMax(%d)=%d) = %d", idx, m, got)
+		}
+		if got := bucketOf(prev + 1); got != idx {
+			t.Fatalf("bucketOf(%d) = %d, want %d", prev+1, got, idx)
+		}
+		prev = m
+	}
+}
+
+// The bucket granularity bounds the relative error: for any value, the
+// reported upper bound overshoots by at most 1/32 of the magnitude.
+func TestHistRelativeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200000; i++ {
+		v := uint64(rng.Int63n(1 << 40))
+		ub := bucketMax(bucketOf(v))
+		if ub < v {
+			t.Fatalf("upper bound %d below value %d", ub, v)
+		}
+		if v >= 64 && float64(ub-v) > float64(v)*0.04 {
+			t.Fatalf("relative error %.4f too large at %d (ub %d)",
+				float64(ub-v)/float64(v), v, ub)
+		}
+	}
+}
+
+func TestHistQuantilesAndMerge(t *testing.T) {
+	var a, b Hist
+	// 1..1000 split across two worker histograms.
+	for v := uint64(1); v <= 500; v++ {
+		a.Observe(v)
+	}
+	for v := uint64(501); v <= 1000; v++ {
+		b.Observe(v)
+	}
+	var h Hist
+	h.Merge(&a)
+	h.Merge(&b)
+	if h.Count() != 1000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("max %d", h.Max())
+	}
+	if m := h.Mean(); m != 500.5 {
+		t.Fatalf("mean %v, want exact 500.5", m)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want uint64
+	}{{0.50, 500}, {0.95, 950}, {0.99, 990}, {1.0, 1000}} {
+		got := h.Quantile(tc.q)
+		if got < tc.want || float64(got-tc.want) > float64(tc.want)*0.04 {
+			t.Fatalf("q%.2f = %d, want within 4%% above %d", tc.q, got, tc.want)
+		}
+	}
+	var empty Hist
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 || empty.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+// The exact max caps quantile upper bounds: a single huge observation must
+// be reported exactly, not rounded up to its bucket ceiling.
+func TestHistMaxCapsQuantile(t *testing.T) {
+	var h Hist
+	h.Observe(1_000_003)
+	if got := h.Quantile(1.0); got != 1_000_003 {
+		t.Fatalf("q1.0 = %d, want exact max", got)
+	}
+}

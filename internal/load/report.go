@@ -1,0 +1,70 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// OpReport summarises one operation class's latency histogram (microseconds).
+type OpReport struct {
+	Count  uint64  `json:"count"`
+	Errors uint64  `json:"errors"`
+	P50us  uint64  `json:"p50_us"`
+	P95us  uint64  `json:"p95_us"`
+	P99us  uint64  `json:"p99_us"`
+	MaxUs  uint64  `json:"max_us"`
+	MeanUs float64 `json:"mean_us"`
+}
+
+// summarize folds a histogram into its report form.
+func summarize(h *Hist, errors uint64) OpReport {
+	return OpReport{
+		Count:  h.Count(),
+		Errors: errors,
+		P50us:  h.Quantile(0.50),
+		P95us:  h.Quantile(0.95),
+		P99us:  h.Quantile(0.99),
+		MaxUs:  h.Max(),
+		MeanUs: h.Mean(),
+	}
+}
+
+// TopologyReport is one topology's full run outcome.
+type TopologyReport struct {
+	Topology   string              `json:"topology"` // "single" or "sharded-N"
+	Spec       Spec                `json:"spec"`
+	Ops        map[string]OpReport `json:"ops"` // keyed by op class
+	Faults     []*FaultReport      `json:"faults"`
+	Oracle     OracleReport        `json:"oracle"`
+	FinalDocs  int                 `json:"final_docs"`
+	FinalEpoch int64               `json:"final_epoch"`
+	Restarts   int                 `json:"restarts"`
+}
+
+// OracleReport counts exactness verifications: every stamped query answer
+// checked bit-exact against a one-shot rebuild of its epoch's doc prefix.
+type OracleReport struct {
+	Checked    uint64 `json:"checked"`
+	Violations uint64 `json:"violations"`
+}
+
+// Report is the BENCH_load.json payload.
+type Report struct {
+	Seed       int64             `json:"seed"`
+	Topologies []*TopologyReport `json:"topologies"`
+}
+
+// WriteReport writes the report as deterministic, indented JSON
+// (encoding/json sorts map keys, so equal runs give equal bytes).
+func WriteReport(path string, r *Report) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("load: write report: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,300 @@
+package load
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"mirror/internal/core"
+	"mirror/internal/corpus"
+	"mirror/internal/media"
+)
+
+// Spec parameterises scenario synthesis. Everything downstream is a pure
+// function of (Spec, base URL): equal specs against equal base URLs give
+// byte-identical scenarios, which is what makes CI soak runs reproducible.
+type Spec struct {
+	Seed         int64   `json:"seed"`
+	Docs         int     `json:"docs"`    // total documents (preload + stream)
+	Preload      int     `json:"preload"` // present before the workload starts
+	W            int     `json:"w"`       // raster width
+	H            int     `json:"h"`       // raster height
+	AnnotateRate float64 `json:"annotate_rate"`
+	Shards       int     `json:"shards"`    // topology the skew targets (<=1: no skew)
+	HotShard     int     `json:"hot_shard"` // shard receiving SkewFrac of the stream
+	SkewFrac     float64 `json:"skew_frac"` // fraction routed to HotShard (0: uniform)
+	Queries      int     `json:"queries"`   // distinct query texts in the mix
+	ZipfS        float64 `json:"zipf_s"`    // zipf exponent of query popularity
+	Sessions     int     `json:"sessions"`  // feedback session seed texts
+	Bursts       int     `json:"bursts"`    // ingest bursts over the stream
+}
+
+// DefaultSpec is the CI soak-smoke shape: small enough for a bounded run,
+// busy enough to overlap every operation class.
+func DefaultSpec() Spec {
+	return Spec{
+		Seed: 1, Docs: 96, Preload: 48, W: 32, H: 32, AnnotateRate: 0.75,
+		Shards: 1, HotShard: 0, SkewFrac: 0.7,
+		Queries: 24, ZipfS: 1.1, Sessions: 6, Bursts: 4,
+	}
+}
+
+// Doc is one synthesized document. The raster is regenerated on demand
+// from the per-document seed (rasters are large; scenarios serialise
+// small), and Name is chosen so that lexicographic media-server order
+// equals ingest order — the invariant that keeps post-crash re-crawls
+// prefix-shaped.
+type Doc struct {
+	Name       string `json:"name"`
+	Annotation string `json:"annotation"`
+	Classes    []int  `json:"classes"`
+	Seed       int64  `json:"doc_seed"`
+	Shard      int    `json:"shard"` // routed shard under Spec.Shards; -1 unsharded
+}
+
+// Query is one weighted entry of the query mix.
+type Query struct {
+	Text   string  `json:"text"`
+	Weight float64 `json:"weight"`
+}
+
+// Burst is one ingest burst: Count stream documents ingested back to
+// back, starting at stream offset Start (the ingester idles between
+// bursts, so ingest arrives in waves, not a trickle).
+type Burst struct {
+	Start int `json:"start"`
+	Count int `json:"count"`
+}
+
+// Scenario is a fully synthesized workload.
+type Scenario struct {
+	Spec     Spec     `json:"spec"`
+	BaseURL  string   `json:"base_url"`
+	Docs     []Doc    `json:"docs"`
+	Queries  []Query  `json:"queries"`
+	Sessions []string `json:"sessions"`
+	Bursts   []Burst  `json:"bursts"`
+}
+
+// Synthesize builds the deterministic scenario for a spec against a media
+// server base URL. Independent concerns draw from independently seeded
+// RNGs, so e.g. changing the query count cannot perturb the document
+// stream.
+func Synthesize(spec Spec, baseURL string) (*Scenario, error) {
+	if spec.Docs <= 0 || spec.Preload < 0 || spec.Preload > spec.Docs {
+		return nil, fmt.Errorf("load: bad spec: %d docs, %d preload", spec.Docs, spec.Preload)
+	}
+	if spec.Shards > 1 && (spec.HotShard < 0 || spec.HotShard >= spec.Shards) {
+		return nil, fmt.Errorf("load: hot shard %d out of range for %d shards", spec.HotShard, spec.Shards)
+	}
+	sc := &Scenario{Spec: spec, BaseURL: strings.TrimRight(baseURL, "/")}
+	sc.Docs = synthDocs(spec, sc.BaseURL)
+	sc.Queries = synthQueries(spec)
+	sc.Sessions = synthSessions(spec)
+	sc.Bursts = synthBursts(spec)
+	return sc, nil
+}
+
+// subRNG derives an independent RNG for one synthesis concern.
+func subRNG(seed int64, concern string) *rand.Rand {
+	h := int64(1469598103934665603)
+	for _, b := range []byte(concern) {
+		h ^= int64(b)
+		h *= 1099511628211
+	}
+	return rand.New(rand.NewSource(seed ^ h))
+}
+
+// synthDocs synthesizes the document stream: latent classes, annotations
+// in the corpus vocabulary, and — under a sharded spec — names searched
+// so the engine's routing function lands SkewFrac of them on the hot
+// shard (the suffix search changes the name only, never the sort order).
+func synthDocs(spec Spec, baseURL string) []Doc {
+	rng := subRNG(spec.Seed, "docs")
+	docs := make([]Doc, spec.Docs)
+	for i := range docs {
+		nclass := 1 + rng.Intn(3)
+		classes := make([]int, nclass)
+		for j := range classes {
+			classes[j] = rng.Intn(len(media.Classes))
+		}
+		d := Doc{
+			Classes: classes,
+			Seed:    spec.Seed ^ int64(uint64(i+1)*0x9e3779b97f4a7c15),
+			Shard:   -1,
+		}
+		if rng.Float64() < spec.AnnotateRate {
+			d.Annotation = synthAnnotation(rng, classes)
+		}
+		if spec.Shards > 1 {
+			target := spec.HotShard
+			if rng.Float64() >= spec.SkewFrac {
+				target = rng.Intn(spec.Shards)
+			}
+			d.Name, d.Shard = skewedName(baseURL, i, target, spec.Shards)
+		} else {
+			d.Name = fmt.Sprintf("%05d.ppm", i)
+		}
+		docs[i] = d
+	}
+	return docs
+}
+
+// synthAnnotation writes an annotation in the corpus's class vocabulary
+// (so the query mix has ground-truth signal) plus neutral padding.
+func synthAnnotation(rng *rand.Rand, classes []int) string {
+	neutral := []string{"photo", "view", "scene", "shot", "wide", "bright"}
+	var words []string
+	for _, c := range classes {
+		cw := corpus.ClassWords(c)
+		words = append(words, cw[rng.Intn(len(cw))])
+	}
+	for n := rng.Intn(3); n > 0; n-- {
+		words = append(words, neutral[rng.Intn(len(neutral))])
+	}
+	return strings.Join(words, " ")
+}
+
+// skewedName searches name suffixes until the engine's routing function
+// places the document's URL on the target shard. 512 candidates make a
+// miss astronomically unlikely for any real shard count; if every suffix
+// misses, the plain name stands and the doc routes wherever the hash
+// says (recorded faithfully in Shard).
+func skewedName(baseURL string, i, target, shards int) (string, int) {
+	for s := 0; s < 512; s++ {
+		name := fmt.Sprintf("%05d-%03x.ppm", i, s)
+		if core.ShardOf(baseURL+"/img/"+name, shards) == target {
+			return name, target
+		}
+	}
+	name := fmt.Sprintf("%05d.ppm", i)
+	return name, core.ShardOf(baseURL+"/img/"+name, shards)
+}
+
+// synthQueries builds the zipf-weighted query mix over the corpus class
+// vocabulary: rank r gets weight 1/(r+1)^s. Texts mix canonical
+// single-term queries with two-term combinations, the shapes the paper's
+// Section 3 scenario serves.
+func synthQueries(spec Spec) []Query {
+	rng := subRNG(spec.Seed, "queries")
+	n := spec.Queries
+	if n <= 0 {
+		n = 1
+	}
+	seen := map[string]bool{}
+	out := make([]Query, 0, n)
+	var norm float64
+	for len(out) < n {
+		var text string
+		c1 := rng.Intn(len(media.Classes))
+		if rng.Intn(2) == 0 {
+			text = corpus.CanonicalTerm(c1)
+		} else {
+			cw := corpus.ClassWords(rng.Intn(len(media.Classes)))
+			text = corpus.CanonicalTerm(c1) + " " + cw[rng.Intn(len(cw))]
+		}
+		if seen[text] {
+			continue
+		}
+		seen[text] = true
+		w := 1 / math.Pow(float64(len(out)+1), spec.ZipfS)
+		out = append(out, Query{Text: text, Weight: w})
+		norm += w
+	}
+	for i := range out {
+		out[i].Weight /= norm
+	}
+	return out
+}
+
+// synthSessions picks feedback session seed texts from the query mix's
+// vocabulary (sessions rank, judge, and re-rank around these).
+func synthSessions(spec Spec) []string {
+	rng := subRNG(spec.Seed, "sessions")
+	n := spec.Sessions
+	if n <= 0 {
+		n = 1
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = corpus.CanonicalTerm(rng.Intn(len(media.Classes)))
+	}
+	return out
+}
+
+// synthBursts splits the stream (docs after the preload) into bursts at
+// sorted random offsets; every stream document belongs to exactly one
+// burst, so replaying all bursts ingests the whole stream in order.
+func synthBursts(spec Spec) []Burst {
+	stream := spec.Docs - spec.Preload
+	if stream <= 0 {
+		return nil
+	}
+	n := spec.Bursts
+	if n <= 0 {
+		n = 1
+	}
+	if n > stream {
+		n = stream
+	}
+	rng := subRNG(spec.Seed, "bursts")
+	cuts := map[int]bool{0: true}
+	for len(cuts) < n {
+		cuts[rng.Intn(stream)] = true
+	}
+	offsets := make([]int, 0, n)
+	for c := range cuts {
+		offsets = append(offsets, c)
+	}
+	sort.Ints(offsets)
+	out := make([]Burst, n)
+	for i, off := range offsets {
+		end := stream
+		if i+1 < n {
+			end = offsets[i+1]
+		}
+		out[i] = Burst{Start: off, Count: end - off}
+	}
+	return out
+}
+
+// URL returns the document's media-server URL — the identity the store,
+// the shards and the oracle all key on.
+func (d *Doc) URL(baseURL string) string {
+	return strings.TrimRight(baseURL, "/") + "/img/" + d.Name
+}
+
+// Item regenerates the document's full corpus item (raster included)
+// from its seed — deterministic, so a re-run or a restarted media server
+// serves byte-identical pixels.
+func (d *Doc) Item(baseURL string, w, h int) *corpus.Item {
+	rng := rand.New(rand.NewSource(d.Seed))
+	scene := media.GenerateScene(rng, w, h, d.Classes)
+	return &corpus.Item{
+		URL:        d.URL(baseURL),
+		Scene:      scene,
+		Annotation: d.Annotation,
+		Classes:    append([]int(nil), d.Classes...),
+	}
+}
+
+// Sampler returns a deterministic weighted sampler over the query mix.
+func (sc *Scenario) Sampler(seed int64) func() Query {
+	rng := rand.New(rand.NewSource(seed))
+	cum := make([]float64, len(sc.Queries))
+	var acc float64
+	for i, q := range sc.Queries {
+		acc += q.Weight
+		cum[i] = acc
+	}
+	return func() Query {
+		x := rng.Float64() * acc
+		i := sort.SearchFloat64s(cum, x)
+		if i >= len(sc.Queries) {
+			i = len(sc.Queries) - 1
+		}
+		return sc.Queries[i]
+	}
+}

@@ -1,0 +1,176 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"testing"
+
+	"mirror/internal/core"
+)
+
+const testBase = "http://mediaserver.test:8080"
+
+// Equal (spec, base URL) inputs must give byte-identical scenarios — the
+// reproducibility contract CI soak runs lean on.
+func TestSynthesizeDeterministic(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Shards, spec.HotShard = 3, 1
+	a, err := Synthesize(spec, testBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(spec, testBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Fatal("same spec, same base URL, different scenario bytes")
+	}
+	// A different seed must actually change the scenario.
+	spec.Seed++
+	c, err := Synthesize(spec, testBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cj, _ := json.Marshal(c)
+	if string(aj) == string(cj) {
+		t.Fatal("different seed produced an identical scenario")
+	}
+}
+
+// Synthesis concerns are independently seeded: resizing the query mix must
+// not perturb the document stream.
+func TestSynthesizeConcernIndependence(t *testing.T) {
+	spec := DefaultSpec()
+	a, err := Synthesize(spec, testBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Queries *= 2
+	b, err := Synthesize(spec, testBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(a.Docs)
+	bj, _ := json.Marshal(b.Docs)
+	if string(aj) != string(bj) {
+		t.Fatal("changing the query count perturbed the document stream")
+	}
+	if len(b.Queries) != 2*len(a.Queries) {
+		t.Fatalf("query mix %d, want %d", len(b.Queries), 2*len(a.Queries))
+	}
+}
+
+// Skewed naming must (a) land the requested traffic fraction on the hot
+// shard under the engine's real routing function and (b) never break the
+// lexicographic-order-equals-ingest-order invariant the crash recovery
+// path depends on.
+func TestSynthesizeShardSkew(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Docs, spec.Preload = 200, 0
+	spec.Shards, spec.HotShard, spec.SkewFrac = 3, 2, 0.7
+	sc, err := Synthesize(spec, testBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := 0
+	names := make([]string, len(sc.Docs))
+	for i, d := range sc.Docs {
+		if got := core.ShardOf(d.URL(testBase), spec.Shards); got != d.Shard {
+			t.Fatalf("doc %d: recorded shard %d, engine routes to %d", i, d.Shard, got)
+		}
+		if d.Shard == spec.HotShard {
+			hot++
+		}
+		names[i] = d.Name
+	}
+	frac := float64(hot) / float64(len(sc.Docs))
+	if frac < 0.6 || frac > 0.85 {
+		t.Fatalf("hot shard got %.2f of the stream, want ~0.7", frac)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatal("document names not sorted: media-server order would diverge from ingest order")
+	}
+}
+
+// The query mix is a normalised zipf distribution over distinct texts.
+func TestSynthesizeQueryMix(t *testing.T) {
+	sc, err := Synthesize(DefaultSpec(), testBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	seen := map[string]bool{}
+	for i, q := range sc.Queries {
+		if q.Text == "" || seen[q.Text] {
+			t.Fatalf("query %d: empty or duplicate text %q", i, q.Text)
+		}
+		seen[q.Text] = true
+		if i > 0 && q.Weight >= sc.Queries[i-1].Weight {
+			t.Fatalf("weights not zipf-decreasing at %d", i)
+		}
+		sum += q.Weight
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("weights sum to %v, want 1", sum)
+	}
+	// The sampler must be deterministic per seed and only emit mix entries.
+	s1, s2 := sc.Sampler(42), sc.Sampler(42)
+	for i := 0; i < 100; i++ {
+		a, b := s1(), s2()
+		if a.Text != b.Text {
+			t.Fatalf("sampler not deterministic at draw %d", i)
+		}
+		if !seen[a.Text] {
+			t.Fatalf("sampler emitted %q, not in the mix", a.Text)
+		}
+	}
+}
+
+// Bursts partition the post-preload stream exactly: in order, no gaps, no
+// overlaps, all documents covered.
+func TestSynthesizeBurstsPartitionStream(t *testing.T) {
+	spec := DefaultSpec()
+	sc, err := Synthesize(spec, testBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := 0
+	for i, b := range sc.Bursts {
+		if b.Start != next || b.Count <= 0 {
+			t.Fatalf("burst %d: start %d count %d, want start %d", i, b.Start, b.Count, next)
+		}
+		next += b.Count
+	}
+	if next != spec.Docs-spec.Preload {
+		t.Fatalf("bursts cover %d docs, want %d", next, spec.Docs-spec.Preload)
+	}
+}
+
+// Doc.Item must regenerate identical rasters on every call — a restarted
+// media server has to serve byte-identical pixels.
+func TestDocItemDeterministic(t *testing.T) {
+	sc, err := Synthesize(DefaultSpec(), testBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &sc.Docs[3]
+	a := d.Item(testBase, 16, 16)
+	b := d.Item(testBase, 16, 16)
+	if a.URL != b.URL || a.Annotation != b.Annotation {
+		t.Fatal("item metadata not deterministic")
+	}
+	var ab, bb bytes.Buffer
+	if err := a.Scene.Img.EncodePPM(&ab); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Scene.Img.EncodePPM(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if ab.Len() == 0 || !bytes.Equal(ab.Bytes(), bb.Bytes()) {
+		t.Fatal("raster not deterministic")
+	}
+}

@@ -1,0 +1,153 @@
+package load
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"sync"
+	"syscall"
+	"time"
+
+	"mirror/internal/core"
+)
+
+// Daemon supervises one mirrord child process: start it, scrape its
+// output, wait until its RPC surface answers, kill it mid-operation, and
+// restart it against the same store and address. This is the harness's
+// crash hammer — every fault the OPERATIONS.md crash matrix describes is
+// "SIGKILL at an interesting moment", and recovery is just Start again.
+type Daemon struct {
+	Bin  string   // mirrord binary
+	Args []string // full flag set, including -addr and -store
+	Addr string   // the RPC address the args bind
+
+	mu     sync.Mutex
+	cmd    *exec.Cmd
+	out    bytes.Buffer
+	done   chan error
+	exited bool // the current child died on its own (not via Kill/Stop)
+}
+
+// Start launches the daemon. Output (stdout+stderr) accumulates across
+// restarts so recovery banners from every incarnation stay greppable.
+func (d *Daemon) Start() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cmd != nil {
+		return fmt.Errorf("load: daemon already running")
+	}
+	cmd := exec.Command(d.Bin, d.Args...)
+	cmd.Stdout = &lockedWriter{d: d}
+	cmd.Stderr = &lockedWriter{d: d}
+	// Don't let Wait block on output pipes held open by orphaned
+	// grandchildren: once the daemon itself is dead, reap promptly.
+	cmd.WaitDelay = 5 * time.Second
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("load: start %s: %w", d.Bin, err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		err := cmd.Wait()
+		d.mu.Lock()
+		if d.cmd == cmd { // self-exit, not a Kill/Stop reap
+			d.exited = true
+		}
+		d.mu.Unlock()
+		done <- err
+	}()
+	d.cmd, d.done, d.exited = cmd, done, false
+	return nil
+}
+
+// lockedWriter serialises child output into the shared capture buffer.
+type lockedWriter struct{ d *Daemon }
+
+func (w *lockedWriter) Write(p []byte) (int, error) {
+	w.d.mu.Lock()
+	defer w.d.mu.Unlock()
+	return w.d.out.Write(p)
+}
+
+// Output returns everything the daemon (all incarnations) printed so far.
+func (d *Daemon) Output() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.out.String()
+}
+
+// Running reports whether a child process is currently alive.
+func (d *Daemon) Running() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cmd != nil && !d.exited
+}
+
+// WaitReady blocks until the daemon's RPC surface answers a Stats call
+// with a published index, or the timeout expires (returning the captured
+// output in the error, so startup failures diagnose themselves).
+func (d *Daemon) WaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		c, err := core.DialMirror(d.Addr)
+		if err == nil {
+			st, err := c.Stats()
+			c.Close()
+			if err == nil && st.Indexed {
+				return nil
+			}
+		}
+		d.mu.Lock()
+		dead := d.cmd == nil || d.exited
+		d.mu.Unlock()
+		if dead {
+			return fmt.Errorf("load: daemon exited while waiting for readiness; output:\n%s", d.Output())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return fmt.Errorf("load: daemon not ready after %v; output:\n%s", timeout, d.Output())
+}
+
+// Kill SIGKILLs the child — no final checkpoint, no goodbye; exactly the
+// crash shape the recovery path is specified against — and reaps it.
+func (d *Daemon) Kill() error {
+	d.mu.Lock()
+	cmd, done := d.cmd, d.done
+	d.cmd, d.done = nil, nil
+	d.mu.Unlock()
+	if cmd == nil {
+		return nil
+	}
+	err := cmd.Process.Kill()
+	<-done // exit error from SIGKILL is expected; the reap is what matters
+	if err != nil && !errors.Is(err, os.ErrProcessDone) {
+		return fmt.Errorf("load: kill: %w", err)
+	}
+	return nil
+}
+
+// Stop shuts the child down gracefully (SIGINT: final checkpoint, clean
+// exit), falling back to SIGKILL if it ignores the signal.
+func (d *Daemon) Stop(timeout time.Duration) error {
+	d.mu.Lock()
+	cmd, done := d.cmd, d.done
+	d.cmd, d.done = nil, nil
+	d.mu.Unlock()
+	if cmd == nil {
+		return nil
+	}
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		cmd.Process.Kill()
+		<-done
+		return err
+	}
+	select {
+	case <-done:
+		return nil
+	case <-time.After(timeout):
+		cmd.Process.Kill()
+		<-done
+		return fmt.Errorf("load: daemon ignored SIGINT for %v; killed", timeout)
+	}
+}

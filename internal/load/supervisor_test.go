@@ -1,0 +1,80 @@
+package load
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// The supervisor's process lifecycle, without a daemon: output capture,
+// running state, kill, and double-start rejection.
+func TestDaemonLifecycle(t *testing.T) {
+	d := &Daemon{Bin: "/bin/sh", Args: []string{"-c", "echo booting; exec sleep 60"}}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(); err == nil {
+		d.Kill()
+		t.Fatal("double Start must fail")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(d.Output(), "booting") {
+		if time.Now().After(deadline) {
+			t.Fatalf("output never captured: %q", d.Output())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !d.Running() {
+		t.Fatal("Running() false while child alive")
+	}
+	if err := d.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Running() {
+		t.Fatal("Running() true after Kill")
+	}
+	if err := d.Kill(); err != nil {
+		t.Fatalf("idempotent Kill: %v", err)
+	}
+	// Output survives the kill, and a restart appends to it.
+	d.Args = []string{"-c", "echo rebooting; exec sleep 60"}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer d.Kill()
+	deadline = time.Now().Add(5 * time.Second)
+	for !strings.Contains(d.Output(), "rebooting") {
+		if time.Now().After(deadline) {
+			t.Fatalf("restart output not appended: %q", d.Output())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !strings.Contains(d.Output(), "booting") {
+		t.Fatal("pre-kill output lost across restart")
+	}
+}
+
+// WaitReady must fail fast, with the child's output attached, when the
+// child dies before ever serving.
+func TestDaemonWaitReadyDiagnosesEarlyExit(t *testing.T) {
+	d := &Daemon{
+		Bin:  "/bin/sh",
+		Args: []string{"-c", "echo doomed: flag provided but not defined; exit 1"},
+		Addr: "127.0.0.1:1", // nothing listens here
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Reap deterministically: the child exits immediately; Kill just
+	// clears the slot so WaitReady sees a dead daemon.
+	time.Sleep(50 * time.Millisecond)
+	err := d.WaitReady(3 * time.Second)
+	if err == nil {
+		d.Kill()
+		t.Fatal("WaitReady succeeded against a dead child")
+	}
+	if !strings.Contains(err.Error(), "doomed") {
+		t.Fatalf("error does not carry the child's output: %v", err)
+	}
+	d.Kill()
+}

@@ -41,6 +41,22 @@ func NewServer(items []*corpus.Item) *Server {
 	return s
 }
 
+// Add registers one more item with a live server — the growing-collection
+// case load generators exercise. The key is the item URL's basename,
+// exactly as in NewServer; duplicate keys are ignored, so replays after a
+// harness retry are harmless.
+func (s *Server) Add(it *corpus.Item) {
+	key := it.URL[strings.LastIndex(it.URL, "/")+1:]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.items[key]; dup {
+		return
+	}
+	s.items[key] = it
+	s.order = append(s.order, key)
+	sort.Strings(s.order)
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
@@ -84,13 +100,21 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // Start serves on an ephemeral localhost port; it returns the base URL
 // (http://host:port) and a stop function.
 func Start(items []*corpus.Item) (string, func(), error) {
+	_, base, stop, err := StartLive(items)
+	return base, stop, err
+}
+
+// StartLive is Start returning the live Server as well, so callers (the
+// load harness) can keep Adding items while it serves.
+func StartLive(items []*corpus.Item) (*Server, string, func(), error) {
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return "", nil, fmt.Errorf("mediaserver: listen: %w", err)
+		return nil, "", nil, fmt.Errorf("mediaserver: listen: %w", err)
 	}
-	srv := &http.Server{Handler: NewServer(items)}
+	s := NewServer(items)
+	srv := &http.Server{Handler: s}
 	go srv.Serve(l)
-	return "http://" + l.Addr().String(), func() { srv.Close() }, nil
+	return s, "http://" + l.Addr().String(), func() { srv.Close() }, nil
 }
 
 // RobotItem is one crawled library entry.
