@@ -175,6 +175,82 @@ func e11Pruned(ix *e11Index, q []bat.OID, k int) (*bat.BAT, error) {
 	return bat.PrunedTopK(ix.start, ix.postDoc, ix.postBel, ix.maxBel, q, nil, ir.DefaultBelief, k, ix.domain)
 }
 
+// ---- block-compressed layout (the store codec, at the physical layer) ----
+
+var (
+	e11BlkMu    sync.Mutex
+	e11BlkCache = map[int]*bat.BlockSegColumns{}
+)
+
+// mkE11Blocks encodes the raw fixture into the block layout once per size.
+func mkE11Blocks(ix *e11Index) *bat.BlockSegColumns {
+	e11BlkMu.Lock()
+	defer e11BlkMu.Unlock()
+	if c, ok := e11BlkCache[ix.n]; ok {
+		return c
+	}
+	c, err := bat.EncodeBlockPostings(ix.start, ix.postDoc, nil, ix.postBel)
+	if err != nil {
+		panic(err)
+	}
+	e11BlkCache[ix.n] = c
+	return c
+}
+
+func e11BlockSeg(c *bat.BlockSegColumns) bat.PostingsSeg {
+	return bat.PostingsSeg{
+		Start: c.Start, MaxBel: c.MaxBel,
+		BlkStart: c.BlkStart, BlkDir: c.BlkDir, BlkDoc: c.BlkDoc,
+		BlkBDir: c.BlkBDir, BlkBel: c.BlkBel,
+	}
+}
+
+func e11PrunedBlock(ix *e11Index, q []bat.OID, k int) (*bat.BAT, error) {
+	seg := e11BlockSeg(mkE11Blocks(ix))
+	return bat.PrunedTopKSegs([]bat.PostingsSeg{seg}, q, nil, ir.DefaultBelief, k, ix.domain, nil)
+}
+
+// e11Footprint sizes both layouts of the same postings: every column a
+// pruned scan reads (offsets, postings payloads, per-term bounds).
+func e11Footprint(ix *e11Index) (rawBytes, blockBytes int64) {
+	for _, b := range []*bat.BAT{ix.start, ix.postDoc, ix.postBel, ix.maxBel} {
+		rawBytes += b.MemBytes()
+	}
+	c := mkE11Blocks(ix)
+	for _, b := range []*bat.BAT{c.Start, c.BlkStart, c.BlkDir, c.BlkDoc, c.BlkBDir, c.BlkBel, c.MaxBel} {
+		blockBytes += b.MemBytes()
+	}
+	return rawBytes, blockBytes
+}
+
+// e11DecodeThroughput decodes every doc block of the fixture once and
+// reports postings decoded per second — the sequential decompression
+// speed a pruned scan pays when it cannot skip.
+func e11DecodeThroughput(ix *e11Index) (postings int64, perSec float64) {
+	bp, err := bat.NewBlockPostings(func() (a, b, c2, d, e, f, g *bat.BAT) {
+		c := mkE11Blocks(ix)
+		return c.Start, c.BlkStart, c.BlkDir, c.BlkDoc, c.BlkBDir, c.BlkBel, c.MaxBel
+	}())
+	if err != nil {
+		panic(err)
+	}
+	docs := make([]bat.OID, bat.PostingsBlockSize)
+	tfs := make([]int64, bat.PostingsBlockSize)
+	t0 := time.Now()
+	for t := 0; t < bp.NTerms(); t++ {
+		blo, bhi := bp.TermBlocks(t)
+		for b := blo; b < bhi; b++ {
+			n, err := bp.DecodeDocBlock(t, b, docs, tfs)
+			if err != nil {
+				panic(err)
+			}
+			postings += int64(n)
+		}
+	}
+	el := time.Since(t0).Seconds()
+	return postings, float64(postings) / el
+}
+
 // e11N returns the benchmark collection size (override with E11_N).
 func e11N() int {
 	if s := os.Getenv("E11_N"); s != "" {
@@ -205,6 +281,55 @@ func BenchmarkE11_PrunedTopK(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+func BenchmarkE11_PrunedTopKBlock(b *testing.B) {
+	ix := mkE11Index(e11N())
+	mkE11Blocks(ix) // encode outside the timer
+	qs := e11Queries(ix)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e11PrunedBlock(ix, qs[i%len(qs)], 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestE11BlockEqualsRaw pins, at CI scale, that the block-compressed
+// scan returns the raw pruned scan's ranking BUN-for-BUN, and that the
+// block layout is actually smaller.
+func TestE11BlockEqualsRaw(t *testing.T) {
+	n := 200_000
+	if testing.Short() {
+		n = 20_000
+	}
+	ix := mkE11Index(n)
+	for _, q := range e11Queries(ix) {
+		for _, k := range []int{1, 10, 100} {
+			want, err := e11Pruned(ix, q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e11PrunedBlock(ix, q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Len() != want.Len() {
+				t.Fatalf("q=%v k=%d: %d hits vs %d", q, k, got.Len(), want.Len())
+			}
+			for i := 0; i < want.Len(); i++ {
+				if got.Head.OIDAt(i) != want.Head.OIDAt(i) || got.Tail.FloatAt(i) != want.Tail.FloatAt(i) {
+					t.Fatalf("q=%v k=%d rank %d: block (%d, %v), raw (%d, %v)",
+						q, k, i, got.Head.OIDAt(i), got.Tail.FloatAt(i), want.Head.OIDAt(i), want.Tail.FloatAt(i))
+				}
+			}
+		}
+	}
+	raw, blk := e11Footprint(ix)
+	if blk >= raw {
+		t.Errorf("block layout %d bytes >= raw %d", blk, raw)
+	}
+	t.Logf("footprint n=%d: raw %d bytes, block %d bytes (%.2fx)", n, raw, blk, float64(raw)/float64(blk))
 }
 
 // TestE11PrunedEqualsExhaustiveShape pins, at a size CI can afford, that
@@ -293,9 +418,19 @@ func TestEmitQueryBenchJSON(t *testing.T) {
 	}
 	const nShards = 8
 	shards := mkE11Shards(ix, nShards)
+	mkE11Blocks(ix) // encode outside the timers
 	exh := medianNs(func(q []bat.OID) error { _, err := e11Exhaustive(ix, q, k); return err })
 	prn := medianNs(func(q []bat.OID) error { _, err := e11Pruned(ix, q, k); return err })
 	shd := medianNs(func(q []bat.OID) error { _, err := e11Sharded(shards, q, k); return err })
+	dec0, skip0 := bat.BlockScanStats()
+	blk := medianNs(func(q []bat.OID) error { _, err := e11PrunedBlock(ix, q, k); return err })
+	dec1, skip1 := bat.BlockScanStats()
+	rawBytes, blkBytes := e11Footprint(ix)
+	decPostings, decPerSec := e11DecodeThroughput(ix)
+	skipRate := 0.0
+	if total := (dec1 - dec0) + (skip1 - skip0); total > 0 {
+		skipRate = float64(skip1-skip0) / float64(total)
+	}
 	out := map[string]any{
 		"experiment":        "E11",
 		"n_docs":            ix.n,
@@ -311,6 +446,16 @@ func TestEmitQueryBenchJSON(t *testing.T) {
 		"p50_sharded_ns":    shd,
 		"sharded_vs_single": fmt.Sprintf("%.2f", float64(shd)/float64(prn)),
 		"sharded_vs_exh":    fmt.Sprintf("%.1f", float64(exh)/float64(shd)),
+		// block codec: same scan over the compressed layout, plus the
+		// codec's standalone numbers (footprint and sequential decode).
+		"p50_pruned_block_ns":   blk,
+		"block_vs_raw_p50":      fmt.Sprintf("%.2f", float64(blk)/float64(prn)),
+		"postings_raw_bytes":    rawBytes,
+		"postings_block_bytes":  blkBytes,
+		"compression_ratio":     fmt.Sprintf("%.2f", float64(rawBytes)/float64(blkBytes)),
+		"block_skip_rate":       fmt.Sprintf("%.3f", skipRate),
+		"decode_postings":       decPostings,
+		"decode_postings_per_s": fmt.Sprintf("%.0f", decPerSec),
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -321,6 +466,9 @@ func TestEmitQueryBenchJSON(t *testing.T) {
 	}
 	t.Logf("E11 n=%d k=%d: exhaustive p50 %.2fms, pruned p50 %.3fms (%.1fx), sharded(%d) p50 %.3fms",
 		ix.n, k, float64(exh)/1e6, float64(prn)/1e6, float64(exh)/float64(prn), nShards, float64(shd)/1e6)
+	t.Logf("E11 block codec: p50 %.3fms (%.2fx raw pruned), %d->%d bytes (%.2fx), skip rate %.1f%%, decode %.0f postings/s",
+		float64(blk)/1e6, float64(blk)/float64(prn), rawBytes, blkBytes,
+		float64(rawBytes)/float64(blkBytes), 100*skipRate, decPerSec)
 }
 
 // BenchmarkScoresPooling quantifies the sync.Pool satellite: the same

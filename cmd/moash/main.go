@@ -26,8 +26,10 @@
 //	                             (docs/postings/terms per segment), and
 //	                             pending (unindexed) document counts
 //	\stats                       serving state: ingested/pending document
-//	                             counts and the serving epoch stamp that
-//	                             query answers carry over RPC
+//	                             counts, the serving epoch stamp that
+//	                             query answers carry over RPC, per-store
+//	                             postings footprint (compressed vs raw
+//	                             bytes) and block decode/skip counters
 //	\help, \quit
 //
 // With -shards N the demo collection is hash-partitioned across N
@@ -64,6 +66,7 @@ func main() {
 		noPipe  = flag.Bool("no-pipeline", false, "skip the content pipeline (text-only)")
 		shardsN = flag.Int("shards", 0, "shard the demo collection across N in-memory stores (0 = unsharded)")
 		cacheB  = flag.Int64("query-cache", 0, "bytes of epoch-keyed query result cache for \\rank/\\dual (0 disables); invalidated automatically when \\refresh publishes a new epoch")
+		codecF  = flag.String("store-codec", "block", "postings segment layout: block (delta-compressed blocks with pruning bounds) or raw (8-byte columns)")
 	)
 	flag.Parse()
 
@@ -72,7 +75,7 @@ func main() {
 	switch {
 	case *load != "":
 		if _, err := os.Stat(*load + "/shard-000"); err == nil {
-			e, stats, err := core.OpenShardedPersistent(core.ShardedPersistOptions{Dir: *load})
+			e, stats, err := core.OpenShardedPersistent(core.ShardedPersistOptions{Dir: *load, StoreCodec: *codecF})
 			if err != nil {
 				log.Fatalf("moash: %v", err)
 			}
@@ -81,6 +84,9 @@ func main() {
 		} else {
 			m, err := core.Load(*load)
 			if err != nil {
+				log.Fatalf("moash: %v", err)
+			}
+			if err := m.SetStoreCodec(*codecF); err != nil {
 				log.Fatalf("moash: %v", err)
 			}
 			r = m
@@ -94,10 +100,16 @@ func main() {
 			if err != nil {
 				log.Fatalf("moash: %v", err)
 			}
+			if err := e.SetStoreCodec(*codecF); err != nil {
+				log.Fatalf("moash: %v", err)
+			}
 			sharded, r = e, e
 		} else {
 			m, err := core.New()
 			if err != nil {
+				log.Fatalf("moash: %v", err)
+			}
+			if err := m.SetStoreCodec(*codecF); err != nil {
 				log.Fatalf("moash: %v", err)
 			}
 			r = m
@@ -166,7 +178,7 @@ func repl(r core.Retriever, sharded *core.ShardedEngine) {
 			fmt.Println("  \\sets               list sets")
 			fmt.Println("  \\shards             sharded-layout introspection")
 			fmt.Println("  \\segments           index-segment / epoch introspection")
-			fmt.Println("  \\stats              serving state: size, pending, serving epoch stamp")
+			fmt.Println("  \\stats              serving state: size, pending, epoch, postings footprint")
 			fmt.Println("  \\quit")
 		case line == `\shards`:
 			if sharded == nil {
@@ -191,6 +203,22 @@ func repl(r core.Retriever, sharded *core.ShardedEngine) {
 			} else {
 				fmt.Println("no serving epoch published yet (run the pipeline first)")
 			}
+			ps := r.PostingsStats()
+			for _, pi := range ps.Stores {
+				if pi.Segments == 0 {
+					continue
+				}
+				ratio := 1.0
+				if pi.Bytes > 0 {
+					ratio = float64(pi.RawBytes) / float64(pi.Bytes)
+				}
+				fmt.Printf("postings shard %d %-24s codec=%-5s %2d segment(s) %8d postings %9d bytes (raw %9d, %.2fx)\n",
+					pi.Shard, pi.Prefix, pi.Codec, pi.Segments, pi.Postings, pi.Bytes, pi.RawBytes, ratio)
+			}
+			if total := ps.BlocksDecoded + ps.BlocksSkipped; total > 0 {
+				fmt.Printf("block scans: %d blocks decoded, %d skipped via max-belief bounds (%.0f%% skip rate)\n",
+					ps.BlocksDecoded, ps.BlocksSkipped, 100*float64(ps.BlocksSkipped)/float64(total))
+			}
 		case line == `\segments`:
 			infos := r.Segments()
 			if infos == nil {
@@ -204,8 +232,8 @@ func repl(r core.Retriever, sharded *core.ShardedEngine) {
 				fmt.Printf("shard %d  %-40s epoch %-4d %6d docs  %d segment(s)\n",
 					info.Shard, info.Prefix, info.Epoch, info.Docs, len(info.Segs))
 				for _, seg := range info.Segs {
-					fmt.Printf("    seg %-3d %6d docs  %8d postings  %6d terms\n",
-						seg.Slot, seg.Docs, seg.Postings, seg.Terms)
+					fmt.Printf("    seg %-3d %6d docs  %8d postings  %6d terms  %-5s %9d bytes\n",
+						seg.Slot, seg.Docs, seg.Postings, seg.Terms, seg.Codec, seg.Bytes)
 				}
 			}
 		case line == `\mil`:

@@ -28,6 +28,13 @@ type BAT struct {
 	// invalidates the index).
 	hash atomic.Pointer[hashIndex]
 
+	// blockView memoizes the validated block-postings view of the segment
+	// this BAT is the _blkdoc column of (postcodec.go). Like hash it is
+	// shared atomically between concurrent readers and invalidated by
+	// Append; the memo dies with the BAT, so retired segments are not
+	// pinned by any global cache.
+	blockView atomic.Pointer[blockViewMemo]
+
 	// Persistence state used by the BAT buffer pool (internal/storage).
 	// dirty is set by Append and cleared by the pool after a checkpoint
 	// writes the BAT's heap files; pins counts callers that hold a
@@ -102,6 +109,7 @@ func (b *BAT) Append(h, t any) error {
 		return err
 	}
 	b.hash.Store(nil)
+	b.blockView.Store(nil)
 	b.dirty.Store(true)
 	if b.Head.Kind() != KindVoid {
 		b.HSorted, b.HKey = false, false

@@ -1,0 +1,53 @@
+//go:build pooldebug
+
+package bat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBlockCursorPoolNoLeaks drives the compressed scan over success,
+// parallel-partition, and corrupt-payload error paths and requires every
+// borrowed cursor set to be back in the pool afterwards. Runs only under
+// -tags pooldebug (the borrow registry is compiled out otherwise).
+func TestBlockCursorPoolNoLeaks(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	si := mkSynthIndex(rng, 10, 2500, 5, 4)
+	raw := segSplit(si, []int{900, 2500}, false)
+	blk := blockSegs(t, raw)
+	base := LiveBlockCursors()
+
+	// Serial and parallel successful scans.
+	for round := 0; round < 10; round++ {
+		query := []OID{OID(rng.Intn(11)), OID(rng.Intn(11)), OID(rng.Intn(11))}
+		if _, err := PrunedTopKSegs(blk, query, nil, 0.4, 1+rng.Intn(20), si.domain, nil); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		old := SetParallelThreshold(1)
+		_, err := PrunedTopKSegs(blk, query, []float64{1, 2, 0}, 0.4, 5, si.domain, nil)
+		SetParallelThreshold(old)
+		if err != nil {
+			t.Fatalf("round %d parallel: %v", round, err)
+		}
+	}
+
+	// Error path: corrupt payload must still release on the way out.
+	bad := blockSegs(t, raw)
+	data := bad[0].BlkDoc.Tail.Bytes()
+	for i := range data {
+		data[i] = 0xff
+	}
+	for _, thr := range []int{0, 1} {
+		old := SetParallelThreshold(thr)
+		_, err := PrunedTopKSegs(bad, []OID{0, 1, 2}, nil, 0.4, 5, si.domain, nil)
+		SetParallelThreshold(old)
+		if err == nil {
+			t.Fatal("corrupt scan returned no error")
+		}
+	}
+
+	if live := LiveBlockCursors(); live != base {
+		t.Fatalf("leaked %d block cursor sets", live-base)
+	}
+}

@@ -1,0 +1,13 @@
+//go:build !pooldebug
+
+package bat
+
+// Release builds: the pool hooks compile to nothing. Build with -tags
+// pooldebug to turn on borrow accounting and released-buffer poisoning.
+
+func blockCursorsBorrowed(*blockCursorSet) {}
+func blockCursorsReleased(*blockCursorSet) {}
+
+// LiveBlockCursors reports the number of borrowed-but-unreleased cursor
+// sets. It always returns 0 unless built with -tags pooldebug.
+func LiveBlockCursors() int { return 0 }

@@ -55,6 +55,7 @@ const (
 	KindFloat             // 64-bit IEEE float
 	KindStr               // string
 	KindBool              // boolean
+	KindBytes             // raw byte vector (one byte per BUN)
 )
 
 // String returns the MIL name of the kind.
@@ -72,6 +73,8 @@ func (k Kind) String() string {
 		return "str"
 	case KindBool:
 		return "bit"
+	case KindBytes:
+		return "bytes"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -91,6 +94,8 @@ func KindFromString(s string) (Kind, error) {
 		return KindStr, nil
 	case "bit", "bool":
 		return KindBool, nil
+	case "bytes":
+		return KindBytes, nil
 	}
 	return 0, fmt.Errorf("bat: unknown atom type %q", s)
 }
@@ -109,6 +114,7 @@ type Column struct {
 	flts  []float64
 	strs  []string
 	bools []bool
+	bytes []byte
 }
 
 // NewColumn returns an empty materialised column of the given kind.
@@ -143,6 +149,8 @@ func (c *Column) Len() int {
 		return len(c.strs)
 	case KindBool:
 		return len(c.bools)
+	case KindBytes:
+		return len(c.bytes)
 	}
 	return 0
 }
@@ -163,6 +171,8 @@ func (c *Column) Get(i int) any {
 		return c.strs[i]
 	case KindBool:
 		return c.bools[i]
+	case KindBytes:
+		return int64(c.bytes[i])
 	}
 	panic("bat: bad column kind")
 }
@@ -241,6 +251,13 @@ func (c *Column) Append(v any) error {
 		}
 		c.bools = append(c.bools, b)
 		return nil
+	case KindBytes:
+		x, ok := toInt(v)
+		if !ok || x < 0 || x > 255 {
+			return fmt.Errorf("bat: cannot append %T to bytes column", v)
+		}
+		c.bytes = append(c.bytes, byte(x))
+		return nil
 	}
 	return fmt.Errorf("bat: bad column kind %v", c.kind)
 }
@@ -259,6 +276,8 @@ func (c *Column) appendFrom(src *Column, i int) {
 		c.strs = append(c.strs, src.strs[i])
 	case KindBool:
 		c.bools = append(c.bools, src.bools[i])
+	case KindBytes:
+		c.bytes = append(c.bytes, src.bytes[i])
 	default:
 		panic("bat: appendFrom into void column")
 	}
@@ -293,6 +312,7 @@ func (c *Column) clone() *Column {
 	out.flts = append([]float64(nil), c.flts...)
 	out.strs = append([]string(nil), c.strs...)
 	out.bools = append([]bool(nil), c.bools...)
+	out.bytes = append([]byte(nil), c.bytes...)
 	return out
 }
 
@@ -312,6 +332,8 @@ func (c *Column) slice(lo, hi int) *Column {
 		return &Column{kind: KindStr, strs: append([]string(nil), c.strs[lo:hi]...)}
 	case KindBool:
 		return &Column{kind: KindBool, bools: append([]bool(nil), c.bools[lo:hi]...)}
+	case KindBytes:
+		return &Column{kind: KindBytes, bytes: append([]byte(nil), c.bytes[lo:hi]...)}
 	}
 	panic("bat: bad column kind")
 }
@@ -344,6 +366,11 @@ func (c *Column) take(idx []int) *Column {
 		out.bools = make([]bool, len(idx))
 		for j, i := range idx {
 			out.bools[j] = c.bools[i]
+		}
+	case KindBytes:
+		out.bytes = make([]byte, len(idx))
+		for j, i := range idx {
+			out.bytes[j] = c.bytes[i]
 		}
 	}
 	return out

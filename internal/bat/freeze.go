@@ -41,6 +41,7 @@ func freezeColumn(c *Column) *Column {
 	out.flts = c.flts[:len(c.flts):len(c.flts)]
 	out.strs = c.strs[:len(c.strs):len(c.strs)]
 	out.bools = c.bools[:len(c.bools):len(c.bools)]
+	out.bytes = c.bytes[:len(c.bytes):len(c.bytes)]
 	return out
 }
 

@@ -27,6 +27,9 @@ func (c *Column) Strs() []string { return c.strs }
 // Bools returns the backing slice of a bit column (read-only).
 func (c *Column) Bools() []bool { return c.bools }
 
+// Bytes returns the backing slice of a bytes column (read-only).
+func (c *Column) Bytes() []byte { return c.bytes }
+
 // ColumnOfOIDs wraps s as an oid column without copying.
 func ColumnOfOIDs(s []OID) *Column { return &Column{kind: KindOID, oids: s[:len(s):len(s)]} }
 
@@ -41,6 +44,9 @@ func ColumnOfStrs(s []string) *Column { return &Column{kind: KindStr, strs: s[:l
 
 // ColumnOfBools wraps s as a bit column without copying.
 func ColumnOfBools(s []bool) *Column { return &Column{kind: KindBool, bools: s[:len(s):len(s)]} }
+
+// ColumnOfBytes wraps s as a bytes column without copying.
+func ColumnOfBytes(s []byte) *Column { return &Column{kind: KindBytes, bytes: s[:len(s):len(s)]} }
 
 // FromColumns assembles a BAT from two columns plus its property flags,
 // the inverse of tearing one apart with Head/Tail. Used by the storage
@@ -81,6 +87,8 @@ func (c *Column) memBytes() int64 {
 		return n
 	case KindBool:
 		return int64(len(c.bools))
+	case KindBytes:
+		return int64(len(c.bytes))
 	}
 	return 0
 }

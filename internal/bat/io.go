@@ -176,6 +176,13 @@ func writeColumn(w io.Writer, c *Column) error {
 				return err
 			}
 		}
+	case KindBytes:
+		if err := writeU64(w, uint64(len(c.bytes))); err != nil {
+			return err
+		}
+		if _, err := w.Write(c.bytes); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("bat: write: bad kind %d", c.kind)
 	}
@@ -269,6 +276,15 @@ func readColumn(r io.Reader) (*Column, error) {
 		}
 		for i, bb := range buf {
 			c.bools[i] = bb != 0
+		}
+	case KindBytes:
+		n, err := readU64(r)
+		if err != nil {
+			return nil, err
+		}
+		c.bytes = make([]byte, n)
+		if _, err := io.ReadFull(r, c.bytes); err != nil {
+			return nil, err
 		}
 	default:
 		return nil, fmt.Errorf("bat: read: bad kind %d", kind)

@@ -253,6 +253,8 @@ func (c *Column) view(lo, hi int) *Column {
 		return &Column{kind: KindStr, strs: c.strs[lo:hi]}
 	case KindBool:
 		return &Column{kind: KindBool, bools: c.bools[lo:hi]}
+	case KindBytes:
+		return &Column{kind: KindBytes, bytes: c.bytes[lo:hi]}
 	}
 	panic("bat: bad column kind")
 }
@@ -362,6 +364,12 @@ func concatColumns(parts []*Column) (*Column, error) {
 		at := 0
 		for _, p := range parts {
 			at += copy(out.bools[at:], p.bools)
+		}
+	case KindBytes:
+		out.bytes = make([]byte, total)
+		at := 0
+		for _, p := range parts {
+			at += copy(out.bytes[at:], p.bytes)
 		}
 	default:
 		return nil, fmt.Errorf("cannot concatenate %s columns", kind)

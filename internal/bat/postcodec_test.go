@@ -1,0 +1,319 @@
+package bat
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// buildBlockColumns assembles the seven block-layout BATs from raw
+// term runs (the shape ir produces), for tests.
+func buildBlockColumns(t *testing.T, runs [][2][]int64, belRuns [][]float64) (*BlockPostings, [7]*BAT) {
+	t.Helper()
+	enc := NewBlockPostingsEncoder(len(runs))
+	bele := NewBlockBeliefsEncoder()
+	starts := []int64{0}
+	maxb := make([]float64, 0, len(runs))
+	for i, run := range runs {
+		docs := make([]OID, len(run[0]))
+		for j, d := range run[0] {
+			docs[j] = OID(d)
+		}
+		if err := enc.AddTerm(docs, run[1]); err != nil {
+			t.Fatalf("AddTerm(%d): %v", i, err)
+		}
+		starts = append(starts, starts[len(starts)-1]+int64(len(docs)))
+		maxb = append(maxb, bele.AddTerm(belRuns[i]))
+	}
+	mk := func(tail *Column) *BAT {
+		b, err := FromColumns(NewVoid(0, tail.Len()), tail, true, false, true, false)
+		if err != nil {
+			t.Fatalf("FromColumns: %v", err)
+		}
+		return b
+	}
+	bats := [7]*BAT{
+		mk(ColumnOfInts(starts)),
+		mk(ColumnOfInts(enc.BlkStart)),
+		mk(ColumnOfInts(enc.BlkDir)),
+		mk(ColumnOfBytes(enc.Data)),
+		mk(ColumnOfInts(bele.BelDir)),
+		mk(ColumnOfBytes(bele.Data)),
+		mk(ColumnOfFloats(maxb)),
+	}
+	bp, err := NewBlockPostings(bats[0], bats[1], bats[2], bats[3], bats[4], bats[5], bats[6])
+	if err != nil {
+		t.Fatalf("NewBlockPostings: %v", err)
+	}
+	return bp, bats
+}
+
+// decodeAll round-trips every term of a view back into flat runs.
+func decodeAll(t *testing.T, bp *BlockPostings) (docs [][]OID, tfs [][]int64, bels [][]float64) {
+	t.Helper()
+	var docBuf [PostingsBlockSize]OID
+	var tfBuf [PostingsBlockSize]int64
+	var belBuf [PostingsBlockSize]float64
+	var dictBuf []float64
+	for tm := 0; tm < bp.NTerms(); tm++ {
+		var d []OID
+		var f []int64
+		var b []float64
+		blo, bhi := bp.TermBlocks(tm)
+		lo, hi := bp.TermRange(tm)
+		if bhi > blo {
+			dict, off, err := bp.TermDict(tm, dictBuf)
+			if err != nil {
+				t.Fatalf("TermDict(%d): %v", tm, err)
+			}
+			for blk := blo; blk < bhi; blk++ {
+				n, err := bp.DecodeDocBlock(tm, blk, docBuf[:], tfBuf[:])
+				if err != nil {
+					t.Fatalf("DecodeDocBlock(%d,%d): %v", tm, blk, err)
+				}
+				if err := bp.DecodeBelBlock(tm, blk, dict, off, belBuf[:]); err != nil {
+					t.Fatalf("DecodeBelBlock(%d,%d): %v", tm, blk, err)
+				}
+				d = append(d, docBuf[:n]...)
+				f = append(f, tfBuf[:n]...)
+				b = append(b, belBuf[:n]...)
+			}
+		}
+		if len(d) != hi-lo {
+			t.Fatalf("term %d: decoded %d postings, want %d", tm, len(d), hi-lo)
+		}
+		docs = append(docs, d)
+		tfs = append(tfs, f)
+		bels = append(bels, b)
+	}
+	return docs, tfs, bels
+}
+
+func TestPostingsCodecRoundTrip(t *testing.T) {
+	rnd := uint64(99)
+	next := func(n int) int {
+		rnd ^= rnd << 13
+		rnd ^= rnd >> 7
+		rnd ^= rnd << 17
+		return int(rnd % uint64(n))
+	}
+	var runs [][2][]int64
+	var bels [][]float64
+	// shapes: empty term, singleton, exactly one block, block+1,
+	// multi-block, adversarial huge gaps, dict-coded and raw beliefs
+	lens := []int{0, 1, PostingsBlockSize, PostingsBlockSize + 1, 5, 1000, 2*PostingsBlockSize + 17}
+	for i, n := range lens {
+		docs := make([]int64, n)
+		tfs := make([]int64, n)
+		bl := make([]float64, n)
+		d := int64(0)
+		for j := 0; j < n; j++ {
+			gap := int64(1 + next(100))
+			if i == 5 && j%37 == 0 {
+				gap = int64(1) << uint(40+next(10)) // adversarial deltas
+			}
+			d += gap
+			docs[j] = d
+			tfs[j] = int64(next(500))
+			if i%2 == 0 {
+				bl[j] = float64(1+next(7)) * 0.125 // few distinct: dict form
+			} else {
+				bl[j] = float64(j)*1e-3 + 0.5 // all distinct: raw fallback
+			}
+		}
+		runs = append(runs, [2][]int64{docs, tfs})
+		bels = append(bels, bl)
+	}
+	bp, _ := buildBlockColumns(t, runs, bels)
+	gotDocs, gotTfs, gotBels := decodeAll(t, bp)
+	for i := range runs {
+		for j := range runs[i][0] {
+			if int64(gotDocs[i][j]) != runs[i][0][j] {
+				t.Fatalf("term %d posting %d: doc %d, want %d", i, j, gotDocs[i][j], runs[i][0][j])
+			}
+			if gotTfs[i][j] != runs[i][1][j] {
+				t.Fatalf("term %d posting %d: tf %d, want %d", i, j, gotTfs[i][j], runs[i][1][j])
+			}
+			if math.Float64bits(gotBels[i][j]) != math.Float64bits(bels[i][j]) {
+				t.Fatalf("term %d posting %d: belief %v not bit-exact (want %v)", i, j, gotBels[i][j], bels[i][j])
+			}
+		}
+		// the per-block quantized bound must dominate every belief
+		blo, bhi := bp.TermBlocks(i)
+		lo, _ := bp.TermRange(i)
+		for blk := blo; blk < bhi; blk++ {
+			plo, phi := bp.BlockSpan(i, blk)
+			ub := bp.BlockMax(blk)
+			for j := plo; j < phi; j++ {
+				if bels[i][j-lo] > ub {
+					t.Fatalf("term %d block %d: belief above quantized bound", i, blk)
+				}
+			}
+		}
+	}
+}
+
+func TestQuantizeBoundUpIsConservative(t *testing.T) {
+	vals := []float64{0, 1e-300, -1e-300, 0.1, 1.0 / 3.0, 1e30, -7.25, math.MaxFloat64, math.SmallestNonzeroFloat64}
+	for _, v := range vals {
+		q := float64(math.Float32frombits(QuantizeBoundUp(v)))
+		if q < v {
+			t.Fatalf("QuantizeBoundUp(%v) = %v < input", v, q)
+		}
+	}
+}
+
+// TestBlockPostingsRejectsMalformed pins the error-never-panic contract
+// on hand-corrupted views.
+func TestBlockPostingsRejectsMalformed(t *testing.T) {
+	runs := [][2][]int64{{{3, 7, 200}, {1, 2, 3}}}
+	bels := [][]float64{{0.5, 0.25, 0.5}}
+	_, bats := buildBlockColumns(t, runs, bels)
+	mk := func(tail *Column) *BAT {
+		b, err := FromColumns(NewVoid(0, tail.Len()), tail, true, false, true, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	cases := []struct {
+		name string
+		mut  func(b [7]*BAT) [7]*BAT
+	}{
+		{"blkstart length", func(b [7]*BAT) [7]*BAT { b[1] = mk(ColumnOfInts([]int64{0})); return b }},
+		{"blkstart end", func(b [7]*BAT) [7]*BAT { b[1] = mk(ColumnOfInts([]int64{0, 5})); return b }},
+		{"odd blkdir", func(b [7]*BAT) [7]*BAT { b[2] = mk(ColumnOfInts([]int64{1, 2, 3})); return b }},
+		{"docend past data", func(b [7]*BAT) [7]*BAT { b[2] = mk(ColumnOfInts([]int64{200, 1 << 40})); return b }},
+		{"trailing doc bytes", func(b [7]*BAT) [7]*BAT { b[2] = mk(ColumnOfInts([]int64{200, 1})); return b }},
+		{"belend past data", func(b [7]*BAT) [7]*BAT { b[4] = mk(ColumnOfInts([]int64{1 << 40, 0})); return b }},
+		{"maxbel length", func(b [7]*BAT) [7]*BAT { b[6] = mk(ColumnOfFloats(nil)); return b }},
+		{"wrong kind", func(b [7]*BAT) [7]*BAT { b[3] = mk(ColumnOfInts([]int64{1})); return b }},
+	}
+	for _, tc := range cases {
+		bt := tc.mut(bats)
+		if _, err := NewBlockPostings(bt[0], bt[1], bt[2], bt[3], bt[4], bt[5], bt[6]); err == nil {
+			t.Errorf("%s: corrupt view accepted", tc.name)
+		}
+		// rebuild pristine copies for the next case
+		_, bats = buildBlockColumns(t, runs, bels)
+	}
+
+	// payload corruption passes view validation but fails block decode
+	_, bats = buildBlockColumns(t, runs, bels)
+	data := append([]byte(nil), bats[3].Tail.Bytes()...)
+	data[0] = 99 // unknown block format
+	bad := mk(ColumnOfBytes(data))
+	bp, err := NewBlockPostings(bats[0], bats[1], bats[2], bad, bats[4], bats[5], bats[6])
+	if err != nil {
+		t.Fatalf("validation should pass on payload corruption: %v", err)
+	}
+	var docs [PostingsBlockSize]OID
+	if _, err := bp.DecodeDocBlock(0, 0, docs[:], nil); err == nil {
+		t.Fatal("decode of unknown block format succeeded")
+	}
+}
+
+// FuzzPostingsCodec drives encode→decode round-trip identity over
+// arbitrary posting runs, and feeds mutated blobs through the decoder
+// to pin the error-never-panic hardening.
+func FuzzPostingsCodec(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, false)
+	f.Add([]byte{}, true)
+	f.Add([]byte{255, 255, 255, 255, 0, 0, 0, 1}, true)
+	f.Fuzz(func(t *testing.T, seed []byte, corrupt bool) {
+		// derive a posting run from the seed bytes: gaps, tfs, beliefs
+		var docs []OID
+		var tfs []int64
+		var bels []float64
+		d := int64(0)
+		for i := 0; i+1 < len(seed); i += 2 {
+			gap := int64(seed[i])%200 + 1
+			if seed[i] == 0xff {
+				gap = int64(1) << (uint(seed[i+1]%50) + 5) // adversarial delta
+			}
+			d += gap
+			docs = append(docs, OID(d))
+			tfs = append(tfs, int64(seed[i+1]%64))
+			bels = append(bels, float64(seed[i+1]%8)*0.25+0.125)
+		}
+		enc := NewBlockPostingsEncoder(1)
+		if err := enc.AddTerm(docs, tfs); err != nil {
+			t.Fatalf("AddTerm: %v", err)
+		}
+		bele := NewBlockBeliefsEncoder()
+		maxb := bele.AddTerm(bels)
+		starts := []int64{0, int64(len(docs))}
+		mk := func(tail *Column) *BAT {
+			b, err := FromColumns(NewVoid(0, tail.Len()), tail, true, false, true, false)
+			if err != nil {
+				t.Fatalf("FromColumns: %v", err)
+			}
+			return b
+		}
+		docData := enc.Data
+		belData := bele.Data
+		if corrupt && len(docData) > 0 {
+			docData = append([]byte(nil), docData...)
+			docData[int(seed[0])%len(docData)] ^= 1 << (seed[0] % 8)
+			if len(belData) > 0 {
+				belData = append([]byte(nil), belData...)
+				belData[int(seed[0])%len(belData)] ^= 1 << (seed[0] % 7)
+			}
+		}
+		bp, err := NewBlockPostings(
+			mk(ColumnOfInts(starts)), mk(ColumnOfInts(enc.BlkStart)),
+			mk(ColumnOfInts(enc.BlkDir)), mk(ColumnOfBytes(docData)),
+			mk(ColumnOfInts(bele.BelDir)), mk(ColumnOfBytes(belData)),
+			mk(ColumnOfFloats([]float64{maxb})))
+		if err != nil {
+			return // corrupt views may be rejected outright; must not panic
+		}
+		var docBuf [PostingsBlockSize]OID
+		var tfBuf [PostingsBlockSize]int64
+		var belBuf [PostingsBlockSize]float64
+		dict, off, err := bp.TermDict(0, nil)
+		pos := 0
+		blo, bhi := bp.TermBlocks(0)
+		for blk := blo; blk < bhi; blk++ {
+			n, derr := bp.DecodeDocBlock(0, blk, docBuf[:], tfBuf[:])
+			if derr != nil {
+				if !corrupt {
+					t.Fatalf("clean round-trip failed: %v", derr)
+				}
+				return
+			}
+			var berr error
+			if err == nil {
+				berr = bp.DecodeBelBlock(0, blk, dict, off, belBuf[:])
+			}
+			if (err != nil || berr != nil) && !corrupt {
+				t.Fatalf("clean belief decode failed: %v / %v", err, berr)
+			}
+			if corrupt {
+				continue // decoded garbage is fine; we only forbid panics
+			}
+			for i := 0; i < n; i++ {
+				if docBuf[i] != docs[pos] || tfBuf[i] != tfs[pos] {
+					t.Fatalf("posting %d: got (%d,%d) want (%d,%d)", pos, docBuf[i], tfBuf[i], docs[pos], tfs[pos])
+				}
+				if math.Float64bits(belBuf[i]) != math.Float64bits(bels[pos]) {
+					t.Fatalf("posting %d: belief not bit-exact", pos)
+				}
+				pos++
+			}
+		}
+		if !corrupt && pos != len(docs) {
+			t.Fatalf("decoded %d postings, want %d", pos, len(docs))
+		}
+	})
+}
+
+// TestVarintHelpers pins uvarintLen against the encoder it sizes.
+func TestVarintHelpers(t *testing.T) {
+	for _, v := range []uint64{0, 1, 127, 128, 1 << 14, 1<<63 - 1, ^uint64(0)} {
+		var buf [binary.MaxVarintLen64]byte
+		if got, want := uvarintLen(v), binary.PutUvarint(buf[:], v); got != want {
+			t.Fatalf("uvarintLen(%d) = %d, want %d", v, got, want)
+		}
+	}
+}

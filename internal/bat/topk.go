@@ -309,14 +309,53 @@ func PrunedTopKShared(start, postDoc, postBel, maxBel *BAT, query []OID, weights
 		query, weights, def, k, domain, theta)
 }
 
-// PostingsSeg bundles the four term-ordered postings columns of one index
+// PostingsSeg bundles the term-ordered postings columns of one index
 // segment (see internal/ir: incremental indexing splits the postings by
-// document range into generation-numbered segments).
+// document range into generation-numbered segments). A segment arrives
+// in one of two layouts: raw (Doc/Bel set, the three 8-byte columns) or
+// block-compressed (BlkDoc et al. set, the postcodec.go layout). The
+// two evaluate identically — layout only changes the decode path.
 type PostingsSeg struct {
 	Start  *BAT // [termOID(void), int]  per-term offsets, nterms+1 entries
-	Doc    *BAT // [void, docOID]        postings sorted by (term, doc asc)
-	Bel    *BAT // [void, flt]           beliefs aligned with Doc
+	Doc    *BAT // [void, docOID]        raw: postings sorted by (term, doc asc)
+	Bel    *BAT // [void, flt]           raw: beliefs aligned with Doc
 	MaxBel *BAT // [termOID(void), flt]  per-term maximum belief in the segment
+
+	// Block-compressed layout (Doc/Bel nil when set):
+	BlkStart *BAT // [termOID(void), int] per-term block offsets
+	BlkDir   *BAT // [void, int]          2 per block: lastDoc, docEnd
+	BlkDoc   *BAT // [void, bytes]        doc-id + tf blocks
+	BlkBDir  *BAT // [void, int]          2 per block: belEnd, qmaxBits
+	BlkBel   *BAT // [void, bytes]        belief data
+}
+
+// segScan is one segment's validated read view: exactly one of raw/blk
+// is non-nil.
+type segScan struct {
+	raw *postingsView
+	blk *BlockPostings
+}
+
+// termRange returns term t's posting range in either layout.
+func (sv segScan) termRange(t OID) (lo, hi int) {
+	if sv.raw != nil {
+		return sv.raw.termRange(t)
+	}
+	if int64(t) < 0 || int(t) >= sv.blk.NTerms() {
+		return 0, 0
+	}
+	return sv.blk.TermRange(int(t))
+}
+
+// lastDocOf returns the greatest doc id in the (non-empty) full term
+// range [lo, hi) — for block views this is the term's last block's
+// directory entry, read without decoding.
+func (sv segScan) lastDocOf(t OID, hi int) OID {
+	if sv.raw != nil {
+		return sv.raw.docs[hi-1]
+	}
+	_, bhi := sv.blk.TermBlocks(int(t))
+	return sv.blk.BlockLast(bhi - 1)
 }
 
 // PrunedTopKSegs evaluates the pruned top-k retrieval over a LIST of
@@ -338,13 +377,21 @@ func PrunedTopKSegs(segs []PostingsSeg, query []OID, weights []float64, def floa
 	if len(segs) == 0 {
 		return nil, fmt.Errorf("bat: prunedtopk: no postings segments")
 	}
-	views := make([]*postingsView, len(segs))
+	views := make([]segScan, len(segs))
 	for i, s := range segs {
+		if s.BlkDoc != nil {
+			bp, err := cachedBlockPostings(s.Start, s.BlkStart, s.BlkDir, s.BlkDoc, s.BlkBDir, s.BlkBel, s.MaxBel)
+			if err != nil {
+				return nil, fmt.Errorf("segment %d: %w", i, err)
+			}
+			views[i] = segScan{blk: bp}
+			continue
+		}
 		pv, err := newPostingsView(s.Start, s.Doc, s.Bel, s.MaxBel)
 		if err != nil {
 			return nil, fmt.Errorf("segment %d: %w", i, err)
 		}
-		views[i] = pv
+		views[i] = segScan{raw: pv}
 	}
 	weighted := weights != nil
 	if weighted {
@@ -381,16 +428,18 @@ func PrunedTopKSegs(segs []PostingsSeg, query []OID, weights []float64, def floa
 		theta = NewTopKThreshold()
 	}
 	var heaps []*BoundedTopK[topkCand]
-	for vi, pv := range views {
+	for vi, sv := range views {
 		ranges := make([]postingRange, len(query))
 		maxDoc := OID(0)
 		totalPostings := 0
 		for i, t := range query {
-			lo, hi := pv.termRange(t)
-			ranges[i] = postingRange{lo, hi}
+			lo, hi := sv.termRange(t)
+			ranges[i] = postingRange{lo: lo, hi: hi, t: t}
 			totalPostings += hi - lo
-			if hi > lo && pv.docs[hi-1] > maxDoc {
-				maxDoc = pv.docs[hi-1]
+			if hi > lo {
+				if d := sv.lastDocOf(t, hi); d > maxDoc {
+					maxDoc = d
+				}
 			}
 		}
 		segRanges[vi] = ranges
@@ -405,35 +454,49 @@ func PrunedTopKSegs(segs []PostingsSeg, query []OID, weights []float64, def floa
 				bounds = append(bounds, OID(span*uint64(c)/uint64(nPar)))
 			}
 			segHeaps := make([]*BoundedTopK[topkCand], nPar)
+			errs := make([]error, nPar)
 			runChunks(chunkRanges(nPar, nPar), func(_, lo, hi int) {
 				for c := lo; c < hi; c++ {
 					h := NewBoundedTopK(k, worseCand)
-					terms := make([]qterm, len(query))
-					for i := range query {
-						w := 1.0
-						if weighted {
-							w = weights[i]
+					if sv.raw != nil {
+						terms := make([]qterm, len(query))
+						for i := range query {
+							w := 1.0
+							if weighted {
+								w = weights[i]
+							}
+							tlo := searchDocFrom(sv.raw.docs, ranges[i].lo, ranges[i].hi, bounds[c])
+							thi := searchDocFrom(sv.raw.docs, tlo, ranges[i].hi, bounds[c+1])
+							terms[i] = qterm{qi: i, cur: tlo, hi: thi, weight: w}
 						}
-						tlo := searchDocFrom(pv.docs, ranges[i].lo, ranges[i].hi, bounds[c])
-						thi := searchDocFrom(pv.docs, tlo, ranges[i].hi, bounds[c+1])
-						terms[i] = qterm{qi: i, cur: tlo, hi: thi, weight: w}
+						maxscoreScan(sv.raw, terms, query, weights, def, fillBase, h, theta)
+					} else {
+						errs[c] = scanBlockPartition(sv.blk, ranges, query, weights, weighted, def, fillBase, bounds[c], bounds[c+1], h, theta)
 					}
-					maxscoreScan(pv, terms, query, weights, def, fillBase, h, theta)
 					segHeaps[c] = h
 				}
 			})
+			for _, err := range errs {
+				if err != nil {
+					return nil, fmt.Errorf("segment %d: %w", vi, err)
+				}
+			}
 			heaps = append(heaps, segHeaps...)
 		} else {
 			h := NewBoundedTopK(k, worseCand)
-			terms := make([]qterm, len(query))
-			for i := range query {
-				w := 1.0
-				if weighted {
-					w = weights[i]
+			if sv.raw != nil {
+				terms := make([]qterm, len(query))
+				for i := range query {
+					w := 1.0
+					if weighted {
+						w = weights[i]
+					}
+					terms[i] = qterm{qi: i, cur: ranges[i].lo, hi: ranges[i].hi, weight: w}
 				}
-				terms[i] = qterm{qi: i, cur: ranges[i].lo, hi: ranges[i].hi, weight: w}
+				maxscoreScan(sv.raw, terms, query, weights, def, fillBase, h, theta)
+			} else if err := scanBlockPartition(sv.blk, ranges, query, weights, weighted, def, fillBase, 0, OID(math.MaxUint64), h, theta); err != nil {
+				return nil, fmt.Errorf("segment %d: %w", vi, err)
 			}
-			maxscoreScan(pv, terms, query, weights, def, fillBase, h, theta)
 			heaps = append(heaps, h)
 		}
 	}
@@ -455,7 +518,11 @@ func PrunedTopKSegs(segs []PostingsSeg, query []OID, weights []float64, def floa
 	}
 
 	if !weighted {
-		resDocs, resScores = fillDefaults(views, segRanges, domain, fillBase, k, resDocs, resScores)
+		var err error
+		resDocs, resScores, err = fillDefaults(views, segRanges, domain, fillBase, k, resDocs, resScores)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	out := New(KindOID, KindFloat)
@@ -605,28 +672,34 @@ func searchDocFrom(docs []OID, lo, hi int, d OID) int {
 	return lo + sort.Search(hi-lo, func(i int) bool { return docs[lo+i] >= d })
 }
 
-// postingRange is one query term's [lo,hi) slice of the postings columns.
-type postingRange struct{ lo, hi int }
+// postingRange is one query term's [lo,hi) slice of the postings columns,
+// tagged with the term id so block views can reach the term's directory.
+type postingRange struct {
+	lo, hi int
+	t      OID
+}
 
 // fillDefaults merges default-scored (unmatched) documents into a ranked
 // result when they can still enter the top k: they all score fillBase and
 // tie-break by ascending OID, so the walk stops at the first one that no
 // longer beats the tail. A document is "matched" when any segment holds a
 // posting for it under any query term.
-func fillDefaults(views []*postingsView, segRanges [][]postingRange, domain *BAT, fillBase float64, k int, docs []OID, scores []float64) ([]OID, []float64) {
+func fillDefaults(views []segScan, segRanges [][]postingRange, domain *BAT, fillBase float64, k int, docs []OID, scores []float64) ([]OID, []float64, error) {
 	if len(docs) == k && scores[len(scores)-1] > fillBase {
 		// The current tail strictly beats any default-scored document; on a
 		// tie the walk below still runs, because a smaller unmatched OID wins.
-		return docs, scores
+		return docs, scores, nil
 	}
 	// Matched-document membership, sized by the larger of postings max and
 	// domain max; sparse OID spaces fall back to a map.
 	n := domain.Len()
 	maxDoc := OID(0)
-	for vi, pv := range views {
+	for vi, sv := range views {
 		for _, r := range segRanges[vi] {
-			if r.hi > r.lo && pv.docs[r.hi-1] > maxDoc {
-				maxDoc = pv.docs[r.hi-1]
+			if r.hi > r.lo {
+				if d := sv.lastDocOf(r.t, r.hi); d > maxDoc {
+					maxDoc = d
+				}
 			}
 		}
 	}
@@ -656,13 +729,31 @@ func fillDefaults(views []*postingsView, segRanges [][]postingRange, domain *BAT
 		_, ok := sparse[d]
 		return ok
 	}
-	for vi, pv := range views {
+	cset := borrowBlockCursors(1)
+	for vi, sv := range views {
 		for _, r := range segRanges[vi] {
-			for p := r.lo; p < r.hi; p++ {
-				mark(pv.docs[p])
+			if sv.raw != nil {
+				for p := r.lo; p < r.hi; p++ {
+					mark(sv.raw.docs[p])
+				}
+				continue
 			}
+			c := &cset.cs[0]
+			c.reset()
+			c.bind(sv.blk, int(r.t))
+			for p := r.lo; p < r.hi; p++ {
+				d, ok := c.docAt(p)
+				if !ok {
+					err := c.err
+					releaseBlockCursors(cset)
+					return nil, nil, err
+				}
+				mark(d)
+			}
+			c.flushStats()
 		}
 	}
+	releaseBlockCursors(cset)
 	for i := 0; i < n; i++ {
 		d := domain.Head.OIDAt(i)
 		if marked(d) {
@@ -682,5 +773,5 @@ func fillDefaults(views []*postingsView, segRanges [][]postingRange, domain *BAT
 		copy(scores[pos+1:], scores[pos:])
 		docs[pos], scores[pos] = d, fillBase
 	}
-	return docs, scores
+	return docs, scores, nil
 }

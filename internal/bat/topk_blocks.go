@@ -1,0 +1,517 @@
+package bat
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Block-compressed variant of the max-score scan (topk.go): the same
+// document-at-a-time evaluation and the same canonical-fold scoring,
+// but postings arrive in PostingsBlockSize blocks (postcodec.go) that
+// are decoded lazily into pooled cursors — and, block-max WAND style,
+// whole blocks are skipped without decoding whenever the sum of the
+// essential terms' quantized per-block bounds cannot beat the shared
+// rising threshold. The bounds are quantized UP at encode time, so a
+// skipped block provably holds no top-k document: pruned ≡ exhaustive
+// stays BUN-for-BUN, ties included, exactly as for the raw layout.
+
+// blockScanStats counts block decode work across all scans (surfaced
+// through BlockScanStats into moash \stats). skipped counts blocks the
+// scan moved past without decoding; decoded counts actual decodes.
+var blockScanStats struct {
+	decoded atomic.Int64
+	skipped atomic.Int64
+}
+
+// BlockScanStats reports the cumulative number of postings blocks
+// decoded and skipped by block-compressed scans since process start.
+func BlockScanStats() (decoded, skipped int64) {
+	return blockScanStats.decoded.Load(), blockScanStats.skipped.Load()
+}
+
+// blockCursor is one query term's decode state over a block-layout
+// segment. Buffers persist across pool reuses; reset() only clears the
+// positions.
+type blockCursor struct {
+	bp *BlockPostings
+	t  int // term index in the segment dictionary; -1 = no postings
+
+	blk      int // decoded block index, -1 none
+	plo, phi int // global posting span of the decoded block
+	belsOK   bool
+
+	dictOK  bool
+	dict    []float64 // nil after load = raw-coded term
+	dictOff int64
+
+	decoded int64 // per-scan stats, flushed once per scan
+	skipped int64
+
+	err error
+
+	docs []OID
+	tfs  []int64
+	bels []float64
+	dbuf []float64 // dictionary storage (dict aliases it when loaded)
+}
+
+func (c *blockCursor) reset() {
+	c.bp, c.t = nil, -1
+	c.blk, c.plo, c.phi = -1, 0, 0
+	c.belsOK, c.dictOK, c.dict, c.dictOff = false, false, nil, 0
+	c.decoded, c.skipped = 0, 0
+	c.err = nil
+	if c.docs == nil {
+		c.docs = make([]OID, PostingsBlockSize)
+		c.tfs = make([]int64, PostingsBlockSize)
+		c.bels = make([]float64, PostingsBlockSize)
+	}
+}
+
+// bind points the cursor at term t of view bp (t == -1 for a term with
+// no postings in the segment).
+func (c *blockCursor) bind(bp *BlockPostings, t int) {
+	c.bp, c.t = bp, t
+	c.blk, c.plo, c.phi = -1, 0, 0
+	c.belsOK, c.dictOK, c.dict, c.dictOff = false, false, nil, 0
+	c.err = nil
+}
+
+// blockOf maps a global posting position of the cursor's term to its
+// block index.
+func (c *blockCursor) blockOf(pos int) int {
+	return int(c.bp.blkStart[c.t]) + (pos-int(c.bp.start[c.t]))/PostingsBlockSize
+}
+
+// ensure decodes the block containing pos (doc ids only; beliefs are
+// decoded on first belAt). Reports false — with c.err set — on corrupt
+// data.
+func (c *blockCursor) ensure(pos int) bool {
+	if c.err != nil {
+		return false
+	}
+	if c.blk >= 0 && pos >= c.plo && pos < c.phi {
+		return true
+	}
+	b := c.blockOf(pos)
+	if _, err := c.bp.DecodeDocBlock(c.t, b, c.docs, nil); err != nil {
+		c.err = err
+		return false
+	}
+	c.blk = b
+	c.plo, c.phi = c.bp.BlockSpan(c.t, b)
+	c.belsOK = false
+	c.decoded++
+	return true
+}
+
+// docAt returns the doc id at global posting position pos.
+func (c *blockCursor) docAt(pos int) (OID, bool) {
+	if !c.ensure(pos) {
+		return 0, false
+	}
+	return c.docs[pos-c.plo], true
+}
+
+// belAt returns the (bit-exact) belief at global posting position pos.
+func (c *blockCursor) belAt(pos int) (float64, bool) {
+	if !c.ensure(pos) {
+		return 0, false
+	}
+	if !c.belsOK {
+		if !c.dictOK {
+			dict, off, err := c.bp.TermDict(c.t, c.dbuf)
+			if err != nil {
+				c.err = err
+				return 0, false
+			}
+			c.dict, c.dictOff, c.dictOK = dict, off, true
+			if dict != nil {
+				c.dbuf = dict // keep the (possibly grown) backing array
+			}
+		}
+		if err := c.bp.DecodeBelBlock(c.t, c.blk, c.dict, c.dictOff, c.bels); err != nil {
+			c.err = err
+			return 0, false
+		}
+		c.belsOK = true
+	}
+	return c.bels[pos-c.plo], true
+}
+
+// search returns the first global posting position in [lo, hi) whose
+// doc id is ≥ d, decoding at most one block; blocks passed over count
+// as skipped. On corrupt data it returns hi with c.err set.
+func (c *blockCursor) search(lo, hi int, d OID) int {
+	if lo >= hi {
+		return hi
+	}
+	if c.err != nil {
+		return hi
+	}
+	if c.blk >= 0 && lo >= c.plo && lo < c.phi && d <= OID(c.bp.blkDir[2*c.blk]) {
+		// the answer is inside the already-decoded block: its lastDoc is
+		// ≥ d and docs ascend, so no directory search is needed
+		p, ph := lo, c.phi
+		if ph > hi {
+			ph = hi
+		}
+		for p < ph {
+			mid := int(uint(p+ph) >> 1)
+			if c.docs[mid-c.plo] >= d {
+				ph = mid
+			} else {
+				p = mid + 1
+			}
+		}
+		// p == hi only when the window was clamped by hi (the block's
+		// lastDoc is ≥ d, so an unclamped window always contains a hit)
+		return p
+	}
+	blo, bhi := c.blockOf(lo), c.blockOf(hi-1)
+	// first block in [blo, bhi] whose lastDoc is ≥ d
+	b, bh := blo, bhi+1
+	for b < bh {
+		mid := int(uint(b+bh) >> 1)
+		if OID(c.bp.blkDir[2*mid]) >= d {
+			bh = mid
+		} else {
+			b = mid + 1
+		}
+	}
+	if b > bhi {
+		c.skipped += int64(bhi - blo + 1)
+		return hi
+	}
+	c.skipped += int64(b - blo)
+	if b != c.blk {
+		if !c.ensure(int(c.bp.start[c.t]) + (b-int(c.bp.blkStart[c.t]))*PostingsBlockSize) {
+			return hi
+		}
+	}
+	slo, shi := lo, hi
+	if slo < c.plo {
+		slo = c.plo
+	}
+	if shi > c.phi {
+		shi = c.phi
+	}
+	pos, ph := slo, shi
+	for pos < ph {
+		mid := int(uint(pos+ph) >> 1)
+		if c.docs[mid-c.plo] >= d {
+			ph = mid
+		} else {
+			pos = mid + 1
+		}
+	}
+	if pos == shi && shi < hi {
+		// everything in this block's window is < d; the answer is in a
+		// later block, beyond hi's clamp
+		return hi
+	}
+	return pos
+}
+
+// flushStats publishes the per-scan decode counters.
+func (c *blockCursor) flushStats() {
+	if c.decoded != 0 {
+		blockScanStats.decoded.Add(c.decoded)
+	}
+	if c.skipped != 0 {
+		blockScanStats.skipped.Add(c.skipped)
+	}
+	c.decoded, c.skipped = 0, 0
+}
+
+// scanBlockPartition runs one document-range partition [docLo, docHi)
+// of a block-layout segment: it borrows a cursor set, seeks every term
+// to the partition bounds, runs the block-max scan, and releases the
+// cursors on every path.
+func scanBlockPartition(bp *BlockPostings, ranges []postingRange, query []OID, weights []float64, weighted bool, def, fillBase float64, docLo, docHi OID, h *BoundedTopK[topkCand], theta *TopKThreshold) error {
+	cset := borrowBlockCursors(len(query))
+	defer releaseBlockCursors(cset)
+	terms := make([]qterm, len(query))
+	for i := range query {
+		w := 1.0
+		if weighted {
+			w = weights[i]
+		}
+		t := -1
+		if ranges[i].hi > ranges[i].lo {
+			t = int(ranges[i].t)
+		}
+		cset.cs[i].bind(bp, t)
+		tlo, thi := ranges[i].lo, ranges[i].hi
+		if t >= 0 && docLo > 0 {
+			tlo = cset.cs[i].search(tlo, thi, docLo)
+		}
+		if t >= 0 && docHi != OID(math.MaxUint64) {
+			thi = cset.cs[i].search(tlo, thi, docHi)
+		}
+		// partition seeks jump over blocks other partitions own; they are
+		// not pruning work, so keep them out of the skip-rate counter
+		cset.cs[i].skipped = 0
+		terms[i] = qterm{qi: i, cur: tlo, hi: thi, weight: w}
+	}
+	err := maxscoreScanBlocks(bp, cset.cs, terms, query, weights, def, fillBase, h, theta)
+	for i := range cset.cs {
+		if err == nil && cset.cs[i].err != nil {
+			err = cset.cs[i].err
+		}
+		cset.cs[i].flushStats()
+	}
+	return err
+}
+
+// maxscoreScanBlocks is maxscoreScan over a block-layout segment: the
+// same essential/non-essential split, candidate selection and scoring
+// fold, plus block-max skipping. cs[i] is the cursor of terms[i].
+func maxscoreScanBlocks(bp *BlockPostings, cs []blockCursor, terms []qterm, query []OID, weights []float64, def, fillBase float64, h *BoundedTopK[topkCand], theta *TopKThreshold) error {
+	m := len(terms)
+	if m == 0 {
+		return nil
+	}
+	for i := range terms {
+		ub := 0.0
+		if t := cs[i].t; t >= 0 {
+			if lo, hi := bp.TermRange(t); hi > lo {
+				mb := bp.MaxBelief(t)
+				if mb < def {
+					mb = def
+				}
+				ub = terms[i].weight * (mb - def)
+			}
+		}
+		terms[i].ub = ub
+	}
+	perm := make([]int, m)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return terms[perm[a]].ub > terms[perm[b]].ub })
+	suffixUB := make([]float64, m+1)
+	for j := m - 1; j >= 0; j-- {
+		suffixUB[j] = suffixUB[j+1] + terms[perm[j]].ub
+	}
+	e := m
+
+	fbel := make([]float64, m)
+	stamp := make([]int, m)
+	cur := 0
+
+	// docs caches terms[i]'s current doc id (valid while cur < hi): the
+	// candidate-selection and scoring loops read a slice instead of
+	// re-resolving block state, and refresh runs once per cursor advance.
+	docs := make([]OID, m)
+	refresh := func(i int) bool {
+		qt := &terms[i]
+		if qt.cur < qt.hi {
+			d, ok := cs[i].docAt(qt.cur)
+			if !ok {
+				return false
+			}
+			docs[i] = d
+		}
+		return true
+	}
+	for i := range terms {
+		if !refresh(i) {
+			return cs[i].err
+		}
+	}
+
+	shrink := func(th float64) {
+		for e > 0 && fillBase+suffixUB[e-1]+boundSlack <= th {
+			e--
+		}
+	}
+	threshold := func() float64 {
+		if w, ok := h.Worst(); ok && h.Full() {
+			return w.score
+		}
+		return math.Inf(-1)
+	}
+	fail := func() error {
+		for i := range cs {
+			if cs[i].err != nil {
+				return cs[i].err
+			}
+		}
+		return nil
+	}
+	// Fence for the block-max check: after a failed check its inputs are
+	// frozen until the threshold rises, a cursor crosses into a new block
+	// (only possible once the candidate doc exceeds the fenced min
+	// lastDoc), or an essential term exhausts — so the per-term bound
+	// recomputation is gated on those events instead of running every
+	// candidate.
+	skipFence := OID(0)
+	fenceTh := math.Inf(-1)
+	fenced := false
+	for {
+		th := threshold()
+		if g := theta.Load(); g > th {
+			th = g
+		}
+		if h.Full() {
+			shrink(th)
+		}
+		best := OID(math.MaxUint64)
+		found := false
+		for j := 0; j < e; j++ {
+			i := perm[j]
+			if terms[i].cur < terms[i].hi {
+				if d := docs[i]; !found || d < best {
+					best, found = d, true
+				}
+			}
+		}
+		if !found {
+			return nil
+		}
+		if h.Full() && (!fenced || th > fenceTh || best > skipFence) {
+			// Block-max skip: every unread essential posting with doc ≤
+			// minLast lies in its term's current block (each active
+			// essential block ends at ≥ minLast), so if the quantized
+			// current-block bounds plus the non-essential suffix cannot
+			// beat the threshold, no document up to minLast can enter
+			// the top k — advance every essential cursor past minLast
+			// without scoring anything.
+			sumUB := 0.0
+			minLast := OID(math.MaxUint64)
+			active := false
+			for j := 0; j < e; j++ {
+				qt := &terms[perm[j]]
+				if qt.cur >= qt.hi {
+					continue
+				}
+				c := &cs[perm[j]]
+				b := c.blockOf(qt.cur)
+				qm := bp.BlockMax(b)
+				if qm < def {
+					qm = def
+				}
+				sumUB += qt.weight * (qm - def)
+				if last := bp.BlockLast(b); !active || last < minLast {
+					minLast = last
+				}
+				active = true
+			}
+			if active && fillBase+sumUB+suffixUB[e]+boundSlack <= th {
+				for j := 0; j < e; j++ {
+					i := perm[j]
+					qt := &terms[i]
+					if qt.cur < qt.hi {
+						qt.cur = cs[i].search(qt.cur, qt.hi, minLast+1)
+						if !refresh(i) {
+							return cs[i].err
+						}
+					}
+				}
+				if err := fail(); err != nil {
+					return err
+				}
+				fenced = false
+				continue
+			}
+			skipFence, fenceTh, fenced = minLast, th, true
+		}
+		cur++
+		known := 0.0
+		for j := 0; j < e; j++ {
+			i := perm[j]
+			qt := &terms[i]
+			if qt.cur < qt.hi && docs[i] == best {
+				c := &cs[i]
+				// refresh already decoded the block holding qt.cur, so
+				// when its beliefs are in too this is a plain slice read
+				var bel float64
+				if c.belsOK {
+					bel = c.bels[qt.cur-c.plo]
+				} else {
+					var ok bool
+					if bel, ok = c.belAt(qt.cur); !ok {
+						return c.err
+					}
+				}
+				fbel[qt.qi], stamp[qt.qi] = bel, cur
+				known += qt.weight * (bel - def)
+				qt.cur++
+				switch {
+				case qt.cur >= qt.hi:
+					fenced = false
+				case qt.cur < c.phi:
+					docs[i] = c.docs[qt.cur-c.plo]
+				default:
+					if !refresh(i) {
+						return c.err
+					}
+				}
+			}
+		}
+		bound := fillBase + known + suffixUB[e]
+		if h.Full() && bound+boundSlack <= th {
+			continue
+		}
+		pruned := false
+		for j := e; j < m; j++ {
+			qt := &terms[perm[j]]
+			c := &cs[perm[j]]
+			bound -= qt.ub
+			pos := c.search(qt.cur, qt.hi, best)
+			if c.err != nil {
+				return c.err
+			}
+			if pos < qt.hi {
+				d, ok := c.docAt(pos)
+				if !ok {
+					return c.err
+				}
+				if d == best {
+					bel, ok := c.belAt(pos)
+					if !ok {
+						return c.err
+					}
+					fbel[qt.qi], stamp[qt.qi] = bel, cur
+					bound += qt.weight * (bel - def)
+					qt.cur = pos + 1
+				} else {
+					qt.cur = pos
+				}
+			} else {
+				qt.cur = pos
+			}
+			if h.Full() && bound+boundSlack <= th {
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			continue
+		}
+		score := 0.0
+		if weights == nil {
+			matched := 0
+			for qi := 0; qi < m; qi++ {
+				if stamp[qi] == cur {
+					score += fbel[qi]
+					matched++
+				}
+			}
+			score += float64(m-matched) * def
+		} else {
+			for qi := 0; qi < m; qi++ {
+				if stamp[qi] == cur {
+					score += weights[qi] * (fbel[qi] - def)
+				}
+			}
+			score += fillBase
+		}
+		h.Offer(topkCand{doc: best, score: score})
+		if h.Full() {
+			theta.Raise(threshold())
+		}
+	}
+}

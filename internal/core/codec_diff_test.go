@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Raw-vs-block codec differential tests: the same corpus, indexed the
+// same way (batch build plus the same interleaving of delta refreshes,
+// with whatever merges the compaction policy triggers), must answer
+// every retrieval BUN-for-BUN identically whether the postings segments
+// are stored raw or block-compressed. Beliefs survive the block codec
+// bit-exact and the block-max bounds are quantized conservatively, so
+// any divergence here is a pruning bug, not an accepted approximation.
+
+// buildStubWithCodec builds one store over the corpus under the given
+// codec: batch over a prefix, then delta refreshes over rng-chosen cut
+// points (identical across codecs for equal seeds).
+func buildStubWithCodec(t *testing.T, codec string, urls, anns []string, seed int64) *Mirror {
+	t.Helper()
+	m, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetStoreCodec(codec); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := len(urls)
+	batch := 1 + rng.Intn(n-1)
+	for i := 0; i < batch; i++ {
+		if err := m.AddImage(urls[i], anns[i], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.buildIndex(DefaultIndexOptions(), stubPipeline{}); err != nil {
+		t.Fatal(err)
+	}
+	for at := batch; at < n; {
+		step := 1 + rng.Intn(n-at)
+		for i := at; i < at+step; i++ {
+			if err := m.AddImage(urls[i], anns[i], nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		at += step
+		refreshStub(t, m)
+	}
+	return m
+}
+
+// storeCodecOf reports the (uniform) segment codec a retriever's stores
+// actually hold, failing on a mix.
+func storeCodecOf(t *testing.T, r interface{ PostingsStats() PostingsStats }, want string) {
+	t.Helper()
+	seen := false
+	for _, pi := range r.PostingsStats().Stores {
+		if pi.Segments == 0 {
+			continue
+		}
+		seen = true
+		if pi.Codec != want {
+			t.Fatalf("%s stored as %q, want %q", pi.Prefix, pi.Codec, want)
+		}
+	}
+	if !seen {
+		t.Fatal("no segmented stores to check")
+	}
+}
+
+// TestBlockCodecEqualsRawSingleStore: single store, segmented by delta
+// refreshes (and compacted by the merge policy), raw ≡ block.
+func TestBlockCodecEqualsRawSingleStore(t *testing.T) {
+	for round := 0; round < 4; round++ {
+		rng := rand.New(rand.NewSource(int64(500 + round)))
+		n := 20 + rng.Intn(25)
+		urls, anns := refreshCorpus(n, int64(900+round))
+		seed := int64(40 + round)
+		raw := buildStubWithCodec(t, "raw", urls, anns, seed)
+		blk := buildStubWithCodec(t, "block", urls, anns, seed)
+		storeCodecOf(t, raw, "raw")
+		storeCodecOf(t, blk, "block")
+		label := fmt.Sprintf("round %d (%d docs)", round, n)
+		assertSameRetrieval(t, label, raw, blk, 10)
+		assertSameRetrieval(t, label+" full-ranking", raw, blk, 0)
+	}
+}
+
+// TestBlockCodecEqualsRawSharded extends the guarantee across shard
+// counts N ∈ {1, 2, 8}, with per-shard segment directories built by the
+// same delta interleavings.
+func TestBlockCodecEqualsRawSharded(t *testing.T) {
+	const n = 30
+	urls, anns := refreshCorpus(n, 17)
+	for _, shards := range []int{1, 2, 8} {
+		build := func(codec string) *ShardedEngine {
+			e, err := NewSharded(shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.SetStoreCodec(codec); err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(60 + shards)))
+			batch := 8 + rng.Intn(10)
+			for i := 0; i < batch; i++ {
+				if err := e.AddImage(urls[i], anns[i], nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := e.buildIndex(DefaultIndexOptions(), stubPipeline{}); err != nil {
+				t.Fatal(err)
+			}
+			for at := batch; at < n; {
+				step := 1 + rng.Intn(n-at)
+				for i := at; i < at+step; i++ {
+					if err := e.AddImage(urls[i], anns[i], nil); err != nil {
+						t.Fatal(err)
+					}
+				}
+				at += step
+				engineRefreshStub(t, e)
+			}
+			return e
+		}
+		raw := build("raw")
+		blk := build("block")
+		storeCodecOf(t, raw, "raw")
+		storeCodecOf(t, blk, "block")
+		label := fmt.Sprintf("%d shards", shards)
+		assertSameRetrieval(t, label, raw, blk, 10)
+		assertSameRetrieval(t, label+" full-ranking", raw, blk, 0)
+	}
+}
+
+// TestCodecConversionRoundTrips: converting a built store raw→block→raw
+// in place (the EnsureCodec path every persistent open and refresh uses)
+// leaves retrieval BUN-for-BUN unchanged at every step.
+func TestCodecConversionRoundTrips(t *testing.T) {
+	urls, anns := refreshCorpus(28, 23)
+	ref := buildStubWithCodec(t, "raw", urls, anns, 77)
+	m := buildStubWithCodec(t, "raw", urls, anns, 77)
+
+	convert := func(codec string) {
+		t.Helper()
+		if err := m.SetStoreCodec(codec); err != nil {
+			t.Fatal(err)
+		}
+		m.mu.Lock()
+		err := m.ensureCodecLocked()
+		if err == nil {
+			err = m.publishEpochLocked()
+		}
+		m.mu.Unlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	convert("block")
+	storeCodecOf(t, m, "block")
+	assertSameRetrieval(t, "raw->block", ref, m, 10)
+	convert("raw")
+	storeCodecOf(t, m, "raw")
+	assertSameRetrieval(t, "raw->block->raw", ref, m, 10)
+}

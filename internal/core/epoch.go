@@ -273,3 +273,62 @@ func (m *Mirror) Segments() []SegmentsInfo {
 	}
 	return ep.segmentsOf(m.shardIndex)
 }
+
+// PostingsInfo reports one CONTREP's derived-postings storage footprint
+// on one store, as published in the serving epoch (moash \stats).
+type PostingsInfo struct {
+	Shard    int // member index; 0 on standalone stores
+	Prefix   string
+	Codec    string // stored segment codec ("block"/"raw"; "mixed" mid-conversion)
+	Segments int
+	Postings int64 // total postings across segments
+	Bytes    int64 // resident bytes of the stored postings layout
+	RawBytes int64 // bytes the raw 8-byte-per-field layout would occupy
+}
+
+// PostingsStats couples the per-store postings footprints with the
+// process-wide block-scan counters — monotone totals in the style of
+// CacheStats, shared by every store in the process.
+type PostingsStats struct {
+	Stores        []PostingsInfo
+	BlocksDecoded int64 // postings blocks decoded by pruned scans
+	BlocksSkipped int64 // blocks skipped outright via their quantized max-belief bound
+}
+
+// postingsOf reports the epoch's postings footprint for every CONTREP.
+func (ep *IndexEpoch) postingsOf(shard int) []PostingsInfo {
+	out := make([]PostingsInfo, 0, len(contrepPrefixes))
+	for _, prefix := range contrepPrefixes {
+		fp := ir.Footprint(ep.DB, prefix)
+		// The codec is a property of the stored segments, not the codec
+		// registry (the epoch DB is a frozen snapshot): report what the
+		// segments actually are, flagging a mid-conversion mix.
+		codec := ""
+		for _, st := range ir.SegmentStats(ep.DB, prefix) {
+			switch {
+			case codec == "":
+				codec = st.Codec
+			case codec != st.Codec:
+				codec = "mixed"
+			}
+		}
+		out = append(out, PostingsInfo{
+			Shard: shard, Prefix: prefix, Codec: codec,
+			Segments: fp.Segments, Postings: fp.Postings,
+			Bytes: fp.Bytes, RawBytes: fp.RawBytes,
+		})
+	}
+	return out
+}
+
+// PostingsStats reports the serving epoch's postings footprints plus the
+// process-wide block-scan counters; zero-valued Stores before the first
+// publish.
+func (m *Mirror) PostingsStats() PostingsStats {
+	var st PostingsStats
+	if ep := m.currentEpoch(); ep != nil {
+		st.Stores = ep.postingsOf(m.shardIndex)
+	}
+	st.BlocksDecoded, st.BlocksSkipped = bat.BlockScanStats()
+	return st
+}

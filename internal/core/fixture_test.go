@@ -1,0 +1,239 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mirror/internal/corpus"
+)
+
+// preBlockFixture is a committed store checkpointed in the pre-block-
+// codec format: raw postings columns, manifest version 2 (the version
+// every release before the block codec wrote). The cross-version tests
+// below pin that today's binary still opens it, converts it losslessly,
+// and answers queries identically before and after conversion.
+const preBlockFixture = "testdata/store-v2-raw"
+
+// preBlockFixtureCorpus regenerates the exact corpus the fixture was
+// built from (corpus generation is seed-deterministic).
+func preBlockFixtureCorpus() []*corpus.Item {
+	return corpus.Generate(corpus.Config{N: 14, W: 48, H: 48, Seed: 7, AnnotateRate: 0.8})
+}
+
+// TestRegenPreBlockFixture rebuilds the committed fixture. Guarded: it
+// only runs when MIRROR_REGEN_FIXTURES is set (regenerating rewrites
+// testdata, which is otherwise immutable history).
+func TestRegenPreBlockFixture(t *testing.T) {
+	if os.Getenv("MIRROR_REGEN_FIXTURES") == "" {
+		t.Skip("set MIRROR_REGEN_FIXTURES=1 to regenerate the committed fixture")
+	}
+	if err := os.RemoveAll(preBlockFixture); err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := OpenPersistent(PersistOptions{Dir: preBlockFixture, Verify: true, StoreCodec: "raw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range preBlockFixtureCorpus() {
+		if err := m.AddImage(it.URL, it.Annotation, it.Scene.Img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opts := DefaultIndexOptions()
+	opts.Features = []string{"rgb_coarse", "gabor"}
+	opts.KMax = 5
+	if err := m.BuildContentIndex(opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ClosePersistent(); err != nil {
+		t.Fatal(err)
+	}
+	// Stamp the manifest back to version 2 — exactly what a pre-block
+	// release wrote for a store without bytes-kind columns (the raw
+	// codec uses none). The manifest is plain JSON with no self-CRC.
+	stampManifestVersion(t, preBlockFixture, 2)
+}
+
+func stampManifestVersion(t *testing.T, dir string, v int) {
+	t.Helper()
+	path := filepath.Join(dir, "MANIFEST")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man map[string]any
+	if err := json.Unmarshal(raw, &man); err != nil {
+		t.Fatal(err)
+	}
+	man["version"] = v
+	out, err := json.Marshal(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func manifestVersion(t *testing.T, dir string) int {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join(dir, "MANIFEST"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man struct {
+		Version int `json:"version"`
+	}
+	if err := json.Unmarshal(raw, &man); err != nil {
+		t.Fatal(err)
+	}
+	return man.Version
+}
+
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		sp, dp := filepath.Join(src, e.Name()), filepath.Join(dst, e.Name())
+		if e.IsDir() {
+			copyTree(t, sp, dp)
+			continue
+		}
+		in, err := os.Open(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := os.Create(dp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			t.Fatal(err)
+		}
+		in.Close()
+		if err := out.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func fixtureCodec(t *testing.T, m *Mirror) string {
+	t.Helper()
+	ps := m.PostingsStats()
+	codec := ""
+	for _, pi := range ps.Stores {
+		if pi.Segments == 0 {
+			continue
+		}
+		switch {
+		case codec == "":
+			codec = pi.Codec
+		case codec != pi.Codec:
+			t.Fatalf("stores disagree on codec: %q vs %q", codec, pi.Codec)
+		}
+	}
+	return codec
+}
+
+// TestPreBlockFixtureOpensAndConverts is the cross-version guarantee:
+// a store checkpointed by a pre-block-codec release (manifest v2, raw
+// postings) opens under today's default, converts to the block layout
+// in memory, answers the same queries hit-for-hit, and persists the
+// converted layout (manifest v3) at the next checkpoint.
+func TestPreBlockFixtureOpensAndConverts(t *testing.T) {
+	if _, err := os.Stat(preBlockFixture); err != nil {
+		t.Fatalf("committed fixture missing (regenerate with MIRROR_REGEN_FIXTURES=1): %v", err)
+	}
+	if v := manifestVersion(t, preBlockFixture); v != 2 {
+		t.Fatalf("fixture manifest version = %d, want 2 (the fixture must stay pre-compression)", v)
+	}
+	dir := filepath.Join(t.TempDir(), "store")
+	copyTree(t, preBlockFixture, dir)
+
+	text := corpus.CanonicalTerm(mostAnnotatedClass(preBlockFixtureCorpus()))
+
+	// Pass 1: open in the layout the store was written in — the raw
+	// baseline every later pass must match hit-for-hit.
+	m, _, err := OpenPersistent(PersistOptions{Dir: dir, Verify: true, StoreCodec: "raw"})
+	if err != nil {
+		t.Fatalf("open fixture raw: %v", err)
+	}
+	if !m.Indexed() {
+		t.Fatal("fixture recovered unindexed")
+	}
+	if got := fixtureCodec(t, m); got != "raw" {
+		t.Fatalf("fixture stores codec %q, want raw", got)
+	}
+	want, err := m.QueryDualCoding(text, 8)
+	if err != nil || len(want) == 0 {
+		t.Fatalf("baseline query: %v (%d hits)", err, len(want))
+	}
+	m.ClosePersistent()
+
+	// Pass 2: open under the default block codec — recovery converts.
+	m2, _, err := OpenPersistent(PersistOptions{Dir: dir, Verify: true})
+	if err != nil {
+		t.Fatalf("open fixture under block codec: %v", err)
+	}
+	if got := fixtureCodec(t, m2); got != "block" {
+		t.Fatalf("recovered store codec %q, want block (conversion at open)", got)
+	}
+	got, err := m2.QueryDualCoding(text, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameHits(t, "converted", want, got)
+	// Footprint accounting is live after conversion. (No compression
+	// assertion here: at 14 documents the per-block directories dominate;
+	// the ≥3x ratio is pinned at scale by the query benchmark.)
+	ps := m2.PostingsStats()
+	for _, pi := range ps.Stores {
+		if pi.Segments > 0 && (pi.Bytes <= 0 || pi.RawBytes <= 0) {
+			t.Errorf("%s: footprint not reported: %+v", pi.Prefix, pi)
+		}
+	}
+	if _, err := m2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	m2.ClosePersistent()
+	if v := manifestVersion(t, dir); v != 3 {
+		t.Fatalf("post-conversion checkpoint wrote manifest version %d, want 3", v)
+	}
+
+	// Pass 3: the converted store reopens from disk (block columns now
+	// come through the pool) and still answers identically.
+	m3, _, err := OpenPersistent(PersistOptions{Dir: dir, Verify: true})
+	if err != nil {
+		t.Fatalf("reopen converted store: %v", err)
+	}
+	defer m3.ClosePersistent()
+	got3, err := m3.QueryDualCoding(text, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameHits(t, "reopened", want, got3)
+}
+
+func assertSameHits(t *testing.T, label string, want, got []Hit) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d hits, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i].OID != got[i].OID || want[i].Score != got[i].Score || want[i].URL != got[i].URL {
+			t.Fatalf("%s: hit %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}

@@ -69,6 +69,12 @@ type PersistOptions struct {
 	NoMmap  bool   // force the portable (copying) load path
 	Budget  int64  // pool byte budget for clean unpinned BATs; 0 = unlimited
 
+	// StoreCodec selects the postings segment layout ("block" or "raw";
+	// empty = block). A store recovered in the other layout is converted
+	// in memory during open — the conversion is lossless both ways and
+	// persists at the next checkpoint.
+	StoreCodec string
+
 	// ShardIndex/ShardCount declare the store a member of a sharded
 	// layout (ShardCount > 0). A fresh store is stamped with them; an
 	// existing store must have been built with the same identity —
@@ -383,6 +389,10 @@ type RecoveryStats struct {
 // truncate the WAL, and ClosePersistent on shutdown.
 func OpenPersistent(opts PersistOptions) (*Mirror, RecoveryStats, error) {
 	var stats RecoveryStats
+	codec, err := ir.CodecFromString(opts.StoreCodec)
+	if err != nil {
+		return nil, stats, err
+	}
 	pool, err := storage.OpenOrCreate(opts.Dir, storage.Options{
 		Verify: opts.Verify, NoMmap: opts.NoMmap, Budget: opts.Budget,
 	})
@@ -416,6 +426,10 @@ func OpenPersistent(opts PersistOptions) (*Mirror, RecoveryStats, error) {
 		}
 	}
 	stats.BATs = len(names)
+
+	// Register the postings codec before WAL replay: replayed publishes
+	// derive their delta segments in it.
+	ir.SetStoreCodec(m.DB, codec)
 
 	// Shard identity: stamp a fresh store, verify an existing one. The
 	// layout is a stored property of the manifest — a store only ever
@@ -463,7 +477,10 @@ func OpenPersistent(opts PersistOptions) (*Mirror, RecoveryStats, error) {
 	// publish.
 	if m.indexed && !m.deferredDelta {
 		m.mu.Lock()
-		perr := m.publishEpochLocked()
+		perr := m.ensureCodecLocked()
+		if perr == nil {
+			perr = m.publishEpochLocked()
+		}
 		m.mu.Unlock()
 		if perr != nil {
 			pool.Close()

@@ -56,6 +56,7 @@ type Retriever interface {
 	Current() bool
 	Refresh() (RefreshStats, error)
 	Segments() []SegmentsInfo
+	PostingsStats() PostingsStats
 	SchemaSource() string
 	Thesaurus() *thesaurus.Thesaurus
 	Persistent() bool

@@ -894,6 +894,30 @@ func (e *ShardedEngine) ResultCacheStats() CacheStats {
 	return e.cache.Load().stats()
 }
 
+// SetStoreCodec selects the postings segment layout every shard uses for
+// newly derived, merged or rewritten segments ("block"/"raw"; "" = block).
+func (e *ShardedEngine) SetStoreCodec(name string) error {
+	for _, sh := range e.shards {
+		if err := sh.SetStoreCodec(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PostingsStats reports every shard's postings footprint in the serving
+// engine epoch, plus the process-wide block-scan counters.
+func (e *ShardedEngine) PostingsStats() PostingsStats {
+	var st PostingsStats
+	if ee := e.epoch.Load(); ee != nil {
+		for s, ep := range ee.shards {
+			st.Stores = append(st.Stores, ep.postingsOf(s)...)
+		}
+	}
+	st.BlocksDecoded, st.BlocksSkipped = bat.BlockScanStats()
+	return st
+}
+
 // ExpandQuery maps free text to associated content clusters via the
 // shared thesaurus.
 func (e *ShardedEngine) ExpandQuery(text string, topK int) []string {
@@ -1064,10 +1088,11 @@ type ShardedPersistOptions struct {
 	Dir    string // store root; shards live in Dir/shard-NNN
 	Shards int    // shard count; 0 = reopen with the stored layout
 	// Per-shard pool/WAL knobs, identical to PersistOptions.
-	WALSync bool
-	Verify  bool
-	NoMmap  bool
-	Budget  int64 // total byte budget, split evenly across shards
+	WALSync    bool
+	Verify     bool
+	NoMmap     bool
+	Budget     int64  // total byte budget, split evenly across shards
+	StoreCodec string // postings segment layout ("block"/"raw"; empty = block)
 }
 
 // ShardRecoveryStats aggregates per-shard recovery.
@@ -1135,6 +1160,7 @@ func OpenShardedPersistent(opts ShardedPersistOptions) (*ShardedEngine, ShardRec
 				Verify:     opts.Verify,
 				NoMmap:     opts.NoMmap,
 				Budget:     opts.Budget / int64(n),
+				StoreCodec: opts.StoreCodec,
 				ShardIndex: i,
 				ShardCount: n,
 			})

@@ -1,0 +1,374 @@
+package ir
+
+import (
+	"fmt"
+	"sync"
+
+	"mirror/internal/bat"
+	"mirror/internal/moa"
+)
+
+// Postings codec selection.
+//
+// A derived postings segment is stored in one of two layouts:
+//
+//	raw    _poststart/_postdoc/_posttf/_postbel/_maxbel — three 8-byte
+//	       columns per posting, the layout every store used before the
+//	       block codec existed.
+//	block  _poststart/_blkstart/_blkdir/_blkdoc/_blkbdir/_blkbel/_maxbel
+//	       — fixed-size blocks of delta-compressed doc ids + term
+//	       frequencies and dictionary-coded beliefs, with per-block
+//	       upward-quantized max-belief bounds (bat/postcodec.go). The
+//	       beliefs themselves survive bit-exact, and _maxbel stays the
+//	       exact per-term maximum, so pruned results are BUN-for-BUN
+//	       identical between the layouts; only footprint and the scan's
+//	       block-skipping differ.
+//
+// The codec is chosen per database (the -store-codec flag in the
+// daemons) and registered here, like the GlobalStats override: segment
+// build, merge and the EnsureCodec upgrade consult the registry. The
+// default is the block codec.
+
+// Codec selects the storage layout of derived postings segments.
+type Codec int
+
+const (
+	// CodecBlock is the block-compressed layout (the default).
+	CodecBlock Codec = iota
+	// CodecRaw is the uncompressed 8-byte-per-field layout.
+	CodecRaw
+)
+
+func (c Codec) String() string {
+	if c == CodecRaw {
+		return "raw"
+	}
+	return "block"
+}
+
+// CodecFromString parses a -store-codec flag value.
+func CodecFromString(s string) (Codec, error) {
+	switch s {
+	case "block", "":
+		return CodecBlock, nil
+	case "raw":
+		return CodecRaw, nil
+	}
+	return CodecBlock, fmt.Errorf("ir: unknown postings codec %q (want block or raw)", s)
+}
+
+var (
+	codecMu  sync.Mutex
+	codecReg = map[*moa.Database]Codec{}
+)
+
+// SetStoreCodec registers the postings codec newly built or merged
+// segments of this database use. Existing segments are not rewritten;
+// call EnsureCodec for that.
+func SetStoreCodec(db *moa.Database, c Codec) {
+	codecMu.Lock()
+	defer codecMu.Unlock()
+	if c == CodecBlock {
+		delete(codecReg, db) // the default needs no entry
+		return
+	}
+	codecReg[db] = c
+}
+
+// StoreCodec reports the registered codec for the database (CodecBlock
+// unless overridden).
+func StoreCodec(db *moa.Database) Codec {
+	codecMu.Lock()
+	defer codecMu.Unlock()
+	return codecReg[db]
+}
+
+// segIsBlock reports whether segment slot s is stored block-compressed.
+func segIsBlock(a dbAccess, prefix string, slot int) bool {
+	_, ok := a.get(SegColumn(prefix, slot, "_blkdoc"))
+	return ok
+}
+
+// segBlockView assembles slot s's seven block columns into a validated
+// decode view.
+func segBlockView(a dbAccess, prefix string, slot int) (*bat.BlockPostings, error) {
+	var cols [7]*bat.BAT
+	for i, suffix := range blockSegSuffixes {
+		b, ok := a.get(SegColumn(prefix, slot, suffix))
+		if !ok {
+			return nil, fmt.Errorf("ir: %s: segment %d lost %s", prefix, slot, suffix)
+		}
+		cols[i] = b
+	}
+	bp, err := bat.NewBlockPostings(cols[0], cols[1], cols[2], cols[3], cols[4], cols[5], cols[6])
+	if err != nil {
+		return nil, fmt.Errorf("ir: %s: segment %d: %w", prefix, slot, err)
+	}
+	return bp, nil
+}
+
+// segData is one segment's postings, decoded to flat arrays — the
+// layout-independent form the merge and the codec converters work on.
+type segData struct {
+	starts []int64
+	docs   []bat.OID
+	tfs    []int64
+	bels   []float64
+	maxb   []float64
+}
+
+// readSegData decodes slot s of either layout into flat arrays. withBel
+// false skips the belief columns (structure-only callers).
+func readSegData(a dbAccess, prefix string, slot int, withBel bool) (*segData, error) {
+	if segIsBlock(a, prefix, slot) {
+		bp, err := segBlockView(a, prefix, slot)
+		if err != nil {
+			return nil, err
+		}
+		nt := bp.NTerms()
+		np := 0
+		if nt > 0 {
+			_, np = bp.TermRange(nt - 1)
+		}
+		sd := &segData{
+			starts: make([]int64, nt+1),
+			docs:   make([]bat.OID, 0, np),
+			tfs:    make([]int64, 0, np),
+		}
+		if withBel {
+			sd.bels = make([]float64, 0, np)
+			sd.maxb = make([]float64, nt)
+		}
+		var docBuf [bat.PostingsBlockSize]bat.OID
+		var tfBuf [bat.PostingsBlockSize]int64
+		var belBuf [bat.PostingsBlockSize]float64
+		var dictBuf []float64
+		for t := 0; t < nt; t++ {
+			sd.starts[t] = int64(len(sd.docs))
+			blo, bhi := bp.TermBlocks(t)
+			var dict []float64
+			var dictOff int64
+			if withBel && bhi > blo {
+				if dict, dictOff, err = bp.TermDict(t, dictBuf); err != nil {
+					return nil, fmt.Errorf("ir: %s: segment %d term %d: %w", prefix, slot, t, err)
+				}
+				dictBuf = dict
+			}
+			for b := blo; b < bhi; b++ {
+				n, err := bp.DecodeDocBlock(t, b, docBuf[:], tfBuf[:])
+				if err != nil {
+					return nil, fmt.Errorf("ir: %s: segment %d term %d: %w", prefix, slot, t, err)
+				}
+				sd.docs = append(sd.docs, docBuf[:n]...)
+				sd.tfs = append(sd.tfs, tfBuf[:n]...)
+				if withBel {
+					if err := bp.DecodeBelBlock(t, b, dict, dictOff, belBuf[:n]); err != nil {
+						return nil, fmt.Errorf("ir: %s: segment %d term %d: %w", prefix, slot, t, err)
+					}
+					sd.bels = append(sd.bels, belBuf[:n]...)
+				}
+			}
+			if withBel {
+				sd.maxb[t] = bp.MaxBelief(t)
+			}
+		}
+		sd.starts[nt] = int64(len(sd.docs))
+		return sd, nil
+	}
+
+	startB, ok1 := a.get(SegColumn(prefix, slot, "_poststart"))
+	docB, ok2 := a.get(SegColumn(prefix, slot, "_postdoc"))
+	tfB, ok3 := a.get(SegColumn(prefix, slot, "_posttf"))
+	if !ok1 || !ok2 || !ok3 {
+		return nil, fmt.Errorf("ir: %s: segment %d lost its structure", prefix, slot)
+	}
+	sd := &segData{
+		starts: append([]int64(nil), startB.Tail.Ints()...),
+		docs:   docB.Tail.OIDs(),
+		tfs:    tfB.Tail.Ints(),
+	}
+	if withBel {
+		belB, ok4 := a.get(SegColumn(prefix, slot, "_postbel"))
+		maxbB, ok5 := a.get(SegColumn(prefix, slot, "_maxbel"))
+		if !ok4 || !ok5 {
+			return nil, fmt.Errorf("ir: %s: segment %d has no beliefs (refinalize first)", prefix, slot)
+		}
+		sd.bels = belB.Tail.Floats()
+		sd.maxb = maxbB.Tail.Floats()
+	}
+	return sd, nil
+}
+
+// writeSegData stores flat postings arrays as slot s in the requested
+// codec, deleting the other layout's columns at that slot so converted
+// or merged slots never carry stale twins. sd.bels/sd.maxb may be nil
+// for structure-only writes (the block layout then gets zero-belief
+// placeholders so the segment stays loadable; RefinalizeSegments
+// overwrites them before the segment serves queries).
+func writeSegData(a dbAccess, prefix string, slot int, c Codec, sd *segData) error {
+	nt := len(sd.starts) - 1
+	if c == CodecRaw {
+		a.put(SegColumn(prefix, slot, "_poststart"), adoptDense(bat.ColumnOfInts(sd.starts)))
+		a.put(SegColumn(prefix, slot, "_postdoc"), adoptDense(bat.ColumnOfOIDs(sd.docs)))
+		a.put(SegColumn(prefix, slot, "_posttf"), adoptDense(bat.ColumnOfInts(sd.tfs)))
+		if sd.bels != nil {
+			a.put(SegColumn(prefix, slot, "_postbel"), adoptDense(bat.ColumnOfFloats(sd.bels)))
+			a.put(SegColumn(prefix, slot, "_maxbel"), adoptDense(bat.ColumnOfFloats(sd.maxb)))
+		}
+		for _, suffix := range blockOnlySuffixes {
+			a.del(SegColumn(prefix, slot, suffix))
+		}
+		return nil
+	}
+	enc := bat.NewBlockPostingsEncoder(nt)
+	bele := bat.NewBlockBeliefsEncoder()
+	maxb := make([]float64, nt)
+	var zeros []float64
+	for t := 0; t < nt; t++ {
+		lo, hi := sd.starts[t], sd.starts[t+1]
+		if err := enc.AddTerm(sd.docs[lo:hi], sd.tfs[lo:hi]); err != nil {
+			return fmt.Errorf("ir: %s: segment %d term %d: %w", prefix, slot, t, err)
+		}
+		bels := zeros
+		if sd.bels != nil {
+			bels = sd.bels[lo:hi]
+		} else {
+			for int64(len(zeros)) < hi-lo {
+				zeros = append(zeros, 0)
+			}
+			bels = zeros[:hi-lo]
+		}
+		maxb[t] = bele.AddTerm(bels)
+	}
+	a.put(SegColumn(prefix, slot, "_poststart"), adoptDense(bat.ColumnOfInts(sd.starts)))
+	a.put(SegColumn(prefix, slot, "_blkstart"), adoptDense(bat.ColumnOfInts(enc.BlkStart)))
+	a.put(SegColumn(prefix, slot, "_blkdir"), adoptDense(bat.ColumnOfInts(enc.BlkDir)))
+	a.put(SegColumn(prefix, slot, "_blkdoc"), adoptDense(bat.ColumnOfBytes(enc.Data)))
+	a.put(SegColumn(prefix, slot, "_blkbdir"), adoptDense(bat.ColumnOfInts(bele.BelDir)))
+	a.put(SegColumn(prefix, slot, "_blkbel"), adoptDense(bat.ColumnOfBytes(bele.Data)))
+	a.put(SegColumn(prefix, slot, "_maxbel"), adoptDense(bat.ColumnOfFloats(maxb)))
+	for _, suffix := range rawOnlySuffixes {
+		a.del(SegColumn(prefix, slot, suffix))
+	}
+	return nil
+}
+
+// refinalizeBlockSegment recomputes a block segment's beliefs under the
+// (possibly overridden) collection statistics: the immutable doc/tf
+// blocks are decoded, per-posting beliefs recomputed with the exact
+// arithmetic of the raw path, and only _blkbdir/_blkbel/_maxbel are
+// rewritten — the structure columns never change after build.
+func refinalizeBlockSegment(a dbAccess, prefix string, slot int, dlenOf map[bat.OID]int64, avgdl float64, df []int64, n int) error {
+	bp, err := segBlockView(a, prefix, slot)
+	if err != nil {
+		return err
+	}
+	nt := bp.NTerms()
+	bele := bat.NewBlockBeliefsEncoder()
+	maxb := make([]float64, nt)
+	var docBuf [bat.PostingsBlockSize]bat.OID
+	var tfBuf [bat.PostingsBlockSize]int64
+	var bels []float64
+	for t := 0; t < nt; t++ {
+		dft := int64(0)
+		if t < len(df) {
+			dft = df[t]
+		}
+		blo, bhi := bp.TermBlocks(t)
+		bels = bels[:0]
+		for b := blo; b < bhi; b++ {
+			cnt, err := bp.DecodeDocBlock(t, b, docBuf[:], tfBuf[:])
+			if err != nil {
+				return fmt.Errorf("ir: %s: segment %d term %d: %w", prefix, slot, t, err)
+			}
+			for i := 0; i < cnt; i++ {
+				bels = append(bels, Belief(int(tfBuf[i]), int(dlenOf[docBuf[i]]), avgdl, int(dft), n))
+			}
+		}
+		maxb[t] = bele.AddTerm(bels)
+	}
+	a.put(SegColumn(prefix, slot, "_blkbdir"), adoptDense(bat.ColumnOfInts(bele.BelDir)))
+	a.put(SegColumn(prefix, slot, "_blkbel"), adoptDense(bat.ColumnOfBytes(bele.Data)))
+	a.put(SegColumn(prefix, slot, "_maxbel"), adoptDense(bat.ColumnOfFloats(maxb)))
+	return nil
+}
+
+// EnsureCodec rewrites every existing segment of the CONTREP into the
+// database's registered codec (a no-op for segments already there, and
+// for stores that predate segmentation — EnsureSegmented runs first).
+// Beliefs are copied bit-exact in both directions, so converted stores
+// answer queries hit-for-hit identically; only footprint changes. The
+// one-shot conversion mirrors EnsureSegmented: opening an old raw store
+// under the default block codec upgrades it in place, and the next
+// Checkpoint persists the converted layout.
+func EnsureCodec(db *moa.Database, prefix string) error {
+	a := access(db)
+	target := StoreCodec(db)
+	sd, ok := readSegDir(a, prefix)
+	if !ok {
+		return nil
+	}
+	for s := 0; s < sd.count(); s++ {
+		if segIsBlock(a, prefix, s) == (target == CodecBlock) {
+			continue
+		}
+		data, err := readSegData(a, prefix, s, true)
+		if err != nil {
+			return err
+		}
+		if err := writeSegData(a, prefix, s, target, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PostingsFootprint sums the storage of a CONTREP's derived postings
+// columns across segments, next to what the raw layout would occupy —
+// the compression ratio the block codec actually achieves on this store.
+type PostingsFootprint struct {
+	Segments int
+	Postings int64 // total postings across segments
+	Bytes    int64 // resident bytes of the derived postings columns
+	RawBytes int64 // the same postings in the raw 8-byte-per-field layout
+}
+
+// Footprint reports the postings footprint of one CONTREP. Zero value
+// when the store is not segmented.
+func Footprint(db *moa.Database, prefix string) PostingsFootprint {
+	a := access(db)
+	var fp PostingsFootprint
+	sd, ok := readSegDir(a, prefix)
+	if !ok {
+		return fp
+	}
+	fp.Segments = sd.count()
+	for s := 0; s < sd.count(); s++ {
+		startB, ok := a.get(SegColumn(prefix, s, "_poststart"))
+		if !ok {
+			continue
+		}
+		var nt, np int64
+		if startB.Len() > 0 {
+			nt = int64(startB.Len() - 1)
+			np = startB.Tail.IntAt(startB.Len() - 1)
+		}
+		fp.Postings += np
+		// raw layout: start + maxbel + 8-byte doc/tf/bel per posting
+		fp.RawBytes += 8*(nt+1) + 8*nt + 24*np
+		suffixes := rawOnlySuffixes
+		if segIsBlock(a, prefix, s) {
+			suffixes = blockOnlySuffixes
+		}
+		fp.Bytes += startB.MemBytes()
+		if b, ok := a.get(SegColumn(prefix, s, "_maxbel")); ok {
+			fp.Bytes += b.MemBytes()
+		}
+		for _, suffix := range suffixes {
+			if b, ok := a.get(SegColumn(prefix, s, suffix)); ok {
+				fp.Bytes += b.MemBytes()
+			}
+		}
+	}
+	return fp
+}

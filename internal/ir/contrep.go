@@ -250,7 +250,7 @@ func (c *Contrep) Finalize(db *moa.Database, prefix string) error {
 	a := accessLocked(db)
 	dropSegments(a, prefix)
 	writeSegDir(a, prefix, &segDir{})
-	if _, err := appendSegment(a, prefix); err != nil {
+	if _, err := appendSegment(a, db, prefix); err != nil {
 		return err
 	}
 	return refinalizeSegments(a, db, prefix)
@@ -436,17 +436,27 @@ func emitGetBLScoreTopK(tr *moa.Translator, ctx *moa.Ctx, recv moa.Rep, extra []
 	// indexing splits the derived representation into segments — slot 0
 	// keeps the canonical names, delta slots are suffixed _seg<s> — so the
 	// emitted scan enumerates whatever segment list this database (a
-	// published epoch snapshot) holds.
-	for _, suffix := range []string{"_poststart", "_postdoc", "_postbel", "_maxbel"} {
+	// published epoch snapshot) holds. A segment is stored in one of two
+	// codecs (_blkdoc present = block-compressed, else raw); the pruned
+	// operators take one layout uniformly, so a mixed-codec store — a
+	// transient state mid-EnsureCodec — keeps the exhaustive plan, which
+	// is always safe.
+	blkLayout := tr.HasBAT(sr.Prefix + "_blkdoc")
+	rawSuffixes := []string{"_poststart", "_postdoc", "_postbel", "_maxbel"}
+	segSuffixes := rawSuffixes
+	if blkLayout {
+		segSuffixes = blockSegSuffixes
+	}
+	for _, suffix := range segSuffixes {
 		if !tr.HasBAT(sr.Prefix + suffix) {
 			return nil, moa.ErrNoPrunedForm
 		}
 	}
 	nsegs := 1
 	for tr.HasBAT(SegColumn(sr.Prefix, nsegs, "_poststart")) {
-		for _, suffix := range []string{"_postdoc", "_postbel", "_maxbel"} {
+		for _, suffix := range segSuffixes {
 			if !tr.HasBAT(SegColumn(sr.Prefix, nsegs, suffix)) {
-				return nil, moa.ErrNoPrunedForm // half-published slot: exhaustive is always safe
+				return nil, moa.ErrNoPrunedForm // half-published or mixed-codec slot
 			}
 		}
 		nsegs++
@@ -456,15 +466,24 @@ func emitGetBLScoreTopK(tr *moa.Translator, ctx *moa.Ctx, recv moa.Rep, extra []
 		return nil, err
 	}
 	var pk string
-	if nsegs == 1 {
+	switch {
+	case blkLayout:
+		args := []mil.Expr{mil.R(q), mil.L(DefaultBelief), mil.L(int64(k)), mil.R(ctx.DomainVar)}
+		for s := 0; s < nsegs; s++ {
+			for _, suffix := range blockSegSuffixes {
+				args = append(args, mil.R(SegColumn(sr.Prefix, s, suffix)))
+			}
+		}
+		pk = tr.Emit("pk", mil.C("prunedtopkblk", args...))
+	case nsegs == 1:
 		pk = tr.Emit("pk", mil.C("prunedtopk",
 			mil.R(sr.Prefix+"_poststart"), mil.R(sr.Prefix+"_postdoc"),
 			mil.R(sr.Prefix+"_postbel"), mil.R(sr.Prefix+"_maxbel"),
 			mil.R(q), mil.L(DefaultBelief), mil.L(int64(k)), mil.R(ctx.DomainVar)))
-	} else {
+	default:
 		args := []mil.Expr{mil.R(q), mil.L(DefaultBelief), mil.L(int64(k)), mil.R(ctx.DomainVar)}
 		for s := 0; s < nsegs; s++ {
-			for _, suffix := range []string{"_poststart", "_postdoc", "_postbel", "_maxbel"} {
+			for _, suffix := range rawSuffixes {
 				args = append(args, mil.R(SegColumn(sr.Prefix, s, suffix)))
 			}
 		}

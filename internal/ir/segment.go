@@ -52,8 +52,15 @@ import (
 // segment was derived; terms added later simply have no postings run in
 // older segments (bat's termRange treats out-of-range terms as empty).
 
-// segSuffixes are the per-segment derived column suffixes.
-var segSuffixes = []string{"_poststart", "_postdoc", "_posttf", "_postbel", "_maxbel"}
+// Per-segment derived column suffixes. _poststart and _maxbel are shared
+// between the two codecs (exact offsets and exact per-term bounds);
+// the rest belong to exactly one layout (codec.go).
+var (
+	blockSegSuffixes  = []string{"_poststart", "_blkstart", "_blkdir", "_blkdoc", "_blkbdir", "_blkbel", "_maxbel"}
+	rawOnlySuffixes   = []string{"_postdoc", "_posttf", "_postbel"}
+	blockOnlySuffixes = []string{"_blkstart", "_blkdir", "_blkdoc", "_blkbdir", "_blkbel"}
+	allSegSuffixes    = []string{"_poststart", "_maxbel", "_postdoc", "_posttf", "_postbel", "_blkstart", "_blkdir", "_blkdoc", "_blkbdir", "_blkbel"}
+)
 
 // SegColumn names slot s's derived column for the given canonical suffix
 // ("_poststart" …): slot 0 owns the canonical name, higher slots are
@@ -121,10 +128,12 @@ func writeSegDir(a dbAccess, prefix string, sd *segDir) {
 
 // SegmentStat describes one index segment for introspection.
 type SegmentStat struct {
-	Slot     int // directory position (0 = oldest)
-	Docs     int // documents covered (docEnd - previous docEnd)
-	Postings int // raw postings covered
-	Terms    int // dictionary size when the segment was derived
+	Slot     int    // directory position (0 = oldest)
+	Docs     int    // documents covered (docEnd - previous docEnd)
+	Postings int    // raw postings covered
+	Terms    int    // dictionary size when the segment was derived
+	Codec    string // postings layout: "block" or "raw"
+	Bytes    int64  // resident bytes of the segment's postings columns
 }
 
 // SegmentStats reports the segment layout of a CONTREP, oldest first; nil
@@ -138,9 +147,19 @@ func SegmentStats(db *moa.Database, prefix string) []SegmentStat {
 	out := make([]SegmentStat, 0, sd.count())
 	prevPair, prevDoc := 0, 0
 	for s := 0; s < sd.count(); s++ {
-		st := SegmentStat{Slot: s, Docs: sd.docEnd[s] - prevDoc, Postings: sd.pairEnd[s] - prevPair}
+		st := SegmentStat{Slot: s, Docs: sd.docEnd[s] - prevDoc, Postings: sd.pairEnd[s] - prevPair, Codec: CodecRaw.String()}
 		if b, ok := a.get(SegColumn(prefix, s, "_poststart")); ok && b.Len() > 0 {
 			st.Terms = b.Len() - 1
+		}
+		layout := rawOnlySuffixes
+		if segIsBlock(a, prefix, s) {
+			st.Codec = CodecBlock.String()
+			layout = blockOnlySuffixes
+		}
+		for _, suffix := range append([]string{"_poststart", "_maxbel"}, layout...) {
+			if b, ok := a.get(SegColumn(prefix, s, suffix)); ok {
+				st.Bytes += b.MemBytes()
+			}
 		}
 		out = append(out, st)
 		prevPair, prevDoc = sd.pairEnd[s], sd.docEnd[s]
@@ -158,12 +177,14 @@ func SegmentCount(db *moa.Database, prefix string) int {
 	return sd.count()
 }
 
-// buildSegmentStructure derives slot's _poststart/_postdoc/_posttf from
-// the raw pair range [pairLo, pairHi): a counting sort by term, each
-// term's run document-ascending (a repair sort runs if a caller ever
-// violated insertion order). Beliefs are NOT computed here — they depend
-// on collection statistics and are filled in by recomputeBeliefs.
-func buildSegmentStructure(a dbAccess, prefix string, slot, pairLo, pairHi int) error {
+// buildSegmentStructure derives slot's postings structure from the raw
+// pair range [pairLo, pairHi): a counting sort by term, each term's run
+// document-ascending (a repair sort runs if a caller ever violated
+// insertion order), stored in the database's registered codec. Beliefs
+// are NOT computed here — they depend on collection statistics and are
+// filled in by RefinalizeSegments (the block layout gets zero-belief
+// placeholders so the segment stays structurally loadable meanwhile).
+func buildSegmentStructure(a dbAccess, db *moa.Database, prefix string, slot, pairLo, pairHi int) error {
 	termB, ok1 := a.get(prefix + "_term")
 	docB, ok2 := a.get(prefix + "_doc")
 	tfB, ok3 := a.get(prefix + "_tf")
@@ -202,10 +223,7 @@ func buildSegmentStructure(a dbAccess, prefix string, slot, pairLo, pairHi int) 
 			}
 		}
 	}
-	a.put(SegColumn(prefix, slot, "_poststart"), adoptDense(bat.ColumnOfInts(starts)))
-	a.put(SegColumn(prefix, slot, "_postdoc"), adoptDense(bat.ColumnOfOIDs(postDoc)))
-	a.put(SegColumn(prefix, slot, "_posttf"), adoptDense(bat.ColumnOfInts(postTF)))
-	return nil
+	return writeSegData(a, prefix, slot, StoreCodec(db), &segData{starts: starts, docs: postDoc, tfs: postTF})
 }
 
 // sortSegRun repairs one term's (doc, tf) run into document order.
@@ -230,10 +248,10 @@ func sortSegRun(docs []bat.OID, tfs []int64) {
 // The caller must follow up with RefinalizeSegments before serving the
 // new segment (beliefs and statistics are stale until then).
 func AppendSegment(db *moa.Database, prefix string) (bool, error) {
-	return appendSegment(access(db), prefix)
+	return appendSegment(access(db), db, prefix)
 }
 
-func appendSegment(a dbAccess, prefix string) (bool, error) {
+func appendSegment(a dbAccess, db *moa.Database, prefix string) (bool, error) {
 	termB, ok1 := a.get(prefix + "_term")
 	dlenB, ok2 := a.get(prefix + "_dlen")
 	if !ok1 || !ok2 {
@@ -255,7 +273,7 @@ func appendSegment(a dbAccess, prefix string) (bool, error) {
 		return false, nil
 	}
 	slot := sd.count()
-	if err := buildSegmentStructure(a, prefix, slot, pairLo, pairHi); err != nil {
+	if err := buildSegmentStructure(a, db, prefix, slot, pairLo, pairHi); err != nil {
 		return false, err
 	}
 	sd.pairEnd = append(sd.pairEnd, pairHi)
@@ -355,8 +373,17 @@ func refinalizeSegments(a dbAccess, db *moa.Database, prefix string) error {
 
 	// Per-segment beliefs and bounds, walking each segment's term runs.
 	// Belief is a pure per-posting function, so these are exactly the
-	// pair-ordered values scattered — no fold-order concern.
+	// pair-ordered values scattered — no fold-order concern. Block
+	// segments decode their immutable doc/tf blocks and rewrite only the
+	// belief columns (and their upward-quantized per-block bounds); the
+	// structure columns are never re-encoded here.
 	for s := 0; s < sd.count(); s++ {
+		if segIsBlock(a, prefix, s) {
+			if err := refinalizeBlockSegment(a, prefix, s, dlenOf, avgdl, df, n); err != nil {
+				return err
+			}
+			continue
+		}
 		startB, ok1 := a.get(SegColumn(prefix, s, "_poststart"))
 		pdocB, ok2 := a.get(SegColumn(prefix, s, "_postdoc"))
 		ptfB, ok3 := a.get(SegColumn(prefix, s, "_posttf"))
@@ -391,9 +418,11 @@ func refinalizeSegments(a dbAccess, db *moa.Database, prefix string) error {
 // MergeSegments compacts segment slots [lo, hi) into one. Adjacent
 // segments cover adjacent document ranges and every term run is
 // document-ascending, so the merged run is pure per-term concatenation in
-// slot order — beliefs are copied, never recomputed (statistics do not
-// move at a merge), and the merged per-term bound is the max of the slot
-// bounds. Higher slots shift down; stale slot names are dropped.
+// slot order — beliefs are copied bit-exact, never recomputed (statistics
+// do not move at a merge), and the merged per-term bound is the max of
+// the slot bounds. Input segments may be stored in either codec; the
+// merged segment is written in the database's registered codec. Higher
+// slots shift down; stale slot names are dropped.
 func MergeSegments(db *moa.Database, prefix string, lo, hi int) error {
 	a := access(db)
 	sd, ok := readSegDir(a, prefix)
@@ -404,75 +433,65 @@ func MergeSegments(db *moa.Database, prefix string, lo, hi int) error {
 		return fmt.Errorf("ir: %s: bad merge range [%d,%d) of %d segments", prefix, lo, hi, sd.count())
 	}
 
-	type segView struct {
-		start, doc, tf, bel, maxb *bat.BAT
-	}
-	views := make([]segView, 0, hi-lo)
+	inputs := make([]*segData, 0, hi-lo)
 	nt := 0
-	np := 0
+	np := int64(0)
 	for s := lo; s < hi; s++ {
-		var v segView
-		var ok [5]bool
-		v.start, ok[0] = a.get(SegColumn(prefix, s, "_poststart"))
-		v.doc, ok[1] = a.get(SegColumn(prefix, s, "_postdoc"))
-		v.tf, ok[2] = a.get(SegColumn(prefix, s, "_posttf"))
-		v.bel, ok[3] = a.get(SegColumn(prefix, s, "_postbel"))
-		v.maxb, ok[4] = a.get(SegColumn(prefix, s, "_maxbel"))
-		for _, o := range ok {
-			if !o {
-				return fmt.Errorf("ir: %s: segment %d incomplete, cannot merge", prefix, s)
-			}
+		data, err := readSegData(a, prefix, s, true)
+		if err != nil {
+			return fmt.Errorf("ir: %s: segment %d incomplete, cannot merge: %w", prefix, s, err)
 		}
-		if v.start.Len()-1 > nt {
-			nt = v.start.Len() - 1
+		if len(data.starts)-1 > nt {
+			nt = len(data.starts) - 1
 		}
-		np += v.doc.Len()
-		views = append(views, v)
+		np += int64(len(data.docs))
+		inputs = append(inputs, data)
 	}
 
-	starts := make([]int64, nt+1)
-	mdoc := make([]bat.OID, 0, np)
-	mtf := make([]int64, 0, np)
-	mbel := make([]float64, 0, np)
-	maxb := make([]float64, nt)
+	merged := &segData{
+		starts: make([]int64, nt+1),
+		docs:   make([]bat.OID, 0, np),
+		tfs:    make([]int64, 0, np),
+		bels:   make([]float64, 0, np),
+		maxb:   make([]float64, nt),
+	}
 	for t := 0; t < nt; t++ {
-		starts[t] = int64(len(mdoc))
-		for _, v := range views { // slot order == ascending doc ranges
-			if t+1 >= v.start.Len() {
+		merged.starts[t] = int64(len(merged.docs))
+		for _, v := range inputs { // slot order == ascending doc ranges
+			if t+1 >= len(v.starts) {
 				continue
 			}
-			rlo, rhi := v.start.Tail.IntAt(t), v.start.Tail.IntAt(t+1)
-			for i := rlo; i < rhi; i++ {
-				mdoc = append(mdoc, v.doc.Tail.OIDAt(int(i)))
-				mtf = append(mtf, v.tf.Tail.IntAt(int(i)))
-				mbel = append(mbel, v.bel.Tail.FloatAt(int(i)))
-			}
-			if int(t) < v.maxb.Len() && v.maxb.Tail.FloatAt(t) > maxb[t] {
-				maxb[t] = v.maxb.Tail.FloatAt(t)
+			rlo, rhi := v.starts[t], v.starts[t+1]
+			merged.docs = append(merged.docs, v.docs[rlo:rhi]...)
+			merged.tfs = append(merged.tfs, v.tfs[rlo:rhi]...)
+			merged.bels = append(merged.bels, v.bels[rlo:rhi]...)
+			if t < len(v.maxb) && v.maxb[t] > merged.maxb[t] {
+				merged.maxb[t] = v.maxb[t]
 			}
 		}
 	}
-	starts[nt] = int64(len(mdoc))
+	merged.starts[nt] = int64(len(merged.docs))
 
 	// Install the merged segment at slot lo, shift survivors down, drop
-	// the now-unused tail slot names, rewrite the directory.
-	put := func(slot int, suffix string, b *bat.BAT) { a.put(SegColumn(prefix, slot, suffix), b) }
-	put(lo, "_poststart", adoptDense(bat.ColumnOfInts(starts)))
-	put(lo, "_postdoc", adoptDense(bat.ColumnOfOIDs(mdoc)))
-	put(lo, "_posttf", adoptDense(bat.ColumnOfInts(mtf)))
-	put(lo, "_postbel", adoptDense(bat.ColumnOfFloats(mbel)))
-	put(lo, "_maxbel", adoptDense(bat.ColumnOfFloats(maxb)))
+	// the now-unused tail slot names, rewrite the directory. The shift
+	// deletes any suffix absent at the source slot so a destination never
+	// keeps the other codec's columns from its previous occupant.
+	if err := writeSegData(a, prefix, lo, StoreCodec(db), merged); err != nil {
+		return err
+	}
 
 	removed := hi - lo - 1
 	for s := hi; s < sd.count(); s++ {
-		for _, suffix := range segSuffixes {
+		for _, suffix := range allSegSuffixes {
 			if b, ok := a.get(SegColumn(prefix, s, suffix)); ok {
 				a.put(SegColumn(prefix, s-removed, suffix), b)
+			} else {
+				a.del(SegColumn(prefix, s-removed, suffix))
 			}
 		}
 	}
 	for s := sd.count() - removed; s < sd.count(); s++ {
-		for _, suffix := range segSuffixes {
+		for _, suffix := range allSegSuffixes {
 			a.del(SegColumn(prefix, s, suffix))
 		}
 	}
@@ -523,7 +542,7 @@ func EnsureSegmented(db *moa.Database, prefix string) error {
 		return nil
 	}
 	writeSegDir(a, prefix, &segDir{})
-	if _, err := appendSegment(a, prefix); err != nil {
+	if _, err := appendSegment(a, db, prefix); err != nil {
 		return err
 	}
 	return refinalizeSegments(a, db, prefix)
@@ -537,7 +556,7 @@ func dropSegments(a dbAccess, prefix string) {
 		return
 	}
 	for s := 0; s < sd.count(); s++ {
-		for _, suffix := range segSuffixes {
+		for _, suffix := range allSegSuffixes {
 			a.del(SegColumn(prefix, s, suffix))
 		}
 	}

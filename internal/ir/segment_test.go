@@ -73,14 +73,14 @@ func assertDerivedEqual(t *testing.T, want, got *moa.Database, prefix, label str
 		dict, _ := db.BAT(prefix + "_dict")
 		out := map[string][]string{}
 		for s := 0; s < maxSeg(db, prefix); s++ {
-			start, _ := db.BAT(SegColumn(prefix, s, "_poststart"))
-			doc, _ := db.BAT(SegColumn(prefix, s, "_postdoc"))
-			pbel, _ := db.BAT(SegColumn(prefix, s, "_postbel"))
-			for tIdx := 0; tIdx+1 < start.Len(); tIdx++ {
+			data, err := readSegData(access(db), prefix, s, true)
+			if err != nil {
+				t.Fatalf("%s: segment %d: %v", label, s, err)
+			}
+			for tIdx := 0; tIdx+1 < len(data.starts); tIdx++ {
 				w := dict.Tail.StrAt(tIdx)
-				lo, hi := start.Tail.IntAt(tIdx), start.Tail.IntAt(tIdx+1)
-				for i := lo; i < hi; i++ {
-					out[w] = append(out[w], fmt.Sprintf("%d:%v", doc.Tail.OIDAt(int(i)), pbel.Tail.FloatAt(int(i))))
+				for i := data.starts[tIdx]; i < data.starts[tIdx+1]; i++ {
+					out[w] = append(out[w], fmt.Sprintf("%d:%v", data.docs[i], data.bels[i]))
 				}
 			}
 		}
@@ -242,12 +242,14 @@ func TestMergePolicyBoundedFanIn(t *testing.T) {
 }
 
 // TestEnsureSegmentedUpgradesOldLayout simulates a store checkpointed
-// before segmentation existed: canonical derived columns only, no
+// before segmentation existed: canonical raw derived columns only, no
 // directory, no _posttf. EnsureSegmented must produce a 1-segment layout
-// whose derived state matches a fresh Finalize.
+// — in the registered codec, block by default — whose derived state
+// matches a fresh Finalize.
 func TestEnsureSegmentedUpgradesOldLayout(t *testing.T) {
 	const prefix = "Lib_body"
 	db := segTestDB(t)
+	SetStoreCodec(db, CodecRaw) // old checkpoints are raw by definition
 	rng := rand.New(rand.NewSource(42))
 	for i := 0; i < 12; i++ {
 		segInsert(t, db, i, segTestDoc(rng, i))
@@ -261,6 +263,7 @@ func TestEnsureSegmentedUpgradesOldLayout(t *testing.T) {
 	if SegmentCount(db, prefix) != 0 {
 		t.Fatal("directory still present after strip")
 	}
+	SetStoreCodec(db, CodecBlock) // the upgrade runs under today's default
 	if err := EnsureSegmented(db, prefix); err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +279,10 @@ func TestEnsureSegmentedUpgradesOldLayout(t *testing.T) {
 		t.Fatal(err)
 	}
 	assertDerivedEqual(t, ref, db, prefix, "upgraded layout")
-	if _, ok := db.BAT(prefix + "_posttf"); !ok {
-		t.Fatal("upgrade did not derive _posttf")
+	if _, ok := db.BAT(prefix + "_blkdoc"); !ok {
+		t.Fatal("upgrade did not derive the block postings structure")
+	}
+	if _, ok := db.BAT(prefix + "_postdoc"); ok {
+		t.Fatal("upgrade left the raw postings column behind")
 	}
 }

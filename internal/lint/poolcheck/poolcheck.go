@@ -76,13 +76,15 @@ var borrowFuncs = map[string]string{
 	"weightedContentScores": "scores",
 	"borrowRanked":          "ranked",
 	"borrowRows":            "rows",
+	"borrowBlockCursors":    "blockcursors",
 }
 
 // releaseFuncs maps callee names that end a borrow to their pool class.
 var releaseFuncs = map[string]string{
-	"ReleaseScores": "scores",
-	"releaseRanked": "ranked",
-	"releaseRows":   "rows",
+	"ReleaseScores":       "scores",
+	"releaseRanked":       "ranked",
+	"releaseRows":         "rows",
+	"releaseBlockCursors": "blockcursors",
 }
 
 // threadFuncs pass a borrow through: `x = Thread(x, ...)` keeps the same
@@ -94,9 +96,10 @@ var threadFuncs = map[string]bool{
 // rawPools are the sync.Pool variables only their owning files (marked
 // //poolcheck:poolfile) may touch directly.
 var rawPools = map[string]bool{
-	"scoresPool": true,
-	"rankedPool": true,
-	"rowPool":    true,
+	"scoresPool":      true,
+	"rankedPool":      true,
+	"rowPool":         true,
+	"blockCursorPool": true,
 }
 
 // terminators are callee names that never return.

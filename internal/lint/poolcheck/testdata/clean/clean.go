@@ -94,3 +94,11 @@ func switched(mode int) {
 	}
 	ir.ReleaseScores(s)
 }
+
+// blockScan borrows block-decode cursors under defer: released on every
+// path, including errors.
+func blockScan(n int) error {
+	cset := borrowBlockCursors(n)
+	defer releaseBlockCursors(cset)
+	return scan(cset)
+}

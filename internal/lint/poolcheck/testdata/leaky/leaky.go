@@ -87,3 +87,14 @@ func rawAccess() {
 	s := scoresPool.Get().(Scores)
 	scoresPool.Put(s)
 }
+
+// blockScanLeak borrows block-decode cursors and drops them on the error
+// path — the shape the block-postings scan must never take.
+func blockScanLeak(n int) error {
+	cset := borrowBlockCursors(n)
+	if err := scan(cset); err != nil {
+		return err // LEAK: cset never released
+	}
+	releaseBlockCursors(cset)
+	return nil
+}

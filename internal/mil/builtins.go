@@ -75,6 +75,7 @@ func init() {
 		"wsum_bel":      biWSumBel,
 		"prunedtopk":    biPrunedTopK,
 		"prunedtopkseg": biPrunedTopKSeg,
+		"prunedtopkblk": biPrunedTopKBlk,
 		"postings":      biPostings,
 
 		// I/O
@@ -603,6 +604,54 @@ func biPrunedTopKSeg(env *Env, args []any) (any, error) {
 			}
 		}
 		segs[s] = bat.PostingsSeg{Start: cols[0], Doc: cols[1], Bel: cols[2], MaxBel: cols[3]}
+	}
+	query := make([]bat.OID, qb.Len())
+	for i := range query {
+		query[i] = qb.Tail.OIDAt(i)
+	}
+	return bat.PrunedTopKSegs(segs, query, nil, def, int(k), domain, env.TopKTheta)
+}
+
+// biPrunedTopKBlk is prunedtopkseg over block-compressed segments:
+// prunedtopkblk(query, default, k, domain, then SEVEN BATs per segment —
+// poststart, blkstart, blkdir, blkdoc, blkbdir, blkbel, maxbel (the
+// bat/postcodec.go layout). Results are BUN-for-BUN identical to the raw
+// operators over the same logical postings; only the decode path and the
+// per-block bound skipping differ.
+func biPrunedTopKBlk(env *Env, args []any) (any, error) {
+	if len(args) < 11 || (len(args)-4)%7 != 0 {
+		return nil, errorf("prunedtopkblk expects 4 scalar args plus 7 BATs per segment, got %d args", len(args))
+	}
+	qb, err := argBAT(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	def, err := argFloat(args, 1)
+	if err != nil {
+		return nil, err
+	}
+	k, err := argInt(args, 2)
+	if err != nil {
+		return nil, err
+	}
+	domain, err := argBAT(args, 3)
+	if err != nil {
+		return nil, err
+	}
+	nsegs := (len(args) - 4) / 7
+	segs := make([]bat.PostingsSeg, nsegs)
+	for s := 0; s < nsegs; s++ {
+		base := 4 + 7*s
+		var cols [7]*bat.BAT
+		for j := range cols {
+			if cols[j], err = argBAT(args, base+j); err != nil {
+				return nil, err
+			}
+		}
+		segs[s] = bat.PostingsSeg{
+			Start: cols[0], BlkStart: cols[1], BlkDir: cols[2], BlkDoc: cols[3],
+			BlkBDir: cols[4], BlkBel: cols[5], MaxBel: cols[6],
+		}
 	}
 	query := make([]bat.OID, qb.Len())
 	for i := range query {

@@ -40,7 +40,12 @@ const (
 	manifestName   = "MANIFEST"
 	batsDirName    = "bats"
 	legacyManifest = "manifest.json"
-	formatVersion  = 2
+	// formatVersion is the version new manifests are written with.
+	// Version 3 added the "bytes" column kind carrying compressed
+	// block-postings blobs; version-2 stores (raw postings only) remain
+	// readable and are upgraded in place by their first checkpoint.
+	formatVersion    = 3
+	minFormatVersion = 2
 )
 
 // batMeta is the manifest's description of one persisted BAT.
@@ -154,8 +159,8 @@ func Open(dir string, opts Options) (*Pool, error) {
 	if err := json.Unmarshal(mb, &m); err != nil {
 		return nil, fmt.Errorf("storage: parse manifest: %w", err)
 	}
-	if m.Version != formatVersion {
-		return nil, fmt.Errorf("storage: unsupported store version %d (want %d)", m.Version, formatVersion)
+	if m.Version < minFormatVersion || m.Version > formatVersion {
+		return nil, fmt.Errorf("storage: unsupported store version %d (want %d..%d)", m.Version, minFormatVersion, formatVersion)
 	}
 	if m.BATs == nil {
 		m.BATs = map[string]*batMeta{}
@@ -412,13 +417,16 @@ func (p *Pool) checkpoint(bats map[string]*bat.BAT, extra map[string]string, ado
 		}
 	}
 
-	oldBATs, oldExtra, oldGen := p.man.BATs, p.man.Extra, p.man.Gen
+	oldBATs, oldExtra, oldGen, oldVer := p.man.BATs, p.man.Extra, p.man.Gen, p.man.Version
 	p.man.BATs = newBATs
 	p.man.Extra = extra
+	// A checkpoint rewrites the manifest wholesale, so it also upgrades
+	// version-2 stores to the current format in the same atomic commit.
+	p.man.Version = formatVersion
 	if err := p.writeManifestLocked(); err != nil {
 		// Restore the full in-memory manifest so it matches the durable
 		// one (Gen was bumped at the top of this checkpoint attempt).
-		p.man.BATs, p.man.Extra, p.man.Gen = oldBATs, oldExtra, oldGen
+		p.man.BATs, p.man.Extra, p.man.Gen, p.man.Version = oldBATs, oldExtra, oldGen, oldVer
 		return st, err
 	}
 

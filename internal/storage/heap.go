@@ -23,6 +23,8 @@ import (
 //	oid, int:  n × 8 bytes (uint64/int64, little-endian)
 //	flt:       n × 8 bytes (IEEE-754 bits, little-endian)
 //	bit:       n × 1 byte (0 or 1)
+//	bytes:     n × 1 byte, raw (compressed postings blobs; format
+//	           version ≥ 3 stores only)
 //	str:       offsets file: (n+1) × 8 bytes, off[0] = 0, off[i] =
 //	           cumulative byte length; heap file: the concatenated
 //	           string bytes
@@ -111,6 +113,8 @@ func fixedEncode(c *bat.Column) []byte {
 			}
 		}
 		return buf
+	case bat.KindBytes:
+		return c.Bytes()
 	}
 	panic("storage: fixedEncode on non-fixed column")
 }
@@ -288,6 +292,28 @@ func loadColumn(dir string, m colMeta, mmapOK, verify bool) (*bat.Column, []mapp
 			s[i] = b != 0
 		}
 		return bat.ColumnOfBools(s), nil, nil
+
+	case bat.KindBytes:
+		path := filepath.Join(dir, m.File)
+		if int64(m.N) != m.Size {
+			return nil, nil, fmt.Errorf("storage: heap file %s: manifest n=%d inconsistent with size %d", path, m.N, m.Size)
+		}
+		if mmapOK && m.Size > 0 {
+			mp, err := mapFile(path, m.Size)
+			if err == nil {
+				if verify && crc32.Checksum(mp.data, crcTable) != m.CRC {
+					mp.close()
+					return nil, nil, fmt.Errorf("storage: heap file %s: checksum mismatch (corrupt)", path)
+				}
+				return bat.ColumnOfBytes(mp.data[:m.N]), []mapping{mp}, nil
+			}
+			// fall through to the portable read on any mmap failure
+		}
+		data, err := readHeapFile(path, m.Size, m.CRC, verify)
+		if err != nil {
+			return nil, nil, err
+		}
+		return bat.ColumnOfBytes(data), nil, nil
 
 	case bat.KindStr:
 		offPath := filepath.Join(dir, m.File)
