@@ -30,7 +30,6 @@ import (
 	"time"
 
 	"mirror/internal/core"
-	"mirror/internal/dict"
 	"mirror/internal/mediaserver"
 	"mirror/internal/storage"
 )
@@ -53,6 +52,11 @@ func main() {
 		refrEvery = flag.Duration("refresh-every", 0, "incrementally index newly ingested documents on this interval, publishing a fresh snapshot epoch (0 = only via the Mirror.Refresh RPC); queries are never blocked by a refresh")
 
 		cacheBytes = flag.Int64("query-cache", 64<<20, "bytes of epoch-keyed query result cache (0 disables); entries are invalidated automatically when a refresh/recovery publishes a new epoch")
+
+		join     = flag.String("join", "", "serve as networked shard member \"i/N\" of a distributed layout (the router owns the index lifecycle; no crawl)")
+		follow   = flag.String("follow", "", "with -join: run as a replication follower of the shard primary at this address, replaying its WAL-shipped stream")
+		name     = flag.String("name", "", "with -follow: unique follower suffix for dictionary registration (default pid<N>)")
+		replicas = flag.Int("replicas", 0, "serve as the distributed shard router over the mirror-shard daemons in the dictionary; refuses to start unless every shard has at least this many replicas registered")
 	)
 	flag.Parse()
 	if *dictAddr == "" {
@@ -60,6 +64,23 @@ func main() {
 	}
 	if *shards < 0 {
 		log.Fatal("mirrord: -shards must be >= 0")
+	}
+	if *replicas > 0 && *join != "" {
+		log.Fatal("mirrord: -replicas (router) and -join (shard member) are mutually exclusive")
+	}
+	if *follow != "" && *join == "" {
+		log.Fatal("mirrord: -follow needs -join \"i/N\" to state which shard it mirrors")
+	}
+	if *replicas > 0 {
+		runRouter(*replicas, *dictAddr, *mediaURL, *addr, *refrEvery)
+		return
+	}
+	if *join != "" {
+		runShardMember(*join, *follow, *name, *dictAddr, *addr, memberFlags{
+			storeDir: *storeDir, walSync: *walSync, verify: *verify, noMmap: *noMmap,
+			codec: *codec, ckptEvery: *ckptEvery, cacheBytes: *cacheBytes,
+		})
+		return
 	}
 
 	var r core.Retriever
@@ -99,16 +120,7 @@ func main() {
 	if r.Size() == 0 || !r.Indexed() || !r.Current() {
 		base := *mediaURL
 		if base == "" {
-			dc, err := dict.Dial(*dictAddr)
-			if err != nil {
-				log.Fatalf("mirrord: %v", err)
-			}
-			infos, err := dc.List("mediaserver")
-			dc.Close()
-			if err != nil || len(infos) == 0 {
-				log.Fatalf("mirrord: no media server registered (%v)", err)
-			}
-			base = "http://" + infos[0].Addr
+			base = discoverMediaServer(*dictAddr)
 		}
 		fmt.Printf("mirrord: crawling %s\n", base)
 		crawled, err := mediaserver.Crawl(base)

@@ -42,8 +42,9 @@ func run(args []string, stdout io.Writer) error {
 	var (
 		bin      = fs.String("bin", "", "mirrord binary to supervise (required)")
 		outPath  = fs.String("out", "BENCH_load.json", "latency/fault/oracle report path")
-		topos    = fs.String("topologies", "single,sharded-3", "comma-separated topologies to drive: single and/or sharded-N")
-		faultsFl = fs.String("faults", "kill-during-publish,kill-during-checkpoint,torn-wal", "comma-separated faults injected mid-run per topology (empty: none)")
+		topos    = fs.String("topologies", "single,sharded-3", "comma-separated topologies to drive: single, sharded-N, and/or distributed-NxR (N networked shards, R replica stores each)")
+		faultsFl = fs.String("faults", "kill-during-publish,kill-during-checkpoint,torn-wal", "comma-separated faults injected mid-run per single/sharded topology (empty: none)")
+		distFl   = fs.String("dist-faults", "kill-shard-during-refresh,torn-follower-wal", "comma-separated faults injected mid-run per distributed topology (empty: none)")
 		duration = fs.Duration("duration", 5*time.Second, "steady-state workload window per topology")
 		seed     = fs.Int64("seed", 1, "scenario synthesis seed")
 		docs     = fs.Int("docs", 96, "total documents (preload + ingest stream)")
@@ -74,7 +75,11 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	faults, err := parseFaults(*faultsFl)
+	faults, err := parseFaults(*faultsFl, load.AllFaults())
+	if err != nil {
+		return err
+	}
+	distFaults, err := parseFaults(*distFl, load.AllDistFaults())
 	if err != nil {
 		return err
 	}
@@ -92,22 +97,27 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	report := &load.Report{Seed: *seed}
-	for _, shards := range topologies {
+	for _, ts := range topologies {
 		spec := load.Spec{
 			Seed: *seed, Docs: *docs, Preload: *preload, W: *width, H: *height,
-			AnnotateRate: *annotate, HotShard: maxInt(shards-1, 0), SkewFrac: *skew,
+			AnnotateRate: *annotate, HotShard: maxInt(ts.shards-1, 0), SkewFrac: *skew,
 			Queries: *queries, ZipfS: *zipf, Sessions: *sessions, Bursts: *bursts,
+		}
+		topoFaults := faults
+		if ts.replicas > 0 {
+			topoFaults = distFaults
 		}
 		opts := load.Options{
 			Spec:            spec,
 			Bin:             *bin,
-			StoreDir:        filepath.Join(root, topoLabel(shards)),
-			Shards:          shards,
+			StoreDir:        filepath.Join(root, ts.label()),
+			Shards:          ts.shards,
+			Replicas:        ts.replicas,
 			Duration:        *duration,
 			QueryWorkers:    *qworkers,
 			FeedbackWorkers: *fworkers,
 			K:               *topk,
-			Faults:          faults,
+			Faults:          topoFaults,
 			RefreshEvery:    *refresh,
 			CheckpointEvery: *ckpt,
 			Logf:            logf,
@@ -120,7 +130,7 @@ func run(args []string, stdout io.Writer) error {
 			// Write what we have first: a failing soak run should still
 			// leave its evidence behind.
 			load.WriteReport(*outPath, report)
-			return fmt.Errorf("topology %s: %w", topoLabel(shards), err)
+			return fmt.Errorf("topology %s: %w", ts.label(), err)
 		}
 		summarize(stdout, rep)
 	}
@@ -131,23 +141,46 @@ func run(args []string, stdout io.Writer) error {
 	return nil
 }
 
-// parseTopologies turns "single,sharded-3" into shard counts (0 = single).
-func parseTopologies(s string) ([]int, error) {
-	var out []int
+// topoSpec is one parsed -topologies entry: shards alone for the
+// in-process shapes, shards x replicas for the networked router.
+type topoSpec struct {
+	shards   int // 0 = single store
+	replicas int // >0 = distributed router, this many stores per shard
+}
+
+func (ts topoSpec) label() string {
+	switch {
+	case ts.replicas > 0:
+		return fmt.Sprintf("distributed-%dx%d", ts.shards, ts.replicas)
+	case ts.shards > 1:
+		return fmt.Sprintf("sharded-%d", ts.shards)
+	}
+	return "single"
+}
+
+// parseTopologies turns "single,sharded-3,distributed-3x2" into specs.
+func parseTopologies(s string) ([]topoSpec, error) {
+	var out []topoSpec
 	for _, tok := range strings.Split(s, ",") {
 		tok = strings.TrimSpace(tok)
 		switch {
 		case tok == "":
 		case tok == "single":
-			out = append(out, 0)
+			out = append(out, topoSpec{})
 		case strings.HasPrefix(tok, "sharded-"):
 			n, err := strconv.Atoi(strings.TrimPrefix(tok, "sharded-"))
 			if err != nil || n < 2 {
 				return nil, fmt.Errorf("bad topology %q: want sharded-N with N >= 2", tok)
 			}
-			out = append(out, n)
+			out = append(out, topoSpec{shards: n})
+		case strings.HasPrefix(tok, "distributed-"):
+			var n, r int
+			if _, err := fmt.Sscanf(strings.TrimPrefix(tok, "distributed-"), "%dx%d", &n, &r); err != nil || n < 1 || r < 1 {
+				return nil, fmt.Errorf("bad topology %q: want distributed-NxR with N, R >= 1", tok)
+			}
+			out = append(out, topoSpec{shards: n, replicas: r})
 		default:
-			return nil, fmt.Errorf("unknown topology %q (want single or sharded-N)", tok)
+			return nil, fmt.Errorf("unknown topology %q (want single, sharded-N or distributed-NxR)", tok)
 		}
 	}
 	if len(out) == 0 {
@@ -156,11 +189,11 @@ func parseTopologies(s string) ([]int, error) {
 	return out, nil
 }
 
-// parseFaults validates the fault list against the injectable set.
-func parseFaults(s string) ([]load.Fault, error) {
-	known := map[load.Fault]bool{}
-	for _, f := range load.AllFaults() {
-		known[f] = true
+// parseFaults validates a fault list against its injectable set.
+func parseFaults(s string, known []load.Fault) ([]load.Fault, error) {
+	set := map[load.Fault]bool{}
+	for _, f := range known {
+		set[f] = true
 	}
 	var out []load.Fault
 	for _, tok := range strings.Split(s, ",") {
@@ -169,19 +202,12 @@ func parseFaults(s string) ([]load.Fault, error) {
 			continue
 		}
 		f := load.Fault(tok)
-		if !known[f] {
-			return nil, fmt.Errorf("unknown fault %q (have %v)", tok, load.AllFaults())
+		if !set[f] {
+			return nil, fmt.Errorf("unknown fault %q (have %v)", tok, known)
 		}
 		out = append(out, f)
 	}
 	return out, nil
-}
-
-func topoLabel(shards int) string {
-	if shards > 1 {
-		return fmt.Sprintf("sharded-%d", shards)
-	}
-	return "single"
 }
 
 func maxInt(a, b int) int {

@@ -11,14 +11,19 @@ import (
 func TestParseTopologies(t *testing.T) {
 	tests := []struct {
 		in   string
-		want []int
+		want []topoSpec
 		ok   bool
 	}{
-		{"single", []int{0}, true},
-		{"single,sharded-3", []int{0, 3}, true},
-		{"sharded-2, single", []int{2, 0}, true},
+		{"single", []topoSpec{{}}, true},
+		{"single,sharded-3", []topoSpec{{}, {shards: 3}}, true},
+		{"sharded-2, single", []topoSpec{{shards: 2}, {}}, true},
+		{"distributed-3x2", []topoSpec{{shards: 3, replicas: 2}}, true},
+		{"single,distributed-2x3", []topoSpec{{}, {shards: 2, replicas: 3}}, true},
 		{"sharded-1", nil, false}, // one shard is not a sharded topology
 		{"sharded-x", nil, false},
+		{"distributed-3", nil, false}, // replicas required
+		{"distributed-0x2", nil, false},
+		{"distributed-2x0", nil, false},
 		{"cluster", nil, false},
 		{"", nil, false},
 		{",,", nil, false},
@@ -34,8 +39,24 @@ func TestParseTopologies(t *testing.T) {
 	}
 }
 
+func TestTopoLabels(t *testing.T) {
+	tests := []struct {
+		ts   topoSpec
+		want string
+	}{
+		{topoSpec{}, "single"},
+		{topoSpec{shards: 3}, "sharded-3"},
+		{topoSpec{shards: 3, replicas: 2}, "distributed-3x2"},
+	}
+	for _, tc := range tests {
+		if got := tc.ts.label(); got != tc.want {
+			t.Fatalf("%+v: label %q, want %q", tc.ts, got, tc.want)
+		}
+	}
+}
+
 func TestParseFaults(t *testing.T) {
-	got, err := parseFaults("kill-during-publish, torn-wal")
+	got, err := parseFaults("kill-during-publish, torn-wal", load.AllFaults())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,15 +64,24 @@ func TestParseFaults(t *testing.T) {
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("got %v, want %v", got, want)
 	}
-	if got, err := parseFaults(""); err != nil || len(got) != 0 {
+	if got, err := parseFaults("", load.AllFaults()); err != nil || len(got) != 0 {
 		t.Fatalf("empty fault list must mean no faults: %v %v", got, err)
 	}
-	if _, err := parseFaults("quake"); err == nil {
+	if _, err := parseFaults("quake", load.AllFaults()); err == nil {
 		t.Fatal("unknown fault accepted")
 	}
-	// Every injectable fault must parse back in.
+	// A distributed fault is not injectable into a single-daemon run.
+	if _, err := parseFaults("kill-shard-during-query", load.AllFaults()); err == nil {
+		t.Fatal("distributed fault accepted into the single-daemon set")
+	}
+	// Every injectable fault must parse back into its own set.
 	for _, f := range load.AllFaults() {
-		if _, err := parseFaults(string(f)); err != nil {
+		if _, err := parseFaults(string(f), load.AllFaults()); err != nil {
+			t.Fatalf("%s does not round-trip: %v", f, err)
+		}
+	}
+	for _, f := range load.AllDistFaults() {
+		if _, err := parseFaults(string(f), load.AllDistFaults()); err != nil {
 			t.Fatalf("%s does not round-trip: %v", f, err)
 		}
 	}
@@ -65,6 +95,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{},                                   // -bin required
 		{"-bin", "x", "-topologies", "mesh"}, // bad topology
 		{"-bin", "x", "-faults", "quake"},    // bad fault
+		{"-bin", "x", "-dist-faults", "torn-wal"}, // single-daemon fault in the distributed set
 	}
 	for _, args := range tests {
 		if err := run(args, &out); err == nil {

@@ -177,9 +177,16 @@ func repl(r core.Retriever, sharded *core.ShardedEngine) {
 			fmt.Println("  \\milrun <stmt;>     run raw MIL against the stored BATs (see docs/MIL.md)")
 			fmt.Println("  \\sets               list sets")
 			fmt.Println("  \\shards             sharded-layout introspection")
+			fmt.Println("  \\topology           serving topology (single store, sharded engine, distributed router)")
 			fmt.Println("  \\segments           index-segment / epoch introspection")
 			fmt.Println("  \\stats              serving state: size, pending, epoch, postings footprint")
 			fmt.Println("  \\quit")
+		case line == `\topology`:
+			if t, ok := r.(interface{ Topology() string }); ok {
+				fmt.Println(t.Topology())
+			} else {
+				fmt.Printf("%T\n", r)
+			}
 		case line == `\shards`:
 			if sharded == nil {
 				fmt.Println("unsharded: one store answers everything (run with -shards N, or point -load at a sharded store root)")

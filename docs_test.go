@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"mirror/internal/load"
 	"mirror/internal/mil"
 )
 
@@ -140,7 +141,7 @@ func TestDocsOperationsCoversEveryMirrordFlag(t *testing.T) {
 	}
 	// the recovery story and the crash matrix are the document's reason
 	// to exist — their anchors must survive edits
-	for _, anchor := range []string{"Recovery walkthrough", "Crash matrix", "Sharding", "wal.log", "MANIFEST", "Online ingest", "Load testing & soak"} {
+	for _, anchor := range []string{"Recovery walkthrough", "Crash matrix", "Sharding", "Distributed topology", "wal.log", "MANIFEST", "Online ingest", "Load testing & soak"} {
 		if !strings.Contains(doc, anchor) {
 			t.Errorf("docs/OPERATIONS.md lost its %q section/anchor", anchor)
 		}
@@ -181,6 +182,24 @@ func TestDocsOperationsCoversEveryMirrorloadFlag(t *testing.T) {
 	for _, name := range cmdFlags(t, "mirrorload", 10) {
 		if !strings.Contains(doc, "`-"+name+"`") {
 			t.Errorf("docs/OPERATIONS.md does not document mirrorload flag -%s", name)
+		}
+	}
+}
+
+// TestDocsOperationsCoversEveryFault extends flag completeness to the
+// harness's fault vocabulary: every injectable fault — single-daemon and
+// distributed — must be documented by name in the operations manual, so
+// the crash matrix and the -faults/-dist-faults rows cannot silently
+// fall behind internal/load.
+func TestDocsOperationsCoversEveryFault(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("docs", "OPERATIONS.md"))
+	if err != nil {
+		t.Fatalf("docs/OPERATIONS.md: %v (the operations manual is a required artifact)", err)
+	}
+	doc := string(src)
+	for _, f := range append(load.AllFaults(), load.AllDistFaults()...) {
+		if !strings.Contains(doc, "`"+string(f)+"`") {
+			t.Errorf("docs/OPERATIONS.md does not document fault %q", f)
 		}
 	}
 }

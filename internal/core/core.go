@@ -128,6 +128,26 @@ type Mirror struct {
 	shardIndex int
 	shardCount int
 	globalOIDs []uint64
+
+	// Distributed serving (internal/dist). A networked shard primary
+	// ships its WAL records to followers (ship != nil); a follower
+	// rejects public mutations and only applies shipped records. The
+	// epoch ring retains recent published epochs so a router can pin
+	// queries to a consistent cross-shard epoch vector by tag; the last
+	// published global statistics are cached so a primary can synthesise
+	// a full resync stream for a blank or diverged follower.
+	follower   bool
+	epochHistN int // >0 retains a ring of recent epochs
+	epochHist  []*IndexEpoch
+	ship       *shipState // primary: marshaled WAL payloads shipped to followers
+	replPos    uint64     // follower: replication stream position applied
+	replNonce  uint64     // follower: primary incarnation replPos counts under
+	// lastPublishTag is the router-assigned tag of the last applied
+	// shard publish; publishEpochLocked stamps new epochs with it.
+	// lastAnnStats/lastImgStats cache the global statistics of that
+	// publish (needed to synthesise resync streams after a restart).
+	lastPublishTag             uint64
+	lastAnnStats, lastImgStats *ir.GlobalStats
 }
 
 // New creates an empty Mirror DBMS with the demo schema defined.
@@ -167,6 +187,9 @@ func (m *Mirror) addImageShard(url, annotation string, img *media.Image, global 
 func (m *Mirror) addImage(url, annotation string, img *media.Image, global *uint64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.follower {
+		return ErrFollower
+	}
 	if _, dup := m.urls[url]; dup {
 		return fmt.Errorf("core: image %q already in library", url)
 	}

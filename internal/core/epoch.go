@@ -19,6 +19,13 @@ import (
 // hint.
 var ErrNotIndexed = errors.New("core: content index not built (run BuildContentIndex)")
 
+// ErrEpochRetired is returned by tag-pinned shard queries when no retained
+// epoch carries the requested publish tag — the ring outgrew it or the
+// store (a catching-up follower, or a freshly restarted primary) has not
+// applied that publish yet. The RPC layer carries it verbatim so a router
+// can fail over to another replica of the shard.
+var ErrEpochRetired = errors.New("core: epoch retired (no retained epoch carries the requested publish tag)")
+
 // IndexEpoch is one published, immutable index snapshot. Queries pin an
 // epoch (a single atomic load) and run entirely against it: its database
 // holds frozen views of every BAT (bat.Freeze) plus the derived columns
@@ -30,8 +37,9 @@ var ErrNotIndexed = errors.New("core: content index not built (run BuildContentI
 // (a finalizer releases the ir-layer caches keyed by the snapshot
 // database).
 type IndexEpoch struct {
-	Seq  int64 // monotone epoch number (persisted; survives restarts)
-	Docs int   // documents covered (internal-set cardinality at publish)
+	Seq  int64  // monotone epoch number (persisted; survives restarts)
+	Docs int    // documents covered (internal-set cardinality at publish)
+	Tag  uint64 // router-assigned publish tag (0 outside distributed serving)
 
 	DB  *moa.Database // frozen snapshot: schema + frozen views of every BAT
 	Eng *moa.Engine
@@ -81,6 +89,7 @@ func (m *Mirror) publishEpochLocked() error {
 	ep := &IndexEpoch{
 		Seq:     m.epochSeq,
 		Docs:    docs,
+		Tag:     m.lastPublishTag,
 		DB:      db,
 		Eng:     eng,
 		thes:    m.Thes,
@@ -90,6 +99,15 @@ func (m *Mirror) publishEpochLocked() error {
 	// query lets go of them.
 	runtime.SetFinalizer(ep, func(e *IndexEpoch) { ir.ReleaseDBCaches(e.DB) })
 	m.epoch.Store(ep)
+	// Distributed shard members retain a ring of recent epochs so a router
+	// can keep pinning in-flight queries to the tag of its current epoch
+	// vector while a newer publish lands on this shard.
+	if m.epochHistN > 0 {
+		m.epochHist = append(m.epochHist, ep)
+		if excess := len(m.epochHist) - m.epochHistN; excess > 0 {
+			m.epochHist = append(m.epochHist[:0], m.epochHist[excess:]...)
+		}
+	}
 	// The new sequence number invalidates every cached result for free;
 	// sweeping just returns the stale generations' bytes promptly.
 	m.cache.Load().sweep(ep.Seq)
@@ -108,6 +126,29 @@ func (m *Mirror) requireEpoch() (*IndexEpoch, error) {
 		return nil, ErrNotIndexed
 	}
 	return ep, nil
+}
+
+// epochForTag returns the retained epoch carrying the given publish tag:
+// the serving epoch when it matches, else the newest ring entry with the
+// tag. Matching newest-first makes retried publishes converge — after a
+// partially acked refresh round is retried to success, every shard's
+// newest epoch for that tag carries the successful round's statistics.
+func (m *Mirror) epochForTag(tag uint64) (*IndexEpoch, error) {
+	ep := m.currentEpoch()
+	if ep == nil {
+		return nil, ErrNotIndexed
+	}
+	if ep.Tag == tag {
+		return ep, nil
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for i := len(m.epochHist) - 1; i >= 0; i-- {
+		if m.epochHist[i].Tag == tag {
+			return m.epochHist[i], nil
+		}
+	}
+	return nil, fmt.Errorf("%w: want tag %d, serving tag %d", ErrEpochRetired, tag, ep.Tag)
 }
 
 // urlOf resolves an internal-set OID to its source URL within the epoch.

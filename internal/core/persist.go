@@ -49,6 +49,18 @@ type persistMeta struct {
 	// Codebook is the frozen clustering of the last full build, what lets
 	// Refresh keep assigning new documents after a restart.
 	Codebook *Codebook `json:"codebook,omitempty"`
+
+	// Distributed serving state (internal/dist; zero elsewhere).
+	// EpochTag is the router-assigned tag of the last applied shard
+	// publish; AnnStats/ImgStats are that publish's global statistics (a
+	// restarted primary needs them to synthesise follower resync
+	// streams). ReplPos/ReplNonce are a follower's replication stream
+	// position and the primary incarnation it counts under.
+	EpochTag  uint64          `json:"epoch_tag,omitempty"`
+	AnnStats  *ir.GlobalStats `json:"ann_stats,omitempty"`
+	ImgStats  *ir.GlobalStats `json:"img_stats,omitempty"`
+	ReplPos   uint64          `json:"repl_pos,omitempty"`
+	ReplNonce uint64          `json:"repl_nonce,omitempty"`
 }
 
 // shardMeta makes the sharded layout a stored property of the MANIFEST: a
@@ -123,6 +135,25 @@ type walRecord struct {
 	MergeLo    int    `json:"merge_lo,omitempty"`
 	MergeHi    int    `json:"merge_hi,omitempty"`
 	SegsBefore int    `json:"segs_before,omitempty"`
+
+	// Distributed "publish" records (internal/dist) are self-contained:
+	// a networked shard member has no in-process engine to re-register
+	// global statistics during recovery, so the record carries them (and,
+	// for full builds, the frozen codebook). Tag is the router-assigned
+	// publish tag the resulting epoch serves under; Full marks a full
+	// (re)build covering the whole local corpus from Base 0.
+	AnnStats *ir.GlobalStats `json:"ann_stats,omitempty"`
+	ImgStats *ir.GlobalStats `json:"img_stats,omitempty"`
+	Codebook *Codebook       `json:"codebook,omitempty"`
+	Tag      uint64          `json:"tag,omitempty"`
+	Full     bool            `json:"full,omitempty"`
+
+	// Replication stamps, set only by a follower logging a shipped
+	// record to its own WAL: Ship is the record's position in the
+	// primary's replication stream, ShipNonce the primary incarnation.
+	// Recovery resumes pulling from the highest replayed stamp.
+	Ship      uint64 `json:"ship,omitempty"`
+	ShipNonce uint64 `json:"ship_nonce,omitempty"`
 }
 
 // WAL framing: every record is [len uint32][crc32c uint32][payload],
@@ -195,14 +226,10 @@ func openWAL(path string, validEnd int64, syncEach bool) (*wal, error) {
 	return &wal{f: f, syncEach: syncEach}, nil
 }
 
-// append frames and writes one record.
-func (w *wal) append(r walRecord) error {
+// appendPayload frames and writes one already-marshaled record.
+func (w *wal) appendPayload(payload []byte) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	payload, err := json.Marshal(&r)
-	if err != nil {
-		return fmt.Errorf("core: marshal WAL record: %w", err)
-	}
 	if len(payload) > maxWALRecord {
 		return fmt.Errorf("core: WAL record of %d bytes exceeds the %d-byte limit", len(payload), maxWALRecord)
 	}
@@ -286,6 +313,11 @@ func (m *Mirror) persistExtraLocked() (map[string]string, error) {
 	}
 	meta.Epoch = m.epochSeq
 	meta.Codebook = m.codebook
+	meta.EpochTag = m.lastPublishTag
+	meta.AnnStats = m.lastAnnStats
+	meta.ImgStats = m.lastImgStats
+	meta.ReplPos = m.replPos
+	meta.ReplNonce = m.replNonce
 	mb, err := json.Marshal(&meta)
 	if err != nil {
 		return nil, fmt.Errorf("core: marshal metadata: %w", err)
@@ -337,6 +369,11 @@ func buildFromBATs(bats map[string]*bat.BAT, extra map[string]string) (*Mirror, 
 	}
 	m.epochSeq = meta.Epoch
 	m.codebook = meta.Codebook
+	m.lastPublishTag = meta.EpochTag
+	m.lastAnnStats = meta.AnnStats
+	m.lastImgStats = meta.ImgStats
+	m.replPos = meta.ReplPos
+	m.replNonce = meta.ReplNonce
 	if meta.Shard != nil {
 		m.shardIndex = meta.Shard.Index
 		m.shardCount = meta.Shard.Count
@@ -466,6 +503,16 @@ func OpenPersistent(opts PersistOptions) (*Mirror, RecoveryStats, error) {
 		} else {
 			stats.WALSkipped++
 		}
+		// A follower resumes pulling from the highest replication stamp
+		// it durably applied (the checkpoint's position is the floor; a
+		// torn WAL tail simply lowers the stamp, and the primary re-ships
+		// the suffix for idempotent re-apply).
+		if r.Ship > m.replPos {
+			m.replPos = r.Ship
+			if r.ShipNonce != 0 {
+				m.replNonce = r.ShipNonce
+			}
+		}
 	}
 
 	// Serve the recovered index: one epoch publish restores snapshot-
@@ -534,6 +581,19 @@ func (m *Mirror) applyWALRecord(r walRecord) (applied bool, err error) {
 func (m *Mirror) replayPublish(r walRecord) (bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if r.AnnStats != nil {
+		// Self-contained distributed publish: the record carries the
+		// global statistics, so replay recomputes beliefs directly
+		// instead of deferring to an in-process engine.
+		applied, err := m.applyStatsPublishLocked(r)
+		if err != nil {
+			return false, fmt.Errorf("core: replay publish: %w", err)
+		}
+		if applied {
+			m.epochSeq++ // keep the epoch sequence monotone across the crash
+		}
+		return applied, nil
+	}
 	covered := m.coveredLocked()
 	if covered >= r.Base+len(r.Docs) {
 		return false, nil // checkpoint already contains this publish
@@ -610,12 +670,24 @@ func (m *Mirror) replayInsert(url, annotation string, global *uint64) (bool, err
 // otherwise. Callers hold m.mu (write lock), which both keeps WAL order
 // equal to apply order and makes append atomic with Checkpoint's
 // pool-flush + WAL-reset pair, so no record lands between the two and
-// gets silently truncated.
+// gets silently truncated. A shipping primary also appends the marshaled
+// payload to its in-memory replication stream — before the wal==nil
+// check, so in-memory primaries (tests) replicate too.
 func (m *Mirror) logWAL(r walRecord) error {
+	if m.wal == nil && m.ship == nil {
+		return nil
+	}
+	payload, err := json.Marshal(&r)
+	if err != nil {
+		return fmt.Errorf("core: marshal WAL record: %w", err)
+	}
+	if m.ship != nil {
+		m.ship.log = append(m.ship.log, payload)
+	}
 	if m.wal == nil {
 		return nil
 	}
-	return m.wal.append(r)
+	return m.wal.appendPayload(payload)
 }
 
 // reinforceLogged applies one thesaurus reinforcement under the write
@@ -624,6 +696,9 @@ func (m *Mirror) logWAL(r walRecord) error {
 func (m *Mirror) reinforceLogged(words, concepts []string, relevant bool) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.follower {
+		return ErrFollower
+	}
 	if m.Thes == nil {
 		return fmt.Errorf("core: no thesaurus built")
 	}

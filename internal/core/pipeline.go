@@ -108,6 +108,9 @@ func (m *Mirror) buildIndex(opts IndexOptions, pipe segmentExtractor) error {
 	defer m.buildMu.Unlock()
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.follower {
+		return ErrFollower
+	}
 
 	imageWords, cb, err := runExtraction(pipe, opts, m.order)
 	if err != nil {

@@ -1,13 +1,17 @@
 package core
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"net/rpc"
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"mirror/internal/bat"
 	"mirror/internal/dict"
@@ -444,9 +448,27 @@ func (m *Mirror) Serve(addr, dictAddr string) (string, func(), error) {
 	return Serve(m, addr, dictAddr)
 }
 
-// Serve runs the RPC server for any Retriever — a single store or a
-// sharded engine; the wire protocol is identical either way.
+// Serve runs the RPC server for any Retriever — a single store, a
+// sharded engine or a distributed router; the wire protocol is identical
+// either way. The returned stop function closes the listener and then
+// DRAINS: it waits (bounded) for every in-flight RPC handler to write its
+// response before returning, so stopping a server never strands a client
+// mid-call with a torn connection.
 func Serve(r Retriever, addr, dictAddr string) (string, func(), error) {
+	return ServeAs(r, addr, dictAddr, "dbms", "mirror-dbms")
+}
+
+// serveDrainTimeout bounds how long a stop function waits for in-flight
+// RPC handlers; a handler wedged past this is abandoned (the process is
+// exiting anyway).
+const serveDrainTimeout = 5 * time.Second
+
+// ServeAs is Serve with an explicit dictionary identity: shard daemons
+// register as kind "mirror-shard" under their layout position, so the
+// router discovers members without static addressing. Only the "dbms"
+// kind publishes its schema to the dictionary — shard members must not
+// overwrite the engine-wide entry.
+func ServeAs(r Retriever, addr, dictAddr, kind, name string) (string, func(), error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("core: listen %s: %w", addr, err)
@@ -456,13 +478,24 @@ func Serve(r Retriever, addr, dictAddr string) (string, func(), error) {
 		l.Close()
 		return "", nil, err
 	}
+	drain := &rpcDrain{}
+	var connMu sync.Mutex
+	conns := map[net.Conn]struct{}{}
 	go func() {
 		for {
 			conn, err := l.Accept()
 			if err != nil {
 				return
 			}
-			go srv.ServeConn(conn)
+			connMu.Lock()
+			conns[conn] = struct{}{}
+			connMu.Unlock()
+			go func() {
+				srv.ServeCodec(newCountedServerCodec(conn, drain))
+				connMu.Lock()
+				delete(conns, conn)
+				connMu.Unlock()
+			}()
 		}
 	}()
 	if dictAddr != "" {
@@ -473,21 +506,154 @@ func Serve(r Retriever, addr, dictAddr string) (string, func(), error) {
 		}
 		defer dc.Close()
 		if err := dc.Register(dict.DaemonInfo{
-			Name: "mirror-dbms", Kind: "dbms", Addr: l.Addr().String(),
+			Name: name, Kind: kind, Addr: l.Addr().String(),
 		}); err != nil {
 			l.Close()
 			return "", nil, err
 		}
-		if err := dc.SetSchema(r.SchemaSource()); err != nil {
-			l.Close()
-			return "", nil, err
+		if kind == "dbms" {
+			if err := dc.SetSchema(r.SchemaSource()); err != nil {
+				l.Close()
+				return "", nil, err
+			}
 		}
 	}
-	return l.Addr().String(), func() { l.Close() }, nil
+	stop := func() {
+		// No new connections, drain handlers already computing (their
+		// replies reach the wire), then drop the established connections —
+		// a stopped server must look down to its peers, not wedge them.
+		l.Close()
+		drain.wait(serveDrainTimeout)
+		connMu.Lock()
+		for conn := range conns {
+			conn.Close()
+		}
+		connMu.Unlock()
+	}
+	return l.Addr().String(), stop, nil
+}
+
+// rpcDrain counts in-flight RPC handlers so a stopping server can wait
+// for responses already being computed to reach the wire. A handler is
+// in flight from the moment its request header is read until its
+// response is written (net/rpc writes a response — real or error — for
+// every successfully read header, so the count is balanced).
+type rpcDrain struct {
+	mu      sync.Mutex
+	pending int
+	done    chan struct{} // non-nil while a drain waits; closed at pending==0
+}
+
+func (d *rpcDrain) start() {
+	d.mu.Lock()
+	d.pending++
+	d.mu.Unlock()
+}
+
+func (d *rpcDrain) finish() {
+	d.mu.Lock()
+	d.pending--
+	if d.pending == 0 && d.done != nil {
+		close(d.done)
+		d.done = nil
+	}
+	d.mu.Unlock()
+}
+
+// wait blocks until no handler is in flight, or the timeout passes.
+func (d *rpcDrain) wait(timeout time.Duration) {
+	d.mu.Lock()
+	if d.pending == 0 {
+		d.mu.Unlock()
+		return
+	}
+	if d.done == nil {
+		d.done = make(chan struct{})
+	}
+	ch := d.done
+	d.mu.Unlock()
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-ch:
+	case <-t.C:
+	}
+}
+
+// gobServerCodec is the standard net/rpc gob wire format over a buffered
+// connection; spelled out here (net/rpc keeps its own unexported) so the
+// counting wrapper below can sit between the server loop and the wire.
+type gobServerCodec struct {
+	rwc    io.ReadWriteCloser
+	dec    *gob.Decoder
+	enc    *gob.Encoder
+	encBuf *bufio.Writer
+	closed bool
+}
+
+func (c *gobServerCodec) ReadRequestHeader(r *rpc.Request) error { return c.dec.Decode(r) }
+func (c *gobServerCodec) ReadRequestBody(body any) error         { return c.dec.Decode(body) }
+
+func (c *gobServerCodec) WriteResponse(r *rpc.Response, body any) (err error) {
+	if err = c.enc.Encode(r); err != nil {
+		if c.encBuf.Flush() == nil {
+			c.Close() // encode failure poisons the stream; tear it down
+		}
+		return
+	}
+	if err = c.enc.Encode(body); err != nil {
+		if c.encBuf.Flush() == nil {
+			c.Close()
+		}
+		return
+	}
+	return c.encBuf.Flush()
+}
+
+func (c *gobServerCodec) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.rwc.Close()
+}
+
+// countedServerCodec marks a request in flight when its header is read
+// and done when its response is written, feeding the drain.
+type countedServerCodec struct {
+	rpc.ServerCodec
+	d *rpcDrain
+}
+
+func newCountedServerCodec(conn net.Conn, d *rpcDrain) rpc.ServerCodec {
+	buf := bufio.NewWriter(conn)
+	return &countedServerCodec{
+		ServerCodec: &gobServerCodec{rwc: conn, dec: gob.NewDecoder(conn), enc: gob.NewEncoder(buf), encBuf: buf},
+		d:           d,
+	}
+}
+
+func (c *countedServerCodec) ReadRequestHeader(r *rpc.Request) error {
+	err := c.ServerCodec.ReadRequestHeader(r)
+	if err == nil {
+		c.d.start()
+	}
+	return err
+}
+
+func (c *countedServerCodec) WriteResponse(r *rpc.Response, body any) error {
+	defer c.d.finish()
+	return c.ServerCodec.WriteResponse(r, body)
 }
 
 // Client is a typed client for a remote Mirror DBMS.
-type Client struct{ c *rpc.Client }
+type Client struct {
+	c *rpc.Client
+	// timeout bounds each call; 0 waits forever. A timed-out call closes
+	// the connection (net/rpc has no per-call cancel), so the Client is
+	// dead afterwards — exactly what the router's replica failover wants.
+	timeout time.Duration
+}
 
 // DialMirror connects directly to a Mirror DBMS address.
 func DialMirror(addr string) (*Client, error) {
@@ -496,6 +662,44 @@ func DialMirror(addr string) (*Client, error) {
 		return nil, fmt.Errorf("core: dial %s: %w", addr, err)
 	}
 	return &Client{c: c}, nil
+}
+
+// DialMirrorTimeout is DialMirror with a bound on connection establishment
+// and every subsequent call (SetCallTimeout).
+func DialMirrorTimeout(addr string, d time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, d)
+	if err != nil {
+		return nil, fmt.Errorf("core: dial %s: %w", addr, err)
+	}
+	return &Client{c: rpc.NewClient(conn), timeout: d}, nil
+}
+
+// SetCallTimeout bounds every subsequent call on this client; 0 restores
+// unbounded calls.
+func (c *Client) SetCallTimeout(d time.Duration) { c.timeout = d }
+
+// call issues one RPC, honouring the call timeout. On timeout the
+// connection is closed: net/rpc cannot cancel a single in-flight call,
+// and a half-dead connection must look like a transport failure so
+// callers fail over instead of hanging.
+func (c *Client) call(method string, args, reply any) error {
+	if c.timeout <= 0 {
+		return c.c.Call(method, args, reply)
+	}
+	call := c.c.Go(method, args, reply, make(chan *rpc.Call, 1))
+	t := time.NewTimer(c.timeout)
+	defer t.Stop()
+	select {
+	case <-call.Done:
+		return call.Error
+	case <-t.C:
+		c.c.Close()
+		<-call.Done
+		if call.Error == nil {
+			return nil // completed as the timer fired
+		}
+		return fmt.Errorf("core: %s timed out after %v", method, c.timeout)
+	}
 }
 
 // DiscoverMirror finds the DBMS through the data dictionary and connects.
@@ -532,12 +736,18 @@ func (e *remoteError) Error() string { return e.msg }
 func (e *remoteError) Unwrap() error { return e.base }
 
 // wireErr maps recognised server error strings back to typed errors.
+// Because the message stays verbatim, re-typing composes across hops: a
+// router that returns a shard's error to its own client produces the
+// same message, and the second wireErr re-types it identically.
 func wireErr(err error) error {
 	if err == nil {
 		return nil
 	}
-	if msg := err.Error(); strings.Contains(msg, ErrNotIndexed.Error()) {
-		return &remoteError{msg: msg, base: ErrNotIndexed}
+	msg := err.Error()
+	for _, base := range []error{ErrNotIndexed, ErrEpochRetired, ErrFollower} {
+		if strings.Contains(msg, base.Error()) {
+			return &remoteError{msg: msg, base: base}
+		}
 	}
 	return err
 }
@@ -552,42 +762,42 @@ func (c *Client) TextQuery(text string, k int, dual bool) ([]WireHit, error) {
 // epoch stamp of the snapshot the answer was served from.
 func (c *Client) TextQueryStamped(text string, k int, dual bool) (*TextQueryReply, error) {
 	var reply TextQueryReply
-	err := c.c.Call("Mirror.TextQuery", TextQueryArgs{Text: text, K: k, Dual: dual}, &reply)
+	err := c.call("Mirror.TextQuery", TextQueryArgs{Text: text, K: k, Dual: dual}, &reply)
 	return &reply, wireErr(err)
 }
 
 // AddImage ingests one document (PPM raster bytes) into the remote store.
 func (c *Client) AddImage(url, annotation string, ppm []byte) (*AddImageReply, error) {
 	var reply AddImageReply
-	err := c.c.Call("Mirror.AddImage", AddImageArgs{URL: url, Annotation: annotation, PPM: ppm}, &reply)
+	err := c.call("Mirror.AddImage", AddImageArgs{URL: url, Annotation: annotation, PPM: ppm}, &reply)
 	return &reply, err
 }
 
 // Stats fetches the remote serving-state snapshot.
 func (c *Client) Stats() (*StatsReply, error) {
 	var reply StatsReply
-	err := c.c.Call("Mirror.Stats", dict.Empty{}, &reply)
+	err := c.call("Mirror.Stats", dict.Empty{}, &reply)
 	return &reply, err
 }
 
 // SessionStart opens a remote relevance-feedback session.
 func (c *Client) SessionStart(text string) (uint64, error) {
 	var reply SessionStartReply
-	err := c.c.Call("Mirror.SessionStart", SessionStartArgs{Text: text}, &reply)
+	err := c.call("Mirror.SessionStart", SessionStartArgs{Text: text}, &reply)
 	return reply.ID, wireErr(err)
 }
 
 // SessionRun evaluates the session's current query.
 func (c *Client) SessionRun(id uint64, k int) (*SessionRunReply, error) {
 	var reply SessionRunReply
-	err := c.c.Call("Mirror.SessionRun", SessionRunArgs{ID: id, K: k}, &reply)
+	err := c.call("Mirror.SessionRun", SessionRunArgs{ID: id, K: k}, &reply)
 	return &reply, wireErr(err)
 }
 
 // SessionFeedback applies one round of relevance judgments.
 func (c *Client) SessionFeedback(id uint64, relevant, nonrelevant []uint64) (*SessionFeedbackReply, error) {
 	var reply SessionFeedbackReply
-	err := c.c.Call("Mirror.SessionFeedback",
+	err := c.call("Mirror.SessionFeedback",
 		SessionFeedbackArgs{ID: id, Relevant: relevant, Nonrelevant: nonrelevant}, &reply)
 	return &reply, wireErr(err)
 }
@@ -595,7 +805,7 @@ func (c *Client) SessionFeedback(id uint64, relevant, nonrelevant []uint64) (*Se
 // SessionEnd closes a remote session.
 func (c *Client) SessionEnd(id uint64) error {
 	var reply dict.Empty
-	return c.c.Call("Mirror.SessionEnd", SessionEndArgs{ID: id}, &reply)
+	return c.call("Mirror.SessionEnd", SessionEndArgs{ID: id}, &reply)
 }
 
 // MoaQuery runs a raw Moa query.
@@ -607,7 +817,7 @@ func (c *Client) MoaQuery(src string, queryTerms []string) (*MoaQueryReply, erro
 // down to the server's plan optimizer.
 func (c *Client) MoaQueryTopK(src string, queryTerms []string, k int) (*MoaQueryReply, error) {
 	var reply MoaQueryReply
-	err := c.c.Call("Mirror.MoaQuery", MoaQueryArgs{Source: src, QueryTerms: queryTerms, K: k}, &reply)
+	err := c.call("Mirror.MoaQuery", MoaQueryArgs{Source: src, QueryTerms: queryTerms, K: k}, &reply)
 	return &reply, wireErr(err)
 }
 
@@ -615,20 +825,20 @@ func (c *Client) MoaQueryTopK(src string, queryTerms []string, k int) (*MoaQuery
 // and publish a new epoch.
 func (c *Client) Refresh() (*RefreshReply, error) {
 	var reply RefreshReply
-	err := c.c.Call("Mirror.Refresh", dict.Empty{}, &reply)
+	err := c.call("Mirror.Refresh", dict.Empty{}, &reply)
 	return &reply, wireErr(err)
 }
 
 // Schema fetches the remote schema.
 func (c *Client) Schema() (string, error) {
 	var reply SchemaReply
-	err := c.c.Call("Mirror.Schema", dict.Empty{}, &reply)
+	err := c.call("Mirror.Schema", dict.Empty{}, &reply)
 	return reply.Source, err
 }
 
 // Checkpoint asks the remote DBMS to flush dirty BATs to its store.
 func (c *Client) Checkpoint() (*CheckpointReply, error) {
 	var reply CheckpointReply
-	err := c.c.Call("Mirror.Checkpoint", dict.Empty{}, &reply)
+	err := c.call("Mirror.Checkpoint", dict.Empty{}, &reply)
 	return &reply, err
 }

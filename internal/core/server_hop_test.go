@@ -1,0 +1,141 @@
+package core_test
+
+// Two-hop wire semantics: a client talks to a served RouterEngine, which
+// talks to shard daemons — errors and epoch stamps cross TWO net/rpc
+// boundaries. net/rpc flattens errors to strings, so each hop's client
+// side re-types the well-known sentinels from the verbatim message; these
+// tests pin that the composition works (a shard's typed error surfaces
+// as errors.Is-able at the outermost client, message intact) and that
+// the router's epoch-vector stamp rides every reply unchanged.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"mirror/internal/core"
+	"mirror/internal/corpus"
+	"mirror/internal/dist"
+)
+
+// startHopTopology serves one shard (primary + follower) behind a router,
+// itself served over RPC: client → router server → shard server.
+func startHopTopology(t *testing.T) (router *dist.RouterEngine, outerAddr string, primary *core.Mirror, follower *core.Mirror, primAddr string, stopPrimary func()) {
+	t.Helper()
+	pm, err := core.NewShardMember(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm.KeepEpochHistory(8)
+	pm.EnableShipping()
+	pAddr, pStop, err := core.ServeAs(pm, "127.0.0.1:0", "", "mirror-shard", "shard-0-of-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fm, err := core.NewShardMember(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm.KeepEpochHistory(8)
+	fm.SetFollower()
+	fAddr, fStop, err := core.ServeAs(fm, "127.0.0.1:0", "", "mirror-shard", "shard-0-of-1-follower-t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fStop)
+
+	r, err := dist.NewRouter([][]string{{pAddr, fAddr}}, dist.Options{
+		Timeout: 5 * time.Second, Retries: 1, Backoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oAddr, oStop, err := core.Serve(r, "127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(oStop)
+	return r, oAddr, pm, fm, pAddr, pStop
+}
+
+func TestTwoHopTypedErrorsAndStamps(t *testing.T) {
+	router, outerAddr, _, follower, primAddr, stopPrimary := startHopTopology(t)
+	c, err := core.DialMirror(outerAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Pre-index: the router refuses with ErrNotIndexed; the outer hop
+	// must deliver it errors.Is-able with the message verbatim.
+	if _, err := c.TextQueryStamped("tiger", 3, false); !errors.Is(err, core.ErrNotIndexed) {
+		t.Fatalf("pre-index error over two hops = %v, want ErrNotIndexed", err)
+	} else if !strings.Contains(err.Error(), core.ErrNotIndexed.Error()) {
+		t.Fatalf("pre-index message not verbatim: %v", err)
+	}
+
+	items := corpus.Generate(corpus.Config{N: 10, W: 48, H: 48, Seed: 11, AnnotateRate: 0.75})
+	for _, it := range items {
+		if err := router.AddImage(it.URL, it.Annotation, it.Scene.Img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opts := core.DefaultIndexOptions()
+	opts.Features = []string{"rgb_coarse", "gabor"}
+	opts.KMax = 6
+	if err := router.BuildContentIndex(opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dist.FollowOnce(follower, primAddr, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stamps ride both hops: the reply's epoch stamp is the router's
+	// serving vector, byte for byte.
+	want, ok := router.ServingEpoch()
+	if !ok {
+		t.Fatal("router not serving after build")
+	}
+	term := corpus.CanonicalTerm(0)
+	rep, err := c.TextQueryStamped(term, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epoch != want.Seq || rep.EpochDocs != want.Docs {
+		t.Fatalf("text stamp over two hops = %d/%d, want %d/%d", rep.Epoch, rep.EpochDocs, want.Seq, want.Docs)
+	}
+	annSrc := `
+	map[sum(THIS)](
+		map[getBL(THIS.annotation, query, stats)]( ImageLibraryInternal ));`
+	moa, err := c.MoaQueryTopK(annSrc, []string{term}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moa.Epoch != want.Seq || moa.EpochDocs != want.Docs {
+		t.Fatalf("moa stamp over two hops = %d/%d, want %d/%d", moa.Epoch, moa.EpochDocs, want.Seq, want.Docs)
+	}
+
+	// Advance the primary past the follower (ingest + refresh, no
+	// catch-up), then kill the primary: the router's pinned tag exists
+	// nowhere reachable, and the shard-side ErrEpochRetired must cross
+	// both hops errors.Is-able after the bounded failover gives up.
+	extra := corpus.Generate(corpus.Config{N: 12, W: 48, H: 48, Seed: 11, AnnotateRate: 0.75})[10:]
+	for _, it := range extra {
+		if err := router.AddImage(it.URL, it.Annotation, it.Scene.Img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := router.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	stopPrimary()
+	_, err = c.TextQueryStamped(term, 3, false)
+	if !errors.Is(err, core.ErrEpochRetired) {
+		t.Fatalf("stale-follower error over two hops = %v, want ErrEpochRetired", err)
+	}
+	if !strings.Contains(err.Error(), "epoch retired") {
+		t.Fatalf("stale-follower message not verbatim: %v", err)
+	}
+}

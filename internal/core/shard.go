@@ -48,6 +48,11 @@ import (
 // Together these yield the differential guarantee the tests pin: for any
 // shard count, the merged result is BUN-for-BUN identical (ties included)
 // to the single-store result.
+// Topology describes the engine's serving topology (moash \topology).
+func (e *ShardedEngine) Topology() string {
+	return fmt.Sprintf("sharded engine (%d in-process shards)", len(e.shards))
+}
+
 type ShardedEngine struct {
 	mu     sync.RWMutex
 	shards []*Mirror // immutable slice after construction

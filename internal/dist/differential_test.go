@@ -1,0 +1,231 @@
+package dist
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"mirror/internal/bat"
+	"mirror/internal/core"
+	"mirror/internal/corpus"
+)
+
+// annQuerySrc mirrors the paper's Section 3 ranking expression (the same
+// source moash and the load harness send over the wire).
+const annQuerySrc = `
+	map[sum(THIS)](
+		map[getBL(THIS.annotation, query, stats)]( ImageLibraryInternal ));`
+
+// The distributed differential: a networked router over N shard daemons,
+// the in-process sharded engine with N members, and a single store must
+// answer every retrieval surface BUN-for-BUN — same documents, same
+// scores, same tie order — for N ∈ {1, 2, 8}, across both the initial
+// build and an incremental refresh.
+func TestDifferentialTopologies(t *testing.T) {
+	for _, n := range []int{1, 2, 8} {
+		n := n
+		t.Run(fmt.Sprintf("N%d", n), func(t *testing.T) { runDifferential(t, n) })
+	}
+}
+
+func runDifferential(t *testing.T, n int) {
+	items := testItems(26)
+	first, rest := items[:18], items[18:]
+	opts := testIndexOptions()
+
+	single, err := core.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := core.NewSharded(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := startCluster(t, n, 2)
+
+	for _, it := range first {
+		for _, r := range []core.Retriever{single, sharded} {
+			if err := r.AddImage(it.URL, it.Annotation, it.Scene.Img); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	c.ingest(first)
+
+	if err := single.BuildContentIndex(opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := sharded.BuildContentIndex(opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.router.BuildContentIndex(opts); err != nil {
+		t.Fatal(err)
+	}
+	compareEngines(t, "build", single, sharded, c.router)
+	c.catchUp()
+	checkEpochVector(t, c)
+
+	// Incremental round: ingest the remainder everywhere, snapshot the
+	// replicas mid-ingest (their epoch vectors must stay consistent at
+	// the PREVIOUS publish while the delta is pending), then refresh.
+	for _, it := range rest {
+		for _, r := range []core.Retriever{single, sharded} {
+			if err := r.AddImage(it.URL, it.Annotation, it.Scene.Img); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	c.ingest(rest)
+	c.catchUp()
+	checkEpochVector(t, c) // mid-ingest: inserts shipped, epoch unmoved
+
+	if _, err := single.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sharded.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.router.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NewDocs != len(rest) || st.Docs != len(items) {
+		t.Fatalf("router refresh = %+v, want +%d/%d docs", st, len(rest), len(items))
+	}
+	compareEngines(t, "refresh", single, sharded, c.router)
+	c.catchUp()
+	checkEpochVector(t, c)
+}
+
+// compareEngines drives every retrieval surface against the three
+// topologies and requires identical answers, ties included.
+func compareEngines(t *testing.T, phase string, single, sharded, router core.Retriever) {
+	t.Helper()
+	if a, b, c := single.Size(), sharded.Size(), router.Size(); a != b || a != c {
+		t.Fatalf("%s: sizes %d/%d/%d", phase, a, b, c)
+	}
+	ss, ok1 := single.ServingEpoch()
+	es, ok2 := sharded.ServingEpoch()
+	rs, ok3 := router.ServingEpoch()
+	if !ok1 || !ok2 || !ok3 || ss.Docs != es.Docs || ss.Docs != rs.Docs {
+		t.Fatalf("%s: epoch stamps %+v/%+v/%+v", phase, ss, es, rs)
+	}
+
+	for class := 0; class < 6; class++ {
+		term := corpus.CanonicalTerm(class)
+		label := fmt.Sprintf("%s/%s", phase, term)
+		for _, k := range []int{5, 0} {
+			h1, st1, err1 := single.QueryAnnotationsStamped(term, k)
+			h2, _, err2 := sharded.QueryAnnotationsStamped(term, k)
+			h3, st3, err3 := router.QueryAnnotationsStamped(term, k)
+			if err1 != nil || err2 != nil || err3 != nil {
+				t.Fatalf("%s k=%d: errs %v/%v/%v", label, k, err1, err2, err3)
+			}
+			if st1.Docs != st3.Docs {
+				t.Fatalf("%s k=%d: stamp docs %d vs %d", label, k, st1.Docs, st3.Docs)
+			}
+			sameHits(t, label+"/ann/sharded", h1, h2, k)
+			sameHits(t, label+"/ann/router", h1, h3, k)
+		}
+
+		d1, err1 := single.QueryDualCoding(term, 5)
+		d2, err2 := sharded.QueryDualCoding(term, 5)
+		d3, err3 := router.QueryDualCoding(term, 5)
+		if err1 != nil || err2 != nil || err3 != nil {
+			t.Fatalf("%s dual: errs %v/%v/%v", label, err1, err2, err3)
+		}
+		sameHits(t, label+"/dual/sharded", d1, d2, 5)
+		sameHits(t, label+"/dual/router", d1, d3, 5)
+
+		// Thesaurus expansion feeds content retrieval; it must agree
+		// before the content legs can.
+		e1 := single.ExpandQuery(term, 6)
+		e3 := router.ExpandQuery(term, 6)
+		if !reflect.DeepEqual(e1, e3) {
+			t.Fatalf("%s expand: %v vs %v", label, e1, e3)
+		}
+		if len(e1) > 0 {
+			q1, err1 := single.QueryContent(e1, 5)
+			q2, err2 := sharded.QueryContent(e1, 5)
+			q3, err3 := router.QueryContent(e1, 5)
+			if err1 != nil || err2 != nil || err3 != nil {
+				t.Fatalf("%s content: errs %v/%v/%v", label, err1, err2, err3)
+			}
+			sameHits(t, label+"/content/sharded", q1, q2, 5)
+			sameHits(t, label+"/content/router", q1, q3, 5)
+		}
+
+		// Raw Moa over the wire-facing entry point.
+		for _, k := range []int{5, 0} {
+			r1, _, err1 := single.QueryTopKStamped(annQuerySrc, []string{term}, k)
+			r2, _, err2 := sharded.QueryTopKStamped(annQuerySrc, []string{term}, k)
+			r3, _, err3 := router.QueryTopKStamped(annQuerySrc, []string{term}, k)
+			if err1 != nil || err2 != nil || err3 != nil {
+				t.Fatalf("%s moa k=%d: errs %v/%v/%v", label, k, err1, err2, err3)
+			}
+			sameRows(t, label+"/moa/sharded", r1.Rows, r2.Rows)
+			sameRows(t, label+"/moa/router", r1.Rows, r3.Rows)
+		}
+	}
+
+	// Per-document cluster words must agree under global OIDs.
+	for oid := 0; oid < single.Size(); oid++ {
+		w1 := single.ContentTerms(bat.OID(oid))
+		w3 := router.ContentTerms(bat.OID(oid))
+		if !reflect.DeepEqual(w1, w3) {
+			t.Fatalf("%s: ContentTerms(%d) = %v vs %v", phase, oid, w1, w3)
+		}
+	}
+}
+
+func sameHits(t *testing.T, label string, want, got []core.Hit, k int) {
+	t.Helper()
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("%s (k=%d):\n want %v\n got  %v", label, k, want, got)
+	}
+}
+
+func sameRows(t *testing.T, label string, want, got interface{}) {
+	t.Helper()
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("%s:\n want %v\n got  %v", label, want, got)
+	}
+}
+
+// checkEpochVector asserts the oracle side condition replication adds:
+// after catch-up every replica of a shard serves exactly the primary's
+// published epoch (tag, sequence and coverage) — a router failover can
+// land on any replica and still answer for a published epoch.
+func checkEpochVector(t *testing.T, c *cluster) {
+	t.Helper()
+	for i := range c.primaries {
+		pc, err := core.DialMirrorTimeout(c.primAddr[i], 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pst, err := pc.ShardState()
+		pc.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f, faddr := range c.folAddr[i] {
+			fc, err := core.DialMirrorTimeout(faddr, 5*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fst, err := fc.ShardState()
+			fc.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !fst.Follower {
+				t.Fatalf("shard %d replica %d: not marked follower", i, f)
+			}
+			if fst.Size != pst.Size || fst.Covered != pst.Covered ||
+				fst.Tag != pst.Tag || fst.Epoch != pst.Epoch || fst.Docs != pst.Docs {
+				t.Fatalf("shard %d replica %d diverged:\n primary %+v\n follower %+v", i, f, pst, fst)
+			}
+		}
+	}
+}

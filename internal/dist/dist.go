@@ -1,0 +1,1060 @@
+// Package dist is the networked counterpart of core.ShardedEngine: a
+// RouterEngine implements the same core.Retriever surface, but its shard
+// members are remote mirrord daemons reached over net/rpc instead of
+// in-process stores. The router owns everything that is global by nature
+// — ingestion order (global OIDs), the extraction/clustering pipeline,
+// collection statistics, the association thesaurus, the epoch vector —
+// and the shards own storage, WAL durability and per-shard query
+// evaluation.
+//
+// Exactness across the wire rests on the same invariants the in-process
+// engine enforces, plus one distributed addition:
+//
+//   - Global identity: documents are routed by core.ShardOf and carry
+//     their global OID to the shard; replies come back remapped, so
+//     scores AND tie-breaks are exactly a single store's.
+//   - Global statistics: every publish round ships the engine-wide
+//     collection statistics to every shard, so per-shard beliefs are
+//     computed against the global collection.
+//   - Tag-pinned epochs: each publish round carries a monotone tag; a
+//     query is evaluated on every shard at the epoch carrying the
+//     router's current tag (shards retain a short epoch history), so a
+//     scatter never mixes rounds even while a new publish is landing.
+//     The router's epoch vector advances only after EVERY shard acked
+//     the round — the oracle invariant "every served result is exact
+//     for some published epoch" holds end-to-end.
+//
+// Each shard may have replication followers (WAL shipping; see
+// core/repl.go). Reads fail over primary → followers with bounded
+// retries and backoff; writes go to the primary only.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"net/rpc"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mirror/internal/bat"
+	"mirror/internal/core"
+	"mirror/internal/dict"
+	"mirror/internal/ir"
+	"mirror/internal/media"
+	"mirror/internal/moa"
+	"mirror/internal/storage"
+	"mirror/internal/thesaurus"
+)
+
+// The router IS a Retriever: core.Serve exposes it under the exact RPC
+// surface a single store serves, so clients cannot tell the difference.
+var _ core.Retriever = (*RouterEngine)(nil)
+
+// Options tunes the router's failure behavior.
+type Options struct {
+	Timeout time.Duration // per-RPC bound; 0 = 5s
+	Retries int           // extra failover rounds per call; <0 = 0, default 2
+	Backoff time.Duration // base backoff between rounds (doubles); 0 = 50ms
+}
+
+func (o Options) withDefaults() Options {
+	if o.Timeout == 0 {
+		o.Timeout = 5 * time.Second
+	}
+	if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.Backoff == 0 {
+		o.Backoff = 50 * time.Millisecond
+	}
+	return o
+}
+
+// replica is one addressable store (a primary or follower) with a lazily
+// established, serially used connection.
+type replica struct {
+	addr string
+	mu   sync.Mutex
+	c    *core.Client
+}
+
+// do runs one call against the replica, dialing on demand. Transport-class
+// failures poison the connection so the next call redials.
+func (r *replica) do(timeout time.Duration, f func(*core.Client) error) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.c == nil {
+		c, err := core.DialMirrorTimeout(r.addr, timeout)
+		if err != nil {
+			return err
+		}
+		r.c = c
+	}
+	err := f(r.c)
+	if err != nil && transportErr(err) {
+		r.c.Close()
+		r.c = nil
+	}
+	return err
+}
+
+func (r *replica) close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.c != nil {
+		r.c.Close()
+		r.c = nil
+	}
+}
+
+// transportErr classifies an error as connection-level (vs an application
+// error the server computed and sent back).
+func transportErr(err error) bool {
+	var se rpc.ServerError
+	return !errors.As(err, &se) && !errors.Is(err, core.ErrNotIndexed) &&
+		!errors.Is(err, core.ErrEpochRetired) && !errors.Is(err, core.ErrFollower)
+}
+
+// failover reports whether another replica (or a retry round) may be able
+// to serve the call: transport failures, a follower still catching up
+// (ErrEpochRetired / ErrNotIndexed), or a misdirected write (ErrFollower).
+// Every other application error is authoritative and returned verbatim.
+func failover(err error) bool {
+	if errors.Is(err, core.ErrEpochRetired) || errors.Is(err, core.ErrNotIndexed) ||
+		errors.Is(err, core.ErrFollower) {
+		return true
+	}
+	var se rpc.ServerError
+	return !errors.As(err, &se)
+}
+
+// shardGroup is one shard's replica set.
+type shardGroup struct {
+	primary   *replica
+	followers []*replica
+}
+
+type shardLoc struct {
+	shard int
+	local int
+}
+
+// epochVector is the router's published serving state: every shard
+// answers queries at the epoch carrying Tag, which covers the first Docs
+// documents of the global ingestion order.
+type epochVector struct {
+	Tag  uint64
+	Docs int
+}
+
+// RouterEngine scatter-gathers the full Retriever surface over remote
+// shard daemons.
+type RouterEngine struct {
+	n       int
+	timeout time.Duration
+	retries int
+	backoff time.Duration
+
+	groups []*shardGroup
+
+	mu         sync.RWMutex
+	order      []string // global ingestion order; order[g] = URL of global OID g
+	urls       map[string]struct{}
+	locs       []shardLoc
+	localCount []int
+	anns       map[string]string
+	rasters    map[string]*media.Image
+	terms      map[string][]string // deduped cluster words by URL (post-build)
+	codebook   *core.Codebook
+	thes       *thesaurus.Thesaurus
+	schema     string
+
+	buildMu sync.Mutex
+	vecPtr  atomicVec
+}
+
+// atomicVec is a tiny typed wrapper (avoids atomic.Pointer import noise in
+// struct literals).
+type atomicVec struct {
+	mu sync.RWMutex
+	v  *epochVector
+}
+
+func (a *atomicVec) load() *epochVector {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.v
+}
+
+func (a *atomicVec) store(v *epochVector) {
+	a.mu.Lock()
+	a.v = v
+	a.mu.Unlock()
+}
+
+// NewRouter builds a router over explicit shard replica sets:
+// shards[i][0] is shard i's primary, the rest are its followers.
+func NewRouter(shards [][]string, opts Options) (*RouterEngine, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("dist: router needs at least one shard")
+	}
+	opts = opts.withDefaults()
+	e := &RouterEngine{
+		n:          len(shards),
+		timeout:    opts.Timeout,
+		retries:    opts.Retries,
+		backoff:    opts.Backoff,
+		urls:       map[string]struct{}{},
+		localCount: make([]int, len(shards)),
+		anns:       map[string]string{},
+		rasters:    map[string]*media.Image{},
+		terms:      map[string][]string{},
+	}
+	for i, reps := range shards {
+		if len(reps) == 0 {
+			return nil, fmt.Errorf("dist: shard %d has no replicas", i)
+		}
+		g := &shardGroup{primary: &replica{addr: reps[0]}}
+		for _, addr := range reps[1:] {
+			g.followers = append(g.followers, &replica{addr: addr})
+		}
+		e.groups = append(e.groups, g)
+	}
+	return e, nil
+}
+
+// Discover builds a router from the data dictionary: shard daemons
+// register as kind "mirror-shard" named "shard-<i>-of-<n>" (primaries)
+// and "shard-<i>-of-<n>-follower…" (followers). Every primary must be
+// registered; followers are optional.
+func Discover(dictAddr string, opts Options) (*RouterEngine, error) {
+	dc, err := dict.Dial(dictAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer dc.Close()
+	infos, err := dc.List("mirror-shard")
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	for _, in := range infos {
+		var i, of int
+		if _, err := fmt.Sscanf(in.Name, "shard-%d-of-%d", &i, &of); err == nil && of > n {
+			n = of
+		}
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("dist: no mirror-shard daemons registered in the dictionary")
+	}
+	shards := make([][]string, n)
+	for i := 0; i < n; i++ {
+		primary := fmt.Sprintf("shard-%d-of-%d", i, n)
+		for _, in := range infos {
+			if in.Name == primary {
+				shards[i] = append([]string{in.Addr}, shards[i]...)
+			} else if strings.HasPrefix(in.Name, primary+"-follower") {
+				shards[i] = append(shards[i], in.Addr)
+			}
+		}
+		found := false
+		for _, in := range infos {
+			if in.Name == primary {
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("dist: shard %d/%d primary not registered", i, n)
+		}
+	}
+	return NewRouter(shards, opts)
+}
+
+// NumShards reports the shard count.
+func (e *RouterEngine) NumShards() int { return e.n }
+
+// MinReplicas reports the smallest replica-set size across shards
+// (primary included) — what a -replicas floor is checked against.
+func (e *RouterEngine) MinReplicas() int {
+	min := 0
+	for i, g := range e.groups {
+		if n := 1 + len(g.followers); i == 0 || n < min {
+			min = n
+		}
+	}
+	return min
+}
+
+// Topology describes the serving topology (moash \topology).
+func (e *RouterEngine) Topology() string {
+	reps := 0
+	for _, g := range e.groups {
+		reps += 1 + len(g.followers)
+	}
+	return fmt.Sprintf("distributed router (%d networked shards, %d replicas)", e.n, reps)
+}
+
+// callShard runs f against shard s with bounded failover: the primary
+// first, then (for reads) each follower, with exponential backoff between
+// rounds. Writes never leave the primary — a follower cannot accept them.
+func (e *RouterEngine) callShard(s int, write bool, f func(*core.Client) error) error {
+	g := e.groups[s]
+	reps := []*replica{g.primary}
+	if !write {
+		reps = append(reps, g.followers...)
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		for _, r := range reps {
+			err := r.do(e.timeout, f)
+			if err == nil {
+				return nil
+			}
+			lastErr = err
+			if !failover(err) {
+				return err
+			}
+		}
+		if attempt >= e.retries {
+			return lastErr
+		}
+		time.Sleep(e.backoff << uint(attempt))
+	}
+}
+
+// ---- ingestion ----
+
+// AddImage routes one document to its home shard and records its global
+// identity. Exactly-once across lost replies rides on idempotence: a
+// retried insert that already landed answers with the library's duplicate
+// contract, which the router (knowing it never recorded this URL) reads
+// as the lost ack.
+func (e *RouterEngine) AddImage(url, annotation string, img *media.Image) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.urls[url]; dup {
+		return fmt.Errorf("core: image %q already in library", url)
+	}
+	s := core.ShardOf(url, e.n)
+	g := uint64(len(e.order))
+	var walWarn error
+	err := e.callShard(s, true, func(c *core.Client) error {
+		_, err := c.ShardIngest(url, annotation, nil, g)
+		return err
+	})
+	if err != nil {
+		msg := err.Error()
+		switch {
+		case strings.Contains(msg, "already in library"):
+			// Lost-ack retry, or a re-crawl over surviving shard state after
+			// a router restart: the document is in the shard. Record it.
+		case strings.Contains(msg, "ingested but not WAL-logged"):
+			walWarn = err // in the shard, reduced durability — record it
+		default:
+			return err
+		}
+	}
+	e.order = append(e.order, url)
+	e.urls[url] = struct{}{}
+	e.locs = append(e.locs, shardLoc{shard: s, local: e.localCount[s]})
+	e.localCount[s]++
+	e.anns[url] = annotation
+	if img != nil {
+		e.rasters[url] = img
+	}
+	return walWarn
+}
+
+// AddRaster re-attaches footage to an already-ingested URL (rasters live
+// with the router, which runs the extraction pipeline).
+func (e *RouterEngine) AddRaster(url string, img *media.Image) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.urls[url]; !ok {
+		return fmt.Errorf("core: %q not in library", url)
+	}
+	e.rasters[url] = img
+	return nil
+}
+
+// Raster returns the held raster for a URL.
+func (e *RouterEngine) Raster(url string) (*media.Image, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	img, ok := e.rasters[url]
+	return img, ok
+}
+
+// Size reports the number of library items across all shards.
+func (e *RouterEngine) Size() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.order)
+}
+
+// URLs returns the item URLs in global ingestion order.
+func (e *RouterEngine) URLs() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return append([]string(nil), e.order...)
+}
+
+// Indexed reports whether an epoch vector is being served.
+func (e *RouterEngine) Indexed() bool { return e.vecPtr.load() != nil }
+
+// Current reports whether the vector covers every ingested document.
+func (e *RouterEngine) Current() bool {
+	vec := e.vecPtr.load()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return vec != nil && vec.Docs == len(e.order)
+}
+
+// Pending reports how many ingested documents the vector does not cover.
+func (e *RouterEngine) Pending() int {
+	vec := e.vecPtr.load()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if vec == nil {
+		return len(e.order)
+	}
+	return len(e.order) - vec.Docs
+}
+
+// urlOf resolves a global OID through the ingestion order.
+func (e *RouterEngine) urlOf(oid uint64) string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if oid >= uint64(len(e.order)) {
+		return ""
+	}
+	return e.order[oid]
+}
+
+// ContentTerms returns the cluster words of a document by global OID.
+func (e *RouterEngine) ContentTerms(oid bat.OID) []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if uint64(oid) >= uint64(len(e.order)) {
+		return nil
+	}
+	return e.terms[e.order[oid]]
+}
+
+// Thesaurus returns the router's association thesaurus (the global
+// authority; shard-local thesauri only serve shard-direct queries).
+func (e *RouterEngine) Thesaurus() *thesaurus.Thesaurus {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.thes
+}
+
+// ExpandQuery maps free text to associated content clusters.
+func (e *RouterEngine) ExpandQuery(text string, topK int) []string {
+	return core.ExpandWith(e.Thesaurus(), text, topK)
+}
+
+// SchemaSource returns the DDL of the served database (probed from the
+// shards and cached).
+func (e *RouterEngine) SchemaSource() string {
+	e.mu.RLock()
+	cached := e.schema
+	e.mu.RUnlock()
+	if cached != "" {
+		return cached
+	}
+	var src string
+	for s := 0; s < e.n; s++ {
+		err := e.callShard(s, false, func(c *core.Client) error {
+			var serr error
+			src, serr = c.Schema()
+			return serr
+		})
+		if err == nil && src != "" {
+			break
+		}
+	}
+	e.mu.Lock()
+	e.schema = src
+	e.mu.Unlock()
+	return src
+}
+
+// ServingEpoch reports the router's epoch-vector stamp: Seq is the
+// publish tag, Docs the covered prefix of the global ingestion order.
+func (e *RouterEngine) ServingEpoch() (core.EpochStamp, bool) {
+	vec := e.vecPtr.load()
+	if vec == nil {
+		return core.EpochStamp{}, false
+	}
+	return core.EpochStamp{Seq: int64(vec.Tag), Docs: vec.Docs}, true
+}
+
+// Persistent reports false: the router itself holds no store (durability
+// lives with the shard daemons; Checkpoint fans out to them).
+func (e *RouterEngine) Persistent() bool { return false }
+
+// Checkpoint asks every shard primary to checkpoint, summing the stats.
+func (e *RouterEngine) Checkpoint() (storage.CheckpointStats, error) {
+	var total storage.CheckpointStats
+	for s := 0; s < e.n; s++ {
+		var rep *core.CheckpointReply
+		err := e.callShard(s, true, func(c *core.Client) error {
+			var cerr error
+			rep, cerr = c.Checkpoint()
+			return cerr
+		})
+		if err != nil {
+			return total, fmt.Errorf("dist: checkpoint shard %d: %w", s, err)
+		}
+		total.Written += rep.Written
+		total.Skipped += rep.Skipped
+		total.Bytes += rep.Bytes
+	}
+	return total, nil
+}
+
+// ClosePersistent closes every replica connection (shard daemons keep
+// running; they own their stores).
+func (e *RouterEngine) ClosePersistent() error {
+	for _, g := range e.groups {
+		g.primary.close()
+		for _, f := range g.followers {
+			f.close()
+		}
+	}
+	return nil
+}
+
+// Segments reports nothing: segment layout is shard-daemon-local
+// introspection (ask the daemons directly).
+func (e *RouterEngine) Segments() []core.SegmentsInfo { return nil }
+
+// PostingsStats likewise reports only the zero footprint.
+func (e *RouterEngine) PostingsStats() core.PostingsStats { return core.PostingsStats{} }
+
+// ---- index lifecycle ----
+
+// rasterLookup resolves rasters from the router's own holdings.
+func (e *RouterEngine) rasterLookup() func(url string) (*media.Image, bool) {
+	return func(url string) (*media.Image, bool) {
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		img, ok := e.rasters[url]
+		return img, ok
+	}
+}
+
+// BuildContentIndex runs the extraction/clustering pipeline ONCE globally
+// (clustering and collection statistics are global by nature), then fans
+// each shard's slice out as a self-contained full publish under the next
+// tag. The epoch vector advances only when every shard acked.
+func (e *RouterEngine) BuildContentIndex(opts core.IndexOptions) error {
+	e.buildMu.Lock()
+	defer e.buildMu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	order := append([]string(nil), e.order...)
+	imageWords, cb, err := core.RunLocalExtraction(opts, e.rasterLookupLocked(), order)
+	if err != nil {
+		return err
+	}
+
+	annTokens := make([][]string, len(order))
+	imgTerms := make([][]string, len(order))
+	var thDocs []thesaurus.Doc
+	for i, url := range order {
+		ann := e.anns[url]
+		annTokens[i] = ir.Analyze(ann)
+		imgTerms[i] = dedupTerms(imageWords[url])
+		if ann != "" {
+			thDocs = append(thDocs, thesaurus.Doc{Words: annTokens[i], Concepts: imgTerms[i]})
+		}
+	}
+	gsAnn := ir.CollectionStats(annTokens)
+	gsImg := ir.CollectionStats(imgTerms)
+
+	tag := uint64(1)
+	if vec := e.vecPtr.load(); vec != nil {
+		tag = vec.Tag + 1
+	}
+
+	perShard := make([][]string, e.n)
+	words := make([]map[string][]string, e.n)
+	for s := range words {
+		words[s] = map[string][]string{}
+	}
+	for g, url := range order {
+		l := e.locs[g]
+		perShard[l.shard] = append(perShard[l.shard], url)
+		words[l.shard][url] = imageWords[url]
+	}
+
+	if err := e.fanOutPublish(perShard, words, gsAnn, gsImg, cb, true, tag, nil); err != nil {
+		return err
+	}
+
+	// Full ack: commit the global model and publish the vector.
+	for i, url := range order {
+		e.terms[url] = imgTerms[i]
+	}
+	e.codebook = cb
+	e.thes = thesaurus.Build(thDocs)
+	e.vecPtr.store(&epochVector{Tag: tag, Docs: len(order)})
+	return nil
+}
+
+// rasterLookupLocked is rasterLookup for callers already holding e.mu.
+func (e *RouterEngine) rasterLookupLocked() func(url string) (*media.Image, bool) {
+	return func(url string) (*media.Image, bool) {
+		img, ok := e.rasters[url]
+		return img, ok
+	}
+}
+
+// BuildContentIndexDistributed is refused: the router already IS the
+// distributed face; its extraction runs in-process against its own
+// holdings (daemon-backed extraction composes with the in-process
+// engine, not with the router).
+func (e *RouterEngine) BuildContentIndexDistributed(core.IndexOptions, string) error {
+	return fmt.Errorf("dist: the router runs extraction locally; use BuildContentIndex")
+}
+
+// fanOutPublish ships one publish round to every shard primary in
+// parallel. successTh, when non-nil, receives each shard index whose
+// publish acked (refresh uses it to fold thesaurus docs exactly for the
+// slices that landed, mirroring the in-process engine's shared-object
+// behavior under partial failure).
+func (e *RouterEngine) fanOutPublish(perShard [][]string, words []map[string][]string,
+	gsAnn, gsImg *ir.GlobalStats, cb *core.Codebook, full bool, tag uint64, acked func(s int)) error {
+	errs := make([]error, e.n)
+	var wg sync.WaitGroup
+	var ackMu sync.Mutex
+	for s := 0; s < e.n; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			args := core.ShardPublishArgs{
+				URLs: perShard[s], Words: words[s],
+				AnnStats: gsAnn, ImgStats: gsImg,
+				Codebook: cb, Full: full, Tag: tag,
+			}
+			errs[s] = e.callShard(s, true, func(c *core.Client) error {
+				_, err := c.ShardPublish(args)
+				return err
+			})
+			if errs[s] == nil && acked != nil {
+				ackMu.Lock()
+				acked(s)
+				ackMu.Unlock()
+			}
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			return fmt.Errorf("dist: publish shard %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// Refresh incrementally indexes every pending document: frozen-codebook
+// assignment runs router-side over the delta, the collection statistics
+// are recomputed over the full covered prefix (identical to a one-shot
+// build — integer bookkeeping over the same token streams), and every
+// shard republishes under the new statistics and the next tag, EVEN
+// shards with an empty delta (their beliefs must move). The vector
+// advances only on a full ack; a partially applied round is repaired by
+// the next Refresh, which probes per-shard coverage and re-sends only
+// what is missing under a fresh tag.
+func (e *RouterEngine) Refresh() (core.RefreshStats, error) {
+	e.buildMu.Lock()
+	defer e.buildMu.Unlock()
+	var st core.RefreshStats
+
+	vec := e.vecPtr.load()
+	if vec == nil {
+		return st, fmt.Errorf("core: Refresh: %w", core.ErrNotIndexed)
+	}
+
+	// Probe per-shard coverage: a shard that applied a failed round's
+	// slice already covers those documents; re-publishing them would
+	// corrupt its internal set.
+	shardCovered := make([]int, e.n)
+	for s := 0; s < e.n; s++ {
+		var rep *core.ShardStateReply
+		err := e.callShard(s, true, func(c *core.Client) error {
+			var serr error
+			rep, serr = c.ShardState()
+			return serr
+		})
+		if err != nil {
+			return st, fmt.Errorf("dist: probe shard %d: %w", s, err)
+		}
+		shardCovered[s] = rep.Covered
+	}
+
+	e.mu.RLock()
+	orderLen := len(e.order)
+	var pendingURLs []string
+	for g := vec.Docs; g < orderLen; g++ {
+		l := e.locs[g]
+		if l.local >= shardCovered[l.shard] {
+			pendingURLs = append(pendingURLs, e.order[g])
+		}
+	}
+	cb := e.codebook
+	e.mu.RUnlock()
+
+	if orderLen == vec.Docs {
+		st.Docs, st.Epoch = vec.Docs, int64(vec.Tag)
+		return st, nil
+	}
+	if cb == nil {
+		return st, fmt.Errorf("dist: Refresh needs the frozen feature codebook; run BuildContentIndex once")
+	}
+	assigned, err := core.AssignLocalExtraction(cb, e.rasterLookup(), pendingURLs)
+	if err != nil {
+		return st, err
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// Commit the delta's terms before fanning out: a shard publish that
+	// lands makes those documents servable, and the router must be able
+	// to answer ContentTerms/session queries about them even if the round
+	// as a whole fails.
+	for _, url := range pendingURLs {
+		e.terms[url] = dedupTerms(assigned[url])
+	}
+
+	// Recompute the global statistics from scratch over the full covered
+	// prefix — same token streams as a one-shot build, so beliefs are
+	// identical to the in-process engine's running bookkeeping.
+	annTokens := make([][]string, orderLen)
+	imgTerms := make([][]string, orderLen)
+	for g := 0; g < orderLen; g++ {
+		url := e.order[g]
+		annTokens[g] = ir.Analyze(e.anns[url])
+		imgTerms[g] = e.terms[url]
+	}
+	gsAnn := ir.CollectionStats(annTokens)
+	gsImg := ir.CollectionStats(imgTerms)
+
+	// Group the per-shard deltas (global order ⇒ ascending shard-local
+	// positions) and collect the thesaurus docs each slice carries.
+	perShard := make([][]string, e.n)
+	words := make([]map[string][]string, e.n)
+	thDocsByShard := make([][]thesaurus.Doc, e.n)
+	for s := range words {
+		words[s] = map[string][]string{}
+	}
+	for g := vec.Docs; g < orderLen; g++ {
+		url := e.order[g]
+		l := e.locs[g]
+		if l.local < shardCovered[l.shard] {
+			continue
+		}
+		perShard[l.shard] = append(perShard[l.shard], url)
+		words[l.shard][url] = assigned[url]
+		if ann := e.anns[url]; ann != "" {
+			thDocsByShard[l.shard] = append(thDocsByShard[l.shard],
+				thesaurus.Doc{Words: ir.Analyze(ann), Concepts: e.terms[url]})
+		}
+	}
+
+	tag := vec.Tag + 1
+	ferr := e.fanOutPublish(perShard, words, gsAnn, gsImg, nil, false, tag, func(s int) {
+		// Mirror the in-process shared thesaurus: docs whose shard publish
+		// landed are learnt even if the round fails elsewhere (the repair
+		// round skips them via the coverage probe).
+		if e.thes != nil {
+			e.thes.AddDocs(thDocsByShard[s])
+		}
+	})
+	if ferr != nil {
+		return st, ferr
+	}
+	e.vecPtr.store(&epochVector{Tag: tag, Docs: orderLen})
+	st.NewDocs, st.Docs, st.Epoch = len(pendingURLs), orderLen, int64(tag)
+	return st, nil
+}
+
+// ---- scatter-gather queries ----
+
+// queryShards fans one tag-pinned query leg to every shard with shared
+// rising-threshold pruning: each leg is seeded with the threshold height
+// at send time, and every reply's reached threshold raises it for legs
+// still to be sent (retries, stragglers). Pruning-only — the threshold
+// never exceeds the global k-th best score, so results stay exact.
+func (e *RouterEngine) queryShards(tag uint64, k int, build func(floor float64) core.ShardQueryArgs) ([]*core.ShardQueryReply, error) {
+	theta := bat.NewTopKThreshold()
+	reps := make([]*core.ShardQueryReply, e.n)
+	errs := make([]error, e.n)
+	var wg sync.WaitGroup
+	for s := 0; s < e.n; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			errs[s] = e.callShard(s, false, func(c *core.Client) error {
+				args := build(theta.Load())
+				args.Tag, args.K = tag, k
+				rep, err := c.ShardQuery(args)
+				if err != nil {
+					return err
+				}
+				reps[s] = rep
+				return nil
+			})
+			if errs[s] == nil && k > 0 {
+				theta.Raise(reps[s].Theta)
+			}
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: shard %d: %w", s, err)
+		}
+	}
+	return reps, nil
+}
+
+// gatherHits merges per-shard hit legs exactly like the in-process
+// engine: bounded top-k union for k > 0 (legs arrive ranked and cut),
+// full concatenation sorted by the ranked-retrieval order otherwise.
+func (e *RouterEngine) gatherHits(vec *epochVector, kind, text string, terms []string, k int) ([]core.Hit, error) {
+	if vec == nil {
+		return nil, core.ErrNotIndexed
+	}
+	reps, err := e.queryShards(vec.Tag, k, func(floor float64) core.ShardQueryArgs {
+		return core.ShardQueryArgs{Kind: kind, Text: text, Terms: terms, ThetaFloor: floor}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if k > 0 {
+		merged := bat.NewBoundedTopK(k, core.HitWorse)
+		for _, rep := range reps {
+			for i := range rep.OIDs {
+				merged.Offer(core.Hit{OID: bat.OID(rep.OIDs[i]), URL: rep.URLs[i], Score: rep.Scores[i]})
+			}
+		}
+		return merged.Ranked(), nil
+	}
+	var all []core.Hit
+	for _, rep := range reps {
+		for i := range rep.OIDs {
+			all = append(all, core.Hit{OID: bat.OID(rep.OIDs[i]), URL: rep.URLs[i], Score: rep.Scores[i]})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return core.HitWorse(all[j], all[i]) })
+	return all, nil
+}
+
+// QueryAnnotations ranks the whole collection against a free-text query.
+func (e *RouterEngine) QueryAnnotations(text string, k int) ([]core.Hit, error) {
+	hits, _, err := e.QueryAnnotationsStamped(text, k)
+	return hits, err
+}
+
+// QueryAnnotationsStamped is QueryAnnotations plus the epoch-vector stamp.
+func (e *RouterEngine) QueryAnnotationsStamped(text string, k int) ([]core.Hit, core.EpochStamp, error) {
+	vec := e.vecPtr.load()
+	if vec == nil {
+		return nil, core.EpochStamp{}, core.ErrNotIndexed
+	}
+	hits, err := e.gatherHits(vec, "ann", text, nil, k)
+	return hits, vec.stamp(), err
+}
+
+// QueryContent ranks by image content given cluster words.
+func (e *RouterEngine) QueryContent(clusterWords []string, k int) ([]core.Hit, error) {
+	return e.gatherHits(e.vecPtr.load(), "content", "", clusterWords, k)
+}
+
+// QueryDualCoding combines annotation and content evidence; both legs
+// read one pinned epoch vector.
+func (e *RouterEngine) QueryDualCoding(text string, k int) ([]core.Hit, error) {
+	hits, _, err := e.QueryDualCodingStamped(text, k)
+	return hits, err
+}
+
+// QueryDualCodingStamped is QueryDualCoding plus the pinned vector stamp.
+func (e *RouterEngine) QueryDualCodingStamped(text string, k int) ([]core.Hit, core.EpochStamp, error) {
+	vec := e.vecPtr.load()
+	if vec == nil {
+		return nil, core.EpochStamp{}, core.ErrNotIndexed
+	}
+	hits, err := core.QueryDualCodingSite(routerSite{e: e, pin: vec}, text, k)
+	return hits, vec.stamp(), err
+}
+
+func (v *epochVector) stamp() core.EpochStamp {
+	return core.EpochStamp{Seq: int64(v.Tag), Docs: v.Docs}
+}
+
+// Query runs a raw Moa query across all shards (see QueryTopK).
+func (e *RouterEngine) Query(src string, queryTerms []string) (*moa.Result, error) {
+	return e.QueryTopK(src, queryTerms, 0)
+}
+
+// QueryTopK runs a raw Moa query on every shard and merges set-typed
+// results under global OIDs, exactly like the in-process engine: ranked
+// bounded merge for k > 0, ascending-OID concatenation otherwise.
+func (e *RouterEngine) QueryTopK(src string, queryTerms []string, k int) (*moa.Result, error) {
+	res, _, err := e.QueryTopKStamped(src, queryTerms, k)
+	return res, err
+}
+
+// QueryTopKStamped is QueryTopK plus the epoch-vector stamp. Unlike the
+// in-process engine there is no pre-index live fallback: an unindexed
+// router has no epoch to pin, so Moa queries return ErrNotIndexed until
+// the first build (browse a shard daemon directly instead).
+func (e *RouterEngine) QueryTopKStamped(src string, queryTerms []string, k int) (*moa.Result, core.EpochStamp, error) {
+	vec := e.vecPtr.load()
+	if vec == nil {
+		return nil, core.EpochStamp{}, core.ErrNotIndexed
+	}
+	reps, err := e.queryShards(vec.Tag, k, func(floor float64) core.ShardQueryArgs {
+		return core.ShardQueryArgs{Kind: "moa", Text: src, Terms: queryTerms, ThetaFloor: floor}
+	})
+	if err != nil {
+		return nil, vec.stamp(), err
+	}
+	rows := func(rep *core.ShardQueryReply) []moa.Row {
+		out := make([]moa.Row, len(rep.OIDs))
+		for i := range rep.OIDs {
+			out[i] = moa.Row{OID: bat.OID(rep.OIDs[i]), Value: rep.Values[i]}
+			if rep.Numeric || (i < len(rep.Floats) && rep.Floats[i]) {
+				out[i].Value = rep.Scores[i]
+			}
+		}
+		return out
+	}
+	out := &moa.Result{}
+	if k > 0 {
+		merged := bat.NewBoundedTopK(k, moa.RowWorse)
+		for _, rep := range reps {
+			for _, row := range rows(rep) {
+				merged.Offer(row)
+			}
+		}
+		out.Rows = merged.Ranked()
+		out.Ranked = true
+		return out, vec.stamp(), nil
+	}
+	for _, rep := range reps {
+		out.Rows = append(out.Rows, rows(rep)...)
+	}
+	sort.Slice(out.Rows, func(i, j int) bool { return out.Rows[i].OID < out.Rows[j].OID })
+	return out, vec.stamp(), nil
+}
+
+// ---- sessions and feedback ----
+
+// routerSite adapts the router to core.SessionSite so feedback sessions
+// and dual-coding retrieval run core's OWN combination arithmetic over
+// the networked scatter — which is what keeps their results bit-identical
+// to a single store's. pin == nil reads the current vector per call
+// (sessions span publishes, like the in-process engine's); a non-nil pin
+// holds one vector for multi-leg reads.
+type routerSite struct {
+	e   *RouterEngine
+	pin *epochVector
+}
+
+func (s routerSite) vec() *epochVector {
+	if s.pin != nil {
+		return s.pin
+	}
+	return s.e.vecPtr.load()
+}
+
+func (s routerSite) URLOf(oid uint64) string { return s.e.urlOf(oid) }
+
+func (s routerSite) QueryAnnotations(text string, k int) ([]core.Hit, error) {
+	return s.e.gatherHits(s.vec(), "ann", text, nil, k)
+}
+
+func (s routerSite) QueryContent(clusterWords []string, k int) ([]core.Hit, error) {
+	return s.e.gatherHits(s.vec(), "content", "", clusterWords, k)
+}
+
+func (s routerSite) ExpandQuery(text string, topK int) []string {
+	return s.e.ExpandQuery(text, topK)
+}
+
+// WeightedContentScores scatters the weighted-sum scoring and unions the
+// per-shard maps (shards are disjoint under global OIDs).
+func (s routerSite) WeightedContentScores(terms []string, weights []float64) (ir.Scores, error) {
+	vec := s.vec()
+	if vec == nil {
+		return nil, core.ErrNotIndexed
+	}
+	reps, err := s.e.queryShards(vec.Tag, 0, func(float64) core.ShardQueryArgs {
+		return core.ShardQueryArgs{Kind: "wsum", Terms: terms, Weights: weights}
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := ir.NewScores() // ownership transfers to the caller
+	for _, rep := range reps {
+		for i := range rep.OIDs {
+			merged[rep.OIDs[i]] = rep.Scores[i]
+		}
+	}
+	return merged, nil
+}
+
+func (s routerSite) ContentTerms(oid uint64) []string { return s.e.ContentTerms(bat.OID(oid)) }
+
+func (s routerSite) Thesaurus() *thesaurus.Thesaurus { return s.e.Thesaurus() }
+
+func (s routerSite) RequireIndex() error {
+	if s.vec() == nil {
+		return core.ErrNotIndexed
+	}
+	return nil
+}
+
+// ReinforceLogged applies feedback to the router's thesaurus (what its
+// query expansion reads) and WAL-logs it on shard 0's primary — the
+// durable authority, mirroring the in-process engine's routing.
+func (s routerSite) ReinforceLogged(words, concepts []string, relevant bool) error {
+	s.e.mu.Lock()
+	if s.e.thes != nil {
+		s.e.thes.Reinforce(words, concepts, relevant)
+	}
+	s.e.mu.Unlock()
+	return s.e.callShard(0, true, func(c *core.Client) error {
+		return c.Reinforce(words, concepts, relevant)
+	})
+}
+
+// NewSession starts a relevance-feedback session over the distributed
+// collection; judgments arrive as global OIDs (what hits carry).
+func (e *RouterEngine) NewSession(text string) (*core.Session, error) {
+	return core.NewSessionFor(routerSite{e: e}, text)
+}
+
+// dedupTerms sort-dedups a term list (the shard-insert normal form).
+func dedupTerms(in []string) []string {
+	out := append([]string(nil), in...)
+	sort.Strings(out)
+	n := 0
+	for i, t := range out {
+		if i == 0 || t != out[i-1] {
+			out[n] = t
+			n++
+		}
+	}
+	return out[:n]
+}

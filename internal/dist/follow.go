@@ -1,0 +1,79 @@
+package dist
+
+import (
+	"fmt"
+	"time"
+
+	"mirror/internal/core"
+)
+
+// FollowOnce pulls and applies every replication record currently
+// available from the primary at addr into the follower store m. It
+// resumes from the follower's durable stream cursor, falls back to a
+// full resync when the primary cannot serve that cursor (restarted
+// primary, torn stream tail), and returns the number of records applied.
+//
+// Safe to call repeatedly — it is the catch-up step the follower daemon
+// runs in a loop, and what tests call directly for deterministic drills.
+func FollowOnce(m *core.Mirror, addr string, timeout time.Duration) (int, error) {
+	c, err := core.DialMirrorTimeout(addr, timeout)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	if timeout > 0 {
+		c.SetCallTimeout(timeout)
+	}
+
+	nonce, pos := m.ReplState()
+	applied := 0
+	for {
+		rep, err := c.WALShip(nonce, pos)
+		if err != nil {
+			return applied, err
+		}
+		if rep.Resync {
+			// The primary cannot serve our cursor (it restarted, or our
+			// position lies beyond its stream). Pull a full resync; it
+			// converges from any follower state.
+			sync, err := c.ShardSync()
+			if err != nil {
+				return applied, err
+			}
+			if err := m.ApplyGenesis(sync.Recs, sync.Nonce, sync.Pos); err != nil {
+				return applied, fmt.Errorf("dist: apply resync from %s: %w", addr, err)
+			}
+			applied += len(sync.Recs)
+			nonce, pos = sync.Nonce, sync.Pos
+			continue
+		}
+		if len(rep.Recs) == 0 {
+			return applied, nil
+		}
+		if err := m.ApplyShipped(rep.Recs, pos, rep.Nonce); err != nil {
+			return applied, fmt.Errorf("dist: apply shipped records from %s: %w", addr, err)
+		}
+		applied += len(rep.Recs)
+		nonce, pos = rep.Nonce, rep.Next
+	}
+}
+
+// Follow runs the follower loop: catch up against the primary, sleep,
+// repeat. Transient errors (primary down, mid-ship kill) are retried on
+// the next tick — the follower keeps serving reads at its last applied
+// published epoch throughout. Returns when stop is closed.
+func Follow(m *core.Mirror, addr string, interval, timeout time.Duration, stop <-chan struct{}) {
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		_, _ = FollowOnce(m, addr, timeout) // transient; retried next tick
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+	}
+}

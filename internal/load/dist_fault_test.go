@@ -1,0 +1,175 @@
+package load
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mirror/internal/core"
+)
+
+// distRig is a live distributed harness: the shared rig substrate with a
+// supervised router + shard member cluster standing where the single
+// daemon would. testRig's ingest/settle/stats drive the router address,
+// so the single-topology assertions apply verbatim.
+type distRig struct {
+	*testRig
+	cl *distCluster
+}
+
+// newDistRig boots a shards x replicas cluster with the spec's preload
+// routed, indexed and published.
+func newDistRig(t *testing.T, shards, replicas int) *distRig {
+	t.Helper()
+	r, dictAddr := newRigBase(t, shards)
+	cl, err := startDistCluster(Options{
+		Bin: mirrordBin, StoreDir: r.store, Shards: shards, Replicas: replicas,
+	}, dictAddr, r.sc.BaseURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.KillAll)
+	r.d, r.addr = cl.Router, cl.RouterAddr
+	return &distRig{testRig: r, cl: cl}
+}
+
+// Every distributed crash-matrix fault must land its victim in an
+// intended recovery branch, leave the replicas convergent, and bring the
+// cluster back to answers the oracle accepts — zero violations.
+func TestDistributedFaultDrills(t *testing.T) {
+	tests := []struct {
+		name  string
+		fault Fault
+		check func(t *testing.T, rep *FaultReport, victimOut string)
+	}{
+		// A primary SIGKILLed with a scatter-gather leg in flight: the
+		// restarted member must replay its WAL-synced store (no torn
+		// tail — the kill is a crash, not a power cut) and rejoin.
+		{"kill-shard-during-query", FaultKillShardDuringQuery,
+			func(t *testing.T, rep *FaultReport, out string) {
+				if rep.TornTailSeen {
+					t.Fatalf("unexpected torn-tail warning:\n%s", out)
+				}
+				if !strings.Contains(out, "mirrord: shard store") {
+					t.Fatalf("restart skipped the shard store recovery banner:\n%s", out)
+				}
+			}},
+		// A primary killed while the router fans out a publish round:
+		// the epoch vector only advances on a full ack, so recovery plus
+		// the settle refresh must re-publish and converge.
+		{"kill-shard-during-refresh", FaultKillShardDuringRefresh,
+			func(t *testing.T, rep *FaultReport, out string) {
+				if rep.TornTailSeen {
+					t.Fatalf("unexpected torn-tail warning:\n%s", out)
+				}
+				if !strings.Contains(out, "mirrord: shard store") {
+					t.Fatalf("restart skipped the shard store recovery banner:\n%s", out)
+				}
+			}},
+		// A primary killed mid-checkpoint: the previous manifest reopens
+		// (member checkpoints publish atomically) and the WAL replays.
+		{"kill-shard-during-checkpoint", FaultKillShardDuringCheckpoint,
+			func(t *testing.T, rep *FaultReport, out string) {
+				if rep.TornTailSeen {
+					t.Fatalf("unexpected torn-tail warning:\n%s", out)
+				}
+				if !strings.Contains(out, "mirrord: shard store") {
+					t.Fatalf("restart skipped the shard store recovery banner:\n%s", out)
+				}
+			}},
+		// A follower's shipped WAL torn on disk: recovery must truncate
+		// to the last consistent record, warn loudly, and the follow
+		// loop's resync path must re-converge onto the primary.
+		{"torn-follower-wal", FaultTornFollowerWAL,
+			func(t *testing.T, rep *FaultReport, out string) {
+				if !rep.WALTorn {
+					t.Fatal("injector reported no WAL surgery")
+				}
+				if !rep.TornTailSeen || !strings.Contains(out, "truncated a torn WAL tail") {
+					t.Fatalf("recovery did not log the torn-tail warning:\n%s", out)
+				}
+			}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			rig := newDistRig(t, 2, 2)
+			rig.ingest(t, 4) // WAL records beyond the startup publish
+			rig.settle(t)
+			if err := rig.cl.awaitReplication(30 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+
+			victim := rig.cl.Primaries[0]
+			if tc.fault == FaultTornFollowerWAL {
+				victim = rig.cl.Followers[0][0]
+			}
+			mark := len(victim.Output())
+			rep, err := InjectDist(rig.cl, tc.fault, rig.sc.Queries[0].Text)
+			if err != nil {
+				t.Fatalf("inject %s: %v", tc.fault, err)
+			}
+			if rep.Fault != tc.fault || rep.Downtime <= 0 {
+				t.Fatalf("bad report: %+v", rep)
+			}
+			if !victim.Running() {
+				t.Fatal("victim not running after recovery")
+			}
+			tc.check(t, rep, victim.Output()[mark:])
+
+			// Convergence: replicas identical again, the router current
+			// over everything ingested, and a stamped answer the oracle
+			// accepts — the end-to-end exactness invariant, post-fault.
+			if err := rig.cl.awaitReplication(30 * time.Second); err != nil {
+				t.Fatalf("replicas diverged after %s: %v", tc.fault, err)
+			}
+			st := rig.settle(t)
+			if st.Epoch == 0 || st.EpochDocs != rig.ingested {
+				t.Fatalf("bad post-recovery state: %+v", st)
+			}
+		})
+	}
+}
+
+// While a shard primary is down, the router must degrade to the shard's
+// follower: ranked queries keep answering at the pinned epoch — exactly,
+// per the oracle — and the primary resumes its role once restarted.
+func TestRouterDegradesToFollower(t *testing.T) {
+	rig := newDistRig(t, 2, 2)
+	rig.ingest(t, 4)
+	rig.settle(t)
+	if err := rig.cl.awaitReplication(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := rig.cl.Primaries[0].Kill(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.DialMirror(rig.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, q := range rig.sc.Queries[:4] {
+		reply, err := c.TextQueryStamped(q.Text, 10, false)
+		if err != nil {
+			t.Fatalf("degraded query %q: %v", q.Text, err)
+		}
+		if reply.EpochDocs != rig.ingested {
+			t.Fatalf("degraded stamp covers %d docs, want %d", reply.EpochDocs, rig.ingested)
+		}
+		if err := rig.oracle.VerifyHits(reply.EpochDocs, q.Text, 10, reply.Hits); err != nil {
+			t.Fatalf("oracle violation while degraded: %v", err)
+		}
+	}
+
+	if err := rig.cl.Primaries[0].Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.cl.Primaries[0].WaitServing(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	st := rig.settle(t)
+	if st.EpochDocs != rig.ingested {
+		t.Fatalf("post-failback state: %+v", st)
+	}
+}

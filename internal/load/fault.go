@@ -34,11 +34,43 @@ const (
 	// "truncated a torn WAL tail" warning; the dropped suffix is
 	// re-ingested from the media server by the startup crawl.
 	FaultTornWAL Fault = "torn-wal"
+
+	// FaultKillShardDuringQuery SIGKILLs a networked shard primary while
+	// a scatter-gather query is in flight through the router. The router
+	// must fail the leg over to the shard's follower (or report a typed
+	// error), and the restarted primary must recover its store and rejoin.
+	FaultKillShardDuringQuery Fault = "kill-shard-during-query"
+
+	// FaultKillShardDuringRefresh SIGKILLs a shard primary while the
+	// router is fanning out a publish round. The epoch vector only
+	// advances on a full ack, so the surviving epoch keeps serving and a
+	// later refresh re-publishes the round.
+	FaultKillShardDuringRefresh Fault = "kill-shard-during-refresh"
+
+	// FaultKillShardDuringCheckpoint SIGKILLs a shard primary while the
+	// router's checkpoint fan-out is writing its store. Checkpoints
+	// publish atomically per member, so recovery reopens the previous
+	// manifest and replays the intact WAL.
+	FaultKillShardDuringCheckpoint Fault = "kill-shard-during-checkpoint"
+
+	// FaultTornFollowerWAL SIGKILLs a replication follower and tears the
+	// WAL its shipped stream was persisted into. The restarted follower
+	// must truncate the torn tail, then converge back onto the primary's
+	// published epoch through the resync path.
+	FaultTornFollowerWAL Fault = "torn-follower-wal"
 )
 
-// AllFaults lists every injectable fault, in injection order.
+// AllFaults lists every single-daemon injectable fault, in injection order.
 func AllFaults() []Fault {
 	return []Fault{FaultKillDuringPublish, FaultKillDuringCheckpoint, FaultTornWAL}
+}
+
+// AllDistFaults lists every distributed-topology fault, in injection order.
+func AllDistFaults() []Fault {
+	return []Fault{
+		FaultKillShardDuringQuery, FaultKillShardDuringRefresh,
+		FaultKillShardDuringCheckpoint, FaultTornFollowerWAL,
+	}
 }
 
 // FaultReport records what one injection did and what recovery looked like.

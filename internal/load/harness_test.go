@@ -55,9 +55,11 @@ type testRig struct {
 	ingested int // documents known to media server + oracle
 }
 
-// newRig boots a rig with the spec's preload indexed and checkpointed.
-// shards <= 1 runs a standalone store, else a sharded one.
-func newRig(t *testing.T, shards int) *testRig {
+// newRigBase boots the shared substrate every rig shape needs — the data
+// dictionary, the media server with the preload, and the shadow oracle —
+// without starting any daemon. Returns the rig shell and the dictionary
+// address the daemons register with.
+func newRigBase(t *testing.T, shards int) (*testRig, string) {
 	t.Helper()
 	dictAddr, stopDict, err := dict.Start("127.0.0.1:0")
 	if err != nil {
@@ -92,13 +94,21 @@ func newRig(t *testing.T, shards int) *testRig {
 	srv := &http.Server{Handler: r.media}
 	go srv.Serve(l)
 	t.Cleanup(func() { srv.Close() })
+	return r, dictAddr
+}
 
+// newRig boots a rig with the spec's preload indexed and checkpointed.
+// shards <= 1 runs a standalone store, else a sharded one.
+func newRig(t *testing.T, shards int) *testRig {
+	t.Helper()
+	r, dictAddr := newRigBase(t, shards)
+	var err error
 	r.addr, err = freeAddr()
 	if err != nil {
 		t.Fatal(err)
 	}
 	args := []string{
-		"-dict", dictAddr, "-media", base, "-addr", r.addr,
+		"-dict", dictAddr, "-media", r.sc.BaseURL, "-addr", r.addr,
 		"-store", r.store, "-local-pipeline", "-wal-sync",
 		"-refresh-every", "0", "-checkpoint-every", "0",
 	}

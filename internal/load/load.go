@@ -22,7 +22,8 @@ type Options struct {
 	Bin      string // mirrord binary to supervise
 	StoreDir string // daemon -store directory (fresh per run)
 	Shards   int    // <=1: single store; else sharded topology
-	Topology string // report label; derived from Shards when empty
+	Replicas int    // >0: networked router over Shards shard daemons with this many stores each
+	Topology string // report label; derived from Shards/Replicas when empty
 
 	Duration        time.Duration // steady-state workload window
 	QueryWorkers    int
@@ -36,13 +37,19 @@ type Options struct {
 }
 
 func (o *Options) defaults() {
+	if o.Replicas > 0 && o.Shards < 1 {
+		o.Shards = 1
+	}
 	if o.Shards > 1 {
 		o.Spec.Shards = o.Shards
 	}
 	if o.Topology == "" {
-		if o.Shards > 1 {
+		switch {
+		case o.Replicas > 0:
+			o.Topology = fmt.Sprintf("distributed-%dx%d", o.Shards, o.Replicas)
+		case o.Shards > 1:
 			o.Topology = fmt.Sprintf("sharded-%d", o.Shards)
-		} else {
+		default:
 			o.Topology = "single"
 		}
 	}
@@ -205,6 +212,10 @@ func Run(o Options) (*TopologyReport, error) {
 	go srv.Serve(l)
 	defer srv.Close()
 
+	if o.Replicas > 0 {
+		return runDistributed(o, sc, oracle, media, dictAddr)
+	}
+
 	addr, err := freeAddr()
 	if err != nil {
 		return nil, err
@@ -228,9 +239,31 @@ func Run(o Options) (*TopologyReport, error) {
 	}
 
 	met := newMetrics()
-	stop := make(chan struct{})
-	var wg sync.WaitGroup
+	stop, wg := startWorkers(o, sc, media, oracle, addr, met)
 
+	faults, err := faultWindow(o, stop, wg, func(f Fault) (*FaultReport, error) {
+		return Inject(d, f, o.StoreDir)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	st, err := quiesce(o, sc, oracle, addr, met)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Stop(30 * time.Second); err != nil {
+		return nil, fmt.Errorf("load: shutdown: %w", err)
+	}
+	return buildReport(o, met, faults, st)
+}
+
+// startWorkers launches the closed-loop workload against one RPC address
+// (a standalone daemon or the distributed router — same surface either
+// way), returning the stop channel and waitgroup that control it.
+func startWorkers(o Options, sc *Scenario, media *mediaserver.Server, oracle *core.Oracle, addr string, met *metrics) (chan struct{}, *sync.WaitGroup) {
+	stop := make(chan struct{})
+	wg := &sync.WaitGroup{}
 	for i := 0; i < o.QueryWorkers; i++ {
 		wg.Add(1)
 		go func(i int) {
@@ -262,9 +295,13 @@ func Run(o Options) (*TopologyReport, error) {
 		tickWorker("checkpoint", o.CheckpointEvery, addr, met, stop,
 			func(c *core.Client) error { _, err := c.Checkpoint(); return err })
 	}()
+	return stop, wg
+}
 
-	// Fault schedule: evenly spaced through the workload window, with the
-	// window's remainder served out after the last recovery.
+// faultWindow serves the steady-state window with faults injected at
+// evenly spaced points (the window's remainder runs out after the last
+// recovery), then stops the workers. The injector is topology-specific.
+func faultWindow(o Options, stop chan struct{}, wg *sync.WaitGroup, inject func(Fault) (*FaultReport, error)) ([]*FaultReport, error) {
 	faults := make([]*FaultReport, 0, len(o.Faults))
 	start := time.Now()
 	for i, f := range o.Faults {
@@ -273,7 +310,7 @@ func Run(o Options) (*TopologyReport, error) {
 			time.Sleep(wait)
 		}
 		o.Logf("load[%s]: injecting fault %s", o.Topology, f)
-		fr, err := Inject(d, f, o.StoreDir)
+		fr, err := inject(f)
 		if err != nil {
 			close(stop)
 			wg.Wait()
@@ -288,18 +325,15 @@ func Run(o Options) (*TopologyReport, error) {
 	}
 	close(stop)
 	wg.Wait()
+	return faults, nil
+}
 
-	st, err := quiesce(o, sc, oracle, addr, met)
-	if err != nil {
-		return nil, err
-	}
-	if err := d.Stop(30 * time.Second); err != nil {
-		return nil, fmt.Errorf("load: shutdown: %w", err)
-	}
-
+// buildReport folds the run's metrics into the topology report, failing
+// the run if the oracle ever disagreed with a served answer.
+func buildReport(o Options, met *metrics, faults []*FaultReport, st *core.StatsReply) (*TopologyReport, error) {
 	rep := &TopologyReport{
 		Topology:   o.Topology,
-		Spec:       spec,
+		Spec:       o.Spec,
 		Ops:        map[string]OpReport{},
 		Faults:     faults,
 		FinalDocs:  st.EpochDocs,

@@ -88,13 +88,24 @@ func (d *Daemon) Running() bool {
 // with a published index, or the timeout expires (returning the captured
 // output in the error, so startup failures diagnose themselves).
 func (d *Daemon) WaitReady(timeout time.Duration) error {
+	return d.waitStats(timeout, true)
+}
+
+// WaitServing blocks until the RPC surface answers Stats at all, indexed
+// or not. Networked shard members boot empty — the router owns the index
+// lifecycle — so their readiness is "serving", not "published".
+func (d *Daemon) WaitServing(timeout time.Duration) error {
+	return d.waitStats(timeout, false)
+}
+
+func (d *Daemon) waitStats(timeout time.Duration, needIndexed bool) error {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
 		c, err := core.DialMirror(d.Addr)
 		if err == nil {
 			st, err := c.Stats()
 			c.Close()
-			if err == nil && st.Indexed {
+			if err == nil && (st.Indexed || !needIndexed) {
 				return nil
 			}
 		}
