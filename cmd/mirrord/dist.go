@@ -81,6 +81,7 @@ func runShardMember(join, follow, name, dictAddr, addr string, fl memberFlags) {
 		m.EnableShipping()
 	}
 	setResultCache(m, fl.cacheBytes)
+	setThetaMemo(m, fl.thetaMemoN)
 
 	bound, stop, err := core.ServeAs(m, addr, dictAddr, "mirror-shard", regName)
 	if err != nil {
@@ -130,6 +131,7 @@ type memberFlags struct {
 	codec      string
 	ckptEvery  time.Duration
 	cacheBytes int64
+	thetaMemoN int
 }
 
 // runRouter serves the distributed router: discover the shard daemons
@@ -139,11 +141,12 @@ type memberFlags struct {
 // surface. The router holds no store of its own — durability lives with
 // the shard members; a restarted router re-crawls (deterministic order)
 // and converges on the shards' surviving state.
-func runRouter(replicas int, dictAddr, mediaURL, addr string, refrEvery time.Duration) {
-	e, err := dist.Discover(dictAddr, dist.Options{})
+func runRouter(replicas int, dictAddr, mediaURL, addr string, refrEvery time.Duration, thetaMemoN int, noThetaStream bool) {
+	e, err := dist.Discover(dictAddr, dist.Options{NoThetaStream: noThetaStream})
 	if err != nil {
 		log.Fatalf("mirrord: %v", err)
 	}
+	setThetaMemo(e, thetaMemoN)
 	if min := e.MinReplicas(); min < replicas {
 		log.Fatalf("mirrord: -replicas %d: a shard has only %d replicas registered", replicas, min)
 	}

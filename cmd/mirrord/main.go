@@ -52,6 +52,9 @@ func main() {
 		refrEvery = flag.Duration("refresh-every", 0, "incrementally index newly ingested documents on this interval, publishing a fresh snapshot epoch (0 = only via the Mirror.Refresh RPC); queries are never blocked by a refresh")
 
 		cacheBytes = flag.Int64("query-cache", 64<<20, "bytes of epoch-keyed query result cache (0 disables); entries are invalidated automatically when a refresh/recovery publishes a new epoch")
+		thetaMemoN = flag.Int("theta-memo", 8192, "entries of epoch-keyed threshold memo: repeat ranked queries reopen their pruned scan with the previous run's terminal k-th score, turning them into near-pure block-directory walks (0 disables; pruning-only, results are unaffected)")
+
+		noThetaStream = flag.Bool("no-theta-stream", false, "with -replicas: restrict scatter pruning to send-time threshold floors instead of streaming the router's rising bound into in-flight shard scans (pruning-only either way; for A/B measurement)")
 
 		join     = flag.String("join", "", "serve as networked shard member \"i/N\" of a distributed layout (the router owns the index lifecycle; no crawl)")
 		follow   = flag.String("follow", "", "with -join: run as a replication follower of the shard primary at this address, replaying its WAL-shipped stream")
@@ -72,13 +75,14 @@ func main() {
 		log.Fatal("mirrord: -follow needs -join \"i/N\" to state which shard it mirrors")
 	}
 	if *replicas > 0 {
-		runRouter(*replicas, *dictAddr, *mediaURL, *addr, *refrEvery)
+		runRouter(*replicas, *dictAddr, *mediaURL, *addr, *refrEvery, *thetaMemoN, *noThetaStream)
 		return
 	}
 	if *join != "" {
 		runShardMember(*join, *follow, *name, *dictAddr, *addr, memberFlags{
 			storeDir: *storeDir, walSync: *walSync, verify: *verify, noMmap: *noMmap,
 			codec: *codec, ckptEvery: *ckptEvery, cacheBytes: *cacheBytes,
+			thetaMemoN: *thetaMemoN,
 		})
 		return
 	}
@@ -107,6 +111,7 @@ func main() {
 		r = m
 	}
 	setResultCache(r, *cacheBytes)
+	setThetaMemo(r, *thetaMemoN)
 
 	// A fully indexed, current recovered store serves immediately.
 	// Anything else — fresh store, no store, a store recovered from a
@@ -301,5 +306,15 @@ func setResultCache(r core.Retriever, maxBytes int64) {
 	type cacheSetter interface{ SetResultCache(int64) }
 	if cs, ok := r.(cacheSetter); ok {
 		cs.SetResultCache(maxBytes)
+	}
+}
+
+// setThetaMemo sizes (or disables) the epoch-keyed threshold memo for
+// either retriever shape. The constructor default matches the flag
+// default, so this only acts when the operator overrides it.
+func setThetaMemo(r core.Retriever, maxEntries int) {
+	type memoSetter interface{ SetThetaMemo(int) }
+	if ms, ok := r.(memoSetter); ok {
+		ms.SetThetaMemo(maxEntries)
 	}
 }

@@ -42,6 +42,7 @@ func run(args []string, stdout io.Writer) error {
 		seed = fs.Int64("seed", 1, "generator seed")
 		rate = fs.Float64("annotate", 0.7, "fraction of annotated images")
 		out  = fs.String("out", "corpus", "output directory (corpus mode)")
+		cz   = fs.Float64("class-zipf", 0, "draw latent classes zipf-weighted with this exponent (> 1; 0 = uniform) — skews term document frequencies and belief spreads like real collections, the regime where threshold pruning acts")
 
 		scenario = fs.String("scenario", "", "write a load-test scenario as JSON to this path instead of a corpus directory")
 		base     = fs.String("base", "http://mediaserver", "base URL the scenario's document URLs and shard routing hash against")
@@ -81,7 +82,7 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
-	cfg := corpus.Config{N: *n, W: *w, H: *h, Seed: *seed, AnnotateRate: *rate}
+	cfg := corpus.Config{N: *n, W: *w, H: *h, Seed: *seed, AnnotateRate: *rate, ClassZipf: *cz}
 	items := corpus.Generate(cfg)
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		return err

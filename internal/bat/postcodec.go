@@ -118,6 +118,14 @@ func appendPacked(dst []byte, vals []uint64, width int) []byte {
 
 // unpackInto decodes n values of width bits (LSB-first) from data into
 // out, returning the number of bytes consumed or an error on overrun.
+//
+// This is the bitpack scan kernel: instead of feeding a byte-at-a-time
+// accumulator (a data-dependent inner loop per value), each value is
+// extracted from one unaligned 64-bit little-endian load at its bit
+// offset — valid because bitOff%8 + width ≤ 7 + 57 = 64 for the ≤ 56
+// bit widths the encoder emits. The bounds check is hoisted: values
+// whose 8-byte window fits inside data decode in the branch-free loop,
+// the last few fall through to a byte-assembling tail.
 func unpackInto(data []byte, n, width int, out []uint64) (int, error) {
 	if width == 0 {
 		for i := 0; i < n; i++ {
@@ -129,22 +137,31 @@ func unpackInto(data []byte, n, width int, out []uint64) (int, error) {
 	if need > len(data) {
 		return 0, fmt.Errorf("bat: bitpacked block truncated (need %d bytes, have %d)", need, len(data))
 	}
-	var acc uint64
-	bits := 0
-	pos := 0
 	mask := uint64(1)<<uint(width) - 1
-	if width == 64 {
+	if width >= 64 {
 		mask = ^uint64(0)
 	}
-	for i := 0; i < n; i++ {
-		for bits < width {
-			acc |= uint64(data[pos]) << bits
-			pos++
-			bits += 8
+	out = out[:n]
+	// fast: every value whose containing 8-byte window is in range
+	i, bitOff := 0, 0
+	for ; i < n; i++ {
+		byteOff := bitOff >> 3
+		if byteOff+8 > len(data) {
+			break
 		}
-		out[i] = acc & mask
-		acc >>= uint(width)
-		bits -= width
+		w := binary.LittleEndian.Uint64(data[byteOff:])
+		out[i] = (w >> uint(bitOff&7)) & mask
+		bitOff += width
+	}
+	// tail: assemble the final window byte by byte
+	for ; i < n; i++ {
+		byteOff := bitOff >> 3
+		var w uint64
+		for k := 0; k < 8 && byteOff+k < len(data); k++ {
+			w |= uint64(data[byteOff+k]) << uint(8*k)
+		}
+		out[i] = (w >> uint(bitOff&7)) & mask
+		bitOff += width
 	}
 	return need, nil
 }
@@ -570,18 +587,34 @@ func (bp *BlockPostings) DecodeDocBlock(t, b int, docs []OID, tfs []int64) (int,
 	}
 	switch data[0] {
 	case blockFmtVarint:
+		// Batched varint kernel: the whole block decodes in one loop with
+		// the varints inlined — no per-posting binary.Uvarint calls. Doc
+		// deltas and tfs are single-byte in the overwhelmingly common
+		// case, so each iteration first tries the two-single-byte fast
+		// path (one combined bounds check, no continuation-bit loops) and
+		// only multi-byte values take the generic path.
 		pos := 1
 		for i := 0; i < n; i++ {
-			delta, w := binary.Uvarint(data[pos:])
-			if w <= 0 || delta == 0 {
+			var delta, tf uint64
+			if pos+2 <= len(data) && data[pos]|data[pos+1] < 0x80 {
+				delta, tf = uint64(data[pos]), uint64(data[pos+1])
+				pos += 2
+			} else {
+				var w int
+				delta, w = binary.Uvarint(data[pos:])
+				if w <= 0 {
+					return 0, fmt.Errorf("bat: doc block %d: bad delta at posting %d", b, i)
+				}
+				pos += w
+				tf, w = binary.Uvarint(data[pos:])
+				if w <= 0 {
+					return 0, fmt.Errorf("bat: doc block %d: bad tf at posting %d", b, i)
+				}
+				pos += w
+			}
+			if delta == 0 {
 				return 0, fmt.Errorf("bat: doc block %d: bad delta at posting %d", b, i)
 			}
-			pos += w
-			tf, w2 := binary.Uvarint(data[pos:])
-			if w2 <= 0 {
-				return 0, fmt.Errorf("bat: doc block %d: bad tf at posting %d", b, i)
-			}
-			pos += w2
 			next := prev + int64(delta)
 			if next < 0 {
 				return 0, fmt.Errorf("bat: doc block %d: doc id overflow", b)
@@ -687,13 +720,29 @@ func (bp *BlockPostings) DecodeBelBlock(t, b int, dict []float64, dataOff int64,
 		}
 		return nil
 	}
+	// Inlined dict-index varints: indices are < maxBeliefDict (4096), so
+	// every index is 1 or 2 bytes — decode both shapes branch-cheap
+	// without a per-posting binary.Uvarint call.
 	pos := 0
 	for i := 0; i < n; i++ {
-		idx, w := binary.Uvarint(data[pos:])
-		if w <= 0 || idx >= uint64(len(dict)) {
+		var idx uint64
+		if pos < len(data) && data[pos] < 0x80 {
+			idx = uint64(data[pos])
+			pos++
+		} else if pos+2 <= len(data) && data[pos+1] < 0x80 {
+			idx = uint64(data[pos]&0x7f) | uint64(data[pos+1])<<7
+			pos += 2
+		} else {
+			var w int
+			idx, w = binary.Uvarint(data[pos:])
+			if w <= 0 {
+				return fmt.Errorf("bat: belief block %d: bad dict index at posting %d", b, i)
+			}
+			pos += w
+		}
+		if idx >= uint64(len(dict)) {
 			return fmt.Errorf("bat: belief block %d: bad dict index at posting %d", b, i)
 		}
-		pos += w
 		bels[i] = dict[idx]
 	}
 	if pos != len(data) {

@@ -1,0 +1,74 @@
+//go:build pooldebug
+
+package bat
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// pooldebug: dynamic enforcement of the scanScratch borrow/return
+// discipline — live set keyed by the scratch pointer, double-release
+// panics, and poisoning of released slices so stale reads score loudly
+// wrong documents.
+//
+//poolcheck:poolfile
+
+var scanPoolDebug struct {
+	mu       sync.Mutex
+	live     map[*scanScratch]struct{}
+	released map[*scanScratch]struct{}
+}
+
+func init() {
+	scanPoolDebug.live = make(map[*scanScratch]struct{})
+	scanPoolDebug.released = make(map[*scanScratch]struct{})
+}
+
+func scanScratchBorrowed(sc *scanScratch) {
+	scanPoolDebug.mu.Lock()
+	delete(scanPoolDebug.released, sc)
+	scanPoolDebug.live[sc] = struct{}{}
+	scanPoolDebug.mu.Unlock()
+}
+
+func scanScratchReleased(sc *scanScratch) {
+	scanPoolDebug.mu.Lock()
+	if _, ok := scanPoolDebug.released[sc]; ok {
+		scanPoolDebug.mu.Unlock()
+		panic(fmt.Sprintf("bat: double releaseScanScratch of %p", sc))
+	}
+	delete(scanPoolDebug.live, sc)
+	scanPoolDebug.released[sc] = struct{}{}
+	scanPoolDebug.mu.Unlock()
+	// poison: NaN bounds/beliefs propagate, impossible docs and stamps
+	// make stale reads fail comparisons loudly.
+	for i := range sc.terms {
+		sc.terms[i] = qterm{qi: -1, cur: -1, hi: -1, ub: math.NaN(), weight: math.NaN()}
+	}
+	for i := range sc.perm {
+		sc.perm[i] = -1
+	}
+	for i := range sc.suffix {
+		sc.suffix[i] = math.NaN()
+	}
+	for i := range sc.fbel {
+		sc.fbel[i] = math.NaN()
+	}
+	for i := range sc.stamp {
+		sc.stamp[i] = -1
+	}
+	for i := range sc.docs {
+		sc.docs[i] = OID(^uint64(0))
+	}
+}
+
+// LiveScanScratch reports the number of borrowed-but-unreleased scan
+// scratch sets. Leak tests snapshot it around a pruned scan and require
+// the delta be zero. Always 0 unless built with -tags pooldebug.
+func LiveScanScratch() int {
+	scanPoolDebug.mu.Lock()
+	defer scanPoolDebug.mu.Unlock()
+	return len(scanPoolDebug.live)
+}

@@ -1,0 +1,54 @@
+//go:build pooldebug
+
+package bat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestScanScratchPoolNoLeaks drives raw and block scans over success,
+// parallel-partition, and corrupt-payload error paths and requires every
+// borrowed scan scratch to be back in the pool afterwards. Runs only
+// under -tags pooldebug.
+func TestScanScratchPoolNoLeaks(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	si := mkSynthIndex(rng, 10, 2500, 5, 4)
+	raw := segSplit(si, []int{900, 2500}, false)
+	blk := blockSegs(t, raw)
+	base := LiveScanScratch()
+
+	for round := 0; round < 10; round++ {
+		query := []OID{OID(rng.Intn(11)), OID(rng.Intn(11)), OID(rng.Intn(11))}
+		for _, segs := range [][]PostingsSeg{raw, blk} {
+			if _, err := PrunedTopKSegs(segs, query, nil, 0.4, 1+rng.Intn(20), si.domain, nil); err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			old := SetParallelThreshold(1)
+			_, err := PrunedTopKSegs(segs, query, []float64{1, 2, 0}, 0.4, 5, si.domain, nil)
+			SetParallelThreshold(old)
+			if err != nil {
+				t.Fatalf("round %d parallel: %v", round, err)
+			}
+		}
+	}
+
+	// Error path: corrupt block payload must still release on the way out.
+	bad := blockSegs(t, raw)
+	data := bad[0].BlkDoc.Tail.Bytes()
+	for i := range data {
+		data[i] = 0xff
+	}
+	for _, thr := range []int{0, 1} {
+		old := SetParallelThreshold(thr)
+		_, err := PrunedTopKSegs(bad, []OID{0, 1, 2}, nil, 0.4, 5, si.domain, nil)
+		SetParallelThreshold(old)
+		if err == nil {
+			t.Fatal("corrupt scan returned no error")
+		}
+	}
+
+	if live := LiveScanScratch(); live != base {
+		t.Fatalf("leaked %d scan scratch sets", live-base)
+	}
+}

@@ -1,0 +1,13 @@
+//go:build !pooldebug
+
+package bat
+
+// Release builds: the scan-scratch pool hooks compile to nothing. Build
+// with -tags pooldebug to turn on borrow accounting and poisoning.
+
+func scanScratchBorrowed(*scanScratch) {}
+func scanScratchReleased(*scanScratch) {}
+
+// LiveScanScratch reports the number of borrowed-but-unreleased scan
+// scratch sets. It always returns 0 unless built with -tags pooldebug.
+func LiveScanScratch() int { return 0 }

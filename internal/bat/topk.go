@@ -358,6 +358,15 @@ func (sv segScan) lastDocOf(t OID, hi int) OID {
 	return sv.blk.BlockLast(bhi - 1)
 }
 
+// maxBelOf returns term t's per-segment maximum belief. Only valid for
+// terms with a non-empty range in this segment.
+func (sv segScan) maxBelOf(t OID) float64 {
+	if sv.raw != nil {
+		return sv.raw.maxb[t]
+	}
+	return sv.blk.MaxBelief(int(t))
+}
+
 // PrunedTopKSegs evaluates the pruned top-k retrieval over a LIST of
 // postings segments that together partition the document space (each
 // document's postings live entirely in one segment). The result is
@@ -424,14 +433,14 @@ func PrunedTopKSegs(segs []PostingsSeg, query []OID, weights []float64, def floa
 	// the *document space* so each worker owns a contiguous OID range of
 	// every posting list.
 	segRanges := make([][]postingRange, len(views))
-	if theta == nil {
-		theta = NewTopKThreshold()
-	}
-	var heaps []*BoundedTopK[topkCand]
+	segMaxDoc := make([]OID, len(views))
+	segPostings := make([]int, len(views))
+	segImpact := make([]float64, len(views))
 	for vi, sv := range views {
 		ranges := make([]postingRange, len(query))
 		maxDoc := OID(0)
 		totalPostings := 0
+		impact := 0.0
 		for i, t := range query {
 			lo, hi := sv.termRange(t)
 			ranges[i] = postingRange{lo: lo, hi: hi, t: t}
@@ -440,9 +449,43 @@ func PrunedTopKSegs(segs []PostingsSeg, query []OID, weights []float64, def floa
 				if d := sv.lastDocOf(t, hi); d > maxDoc {
 					maxDoc = d
 				}
+				mb := sv.maxBelOf(t)
+				if mb < def {
+					mb = def
+				}
+				w := 1.0
+				if weighted {
+					w = weights[i]
+				}
+				impact += w * (mb - def)
 			}
 		}
 		segRanges[vi] = ranges
+		segMaxDoc[vi] = maxDoc
+		segPostings[vi] = totalPostings
+		segImpact[vi] = impact
+	}
+	// Visit segments in descending impact (sum of per-term score-surplus
+	// bounds): the segment that can produce the highest scores is scanned
+	// first, so the shared threshold reaches its terminal height early and
+	// the remaining segments scan mostly above it. Order changes only the
+	// skipped work, never the result (segRanges stays index-aligned with
+	// views for fillDefaults).
+	order := make([]int, len(views))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return segImpact[order[a]] > segImpact[order[b]] })
+
+	if theta == nil {
+		theta = NewTopKThreshold()
+	}
+	var heaps []*BoundedTopK[topkCand]
+	for _, vi := range order {
+		sv := views[vi]
+		ranges := segRanges[vi]
+		maxDoc := segMaxDoc[vi]
+		totalPostings := segPostings[vi]
 
 		nPar := Parallelism()
 		if useParallel(totalPostings) && nPar > 1 {
@@ -459,7 +502,8 @@ func PrunedTopKSegs(segs []PostingsSeg, query []OID, weights []float64, def floa
 				for c := lo; c < hi; c++ {
 					h := NewBoundedTopK(k, worseCand)
 					if sv.raw != nil {
-						terms := make([]qterm, len(query))
+						sc := borrowScanScratch(len(query))
+						terms := sc.terms
 						for i := range query {
 							w := 1.0
 							if weighted {
@@ -469,7 +513,8 @@ func PrunedTopKSegs(segs []PostingsSeg, query []OID, weights []float64, def floa
 							thi := searchDocFrom(sv.raw.docs, tlo, ranges[i].hi, bounds[c+1])
 							terms[i] = qterm{qi: i, cur: tlo, hi: thi, weight: w}
 						}
-						maxscoreScan(sv.raw, terms, query, weights, def, fillBase, h, theta)
+						maxscoreScan(sv.raw, terms, query, weights, def, fillBase, h, theta, sc)
+						releaseScanScratch(sc)
 					} else {
 						errs[c] = scanBlockPartition(sv.blk, ranges, query, weights, weighted, def, fillBase, bounds[c], bounds[c+1], h, theta)
 					}
@@ -485,7 +530,8 @@ func PrunedTopKSegs(segs []PostingsSeg, query []OID, weights []float64, def floa
 		} else {
 			h := NewBoundedTopK(k, worseCand)
 			if sv.raw != nil {
-				terms := make([]qterm, len(query))
+				sc := borrowScanScratch(len(query))
+				terms := sc.terms
 				for i := range query {
 					w := 1.0
 					if weighted {
@@ -493,7 +539,8 @@ func PrunedTopKSegs(segs []PostingsSeg, query []OID, weights []float64, def floa
 					}
 					terms[i] = qterm{qi: i, cur: ranges[i].lo, hi: ranges[i].hi, weight: w}
 				}
-				maxscoreScan(sv.raw, terms, query, weights, def, fillBase, h, theta)
+				maxscoreScan(sv.raw, terms, query, weights, def, fillBase, h, theta, sc)
+				releaseScanScratch(sc)
 			} else if err := scanBlockPartition(sv.blk, ranges, query, weights, weighted, def, fillBase, 0, OID(math.MaxUint64), h, theta); err != nil {
 				return nil, fmt.Errorf("segment %d: %w", vi, err)
 			}
@@ -535,8 +582,9 @@ func PrunedTopKSegs(segs []PostingsSeg, query []OID, weights []float64, def floa
 // maxscoreScan runs the max-score loop over one document partition: the
 // essential terms (largest bounds) are merged document-at-a-time; the
 // non-essential tail is probed by binary search only while a document's
-// score bound still clears the threshold.
-func maxscoreScan(pv *postingsView, terms []qterm, query []OID, weights []float64, def, fillBase float64, h *BoundedTopK[topkCand], theta *TopKThreshold) {
+// score bound still clears the threshold. terms must be sc.terms (sc
+// supplies every working slice; the caller borrows and releases it).
+func maxscoreScan(pv *postingsView, terms []qterm, query []OID, weights []float64, def, fillBase float64, h *BoundedTopK[topkCand], theta *TopKThreshold, sc *scanScratch) {
 	m := len(terms)
 	if m == 0 {
 		return
@@ -556,20 +604,23 @@ func maxscoreScan(pv *postingsView, terms []qterm, query []OID, weights []float6
 	// Bound-descending order; suffixUB[j] bounds the surplus of terms
 	// perm[j:]. Essential prefix perm[:e]: a document absent from all of it
 	// is bounded by fillBase+suffixUB[e].
-	perm := make([]int, m)
+	perm := sc.perm
 	for i := range perm {
 		perm[i] = i
 	}
 	sort.SliceStable(perm, func(a, b int) bool { return terms[perm[a]].ub > terms[perm[b]].ub })
-	suffixUB := make([]float64, m+1)
+	suffixUB := sc.suffix
+	suffixUB[m] = 0
 	for j := m - 1; j >= 0; j-- {
 		suffixUB[j] = suffixUB[j+1] + terms[perm[j]].ub
 	}
 	e := m
+	negInf := math.Inf(-1)
 
-	// Per-candidate scratch, stamped instead of cleared.
-	fbel := make([]float64, m)
-	stamp := make([]int, m)
+	// Per-candidate scratch, stamped instead of cleared (stamp arrives
+	// zeroed from the pool).
+	fbel := sc.fbel
+	stamp := sc.stamp
 	cur := 0
 
 	shrink := func(th float64) {
@@ -589,7 +640,13 @@ func maxscoreScan(pv *postingsView, terms []qterm, query []OID, weights []float6
 		if g := theta.Load(); g > th {
 			th = g
 		}
-		if h.Full() {
+		// Prune against any finite threshold, not only a locally full
+		// heap: θ may arrive seeded (a prior run's exact k-th score) or
+		// raised by another shard/partition, and it is always a valid
+		// global lower bound — a document skipped under bound+slack ≤ θ
+		// can never belong to the global top k, whether or not THIS
+		// partition has retained k candidates yet.
+		if th > negInf {
 			shrink(th)
 		}
 		// Next candidate: the smallest current document among essential terms.
@@ -618,7 +675,7 @@ func maxscoreScan(pv *postingsView, terms []qterm, query []OID, weights []float6
 			}
 		}
 		bound := fillBase + known + suffixUB[e]
-		if h.Full() && bound+boundSlack <= th {
+		if bound+boundSlack <= th {
 			continue
 		}
 		pruned := false
@@ -633,7 +690,7 @@ func maxscoreScan(pv *postingsView, terms []qterm, query []OID, weights []float6
 			} else {
 				qt.cur = pos
 			}
-			if h.Full() && bound+boundSlack <= th {
+			if bound+boundSlack <= th {
 				pruned = true
 				break
 			}

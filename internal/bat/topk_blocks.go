@@ -170,8 +170,19 @@ func (c *blockCursor) search(lo, hi int, d OID) int {
 		return p
 	}
 	blo, bhi := c.blockOf(lo), c.blockOf(hi-1)
-	// first block in [blo, bhi] whose lastDoc is ≥ d
+	// First block in [blo, bhi] whose lastDoc is ≥ d. Callers probe with
+	// ascending doc ids, so the hit is usually within a block or two of
+	// the cursor: gallop from blo to bracket it before binary searching
+	// (lastDocs ascend within a term, so a probe with lastDoc < d rules
+	// out every block at or below it).
 	b, bh := blo, bhi+1
+	for p, step := blo, 1; p <= bhi; p, step = p+step, step<<1 {
+		if OID(c.bp.blkDir[2*p]) >= d {
+			bh = p
+			break
+		}
+		b = p + 1
+	}
 	for b < bh {
 		mid := int(uint(b+bh) >> 1)
 		if OID(c.bp.blkDir[2*mid]) >= d {
@@ -232,7 +243,9 @@ func (c *blockCursor) flushStats() {
 func scanBlockPartition(bp *BlockPostings, ranges []postingRange, query []OID, weights []float64, weighted bool, def, fillBase float64, docLo, docHi OID, h *BoundedTopK[topkCand], theta *TopKThreshold) error {
 	cset := borrowBlockCursors(len(query))
 	defer releaseBlockCursors(cset)
-	terms := make([]qterm, len(query))
+	sc := borrowScanScratch(len(query))
+	defer releaseScanScratch(sc)
+	terms := sc.terms
 	for i := range query {
 		w := 1.0
 		if weighted {
@@ -255,7 +268,7 @@ func scanBlockPartition(bp *BlockPostings, ranges []postingRange, query []OID, w
 		cset.cs[i].skipped = 0
 		terms[i] = qterm{qi: i, cur: tlo, hi: thi, weight: w}
 	}
-	err := maxscoreScanBlocks(bp, cset.cs, terms, query, weights, def, fillBase, h, theta)
+	err := maxscoreScanBlocks(bp, cset.cs, terms, query, weights, def, fillBase, h, theta, sc)
 	for i := range cset.cs {
 		if err == nil && cset.cs[i].err != nil {
 			err = cset.cs[i].err
@@ -267,8 +280,9 @@ func scanBlockPartition(bp *BlockPostings, ranges []postingRange, query []OID, w
 
 // maxscoreScanBlocks is maxscoreScan over a block-layout segment: the
 // same essential/non-essential split, candidate selection and scoring
-// fold, plus block-max skipping. cs[i] is the cursor of terms[i].
-func maxscoreScanBlocks(bp *BlockPostings, cs []blockCursor, terms []qterm, query []OID, weights []float64, def, fillBase float64, h *BoundedTopK[topkCand], theta *TopKThreshold) error {
+// fold, plus block-max skipping. cs[i] is the cursor of terms[i]; terms
+// must be sc.terms (sc supplies every working slice).
+func maxscoreScanBlocks(bp *BlockPostings, cs []blockCursor, terms []qterm, query []OID, weights []float64, def, fillBase float64, h *BoundedTopK[topkCand], theta *TopKThreshold, sc *scanScratch) error {
 	m := len(terms)
 	if m == 0 {
 		return nil
@@ -286,25 +300,30 @@ func maxscoreScanBlocks(bp *BlockPostings, cs []blockCursor, terms []qterm, quer
 		}
 		terms[i].ub = ub
 	}
-	perm := make([]int, m)
+	perm := sc.perm
 	for i := range perm {
 		perm[i] = i
 	}
 	sort.SliceStable(perm, func(a, b int) bool { return terms[perm[a]].ub > terms[perm[b]].ub })
-	suffixUB := make([]float64, m+1)
+	suffixUB := sc.suffix
+	suffixUB[m] = 0
 	for j := m - 1; j >= 0; j-- {
 		suffixUB[j] = suffixUB[j+1] + terms[perm[j]].ub
 	}
 	e := m
+	negInf := math.Inf(-1)
 
-	fbel := make([]float64, m)
-	stamp := make([]int, m)
+	fbel := sc.fbel
+	stamp := sc.stamp
 	cur := 0
 
-	// docs caches terms[i]'s current doc id (valid while cur < hi): the
-	// candidate-selection and scoring loops read a slice instead of
-	// re-resolving block state, and refresh runs once per cursor advance.
-	docs := make([]OID, m)
+	// docs caches terms[i]'s current doc id: the candidate-selection and
+	// scoring loops read a slice instead of re-resolving block state, and
+	// refresh runs once per cursor advance. Exhausted cursors park at the
+	// sentinel so both loops need no separate cur<hi guard (doc ids are
+	// strictly below the domain, never MaxUint64).
+	const exhausted = OID(math.MaxUint64)
+	docs := sc.docs
 	refresh := func(i int) bool {
 		qt := &terms[i]
 		if qt.cur < qt.hi {
@@ -313,6 +332,8 @@ func maxscoreScanBlocks(bp *BlockPostings, cs []blockCursor, terms []qterm, quer
 				return false
 			}
 			docs[i] = d
+		} else {
+			docs[i] = exhausted
 		}
 		return true
 	}
@@ -350,80 +371,156 @@ func maxscoreScanBlocks(bp *BlockPostings, cs []blockCursor, terms []qterm, quer
 	skipFence := OID(0)
 	fenceTh := math.Inf(-1)
 	fenced := false
+
+	// Directory cache: the block under each cursor, its posting span,
+	// last doc and weighted bound, refreshed only when the cursor leaves
+	// the cached span. The skip loop re-reads this state once per block
+	// combination; uncached, every read costs a blockOf division plus
+	// three directory lookups, and on a warm (seeded) threshold — where
+	// the whole scan is that loop — the difference is the query time.
+	// Pooled scratch holds garbage spans, so empty them first.
+	blkLo, blkHi := sc.blkLo, sc.blkHi
+	blkIdx, blkLast, blkUB := sc.blkIdx, sc.blkLast, sc.blkUB
+	for i := range terms {
+		blkLo[i], blkHi[i] = 0, 0
+	}
+	dirRefresh := func(i int) {
+		cur := terms[i].cur
+		if cur >= blkLo[i] && cur < blkHi[i] {
+			return
+		}
+		c := &cs[i]
+		b := c.blockOf(cur)
+		blkIdx[i] = b
+		blkLo[i], blkHi[i] = bp.BlockSpan(c.t, b)
+		blkLast[i] = bp.BlockLast(b)
+		qm := bp.BlockMax(b)
+		if qm < def {
+			qm = def
+		}
+		blkUB[i] = terms[i].weight * (qm - def)
+	}
+	// th carries max(local k-th best, shared θ) across candidates. Both
+	// sources are monotone — the heap's worst moves only on Offer, the
+	// shared bound only rises — so th is maintained at those two events
+	// instead of re-deriving it (two heap calls) per candidate. Prunes
+	// against any finite threshold (seeded or shared), not only a locally
+	// full heap — see maxscoreScan.
+	th := threshold()
+	if th > negInf {
+		shrink(th)
+	}
 	for {
-		th := threshold()
 		if g := theta.Load(); g > th {
 			th = g
-		}
-		if h.Full() {
 			shrink(th)
 		}
-		best := OID(math.MaxUint64)
-		found := false
+		best := exhausted
 		for j := 0; j < e; j++ {
-			i := perm[j]
-			if terms[i].cur < terms[i].hi {
-				if d := docs[i]; !found || d < best {
-					best, found = d, true
-				}
+			if d := docs[perm[j]]; d < best {
+				best = d
 			}
 		}
-		if !found {
+		if best == exhausted {
 			return nil
 		}
-		if h.Full() && (!fenced || th > fenceTh || best > skipFence) {
+		if th > negInf && (!fenced || th > fenceTh || best > skipFence) {
 			// Block-max skip: every unread essential posting with doc ≤
 			// minLast lies in its term's current block (each active
 			// essential block ends at ≥ minLast), so if the quantized
 			// current-block bounds plus the non-essential suffix cannot
 			// beat the threshold, no document up to minLast can enter
-			// the top k — advance every essential cursor past minLast
-			// without scoring anything.
-			sumUB := 0.0
-			minLast := OID(math.MaxUint64)
-			active := false
-			for j := 0; j < e; j++ {
-				qt := &terms[perm[j]]
-				if qt.cur >= qt.hi {
-					continue
+			// the top k. The loop advances through runs of skippable
+			// block combinations using ONLY the directory — cursors hop
+			// to the next block's start position without decoding — and
+			// decodes at most one landing block per term once the run
+			// ends. With a terminal (θ-memo seeded) threshold this is
+			// what turns a repeat query into a directory walk.
+			jumped := false
+			lastSkip := OID(0)
+			for {
+				sumUB := 0.0
+				minLast := OID(math.MaxUint64)
+				active := false
+				for j := 0; j < e; j++ {
+					i := perm[j]
+					if terms[i].cur >= terms[i].hi {
+						continue
+					}
+					dirRefresh(i)
+					sumUB += blkUB[i]
+					if last := blkLast[i]; !active || last < minLast {
+						minLast = last
+					}
+					active = true
 				}
-				c := &cs[perm[j]]
-				b := c.blockOf(qt.cur)
-				qm := bp.BlockMax(b)
-				if qm < def {
-					qm = def
+				if !(active && fillBase+sumUB+suffixUB[e]+boundSlack <= th) {
+					skipFence, fenceTh, fenced = minLast, th, true
+					break
 				}
-				sumUB += qt.weight * (qm - def)
-				if last := bp.BlockLast(b); !active || last < minLast {
-					minLast = last
+				// Skippable: move every essential cursor whose current
+				// block ends at minLast to its next block's first posting
+				// (the in-between postings are all ≤ minLast). Directory
+				// arithmetic only — no decode. The cached state is fresh
+				// here (dirRefresh ran in the bound pass just above).
+				for j := 0; j < e; j++ {
+					i := perm[j]
+					qt := &terms[i]
+					if qt.cur >= qt.hi {
+						continue
+					}
+					if blkLast[i] > minLast {
+						continue // target is inside this block; land below
+					}
+					c := &cs[i]
+					b := blkIdx[i]
+					if b != c.blk {
+						c.skipped++
+					}
+					t := c.t
+					if nb := b + 1; nb < int(bp.blkStart[t+1]) {
+						pos := blkHi[i] // next block starts where this span ends
+						if pos > qt.hi {
+							pos = qt.hi
+						}
+						if pos > qt.cur {
+							qt.cur = pos
+						}
+					} else {
+						qt.cur = qt.hi
+					}
 				}
-				active = true
+				jumped, lastSkip = true, minLast
 			}
-			if active && fillBase+sumUB+suffixUB[e]+boundSlack <= th {
+			if jumped {
+				// Land exactly past the last skipped document; decodes at
+				// most one block per essential term. Refresh every essential
+				// cursor, not just the still-live ones: a skip run can move a
+				// cursor to exhaustion, and its docs[i] cache would otherwise
+				// hold a stale doc id that later matches a candidate and
+				// indexes beliefs outside the decoded window.
 				for j := 0; j < e; j++ {
 					i := perm[j]
 					qt := &terms[i]
 					if qt.cur < qt.hi {
-						qt.cur = cs[i].search(qt.cur, qt.hi, minLast+1)
-						if !refresh(i) {
-							return cs[i].err
-						}
+						qt.cur = cs[i].search(qt.cur, qt.hi, lastSkip+1)
+					}
+					if !refresh(i) {
+						return cs[i].err
 					}
 				}
 				if err := fail(); err != nil {
 					return err
 				}
-				fenced = false
 				continue
 			}
-			skipFence, fenceTh, fenced = minLast, th, true
 		}
 		cur++
 		known := 0.0
 		for j := 0; j < e; j++ {
 			i := perm[j]
-			qt := &terms[i]
-			if qt.cur < qt.hi && docs[i] == best {
+			if docs[i] == best {
+				qt := &terms[i]
 				c := &cs[i]
 				// refresh already decoded the block holding qt.cur, so
 				// when its beliefs are in too this is a plain slice read
@@ -441,6 +538,7 @@ func maxscoreScanBlocks(bp *BlockPostings, cs []blockCursor, terms []qterm, quer
 				qt.cur++
 				switch {
 				case qt.cur >= qt.hi:
+					docs[i] = exhausted
 					fenced = false
 				case qt.cur < c.phi:
 					docs[i] = c.docs[qt.cur-c.plo]
@@ -452,7 +550,7 @@ func maxscoreScanBlocks(bp *BlockPostings, cs []blockCursor, terms []qterm, quer
 			}
 		}
 		bound := fillBase + known + suffixUB[e]
-		if h.Full() && bound+boundSlack <= th {
+		if bound+boundSlack <= th {
 			continue
 		}
 		pruned := false
@@ -483,7 +581,7 @@ func maxscoreScanBlocks(bp *BlockPostings, cs []blockCursor, terms []qterm, quer
 			} else {
 				qt.cur = pos
 			}
-			if h.Full() && bound+boundSlack <= th {
+			if bound+boundSlack <= th {
 				pruned = true
 				break
 			}
@@ -511,7 +609,11 @@ func maxscoreScanBlocks(bp *BlockPostings, cs []blockCursor, terms []qterm, quer
 		}
 		h.Offer(topkCand{doc: best, score: score})
 		if h.Full() {
-			theta.Raise(threshold())
+			if w := threshold(); w > th {
+				th = w
+				shrink(th)
+			}
+			theta.Raise(th)
 		}
 	}
 }

@@ -97,6 +97,12 @@ type Mirror struct {
 	// sequence number, so every publish invalidates them for free.
 	cache atomic.Pointer[resultCache]
 
+	// thetaMemo memoises each completed pruned query's terminal k-th
+	// score, keyed on the epoch sequence number, so a repeat of the same
+	// (epoch, surface, k, query) opens its scan with the threshold
+	// already at terminal height (SetThetaMemo; on by default).
+	thetaMemo atomic.Pointer[ThetaMemo]
+
 	// codebook freezes the feature clustering of the last full build so
 	// delta refreshes can assign new documents to the existing clusters
 	// (full re-clustering stays an explicit offline BuildContentIndex).
@@ -166,6 +172,7 @@ func New() (*Mirror, error) {
 		urls:         map[string]struct{}{},
 		contentTerms: map[bat.OID][]string{},
 	}
+	m.thetaMemo.Store(newThetaMemo(defaultThetaMemoEntries))
 	return m, nil
 }
 
@@ -376,6 +383,20 @@ func (m *Mirror) SetResultCache(maxBytes int64) {
 // (zero when caching is disabled).
 func (m *Mirror) ResultCacheStats() CacheStats {
 	return m.cache.Load().stats()
+}
+
+// SetThetaMemo installs (or, with maxEntries <= 0, removes) the
+// epoch-keyed threshold memo bounded to roughly maxEntries. Seeds are
+// pruning-only — they never change what a query returns — so toggling
+// the memo is always safe.
+func (m *Mirror) SetThetaMemo(maxEntries int) {
+	m.thetaMemo.Store(newThetaMemo(maxEntries))
+}
+
+// ThetaMemoStats reports the threshold memo's effectiveness counters
+// (zero when the memo is disabled).
+func (m *Mirror) ThetaMemoStats() ThetaMemoStats {
+	return m.thetaMemo.Load().stats()
 }
 
 // AnalyzeQuery exposes the text analysis pipeline used for queries.

@@ -108,9 +108,11 @@ func (m *Mirror) publishEpochLocked() error {
 			m.epochHist = append(m.epochHist[:0], m.epochHist[excess:]...)
 		}
 	}
-	// The new sequence number invalidates every cached result for free;
-	// sweeping just returns the stale generations' bytes promptly.
+	// The new sequence number invalidates every cached result and every
+	// memoised threshold seed for free; sweeping just returns the stale
+	// generations' bytes promptly.
 	m.cache.Load().sweep(ep.Seq)
+	m.thetaMemo.Load().sweep(ep.Seq)
 	return nil
 }
 
@@ -209,8 +211,10 @@ func rankRowsResolved(r urlResolver, res *moa.Result, k int) []Hit {
 }
 
 // queryAnnotations ranks the epoch's collection against a text query.
-func (ep *IndexEpoch) queryAnnotations(text string, k int) ([]Hit, error) {
-	res, err := ep.queryTopK(annotationQuery, ir.QueryParams(ir.Analyze(text)), k, nil)
+// theta, when non-nil, opens the scan with a pre-raised pruning
+// threshold (a θ-memo seed or a cross-shard shared bound).
+func (ep *IndexEpoch) queryAnnotations(text string, k int, theta *bat.TopKThreshold) ([]Hit, error) {
+	res, err := ep.queryTopK(annotationQuery, ir.QueryParams(ir.Analyze(text)), k, theta)
 	if err != nil {
 		return nil, err
 	}
@@ -218,8 +222,8 @@ func (ep *IndexEpoch) queryAnnotations(text string, k int) ([]Hit, error) {
 }
 
 // queryContent ranks the epoch's collection by content cluster words.
-func (ep *IndexEpoch) queryContent(clusterWords []string, k int) ([]Hit, error) {
-	res, err := ep.queryTopK(contentQuery, ir.QueryParams(clusterWords), k, nil)
+func (ep *IndexEpoch) queryContent(clusterWords []string, k int, theta *bat.TopKThreshold) ([]Hit, error) {
+	res, err := ep.queryTopK(contentQuery, ir.QueryParams(clusterWords), k, theta)
 	if err != nil {
 		return nil, err
 	}
@@ -230,11 +234,11 @@ func (ep *IndexEpoch) queryContent(clusterWords []string, k int) ([]Hit, error) 
 // epoch a dualCodingSite, so combined-evidence retrieval reads ONE
 // consistent snapshot even while refreshes publish new epochs mid-query.
 func (ep *IndexEpoch) QueryAnnotations(text string, k int) ([]Hit, error) {
-	return ep.queryAnnotations(text, k)
+	return ep.queryAnnotations(text, k, nil)
 }
 
 func (ep *IndexEpoch) QueryContent(clusterWords []string, k int) ([]Hit, error) {
-	return ep.queryContent(clusterWords, k)
+	return ep.queryContent(clusterWords, k, nil)
 }
 
 func (ep *IndexEpoch) ExpandQuery(text string, topK int) []string {

@@ -46,9 +46,11 @@ func (m *Mirror) QueryAnnotationsStamped(text string, k int) ([]Hit, EpochStamp,
 	if hits, ok := c.get(ep.Seq, cacheAnnotations, k, text, nil); ok {
 		return hits, ep.stamp(), nil
 	}
-	hits, err := ep.queryAnnotations(text, k)
+	tm := m.thetaMemo.Load()
+	hits, err := ep.queryAnnotations(text, k, seededTheta(tm, ep.Seq, cacheAnnotations, k, text, nil))
 	if err == nil {
 		c.put(ep.Seq, cacheAnnotations, k, text, nil, hits)
+		memoTheta(tm, ep.Seq, cacheAnnotations, k, text, nil, hits)
 	}
 	return hits, ep.stamp(), err
 }
@@ -65,9 +67,11 @@ func (m *Mirror) QueryContent(clusterWords []string, k int) ([]Hit, error) {
 	if hits, ok := c.get(ep.Seq, cacheContent, k, "", clusterWords); ok {
 		return hits, nil
 	}
-	hits, err := ep.queryContent(clusterWords, k)
+	tm := m.thetaMemo.Load()
+	hits, err := ep.queryContent(clusterWords, k, seededTheta(tm, ep.Seq, cacheContent, k, "", clusterWords))
 	if err == nil {
 		c.put(ep.Seq, cacheContent, k, "", clusterWords, hits)
+		memoTheta(tm, ep.Seq, cacheContent, k, "", clusterWords, hits)
 	}
 	return hits, err
 }

@@ -349,6 +349,10 @@ func (m *Mirror) shardTopK(args *ShardQueryArgs) (*ShardQueryReply, error) {
 	if args.K > 0 {
 		theta = bat.NewTopKThreshold()
 		theta.Raise(args.ThetaFloor)
+		if args.ScanID != 0 {
+			// Accept router RaiseTheta pushes while this leg scans.
+			defer registerScanTheta(args.ScanID, theta)()
+		}
 	}
 
 	switch args.Kind {

@@ -304,6 +304,19 @@ type StatsReply struct {
 	Current   bool  // the serving epoch covers every ingested document
 	Epoch     int64 // serving epoch sequence (0 before the first publish)
 	EpochDocs int   // documents the serving epoch covers
+
+	// Cumulative block-max scan counters (monotone since process start;
+	// on a router, a best-effort sum over reachable shard primaries).
+	BlocksDecoded int64
+	BlocksSkipped int64
+}
+
+// blockScanReporter is the optional engine hook behind StatsReply's scan
+// counters: engines whose scans run in other processes (the distributed
+// router) implement it to aggregate; everyone else gets the process-wide
+// bat counters, which every in-process store shares.
+type blockScanReporter interface {
+	BlockScanStats() (decoded, skipped int64)
 }
 
 // Stats reports the serving state. The epoch stamp only brackets
@@ -316,6 +329,11 @@ func (s *Service) Stats(_ dict.Empty, reply *StatsReply) error {
 	reply.Indexed = s.m.Indexed()
 	reply.Current = s.m.Current()
 	reply.Epoch, reply.EpochDocs = st.Seq, st.Docs
+	if r, ok := s.m.(blockScanReporter); ok {
+		reply.BlocksDecoded, reply.BlocksSkipped = r.BlockScanStats()
+	} else {
+		reply.BlocksDecoded, reply.BlocksSkipped = bat.BlockScanStats()
+	}
 	return nil
 }
 

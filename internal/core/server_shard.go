@@ -37,6 +37,7 @@ type ShardQueryArgs struct {
 	K          int       // ranked top-k request; <= 0 = exhaustive
 	Tag        uint64    // publish tag the reply must be served at
 	ThetaFloor float64   // router's shared pruning threshold at send time
+	ScanID     uint64    // non-zero: accept RaiseTheta pushes mid-scan under this id
 }
 
 // ShardQueryReply carries one shard's leg of the scatter: rows already
@@ -69,6 +70,26 @@ func (s *Service) ShardQuery(args ShardQueryArgs, reply *ShardQueryReply) error 
 		return err
 	}
 	*reply = *rep
+	return nil
+}
+
+// RaiseThetaArgs streams one router-side threshold raise into a shard's
+// in-flight scan (the leg that carried ScanID in its ShardQueryArgs).
+type RaiseThetaArgs struct {
+	ScanID uint64
+	Theta  float64
+}
+
+// RaiseTheta lifts the pruning threshold of the scan registered under
+// ScanID. Unknown ids are a benign no-op: the scan already drained, or
+// the leg ran on a sibling replica (the router broadcasts to the whole
+// replica set). The call deliberately bypasses the per-call gate — it
+// must land WHILE the query it accelerates occupies a slot.
+func (s *Service) RaiseTheta(args RaiseThetaArgs, _ *dict.Empty) error {
+	if _, err := s.mirror(); err != nil {
+		return err
+	}
+	raiseScanTheta(args.ScanID, args.Theta)
 	return nil
 }
 
@@ -272,6 +293,13 @@ func (c *Client) ShardQuery(args ShardQueryArgs) (*ShardQueryReply, error) {
 	var reply ShardQueryReply
 	err := c.call("Mirror.ShardQuery", args, &reply)
 	return &reply, wireErr(err)
+}
+
+// RaiseTheta streams a threshold raise into an in-flight scatter leg.
+func (c *Client) RaiseTheta(scanID uint64, theta float64) error {
+	var reply dict.Empty
+	err := c.call("Mirror.RaiseTheta", RaiseThetaArgs{ScanID: scanID, Theta: theta}, &reply)
+	return wireErr(err)
 }
 
 // ShardIngest routes one document to its home shard.

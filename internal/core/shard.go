@@ -86,6 +86,12 @@ type ShardedEngine struct {
 	// internally it is striped shared-nothing.
 	cache atomic.Pointer[resultCache]
 
+	// thetaMemo memoises each completed pruned query's terminal k-th
+	// score, keyed on the engine epoch sequence number, so a repeat
+	// query opens every shard's scan with the shared threshold already
+	// at terminal height (SetThetaMemo; on by default).
+	thetaMemo atomic.Pointer[ThetaMemo]
+
 	// Frozen content model and running global collection statistics (the
 	// exact integer bookkeeping behind df/N/avgdl), maintained
 	// incrementally at each refresh and rebuilt from shard state on open.
@@ -144,6 +150,7 @@ func NewSharded(n int) (*ShardedEngine, error) {
 		return nil, fmt.Errorf("core: shard count must be >= 1, got %d", n)
 	}
 	e := &ShardedEngine{urls: map[string]struct{}{}}
+	e.thetaMemo.Store(newThetaMemo(defaultThetaMemoEntries))
 	for i := 0; i < n; i++ {
 		m, err := New()
 		if err != nil {
@@ -473,9 +480,11 @@ func (e *ShardedEngine) publishEngineEpochLocked(docs int) {
 	for i, sh := range e.shards {
 		shardEps[i] = sh.currentEpoch()
 	}
-	// The new sequence number invalidates every cached result for free;
-	// sweeping just returns the stale generations' bytes promptly.
+	// The new sequence number invalidates every cached result and every
+	// memoised threshold seed for free; sweeping just returns the stale
+	// generations' bytes promptly.
 	defer e.cache.Load().sweep(e.epochSeq)
+	defer e.thetaMemo.Load().sweep(e.epochSeq)
 	// Crash gaps (order[g] == "" after a WAL-truncating recovery) occupy
 	// global positions but hold no document; the wire stamp counts only
 	// live documents so it matches the ingest-order prefix length.
@@ -748,8 +757,15 @@ func (e *ShardedEngine) gatherHits(src string, params map[string]moa.Param, k in
 }
 
 func (ee *engineEpoch) gatherHits(src string, params map[string]moa.Param, k int) ([]Hit, error) {
-	var theta *bat.TopKThreshold
-	if k > 0 {
+	return ee.gatherHitsTheta(src, params, k, nil)
+}
+
+// gatherHitsTheta is gatherHits with the shared pruning threshold
+// supplied by the caller — a θ-memo seed pre-raises it to the previous
+// run's terminal height, and every shard scan starts there instead of
+// climbing from -Inf independently.
+func (ee *engineEpoch) gatherHitsTheta(src string, params map[string]moa.Param, k int, theta *bat.TopKThreshold) ([]Hit, error) {
+	if k > 0 && theta == nil {
 		theta = bat.NewTopKThreshold()
 	}
 	perShard := make([][]Hit, len(ee.shards))
@@ -836,9 +852,12 @@ func (e *ShardedEngine) QueryAnnotationsStamped(text string, k int) ([]Hit, Epoc
 	if hits, ok := c.get(ee.seq, cacheAnnotations, k, text, nil); ok {
 		return hits, ee.stamp(), nil
 	}
-	hits, err := ee.gatherHits(annotationQuery, ir.QueryParams(ir.Analyze(text)), k)
+	tm := e.thetaMemo.Load()
+	theta := seededTheta(tm, ee.seq, cacheAnnotations, k, text, nil)
+	hits, err := ee.gatherHitsTheta(annotationQuery, ir.QueryParams(ir.Analyze(text)), k, theta)
 	if err == nil {
 		c.put(ee.seq, cacheAnnotations, k, text, nil, hits)
+		memoTheta(tm, ee.seq, cacheAnnotations, k, text, nil, hits)
 	}
 	return hits, ee.stamp(), err
 }
@@ -853,9 +872,12 @@ func (e *ShardedEngine) QueryContent(clusterWords []string, k int) ([]Hit, error
 	if hits, ok := c.get(ee.seq, cacheContent, k, "", clusterWords); ok {
 		return hits, nil
 	}
-	hits, err := ee.gatherHits(contentQuery, ir.QueryParams(clusterWords), k)
+	tm := e.thetaMemo.Load()
+	theta := seededTheta(tm, ee.seq, cacheContent, k, "", clusterWords)
+	hits, err := ee.gatherHitsTheta(contentQuery, ir.QueryParams(clusterWords), k, theta)
 	if err == nil {
 		c.put(ee.seq, cacheContent, k, "", clusterWords, hits)
+		memoTheta(tm, ee.seq, cacheContent, k, "", clusterWords, hits)
 	}
 	return hits, err
 }
@@ -897,6 +919,19 @@ func (e *ShardedEngine) SetResultCache(maxBytes int64) {
 // (zero when caching is disabled).
 func (e *ShardedEngine) ResultCacheStats() CacheStats {
 	return e.cache.Load().stats()
+}
+
+// SetThetaMemo installs (or, with maxEntries <= 0, removes) the
+// epoch-keyed threshold memo bounded to roughly maxEntries; seeds are
+// pruning-only, so toggling it is always safe.
+func (e *ShardedEngine) SetThetaMemo(maxEntries int) {
+	e.thetaMemo.Store(newThetaMemo(maxEntries))
+}
+
+// ThetaMemoStats reports the threshold memo's effectiveness counters
+// (zero when the memo is disabled).
+func (e *ShardedEngine) ThetaMemoStats() ThetaMemoStats {
+	return e.thetaMemo.Load().stats()
 }
 
 // SetStoreCodec selects the postings segment layout every shard uses for
@@ -1152,6 +1187,7 @@ func OpenShardedPersistent(opts ShardedPersistOptions) (*ShardedEngine, ShardRec
 		persistent: true,
 		root:       opts.Dir,
 	}
+	e.thetaMemo.Store(newThetaMemo(defaultThetaMemoEntries))
 	perStats := make([]RecoveryStats, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup

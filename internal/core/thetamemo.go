@@ -1,0 +1,258 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"mirror/internal/bat"
+)
+
+// Epoch-keyed threshold memo: the adaptive half of the threshold
+// lifecycle.
+//
+// A pruned top-k scan finishes with its threshold at the exact k-th
+// score of the full ranking. That terminal value is an exact-safe seed
+// for a repeat of the same (epoch, surface, k, query): any θ that is ≤
+// the true global k-th score only prunes documents that provably cannot
+// enter the top k (ties at the k-th score survive, because a tied
+// document's bound is strictly above θ by the slack), so re-running the
+// scan with the threshold pre-raised returns the BUN-for-BUN identical
+// ranking while skipping nearly all decode and scoring work — the scan
+// degenerates into a block-directory walk.
+//
+// The memo is the result cache's tiny sibling: where the cache stores
+// whole rankings bounded by bytes, the memo stores one float64 per
+// (epoch, surface, k, query) bounded by entry count, so it stays warm
+// long after byte pressure has evicted the rankings themselves. Keys
+// embed the epoch sequence number, so a publish invalidates every seed
+// for free (a stale seed can never be looked up, let alone applied
+// cross-epoch); the publish choke points sweep old generations to
+// return the bytes. All methods are nil-receiver safe.
+
+// thetaEntry pins the query surface verbatim so a hash collision can
+// never seed with another query's score (which would break exactness).
+type thetaEntry struct {
+	key   cacheKey
+	text  string
+	terms []string
+	seed  float64
+}
+
+type thetaStripe struct {
+	mu  sync.Mutex
+	lru *list.List // front = most recently used; values are *thetaEntry
+	idx map[cacheKey]*list.Element
+	max int
+}
+
+// ThetaMemo memoises terminal pruning thresholds per epoch; nil means
+// the memo is disabled.
+type ThetaMemo struct {
+	stripes [cacheStripeCount]thetaStripe
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+// newThetaMemo builds a memo bounded to roughly maxEntries across all
+// stripes; maxEntries <= 0 returns nil (disabled).
+func newThetaMemo(maxEntries int) *ThetaMemo {
+	if maxEntries <= 0 {
+		return nil
+	}
+	tm := &ThetaMemo{}
+	per := maxEntries / cacheStripeCount
+	if per < 1 {
+		per = 1
+	}
+	for i := range tm.stripes {
+		tm.stripes[i].lru = list.New()
+		tm.stripes[i].idx = make(map[cacheKey]*list.Element)
+		tm.stripes[i].max = per
+	}
+	return tm
+}
+
+// get returns the memoised seed for (gen, kind, k, surface). The seed is
+// pruning-only: callers raise a fresh TopKThreshold with it and hand
+// that to the scan.
+func (tm *ThetaMemo) get(gen int64, kind cacheKind, k int, text string, terms []string) (float64, bool) {
+	if tm == nil || k <= 0 {
+		return 0, false
+	}
+	key := cacheKey{gen: gen, kind: kind, k: k, hash: cacheHash(text, terms)}
+	st := &tm.stripes[key.hash&(cacheStripeCount-1)]
+	st.mu.Lock()
+	if el, ok := st.idx[key]; ok {
+		e := el.Value.(*thetaEntry)
+		if e.matches(text, terms) {
+			st.lru.MoveToFront(el)
+			seed := e.seed
+			st.mu.Unlock()
+			tm.hits.Add(1)
+			return seed, true
+		}
+	}
+	st.mu.Unlock()
+	tm.misses.Add(1)
+	return 0, false
+}
+
+func (e *thetaEntry) matches(text string, terms []string) bool {
+	if e.text != text || len(e.terms) != len(terms) {
+		return false
+	}
+	for i := range terms {
+		if e.terms[i] != terms[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// put stores a terminal k-th score. Callers must only pass exact k-th
+// scores of complete rankings (len(hits) == k): a seed above the true
+// k-th score would prune documents that belong in the answer.
+func (tm *ThetaMemo) put(gen int64, kind cacheKind, k int, text string, terms []string, seed float64) {
+	if tm == nil || k <= 0 {
+		return
+	}
+	key := cacheKey{gen: gen, kind: kind, k: k, hash: cacheHash(text, terms)}
+	st := &tm.stripes[key.hash&(cacheStripeCount-1)]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if el, ok := st.idx[key]; ok {
+		// Same epoch + query + k is deterministic: keep the incumbent.
+		st.lru.MoveToFront(el)
+		return
+	}
+	e := &thetaEntry{key: key, text: text, seed: seed}
+	if len(terms) > 0 {
+		e.terms = append(make([]string, 0, len(terms)), terms...)
+	}
+	st.idx[key] = st.lru.PushFront(e)
+	for st.lru.Len() > st.max {
+		back := st.lru.Back()
+		st.lru.Remove(back)
+		delete(st.idx, back.Value.(*thetaEntry).key)
+	}
+}
+
+// sweep drops every seed computed against a generation older than gen.
+// Correctness never depends on it (stale generations can no longer be
+// looked up); it just returns the bytes promptly on publish.
+func (tm *ThetaMemo) sweep(gen int64) {
+	if tm == nil {
+		return
+	}
+	for i := range tm.stripes {
+		st := &tm.stripes[i]
+		st.mu.Lock()
+		var next *list.Element
+		for el := st.lru.Front(); el != nil; el = next {
+			next = el.Next()
+			if e := el.Value.(*thetaEntry); e.key.gen < gen {
+				st.lru.Remove(el)
+				delete(st.idx, e.key)
+			}
+		}
+		st.mu.Unlock()
+	}
+}
+
+// ThetaMemoStats reports threshold-memo effectiveness counters.
+type ThetaMemoStats struct {
+	Hits   int64
+	Misses int64
+	Items  int
+}
+
+// stats snapshots the counters (nil-safe, like every method).
+func (tm *ThetaMemo) stats() ThetaMemoStats {
+	if tm == nil {
+		return ThetaMemoStats{}
+	}
+	s := ThetaMemoStats{Hits: tm.hits.Load(), Misses: tm.misses.Load()}
+	for i := range tm.stripes {
+		st := &tm.stripes[i]
+		st.mu.Lock()
+		s.Items += st.lru.Len()
+		st.mu.Unlock()
+	}
+	return s
+}
+
+// defaultThetaMemoEntries is the constructor default: seeds are ~100
+// bytes each, so the default memo tops out near a megabyte while
+// covering far more distinct queries than the byte-bounded result cache
+// retains rankings for.
+const defaultThetaMemoEntries = 8192
+
+// seededTheta builds the scan threshold for one query surface: nil when
+// the memo holds no seed, else a fresh TopKThreshold raised to the
+// memoised terminal k-th score (pruning-only — the scan still computes
+// the exact ranking).
+func seededTheta(tm *ThetaMemo, gen int64, kind cacheKind, k int, text string, terms []string) *bat.TopKThreshold {
+	seed, ok := tm.get(gen, kind, k, text, terms)
+	if !ok {
+		return nil
+	}
+	th := bat.NewTopKThreshold()
+	th.Raise(seed)
+	return th
+}
+
+// memoTheta records a completed ranking's terminal threshold. Only a
+// full ranking (len(hits) == k) carries an exact k-th score; short
+// rankings mean fewer than k scoreable documents, where no finite seed
+// is safe to pre-raise.
+func memoTheta(tm *ThetaMemo, gen int64, kind cacheKind, k int, text string, terms []string, hits []Hit) {
+	if tm == nil || k <= 0 || len(hits) != k {
+		return
+	}
+	tm.put(gen, kind, k, text, terms, hits[k-1].Score)
+}
+
+// ---- exported surface ----
+//
+// internal/dist's router keeps its own memo over the networked scatter,
+// keyed by the epoch-vector tag instead of a store's epoch sequence: a
+// repeat query seeds every shard leg's ThetaFloor at the previous
+// merge's terminal k-th score, so each shard scan starts at terminal
+// height instead of re-deriving it. Same exactness argument, same
+// generation keying (tags are monotone, swept on vector advance).
+
+// ThetaKind names the retrieval surface a memoised seed belongs to.
+type ThetaKind = cacheKind
+
+// Memo surface kinds (the dual-coding surface never seeds: its legs run
+// as annotation/content sub-queries).
+const (
+	ThetaAnnotations = cacheAnnotations
+	ThetaContent     = cacheContent
+)
+
+// DefaultThetaMemoEntries is the constructor default entry bound.
+const DefaultThetaMemoEntries = defaultThetaMemoEntries
+
+// NewThetaMemo builds a memo bounded to roughly maxEntries; <= 0 returns
+// nil (disabled — every method is nil-receiver safe).
+func NewThetaMemo(maxEntries int) *ThetaMemo { return newThetaMemo(maxEntries) }
+
+// Get returns the memoised terminal k-th score for (gen, kind, k,
+// surface); pruning-only — callers seed a scan floor with it.
+func (tm *ThetaMemo) Get(gen int64, kind ThetaKind, k int, text string, terms []string) (float64, bool) {
+	return tm.get(gen, kind, k, text, terms)
+}
+
+// Record stores a completed ranking's terminal threshold; rankings
+// shorter than k carry no exact k-th score and are ignored.
+func (tm *ThetaMemo) Record(gen int64, kind ThetaKind, k int, text string, terms []string, hits []Hit) {
+	memoTheta(tm, gen, kind, k, text, terms, hits)
+}
+
+// Sweep drops every seed older than gen (publish choke points call this).
+func (tm *ThetaMemo) Sweep(gen int64) { tm.sweep(gen) }
+
+// Stats snapshots the memo's effectiveness counters.
+func (tm *ThetaMemo) Stats() ThetaMemoStats { return tm.stats() }

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestThetaMemoDifferentialSingle: with the threshold memo enabled (the
+// default), every ranking must be hit-for-hit identical to a memo-less
+// twin store — on the seeding pass, on the seeded repeat pass, and (the
+// cross-epoch guarantee) after AddImage+Refresh publishes a new epoch,
+// where a stale seed applied to the new collection could wrongly prune
+// documents that now belong in the top k.
+func TestThetaMemoDifferentialSingle(t *testing.T) {
+	urls, anns := refreshCorpus(40, 3)
+	cold := oneShotStub(t, urls[:25], anns[:25])
+	cold.SetThetaMemo(0)
+	warm := oneShotStub(t, urls[:25], anns[:25])
+
+	assertSameRetrieval(t, "single seeding", cold, warm, 10)
+	assertSameRetrieval(t, "single seeded", cold, warm, 10)
+	if st := warm.ThetaMemoStats(); st.Hits == 0 {
+		t.Fatalf("repeat pass never used a seed, stats = %+v", st)
+	}
+
+	for i := 25; i < 40; i++ {
+		if err := cold.AddImage(urls[i], anns[i], nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := warm.AddImage(urls[i], anns[i], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refreshStub(t, cold)
+	refreshStub(t, warm)
+
+	// The refresh published a new epoch mid-stream: the previous
+	// generation's seeds must be unreachable, so the memoised store
+	// re-derives everything against the new snapshot.
+	assertSameRetrieval(t, "single post-publish seeding", cold, warm, 10)
+	assertSameRetrieval(t, "single post-publish seeded", cold, warm, 10)
+}
+
+// TestThetaMemoDifferentialSharded repeats the guarantee over the
+// scatter-gather engine for N ∈ {1, 2, 8} shards, where the seed
+// pre-raises the threshold shared by every shard's scan.
+func TestThetaMemoDifferentialSharded(t *testing.T) {
+	urls, anns := refreshCorpus(40, 3)
+	for _, shards := range []int{1, 2, 8} {
+		build := func() *ShardedEngine {
+			e, err := NewSharded(shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 25; i++ {
+				if err := e.AddImage(urls[i], anns[i], nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := e.buildIndex(DefaultIndexOptions(), stubPipeline{}); err != nil {
+				t.Fatal(err)
+			}
+			return e
+		}
+		cold, warm := build(), build()
+		cold.SetThetaMemo(0)
+
+		label := fmt.Sprintf("%d shards", shards)
+		assertSameRetrieval(t, label+" seeding", cold, warm, 10)
+		assertSameRetrieval(t, label+" seeded", cold, warm, 10)
+		if st := warm.ThetaMemoStats(); st.Hits == 0 {
+			t.Fatalf("%s: repeat pass never used a seed, stats = %+v", label, st)
+		}
+
+		for i := 25; i < 40; i++ {
+			if err := cold.AddImage(urls[i], anns[i], nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := warm.AddImage(urls[i], anns[i], nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		engineRefreshStub(t, cold)
+		engineRefreshStub(t, warm)
+
+		assertSameRetrieval(t, label+" post-publish seeding", cold, warm, 10)
+		assertSameRetrieval(t, label+" post-publish seeded", cold, warm, 10)
+	}
+}
+
+// TestThetaMemoUnit exercises the ThetaMemo directly: keying, the entry
+// bound, generation sweep, counters, and the disabled (nil) memo.
+func TestThetaMemoUnit(t *testing.T) {
+	t.Run("nil memo is inert", func(t *testing.T) {
+		var tm *ThetaMemo
+		tm.put(1, cacheAnnotations, 10, "q", nil, 0.7)
+		if _, ok := tm.get(1, cacheAnnotations, 10, "q", nil); ok {
+			t.Fatal("nil memo returned a seed")
+		}
+		tm.sweep(2)
+		if st := tm.stats(); st != (ThetaMemoStats{}) {
+			t.Fatalf("nil memo stats = %+v", st)
+		}
+		if newThetaMemo(0) != nil || newThetaMemo(-1) != nil {
+			t.Fatal("non-positive bound must disable the memo")
+		}
+		if th := seededTheta(nil, 1, cacheAnnotations, 10, "q", nil); th != nil {
+			t.Fatal("nil memo produced a threshold")
+		}
+	})
+
+	t.Run("key dimensions", func(t *testing.T) {
+		tm := newThetaMemo(1 << 10)
+		tm.put(1, cacheAnnotations, 10, "q", nil, 0.7)
+		if s, ok := tm.get(1, cacheAnnotations, 10, "q", nil); !ok || s != 0.7 {
+			t.Fatalf("exact-key get = (%v,%v)", s, ok)
+		}
+		for _, miss := range []func() (float64, bool){
+			func() (float64, bool) { return tm.get(2, cacheAnnotations, 10, "q", nil) }, // other epoch
+			func() (float64, bool) { return tm.get(1, cacheContent, 10, "q", nil) },     // other surface
+			func() (float64, bool) { return tm.get(1, cacheAnnotations, 5, "q", nil) },  // other k
+			func() (float64, bool) { return tm.get(1, cacheAnnotations, 10, "r", nil) }, // other text
+		} {
+			if _, ok := miss(); ok {
+				t.Fatal("get hit on a differing key dimension — a cross-epoch or cross-query seed would break exactness")
+			}
+		}
+		tm.put(1, cacheContent, 10, "", []string{"c1", "c2"}, 0.5)
+		if _, ok := tm.get(1, cacheContent, 10, "", []string{"c1", "c2"}); !ok {
+			t.Fatal("terms get missed")
+		}
+		if _, ok := tm.get(1, cacheContent, 10, "", []string{"c2", "c1"}); ok {
+			t.Fatal("terms get ignored order")
+		}
+	})
+
+	t.Run("entry bound evicts LRU", func(t *testing.T) {
+		const bound = 64
+		tm := newThetaMemo(bound)
+		for i := 0; i < 4096; i++ {
+			tm.put(1, cacheAnnotations, 10, fmt.Sprintf("query-%04d", i), nil, 0.5)
+		}
+		if st := tm.stats(); st.Items > bound {
+			t.Fatalf("memo holds %d entries, bound %d", st.Items, bound)
+		}
+		if _, ok := tm.get(1, cacheAnnotations, 10, "query-4095", nil); !ok {
+			t.Fatal("most recently inserted seed was evicted")
+		}
+	})
+
+	t.Run("sweep drops stale generations", func(t *testing.T) {
+		tm := newThetaMemo(1 << 10)
+		tm.put(1, cacheAnnotations, 10, "old", nil, 0.7)
+		tm.put(2, cacheAnnotations, 10, "new", nil, 0.8)
+		tm.sweep(2)
+		if _, ok := tm.get(1, cacheAnnotations, 10, "old", nil); ok {
+			t.Fatal("swept generation still served")
+		}
+		if _, ok := tm.get(2, cacheAnnotations, 10, "new", nil); !ok {
+			t.Fatal("current generation swept by mistake")
+		}
+	})
+
+	t.Run("collision guard", func(t *testing.T) {
+		e := &thetaEntry{text: "q", terms: []string{"a"}}
+		if !e.matches("q", []string{"a"}) {
+			t.Fatal("exact surface rejected")
+		}
+		if e.matches("q", []string{"b"}) || e.matches("p", []string{"a"}) || e.matches("q", nil) {
+			t.Fatal("differing surface accepted — a collision could seed with another query's score")
+		}
+	})
+
+	t.Run("short rankings never seed", func(t *testing.T) {
+		tm := newThetaMemo(1 << 10)
+		memoTheta(tm, 1, cacheAnnotations, 10, "q", nil, []Hit{{OID: 1, Score: 0.9}})
+		if _, ok := tm.get(1, cacheAnnotations, 10, "q", nil); ok {
+			t.Fatal("a ranking shorter than k has no exact k-th score; seeding from it is unsafe")
+		}
+		memoTheta(tm, 1, cacheAnnotations, 1, "q", nil, []Hit{{OID: 1, Score: 0.9}})
+		if s, ok := tm.get(1, cacheAnnotations, 1, "q", nil); !ok || s != 0.9 {
+			t.Fatalf("full ranking seed = (%v,%v), want (0.9,true)", s, ok)
+		}
+	})
+}

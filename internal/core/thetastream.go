@@ -1,0 +1,71 @@
+package core
+
+import (
+	"sync"
+
+	"mirror/internal/bat"
+)
+
+// Streamed threshold propagation: the distributed half of the threshold
+// lifecycle.
+//
+// A router's scatter sends every shard leg the threshold height known at
+// SEND time (ShardQueryArgs.ThetaFloor). On skewed shards that floor goes
+// stale immediately: one shard's scan finds high-scoring documents early,
+// but sibling legs keep scanning against the floor they left with. The
+// scan registry closes that gap — a leg that carries a router-chosen
+// ScanID exposes its live *bat.TopKThreshold here for the duration of the
+// scan, and the Mirror.RaiseTheta RPC lifts it mid-flight whenever the
+// router's merged view rises. Raise is monotone and pruning-only (the
+// router only streams values at or below the global k-th best score), so
+// a raise landing at any point during the scan never changes the result,
+// only how much of the postings it can skip.
+//
+// The registry maps one id to a LIST of thresholds: a timed-out leg may
+// be retried on another replica of the same process (tests run whole
+// clusters in one process) while the first scan is still draining, and a
+// raise must reach every scan still running under the id. Unknown ids
+// are a benign no-op — the scan already finished, or this replica never
+// served the leg (the router broadcasts to the whole replica set because
+// failover means it cannot know which member the leg landed on).
+
+var scanThetas = struct {
+	sync.Mutex
+	m map[uint64][]*bat.TopKThreshold
+}{m: map[uint64][]*bat.TopKThreshold{}}
+
+// registerScanTheta exposes an in-flight scan's threshold under id; the
+// returned func deregisters exactly that registration.
+func registerScanTheta(id uint64, th *bat.TopKThreshold) func() {
+	scanThetas.Lock()
+	scanThetas.m[id] = append(scanThetas.m[id], th)
+	scanThetas.Unlock()
+	return func() {
+		scanThetas.Lock()
+		defer scanThetas.Unlock()
+		ths := scanThetas.m[id]
+		for i, t := range ths {
+			if t == th {
+				ths[i] = ths[len(ths)-1]
+				ths = ths[:len(ths)-1]
+				break
+			}
+		}
+		if len(ths) == 0 {
+			delete(scanThetas.m, id)
+		} else {
+			scanThetas.m[id] = ths
+		}
+	}
+}
+
+// raiseScanTheta lifts every scan registered under id to at least v.
+// Raise is a lock-free CAS, so holding the registry lock across the loop
+// is fine — nothing here waits on the scans.
+func raiseScanTheta(id uint64, v float64) {
+	scanThetas.Lock()
+	for _, th := range scanThetas.m[id] {
+		th.Raise(v)
+	}
+	scanThetas.Unlock()
+}

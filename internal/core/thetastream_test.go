@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+
+	"mirror/internal/bat"
+)
+
+// TestScanThetaRegistry pins the registry semantics RaiseTheta relies
+// on: raises reach every scan registered under an id (retried legs may
+// overlap), deregistration is exact, unknown ids are a benign no-op, and
+// a drained registry holds no bytes.
+func TestScanThetaRegistry(t *testing.T) {
+	a, b := bat.NewTopKThreshold(), bat.NewTopKThreshold()
+	dropA := registerScanTheta(7, a)
+	dropB := registerScanTheta(7, b) // timed-out leg retried: both still scanning
+
+	raiseScanTheta(7, 0.5)
+	if a.Load() != 0.5 || b.Load() != 0.5 {
+		t.Fatalf("raise missed a registered scan: a=%v b=%v", a.Load(), b.Load())
+	}
+
+	dropA()
+	raiseScanTheta(7, 0.8)
+	if a.Load() != 0.5 {
+		t.Fatalf("deregistered scan still raised: %v", a.Load())
+	}
+	if b.Load() != 0.8 {
+		t.Fatalf("surviving scan not raised: %v", b.Load())
+	}
+
+	raiseScanTheta(7, 0.2) // monotone: never lowers
+	if b.Load() != 0.8 {
+		t.Fatalf("raise lowered the threshold: %v", b.Load())
+	}
+
+	dropB()
+	raiseScanTheta(7, 0.9)     // drained id: no-op
+	raiseScanTheta(12345, 0.9) // never-registered id: no-op
+
+	scanThetas.Lock()
+	n := len(scanThetas.m)
+	scanThetas.Unlock()
+	if n != 0 {
+		t.Fatalf("registry leaked %d ids after every scan deregistered", n)
+	}
+}

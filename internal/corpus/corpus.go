@@ -53,6 +53,16 @@ type Config struct {
 	W, H         int     // image dimensions
 	Seed         int64   // RNG seed; equal seeds give equal collections
 	AnnotateRate float64 // fraction of images that carry an annotation
+
+	// ClassZipf > 1 draws latent classes zipf-weighted (class 0 most
+	// common) instead of uniformly. Real collections are skewed, and the
+	// skew matters to retrieval: common classes yield long posting lists
+	// of low-belief terms, rare classes short spikes of high beliefs —
+	// the regime where threshold pruning (and seeded repeats) act.
+	// Uniform class draws are the block-max worst case: every term's
+	// beliefs look alike and no bound separates blocks. <= 1 keeps the
+	// uniform draw.
+	ClassZipf float64
 }
 
 // DefaultConfig is the demo-scale collection.
@@ -81,13 +91,22 @@ func (it *Item) HasClass(class int) bool {
 // Generate produces the collection deterministically from cfg.Seed.
 func Generate(cfg Config) []*Item {
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	var zipf *rand.Zipf
+	if cfg.ClassZipf > 1 {
+		zipf = rand.NewZipf(rng, cfg.ClassZipf, 1, uint64(len(media.Classes)-1))
+	}
 	items := make([]*Item, 0, cfg.N)
 	for i := 0; i < cfg.N; i++ {
 		nRegions := 1 + rng.Intn(3)
 		classes := make([]int, 0, nRegions)
 		used := map[int]bool{}
 		for len(classes) < nRegions {
-			c := rng.Intn(len(media.Classes))
+			var c int
+			if zipf != nil {
+				c = int(zipf.Uint64())
+			} else {
+				c = rng.Intn(len(media.Classes))
+			}
 			if used[c] {
 				continue
 			}

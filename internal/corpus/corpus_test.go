@@ -124,3 +124,36 @@ func TestTextCollection(t *testing.T) {
 		t.Fatalf("query terms = %v", qs)
 	}
 }
+
+// TestGenerateClassZipf pins the skewed corpus mode: zipf-weighted class
+// draws must concentrate the latent classes on low indices (long posting
+// lists for their vocabulary, rare spikes for the tail) while staying
+// deterministic per seed; the zero value keeps the uniform draw.
+func TestGenerateClassZipf(t *testing.T) {
+	cfg := Config{N: 400, W: 8, H: 8, Seed: 9, AnnotateRate: 1, ClassZipf: 1.6}
+	items := Generate(cfg)
+	again := Generate(cfg)
+	counts := make([]int, 10)
+	for i, it := range items {
+		if it.Annotation != again[i].Annotation || len(it.Classes) != len(again[i].Classes) {
+			t.Fatal("zipf corpus not deterministic")
+		}
+		for _, c := range it.Classes {
+			counts[c]++
+		}
+	}
+	head, tail := counts[0], counts[len(counts)-1]
+	if head <= 4*tail {
+		t.Fatalf("no class skew under zipf: head=%d tail=%d (%v)", head, tail, counts)
+	}
+	uniform := Generate(Config{N: 400, W: 8, H: 8, Seed: 9, AnnotateRate: 1})
+	ucounts := make([]int, 10)
+	for _, it := range uniform {
+		for _, c := range it.Classes {
+			ucounts[c]++
+		}
+	}
+	if ucounts[0] > 4*ucounts[len(ucounts)-1] {
+		t.Fatalf("uniform draw skewed: %v", ucounts)
+	}
+}

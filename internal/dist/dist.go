@@ -32,10 +32,12 @@ package dist
 import (
 	"errors"
 	"fmt"
+	"math"
 	"net/rpc"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mirror/internal/bat"
@@ -57,6 +59,12 @@ type Options struct {
 	Timeout time.Duration // per-RPC bound; 0 = 5s
 	Retries int           // extra failover rounds per call; <0 = 0, default 2
 	Backoff time.Duration // base backoff between rounds (doubles); 0 = 50ms
+
+	// NoThetaStream restricts scatter pruning to send-time threshold
+	// floors: in-flight legs never receive mid-query RaiseTheta pushes.
+	// Streaming is pruning-only, so results are identical either way —
+	// this switch exists for differentials and A/B measurement.
+	NoThetaStream bool
 }
 
 func (o Options) withDefaults() Options {
@@ -176,6 +184,18 @@ type RouterEngine struct {
 
 	buildMu sync.Mutex
 	vecPtr  atomicVec
+
+	// Threshold lifecycle state. thetaMemo seeds repeat scatters at the
+	// previous merge's terminal k-th score (keyed by the epoch-vector
+	// tag). ctl holds dedicated control connections for mid-flight
+	// RaiseTheta pushes — the query connections are serially occupied by
+	// the very scans being raised. pushes counts raises sent (A/B
+	// observability).
+	noStream  bool
+	thetaMemo atomic.Pointer[core.ThetaMemo]
+	pushes    atomic.Int64
+	ctlMu     sync.Mutex
+	ctl       map[string]*core.Client
 }
 
 // atomicVec is a tiny typed wrapper (avoids atomic.Pointer import noise in
@@ -209,12 +229,14 @@ func NewRouter(shards [][]string, opts Options) (*RouterEngine, error) {
 		timeout:    opts.Timeout,
 		retries:    opts.Retries,
 		backoff:    opts.Backoff,
+		noStream:   opts.NoThetaStream,
 		urls:       map[string]struct{}{},
 		localCount: make([]int, len(shards)),
 		anns:       map[string]string{},
 		rasters:    map[string]*media.Image{},
 		terms:      map[string][]string{},
 	}
+	e.thetaMemo.Store(core.NewThetaMemo(core.DefaultThetaMemoEntries))
 	for i, reps := range shards {
 		if len(reps) == 0 {
 			return nil, fmt.Errorf("dist: shard %d has no replicas", i)
@@ -522,6 +544,12 @@ func (e *RouterEngine) Checkpoint() (storage.CheckpointStats, error) {
 // ClosePersistent closes every replica connection (shard daemons keep
 // running; they own their stores).
 func (e *RouterEngine) ClosePersistent() error {
+	e.ctlMu.Lock()
+	for addr, c := range e.ctl {
+		c.Close()
+		delete(e.ctl, addr)
+	}
+	e.ctlMu.Unlock()
 	for _, g := range e.groups {
 		g.primary.close()
 		for _, f := range g.followers {
@@ -537,6 +565,36 @@ func (e *RouterEngine) Segments() []core.SegmentsInfo { return nil }
 
 // PostingsStats likewise reports only the zero footprint.
 func (e *RouterEngine) PostingsStats() core.PostingsStats { return core.PostingsStats{} }
+
+// BlockScanStats sums the shard primaries' block-max scan counters over
+// one parallel best-effort round: the router process runs no scans
+// itself, so a process-local read would report zero work for the whole
+// deployment. Unreachable members contribute nothing — a single attempt
+// per primary, no failover, so a dead shard costs one fast dial error
+// (or at worst one RPC timeout) instead of the full retry schedule. The
+// sum is therefore a lower bound during partitions, which is the right
+// bias for an observability counter.
+func (e *RouterEngine) BlockScanStats() (decoded, skipped int64) {
+	var dec, skp atomic.Int64
+	var wg sync.WaitGroup
+	for _, g := range e.groups {
+		wg.Add(1)
+		go func(r *replica) {
+			defer wg.Done()
+			_ = r.do(e.timeout, func(c *core.Client) error {
+				st, err := c.Stats()
+				if err != nil {
+					return err
+				}
+				dec.Add(st.BlocksDecoded)
+				skp.Add(st.BlocksSkipped)
+				return nil
+			})
+		}(g.primary)
+	}
+	wg.Wait()
+	return dec.Load(), skp.Load()
+}
 
 // ---- index lifecycle ----
 
@@ -607,6 +665,7 @@ func (e *RouterEngine) BuildContentIndex(opts core.IndexOptions) error {
 	e.codebook = cb
 	e.thes = thesaurus.Build(thDocs)
 	e.vecPtr.store(&epochVector{Tag: tag, Docs: len(order)})
+	e.thetaMemo.Load().Sweep(int64(tag))
 	return nil
 }
 
@@ -783,21 +842,81 @@ func (e *RouterEngine) Refresh() (core.RefreshStats, error) {
 		return st, ferr
 	}
 	e.vecPtr.store(&epochVector{Tag: tag, Docs: orderLen})
+	e.thetaMemo.Load().Sweep(int64(tag))
 	st.NewDocs, st.Docs, st.Epoch = len(pendingURLs), orderLen, int64(tag)
 	return st, nil
 }
 
 // ---- scatter-gather queries ----
 
+// scanNonce + scanSeq generate process-unique scan ids for streamed
+// threshold pushes. The nonce makes ids from two routers sharing a shard
+// fleet (or a restarted router) overwhelmingly unlikely to collide; even
+// a collision only risks an extra pruning raise on a scan whose router
+// streams exact-safe floors of its own.
+var (
+	scanNonce = uint64(time.Now().UnixNano())
+	scanSeq   atomic.Uint64
+)
+
+func nextScanID() uint64 {
+	for {
+		if id := scanNonce + scanSeq.Add(1); id != 0 {
+			return id
+		}
+	}
+}
+
 // queryShards fans one tag-pinned query leg to every shard with shared
-// rising-threshold pruning: each leg is seeded with the threshold height
-// at send time, and every reply's reached threshold raises it for legs
-// still to be sent (retries, stragglers). Pruning-only — the threshold
-// never exceeds the global k-th best score, so results stay exact.
-func (e *RouterEngine) queryShards(tag uint64, k int, build func(floor float64) core.ShardQueryArgs) ([]*core.ShardQueryReply, error) {
+// rising-threshold pruning. The threshold rises from three sources: each
+// leg is seeded with the height at send time (seed = a memoised terminal
+// score, or -Inf), each reply folds its reached threshold AND its merged
+// rows (fold returns the router-side merge's k-th best once full — the
+// straggler fix: late legs now prune under everything already gathered,
+// not just under completed legs' own thetas), and unless the router was
+// built NoThetaStream, every rise is pushed mid-flight into the legs
+// still scanning. Pruning-only — the threshold never exceeds the global
+// k-th best score, so results stay exact.
+//
+// fold (nil for unranked scatters) is called once per successful reply,
+// serialized under an internal lock — implementations need no locking of
+// their own.
+func (e *RouterEngine) queryShards(tag uint64, k int, seed float64, build func(floor float64) core.ShardQueryArgs, fold func(*core.ShardQueryReply) float64) ([]*core.ShardQueryReply, error) {
 	theta := bat.NewTopKThreshold()
+	theta.Raise(seed)
 	reps := make([]*core.ShardQueryReply, e.n)
 	errs := make([]error, e.n)
+
+	var scanID uint64
+	if k > 0 && e.n > 1 && !e.noStream {
+		scanID = nextScanID()
+	}
+	var mu sync.Mutex // serializes fold and the pending/sent bookkeeping
+	done := make([]bool, e.n)
+	sent := theta.Load() // every leg departs at >= the seed; only pushes above it help
+	fin := func(s int, rep *core.ShardQueryReply) {
+		mu.Lock()
+		done[s] = true
+		theta.Raise(rep.Theta)
+		if fold != nil {
+			theta.Raise(fold(rep))
+		}
+		cur := theta.Load()
+		var pending []int
+		if scanID != 0 && cur > sent {
+			sent = cur
+			for x := 0; x < e.n; x++ {
+				if !done[x] {
+					pending = append(pending, x)
+				}
+			}
+		}
+		mu.Unlock()
+		if len(pending) > 0 {
+			e.streamTheta(scanID, cur, pending)
+		}
+	}
+
 	var wg sync.WaitGroup
 	for s := 0; s < e.n; s++ {
 		wg.Add(1)
@@ -805,7 +924,7 @@ func (e *RouterEngine) queryShards(tag uint64, k int, build func(floor float64) 
 			defer wg.Done()
 			errs[s] = e.callShard(s, false, func(c *core.Client) error {
 				args := build(theta.Load())
-				args.Tag, args.K = tag, k
+				args.Tag, args.K, args.ScanID = tag, k, scanID
 				rep, err := c.ShardQuery(args)
 				if err != nil {
 					return err
@@ -814,7 +933,7 @@ func (e *RouterEngine) queryShards(tag uint64, k int, build func(floor float64) 
 				return nil
 			})
 			if errs[s] == nil && k > 0 {
-				theta.Raise(reps[s].Theta)
+				fin(s, reps[s])
 			}
 		}(s)
 	}
@@ -827,27 +946,136 @@ func (e *RouterEngine) queryShards(tag uint64, k int, build func(floor float64) 
 	return reps, nil
 }
 
+// streamTheta pushes a risen threshold into the shards whose legs are
+// still in flight, over dedicated control connections (each query
+// connection is serially occupied by the very scan being raised). The
+// whole replica set of each pending shard is addressed — failover means
+// the router cannot know which member a leg landed on; the others treat
+// the unknown scan id as a no-op. Best-effort: a lost push costs
+// pruning, never correctness.
+func (e *RouterEngine) streamTheta(scanID uint64, th float64, pending []int) {
+	for _, s := range pending {
+		g := e.groups[s]
+		for _, r := range append([]*replica{g.primary}, g.followers...) {
+			addr := r.addr
+			e.pushes.Add(1)
+			go func() {
+				c, err := e.ctlClient(addr)
+				if err != nil {
+					return
+				}
+				if err := c.RaiseTheta(scanID, th); err != nil && transportErr(err) {
+					e.dropCtl(addr, c)
+				}
+			}()
+		}
+	}
+}
+
+// ctlClient returns the shared control connection to addr, dialing on
+// demand. net/rpc clients multiplex concurrent calls, so one connection
+// per member serves every in-flight push.
+func (e *RouterEngine) ctlClient(addr string) (*core.Client, error) {
+	e.ctlMu.Lock()
+	defer e.ctlMu.Unlock()
+	if c, ok := e.ctl[addr]; ok {
+		return c, nil
+	}
+	c, err := core.DialMirrorTimeout(addr, e.timeout)
+	if err != nil {
+		return nil, err
+	}
+	if e.ctl == nil {
+		e.ctl = map[string]*core.Client{}
+	}
+	e.ctl[addr] = c
+	return c, nil
+}
+
+// dropCtl poisons a control connection after a transport failure so the
+// next push redials.
+func (e *RouterEngine) dropCtl(addr string, c *core.Client) {
+	e.ctlMu.Lock()
+	if e.ctl[addr] == c {
+		delete(e.ctl, addr)
+	}
+	e.ctlMu.Unlock()
+	c.Close()
+}
+
+// ThetaStreamed reports how many mid-flight threshold raises this router
+// has pushed (benchmark/observability counter).
+func (e *RouterEngine) ThetaStreamed() int64 { return e.pushes.Load() }
+
+// SetThetaMemo resizes (or, with maxEntries <= 0, disables) the router's
+// scatter threshold memo — the -theta-memo flag's router-side face.
+func (e *RouterEngine) SetThetaMemo(maxEntries int) {
+	e.thetaMemo.Store(core.NewThetaMemo(maxEntries))
+}
+
+// ThetaMemoStats snapshots the router memo's effectiveness counters.
+func (e *RouterEngine) ThetaMemoStats() core.ThetaMemoStats { return e.thetaMemo.Load().Stats() }
+
+// thetaKindOf maps a scatter kind to its memo surface. Moa legs are not
+// memoised (row values need not be belief scores), and wsum legs are
+// unranked.
+func thetaKindOf(kind string) (core.ThetaKind, bool) {
+	switch kind {
+	case "ann":
+		return core.ThetaAnnotations, true
+	case "content":
+		return core.ThetaContent, true
+	}
+	return 0, false
+}
+
 // gatherHits merges per-shard hit legs exactly like the in-process
 // engine: bounded top-k union for k > 0 (legs arrive ranked and cut),
 // full concatenation sorted by the ranked-retrieval order otherwise.
+// Ranked legs fold into the merged selection as each reply lands, so the
+// merge's k-th best — the tightest exact-safe bound the router ever has
+// — raises the shared threshold for legs still in flight; a repeat query
+// seeds the whole scatter from the memoised terminal score and records
+// the fresh terminal on the way out.
 func (e *RouterEngine) gatherHits(vec *epochVector, kind, text string, terms []string, k int) ([]core.Hit, error) {
 	if vec == nil {
 		return nil, core.ErrNotIndexed
 	}
-	reps, err := e.queryShards(vec.Tag, k, func(floor float64) core.ShardQueryArgs {
+	gen := int64(vec.Tag)
+	tm := e.thetaMemo.Load()
+	memoKind, memoOK := thetaKindOf(kind)
+	seed := math.Inf(-1)
+	if memoOK && k > 0 {
+		if s, ok := tm.Get(gen, memoKind, k, text, terms); ok {
+			seed = s
+		}
+	}
+	var merged *bat.BoundedTopK[core.Hit]
+	var fold func(*core.ShardQueryReply) float64
+	if k > 0 {
+		merged = bat.NewBoundedTopK(k, core.HitWorse)
+		fold = func(rep *core.ShardQueryReply) float64 {
+			for i := range rep.OIDs {
+				merged.Offer(core.Hit{OID: bat.OID(rep.OIDs[i]), URL: rep.URLs[i], Score: rep.Scores[i]})
+			}
+			if w, ok := merged.Worst(); ok && merged.Full() {
+				return w.Score
+			}
+			return math.Inf(-1)
+		}
+	}
+	reps, err := e.queryShards(vec.Tag, k, seed, func(floor float64) core.ShardQueryArgs {
 		return core.ShardQueryArgs{Kind: kind, Text: text, Terms: terms, ThetaFloor: floor}
-	})
+	}, fold)
 	if err != nil {
 		return nil, err
 	}
 	if k > 0 {
-		merged := bat.NewBoundedTopK(k, core.HitWorse)
-		for _, rep := range reps {
-			for i := range rep.OIDs {
-				merged.Offer(core.Hit{OID: bat.OID(rep.OIDs[i]), URL: rep.URLs[i], Score: rep.Scores[i]})
-			}
+		hits := merged.Ranked()
+		if memoOK {
+			tm.Record(gen, memoKind, k, text, terms, hits)
 		}
-		return merged.Ranked(), nil
+		return hits, nil
 	}
 	var all []core.Hit
 	for _, rep := range reps {
@@ -923,12 +1151,6 @@ func (e *RouterEngine) QueryTopKStamped(src string, queryTerms []string, k int) 
 	if vec == nil {
 		return nil, core.EpochStamp{}, core.ErrNotIndexed
 	}
-	reps, err := e.queryShards(vec.Tag, k, func(floor float64) core.ShardQueryArgs {
-		return core.ShardQueryArgs{Kind: "moa", Text: src, Terms: queryTerms, ThetaFloor: floor}
-	})
-	if err != nil {
-		return nil, vec.stamp(), err
-	}
 	rows := func(rep *core.ShardQueryReply) []moa.Row {
 		out := make([]moa.Row, len(rep.OIDs))
 		for i := range rep.OIDs {
@@ -939,14 +1161,34 @@ func (e *RouterEngine) QueryTopKStamped(src string, queryTerms []string, k int) 
 		}
 		return out
 	}
-	out := &moa.Result{}
+	var merged *bat.BoundedTopK[moa.Row]
+	var fold func(*core.ShardQueryReply) float64
 	if k > 0 {
-		merged := bat.NewBoundedTopK(k, moa.RowWorse)
-		for _, rep := range reps {
+		merged = bat.NewBoundedTopK(k, moa.RowWorse)
+		numeric := true
+		fold = func(rep *core.ShardQueryReply) float64 {
+			numeric = numeric && rep.Numeric
 			for _, row := range rows(rep) {
 				merged.Offer(row)
 			}
+			// Only all-numeric merges order by score; a worst row from a
+			// mixed merge is not a pruning bound.
+			if w, ok := merged.Worst(); ok && merged.Full() && numeric {
+				if f, isF := w.Value.(float64); isF {
+					return f
+				}
+			}
+			return math.Inf(-1)
 		}
+	}
+	reps, err := e.queryShards(vec.Tag, k, math.Inf(-1), func(floor float64) core.ShardQueryArgs {
+		return core.ShardQueryArgs{Kind: "moa", Text: src, Terms: queryTerms, ThetaFloor: floor}
+	}, fold)
+	if err != nil {
+		return nil, vec.stamp(), err
+	}
+	out := &moa.Result{}
+	if k > 0 {
 		out.Rows = merged.Ranked()
 		out.Ranked = true
 		return out, vec.stamp(), nil
@@ -999,9 +1241,9 @@ func (s routerSite) WeightedContentScores(terms []string, weights []float64) (ir
 	if vec == nil {
 		return nil, core.ErrNotIndexed
 	}
-	reps, err := s.e.queryShards(vec.Tag, 0, func(float64) core.ShardQueryArgs {
+	reps, err := s.e.queryShards(vec.Tag, 0, math.Inf(-1), func(float64) core.ShardQueryArgs {
 		return core.ShardQueryArgs{Kind: "wsum", Terms: terms, Weights: weights}
-	})
+	}, nil)
 	if err != nil {
 		return nil, err
 	}

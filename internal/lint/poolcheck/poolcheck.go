@@ -77,6 +77,7 @@ var borrowFuncs = map[string]string{
 	"borrowRanked":          "ranked",
 	"borrowRows":            "rows",
 	"borrowBlockCursors":    "blockcursors",
+	"borrowScanScratch":     "scanscratch",
 }
 
 // releaseFuncs maps callee names that end a borrow to their pool class.
@@ -85,6 +86,7 @@ var releaseFuncs = map[string]string{
 	"releaseRanked":       "ranked",
 	"releaseRows":         "rows",
 	"releaseBlockCursors": "blockcursors",
+	"releaseScanScratch":  "scanscratch",
 }
 
 // threadFuncs pass a borrow through: `x = Thread(x, ...)` keeps the same
@@ -100,6 +102,7 @@ var rawPools = map[string]bool{
 	"rankedPool":      true,
 	"rowPool":         true,
 	"blockCursorPool": true,
+	"scanScratchPool": true,
 }
 
 // terminators are callee names that never return.

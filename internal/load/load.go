@@ -339,6 +339,9 @@ func buildReport(o Options, met *metrics, faults []*FaultReport, st *core.StatsR
 		FinalDocs:  st.EpochDocs,
 		FinalEpoch: st.Epoch,
 		Restarts:   len(faults),
+
+		BlocksDecoded: st.BlocksDecoded,
+		BlocksSkipped: st.BlocksSkipped,
 	}
 	met.mu.Lock()
 	for op, h := range met.hists {

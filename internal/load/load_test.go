@@ -55,6 +55,12 @@ func TestRunBothTopologies(t *testing.T) {
 			if rep.FinalEpoch == 0 || rep.FinalDocs < spec.Preload {
 				t.Fatalf("bad final state: %+v", rep)
 			}
+			// Default codec is block: the query traffic above must have
+			// decoded postings blocks, and the counters must survive the
+			// Stats RPC hop into the report.
+			if rep.BlocksDecoded == 0 {
+				t.Fatalf("no blocks decoded in report: %+v", rep)
+			}
 		})
 	}
 }
@@ -107,5 +113,10 @@ func TestRunDistributedTopology(t *testing.T) {
 	}
 	if rep.FinalEpoch == 0 || rep.FinalDocs < spec.Preload {
 		t.Fatalf("bad final state: %+v", rep)
+	}
+	// The router runs no scans itself: a nonzero counter proves the
+	// router-side aggregation reached the shard members.
+	if rep.BlocksDecoded == 0 {
+		t.Fatalf("no blocks decoded in report: %+v", rep)
 	}
 }

@@ -40,6 +40,13 @@ type TopologyReport struct {
 	FinalDocs  int                 `json:"final_docs"`
 	FinalEpoch int64               `json:"final_epoch"`
 	Restarts   int                 `json:"restarts"`
+
+	// Block-max scan counters at quiesce, as reported by the daemon's
+	// Stats RPC (on the distributed topology, summed over shard
+	// primaries by the router). Fresh child processes per topology, so
+	// these are per-run totals, not machine-lifetime ones.
+	BlocksDecoded int64 `json:"blocks_decoded"`
+	BlocksSkipped int64 `json:"blocks_skipped"`
 }
 
 // OracleReport counts exactness verifications: every stamped query answer
